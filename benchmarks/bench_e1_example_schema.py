@@ -1,0 +1,53 @@
+"""E1 — §5 input schema: the sets K and N, and the normal-form labels.
+
+Paper artifact: the constraint sets computed from the data dictionary
+
+    K = {Person.{id}, HEmployee.{no,date}, Department.{dep},
+         Assignment.{emp,dep,proj}}
+    N = {Department.location, Person.id, HEmployee.no, HEmployee.date,
+         Department.dep, Assignment.dep, Assignment.emp, Assignment.proj}
+
+and the per-relation normal forms annotated in §5 (Person 3NF,
+HEmployee 3NF, Department 2NF, Assignment 1NF).
+"""
+
+from benchmarks.conftest import check_rows
+from repro.dependencies.fd import FunctionalDependency
+from repro.normalization import schema_normal_forms
+from repro.relational.attribute import AttributeRef
+
+
+def _kn(db):
+    return db.schema.key_set(), db.schema.not_null_set()
+
+
+def test_e1_k_and_n_sets(benchmark, paper_db, expected):
+    k, n = benchmark(_kn, paper_db)
+    check_rows(
+        "E1: dictionary-derived constraint sets",
+        [
+            ("|K|", len(expected.key_set), len(k)),
+            ("K", set(expected.key_set), set(k)),
+            ("|N|", len(expected.not_null_set), len(n)),
+            ("N", set(expected.not_null_set), set(n)),
+        ],
+    )
+
+
+def test_e1_normal_form_annotations(benchmark, paper_db):
+    embedded = [
+        FunctionalDependency("Department", ("emp",), ("skill", "proj")),
+        FunctionalDependency("Assignment", ("proj",), ("project-name",)),
+    ]
+    forms = benchmark(schema_normal_forms, paper_db.schema, embedded)
+    check_rows(
+        "E1: §5 normal-form annotations",
+        [
+            # the paper labels Person/HEmployee 3NF; our diagnosis may
+            # return the (stronger) BCNF label — compare at 3NF level
+            ("Person >= 3NF", True, forms["Person"].value in ("3NF", "BCNF")),
+            ("HEmployee >= 3NF", True, forms["HEmployee"].value in ("3NF", "BCNF")),
+            ("Department", "2NF", forms["Department"].value),
+            ("Assignment", "1NF", forms["Assignment"].value),
+        ],
+    )

@@ -1,0 +1,69 @@
+"""E3 — §6.1's IND set and the conceptualized intersection S.
+
+Paper artifacts: the six inclusion dependencies
+
+    HEmployee[no]    << Person[id]
+    Department[emp]  << HEmployee[no]
+    Assignment[emp]  << HEmployee[no]
+    Ass-Dept[dep]    << Assignment[dep]
+    Ass-Dept[dep]    << Department[dep]
+    Department[proj] << Assignment[proj]
+
+with S = {Ass-Dept(dep)}, plus the two count examples the paper narrates:
+||Person[id]|| > ||HEmployee[no]|| with full inclusion (2200/1550/1550,
+scaled to 22/15/15) and the Assignment/Department NEI (45/40/30, scaled
+to 9/8/6).
+"""
+
+from benchmarks.conftest import check_rows, report
+from repro.core import INDDiscovery, ScriptedExpert
+from repro.programs.equijoin import EquiJoin
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+)
+
+
+def _run():
+    db = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    return INDDiscovery(db, expert).run(paper_equijoins())
+
+
+def test_e3_ind_discovery(benchmark, expected):
+    result = benchmark(_run)
+    check_rows(
+        "E3: IND-Discovery output",
+        [
+            ("|IND|", len(expected.inds), len(result.inds)),
+            ("IND", set(expected.inds), set(result.inds)),
+            ("S", list(expected.s_relations), result.s_names),
+        ],
+    )
+
+    by_join = {o.join: o for o in result.outcomes}
+    inclusion = by_join[EquiJoin("HEmployee", ("no",), "Person", ("id",))]
+    nei = by_join[EquiJoin("Assignment", ("dep",), "Department", ("dep",))]
+    report(
+        "E3: the paper's two narrated count shapes (scaled /100, /5)",
+        ["case", "paper (N_k, N_l, N_kl)", "measured"],
+        [
+            [
+                "HEmployee >< Person",
+                "(1550, 2200, 1550) -> inclusion",
+                f"({inclusion.n_left}, {inclusion.n_right}, "
+                f"{inclusion.n_common}) -> {inclusion.case}",
+            ],
+            [
+                "Assignment >< Department",
+                "(45, 40, 30) -> NEI, conceptualized",
+                f"({nei.n_left}, {nei.n_right}, {nei.n_common}) -> "
+                f"{nei.case}, {nei.decision}d",
+            ],
+        ],
+    )
+    assert inclusion.case == "inclusion"
+    assert (inclusion.n_left, inclusion.n_right) == (15, 22)
+    assert nei.case == "nei" and nei.decision == "conceptualize"
+    assert (nei.n_left, nei.n_right, nei.n_common) == (9, 8, 6)

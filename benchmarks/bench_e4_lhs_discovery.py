@@ -1,0 +1,33 @@
+"""E4 — §6.2.1's candidate-identifier set LHS and hidden-object set H.
+
+Paper artifacts:
+
+    LHS = {HEmployee.{no}, Department.{emp}, Assignment.{emp},
+           Assignment.{proj}, Department.{proj}}
+    H   = {Assignment.{dep}}
+"""
+
+from benchmarks.conftest import check_rows
+from repro.core import INDDiscovery, LHSDiscovery, ScriptedExpert
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+)
+
+
+def test_e4_lhs_discovery(benchmark, expected):
+    db = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    ind_result = INDDiscovery(db, expert).run(paper_equijoins())
+    step = LHSDiscovery(db.schema, ind_result.s_names)
+
+    result = benchmark(step.run, ind_result.inds)
+    check_rows(
+        "E4: LHS-Discovery output",
+        [
+            ("|LHS|", len(expected.lhs), len(result.lhs)),
+            ("LHS", set(expected.lhs), set(result.lhs)),
+            ("H", set(expected.hidden_after_lhs), set(result.hidden)),
+        ],
+    )

@@ -1,0 +1,56 @@
+"""E5 — §6.2.2's functional dependencies F and final hidden set H.
+
+Paper artifacts:
+
+    F = {Department: emp -> skill, proj;
+         Assignment: proj -> project-name}
+    H = {HEmployee.{no}, Assignment.{dep}}
+
+plus the narrated pruning for Department.emp: dep (key) and location
+(not null, while emp is nullable) leave the candidate set; skill and
+proj remain and both dependencies hold.
+"""
+
+from benchmarks.conftest import check_rows, report
+from repro.core import INDDiscovery, LHSDiscovery, RHSDiscovery, ScriptedExpert
+from repro.relational.attribute import AttributeRef
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+)
+
+
+def test_e5_rhs_discovery(benchmark, expected):
+    db = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    ind_result = INDDiscovery(db, expert).run(paper_equijoins())
+    lhs_result = LHSDiscovery(db.schema, ind_result.s_names).run(ind_result.inds)
+    step = RHSDiscovery(db, expert)
+
+    result = benchmark(step.run, lhs_result.lhs, lhs_result.hidden)
+    check_rows(
+        "E5: RHS-Discovery output",
+        [
+            ("F", set(expected.fds), set(result.fds)),
+            ("H", set(expected.hidden_after_rhs), set(result.hidden)),
+        ],
+    )
+
+    dept = next(
+        o for o in result.outcomes
+        if o.ref == AttributeRef("Department", "emp")
+    )
+    report(
+        "E5: §6.2.2 narrated pruning for Department.emp",
+        ["step", "paper", "measured"],
+        [
+            ["pruned (key)", "dep", ", ".join(dept.pruned_keys)],
+            ["pruned (not null)", "location", ", ".join(dept.pruned_not_null)],
+            ["candidates", "skill, proj", ", ".join(dept.candidates)],
+            ["accepted", "skill, proj", ", ".join(dept.accepted)],
+        ],
+    )
+    assert dept.pruned_keys == ("dep",)
+    assert dept.pruned_not_null == ("location",)
+    assert set(dept.accepted) == {"skill", "proj"}

@@ -1,0 +1,75 @@
+"""E7 — Figure 1: the final EER schema.
+
+Paper artifact (Figure 1, read with the §7 Translate rules):
+
+- entity-types: Person, Employee, Manager, Project, Department,
+  Other-Dept, Ass-Dept;
+- is-a links: Employee -> Person, Manager -> Employee,
+  Ass-Dept -> Other-Dept, Ass-Dept -> Department;
+- weak entity-type: HEmployee, identified by Employee (discriminator
+  ``date``);
+- relationship-types: the ternary many-to-many Assignment among
+  Employee, Other-Dept and Project carrying ``date``, and the two binary
+  relationship-types Department--Manager and Manager--Project.
+"""
+
+from benchmarks.conftest import check_rows, report
+from repro.core import Translate
+from repro.eer import render_text
+
+
+def test_e7_figure1(benchmark, paper_run):
+    restructured = paper_run.restructured
+    translator = Translate(restructured.schema)
+
+    eer = benchmark(translator.run, paper_run.ric)
+
+    strong = {e.name for e in eer.entities if not e.weak}
+    weak = [e for e in eer.entities if e.weak]
+    isa = {(l.sub, l.sup) for l in eer.isa_links}
+    ternary = eer.relationship("Assignment")
+    binary_pairs = {
+        frozenset(r.entity_names) for r in eer.relationships if r.arity == 2
+    }
+    check_rows(
+        "E7: Figure 1 structure",
+        [
+            (
+                "entity-types",
+                {
+                    "Person", "Employee", "Manager", "Project",
+                    "Department", "Other-Dept", "Ass-Dept",
+                },
+                strong,
+            ),
+            ("weak entity-types", ["HEmployee"], [e.name for e in weak]),
+            ("HEmployee owner", ("Employee",), weak[0].owners),
+            (
+                "is-a links",
+                {
+                    ("Employee", "Person"),
+                    ("Manager", "Employee"),
+                    ("Ass-Dept", "Other-Dept"),
+                    ("Ass-Dept", "Department"),
+                },
+                isa,
+            ),
+            (
+                "Assignment participants",
+                {"Employee", "Other-Dept", "Project"},
+                set(ternary.entity_names),
+            ),
+            ("Assignment attribute", ("date",), ternary.attributes),
+            ("Assignment is M:N", True, ternary.is_many_to_many()),
+            (
+                "binary relationship-types",
+                {
+                    frozenset({"Department", "Manager"}),
+                    frozenset({"Manager", "Project"}),
+                },
+                binary_pairs,
+            ),
+        ],
+    )
+    print("\n--- E7: the reproduced Figure 1 ---")
+    print(render_text(eer))

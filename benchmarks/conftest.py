@@ -1,0 +1,70 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every E-series benchmark regenerates one artifact of the paper's worked
+example (§5-§7 / Figure 1), times the step with pytest-benchmark, prints
+a paper-vs-measured table, and *asserts* the match — a failing
+reproduction fails the bench.  The S-series benchmarks sweep synthetic
+scenarios and print the series EXPERIMENTS.md records.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+comparison tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.util.text import format_table
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED,
+    build_paper_database,
+    paper_expert_script,
+    paper_program_corpus,
+)
+
+
+@pytest.fixture
+def paper_db():
+    return build_paper_database()
+
+
+@pytest.fixture
+def paper_corpus():
+    return paper_program_corpus()
+
+
+@pytest.fixture
+def paper_expert():
+    return ScriptedExpert(paper_expert_script())
+
+
+@pytest.fixture
+def expected():
+    return PAPER_EXPECTED
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    """One full pipeline run shared by downstream-stage benches."""
+    db = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    return DBREPipeline(db, expert).run(corpus=paper_program_corpus())
+
+
+def report(title: str, headers, rows) -> None:
+    """Print one paper-vs-measured table."""
+    print(f"\n--- {title} ---")
+    print(format_table(headers, rows))
+
+
+def check_rows(title: str, pairs) -> None:
+    """Print and assert a list of (label, paper value, measured value)."""
+    rows = []
+    ok = True
+    for label, paper_value, measured in pairs:
+        match = "yes" if paper_value == measured else "NO"
+        ok = ok and paper_value == measured
+        rows.append([label, paper_value, measured, match])
+    report(title, ["artifact", "paper", "measured", "match"], rows)
+    assert ok, f"{title}: mismatch against the paper"

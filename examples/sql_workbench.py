@@ -1,0 +1,129 @@
+"""Working with the engine directly: SQL, catalog, persistence, audits.
+
+The reverse-engineering method rides on a small relational engine; this
+example uses that engine the way a session tool would:
+
+1. build a database with SQL DDL/DML;
+2. query it (joins, subqueries, aggregates — including the method's
+   ``COUNT(DISTINCT ...)`` primitive);
+3. inspect the data dictionary and statistics;
+4. run one elicitation step by hand (IND-Discovery over an ad-hoc Q);
+5. save the session to disk (CSV extension + JSON dependency document)
+   and load it back.
+
+Run:  python examples/sql_workbench.py
+"""
+
+import os
+import tempfile
+
+from repro import Database, Executor
+from repro.core import INDDiscovery
+from repro.programs import EquiJoin
+from repro.storage.csv_io import dump_database_csv, load_database_csv
+from repro.storage.serialize import (
+    database_from_dict,
+    database_to_dict,
+    dependencies_from_dict,
+    dependencies_to_dict,
+    load_json,
+    save_json,
+)
+from repro.util.text import format_table
+
+SETUP = """
+CREATE TABLE region (rid INT PRIMARY KEY, rname VARCHAR(20));
+CREATE TABLE store (
+    sid INT PRIMARY KEY,
+    sname VARCHAR(20) NOT NULL,
+    region_ref INT
+);
+CREATE TABLE sale (
+    tid INT PRIMARY KEY,
+    store_ref INT NOT NULL,
+    amount NUMBER
+);
+INSERT INTO region VALUES (1, 'north'), (2, 'south'), (3, 'west');
+INSERT INTO store VALUES
+    (10, 'alpha', 1), (11, 'beta', 1), (12, 'gamma', 2), (13, 'delta', NULL);
+INSERT INTO sale VALUES
+    (100, 10, 25.0), (101, 10, 13.5), (102, 11, 8.0),
+    (103, 12, 99.9), (104, 12, 5.0), (105, 13, 42.0);
+"""
+
+
+def main() -> None:
+    database = Database()
+    executor = Executor(database)
+    executor.run_script(SETUP)
+    database.validate()
+
+    print("== querying ==")
+    result = executor.run("SELECT sname, region_ref FROM store ORDER BY sname")
+    print(format_table(result.columns, result.rows))
+
+    total = executor.run("SELECT SUM(amount), MAX(amount) FROM sale").rows[0]
+    print(f"  total sales: {total[0]}, biggest ticket: {total[1]}")
+
+    distinct = executor.run("SELECT COUNT(DISTINCT store_ref) FROM sale").scalar()
+    print(f"  ||sale[store_ref]|| = {distinct}   (the paper's count primitive)")
+
+    busy = executor.run(
+        "SELECT sname FROM store WHERE sid IN "
+        "(SELECT store_ref FROM sale WHERE amount > 20)"
+    )
+    print(f"  stores with a >20 ticket: {sorted(busy.column(0))}")
+
+    print("\n== data dictionary ==")
+    database.catalog.analyze(database)
+    rows = [
+        [e.relation, e.attribute, e.dtype, "yes" if e.in_key else "",
+         "" if e.nullable else "not null"]
+        for e in database.catalog.entries()
+    ]
+    print(format_table(["relation", "attribute", "type", "key", ""], rows))
+    stats = database.catalog.statistics("store", "region_ref")
+    print(
+        f"  store.region_ref: {stats.distinct_count} distinct / "
+        f"{stats.row_count} rows, {stats.null_fraction:.0%} NULL"
+    )
+
+    print("\n== one elicitation step by hand ==")
+    q = [
+        EquiJoin("sale", ("store_ref",), "store", ("sid",)),
+        EquiJoin("store", ("region_ref",), "region", ("rid",)),
+    ]
+    discovery = INDDiscovery(database)
+    found = discovery.run(q)
+    for outcome in found.outcomes:
+        print(
+            f"  {outcome.join!r}: N_k={outcome.n_left}, N_l={outcome.n_right}, "
+            f"N_kl={outcome.n_common} -> {outcome.case}"
+        )
+    for ind in found.inds:
+        print(f"  elicited: {ind!r}")
+
+    print("\n== persistence round-trip ==")
+    with tempfile.TemporaryDirectory() as workdir:
+        csv_dir = os.path.join(workdir, "extension")
+        dump_database_csv(database, csv_dir)
+        print(f"  extension dumped: {sorted(os.listdir(csv_dir))}")
+
+        deps_path = os.path.join(workdir, "elicited.json")
+        save_json(dependencies_to_dict([], found.inds), deps_path)
+        _fds, reloaded_inds = dependencies_from_dict(load_json(deps_path))
+        print(f"  dependencies reloaded: {reloaded_inds}")
+
+        db_path = os.path.join(workdir, "database.json")
+        save_json(database_to_dict(database), db_path)
+        restored = database_from_dict(load_json(db_path))
+        fresh = restored.copy()
+        for table in fresh.tables():
+            table.replace_rows([])
+        load_database_csv(fresh, csv_dir)
+        assert len(fresh.table("sale")) == len(database.table("sale"))
+        print("  JSON + CSV round-trips verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Measured recovery on a synthetic legacy system with dirty data.
+
+Builds a complete scenario with known ground truth — a random conceptual
+schema, mapped to 3NF, denormalized (two relations folded into their
+children), populated, *corrupted* (10% of referencing values broken on
+half the foreign-key paths) and wrapped in a generated program corpus —
+then runs the reverse-engineering pipeline with the oracle expert and
+scores the recovery against the ground truth.
+
+This is the S3 experiment in example form.
+
+Run:  python examples/synthetic_recovery.py
+"""
+
+from repro import DBREPipeline
+from repro.eer import render_text
+from repro.evaluation.metrics import score_fds, score_inds
+from repro.evaluation.schema_match import score_schema_recovery
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=2026,
+        n_entities=8,
+        n_one_to_many=7,
+        n_many_to_many=1,
+        merges=2,
+        parent_rows=25,
+        corruption_ind_rate=0.5,
+        corruption_row_rate=0.10,
+    )
+    scenario = build_scenario(config)
+
+    print("== the synthetic legacy system ==")
+    print(f"  {scenario.summary()}")
+    print("  denormalized relations:")
+    for relation in scenario.truth.denormalized_schema:
+        print(f"    {relation!r}")
+    print("  merges performed by the (simulated) original DBAs:")
+    for merge in scenario.truth.merges:
+        print(
+            f"    {merge.parent} folded into {merge.child} "
+            f"via {merge.fk_attr} (payload {merge.payload})"
+        )
+    print(f"  program corpus: {scenario.corpus!r}")
+    if scenario.corruption.corrupted_inds:
+        print("  corrupted reference paths:")
+        for ind in scenario.corruption.corrupted_inds:
+            print(f"    {ind!r}")
+
+    print("\n== running the pipeline (oracle expert) ==")
+    result = DBREPipeline(scenario.database, scenario.expert).run(
+        corpus=scenario.corpus
+    )
+    print(f"  {result!r}")
+    print(f"  extension queries: {result.extension_queries}, "
+          f"expert decisions: {result.expert_decisions}")
+
+    print("\n== recovery scores vs ground truth ==")
+    ind_pr = score_inds(result.inds, scenario.truth.true_inds)
+    fd_pr = score_fds(result.fds, scenario.truth.true_fds)
+    recovery = score_schema_recovery(scenario.truth, result.restructured)
+    print(f"  inclusion dependencies: {ind_pr!r}")
+    print(f"  functional dependencies: {fd_pr!r}")
+    print(f"  schema recovery: {recovery!r}")
+    for original, found in sorted(recovery.recovered.items()):
+        print(f"    {original} -> recovered as {found}")
+    for original, (found, overlap) in sorted(recovery.partial.items()):
+        print(f"    {original} ~> best match {found} (overlap {overlap})")
+    for original in recovery.missing:
+        print(f"    {original} -> MISSING")
+
+    print("\n== recovered conceptual schema ==")
+    print(render_text(result.eer))
+
+    # -- §8's perspective: triage an exhaustive FD search by navigation --
+    from repro.baselines import NaiveFDBaseline
+    from repro.mining import NavigationProfile, rank_fds, relevance_partition
+
+    profile = NavigationProfile.from_report(result.extraction)
+    lattice = NaiveFDBaseline(scenario.database, max_lhs_size=1).run()
+    ranked = rank_fds(lattice.non_key_fds(scenario.database), profile)
+    navigated, unnavigated = relevance_partition(ranked)
+    print("\n== programs as mining oracles (§8) ==")
+    print(
+        f"  exhaustive search found {len(ranked)} non-key FDs; navigation "
+        f"evidence keeps {len(navigated)}, discards {len(unnavigated)}"
+    )
+    for entry in navigated[:5]:
+        print(f"  {entry!r}")
+
+
+if __name__ == "__main__":
+    main()

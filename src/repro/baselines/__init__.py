@@ -1,0 +1,28 @@
+"""Baselines the paper's method is measured against.
+
+- :mod:`repro.baselines.exhaustive_ind` — unary IND discovery by testing
+  every type-compatible attribute pair (de Marchi-style), the
+  no-workload alternative to query-guided IND-Discovery (S1);
+- :mod:`repro.baselines.naive_fd` — full lattice FD discovery per
+  relation, the alternative to RHS-Discovery's candidate narrowing (S2);
+- :mod:`repro.baselines.naming_dbre` — the naming-convention school of
+  DBRE (Chiang-Barron-Storey style): foreign keys found by attribute
+  name equality, no extension or workload needed;
+- :mod:`repro.baselines.known_constraints` — the all-constraints-known
+  school (Shoval-Shreiber style): assumes the true dependencies are
+  handed over and only performs the restructuring.
+"""
+
+from repro.baselines.exhaustive_ind import ExhaustiveINDBaseline, ExhaustiveINDResult
+from repro.baselines.naive_fd import NaiveFDBaseline, NaiveFDResult
+from repro.baselines.naming_dbre import NamingConventionBaseline
+from repro.baselines.known_constraints import KnownConstraintsBaseline
+
+__all__ = [
+    "ExhaustiveINDBaseline",
+    "ExhaustiveINDResult",
+    "NaiveFDBaseline",
+    "NaiveFDResult",
+    "NamingConventionBaseline",
+    "KnownConstraintsBaseline",
+]

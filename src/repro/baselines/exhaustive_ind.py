@@ -1,0 +1,60 @@
+"""Exhaustive unary IND discovery — the no-workload baseline (S1).
+
+Without a query workload, IND candidates are *every* ordered pair of
+type-compatible attributes; with the paper's workload analysis they are
+only the attribute pairs programs actually join.  This baseline runs the
+exhaustive search and reports both what it found and what it cost, so
+the S1 benchmark can put the two candidate-space sizes side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dependencies.discovery import (
+    count_unary_candidates,
+    discover_unary_inds,
+)
+from repro.dependencies.ind import InclusionDependency
+from repro.relational.database import Database
+
+
+@dataclass
+class ExhaustiveINDResult:
+    """Findings + cost of one exhaustive run."""
+
+    inds: List[InclusionDependency] = field(default_factory=list)
+    candidates_examined: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ExhaustiveINDResult({len(self.inds)} INDs from "
+            f"{self.candidates_examined} candidates, "
+            f"{self.elapsed_seconds * 1000:.1f} ms)"
+        )
+
+
+class ExhaustiveINDBaseline:
+    """Test every type-compatible attribute pair against the extension."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def candidate_count(self) -> int:
+        """Size of the search space, without running it."""
+        return count_unary_candidates(self.database)
+
+    def run(self, require_nonempty: bool = True) -> ExhaustiveINDResult:
+        start = time.perf_counter()
+        inds = discover_unary_inds(
+            self.database, require_nonempty=require_nonempty
+        )
+        elapsed = time.perf_counter() - start
+        return ExhaustiveINDResult(
+            inds=inds,
+            candidates_examined=self.candidate_count(),
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,73 @@
+"""Full lattice FD discovery — the no-narrowing baseline (S2).
+
+RHS-Discovery only tests dependencies whose left-hand side an equi-join
+pointed at, and prunes the right-hand candidates with the key and
+not-null rules.  The alternative is classical FD discovery: search the
+whole LHS lattice of every relation.  This baseline does that (via the
+TANE-lite search in :mod:`repro.dependencies.discovery`) and reports
+candidate counts, so S2 can show the narrowing factor — and the
+*selectivity* point of §5: exhaustive discovery surfaces dependencies
+like ``zip-code -> state`` that are integrity constraints, not design
+semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dependencies.discovery import count_fd_candidates, discover_fds
+from repro.dependencies.fd import FunctionalDependency
+from repro.relational.database import Database
+
+
+@dataclass
+class NaiveFDResult:
+    """Findings + cost of a full-lattice run."""
+
+    fds: List[FunctionalDependency] = field(default_factory=list)
+    candidates_examined: int = 0
+    elapsed_seconds: float = 0.0
+    per_relation: Dict[str, int] = field(default_factory=dict)
+
+    def non_key_fds(self, database: Database) -> List[FunctionalDependency]:
+        """Discovered FDs whose LHS is not a declared key (the ones a
+        DBRE process would have to triage)."""
+        out = []
+        for fd in self.fds:
+            relation = database.schema.relation(fd.relation)
+            if not relation.is_key(tuple(fd.lhs)):
+                out.append(fd)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"NaiveFDResult({len(self.fds)} FDs from "
+            f"{self.candidates_examined} candidates, "
+            f"{self.elapsed_seconds * 1000:.1f} ms)"
+        )
+
+
+class NaiveFDBaseline:
+    """Level-wise FD search over every relation of the database."""
+
+    def __init__(self, database: Database, max_lhs_size: int = 2) -> None:
+        self.database = database
+        self.max_lhs_size = max_lhs_size
+
+    def run(self, relations: Optional[Sequence[str]] = None) -> NaiveFDResult:
+        result = NaiveFDResult()
+        names = list(relations or self.database.schema.relation_names)
+        start = time.perf_counter()
+        for name in names:
+            table = self.database.table(name)
+            n_attrs = len(table.schema.attribute_names)
+            found = discover_fds(table, max_lhs_size=self.max_lhs_size)
+            result.fds.extend(found)
+            count = count_fd_candidates(n_attrs, self.max_lhs_size)
+            result.per_relation[name] = count
+            result.candidates_examined += count
+        result.elapsed_seconds = time.perf_counter() - start
+        result.fds.sort(key=lambda f: f.sort_key())
+        return result

@@ -1,0 +1,67 @@
+"""Naming-convention DBRE — the Chiang-Barron-Storey school.
+
+Earlier relational DBRE methods assume "a consistent naming of key
+attributes": a foreign key is any non-key attribute carrying the same
+name as some relation's key attribute.  The paper explicitly drops that
+assumption ("without any restriction on the naming of attributes").
+This baseline implements the convention so benchmarks can show where it
+breaks: schemas like the §5 example, where ``HEmployee.no`` references
+``Person.id`` under a different name, are invisible to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dependencies.ind import InclusionDependency
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass
+class NamingConventionResult:
+    """Foreign keys proposed by name matching only."""
+
+    inds: List[InclusionDependency] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"NamingConventionResult({len(self.inds)} INDs)"
+
+
+class NamingConventionBaseline:
+    """Propose ``R[a] ≪ S[a]`` whenever a non-key ``R.a`` shares the name
+    of a single-attribute key ``S.a``.
+
+    Purely syntactic: no extension access, no programs — and therefore no
+    way to see renamed references or identifiers that are not keys
+    anywhere (the paper's hidden objects).
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+
+    def run(self) -> NamingConventionResult:
+        result = NamingConventionResult()
+        # single-attribute keys by attribute name
+        key_owners: Dict[str, List[str]] = {}
+        for relation in self.schema:
+            for unique in relation.uniques:
+                names = tuple(unique.attributes)
+                if len(names) == 1:
+                    key_owners.setdefault(names[0], []).append(relation.name)
+
+        for relation in self.schema:
+            key_attrs = {a for u in relation.uniques for a in u.attributes}
+            for attr in relation.attribute_names:
+                if attr in key_attrs:
+                    continue
+                for owner in key_owners.get(attr, []):
+                    if owner == relation.name:
+                        continue
+                    result.inds.append(
+                        InclusionDependency(
+                            relation.name, (attr,), owner, (attr,)
+                        )
+                    )
+        result.inds.sort(key=lambda i: i.sort_key())
+        return result

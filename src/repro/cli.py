@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``inspect``  — load a database and print its dictionary view (schema,
+  K, N, statistics);
+- ``extract``  — compute the equi-join set ``Q`` from a program
+  directory and print it with provenance;
+- ``run``      — the full reverse-engineering pipeline; writes the
+  session report, the EER diagram and/or the elicited dependencies;
+- ``demo``     — the paper's §5-§7 example end to end.
+
+The database input is either a ``.sql`` script (CREATE TABLE + INSERT,
+executed by the built-in engine) or a ``.json`` database document
+produced by :mod:`repro.storage.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.expert import AutoExpert, Expert, InteractiveExpert
+from repro.core.pipeline import DBREPipeline
+from repro.core.report import session_report
+from repro.eer.dot import to_dot
+from repro.eer.render import render_text
+from repro.exceptions import ReproError
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.extractor import extract_equijoins
+from repro.relational.database import Database
+from repro.sql.executor import Executor
+from repro.storage.serialize import (
+    database_from_dict,
+    dependencies_to_dict,
+    load_json,
+    save_json,
+)
+from repro.util.text import format_table
+
+
+def load_database(path: str) -> Database:
+    """Load a database from a ``.sql`` script or a ``.json`` document."""
+    if path.endswith(".json"):
+        return database_from_dict(load_json(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        script = handle.read()
+    database = Database()
+    Executor(database).run_script(script)
+    return database
+
+
+def _make_expert(args: argparse.Namespace) -> Expert:
+    if getattr(args, "replay_decisions", None):
+        from repro.core.expert import ScriptedExpert
+        from repro.storage.decisions import script_from_dict
+
+        return ScriptedExpert(script_from_dict(load_json(args.replay_decisions)))
+    if getattr(args, "interactive", False):
+        return InteractiveExpert()
+    return AutoExpert(
+        force_threshold=args.force_threshold,
+        conceptualize_hidden=args.conceptualize_hidden,
+    )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_inspect(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    print("# Relations")
+    for relation in database.schema:
+        print(f"  {relation!r}  ({len(database.table(relation.name))} rows)")
+    print("\n# K (declared keys)")
+    for ref in database.schema.key_set():
+        print(f"  {ref!r}")
+    print("\n# N (not-null attributes)")
+    for ref in database.schema.not_null_set():
+        print(f"  {ref!r}")
+    if args.statistics:
+        database.catalog.analyze(database)
+        rows = [
+            [s.relation, s.attribute, s.row_count, s.distinct_count,
+             f"{s.null_fraction:.0%}"]
+            for s in database.catalog.all_statistics()
+        ]
+        print("\n# Statistics")
+        print(format_table(
+            ["relation", "attribute", "rows", "distinct", "null"], rows
+        ))
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    corpus = ProgramCorpus.from_directory(args.programs)
+    report = extract_equijoins(corpus, database.schema)
+    print(f"# Q — {len(report.joins)} equi-join(s) from "
+          f"{report.statements_seen} statement(s) in {len(corpus)} program(s)")
+    for join in report.joins:
+        programs = sorted({p for p, _ in report.provenance[join]})
+        print(f"  {join!r}    [{', '.join(programs)}]")
+    for program, index, reason in report.skipped:
+        print(f"  skipped {program}#{index}: {reason}", file=sys.stderr)
+    for warning in sorted(set(report.warnings)):
+        print(f"  warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    corpus = ProgramCorpus.from_directory(args.programs)
+    expert = _make_expert(args)
+    pipeline = DBREPipeline(database, expert)
+    result = pipeline.run(corpus=corpus)
+
+    print(f"{result!r}")
+    print("\n# Restructured schema")
+    for relation in result.restructured.schema:
+        print(f"  {relation!r}")
+    print("\n# Referential integrity constraints")
+    for ind in result.ric:
+        print(f"  {ind!r}")
+    if result.eer is not None:
+        print("\n# Conceptual schema")
+        print(render_text(result.eer))
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(session_report(result, pipeline.expert))
+            handle.write("\n")
+        print(f"\nsession report written to {args.report}")
+    if args.dot and result.eer is not None:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(result.eer))
+        print(f"EER diagram written to {args.dot}")
+    if args.dependencies:
+        save_json(
+            dependencies_to_dict(list(result.fds), list(result.inds)),
+            args.dependencies,
+        )
+        print(f"elicited dependencies written to {args.dependencies}")
+    if args.sql:
+        from repro.storage.ddl import migration_script
+
+        with open(args.sql, "w", encoding="utf-8") as handle:
+            handle.write(
+                migration_script(
+                    result.restructured, result.ric, include_data=args.sql_data
+                )
+            )
+        print(f"migration script written to {args.sql}")
+    if args.save_decisions:
+        from repro.storage.decisions import script_to_dict
+
+        save_json(
+            script_to_dict(pipeline.expert.to_script()), args.save_decisions
+        )
+        print(f"expert decisions written to {args.save_decisions}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.expert import ScriptedExpert
+    from repro.workloads.paper_example import (
+        build_paper_database,
+        paper_expert_script,
+        paper_program_corpus,
+    )
+
+    database = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    pipeline = DBREPipeline(database, expert)
+    result = pipeline.run(corpus=paper_program_corpus())
+    print(session_report(result, pipeline.expert,
+                         title="Paper example (Petit et al., ICDE 1996)"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reverse engineering of denormalized relational databases "
+                    "(Petit et al., ICDE 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
+    inspect.add_argument("database", help=".sql script or .json database document")
+    inspect.add_argument("--statistics", action="store_true",
+                         help="also analyze and print per-attribute statistics")
+    inspect.set_defaults(func=cmd_inspect)
+
+    extract = sub.add_parser("extract", help="extract the equi-join set Q")
+    extract.add_argument("database")
+    extract.add_argument("programs", help="directory of application programs")
+    extract.set_defaults(func=cmd_extract)
+
+    run = sub.add_parser("run", help="run the full reverse-engineering pipeline")
+    run.add_argument("database")
+    run.add_argument("programs")
+    run.add_argument("--interactive", action="store_true",
+                     help="ask the expert questions on stdin")
+    run.add_argument("--force-threshold", type=float, default=0.95,
+                     help="AutoExpert: NEI overlap above which the smaller "
+                          "side is presumed included (default 0.95)")
+    run.add_argument("--conceptualize-hidden", action="store_true",
+                     help="AutoExpert: conceptualize empty-RHS identifiers")
+    run.add_argument("--report", help="write the Markdown session report here")
+    run.add_argument("--dot", help="write the EER schema as Graphviz DOT here")
+    run.add_argument("--dependencies",
+                     help="write the elicited dependencies as JSON here")
+    run.add_argument("--sql",
+                     help="write the 3NF migration script (DDL + RIC as "
+                          "FOREIGN KEYs) here")
+    run.add_argument("--sql-data", action="store_true",
+                     help="include INSERT statements in the migration script")
+    run.add_argument("--save-decisions",
+                     help="record the expert's answers as a replayable "
+                          "JSON document")
+    run.add_argument("--replay-decisions",
+                     help="answer expert questions from a previously "
+                          "saved decisions document")
+    run.set_defaults(func=cmd_run)
+
+    demo = sub.add_parser("demo", help="run the paper's worked example")
+    demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

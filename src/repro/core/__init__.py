@@ -1,0 +1,56 @@
+"""The paper's method: the five algorithms and the expert-user protocol.
+
+- :mod:`repro.core.expert` — the interactive decision points, typed;
+- :mod:`repro.core.ind_discovery` — IND-Discovery (§6.1);
+- :mod:`repro.core.lhs_discovery` — LHS-Discovery (§6.2.1);
+- :mod:`repro.core.rhs_discovery` — RHS-Discovery (§6.2.2);
+- :mod:`repro.core.restruct` — Restruct (§7);
+- :mod:`repro.core.translate` — Translate (§7, the EER mapping);
+- :mod:`repro.core.pipeline` — the end-to-end DBRE pipeline.
+"""
+
+from repro.core.expert import (
+    Expert,
+    AutoExpert,
+    ScriptedExpert,
+    RecordingExpert,
+    InteractiveExpert,
+    NEIContext,
+    NEIDecision,
+    ConceptualizeIntersection,
+    ForceInclusion,
+    IgnoreIntersection,
+)
+from repro.core.ind_discovery import INDDiscovery, INDDiscoveryResult
+from repro.core.lhs_discovery import LHSDiscovery, LHSDiscoveryResult
+from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
+from repro.core.restruct import Restruct, RestructResult
+from repro.core.translate import Translate
+from repro.core.pipeline import DBREPipeline, PipelineResult
+from repro.core.report import SessionReport, session_report
+
+__all__ = [
+    "SessionReport",
+    "session_report",
+    "Expert",
+    "AutoExpert",
+    "ScriptedExpert",
+    "RecordingExpert",
+    "InteractiveExpert",
+    "NEIContext",
+    "NEIDecision",
+    "ConceptualizeIntersection",
+    "ForceInclusion",
+    "IgnoreIntersection",
+    "INDDiscovery",
+    "INDDiscoveryResult",
+    "LHSDiscovery",
+    "LHSDiscoveryResult",
+    "RHSDiscovery",
+    "RHSDiscoveryResult",
+    "Restruct",
+    "RestructResult",
+    "Translate",
+    "DBREPipeline",
+    "PipelineResult",
+]

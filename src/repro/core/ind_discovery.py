@@ -1,0 +1,223 @@
+"""IND-Discovery (§6.1): from equi-joins to inclusion dependencies.
+
+For each equi-join ``R_k[A_k] ⋈ R_l[A_l]`` of ``Q``, the algorithm
+computes the three counts
+
+    ``N_k = ||r_k[A_k]||``, ``N_l = ||r_l[A_l]||``,
+    ``N_kl = ||r_k[A_k] ⋈ r_l[A_l]||``
+
+and classifies the pair:
+
+- ``N_kl = 0`` — empty intersection, a data-integrity smell; nothing is
+  elicited (case i);
+- ``N_kl = N_k`` and/or ``N_kl = N_l`` — one side's values are contained
+  in the other's; the inclusion dependency (or both, when the sides are
+  equal) is elicited (cases ii/iii);
+- otherwise — a *non-empty intersection* (NEI); the expert user decides:
+  conceptualize the intersection as a new relation of ``S`` (case iv),
+  force a direction despite the dirty extension (cases v/vi), or ignore
+  it (case vii).
+
+A conceptualized intersection becomes a real relation in the database,
+keyed by its attributes and populated with the shared values, plus the
+two inclusion dependencies ``R_p[A_p] ≪ R_k[A_k]`` and
+``R_p[A_p] ≪ R_l[A_l]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expert import (
+    ConceptualizeIntersection,
+    Expert,
+    ForceInclusion,
+    IgnoreIntersection,
+    NEIContext,
+)
+from repro.dependencies.ind import InclusionDependency
+from repro.exceptions import ProcessError
+from repro.programs.equijoin import EquiJoin
+from repro.relational.algebra import natural_intersection
+from repro.relational.attribute import Attribute
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema
+from repro.util.naming import unique_name
+
+
+@dataclass(frozen=True)
+class JoinOutcome:
+    """How one equi-join of ``Q`` was classified."""
+
+    join: EquiJoin
+    n_left: int
+    n_right: int
+    n_common: int
+    case: str                 # "empty" | "inclusion" | "nei"
+    decision: str = ""        # for NEIs: "conceptualize" | "force" | "ignore"
+    elicited: Tuple[InclusionDependency, ...] = ()
+
+
+@dataclass
+class INDDiscoveryResult:
+    """The output sets of IND-Discovery: ``IND`` and ``S``."""
+
+    inds: List[InclusionDependency] = field(default_factory=list)
+    new_relations: List[RelationSchema] = field(default_factory=list)
+    outcomes: List[JoinOutcome] = field(default_factory=list)
+
+    @property
+    def s_names(self) -> List[str]:
+        return [r.name for r in self.new_relations]
+
+    def add_ind(self, ind: InclusionDependency) -> None:
+        """`⊔`: union with duplicate suppression, deterministic order."""
+        if ind not in self.inds:
+            self.inds.append(ind)
+            self.inds.sort(key=lambda i: i.sort_key())
+
+    def __repr__(self) -> str:
+        return (
+            f"INDDiscoveryResult({len(self.inds)} INDs, "
+            f"S={self.s_names})"
+        )
+
+
+class INDDiscovery:
+    """Runs the IND-Discovery algorithm against one database."""
+
+    def __init__(self, database: Database, expert: Optional[Expert] = None) -> None:
+        self.database = database
+        self.expert = expert or Expert()
+
+    def run(self, equijoins: Sequence[EquiJoin]) -> INDDiscoveryResult:
+        """Process every element of ``Q`` in deterministic order."""
+        result = INDDiscoveryResult()
+        for join in sorted(set(equijoins), key=lambda j: j.sort_key()):
+            self._process(join, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _process(self, join: EquiJoin, result: INDDiscoveryResult) -> None:
+        (k_rel, k_attrs), (l_rel, l_attrs) = join.sides()
+        if (k_rel, k_attrs) == (l_rel, l_attrs):
+            # a reflexive join (same relation, same attributes) can only
+            # yield the trivial R[A] ≪ R[A]; it carries no interrelation
+            # information, so it is classified and dropped without
+            # touching the extension
+            result.outcomes.append(
+                JoinOutcome(join, 0, 0, 0, case="reflexive")
+            )
+            return
+        n_k = self.database.count_distinct(k_rel, k_attrs)
+        n_l = self.database.count_distinct(l_rel, l_attrs)
+        n_kl = self.database.join_count(k_rel, k_attrs, l_rel, l_attrs)
+
+        if n_kl == 0:
+            # (i) possible data-integrity problem; nothing elicited
+            result.outcomes.append(
+                JoinOutcome(join, n_k, n_l, n_kl, case="empty")
+            )
+            return
+
+        if n_kl == n_k or n_kl == n_l:
+            elicited: List[InclusionDependency] = []
+            if n_kl == n_k and n_k <= n_l:                       # (ii)
+                ind = InclusionDependency(k_rel, k_attrs, l_rel, l_attrs)
+                result.add_ind(ind)
+                elicited.append(ind)
+            if n_kl == n_l and n_l <= n_k:                       # (iii)
+                ind = InclusionDependency(l_rel, l_attrs, k_rel, k_attrs)
+                result.add_ind(ind)
+                elicited.append(ind)
+            result.outcomes.append(
+                JoinOutcome(
+                    join, n_k, n_l, n_kl, case="inclusion",
+                    elicited=tuple(elicited),
+                )
+            )
+            return
+
+        # non-empty intersection distinct from both value sets
+        context = NEIContext(join, n_k, n_l, n_kl)
+        decision = self.expert.decide_nei(context)
+
+        if isinstance(decision, ConceptualizeIntersection):     # (iv)
+            new_rel, inds = self._conceptualize(join, decision.name)
+            result.new_relations.append(new_rel)
+            for ind in inds:
+                result.add_ind(ind)
+            result.outcomes.append(
+                JoinOutcome(
+                    join, n_k, n_l, n_kl, case="nei",
+                    decision="conceptualize", elicited=tuple(inds),
+                )
+            )
+            return
+
+        if isinstance(decision, ForceInclusion):                # (v)/(vi)
+            if decision.direction == "left_in_right":
+                ind = InclusionDependency(k_rel, k_attrs, l_rel, l_attrs)
+            else:
+                ind = InclusionDependency(l_rel, l_attrs, k_rel, k_attrs)
+            result.add_ind(ind)
+            result.outcomes.append(
+                JoinOutcome(
+                    join, n_k, n_l, n_kl, case="nei",
+                    decision="force", elicited=(ind,),
+                )
+            )
+            return
+
+        if isinstance(decision, IgnoreIntersection):            # (vii)
+            result.outcomes.append(
+                JoinOutcome(join, n_k, n_l, n_kl, case="nei", decision="ignore")
+            )
+            return
+
+        raise ProcessError(f"unknown NEI decision {decision!r}")
+
+    # ------------------------------------------------------------------
+    def _conceptualize(
+        self, join: EquiJoin, name: str
+    ) -> Tuple[RelationSchema, List[InclusionDependency]]:
+        """Create ``R_p(A_p)``, keyed and populated with the intersection."""
+        (k_rel, k_attrs), (l_rel, l_attrs) = join.sides()
+        name = unique_name(name, self.database.schema.relation_names)
+
+        # attribute names: reuse the shared names when both sides agree,
+        # otherwise take the left side's names (documented in DESIGN.md)
+        attr_names = [
+            ka if ka == la else ka for ka, la in zip(k_attrs, l_attrs)
+        ]
+        left_schema = self.database.schema.relation(k_rel)
+        attrs = [
+            Attribute(an, left_schema.attribute(ka).dtype, nullable=False)
+            for an, ka in zip(attr_names, k_attrs)
+        ]
+        new_rel = RelationSchema(name, attrs)
+        new_rel.declare_unique(attr_names)
+        table = self.database.create_relation(new_rel)
+
+        shared = natural_intersection(
+            self.database.table(k_rel), k_attrs,
+            self.database.table(l_rel), l_attrs,
+        )
+        for values in sorted(shared, key=repr):
+            table.insert(list(values))
+
+        inds = [
+            InclusionDependency(name, attr_names, k_rel, k_attrs),
+            InclusionDependency(name, attr_names, l_rel, l_attrs),
+        ]
+        return new_rel, inds
+
+
+def discover_inds(
+    database: Database,
+    equijoins: Sequence[EquiJoin],
+    expert: Optional[Expert] = None,
+) -> INDDiscoveryResult:
+    """One-shot convenience wrapper around :class:`INDDiscovery`."""
+    return INDDiscovery(database, expert).run(equijoins)

@@ -1,0 +1,154 @@
+"""The end-to-end DBRE pipeline.
+
+Chains the paper's steps against one database:
+
+1. compute ``K`` and ``N`` from the data dictionary (§4);
+2. extract ``Q`` from the application programs (§4 — optional: a caller
+   may supply ``Q`` directly, as the paper assumes);
+3. IND-Discovery (§6.1) — ``IND`` and ``S``;
+4. LHS-Discovery (§6.2.1) — ``LHS`` and ``H``;
+5. RHS-Discovery (§6.2.2) — ``F`` and final ``H``;
+6. Restruct (§7) — the 3NF schema, ``K`` and ``RIC``;
+7. Translate (§7) — the EER schema.
+
+The pipeline mutates a *copy* of the database (Restruct adds and narrows
+relations); the original stays untouched.  Every intermediate set is kept
+on the :class:`PipelineResult` so callers (and the benchmarks) can audit
+each step against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.expert import Expert, RecordingExpert
+from repro.core.ind_discovery import INDDiscovery, INDDiscoveryResult
+from repro.core.lhs_discovery import LHSDiscovery, LHSDiscoveryResult
+from repro.core.restruct import Restruct, RestructResult
+from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
+from repro.core.translate import Translate
+from repro.eer.model import EERSchema
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.equijoin import EquiJoin
+from repro.programs.extractor import EquiJoinExtractor, ExtractionReport
+from repro.relational.attribute import AttributeRef
+from repro.relational.database import Database
+
+
+@dataclass
+class PipelineResult:
+    """Every artifact of one reverse-engineering run."""
+
+    key_set: List[AttributeRef] = field(default_factory=list)           # K
+    not_null_set: List[AttributeRef] = field(default_factory=list)      # N
+    equijoins: List[EquiJoin] = field(default_factory=list)             # Q
+    extraction: Optional[ExtractionReport] = None
+    ind_result: Optional[INDDiscoveryResult] = None
+    lhs_result: Optional[LHSDiscoveryResult] = None
+    rhs_result: Optional[RHSDiscoveryResult] = None
+    restruct_result: Optional[RestructResult] = None
+    eer: Optional[EERSchema] = None
+    translation_notes: List[str] = field(default_factory=list)
+    translation_warnings: List[str] = field(default_factory=list)
+    expert_decisions: int = 0
+    extension_queries: int = 0
+
+    # convenient views -------------------------------------------------
+    @property
+    def inds(self):
+        return self.ind_result.inds if self.ind_result else []
+
+    @property
+    def fds(self):
+        return self.rhs_result.fds if self.rhs_result else []
+
+    @property
+    def hidden(self):
+        return self.rhs_result.hidden if self.rhs_result else []
+
+    @property
+    def ric(self):
+        return self.restruct_result.ric if self.restruct_result else []
+
+    @property
+    def restructured(self) -> Optional[Database]:
+        return self.restruct_result.database if self.restruct_result else None
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineResult(|Q|={len(self.equijoins)}, |IND|={len(self.inds)}, "
+            f"|F|={len(self.fds)}, |H|={len(self.hidden)}, "
+            f"|RIC|={len(self.ric)})"
+        )
+
+
+class DBREPipeline:
+    """Orchestrates the full method over one database + program corpus."""
+
+    def __init__(self, database: Database, expert: Optional[Expert] = None) -> None:
+        self.original = database
+        self.expert = RecordingExpert(expert or Expert())
+
+    def run(
+        self,
+        corpus: Optional[ProgramCorpus] = None,
+        equijoins: Optional[Sequence[EquiJoin]] = None,
+        translate: bool = True,
+    ) -> PipelineResult:
+        """Run the whole method.
+
+        Exactly one of *corpus* (programs to analyze) or *equijoins*
+        (a precomputed ``Q``, as §4 assumes) must be provided.
+        """
+        if (corpus is None) == (equijoins is None):
+            raise ValueError("provide exactly one of corpus= or equijoins=")
+
+        result = PipelineResult()
+        database = self.original.copy()
+        database.counter.reset()
+
+        # §4: the dictionary-derived sets
+        result.key_set = database.schema.key_set()
+        result.not_null_set = database.schema.not_null_set()
+
+        # §4: the set Q
+        if corpus is not None:
+            extractor = EquiJoinExtractor(database.schema)
+            result.extraction = extractor.extract_from_corpus(corpus)
+            result.equijoins = list(result.extraction.joins)
+        else:
+            result.equijoins = sorted(set(equijoins), key=lambda j: j.sort_key())
+
+        # §6.1 IND-Discovery
+        ind_step = INDDiscovery(database, self.expert)
+        result.ind_result = ind_step.run(result.equijoins)
+
+        # §6.2.1 LHS-Discovery
+        lhs_step = LHSDiscovery(database.schema, result.ind_result.s_names)
+        result.lhs_result = lhs_step.run(result.ind_result.inds)
+
+        # §6.2.2 RHS-Discovery
+        rhs_step = RHSDiscovery(database, self.expert)
+        result.rhs_result = rhs_step.run(
+            result.lhs_result.lhs, result.lhs_result.hidden
+        )
+
+        # §7 Restruct
+        restruct_step = Restruct(database, self.expert)
+        result.restruct_result = restruct_step.run(
+            result.rhs_result.fds,
+            result.rhs_result.hidden,
+            result.ind_result.inds,
+        )
+
+        # §7 Translate
+        if translate:
+            translator = Translate(database.schema)
+            result.eer = translator.run(result.restruct_result.ric)
+            result.translation_notes = list(translator.notes.entries)
+            result.translation_warnings = list(translator.notes.warnings)
+
+        result.expert_decisions = self.expert.decision_count
+        result.extension_queries = database.counter.total()
+        return result

@@ -1,0 +1,243 @@
+"""Human-readable session reports of a reverse-engineering run.
+
+A DBRE run is an audit exercise: the practitioner needs to defend every
+elicited dependency and every schema change in front of the application
+owners.  This module renders a :class:`~repro.core.pipeline.PipelineResult`
+(plus the recording expert's log) into a structured Markdown document:
+inputs, each algorithm's findings with provenance, the expert's
+decisions, the restructured schema, and the conceptual schema.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.expert import RecordingExpert
+from repro.core.pipeline import PipelineResult
+from repro.eer.render import render_text
+from repro.util.text import format_table
+
+
+class SessionReport:
+    """Builds the Markdown report for one pipeline run."""
+
+    def __init__(
+        self,
+        result: PipelineResult,
+        expert: Optional[RecordingExpert] = None,
+        title: str = "Database reverse-engineering session",
+    ) -> None:
+        self.result = result
+        self.expert = expert
+        self.title = title
+
+    # ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        sections = [
+            self._header(),
+            self._inputs(),
+            self._equijoins(),
+            self._ind_section(),
+            self._fd_section(),
+            self._restruct_section(),
+            self._eer_section(),
+            self._expert_section(),
+            self._cost_section(),
+        ]
+        return "\n\n".join(s for s in sections if s)
+
+    # ------------------------------------------------------------------
+    def _header(self) -> str:
+        return f"# {self.title}"
+
+    def _inputs(self) -> str:
+        lines = ["## Inputs", ""]
+        lines.append("Declared keys (`K`):")
+        for ref in self.result.key_set:
+            lines.append(f"- `{ref!r}`")
+        lines.append("")
+        lines.append("Not-null attributes (`N`):")
+        for ref in self.result.not_null_set:
+            lines.append(f"- `{ref!r}`")
+        return "\n".join(lines)
+
+    def _equijoins(self) -> str:
+        lines = ["## Equi-joins extracted from the application programs (`Q`)", ""]
+        if not self.result.equijoins:
+            lines.append("*(none — the programs perform no joins)*")
+            return "\n".join(lines)
+        extraction = self.result.extraction
+        for join in self.result.equijoins:
+            if extraction is not None and join in extraction.provenance:
+                programs = sorted(
+                    {p for p, _ in extraction.provenance[join]}
+                )
+                lines.append(f"- `{join!r}` — seen in {', '.join(programs)}")
+            else:
+                lines.append(f"- `{join!r}`")
+        if extraction is not None and extraction.skipped:
+            lines.append("")
+            lines.append(
+                f"{len(extraction.skipped)} statement(s) could not be "
+                f"parsed and were skipped:"
+            )
+            for program, index, reason in extraction.skipped:
+                lines.append(f"- {program}#{index}: {reason}")
+        if extraction is not None and extraction.warnings:
+            lines.append("")
+            lines.append("Resolution warnings:")
+            for warning in sorted(set(extraction.warnings)):
+                lines.append(f"- {warning}")
+        return "\n".join(lines)
+
+    def _ind_section(self) -> str:
+        ind_result = self.result.ind_result
+        if ind_result is None:
+            return ""
+        lines = ["## Inclusion dependencies (IND-Discovery, §6.1)", ""]
+        rows = []
+        for outcome in ind_result.outcomes:
+            elicited = "; ".join(repr(i) for i in outcome.elicited) or "—"
+            rows.append(
+                [
+                    repr(outcome.join),
+                    outcome.n_left,
+                    outcome.n_right,
+                    outcome.n_common,
+                    outcome.case + (f" ({outcome.decision})" if outcome.decision else ""),
+                    elicited,
+                ]
+            )
+        lines.append("```")
+        lines.append(
+            format_table(
+                ["equi-join", "N_k", "N_l", "N_kl", "case", "elicited"], rows
+            )
+        )
+        lines.append("```")
+        if ind_result.new_relations:
+            lines.append("")
+            lines.append("Conceptualized intersections (`S`):")
+            for relation in ind_result.new_relations:
+                lines.append(f"- `{relation!r}`")
+        return "\n".join(lines)
+
+    def _fd_section(self) -> str:
+        rhs = self.result.rhs_result
+        lhs = self.result.lhs_result
+        if rhs is None or lhs is None:
+            return ""
+        lines = ["## Functional dependencies (LHS/RHS-Discovery, §6.2)", ""]
+        lines.append(
+            f"Candidate identifiers (`LHS`): "
+            + (", ".join(f"`{r!r}`" for r in lhs.lhs) or "*(none)*")
+        )
+        lines.append("")
+        rows = []
+        for outcome in rhs.outcomes:
+            rows.append(
+                [
+                    repr(outcome.ref),
+                    ", ".join(outcome.pruned_keys) or "—",
+                    ", ".join(outcome.pruned_not_null) or "—",
+                    ", ".join(outcome.candidates) or "—",
+                    ", ".join(outcome.accepted) or "—",
+                    outcome.action,
+                ]
+            )
+        lines.append("```")
+        lines.append(
+            format_table(
+                [
+                    "identifier", "pruned (key)", "pruned (not null)",
+                    "tested", "accepted", "outcome",
+                ],
+                rows,
+            )
+        )
+        lines.append("```")
+        lines.append("")
+        lines.append("Elicited dependencies (`F`):")
+        for fd in rhs.fds:
+            lines.append(f"- `{fd!r}`")
+        if rhs.hidden:
+            lines.append("")
+            lines.append("Hidden objects (`H`):")
+            for ref in rhs.hidden:
+                lines.append(f"- `{ref!r}`")
+        return "\n".join(lines)
+
+    def _restruct_section(self) -> str:
+        restruct = self.result.restruct_result
+        if restruct is None:
+            return ""
+        lines = ["## Restructured schema (Restruct, §7)", ""]
+        for relation in restruct.database.schema:
+            lines.append(f"- `{relation!r}`")
+        if restruct.added:
+            lines.append("")
+            lines.append("Relations created:")
+            for added in restruct.added:
+                lines.append(
+                    f"- `{added.name}` ({added.kind}, from `{added.source}`, "
+                    f"attributes {', '.join(added.attributes)})"
+                )
+        lines.append("")
+        lines.append("Referential integrity constraints (`RIC`):")
+        for ind in restruct.ric:
+            lines.append(f"- `{ind!r}`")
+        if restruct.warnings:
+            lines.append("")
+            lines.append("Warnings:")
+            for warning in restruct.warnings:
+                lines.append(f"- {warning}")
+        return "\n".join(lines)
+
+    def _eer_section(self) -> str:
+        if self.result.eer is None:
+            return ""
+        lines = ["## Conceptual schema (Translate, §7)", "", "```"]
+        lines.append(render_text(self.result.eer))
+        lines.append("```")
+        if self.result.translation_notes:
+            lines.append("")
+            lines.append("Classification notes:")
+            for note in self.result.translation_notes:
+                lines.append(f"- {note}")
+        if self.result.translation_warnings:
+            lines.append("")
+            lines.append("Warnings:")
+            for warning in self.result.translation_warnings:
+                lines.append(f"- {warning}")
+        return "\n".join(lines)
+
+    def _expert_section(self) -> str:
+        if self.expert is None or not self.expert.log:
+            return ""
+        lines = ["## Expert decisions", ""]
+        rows = [
+            [i.kind, i.question, i.answer] for i in self.expert.log
+        ]
+        lines.append("```")
+        lines.append(format_table(["kind", "question", "answer"], rows))
+        lines.append("```")
+        return "\n".join(lines)
+
+    def _cost_section(self) -> str:
+        return "\n".join(
+            [
+                "## Costs",
+                "",
+                f"- extension queries: {self.result.extension_queries}",
+                f"- expert decisions: {self.result.expert_decisions}",
+            ]
+        )
+
+
+def session_report(
+    result: PipelineResult,
+    expert: Optional[RecordingExpert] = None,
+    title: str = "Database reverse-engineering session",
+) -> str:
+    """One-shot convenience: the Markdown report of *result*."""
+    return SessionReport(result, expert, title).to_markdown()

@@ -1,0 +1,210 @@
+"""RHS-Discovery (§6.2.2): finding the right-hand sides of candidate FDs.
+
+For each candidate identifier ``R_i.A`` in ``LHS ∪ H``:
+
+1. *prune the candidates*: ``T = X_i - A - K_i`` (keys are dropped — only
+   3NF is targeted), and when ``A`` is nullable (``A ∉ N``) every not-null
+   attribute is dropped too — a nullable determinant cannot functionally
+   account for a mandatory attribute;
+2. *test each survivor* ``b ∈ T`` against the extension; on failure the
+   expert may still enforce ``A -> b`` (dirty-data override, step ii);
+3. *classify*: a non-empty right-hand side ``B``, once validated by the
+   expert, yields ``R_i : A -> B`` in ``F`` (and leaves ``H`` if it was
+   there); an empty one makes ``R_i.A`` a *hidden object* candidate the
+   expert may conceptualize into ``H`` (steps iv/v).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.expert import Expert, FDContext
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.inference import satisfaction_ratio, violation_witnesses
+from repro.relational.attribute import AttributeRef
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """Audit record of one ``R_i.A`` processed by RHS-Discovery."""
+
+    ref: AttributeRef
+    candidates: Tuple[str, ...]        # T after pruning
+    pruned_keys: Tuple[str, ...]       # removed because they are key attrs
+    pruned_not_null: Tuple[str, ...]   # removed by the nullable-LHS rule
+    accepted: Tuple[str, ...]          # B
+    enforced: Tuple[str, ...]          # subset of B the expert forced
+    action: str                        # "fd" | "hidden" | "ignored" | "kept-hidden" | "rejected"
+
+
+@dataclass
+class RHSDiscoveryResult:
+    """The sets ``F`` and (final) ``H``."""
+
+    fds: List[FunctionalDependency] = field(default_factory=list)
+    hidden: List[AttributeRef] = field(default_factory=list)
+    outcomes: List[CandidateOutcome] = field(default_factory=list)
+
+    def add_fd(self, fd: FunctionalDependency) -> None:
+        if fd not in self.fds:
+            self.fds.append(fd)
+            self.fds.sort(key=lambda f: f.sort_key())
+
+    def add_hidden(self, ref: AttributeRef) -> None:
+        if ref not in self.hidden:
+            self.hidden.append(ref)
+            self.hidden.sort(key=lambda r: r.sort_key())
+
+    def remove_hidden(self, ref: AttributeRef) -> None:
+        if ref in self.hidden:
+            self.hidden.remove(ref)
+
+    def __repr__(self) -> str:
+        return f"RHSDiscoveryResult(F={self.fds}, H={self.hidden})"
+
+
+class RHSDiscovery:
+    """Runs RHS-Discovery against one database.
+
+    The two pruning rules of the algorithm's first step can be disabled
+    individually (*prune_keys*, *prune_not_null*) — used by the ablation
+    benchmarks to measure what each rule saves; production runs keep
+    both on, as the paper specifies.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        expert: Optional[Expert] = None,
+        prune_keys: bool = True,
+        prune_not_null: bool = True,
+    ) -> None:
+        self.database = database
+        self.expert = expert or Expert()
+        self.prune_keys = prune_keys
+        self.prune_not_null = prune_not_null
+
+    def run(
+        self,
+        lhs: Sequence[AttributeRef],
+        hidden: Sequence[AttributeRef],
+    ) -> RHSDiscoveryResult:
+        result = RHSDiscoveryResult()
+        hidden_set = {h for h in hidden}
+        for ref in hidden:
+            result.add_hidden(ref)
+        ordered = sorted(set(lhs) | hidden_set, key=lambda r: r.sort_key())
+        for ref in ordered:
+            self._process(ref, ref in hidden_set, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _not_null_names(self, relation: str) -> Set[str]:
+        """Attributes of *relation* in the paper's set ``N``."""
+        schema = self.database.schema.relation(relation)
+        names = {a.name for a in schema.attributes if not a.nullable}
+        for u in schema.uniques:
+            names |= set(u.attributes)
+        return names
+
+    def _process(
+        self, ref: AttributeRef, in_hidden: bool, result: RHSDiscoveryResult
+    ) -> None:
+        relation = self.database.schema.relation(ref.relation)
+        a_names = tuple(ref.attributes)
+
+        # T = X_i - A - K_i  (every declared key's attributes are pruned)
+        key_attrs: Set[str] = (
+            {a for u in relation.uniques for a in u.attributes}
+            if self.prune_keys
+            else set()
+        )
+        pruned_keys: List[str] = []
+        candidates: List[str] = []
+        for name in relation.attribute_names:
+            if name in ref.attributes:
+                continue
+            if name in key_attrs:
+                pruned_keys.append(name)
+            else:
+                candidates.append(name)
+
+        # if A ∉ N then T = T - (N ∩ X_i)
+        not_null = self._not_null_names(ref.relation)
+        pruned_not_null: List[str] = []
+        if self.prune_not_null and not set(ref.attributes) <= not_null:
+            kept = []
+            for name in candidates:
+                if name in not_null:
+                    pruned_not_null.append(name)
+                else:
+                    kept.append(name)
+            candidates = kept
+
+        # test each candidate; the expert may enforce failures
+        accepted: List[str] = []
+        enforced: List[str] = []
+        table = self.database.table(ref.relation)
+        for name in candidates:
+            if self.database.fd_holds(ref.relation, a_names, (name,)):       # (i)
+                accepted.append(name)
+            else:                                                            # (ii)
+                fd = FunctionalDependency(ref.relation, a_names, (name,))
+                context = FDContext(
+                    fd,
+                    satisfaction_ratio(table, fd),
+                    tuple(
+                        f"{a!r} / {b!r}"
+                        for a, b in violation_witnesses(table, fd, limit=3)
+                    ),
+                )
+                if self.expert.enforce_fd(context):
+                    accepted.append(name)
+                    enforced.append(name)
+
+        if accepted:                                                         # (iii)
+            fd = FunctionalDependency(ref.relation, a_names, tuple(accepted))
+            if self.expert.validate_fd(fd):
+                result.add_fd(fd)
+                result.remove_hidden(ref)
+                action = "fd"
+            else:
+                # the expert rejected the presumption; treat as empty RHS
+                action = self._handle_empty(ref, in_hidden, result)
+                action = "rejected" if action == "ignored" else action
+        else:
+            action = self._handle_empty(ref, in_hidden, result)
+
+        result.outcomes.append(
+            CandidateOutcome(
+                ref=ref,
+                candidates=tuple(candidates),
+                pruned_keys=tuple(pruned_keys),
+                pruned_not_null=tuple(pruned_not_null),
+                accepted=tuple(accepted),
+                enforced=tuple(enforced),
+                action=action,
+            )
+        )
+
+    def _handle_empty(
+        self, ref: AttributeRef, in_hidden: bool, result: RHSDiscoveryResult
+    ) -> str:
+        if in_hidden:
+            return "kept-hidden"          # already conceptualized, stays in H
+        if self.expert.conceptualize_hidden_object(ref):                    # (iv)
+            result.add_hidden(ref)
+            return "hidden"
+        return "ignored"                                                    # (v)
+
+
+def discover_rhs(
+    database: Database,
+    lhs: Sequence[AttributeRef],
+    hidden: Sequence[AttributeRef],
+    expert: Optional[Expert] = None,
+) -> RHSDiscoveryResult:
+    """One-shot convenience wrapper around :class:`RHSDiscovery`."""
+    return RHSDiscovery(database, expert).run(lhs, hidden)

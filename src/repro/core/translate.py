@@ -1,0 +1,256 @@
+"""Translate (§7): the restructured 3NF schema as an EER schema.
+
+The paper sketches three rules over the referential integrity
+constraints ``R_l[A_l] ≪ R_k[A_k]``:
+
+a) ``A_l`` is the *whole key* of ``R_l`` — an **is-a link** from ``R_l``
+   to ``R_k`` (e.g. ``Employee[no] ≪ Person[id]``);
+b) the key-covering left-hand sides of ``R_l``'s constraints **partition
+   its key** (two or more parts) — ``R_l`` becomes an n-ary
+   (many-to-many) **relationship-type** among the referenced entities,
+   its non-key attributes riding along (``Assignment``); a *partial*
+   cover instead makes ``R_l`` a **weak entity-type** of the referenced
+   owners, the uncovered key attributes forming the discriminator
+   (``HEmployee``);
+c) ``A_l`` is **not in the key** — a binary (many-to-one)
+   **relationship-type** between ``R_l`` and ``R_k``
+   (``Department[emp] ≪ Manager[emp]``).
+
+Cyclic inclusion dependencies are out of the paper's scope (and ours);
+:meth:`Translate.run` validates the result, so a cycle of is-a links
+raises instead of silently producing nonsense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dependencies.ind import InclusionDependency
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+from repro.relational.schema import DatabaseSchema
+from repro.util.naming import unique_name
+
+
+@dataclass
+class TranslationNotes:
+    """Audit trail of the rule applied to each relation / constraint."""
+
+    entries: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        self.entries.append(text)
+
+
+class Translate:
+    """Maps a restructured relational schema + RIC to an EER schema."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.notes = TranslationNotes()
+
+    def run(self, ric: Sequence[InclusionDependency]) -> EERSchema:
+        eer = EERSchema()
+        ric = sorted(set(ric), key=lambda i: i.sort_key())
+        by_lhs: Dict[str, List[InclusionDependency]] = {}
+        for ind in ric:
+            by_lhs.setdefault(ind.lhs_relation, []).append(ind)
+
+        # classify each relation: which become relationship-types?
+        relationship_relations: Dict[str, List[InclusionDependency]] = {}
+        weak_relations: Dict[str, List[InclusionDependency]] = {}
+        for rel in self.schema:
+            key = rel.primary_key()
+            if key is None:
+                continue
+            covering = [
+                ind
+                for ind in by_lhs.get(rel.name, [])
+                if set(ind.lhs_attrs) <= set(key.names)
+            ]
+            parts = self._dedupe_parts(covering)
+            if not parts:
+                continue
+            covered: Set[str] = set()
+            disjoint = True
+            for part in parts:
+                if covered & part:
+                    disjoint = False
+                covered |= part
+            if (
+                disjoint
+                and covered == set(key.names)
+                and len(parts) >= 2
+            ):
+                relationship_relations[rel.name] = covering
+            elif covered < set(key.names) or not disjoint:
+                if any(set(ind.lhs_attrs) == set(key.names) for ind in covering):
+                    continue  # whole-key references: pure is-a, rule (a)
+                weak_relations[rel.name] = covering
+
+        # pass 1: entity-types for every relation that is not a relationship
+        for rel in self.schema:
+            if rel.name in relationship_relations:
+                continue
+            key = rel.primary_key()
+            if rel.name in weak_relations:
+                owners = tuple(
+                    sorted({i.rhs_relation for i in weak_relations[rel.name]})
+                )
+                covered = {
+                    a for i in weak_relations[rel.name] for a in i.lhs_attrs
+                }
+                discriminator = tuple(
+                    a for a in (key.names if key else ()) if a not in covered
+                )
+                eer.add_entity(
+                    EntityType(
+                        rel.name,
+                        attributes=rel.attribute_names,
+                        key=key.names if key else (),
+                        weak=True,
+                        owners=owners,
+                        discriminator=discriminator,
+                    )
+                )
+                self.notes.note(
+                    f"{rel.name}: weak entity-type of {', '.join(owners)} "
+                    f"(discriminator {discriminator})"
+                )
+            else:
+                eer.add_entity(
+                    EntityType(
+                        rel.name,
+                        attributes=rel.attribute_names,
+                        key=key.names if key else (),
+                    )
+                )
+                self.notes.note(f"{rel.name}: entity-type")
+
+        # pass 2: n-ary relationship-types (rule b)
+        for name, covering in sorted(relationship_relations.items()):
+            rel = self.schema.relation(name)
+            key = rel.primary_key()
+            participants = []
+            for ind in covering:
+                if not eer.has_entity(ind.rhs_relation):
+                    self.notes.warnings.append(
+                        f"{name}: participant {ind.rhs_relation!r} is itself a "
+                        f"relationship-type; leg skipped"
+                    )
+                    continue
+                participants.append(
+                    Participation(
+                        ind.rhs_relation,
+                        cardinality="N",
+                        via=ind.lhs_attrs,
+                    )
+                )
+            if len(participants) < 2:
+                # cannot form a relationship after skips: degrade to entity
+                eer.add_entity(
+                    EntityType(name, rel.attribute_names, key.names if key else ())
+                )
+                self.notes.warnings.append(
+                    f"{name}: degraded to entity-type (insufficient participants)"
+                )
+                continue
+            extra = tuple(
+                a for a in rel.attribute_names if key is None or a not in key.names
+            )
+            eer.add_relationship(
+                RelationshipType(name, tuple(participants), attributes=extra)
+            )
+            self.notes.note(
+                f"{name}: {len(participants)}-ary relationship-type among "
+                f"{', '.join(p.entity for p in participants)}"
+            )
+
+        # pass 3: is-a links (rule a) and binary relationships (rule c)
+        for ind in ric:
+            if ind.lhs_relation in relationship_relations:
+                continue  # consumed by rule (b)
+            rel = self.schema.relation(ind.lhs_relation)
+            key = rel.primary_key()
+            lhs_set = set(ind.lhs_attrs)
+            if key is not None and lhs_set == set(key.names):
+                if eer.has_entity(ind.lhs_relation) and eer.has_entity(ind.rhs_relation):
+                    # cyclic inclusion dependencies are outside the
+                    # paper's Translate sketch ("the treatment of cyclic
+                    # inclusion dependencies is not considered here");
+                    # mutual inclusions arise routinely from equal value
+                    # sets, so skip any link that would close a cycle
+                    # instead of producing an invalid schema
+                    if self._reaches(eer, ind.rhs_relation, ind.lhs_relation):
+                        self.notes.warnings.append(
+                            f"{ind!r}: is-a link would close a cycle; skipped "
+                            f"(cyclic INDs are out of the paper's scope)"
+                        )
+                    else:
+                        eer.add_isa(ind.lhs_relation, ind.rhs_relation)
+                        self.notes.note(f"{ind!r}: is-a link")
+                else:
+                    self.notes.warnings.append(
+                        f"{ind!r}: is-a endpoints are not both entities; skipped"
+                    )
+                continue
+            if key is not None and lhs_set <= set(key.names):
+                continue  # consumed by the weak-entity classification
+            # rule (c): non-key left-hand side
+            if not (eer.has_entity(ind.lhs_relation) and eer.has_entity(ind.rhs_relation)):
+                self.notes.warnings.append(
+                    f"{ind!r}: binary-relationship endpoints are not both "
+                    f"entities; skipped"
+                )
+                continue
+            taken = tuple(
+                [e.name for e in eer.entities] + [r.name for r in eer.relationships]
+            )
+            rel_name = unique_name(
+                f"{ind.lhs_relation}-{ind.rhs_relation}", taken
+            )
+            eer.add_relationship(
+                RelationshipType(
+                    rel_name,
+                    (
+                        Participation(ind.lhs_relation, "N", via=ind.lhs_attrs),
+                        Participation(ind.rhs_relation, "1", via=ind.rhs_attrs),
+                    ),
+                )
+            )
+            self.notes.note(f"{ind!r}: binary relationship-type {rel_name}")
+
+        eer.validate()
+        return eer
+
+    @staticmethod
+    def _reaches(eer: EERSchema, start: str, goal: str) -> bool:
+        """Is *goal* reachable from *start* along existing is-a links?"""
+        frontier = [start]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(eer.supertypes(node))
+        return False
+
+    @staticmethod
+    def _dedupe_parts(covering: Sequence[InclusionDependency]) -> List[Set[str]]:
+        parts: List[Set[str]] = []
+        for ind in covering:
+            s = set(ind.lhs_attrs)
+            if s not in parts:
+                parts.append(s)
+        return parts
+
+
+def translate(
+    schema: DatabaseSchema, ric: Sequence[InclusionDependency]
+) -> EERSchema:
+    """One-shot convenience wrapper around :class:`Translate`."""
+    return Translate(schema).run(ric)

@@ -1,0 +1,45 @@
+"""Dependency theory: functional and inclusion dependencies.
+
+Value objects (:class:`FunctionalDependency`, :class:`InclusionDependency`),
+classical inference (attribute closure, Armstrong implication, minimal
+cover, candidate keys), satisfaction tests against extensions, and the
+discovery primitives the baselines build on.
+"""
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.dependencies.closure import (
+    attribute_closure,
+    implies,
+    equivalent_covers,
+    minimal_cover,
+)
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+from repro.dependencies.inference import (
+    fd_satisfied,
+    fds_satisfied,
+    violating_fds,
+)
+from repro.dependencies.ind_inference import (
+    ind_satisfied,
+    ind_implies,
+    transitive_closure_inds,
+)
+
+__all__ = [
+    "FunctionalDependency",
+    "InclusionDependency",
+    "attribute_closure",
+    "implies",
+    "equivalent_covers",
+    "minimal_cover",
+    "candidate_keys",
+    "is_superkey",
+    "prime_attributes",
+    "fd_satisfied",
+    "fds_satisfied",
+    "violating_fds",
+    "ind_satisfied",
+    "ind_implies",
+    "transitive_closure_inds",
+]

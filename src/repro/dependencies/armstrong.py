@@ -1,0 +1,114 @@
+"""Armstrong relations: extensions satisfying *exactly* a given FD set.
+
+Mannila and Räihä (the paper's ref. [12]) study inferring FDs from
+relations; the inverse tool is the Armstrong relation — an extension
+that satisfies every dependency implied by a cover ``F`` and violates
+every dependency not implied by it.  The classical construction is used
+here: one base tuple, plus one tuple per *closed* attribute set ``X``
+(``X⁺ = X``) agreeing with the base exactly on ``X``.
+
+- a dependency ``Y → b`` with ``b ∈ Y⁺`` holds: every closed set
+  containing ``Y`` contains ``b``;
+- a dependency with ``b ∉ Y⁺`` is violated by the tuple of the closed
+  set ``Y⁺`` (it agrees with the base on ``Y`` but not on ``b``).
+
+Enumeration of closed sets is exponential in the number of attributes —
+inherent to the problem — so the builder enforces a size cap; the test
+generators stay well under it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FunctionalDependency
+from repro.exceptions import ProcessError
+from repro.relational.attribute import Attribute
+from repro.relational.domain import INTEGER
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+MAX_ATTRIBUTES = 14
+
+
+def closed_sets(
+    universe: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    """All closed attribute sets (``X⁺ = X``) over *universe*.
+
+    Computed as the distinct closures of all subsets — every closure is
+    closed, and every closed set is its own closure.
+    """
+    universe = list(dict.fromkeys(universe))
+    if len(universe) > MAX_ATTRIBUTES:
+        raise ProcessError(
+            f"closed-set enumeration over {len(universe)} attributes "
+            f"exceeds the cap ({MAX_ATTRIBUTES})"
+        )
+    out: Set[FrozenSet[str]] = set()
+    for size in range(len(universe) + 1):
+        for combo in combinations(universe, size):
+            out.add(attribute_closure(combo, fds))
+    return sorted(out, key=lambda s: (len(s), sorted(s)))
+
+
+def build_armstrong_table(
+    universe: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    relation_name: str = "armstrong",
+) -> Table:
+    """An extension of *universe* satisfying exactly ``F⁺``.
+
+    Values are small integers: the base tuple is all-zero; the tuple of
+    closed set ``X`` carries a fresh value on every attribute outside
+    ``X``.
+    """
+    universe = list(dict.fromkeys(universe))
+    schema = RelationSchema(
+        relation_name,
+        [Attribute(a, INTEGER, nullable=False) for a in universe],
+    )
+    table = Table(schema)
+    table.insert([0] * len(universe))
+    fresh = 0
+    for closed in closed_sets(universe, fds):
+        if len(closed) == len(universe):
+            continue  # agrees everywhere: duplicate of the base tuple
+        row = []
+        for attr in universe:
+            if attr in closed:
+                row.append(0)
+            else:
+                fresh += 1
+                row.append(fresh)
+        table.insert(row)
+    return table
+
+
+def satisfies_exactly(
+    table: Table,
+    universe: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Check the Armstrong property of *table* w.r.t. *fds*.
+
+    Every unary-RHS dependency over *universe* must hold iff it is
+    implied by *fds*.  Exponential in ``|universe|``; a test helper.
+    """
+    from repro.relational.algebra import functional_maps
+
+    universe = list(dict.fromkeys(universe))
+    n = len(universe)
+    for size in range(1, n):
+        for lhs in combinations(universe, size):
+            closure = attribute_closure(lhs, fds)
+            for target in universe:
+                if target in lhs:
+                    continue
+                expected = target in closure
+                actual = functional_maps(table, lhs, (target,))
+                if expected != actual:
+                    return False
+    return True

@@ -1,0 +1,121 @@
+"""Classical FD inference: closure, implication, minimal cover.
+
+These are the textbook algorithms (Ullman; Maier) the normalization
+substrate needs: attribute-set closure under a set of FDs, logical
+implication, and minimal (canonical) covers used by the Bernstein 3NF
+synthesis baseline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.relational.attribute import AttributeSet
+
+
+def attribute_closure(
+    attrs: Iterable[str], fds: Sequence[FunctionalDependency]
+) -> FrozenSet[str]:
+    """``attrs+`` — the closure of *attrs* under *fds*.
+
+    Standard fixpoint; relation qualifiers on the FDs are ignored (closure
+    is computed within one attribute universe).
+    """
+    closure: Set[str] = set(attrs)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= closure and not set(fd.rhs) <= closure:
+                closure |= set(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(
+    fds: Sequence[FunctionalDependency], fd: FunctionalDependency
+) -> bool:
+    """True when *fds* logically imply *fd* (Armstrong-complete test)."""
+    return set(fd.rhs) <= attribute_closure(fd.lhs, fds)
+
+
+def equivalent_covers(
+    left: Sequence[FunctionalDependency], right: Sequence[FunctionalDependency]
+) -> bool:
+    """True when the two FD sets imply each other."""
+    return all(implies(right, fd) for fd in left) and all(
+        implies(left, fd) for fd in right
+    )
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> List[FunctionalDependency]:
+    """A minimal (canonical) cover of *fds*.
+
+    Three classical phases: split right-hand sides to singletons, remove
+    extraneous left-hand attributes, remove redundant dependencies.  The
+    result is deterministic for a given input order modulo the final sort.
+    """
+    # 1. singleton right-hand sides
+    work: List[FunctionalDependency] = []
+    for fd in fds:
+        for part in fd.split_rhs():
+            if not part.is_trivial() and part not in work:
+                work.append(part)
+
+    # 2. remove extraneous LHS attributes
+    reduced: List[FunctionalDependency] = []
+    for fd in work:
+        lhs = list(fd.lhs)
+        for attr in list(lhs):
+            if len(lhs) == 1:
+                break
+            trial = [a for a in lhs if a != attr]
+            if set(fd.rhs) <= attribute_closure(trial, work):
+                lhs = trial
+        reduced.append(FunctionalDependency(fd.relation, lhs, tuple(fd.rhs)))
+
+    # 3. remove redundant FDs
+    result: List[FunctionalDependency] = list(dict.fromkeys(reduced))
+    changed = True
+    while changed:
+        changed = False
+        for fd in list(result):
+            others = [f for f in result if f is not fd]
+            if implies(others, fd):
+                result.remove(fd)
+                changed = True
+                break
+    return sorted(result, key=lambda f: f.sort_key())
+
+
+def project_fds(
+    fds: Sequence[FunctionalDependency], attrs: Iterable[str]
+) -> List[FunctionalDependency]:
+    """The FDs implied by *fds* that mention only *attrs*.
+
+    Exponential in ``|attrs|`` in the worst case (as the problem is); used
+    by the normalization substrate on small relation schemas only.
+    """
+    universe = list(dict.fromkeys(attrs))
+    out: List[FunctionalDependency] = []
+    n = len(universe)
+    for mask in range(1, 1 << n):
+        lhs = [universe[i] for i in range(n) if mask & (1 << i)]
+        closure = attribute_closure(lhs, fds)
+        rhs = [a for a in universe if a in closure and a not in lhs]
+        if rhs:
+            out.append(FunctionalDependency("", lhs, rhs))
+    return minimal_cover(out)
+
+
+def restrict_to_relation(
+    fds: Sequence[FunctionalDependency], relation: str, attrs: Iterable[str]
+) -> List[FunctionalDependency]:
+    """Re-qualify relation-less FDs over *attrs* onto *relation*."""
+    attr_set = AttributeSet(attrs)
+    out = []
+    for fd in fds:
+        if fd.lhs.issubset(attr_set) and fd.rhs.issubset(attr_set):
+            out.append(fd.with_relation(relation))
+    return out

@@ -1,0 +1,105 @@
+"""Functional dependencies ``R : Y -> Z``.
+
+The value object used everywhere a functional dependency appears: in the
+elicited set ``F``, in Restruct's split step, in the normalization
+substrate and in the ground truth of synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.attribute import AttributeRef, AttributeSet
+
+
+class FunctionalDependency:
+    """``R : lhs -> rhs`` over one relation.
+
+    *relation* may be empty for dependencies stated over a universal set of
+    attributes (the normalization substrate works relation-less).
+    """
+
+    __slots__ = ("relation", "lhs", "rhs")
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: Iterable[str],
+        rhs: Iterable[str],
+    ) -> None:
+        if isinstance(lhs, str):
+            lhs = (lhs,)
+        if isinstance(rhs, str):
+            rhs = (rhs,)
+        self.relation = relation
+        self.lhs = AttributeSet(lhs)
+        self.rhs = AttributeSet(rhs)
+        if not len(self.lhs):
+            raise SchemaError("functional dependency needs a non-empty left side")
+        if not len(self.rhs):
+            raise SchemaError("functional dependency needs a non-empty right side")
+
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse ``"R: a, b -> c, d"`` (relation part optional).
+
+        Mirrors the paper's written form, e.g.
+        ``"Department: emp -> skill, proj"``.
+        """
+        relation = ""
+        body = text
+        if ":" in text:
+            relation, body = text.split(":", 1)
+            relation = relation.strip()
+        if "->" not in body:
+            raise SchemaError(f"not a functional dependency: {text!r}")
+        left, right = body.split("->", 1)
+        lhs = [a.strip() for a in left.split(",") if a.strip()]
+        rhs = [a.strip() for a in right.split(",") if a.strip()]
+        return cls(relation, lhs, rhs)
+
+    def lhs_ref(self) -> AttributeRef:
+        return AttributeRef(self.relation, self.lhs)
+
+    def rhs_ref(self) -> AttributeRef:
+        return AttributeRef(self.relation, self.rhs)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self.lhs.union(self.rhs)
+
+    def is_trivial(self) -> bool:
+        """``Y -> Z`` with ``Z ⊆ Y`` holds vacuously."""
+        return self.rhs.issubset(self.lhs)
+
+    def split_rhs(self) -> Tuple["FunctionalDependency", ...]:
+        """Decompose ``Y -> a b`` into ``Y -> a``, ``Y -> b``."""
+        return tuple(
+            FunctionalDependency(self.relation, tuple(self.lhs), (a,))
+            for a in self.rhs
+        )
+
+    def with_relation(self, relation: str) -> "FunctionalDependency":
+        return FunctionalDependency(relation, tuple(self.lhs), tuple(self.rhs))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FunctionalDependency):
+            return (
+                other.relation == self.relation
+                and other.lhs == self.lhs
+                and other.rhs == self.rhs
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("FD", self.relation, self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        prefix = f"{self.relation}: " if self.relation else ""
+        return (
+            f"{prefix}{', '.join(self.lhs)} -> {', '.join(self.rhs)}"
+        )
+
+    def sort_key(self):
+        return (self.relation, self.lhs.sort_key(), self.rhs.sort_key())

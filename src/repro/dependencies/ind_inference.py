@@ -1,0 +1,111 @@
+"""Satisfaction and inference of inclusion dependencies.
+
+Satisfaction against the extension uses SQL foreign-key semantics
+(NULL-bearing left tuples are skipped).  The inference side implements the
+sound and complete axiomatization of INDs (Casanova-Fagin-Papadimitriou):
+reflexivity, projection-and-permutation, and transitivity — enough to
+deduplicate and close the sets Restruct manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.dependencies.ind import InclusionDependency
+from repro.relational.algebra import values_subset
+from repro.relational.database import Database
+
+
+def ind_satisfied(database: Database, ind: InclusionDependency) -> bool:
+    """True when ``lhs ⊆ rhs`` holds in the extension (instrumented)."""
+    return database.inclusion_holds(
+        ind.lhs_relation, ind.lhs_attrs, ind.rhs_relation, ind.rhs_attrs
+    )
+
+
+def inds_satisfied(database: Database, inds: Sequence[InclusionDependency]) -> bool:
+    return all(ind_satisfied(database, i) for i in inds)
+
+
+def violating_inds(
+    database: Database, inds: Sequence[InclusionDependency]
+) -> List[InclusionDependency]:
+    return [i for i in inds if not ind_satisfied(database, i)]
+
+
+def is_reflexive(ind: InclusionDependency) -> bool:
+    """``R[X] ≪ R[X]`` — trivially true."""
+    return (
+        ind.lhs_relation == ind.rhs_relation
+        and ind.lhs_attrs == ind.rhs_attrs
+    )
+
+
+def projections(ind: InclusionDependency) -> List[InclusionDependency]:
+    """All single-attribute projections implied by *ind*.
+
+    From ``R[a, b] ≪ S[x, y]`` follow ``R[a] ≪ S[x]`` and ``R[b] ≪ S[y]``.
+    Full subset/permutation enumeration is exponential; the unary
+    projections are what the method actually consumes.
+    """
+    return [
+        InclusionDependency(ind.lhs_relation, (la,), ind.rhs_relation, (ra,))
+        for la, ra in ind.pairs()
+        if len(ind.lhs_attrs) > 1
+    ]
+
+
+def compose(
+    first: InclusionDependency, second: InclusionDependency
+) -> InclusionDependency:
+    """Transitivity: from ``R[X] ≪ S[Y]`` and ``S[Y] ≪ T[Z]``, ``R[X] ≪ T[Z]``.
+
+    The middle sides must match as *paired* sequences; ``ValueError``
+    otherwise.
+    """
+    if (
+        first.rhs_relation != second.lhs_relation
+        or first.rhs_attrs != second.lhs_attrs
+    ):
+        raise ValueError(f"cannot compose {first!r} with {second!r}")
+    return InclusionDependency(
+        first.lhs_relation, first.lhs_attrs, second.rhs_relation, second.rhs_attrs
+    )
+
+
+def transitive_closure_inds(
+    inds: Iterable[InclusionDependency],
+) -> List[InclusionDependency]:
+    """Close *inds* under transitivity (reflexive elements dropped)."""
+    closed: Set[InclusionDependency] = {i for i in inds if not is_reflexive(i)}
+    changed = True
+    while changed:
+        changed = False
+        current = list(closed)
+        for a in current:
+            for b in current:
+                if (
+                    a.rhs_relation == b.lhs_relation
+                    and a.rhs_attrs == b.lhs_attrs
+                ):
+                    c = compose(a, b)
+                    if not is_reflexive(c) and c not in closed:
+                        closed.add(c)
+                        changed = True
+    return sorted(closed, key=lambda i: i.sort_key())
+
+
+def ind_implies(
+    inds: Sequence[InclusionDependency], target: InclusionDependency
+) -> bool:
+    """Does *inds* imply *target* under reflexivity + transitivity?
+
+    Projection/permutation is applied on the given dependencies first, so
+    a unary target can be derived from composite givens.
+    """
+    if is_reflexive(target):
+        return True
+    pool: Set[InclusionDependency] = set(inds)
+    for ind in list(pool):
+        pool.update(projections(ind))
+    return target in set(transitive_closure_inds(pool)) or target in pool

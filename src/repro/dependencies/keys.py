@@ -1,0 +1,73 @@
+"""Candidate-key computation from a set of functional dependencies.
+
+Used by the normalization substrate (2NF/3NF tests need prime attributes)
+and by the evaluation layer to verify that Restruct's output is in 3NF.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FunctionalDependency
+
+
+def is_superkey(
+    attrs: Iterable[str],
+    universe: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """True when ``attrs+`` covers the whole *universe*."""
+    return set(universe) <= attribute_closure(attrs, fds)
+
+
+def candidate_keys(
+    universe: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    limit: int = 64,
+) -> List[FrozenSet[str]]:
+    """All candidate keys of a relation with attributes *universe*.
+
+    Classical pruning: attributes appearing in no RHS must be in every key;
+    the search then grows subsets of the remaining attributes by size, so
+    only minimal keys are emitted.  *limit* caps the number of keys for
+    pathological inputs.
+    """
+    universe = list(dict.fromkeys(universe))
+    rhs_attrs: Set[str] = set()
+    lhs_attrs: Set[str] = set()
+    for fd in fds:
+        rhs_attrs |= set(fd.rhs)
+        lhs_attrs |= set(fd.lhs)
+    core = [a for a in universe if a not in rhs_attrs]  # in every key
+    optional = [a for a in universe if a in rhs_attrs and a in lhs_attrs]
+
+    keys: List[FrozenSet[str]] = []
+    if is_superkey(core, universe, fds):
+        return [frozenset(core)]
+    for size in range(1, len(optional) + 1):
+        for combo in combinations(optional, size):
+            candidate = frozenset(core) | frozenset(combo)
+            if any(k <= candidate for k in keys):
+                continue
+            if is_superkey(candidate, universe, fds):
+                keys.append(candidate)
+                if len(keys) >= limit:
+                    return sorted(keys, key=sorted)
+        if keys and size > max(len(k) for k in keys) - len(core):
+            # every longer combo is a strict superset of a found key
+            break
+    if not keys:
+        keys.append(frozenset(universe))
+    return sorted(keys, key=sorted)
+
+
+def prime_attributes(
+    universe: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> FrozenSet[str]:
+    """Attributes belonging to at least one candidate key."""
+    out: Set[str] = set()
+    for key in candidate_keys(universe, fds):
+        out |= key
+    return frozenset(out)

@@ -1,0 +1,38 @@
+"""The Extended Entity-Relationship target model.
+
+The paper's Translate step maps the restructured 3NF relational schema
+into "the ER model extended to the Specialization/Generalization of
+object-types".  This package provides the model
+(:mod:`repro.eer.model`), DOT and ASCII renderings
+(:mod:`repro.eer.dot`, :mod:`repro.eer.render`) and structural
+comparison for evaluation (:mod:`repro.eer.compare`).
+"""
+
+from repro.eer.model import (
+    EntityType,
+    RelationshipType,
+    Participation,
+    IsALink,
+    EERSchema,
+)
+from repro.eer.dot import to_dot
+from repro.eer.forward import eer_to_relational
+from repro.eer.refine import refine_cardinalities
+from repro.eer.render import render_text
+from repro.eer.compare import schema_signature, schemas_equivalent, SchemaDiff, diff_schemas
+
+__all__ = [
+    "EntityType",
+    "RelationshipType",
+    "Participation",
+    "IsALink",
+    "EERSchema",
+    "to_dot",
+    "eer_to_relational",
+    "refine_cardinalities",
+    "render_text",
+    "schema_signature",
+    "schemas_equivalent",
+    "SchemaDiff",
+    "diff_schemas",
+]

@@ -1,0 +1,115 @@
+"""Structural comparison of EER schemas.
+
+Evaluation needs to decide whether a recovered conceptual schema matches
+a ground-truth one.  Names of relationship-types invented during
+translation are not meaningful, so comparison works on *signatures*:
+entity names (with weak flags and owner sets), is-a pairs, and
+relationship legs as multisets of (participant entity, cardinality)
+tuples with their attribute payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.eer.model import EERSchema
+
+EntitySig = Tuple[str, bool, FrozenSet[str]]
+RelSig = Tuple[FrozenSet[Tuple[str, str]], FrozenSet[str]]
+IsaSig = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SchemaSignature:
+    """Name-insensitive (for relationships) structural fingerprint."""
+
+    entities: FrozenSet[EntitySig]
+    relationships: Tuple[RelSig, ...]      # sorted multiset
+    isa: FrozenSet[IsaSig]
+
+
+def schema_signature(schema: EERSchema) -> SchemaSignature:
+    """Compute the structural fingerprint used for equivalence tests."""
+    entities = frozenset(
+        (e.name, e.weak, frozenset(e.owners)) for e in schema.entities
+    )
+    rels: List[RelSig] = []
+    for r in schema.relationships:
+        legs = frozenset((p.entity, p.cardinality) for p in r.participants)
+        rels.append((legs, frozenset(r.attributes)))
+    isa = frozenset((l.sub, l.sup) for l in schema.isa_links)
+    return SchemaSignature(entities, tuple(sorted(rels, key=repr)), isa)
+
+
+def schemas_equivalent(left: EERSchema, right: EERSchema) -> bool:
+    """True when the two schemas have identical signatures."""
+    return schema_signature(left) == schema_signature(right)
+
+
+@dataclass
+class SchemaDiff:
+    """Human-readable differences between two EER schemas."""
+
+    missing_entities: List[str] = field(default_factory=list)
+    extra_entities: List[str] = field(default_factory=list)
+    missing_isa: List[str] = field(default_factory=list)
+    extra_isa: List[str] = field(default_factory=list)
+    missing_relationships: List[str] = field(default_factory=list)
+    extra_relationships: List[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not any(
+            (
+                self.missing_entities,
+                self.extra_entities,
+                self.missing_isa,
+                self.extra_isa,
+                self.missing_relationships,
+                self.extra_relationships,
+            )
+        )
+
+    def summary(self) -> str:
+        if self.is_empty():
+            return "schemas are structurally equivalent"
+        parts = []
+        for label, items in (
+            ("missing entities", self.missing_entities),
+            ("extra entities", self.extra_entities),
+            ("missing is-a", self.missing_isa),
+            ("extra is-a", self.extra_isa),
+            ("missing relationships", self.missing_relationships),
+            ("extra relationships", self.extra_relationships),
+        ):
+            if items:
+                parts.append(f"{label}: {', '.join(items)}")
+        return "; ".join(parts)
+
+
+def diff_schemas(expected: EERSchema, actual: EERSchema) -> SchemaDiff:
+    """What *actual* lacks or adds relative to *expected*."""
+    exp = schema_signature(expected)
+    act = schema_signature(actual)
+    diff = SchemaDiff()
+    diff.missing_entities = sorted(e[0] for e in exp.entities - act.entities)
+    diff.extra_entities = sorted(e[0] for e in act.entities - exp.entities)
+    diff.missing_isa = sorted(f"{s} is-a {p}" for s, p in exp.isa - act.isa)
+    diff.extra_isa = sorted(f"{s} is-a {p}" for s, p in act.isa - exp.isa)
+
+    exp_rels = list(exp.relationships)
+    act_rels = list(act.relationships)
+    for sig in list(exp_rels):
+        if sig in act_rels:
+            exp_rels.remove(sig)
+            act_rels.remove(sig)
+
+    def describe(sig: RelSig) -> str:
+        legs, attrs = sig
+        legs_text = ", ".join(f"{e}:{c}" for e, c in sorted(legs))
+        attr_text = f" [{', '.join(sorted(attrs))}]" if attrs else ""
+        return f"({legs_text}){attr_text}"
+
+    diff.missing_relationships = [describe(s) for s in exp_rels]
+    diff.extra_relationships = [describe(s) for s in act_rels]
+    return diff

@@ -1,0 +1,65 @@
+"""Graphviz DOT export of EER schemas — Figure-1-style diagrams.
+
+Follows the paper's drawing conventions: entity-types as rectangles,
+relationship-types as diamonds, weak entity-types as double boxes, and
+is-a links as arrows (labelled ``is-a``; DOT has no double-headed arrow,
+so the label carries the semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eer.model import EERSchema
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(schema: EERSchema, graph_name: str = "EER") -> str:
+    """Render *schema* as a Graphviz ``graph`` (undirected except is-a)."""
+    lines: List[str] = [f"graph {_quote(graph_name)} {{"]
+    lines.append("  rankdir=BT;")
+    lines.append("  node [fontsize=10];")
+
+    for entity in schema.entities:
+        shape = "box"
+        peripheries = 2 if entity.weak else 1
+        label = entity.name
+        if entity.attributes:
+            label += "\\n(" + ", ".join(entity.attributes) + ")"
+        lines.append(
+            f"  {_quote(entity.name)} [shape={shape}, "
+            f"peripheries={peripheries}, label={_quote(label)}];"
+        )
+
+    for rel in schema.relationships:
+        label = rel.name
+        if rel.attributes:
+            label += "\\n(" + ", ".join(rel.attributes) + ")"
+        lines.append(
+            f"  {_quote(rel.name)} [shape=diamond, label={_quote(label)}];"
+        )
+        for p in rel.participants:
+            lines.append(
+                f"  {_quote(rel.name)} -- {_quote(p.entity)} "
+                f"[label={_quote(p.cardinality)}];"
+            )
+
+    for entity in schema.entities:
+        if entity.weak:
+            for owner in entity.owners:
+                lines.append(
+                    f"  {_quote(entity.name)} -- {_quote(owner)} "
+                    f'[style=dashed, label="identifies"];'
+                )
+
+    for link in schema.isa_links:
+        lines.append(
+            f"  {_quote(link.sub)} -- {_quote(link.sup)} "
+            f'[dir=forward, arrowhead=normalnormal, label="is-a"];'
+        )
+
+    lines.append("}")
+    return "\n".join(lines)

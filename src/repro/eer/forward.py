@@ -1,0 +1,179 @@
+"""Forward engineering: EER schema → relational schema + constraints.
+
+The inverse of the paper's Translate step, in the Markowitz–Shoshani
+tradition: entity-types become relations keyed by their identifiers,
+weak entity-types carry their owners' keys plus the discriminator,
+relationship-types become relations keyed by the union of the
+participants' foreign keys (n-ary) or foreign-key attributes in the
+N-side (binary many-to-one), and is-a links become key-based inclusion
+dependencies.
+
+Round-trip property (asserted by the tests): for a schema produced by
+Restruct + Translate, ``eer_to_relational(translate(S, RIC))`` recovers
+``(S, RIC)`` up to attribute types — the two mappings are inverse on the
+method's output space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dependencies.ind import InclusionDependency
+from repro.eer.model import EERSchema, EntityType, RelationshipType
+from repro.exceptions import SchemaError
+from repro.relational.attribute import Attribute
+from repro.relational.domain import TEXT
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def eer_to_relational(
+    eer: EERSchema,
+) -> Tuple[DatabaseSchema, List[InclusionDependency]]:
+    """Map *eer* to a relational schema and its referential constraints."""
+    eer.validate()
+    schema = DatabaseSchema()
+    ric: List[InclusionDependency] = []
+
+    for entity in eer.entities:
+        schema.add(_entity_relation(entity))
+
+    for entity in eer.entities:
+        if entity.weak:
+            ric.extend(_weak_entity_rics(entity, eer))
+
+    for link in eer.isa_links:
+        ric.append(_isa_ric(link.sub, link.sup, eer))
+
+    for rel in eer.relationships:
+        if rel.is_many_to_many():
+            schema.add(_relationship_relation(rel, eer))
+            ric.extend(_relationship_rics(rel, eer))
+        else:
+            ric.extend(_binary_rics(rel, eer))
+
+    return schema, sorted(set(ric), key=lambda i: i.sort_key())
+
+
+# ----------------------------------------------------------------------
+def _entity_relation(entity: EntityType) -> RelationSchema:
+    if not entity.attributes:
+        raise SchemaError(f"entity {entity.name!r} has no attributes to map")
+    if not entity.key:
+        raise SchemaError(f"entity {entity.name!r} has no key to map")
+    relation = RelationSchema(
+        entity.name,
+        [Attribute(a, TEXT, nullable=a not in entity.key)
+         for a in entity.attributes],
+    )
+    relation.declare_unique(entity.key)
+    return relation
+
+
+def _weak_entity_rics(
+    entity: EntityType, eer: EERSchema
+) -> List[InclusionDependency]:
+    """The owner references of a weak entity-type.
+
+    The covered key part (key minus discriminator) references the
+    owner's key.  Multiple owners are matched greedily in owner order by
+    arity — exact for Translate's output, where each owner contributed a
+    distinct contiguous part.
+    """
+    covered = [a for a in entity.key if a not in entity.discriminator]
+    out: List[InclusionDependency] = []
+    position = 0
+    for owner_name in entity.owners:
+        owner = eer.entity(owner_name)
+        arity = len(owner.key)
+        part = covered[position : position + arity]
+        if len(part) != arity:
+            raise SchemaError(
+                f"weak entity {entity.name!r}: covered key does not match "
+                f"owner {owner_name!r}"
+            )
+        position += arity
+        out.append(
+            InclusionDependency(entity.name, part, owner_name, owner.key)
+        )
+    return out
+
+
+def _isa_ric(sub: str, sup: str, eer: EERSchema) -> InclusionDependency:
+    sub_key = eer.entity(sub).key
+    sup_key = eer.entity(sup).key
+    if len(sub_key) != len(sup_key):
+        raise SchemaError(
+            f"is-a {sub} -> {sup}: key arities differ "
+            f"({sub_key} vs {sup_key})"
+        )
+    return InclusionDependency(sub, sub_key, sup, sup_key)
+
+
+def _leg_attributes(rel: RelationshipType, eer: EERSchema) -> List[Tuple[str, Tuple[str, ...]]]:
+    """(entity, local fk attrs) per leg; Translate recorded them as via."""
+    legs = []
+    for participation in rel.participants:
+        owner = eer.entity(participation.entity)
+        local = participation.via or owner.key
+        if len(local) != len(owner.key):
+            raise SchemaError(
+                f"relationship {rel.name!r}: leg to {owner.name!r} has "
+                f"arity {len(local)}, owner key has {len(owner.key)}"
+            )
+        legs.append((participation.entity, tuple(local)))
+    return legs
+
+
+def _relationship_relation(
+    rel: RelationshipType, eer: EERSchema
+) -> RelationSchema:
+    legs = _leg_attributes(rel, eer)
+    key_attrs: List[str] = []
+    for _entity, local in legs:
+        for a in local:
+            if a not in key_attrs:
+                key_attrs.append(a)
+    attrs = [Attribute(a, TEXT, nullable=False) for a in key_attrs]
+    attrs.extend(
+        Attribute(a, TEXT) for a in rel.attributes if a not in key_attrs
+    )
+    relation = RelationSchema(rel.name, attrs)
+    relation.declare_unique(key_attrs)
+    return relation
+
+
+def _relationship_rics(
+    rel: RelationshipType, eer: EERSchema
+) -> List[InclusionDependency]:
+    out = []
+    for entity_name, local in _leg_attributes(rel, eer):
+        owner = eer.entity(entity_name)
+        out.append(
+            InclusionDependency(rel.name, local, entity_name, owner.key)
+        )
+    return out
+
+
+def _binary_rics(
+    rel: RelationshipType, eer: EERSchema
+) -> List[InclusionDependency]:
+    """A many-to-one relationship-type maps to fk attributes in the
+    N-side relation (which already carries them in Translate's output)."""
+    many = [p for p in rel.participants if p.cardinality == "N"]
+    ones = [p for p in rel.participants if p.cardinality == "1"]
+    if len(many) != 1 or len(ones) != 1:
+        raise SchemaError(
+            f"relationship {rel.name!r} is neither M:N nor binary N:1"
+        )
+    n_side, one_side = many[0], ones[0]
+    owner = eer.entity(one_side.entity)
+    local = n_side.via
+    if not local:
+        raise SchemaError(
+            f"relationship {rel.name!r}: the N side carries no foreign "
+            f"attributes (via) to map"
+        )
+    remote = one_side.via or owner.key
+    return [
+        InclusionDependency(n_side.entity, local, one_side.entity, remote)
+    ]

@@ -1,0 +1,237 @@
+"""EER schema objects: entity-types, relationship-types, is-a links.
+
+The model follows the paper's target: the ER model of Chen extended with
+specialization/generalization (is-a) and weak entity-types.  Everything
+is a plain value object; :class:`EERSchema` owns the collections and
+validates referential consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """An entity-type; *weak* entities carry their owners and discriminator.
+
+    ``key`` lists the identifying attributes (for a weak entity, the
+    partial key *discriminator* completes the owners' keys).
+    """
+
+    name: str
+    attributes: Tuple[str, ...] = ()
+    key: Tuple[str, ...] = ()
+    weak: bool = False
+    owners: Tuple[str, ...] = ()
+    discriminator: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weak and not self.owners:
+            raise SchemaError(f"weak entity {self.name!r} needs at least one owner")
+        if not self.weak and self.owners:
+            raise SchemaError(f"entity {self.name!r} has owners but is not weak")
+
+    def __repr__(self) -> str:
+        kind = "WeakEntity" if self.weak else "Entity"
+        return f"{kind}({self.name})"
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One leg of a relationship-type.
+
+    *cardinality* is ``"1"`` or ``"N"`` seen from the entity side;
+    *via* records the foreign attributes realizing the leg (provenance).
+    """
+
+    entity: str
+    cardinality: str = "N"
+    role: str = ""
+    via: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cardinality not in ("1", "N"):
+            raise SchemaError(f"bad cardinality {self.cardinality!r}")
+
+
+@dataclass(frozen=True)
+class RelationshipType:
+    """An n-ary relationship-type among entity-types."""
+
+    name: str
+    participants: Tuple[Participation, ...]
+    attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.participants) < 2:
+            raise SchemaError(
+                f"relationship {self.name!r} needs at least two participants"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.participants)
+
+    @property
+    def entity_names(self) -> Tuple[str, ...]:
+        return tuple(p.entity for p in self.participants)
+
+    def is_many_to_many(self) -> bool:
+        return all(p.cardinality == "N" for p in self.participants)
+
+    def __repr__(self) -> str:
+        legs = ", ".join(f"{p.entity}:{p.cardinality}" for p in self.participants)
+        return f"Relationship({self.name}: {legs})"
+
+
+@dataclass(frozen=True)
+class IsALink:
+    """Specialization: *sub* is-a *sup*."""
+
+    sub: str
+    sup: str
+
+    def __repr__(self) -> str:
+        return f"{self.sub} is-a {self.sup}"
+
+
+class EERSchema:
+    """A validated collection of entity-types, relationships and is-a links."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, EntityType] = {}
+        self._relationships: Dict[str, RelationshipType] = {}
+        self._isa: List[IsALink] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: EntityType) -> None:
+        if entity.name in self._entities or entity.name in self._relationships:
+            raise SchemaError(f"duplicate EER object-type {entity.name!r}")
+        self._entities[entity.name] = entity
+
+    def add_relationship(self, rel: RelationshipType) -> None:
+        if rel.name in self._entities or rel.name in self._relationships:
+            raise SchemaError(f"duplicate EER object-type {rel.name!r}")
+        for p in rel.participants:
+            if p.entity not in self._entities:
+                raise SchemaError(
+                    f"relationship {rel.name!r} references unknown entity {p.entity!r}"
+                )
+        self._relationships[rel.name] = rel
+
+    def add_isa(self, sub: str, sup: str) -> None:
+        if sub not in self._entities:
+            raise SchemaError(f"is-a subtype {sub!r} is not an entity")
+        if sup not in self._entities:
+            raise SchemaError(f"is-a supertype {sup!r} is not an entity")
+        if sub == sup:
+            raise SchemaError(f"is-a link on {sub!r} itself")
+        link = IsALink(sub, sup)
+        if link not in self._isa:
+            self._isa.append(link)
+            self._isa.sort(key=lambda l: (l.sub, l.sup))
+
+    def remove_entity(self, name: str) -> None:
+        """Drop an entity (used when Translate upgrades it to a relationship)."""
+        if name not in self._entities:
+            raise SchemaError(f"no entity named {name!r}")
+        for rel in self._relationships.values():
+            if name in rel.entity_names:
+                raise SchemaError(
+                    f"cannot remove {name!r}: referenced by relationship {rel.name!r}"
+                )
+        if any(name in (l.sub, l.sup) for l in self._isa):
+            raise SchemaError(f"cannot remove {name!r}: referenced by an is-a link")
+        del self._entities[name]
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def entities(self) -> List[EntityType]:
+        return [self._entities[n] for n in sorted(self._entities)]
+
+    @property
+    def relationships(self) -> List[RelationshipType]:
+        return [self._relationships[n] for n in sorted(self._relationships)]
+
+    @property
+    def isa_links(self) -> List[IsALink]:
+        return list(self._isa)
+
+    def entity(self, name: str) -> EntityType:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise SchemaError(f"no entity named {name!r}") from None
+
+    def relationship(self, name: str) -> RelationshipType:
+        try:
+            return self._relationships[name]
+        except KeyError:
+            raise SchemaError(f"no relationship named {name!r}") from None
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entities
+
+    def has_relationship(self, name: str) -> bool:
+        return name in self._relationships
+
+    def supertypes(self, name: str) -> List[str]:
+        return sorted(l.sup for l in self._isa if l.sub == name)
+
+    def subtypes(self, name: str) -> List[str]:
+        return sorted(l.sub for l in self._isa if l.sup == name)
+
+    def relationships_of(self, entity: str) -> List[RelationshipType]:
+        return [r for r in self.relationships if entity in r.entity_names]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check referential consistency and is-a acyclicity."""
+        for rel in self._relationships.values():
+            for p in rel.participants:
+                if p.entity not in self._entities:
+                    raise SchemaError(
+                        f"relationship {rel.name!r} references unknown "
+                        f"entity {p.entity!r}"
+                    )
+        # is-a cycle detection (DFS)
+        graph: Dict[str, List[str]] = {}
+        for link in self._isa:
+            graph.setdefault(link.sub, []).append(link.sup)
+        visiting: set = set()
+        done: set = set()
+
+        def visit(node: str) -> None:
+            if node in done:
+                return
+            if node in visiting:
+                raise SchemaError(f"is-a cycle through {node!r}")
+            visiting.add(node)
+            for nxt in graph.get(node, []):
+                visit(nxt)
+            visiting.discard(node)
+            done.add(node)
+
+        for node in graph:
+            visit(node)
+        for entity in self._entities.values():
+            for owner in entity.owners:
+                if owner not in self._entities:
+                    raise SchemaError(
+                        f"weak entity {entity.name!r} has unknown owner {owner!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"EERSchema({len(self._entities)} entities, "
+            f"{len(self._relationships)} relationships, "
+            f"{len(self._isa)} is-a links)"
+        )

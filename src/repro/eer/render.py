@@ -1,0 +1,53 @@
+"""Plain-text rendering of EER schemas.
+
+The benchmarks print this next to the paper's Figure 1 so the two can be
+compared by eye in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eer.model import EERSchema
+
+
+def render_text(schema: EERSchema) -> str:
+    """A readable multi-line description of *schema*."""
+    lines: List[str] = []
+
+    strong = [e for e in schema.entities if not e.weak]
+    weak = [e for e in schema.entities if e.weak]
+
+    lines.append("Entity-types:")
+    for entity in strong:
+        key = f" key({', '.join(entity.key)})" if entity.key else ""
+        attrs = f" [{', '.join(entity.attributes)}]" if entity.attributes else ""
+        lines.append(f"  [{entity.name}]{key}{attrs}")
+
+    if weak:
+        lines.append("Weak entity-types:")
+        for entity in weak:
+            disc = (
+                f" discriminator({', '.join(entity.discriminator)})"
+                if entity.discriminator
+                else ""
+            )
+            lines.append(
+                f"  [[{entity.name}]] of {', '.join(entity.owners)}{disc}"
+            )
+
+    if schema.relationships:
+        lines.append("Relationship-types:")
+        for rel in schema.relationships:
+            legs = " -- ".join(
+                f"{p.entity}({p.cardinality})" for p in rel.participants
+            )
+            attrs = f" carrying [{', '.join(rel.attributes)}]" if rel.attributes else ""
+            lines.append(f"  <{rel.name}> {legs}{attrs}")
+
+    if schema.isa_links:
+        lines.append("Specializations:")
+        for link in schema.isa_links:
+            lines.append(f"  {link.sub} --|> {link.sup}")
+
+    return "\n".join(lines)

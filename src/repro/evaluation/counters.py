@@ -1,0 +1,63 @@
+"""Cost accounting: extension queries and expert interactions.
+
+The paper's efficiency argument is qualitative ("the equi-join analysis
+focuses on relevant attributes enforcing the efficiency of the
+elicitation"); these counters make it quantitative for the S-series
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.expert import RecordingExpert
+from repro.core.pipeline import PipelineResult
+from repro.relational.database import QueryCounter
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One run's costs, broken down by kind."""
+
+    count_distinct_queries: int
+    join_count_queries: int
+    fd_checks: int
+    inclusion_checks: int
+    expert_decisions: int
+    expert_by_kind: Dict[str, int]
+
+    @property
+    def total_queries(self) -> int:
+        return (
+            self.count_distinct_queries
+            + self.join_count_queries
+            + self.fd_checks
+            + self.inclusion_checks
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CostReport(queries={self.total_queries}, "
+            f"decisions={self.expert_decisions})"
+        )
+
+
+def cost_report(
+    counter: QueryCounter, expert: Optional[RecordingExpert] = None
+) -> CostReport:
+    """Assemble a :class:`CostReport` from the pipeline's instruments."""
+    by_kind: Dict[str, int] = {}
+    decisions = 0
+    if expert is not None:
+        for interaction in expert.log:
+            by_kind[interaction.kind] = by_kind.get(interaction.kind, 0) + 1
+        decisions = expert.decision_count
+    return CostReport(
+        count_distinct_queries=counter.count_distinct,
+        join_count_queries=counter.join_count,
+        fd_checks=counter.fd_checks,
+        inclusion_checks=counter.inclusion_checks,
+        expert_decisions=decisions,
+        expert_by_kind=by_kind,
+    )

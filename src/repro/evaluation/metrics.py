@@ -1,0 +1,102 @@
+"""Precision / recall over dependency sets.
+
+Plain set comparison is too strict for dependencies: recovering
+``emp -> skill`` and ``emp -> proj`` as one FD ``emp -> skill, proj`` is
+a perfect result, and an IND implied by the truth via transitivity is
+not a false positive.  The scorers therefore match *atoms*: FDs are
+compared after splitting right-hand sides, INDs with optional
+closure-aware credit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.dependencies.ind_inference import transitive_closure_inds
+from repro.relational.attribute import AttributeRef
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """The usual trio, with the raw counts kept for reporting."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def _score_sets(recovered: Set, truth: Set) -> PrecisionRecall:
+    tp = len(recovered & truth)
+    return PrecisionRecall(
+        true_positives=tp,
+        false_positives=len(recovered) - tp,
+        false_negatives=len(truth) - tp,
+    )
+
+
+def score_fds(
+    recovered: Sequence[FunctionalDependency],
+    truth: Sequence[FunctionalDependency],
+) -> PrecisionRecall:
+    """Atom-level comparison: each ``lhs -> single-attribute`` counts once."""
+    def atoms(fds: Sequence[FunctionalDependency]) -> Set:
+        out: Set = set()
+        for fd in fds:
+            for part in fd.split_rhs():
+                out.add((part.relation, part.lhs, tuple(part.rhs)[0]))
+        return out
+
+    return _score_sets(atoms(recovered), atoms(truth))
+
+
+def score_inds(
+    recovered: Sequence[InclusionDependency],
+    truth: Sequence[InclusionDependency],
+    closure_credit: bool = True,
+) -> PrecisionRecall:
+    """IND comparison; with *closure_credit*, a recovered dependency in
+    the transitive closure of the truth counts as correct."""
+    recovered_set = set(recovered)
+    truth_set = set(truth)
+    if closure_credit:
+        credited = set(transitive_closure_inds(truth))
+        tp = len(recovered_set & (truth_set | credited))
+    else:
+        tp = len(recovered_set & truth_set)
+    return PrecisionRecall(
+        true_positives=tp,
+        false_positives=len(recovered_set) - tp,
+        false_negatives=len(truth_set - recovered_set),
+    )
+
+
+def score_refs(
+    recovered: Sequence[AttributeRef], truth: Sequence[AttributeRef]
+) -> PrecisionRecall:
+    """Plain set comparison for hidden-object identifier sets."""
+    return _score_sets(set(recovered), set(truth))

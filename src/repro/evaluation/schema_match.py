@@ -1,0 +1,90 @@
+"""Did the restructured schema recover the original normalized design?
+
+A synthetic scenario knows the 3NF schema the legacy system *was*
+designed from.  After the pipeline runs, each original relation should
+correspond to some relation of the restructured schema with the same
+attribute *payload* (names were invented by the expert, so matching is
+by attribute sets — which are unambiguous here thanks to the generator's
+global attribute prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.workloads.denormalizer import GroundTruth
+
+
+@dataclass
+class SchemaRecovery:
+    """Per-original-relation recovery verdicts."""
+
+    recovered: Dict[str, str] = field(default_factory=dict)     # original -> found
+    partial: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def recovery_rate(self) -> float:
+        total = len(self.recovered) + len(self.partial) + len(self.missing)
+        if total == 0:
+            return 1.0
+        return len(self.recovered) / total
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaRecovery({len(self.recovered)} exact, "
+            f"{len(self.partial)} partial, {len(self.missing)} missing; "
+            f"rate={self.recovery_rate:.2f})"
+        )
+
+
+def _attr_key_set(schema: DatabaseSchema, name: str) -> frozenset:
+    return frozenset(schema.relation(name).attribute_names)
+
+
+def score_schema_recovery(
+    truth: GroundTruth, restructured: Database
+) -> SchemaRecovery:
+    """Match each *original* (pre-denormalization) relation to the output.
+
+    Matching is by attribute-set overlap: exact set equality counts as
+    recovered; the best Jaccard overlap above 0.5 counts as partial.  A
+    merged parent is sought by its payload plus its key-equivalent: the
+    restructured relation that Restruct split off carries the anchoring
+    foreign key as its key, so its attribute set is
+    ``{fk} ∪ payload`` — that is what we look for.
+    """
+    result = SchemaRecovery()
+    out_schema = restructured.schema
+    out_sets = {name: _attr_key_set(out_schema, name) for name in out_schema.relation_names}
+
+    normalized = truth.normalized.schema
+    merges_by_parent = {m.parent: m for m in truth.merges}
+
+    for original in normalized.relation_names:
+        merge = merges_by_parent.get(original)
+        if merge is None:
+            target = frozenset(normalized.relation(original).attribute_names)
+        else:
+            # the split relation is keyed by the anchoring fk
+            target = frozenset((merge.fk_attr,) + merge.payload)
+
+        exact = [name for name, attrs in out_sets.items() if attrs == target]
+        if exact:
+            result.recovered[original] = exact[0]
+            continue
+        best_name: Optional[str] = None
+        best_score = 0.0
+        for name, attrs in out_sets.items():
+            union = len(attrs | target)
+            score = len(attrs & target) / union if union else 0.0
+            if score > best_score:
+                best_name, best_score = name, score
+        if best_name is not None and best_score >= 0.5:
+            result.partial[original] = (best_name, round(best_score, 3))
+        else:
+            result.missing.append(original)
+    return result

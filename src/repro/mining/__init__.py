@@ -1,0 +1,27 @@
+"""Program-guided relevance ranking — the paper's §8 perspective.
+
+§8 closes with: "The application programs of databases could be
+considered as *oracles* that help to discover the relevant information
+into the data mines."  This package realizes that idea: a
+:class:`~repro.mining.navigation.NavigationProfile` aggregates how often
+programs touch each attribute (through the extracted equi-joins), and
+the rankers order *any* discovered dependency set — e.g. the hundreds of
+FDs a lattice search returns — by that navigation evidence, so the
+dependencies worth a human's attention surface first.
+"""
+
+from repro.mining.navigation import NavigationProfile
+from repro.mining.ranking import (
+    RankedDependency,
+    rank_fds,
+    rank_inds,
+    relevance_partition,
+)
+
+__all__ = [
+    "NavigationProfile",
+    "RankedDependency",
+    "rank_fds",
+    "rank_inds",
+    "relevance_partition",
+]

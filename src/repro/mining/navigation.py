@@ -1,0 +1,132 @@
+"""Aggregating the navigation evidence carried by application programs.
+
+A :class:`NavigationProfile` is built from an extraction report (or a
+plain list of equi-joins).  For every attribute it records how many
+distinct statements and programs join *through* it; for every attribute
+pair, how often they are joined together.  These counts are the "oracle"
+signal of §8: attributes nobody navigates with carry integrity
+constraints at best, while heavily-joined attributes are the identifiers
+of the application domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.programs.equijoin import EquiJoin
+from repro.programs.extractor import ExtractionReport
+
+AttrKey = Tuple[str, str]           # (relation, attribute)
+
+
+@dataclass(frozen=True)
+class AttributeUsage:
+    """Navigation counts for one attribute."""
+
+    relation: str
+    attribute: str
+    statement_count: int
+    program_count: int
+    partner_count: int              # distinct attributes joined against
+
+    @property
+    def weight(self) -> float:
+        """The relevance weight: statements + a bonus per distinct
+        program and partner (diverse evidence beats repetition)."""
+        return (
+            self.statement_count
+            + 0.5 * self.program_count
+            + 0.5 * self.partner_count
+        )
+
+
+class NavigationProfile:
+    """Summed navigation evidence over a workload."""
+
+    def __init__(self) -> None:
+        self._statements: Dict[AttrKey, int] = {}
+        self._programs: Dict[AttrKey, Set[str]] = {}
+        self._partners: Dict[AttrKey, Set[AttrKey]] = {}
+        self._pair_statements: Dict[Tuple[AttrKey, AttrKey], int] = {}
+        self.total_statements = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_report(cls, report: ExtractionReport) -> "NavigationProfile":
+        """Build from an extraction report, weighting by provenance."""
+        profile = cls()
+        for join in report.joins:
+            occurrences = report.provenance.get(join, [(None, 0)])
+            for program, _index in occurrences:
+                profile.add_join(join, program)
+        return profile
+
+    @classmethod
+    def from_joins(cls, joins: Iterable[EquiJoin]) -> "NavigationProfile":
+        """Build from bare joins (each counted as one anonymous statement)."""
+        profile = cls()
+        for join in joins:
+            profile.add_join(join, program=None)
+        return profile
+
+    def add_join(self, join: EquiJoin, program: Optional[str]) -> None:
+        self.total_statements += 1
+        (l_rel, l_attrs), (r_rel, r_attrs) = join.sides()
+        left_keys = [(l_rel, a) for a in l_attrs]
+        right_keys = [(r_rel, a) for a in r_attrs]
+        for left_key, right_key in zip(left_keys, right_keys):
+            for key, partner in ((left_key, right_key), (right_key, left_key)):
+                self._statements[key] = self._statements.get(key, 0) + 1
+                if program is not None:
+                    self._programs.setdefault(key, set()).add(program)
+                self._partners.setdefault(key, set()).add(partner)
+            pair = tuple(sorted((left_key, right_key)))
+            self._pair_statements[pair] = self._pair_statements.get(pair, 0) + 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def usage(self, relation: str, attribute: str) -> AttributeUsage:
+        key = (relation, attribute)
+        return AttributeUsage(
+            relation=relation,
+            attribute=attribute,
+            statement_count=self._statements.get(key, 0),
+            program_count=len(self._programs.get(key, ())),
+            partner_count=len(self._partners.get(key, ())),
+        )
+
+    def attribute_weight(self, relation: str, attribute: str) -> float:
+        return self.usage(relation, attribute).weight
+
+    def set_weight(self, relation: str, attributes: Sequence[str]) -> float:
+        """Weight of an attribute set: the *minimum* member weight — a
+        composite identifier is only as navigated as its least-used part."""
+        if not attributes:
+            return 0.0
+        return min(self.attribute_weight(relation, a) for a in attributes)
+
+    def pair_statements(
+        self, left: AttrKey, right: AttrKey
+    ) -> int:
+        pair = tuple(sorted((left, right)))
+        return self._pair_statements.get(pair, 0)
+
+    def navigated_attributes(self) -> List[AttributeUsage]:
+        """All attributes with evidence, heaviest first."""
+        usages = [
+            self.usage(rel, attr) for rel, attr in self._statements
+        ]
+        return sorted(
+            usages,
+            key=lambda u: (-u.weight, u.relation, u.attribute),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NavigationProfile({len(self._statements)} attributes, "
+            f"{self.total_statements} join statements)"
+        )

@@ -1,0 +1,93 @@
+"""Ranking discovered dependencies by navigation relevance.
+
+The §5 distinction made operational: ``Assignment: proj ->
+project-name`` matters because programs join on ``proj``; ``Person:
+zip-code -> state`` is an integrity constraint because nothing ever
+navigates through ``zip-code``.  Given any dependency set — typically
+the output of an exhaustive discovery tool — the rankers order it by the
+left-hand side's navigation weight, and
+:func:`relevance_partition` splits it at the zero-evidence boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.mining.navigation import NavigationProfile
+
+
+@dataclass(frozen=True)
+class RankedDependency:
+    """One dependency with its navigation score (higher = more relevant)."""
+
+    dependency: object          # FunctionalDependency | InclusionDependency
+    score: float
+    rank: int                   # 1-based, after sorting
+
+    def __repr__(self) -> str:
+        return f"#{self.rank} [{self.score:.1f}] {self.dependency!r}"
+
+
+def _rank(items: List[Tuple[object, float]]) -> List[RankedDependency]:
+    items.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return [
+        RankedDependency(dep, score, i + 1)
+        for i, (dep, score) in enumerate(items)
+    ]
+
+
+def rank_fds(
+    fds: Sequence[FunctionalDependency],
+    profile: NavigationProfile,
+) -> List[RankedDependency]:
+    """Order *fds* by the navigation weight of their determinant.
+
+    The LHS is what identifies the (hidden) object, so its weight is the
+    evidence that the dependency is design semantics rather than a
+    coincidence of the data.
+    """
+    scored = [
+        (fd, profile.set_weight(fd.relation, tuple(fd.lhs))) for fd in fds
+    ]
+    return _rank(scored)
+
+
+def rank_inds(
+    inds: Sequence[InclusionDependency],
+    profile: NavigationProfile,
+) -> List[RankedDependency]:
+    """Order *inds* by the pair evidence between their two sides.
+
+    The score is the number of statements joining the exact attribute
+    pair, plus the weights of both sides — an inclusion nobody ever
+    navigates scores zero even when it holds in the data.
+    """
+    scored = []
+    for ind in inds:
+        pair_score = 0.0
+        for left_attr, right_attr in ind.pairs():
+            pair_score += profile.pair_statements(
+                (ind.lhs_relation, left_attr), (ind.rhs_relation, right_attr)
+            )
+        side_score = profile.set_weight(
+            ind.lhs_relation, ind.lhs_attrs
+        ) + profile.set_weight(ind.rhs_relation, ind.rhs_attrs)
+        scored.append((ind, 2.0 * pair_score + 0.5 * side_score))
+    return _rank(scored)
+
+
+def relevance_partition(
+    ranked: Sequence[RankedDependency],
+) -> Tuple[List[RankedDependency], List[RankedDependency]]:
+    """Split a ranking at the zero-evidence boundary.
+
+    Returns ``(navigated, unnavigated)``: dependencies with any program
+    evidence, and those with none — the latter being, per §5, integrity
+    constraints "with no influence on the data organization".
+    """
+    navigated = [r for r in ranked if r.score > 0]
+    unnavigated = [r for r in ranked if r.score <= 0]
+    return navigated, unnavigated

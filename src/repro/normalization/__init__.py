@@ -1,0 +1,36 @@
+"""Normalization substrate: normal-form diagnosis and classical synthesis.
+
+The paper positions its method against the normalization literature:
+input schemas are "at least 1NF", the output must be 3NF.  This package
+diagnoses normal forms (:mod:`repro.normalization.normal_forms`),
+provides Bernstein's 3NF synthesis as the classical baseline the paper's
+restructuring replaces (:mod:`repro.normalization.synthesis`), and
+implements the chase-based lossless-join test used to audit
+decompositions (:mod:`repro.normalization.chase`).
+"""
+
+from repro.normalization.normal_forms import (
+    NormalForm,
+    diagnose_normal_form,
+    is_2nf,
+    is_3nf,
+    is_bcnf,
+    schema_normal_forms,
+)
+from repro.normalization.synthesis import synthesize_3nf
+from repro.normalization.chase import lossless_join, dependency_preserving
+from repro.normalization.decomposition import Decomposition, decompose_relation
+
+__all__ = [
+    "NormalForm",
+    "diagnose_normal_form",
+    "is_2nf",
+    "is_3nf",
+    "is_bcnf",
+    "schema_normal_forms",
+    "synthesize_3nf",
+    "lossless_join",
+    "dependency_preserving",
+    "Decomposition",
+    "decompose_relation",
+]

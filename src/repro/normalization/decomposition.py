@@ -1,0 +1,53 @@
+"""Decomposition value object + single-FD split (the Restruct primitive).
+
+Restruct's FD pass is, at the relational-theory level, the classical
+binary split ``R(X)`` into ``R1(A ∪ B)`` and ``R2(X - B)`` for an FD
+``A -> B`` — lossless because ``R1 ∩ R2 = A`` determines ``R1``.  This
+module states that operation abstractly so tests can certify Restruct
+against the chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.exceptions import ProcessError
+from repro.normalization.chase import dependency_preserving, lossless_join
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A named decomposition of one attribute universe."""
+
+    universe: Tuple[str, ...]
+    fragments: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        covered = {a for f in self.fragments for a in f}
+        if covered != set(self.universe):
+            missing = sorted(set(self.universe) - covered)
+            extra = sorted(covered - set(self.universe))
+            raise ProcessError(
+                f"decomposition does not cover the universe "
+                f"(missing {missing}, extra {extra})"
+            )
+
+    def is_lossless(self, fds: Sequence[FunctionalDependency]) -> bool:
+        return lossless_join(list(self.universe), list(self.fragments), fds)
+
+    def preserves(self, fds: Sequence[FunctionalDependency]) -> bool:
+        return dependency_preserving(list(self.fragments), fds)
+
+
+def decompose_relation(
+    universe: Sequence[str], fd: FunctionalDependency
+) -> Decomposition:
+    """The binary split along *fd* (Restruct's FD-pass primitive)."""
+    universe = list(dict.fromkeys(universe))
+    if not set(fd.lhs) <= set(universe) or not set(fd.rhs) <= set(universe):
+        raise ProcessError(f"{fd!r} does not apply to {universe}")
+    split = tuple(a for a in universe if a in fd.lhs or a in fd.rhs)
+    rest = tuple(a for a in universe if a not in fd.rhs)
+    return Decomposition(tuple(universe), (split, rest))

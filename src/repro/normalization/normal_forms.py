@@ -1,0 +1,131 @@
+"""Normal-form diagnosis (1NF / 2NF / 3NF / BCNF).
+
+The §5 example annotates each relation with its normal form; the E1
+benchmark reproduces those annotations by diagnosing each relation
+against the dependencies that hold in it.  Diagnosis takes the relation's
+attribute universe, its candidate keys (from the declared uniques and the
+given FDs) and a set of FDs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class NormalForm(str, Enum):
+    """Highest normal form a relation satisfies (within 1NF..BCNF)."""
+
+    FIRST = "1NF"
+    SECOND = "2NF"
+    THIRD = "3NF"
+    BOYCE_CODD = "BCNF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    def at_least(self, other: "NormalForm") -> bool:
+        order = [
+            NormalForm.FIRST,
+            NormalForm.SECOND,
+            NormalForm.THIRD,
+            NormalForm.BOYCE_CODD,
+        ]
+        return order.index(self) >= order.index(other)
+
+
+def _relevant_fds(
+    universe: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[FunctionalDependency]:
+    """FDs whose attributes all live in *universe*, made non-trivial."""
+    out = []
+    attr_set = set(universe)
+    for fd in fds:
+        if set(fd.lhs) <= attr_set and set(fd.rhs) <= attr_set:
+            rhs = [a for a in fd.rhs if a not in fd.lhs]
+            if rhs:
+                out.append(FunctionalDependency(fd.relation, tuple(fd.lhs), rhs))
+    return out
+
+
+def is_2nf(universe: Sequence[str], fds: Sequence[FunctionalDependency]) -> bool:
+    """No non-prime attribute depends on a *proper subset* of a key."""
+    relevant = _relevant_fds(universe, fds)
+    keys = candidate_keys(list(universe), relevant)
+    prime = prime_attributes(list(universe), relevant)
+    for key in keys:
+        key_list = sorted(key)
+        for i in range(len(key_list)):
+            subset = key_list[:i] + key_list[i + 1 :]
+            if not subset:
+                continue
+            closure = attribute_closure(subset, relevant)
+            for attr in closure:
+                if attr in universe and attr not in prime and attr not in subset:
+                    return False
+    return True
+
+
+def is_3nf(universe: Sequence[str], fds: Sequence[FunctionalDependency]) -> bool:
+    """Every FD ``X -> a``: X a superkey or a prime."""
+    relevant = _relevant_fds(universe, fds)
+    prime = prime_attributes(list(universe), relevant)
+    for fd in relevant:
+        if is_superkey(tuple(fd.lhs), universe, relevant):
+            continue
+        if all(a in prime for a in fd.rhs):
+            continue
+        return False
+    return True
+
+
+def is_bcnf(universe: Sequence[str], fds: Sequence[FunctionalDependency]) -> bool:
+    """Every FD ``X -> a``: X a superkey."""
+    relevant = _relevant_fds(universe, fds)
+    for fd in relevant:
+        if not is_superkey(tuple(fd.lhs), universe, relevant):
+            return False
+    return True
+
+
+def diagnose_normal_form(
+    universe: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> NormalForm:
+    """The highest normal form the relation satisfies."""
+    if not is_2nf(universe, fds):
+        return NormalForm.FIRST
+    if not is_3nf(universe, fds):
+        return NormalForm.SECOND
+    if not is_bcnf(universe, fds):
+        return NormalForm.THIRD
+    return NormalForm.BOYCE_CODD
+
+
+def schema_normal_forms(
+    schema: DatabaseSchema, fds: Sequence[FunctionalDependency]
+) -> Dict[str, NormalForm]:
+    """Per-relation diagnosis over a whole schema.
+
+    *fds* holds the non-key dependencies; each relation's declared keys
+    contribute their key FDs automatically.
+    """
+    result: Dict[str, NormalForm] = {}
+    for relation in schema:
+        local = [fd for fd in fds if fd.relation == relation.name]
+        for unique in relation.uniques:
+            local.append(
+                FunctionalDependency(
+                    relation.name,
+                    tuple(unique.attributes),
+                    tuple(relation.attribute_names),
+                )
+            )
+        result[relation.name] = diagnose_normal_form(
+            relation.attribute_names, local
+        )
+    return result

@@ -1,0 +1,30 @@
+"""Application-program analysis: from source files to the equi-join set ``Q``.
+
+§4 of the paper assumes "the set ``Q`` of equi-join queries extracted from
+the application programs ... has been computed"; this package computes it.
+It models a corpus of legacy programs (plain SQL scripts, or COBOL/C hosts
+with ``EXEC SQL`` blocks), pulls the SQL out, parses it with
+:mod:`repro.sql`, and recognizes equi-joins written in every form the
+paper lists: unnested WHERE-clause joins (single- and multi-attribute),
+nested ``IN`` / ``=`` / ``EXISTS`` subqueries, and ``INTERSECT``.
+"""
+
+from repro.programs.equijoin import EquiJoin
+from repro.programs.corpus import ApplicationProgram, ProgramCorpus
+from repro.programs.embedded import extract_sql_units, SQLUnit
+from repro.programs.extractor import (
+    EquiJoinExtractor,
+    ExtractionReport,
+    extract_equijoins,
+)
+
+__all__ = [
+    "EquiJoin",
+    "ApplicationProgram",
+    "ProgramCorpus",
+    "extract_sql_units",
+    "SQLUnit",
+    "EquiJoinExtractor",
+    "ExtractionReport",
+    "extract_equijoins",
+]

@@ -1,0 +1,116 @@
+"""The application-program corpus ``P``.
+
+A corpus is the "application part of the relational database in
+operation" (§4): forms, reports and batch files in a host language with
+embedded SQL, or plain SQL scripts.  The corpus only stores sources and
+metadata; SQL extraction lives in :mod:`repro.programs.embedded` and
+equi-join recognition in :mod:`repro.programs.extractor`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.exceptions import ExtractionError
+
+#: languages the embedded-SQL scanner knows how to handle
+LANGUAGES = ("sql", "cobol", "c", "report", "form")
+
+_EXTENSION_LANGUAGE = {
+    ".sql": "sql",
+    ".cob": "cobol",
+    ".cbl": "cobol",
+    ".c": "c",
+    ".pc": "c",       # Pro*C style
+    ".rpt": "report",
+    ".frm": "form",
+}
+
+
+@dataclass(frozen=True)
+class ApplicationProgram:
+    """One source file of the legacy application."""
+
+    name: str
+    language: str
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.language not in LANGUAGES:
+            raise ExtractionError(
+                f"unknown program language {self.language!r} for {self.name!r}"
+            )
+
+    @property
+    def line_count(self) -> int:
+        return self.source.count("\n") + 1
+
+
+class ProgramCorpus:
+    """An ordered collection of application programs."""
+
+    def __init__(self, programs: Iterable[ApplicationProgram] = ()) -> None:
+        self._programs: Dict[str, ApplicationProgram] = {}
+        for p in programs:
+            self.add(p)
+
+    def add(self, program: ApplicationProgram) -> None:
+        if program.name in self._programs:
+            raise ExtractionError(f"duplicate program name {program.name!r}")
+        self._programs[program.name] = program
+
+    def add_source(self, name: str, source: str, language: Optional[str] = None) -> ApplicationProgram:
+        """Add a program, inferring the language from the file extension."""
+        if language is None:
+            _, ext = os.path.splitext(name)
+            language = _EXTENSION_LANGUAGE.get(ext.lower())
+            if language is None:
+                raise ExtractionError(
+                    f"cannot infer language of {name!r}; pass language= explicitly"
+                )
+        program = ApplicationProgram(name, language, source)
+        self.add(program)
+        return program
+
+    @classmethod
+    def from_directory(cls, path: str) -> "ProgramCorpus":
+        """Load every recognized source file under *path* (recursively)."""
+        corpus = cls()
+        for root, _dirs, files in os.walk(path):
+            for fname in sorted(files):
+                _, ext = os.path.splitext(fname)
+                if ext.lower() not in _EXTENSION_LANGUAGE:
+                    continue
+                full = os.path.join(root, fname)
+                with open(full, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                rel = os.path.relpath(full, path)
+                corpus.add_source(rel, source)
+        return corpus
+
+    def program(self, name: str) -> ApplicationProgram:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise ExtractionError(f"no program named {name!r}") from None
+
+    def __iter__(self) -> Iterator[ApplicationProgram]:
+        return iter(sorted(self._programs.values(), key=lambda p: p.name))
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._programs
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._programs)
+
+    def total_lines(self) -> int:
+        return sum(p.line_count for p in self)
+
+    def __repr__(self) -> str:
+        return f"ProgramCorpus({len(self)} programs, {self.total_lines()} lines)"

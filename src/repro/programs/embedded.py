@@ -1,0 +1,115 @@
+"""Pulling SQL statements out of host-language source.
+
+Legacy applications embed SQL in three shapes this module recognizes:
+
+- plain SQL scripts (``.sql`` files, forms, reports) — the whole file is a
+  semicolon-separated statement list;
+- COBOL: ``EXEC SQL ... END-EXEC.`` blocks;
+- C / Pro*C: ``EXEC SQL ... ;`` blocks.
+
+Host variables (``:name``) and ``INTO :a, :b`` clauses are normalized away
+before parsing — a host variable behaves like an opaque literal, so the
+scanner replaces it with a marker string; this keeps column-to-column
+equalities (the joins we want) distinct from column-to-variable filters.
+``DECLARE c CURSOR FOR`` prefixes are stripped so the underlying SELECT is
+parsed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.programs.corpus import ApplicationProgram
+
+#: marker literal substituted for host variables before parsing
+HOST_VARIABLE_MARKER = "__host_var__"
+
+_COBOL_BLOCK_RE = re.compile(r"EXEC\s+SQL(.*?)END-EXEC\.?", re.IGNORECASE | re.DOTALL)
+_C_BLOCK_RE = re.compile(r"EXEC\s+SQL(.*?);", re.IGNORECASE | re.DOTALL)
+_INTO_CLAUSE_RE = re.compile(
+    r"\bINTO\s+:[A-Za-z_][\w\-]*(\s*,\s*:[A-Za-z_][\w\-]*)*", re.IGNORECASE
+)
+_HOST_VAR_RE = re.compile(r":[A-Za-z_][\w\-]*")
+_CURSOR_RE = re.compile(
+    r"\bDECLARE\s+[A-Za-z_][\w\-]*\s+CURSOR\s+FOR\b", re.IGNORECASE
+)
+_NON_QUERY_PREFIXES = (
+    "OPEN", "CLOSE", "FETCH", "COMMIT", "ROLLBACK", "WHENEVER",
+    "CONNECT", "BEGIN", "END", "INCLUDE",
+)
+
+
+@dataclass(frozen=True)
+class SQLUnit:
+    """One extracted SQL statement with its provenance."""
+
+    program: str
+    index: int          # position of the statement within the program
+    text: str           # normalized SQL, ready for the parser
+
+    def __repr__(self) -> str:
+        head = " ".join(self.text.split())[:60]
+        return f"SQLUnit({self.program}#{self.index}: {head}...)"
+
+
+def normalize_embedded(sql: str) -> str:
+    """Remove host-language artifacts so the parser accepts *sql*."""
+    sql = _CURSOR_RE.sub("", sql)
+    sql = _INTO_CLAUSE_RE.sub("", sql)
+    sql = _HOST_VAR_RE.sub(f"'{HOST_VARIABLE_MARKER}'", sql)
+    # drop line comments so statement classification sees the first keyword
+    # (the SQL lexer would skip them anyway, but _is_query_like must too)
+    lines = [line for line in sql.splitlines() if not line.lstrip().startswith("--")]
+    sql = "\n".join(lines)
+    return sql.strip().rstrip(";").strip()
+
+
+def _is_query_like(sql: str) -> bool:
+    head = sql.lstrip().split(None, 1)
+    if not head:
+        return False
+    first = head[0].upper()
+    if first in _NON_QUERY_PREFIXES:
+        return False
+    # UPDATE/DELETE are kept: their WHERE clauses can hide equi-joins
+    # behind IN / EXISTS subqueries
+    return (
+        first in ("SELECT", "INSERT", "CREATE", "DROP", "UPDATE", "DELETE")
+        or first == "("
+    )
+
+
+def extract_sql_units(program: ApplicationProgram) -> List[SQLUnit]:
+    """All SQL statements embedded in *program*, normalized.
+
+    Plain-SQL languages are split on semicolons (respecting nothing more —
+    the corpus fixtures do not put semicolons in string literals); host
+    languages are scanned for ``EXEC SQL`` blocks.
+    """
+    units: List[SQLUnit] = []
+    if program.language in ("sql", "report", "form"):
+        chunks = [c.strip() for c in program.source.split(";")]
+        index = 0
+        for chunk in chunks:
+            if not chunk:
+                continue
+            normalized = normalize_embedded(chunk)
+            if normalized and _is_query_like(normalized):
+                units.append(SQLUnit(program.name, index, normalized))
+                index += 1
+        return units
+
+    if program.language == "cobol":
+        blocks = _COBOL_BLOCK_RE.findall(program.source)
+    else:  # c / Pro*C
+        blocks = _C_BLOCK_RE.findall(program.source)
+
+    index = 0
+    for block in blocks:
+        normalized = normalize_embedded(block)
+        if normalized and _is_query_like(normalized):
+            units.append(SQLUnit(program.name, index, normalized))
+            index += 1
+    return units

@@ -1,0 +1,171 @@
+"""Attributes, qualified attribute references, and attribute sets.
+
+The paper's notation distinguishes a single attribute (``R.a``) from a set
+of attributes (``R.X``); both appear constantly in dependencies and in the
+elicited sets ``K``, ``N``, ``LHS`` and ``H``.  :class:`AttributeRef` is the
+hashable, ordered value object used everywhere an ``R.X`` appears.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.domain import DataType, TEXT
+from repro.util.naming import is_valid_identifier
+
+
+class Attribute:
+    """A named, typed column of a relation schema.
+
+    ``nullable`` reflects the *declared* ``not null`` constraint only; a
+    unique declaration implies not-null (§4), which
+    :class:`~repro.relational.schema.RelationSchema` enforces when it
+    computes its constraint sets.
+    """
+
+    __slots__ = ("name", "dtype", "nullable")
+
+    def __init__(self, name: str, dtype: DataType = TEXT, nullable: bool = True) -> None:
+        if not is_valid_identifier(name):
+            raise SchemaError(f"invalid attribute name: {name!r}")
+        self.name = name
+        self.dtype = dtype
+        self.nullable = nullable
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"Attribute({self.name}: {self.dtype}{null})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and other.name == self.name
+            and other.dtype == self.dtype
+            and other.nullable == self.nullable
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Attribute", self.name, self.dtype, self.nullable))
+
+    def with_nullable(self, nullable: bool) -> "Attribute":
+        """Copy of this attribute with a different nullability."""
+        return Attribute(self.name, self.dtype, nullable)
+
+
+class AttributeSet:
+    """An ordered, duplicate-free set of attribute *names* within one relation.
+
+    Order matters for equi-joins over multiple attributes — the i-th
+    attribute on one side pairs with the i-th on the other — so this is a
+    sequence with set semantics.  Instances are immutable and hashable.
+    """
+
+    __slots__ = ("_names",)
+
+    def __init__(self, names: Iterable[str]) -> None:
+        seen = []
+        for n in names:
+            if n not in seen:
+                seen.append(n)
+        self._names: Tuple[str, ...] = tuple(seen)
+
+    @classmethod
+    def of(cls, *names: str) -> "AttributeSet":
+        return cls(names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def as_sorted(self) -> "AttributeSet":
+        """Canonical (name-sorted) version, for set-like comparisons."""
+        return AttributeSet(sorted(self._names))
+
+    def union(self, other: "AttributeSet") -> "AttributeSet":
+        return AttributeSet(self._names + other._names)
+
+    def difference(self, other: Iterable[str]) -> "AttributeSet":
+        drop = set(other)
+        return AttributeSet(n for n in self._names if n not in drop)
+
+    def intersection(self, other: Iterable[str]) -> "AttributeSet":
+        keep = set(other)
+        return AttributeSet(n for n in self._names if n in keep)
+
+    def issubset(self, other: Iterable[str]) -> bool:
+        return set(self._names) <= set(other)
+
+    def isdisjoint(self, other: Iterable[str]) -> bool:
+        return set(self._names).isdisjoint(set(other))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality: order is join-relevant but not identity-relevant."""
+        if isinstance(other, AttributeSet):
+            return set(self._names) == set(other._names)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._names))
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(self._names) + "}"
+
+    def sort_key(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._names))
+
+
+class AttributeRef:
+    """A qualified reference ``Relation.X`` to a set of attributes.
+
+    This is the value object stored in the paper's sets ``K``, ``N``
+    (singletons), ``LHS`` and ``H``.  Equality treats the attribute part as
+    a set.
+    """
+
+    __slots__ = ("relation", "attributes")
+
+    def __init__(self, relation: str, attributes: Iterable[str]) -> None:
+        if isinstance(attributes, str):
+            attributes = (attributes,)
+        self.relation = relation
+        self.attributes = AttributeSet(attributes)
+        if not len(self.attributes):
+            raise SchemaError("an attribute reference needs at least one attribute")
+
+    @classmethod
+    def single(cls, relation: str, attribute: str) -> "AttributeRef":
+        return cls(relation, (attribute,))
+
+    def is_single(self) -> bool:
+        return len(self.attributes) == 1
+
+    @property
+    def attribute(self) -> str:
+        """The attribute name, when the reference is a singleton."""
+        if not self.is_single():
+            raise SchemaError(f"{self!r} is not a single attribute")
+        return self.attributes.names[0]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeRef):
+            return other.relation == self.relation and other.attributes == self.attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("AttributeRef", self.relation, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"{self.relation}.{{{', '.join(self.attributes)}}}"
+
+    def sort_key(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.relation, self.attributes.sort_key())

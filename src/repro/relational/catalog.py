@@ -1,0 +1,122 @@
+"""The data dictionary (catalog) of the engine.
+
+§4 of the paper stresses that the sets ``K`` and ``N`` "can be extracted
+from the data dictionary" without asking the expert.  The catalog is that
+dictionary: a queryable view over the declared schema, independent of the
+extensions.  It also records statistics (row counts, per-attribute distinct
+counts) which the IND-Discovery benchmarks use as the analogue of DBMS
+statistics tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.relational.algebra import count_distinct
+from repro.relational.attribute import AttributeRef
+from repro.relational.domain import DataType, is_null
+from repro.relational.schema import DatabaseSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One attribute's dictionary row."""
+
+    relation: str
+    attribute: str
+    dtype: DataType
+    nullable: bool
+    in_key: bool
+    position: int
+
+
+@dataclass
+class AttributeStatistics:
+    """Extension statistics for one attribute (DBMS ``ANALYZE`` analogue)."""
+
+    relation: str
+    attribute: str
+    row_count: int
+    distinct_count: int
+    null_count: int
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+
+@dataclass
+class Catalog:
+    """Queryable data dictionary over a :class:`DatabaseSchema`."""
+
+    schema: DatabaseSchema
+    _stats: Dict[Tuple[str, str], AttributeStatistics] = field(default_factory=dict)
+
+    def entries(self) -> List[CatalogEntry]:
+        """All dictionary rows, ordered by (relation, position)."""
+        rows: List[CatalogEntry] = []
+        for rel in self.schema:
+            key_attrs = {a for u in rel.uniques for a in u.attributes}
+            for pos, attr in enumerate(rel.attributes):
+                rows.append(
+                    CatalogEntry(
+                        relation=rel.name,
+                        attribute=attr.name,
+                        dtype=attr.dtype,
+                        nullable=attr.nullable,
+                        in_key=attr.name in key_attrs,
+                        position=pos,
+                    )
+                )
+        return rows
+
+    def entry(self, relation: str, attribute: str) -> CatalogEntry:
+        rel = self.schema.relation(relation)
+        attr = rel.attribute(attribute)
+        key_attrs = {a for u in rel.uniques for a in u.attributes}
+        return CatalogEntry(
+            relation=relation,
+            attribute=attribute,
+            dtype=attr.dtype,
+            nullable=attr.nullable,
+            in_key=attribute in key_attrs,
+            position=rel.position(attribute),
+        )
+
+    def key_set(self) -> List[AttributeRef]:
+        """The paper's ``K`` (delegates to the schema)."""
+        return self.schema.key_set()
+
+    def not_null_set(self) -> List[AttributeRef]:
+        """The paper's ``N`` (delegates to the schema)."""
+        return self.schema.not_null_set()
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def analyze(self, database: "Database") -> None:
+        """Recompute per-attribute statistics from the extensions."""
+        self._stats.clear()
+        for rel in self.schema:
+            table = database.table(rel.name)
+            for attr in rel.attribute_names:
+                nulls = sum(1 for row in table if is_null(row[attr]))
+                self._stats[(rel.name, attr)] = AttributeStatistics(
+                    relation=rel.name,
+                    attribute=attr,
+                    row_count=len(table),
+                    distinct_count=count_distinct(table, (attr,)),
+                    null_count=nulls,
+                )
+
+    def statistics(self, relation: str, attribute: str) -> Optional[AttributeStatistics]:
+        return self._stats.get((relation, attribute))
+
+    def all_statistics(self) -> List[AttributeStatistics]:
+        return [self._stats[k] for k in sorted(self._stats)]

@@ -1,0 +1,154 @@
+"""Declared constraints: unique, not null, and derived key constraints.
+
+Per §4 of the paper, the only dependencies known a priori are the
+``unique`` and ``not null`` declarations stored in the data dictionary,
+from which the method computes:
+
+- ``K`` — the set of declared key attribute sets (one per unique
+  declaration), and
+- ``N`` — the set of attributes that cannot be null, i.e. the declared
+  not-null attributes plus every attribute of a key (a unique declaration
+  implies not null, as in standard SQL).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
+
+from repro.exceptions import ConstraintViolationError
+from repro.relational.attribute import AttributeRef, AttributeSet
+from repro.relational.domain import is_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.table import Table
+
+
+class UniqueConstraint:
+    """A ``unique`` declaration over one or more attributes of a relation."""
+
+    __slots__ = ("relation", "attributes")
+
+    def __init__(self, relation: str, attributes: Iterable[str]) -> None:
+        self.relation = relation
+        self.attributes = AttributeSet(attributes)
+
+    def __repr__(self) -> str:
+        return f"UNIQUE {self.relation}{self.attributes!r}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UniqueConstraint):
+            return other.relation == self.relation and other.attributes == self.attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Unique", self.relation, self.attributes))
+
+    def as_ref(self) -> AttributeRef:
+        return AttributeRef(self.relation, self.attributes)
+
+    def check(self, table: "Table") -> None:
+        """Raise :class:`ConstraintViolationError` when the table has
+        two tuples agreeing on all the constrained attributes.
+
+        NULL-containing key projections never clash (SQL unique semantics),
+        but because unique implies not null here, NULLs are themselves a
+        violation and are reported as such.
+        """
+        seen: Set[Tuple[object, ...]] = set()
+        for row in table:
+            values = tuple(row[a] for a in self.attributes)
+            if any(is_null(v) for v in values):
+                raise ConstraintViolationError(
+                    "unique(implies not null)",
+                    f"{self.relation}{self.attributes!r} holds NULL in {values!r}",
+                )
+            if values in seen:
+                raise ConstraintViolationError(
+                    "unique",
+                    f"duplicate {values!r} for {self.relation}{self.attributes!r}",
+                )
+            seen.add(values)
+
+
+class NotNullConstraint:
+    """A ``not null`` declaration on a single attribute."""
+
+    __slots__ = ("relation", "attribute")
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        self.relation = relation
+        self.attribute = attribute
+
+    def __repr__(self) -> str:
+        return f"NOT NULL {self.relation}.{self.attribute}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NotNullConstraint):
+            return other.relation == self.relation and other.attribute == self.attribute
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("NotNull", self.relation, self.attribute))
+
+    def as_ref(self) -> AttributeRef:
+        return AttributeRef.single(self.relation, self.attribute)
+
+    def check(self, table: "Table") -> None:
+        for i, row in enumerate(table):
+            if is_null(row[self.attribute]):
+                raise ConstraintViolationError(
+                    "not null", f"{self.relation}.{self.attribute} is NULL in tuple #{i}"
+                )
+
+
+class KeyConstraint:
+    """A key constraint ``R : K -> X`` derived from a unique declaration.
+
+    In the paper a key is a unique attribute set that functionally
+    determines the whole relation; we record it as its attribute set, the
+    determined side always being the full schema.
+    """
+
+    __slots__ = ("relation", "attributes")
+
+    def __init__(self, relation: str, attributes: Iterable[str]) -> None:
+        self.relation = relation
+        self.attributes = AttributeSet(attributes)
+
+    def __repr__(self) -> str:
+        return f"KEY {self.relation}{self.attributes!r}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, KeyConstraint):
+            return other.relation == self.relation and other.attributes == self.attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Key", self.relation, self.attributes))
+
+    def as_ref(self) -> AttributeRef:
+        return AttributeRef(self.relation, self.attributes)
+
+
+def key_attribute_sets(uniques: Iterable[UniqueConstraint]) -> List[AttributeRef]:
+    """Compute the paper's set ``K`` from the unique declarations.
+
+    ``K = { R.X such that X is declared unique }``
+    """
+    refs = [u.as_ref() for u in uniques]
+    return sorted(set(refs), key=lambda r: r.sort_key())
+
+
+def not_null_attributes(
+    not_nulls: Iterable[NotNullConstraint],
+    uniques: Iterable[UniqueConstraint],
+) -> List[AttributeRef]:
+    """Compute the paper's set ``N``.
+
+    ``N = { R.a declared not null } ∪ { R.a ∈ R.X with R.X ∈ K }``
+    """
+    refs: Set[AttributeRef] = {nn.as_ref() for nn in not_nulls}
+    for u in uniques:
+        for a in u.attributes:
+            refs.add(AttributeRef.single(u.relation, a))
+    return sorted(refs, key=lambda r: r.sort_key())

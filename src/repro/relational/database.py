@@ -1,0 +1,207 @@
+"""The database triple ``(R, E, Δ)`` of the paper.
+
+A :class:`Database` bundles the schema ``R``, the extension ``E`` (one
+:class:`~repro.relational.table.Table` per relation) and the dependency
+set ``Δ = F ∪ IND`` — empty at the start of a reverse-engineering run,
+filled in by the method.  Every extension access made through the
+database is counted, so the benchmarks can report how many queries each
+algorithm issues (the paper's efficiency argument for query-guided
+discovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ArityError, UnknownRelationError
+from repro.relational import algebra
+from repro.relational.catalog import Catalog
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dependencies.fd import FunctionalDependency
+    from repro.dependencies.ind import InclusionDependency
+
+
+@dataclass
+class QueryCounter:
+    """Instrumentation: how often the extension was consulted."""
+
+    count_distinct: int = 0
+    join_count: int = 0
+    fd_checks: int = 0
+    inclusion_checks: int = 0
+
+    def total(self) -> int:
+        return (
+            self.count_distinct
+            + self.join_count
+            + self.fd_checks
+            + self.inclusion_checks
+        )
+
+    def reset(self) -> None:
+        self.count_distinct = 0
+        self.join_count = 0
+        self.fd_checks = 0
+        self.inclusion_checks = 0
+
+
+class Database:
+    """The relational database ``(R, E, Δ)`` the method operates on."""
+
+    def __init__(self, schema: Optional[DatabaseSchema] = None) -> None:
+        self.schema = schema or DatabaseSchema()
+        self._tables: Dict[str, Table] = {
+            r.name: Table(r) for r in self.schema
+        }
+        self.fds: List["FunctionalDependency"] = []
+        self.inds: List["InclusionDependency"] = []
+        self.counter = QueryCounter()
+        self.catalog = Catalog(self.schema)
+        # distinct-value cache, keyed by (relation, attrs) and guarded by
+        # the table's mutation version — the engine's answer to the many
+        # repeated ||r[X]|| probes the method issues.  The QueryCounter
+        # still counts every *logical* query; the cache only avoids
+        # repeated physical scans.
+        self._distinct_cache: Dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # schema / table management
+    # ------------------------------------------------------------------
+    def create_relation(self, relation: RelationSchema) -> Table:
+        """Add a relation to ``R`` with an empty extension."""
+        self.schema.add(relation)
+        table = Table(relation)
+        self._tables[relation.name] = table
+        return table
+
+    def drop_relation(self, name: str) -> None:
+        self.schema.remove(name)
+        del self._tables[name]
+
+    def replace_relation(self, relation: RelationSchema) -> Table:
+        """Swap a relation's schema, projecting its extension (Restruct)."""
+        old = self.table(relation.name)
+        self.schema.replace(relation)
+        table = old.with_schema(relation)
+        self._tables[relation.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def insert(self, relation: str, values: Union[Sequence[Any], Mapping[str, Any]]) -> None:
+        self.table(relation).insert(values)
+
+    def insert_many(self, relation: str, rows: Iterable[Union[Sequence[Any], Mapping[str, Any]]]) -> None:
+        self.table(relation).insert_many(rows)
+
+    def tables(self) -> Iterator[Table]:
+        for name in sorted(self._tables):
+            yield self._tables[name]
+
+    def validate(self) -> None:
+        """Check every declared constraint of every table."""
+        for t in self.tables():
+            t.validate()
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for t in self.tables():
+            out.extend(t.violations())
+        return out
+
+    # ------------------------------------------------------------------
+    # the paper's query primitives (instrumented)
+    # ------------------------------------------------------------------
+    def _distinct(self, relation: str, attrs: Sequence[str]) -> frozenset:
+        """Cached distinct non-NULL projections (version-guarded)."""
+        table = self.table(relation)
+        key = (relation, tuple(attrs))
+        cached = self._distinct_cache.get(key)
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        values = frozenset(algebra.distinct_values(table, tuple(attrs)))
+        self._distinct_cache[key] = (table.version, values)
+        return values
+
+    def count_distinct(self, relation: str, attrs: Sequence[str]) -> int:
+        """``||r[X]||`` — select count distinct X from R."""
+        self.counter.count_distinct += 1
+        return len(self._distinct(relation, attrs))
+
+    def join_count(
+        self,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> int:
+        """``||r_k[A_k] ⋈ r_l[A_l]||``."""
+        self.counter.join_count += 1
+        if len(left_attrs) != len(right_attrs):
+            raise ArityError(
+                f"equi-join arity mismatch: {list(left_attrs)} vs "
+                f"{list(right_attrs)}"
+            )
+        return len(
+            self._distinct(left, left_attrs) & self._distinct(right, right_attrs)
+        )
+
+    def fd_holds(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
+        """Does ``lhs -> rhs`` hold in the extension of *relation*?"""
+        self.counter.fd_checks += 1
+        return algebra.functional_maps(self.table(relation), lhs, rhs)
+
+    def inclusion_holds(
+        self,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> bool:
+        """Does ``R_left[A] ≪ R_right[B]`` hold in the extension?"""
+        self.counter.inclusion_checks += 1
+        if len(left_attrs) != len(right_attrs):
+            raise ArityError(
+                f"inclusion arity mismatch: {list(left_attrs)} vs "
+                f"{list(right_attrs)}"
+            )
+        return self._distinct(left, left_attrs) <= self._distinct(
+            right, right_attrs
+        )
+
+    # ------------------------------------------------------------------
+    # dependency bookkeeping
+    # ------------------------------------------------------------------
+    def add_fd(self, fd: "FunctionalDependency") -> None:
+        if fd not in self.fds:
+            self.fds.append(fd)
+
+    def add_ind(self, ind: "InclusionDependency") -> None:
+        if ind not in self.inds:
+            self.inds.append(ind)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def copy(self) -> "Database":
+        """Deep copy of schema + extension (dependencies reset).
+
+        Restruct mutates the database it is given; callers that want to
+        keep the original (e.g. to diff before/after) copy it first.
+        """
+        clone = Database(self.schema.copy())
+        for table in self.tables():
+            clone.insert_many(table.name, (row.values for row in table))
+        return clone
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{t.name}:{len(t)}" for t in self.tables())
+        return f"Database({sizes})"

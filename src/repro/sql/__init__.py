@@ -1,0 +1,34 @@
+"""A from-scratch SQL subset: lexer, parser, AST, executor, formatter.
+
+The reverse-engineering method needs SQL twice:
+
+1. to *read application programs* — the equi-join extractor
+   (:mod:`repro.programs`) works on the ASTs produced here; and
+2. to *talk to the engine* — DDL builds schemas, INSERT populates
+   extensions, and SELECT answers the method's counting queries.
+
+The dialect covers what legacy data-manipulation code in the paper's
+setting uses: ``CREATE TABLE`` with ``UNIQUE`` / ``NOT NULL`` /
+``PRIMARY KEY``, ``INSERT ... VALUES``, and ``SELECT`` with multi-table
+``FROM``, ``JOIN ... ON``, ``WHERE`` conjunctions, ``IN`` / ``=`` /
+``EXISTS`` subqueries, ``INTERSECT``, ``COUNT(DISTINCT ...)`` and
+``ORDER BY``.
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_sql, parse_statements
+from repro.sql.executor import Executor, execute_sql
+from repro.sql.formatter import format_statement
+from repro.sql import ast_nodes as ast
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_sql",
+    "parse_statements",
+    "Executor",
+    "execute_sql",
+    "format_statement",
+    "ast",
+]

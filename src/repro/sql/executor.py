@@ -1,0 +1,618 @@
+"""Interpreter executing parsed SQL against the in-memory engine.
+
+The executor covers what the reproduction needs: DDL (CREATE/DROP TABLE),
+INSERT, and SELECT with multi-table FROM, INNER JOIN ... ON, WHERE
+conjunctions/disjunctions, IN / scalar / EXISTS subqueries (uncorrelated
+and simple correlated), DISTINCT, INTERSECT, ORDER BY, and the COUNT /
+MIN / MAX / SUM / AVG aggregates — notably ``COUNT(DISTINCT x)``, the
+paper's ``||r[X]||`` primitive.
+
+Subquery evaluation is nested-loop and therefore quadratic; fine for the
+sizes the method queries (counts, not analytics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SQLExecutionError, UnknownRelationError
+from repro.relational.attribute import Attribute
+from repro.relational.database import Database
+from repro.relational.domain import NULL, is_null, type_named
+from repro.relational.schema import RelationSchema
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_sql, parse_statements
+
+# An execution environment row: binding name -> (schema row as dict).
+# The reserved key _LOCAL holds the set of bindings introduced by the
+# *current* SELECT, so unqualified columns resolve innermost-first (SQL
+# scoping) instead of clashing with correlated outer bindings.
+Env = Dict[str, Any]
+
+_LOCAL = "__local_bindings__"
+
+
+class ResultSet:
+    """Columns + rows returned by a SELECT."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Tuple[Any, ...]]) -> None:
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (aggregates)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SQLExecutionError(
+                f"expected scalar result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> List[Any]:
+        return [r[index] for r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+class Executor:
+    """Statement interpreter bound to one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def execute(self, statement: ast.Statement) -> Optional[ResultSet]:
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, outer_env=None)
+        if isinstance(statement, ast.Intersect):
+            return self._execute_intersect(statement)
+        if isinstance(statement, ast.Union):
+            return self._execute_union(statement)
+        if isinstance(statement, ast.CreateTable):
+            self._execute_create(statement)
+            return None
+        if isinstance(statement, ast.Insert):
+            self._execute_insert(statement)
+            return None
+        if isinstance(statement, ast.DropTable):
+            self.database.drop_relation(statement.name)
+            return None
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        raise SQLExecutionError(f"unsupported statement: {statement!r}")
+
+    def run(self, sql: str) -> Optional[ResultSet]:
+        """Parse and execute one statement."""
+        return self.execute(parse_sql(sql))
+
+    def run_script(self, sql: str) -> List[Optional[ResultSet]]:
+        return [self.execute(s) for s in parse_statements(sql)]
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def _execute_create(self, stmt: ast.CreateTable) -> None:
+        attrs: List[Attribute] = []
+        uniques: List[Tuple[str, ...]] = []
+        for col in stmt.columns:
+            attrs.append(
+                Attribute(col.name, type_named(col.type_name), nullable=not col.not_null)
+            )
+            if col.unique or col.primary_key:
+                uniques.append((col.name,))
+        schema = RelationSchema(stmt.name, attrs)
+        for constraint in stmt.constraints:
+            uniques.append(constraint.columns)
+        for u in uniques:
+            schema.declare_unique(u)
+        self.database.create_relation(schema)
+
+    def _execute_insert(self, stmt: ast.Insert) -> None:
+        table = self.database.table(stmt.table)
+        for row in stmt.rows:
+            if stmt.columns:
+                if len(row) != len(stmt.columns):
+                    raise SQLExecutionError(
+                        f"INSERT arity mismatch on {stmt.table}: "
+                        f"{len(stmt.columns)} columns, {len(row)} values"
+                    )
+                mapping = {c: (NULL if v is None else v) for c, v in zip(stmt.columns, row)}
+                table.insert(mapping)
+            else:
+                table.insert([NULL if v is None else v for v in row])
+
+    def _execute_update(self, stmt: ast.Update) -> Optional[ResultSet]:
+        """Row-by-row UPDATE with SQL three-valued WHERE semantics."""
+        table = self.database.table(stmt.table)
+        schema = table.schema
+        positions = {
+            a.column: schema.position(a.column) for a in stmt.assignments
+        }
+        rows = []
+        touched = 0
+        for row in table:
+            env: Env = {stmt.table: row.as_dict(), _LOCAL: frozenset({stmt.table})}
+            matches = (
+                True
+                if stmt.where is None
+                else self._truth(stmt.where, env) is True
+            )
+            values = list(row.values)
+            if matches:
+                touched += 1
+                for assignment in stmt.assignments:
+                    value = assignment.value.value
+                    values[positions[assignment.column]] = (
+                        NULL if value is None else value
+                    )
+            rows.append(values)
+        table.replace_rows(rows)
+        return ResultSet(["rows_updated"], [(touched,)])
+
+    def _execute_delete(self, stmt: ast.Delete) -> Optional[ResultSet]:
+        table = self.database.table(stmt.table)
+
+        def matches(row) -> bool:
+            if stmt.where is None:
+                return True
+            env: Env = {stmt.table: row.as_dict(), _LOCAL: frozenset({stmt.table})}
+            return self._truth(stmt.where, env) is True
+
+        removed = table.delete_where(matches)
+        return ResultSet(["rows_deleted"], [(removed,)])
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _execute_intersect(self, stmt: ast.Intersect) -> ResultSet:
+        results = [self._execute_select(q, outer_env=None) for q in stmt.queries]
+        arities = {len(r.columns) for r in results}
+        if len(arities) != 1:
+            raise SQLExecutionError("INTERSECT operands differ in arity")
+        common = set(results[0].rows)
+        for r in results[1:]:
+            common &= set(r.rows)
+        return ResultSet(results[0].columns, sorted(common, key=repr))
+
+    def _execute_union(self, stmt: ast.Union) -> ResultSet:
+        results = [self._execute_select(q, outer_env=None) for q in stmt.queries]
+        arities = {len(r.columns) for r in results}
+        if len(arities) != 1:
+            raise SQLExecutionError("UNION operands differ in arity")
+        rows: List[Tuple[Any, ...]] = []
+        if stmt.all:
+            for r in results:
+                rows.extend(r.rows)
+        else:
+            seen = set()
+            for r in results:
+                for row in r.rows:
+                    if row not in seen:
+                        seen.add(row)
+                        rows.append(row)
+        return ResultSet(results[0].columns, rows)
+
+    def _execute_select(self, stmt: ast.Select, outer_env: Optional[Env]) -> ResultSet:
+        bindings = self._bindings(stmt)
+        envs = self._enumerate(stmt, bindings, outer_env)
+        if stmt.where is not None:
+            envs = [e for e in envs if self._truth(stmt.where, e) is True]
+
+        if stmt.group_by:
+            return self._grouped_result(stmt, envs, bindings)
+
+        if any(isinstance(i, ast.Aggregate) for i in stmt.items):
+            return self._aggregate_result(stmt, envs, bindings)
+
+        columns, extractor = self._projection(stmt, bindings)
+        rows = [extractor(e) for e in envs]
+        if stmt.distinct:
+            seen = set()
+            unique_rows = []
+            for r in rows:
+                if r not in seen:
+                    seen.add(r)
+                    unique_rows.append(r)
+            rows = unique_rows
+        if stmt.order_by:
+            rows = self._order(rows, columns, stmt, bindings)
+        return ResultSet(columns, rows)
+
+    # -- FROM/JOIN enumeration ----------------------------------------
+    def _bindings(self, stmt: ast.Select) -> Dict[str, str]:
+        """binding name -> real relation name for this SELECT."""
+        bindings: Dict[str, str] = {}
+        for ref in stmt.tables:
+            if ref.binding in bindings:
+                raise SQLExecutionError(f"duplicate table binding {ref.binding!r}")
+            bindings[ref.binding] = ref.name
+        for join in stmt.joins:
+            if join.table.binding in bindings:
+                raise SQLExecutionError(
+                    f"duplicate table binding {join.table.binding!r}"
+                )
+            bindings[join.table.binding] = join.table.name
+        return bindings
+
+    def _enumerate(
+        self, stmt: ast.Select, bindings: Dict[str, str], outer_env: Optional[Env]
+    ) -> List[Env]:
+        base: Env = dict(outer_env) if outer_env else {}
+        base[_LOCAL] = frozenset(bindings)
+        envs: List[Env] = [base]
+        for ref in stmt.tables:
+            envs = self._cross(envs, ref)
+        for join in stmt.joins:
+            if join.kind != "INNER":
+                raise SQLExecutionError(f"{join.kind} JOIN not supported")
+            envs = self._cross(envs, join.table)
+            if join.condition is not None:
+                envs = [e for e in envs if self._truth(join.condition, e) is True]
+        return envs
+
+    def _cross(self, envs: List[Env], ref: ast.TableRef) -> List[Env]:
+        try:
+            table = self.database.table(ref.name)
+        except UnknownRelationError:
+            raise SQLExecutionError(f"unknown table {ref.name!r}") from None
+        out: List[Env] = []
+        for env in envs:
+            for row in table:
+                new_env = dict(env)
+                new_env[ref.binding] = row.as_dict()
+                out.append(new_env)
+        return out
+
+    # -- expression / predicate evaluation ----------------------------
+    def _resolve(self, col: ast.ColumnRef, env: Env) -> Any:
+        if col.qualifier is not None:
+            if col.qualifier not in env:
+                raise SQLExecutionError(f"unknown table or alias {col.qualifier!r}")
+            row = env[col.qualifier]
+            if col.name not in row:
+                raise SQLExecutionError(f"unknown column {col.qualifier}.{col.name}")
+            return row[col.name]
+        local = env.get(_LOCAL, frozenset())
+        candidates = [
+            b for b in env if b != _LOCAL and col.name in env[b]
+        ]
+        # SQL scoping: the current SELECT's bindings shadow outer ones
+        owners = [b for b in candidates if b in local] or candidates
+        if not owners:
+            raise SQLExecutionError(f"unknown column {col.name!r}")
+        if len(owners) > 1:
+            raise SQLExecutionError(
+                f"ambiguous column {col.name!r} in {sorted(owners)}"
+            )
+        return env[owners[0]][col.name]
+
+    def _value(self, expr: ast.Expr, env: Env) -> Any:
+        if isinstance(expr, ast.Literal):
+            return NULL if expr.value is None else expr.value
+        if isinstance(expr, ast.ColumnRef):
+            return self._resolve(expr, env)
+        raise SQLExecutionError(f"cannot evaluate {expr!r} as a value")
+
+    def _truth(self, pred: ast.Predicate, env: Env) -> Optional[bool]:
+        """Three-valued logic: True / False / None (SQL UNKNOWN)."""
+        if isinstance(pred, ast.And):
+            values = [self._truth(p, env) for p in pred.operands]
+            if False in values:
+                return False
+            if None in values:
+                return None
+            return True
+        if isinstance(pred, ast.Or):
+            values = [self._truth(p, env) for p in pred.operands]
+            if True in values:
+                return True
+            if None in values:
+                return None
+            return False
+        if isinstance(pred, ast.Not):
+            value = self._truth(pred.operand, env)
+            return None if value is None else not value
+        if isinstance(pred, ast.IsNull):
+            null = is_null(self._value(pred.expr, env))
+            return (not null) if pred.negated else null
+        if isinstance(pred, ast.Comparison):
+            return self._compare(pred, env)
+        if isinstance(pred, ast.Between):
+            value = self._value(pred.expr, env)
+            low = self._value(pred.low, env)
+            high = self._value(pred.high, env)
+            lower = self._compare_values(low, "<=", value)
+            upper = self._compare_values(value, "<=", high)
+            if lower is None or upper is None:
+                return None
+            result = lower and upper
+            return not result if pred.negated else result
+        if isinstance(pred, ast.Like):
+            value = self._value(pred.expr, env)
+            if is_null(value):
+                return None
+            if not isinstance(value, str):
+                raise SQLExecutionError(f"LIKE applies to text, got {value!r}")
+            matched = _like_match(pred.pattern, value)
+            return not matched if pred.negated else matched
+        if isinstance(pred, ast.InSubquery):
+            return self._in_subquery(pred, env)
+        if isinstance(pred, ast.CompareSubquery):
+            inner = self._execute_select(pred.query, outer_env=env)
+            if len(inner.rows) == 0:
+                return None
+            if len(inner.rows) > 1 or len(inner.columns) != 1:
+                raise SQLExecutionError("scalar subquery returned multiple rows")
+            right = inner.rows[0][0]
+            left = self._value(pred.expr, env)
+            return self._compare_values(left, pred.op, right)
+        if isinstance(pred, ast.ExistsSubquery):
+            inner = self._execute_select(pred.query, outer_env=env)
+            exists = len(inner.rows) > 0
+            return (not exists) if pred.negated else exists
+        raise SQLExecutionError(f"unsupported predicate {pred!r}")
+
+    def _compare(self, pred: ast.Comparison, env: Env) -> Optional[bool]:
+        left = self._value(pred.left, env)
+        right = self._value(pred.right, env)
+        return self._compare_values(left, pred.op, right)
+
+    @staticmethod
+    def _compare_values(left: Any, op: str, right: Any) -> Optional[bool]:
+        if is_null(left) or is_null(right):
+            return None
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError as exc:
+            raise SQLExecutionError(
+                f"cannot compare {left!r} {op} {right!r}"
+            ) from exc
+        raise SQLExecutionError(f"unknown operator {op!r}")
+
+    def _in_subquery(self, pred: ast.InSubquery, env: Env) -> Optional[bool]:
+        inner = self._execute_select(pred.query, outer_env=env)
+        if len(inner.columns) != 1:
+            raise SQLExecutionError("IN subquery must return one column")
+        left = self._value(pred.expr, env)
+        if is_null(left):
+            return None
+        values = inner.column(0)
+        non_null = [v for v in values if not is_null(v)]
+        has_null = len(non_null) != len(values)
+        if left in non_null:
+            result: Optional[bool] = True
+        elif has_null:
+            result = None  # NULL in the list makes a miss UNKNOWN
+        else:
+            result = False
+        if pred.negated:
+            return None if result is None else not result
+        return result
+
+    # -- projection / aggregates ---------------------------------------
+    def _projection(self, stmt: ast.Select, bindings: Dict[str, str]):
+        if len(stmt.items) == 1 and isinstance(stmt.items[0], ast.Star):
+            columns: List[str] = []
+            accessors: List[Tuple[str, str]] = []
+            for binding, relation in bindings.items():
+                schema = self.database.schema.relation(relation)
+                for attr in schema.attribute_names:
+                    columns.append(f"{binding}.{attr}" if len(bindings) > 1 else attr)
+                    accessors.append((binding, attr))
+
+            def star_extractor(env: Env) -> Tuple[Any, ...]:
+                return tuple(env[b][a] for b, a in accessors)
+
+            return columns, star_extractor
+
+        items = list(stmt.items)
+        columns = [str(i) for i in items]
+
+        def extractor(env: Env) -> Tuple[Any, ...]:
+            return tuple(self._value(i, env) for i in items)
+
+        return columns, extractor
+
+    def _grouped_result(
+        self, stmt: ast.Select, envs: List[Env], bindings: Dict[str, str]
+    ) -> ResultSet:
+        """GROUP BY evaluation: partition, filter with HAVING, project.
+
+        Select items must be grouping columns or aggregates (standard
+        SQL rule); HAVING predicates may use aggregates as operands.
+        """
+        group_keys = [
+            str(c) for c in stmt.group_by
+        ]
+        groups: Dict[Tuple[Any, ...], List[Env]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for env in envs:
+            key = tuple(self._resolve(c, env) for c in stmt.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(env)
+
+        grouping_names = {c.name for c in stmt.group_by} | set(group_keys)
+        for item in stmt.items:
+            if isinstance(item, ast.Aggregate):
+                continue
+            if isinstance(item, ast.ColumnRef) and str(item) in group_keys:
+                continue
+            if isinstance(item, ast.ColumnRef) and item.name in grouping_names:
+                continue
+            raise SQLExecutionError(
+                f"select item {item} is neither grouped nor aggregated"
+            )
+
+        def group_value(expr: ast.Expr, key, members: List[Env]) -> Any:
+            if isinstance(expr, ast.Aggregate):
+                return self._eval_aggregate(expr, members)
+            if isinstance(expr, ast.ColumnRef):
+                for position, column in enumerate(stmt.group_by):
+                    if str(column) == str(expr) or column.name == expr.name:
+                        return key[position]
+            raise SQLExecutionError(f"cannot evaluate {expr} per group")
+
+        def having_truth(pred: ast.Predicate, key, members) -> Optional[bool]:
+            if isinstance(pred, ast.And):
+                values = [having_truth(p, key, members) for p in pred.operands]
+                if False in values:
+                    return False
+                return None if None in values else True
+            if isinstance(pred, ast.Or):
+                values = [having_truth(p, key, members) for p in pred.operands]
+                if True in values:
+                    return True
+                return None if None in values else False
+            if isinstance(pred, ast.Not):
+                value = having_truth(pred.operand, key, members)
+                return None if value is None else not value
+            if isinstance(pred, ast.Comparison):
+                left = (
+                    group_value(pred.left, key, members)
+                    if isinstance(pred.left, (ast.Aggregate, ast.ColumnRef))
+                    else self._value(pred.left, members[0])
+                )
+                right = (
+                    group_value(pred.right, key, members)
+                    if isinstance(pred.right, (ast.Aggregate, ast.ColumnRef))
+                    else self._value(pred.right, members[0])
+                )
+                return self._compare_values(left, pred.op, right)
+            raise SQLExecutionError(
+                f"unsupported HAVING predicate {pred!r}"
+            )
+
+        columns = [str(i) for i in stmt.items]
+        rows: List[Tuple[Any, ...]] = []
+        for key in order:
+            members = groups[key]
+            if stmt.having is not None:
+                if having_truth(stmt.having, key, members) is not True:
+                    continue
+            rows.append(
+                tuple(group_value(i, key, members) for i in stmt.items)
+            )
+        if stmt.order_by:
+            rows = self._order(rows, columns, stmt, bindings)
+        return ResultSet(columns, rows)
+
+    def _aggregate_result(
+        self, stmt: ast.Select, envs: List[Env], bindings: Dict[str, str]
+    ) -> ResultSet:
+        values: List[Any] = []
+        columns: List[str] = []
+        for item in stmt.items:
+            if not isinstance(item, ast.Aggregate):
+                raise SQLExecutionError(
+                    "mixing aggregates with plain columns needs GROUP BY "
+                    "(not supported)"
+                )
+            columns.append(str(item))
+            values.append(self._eval_aggregate(item, envs))
+        return ResultSet(columns, [tuple(values)])
+
+    def _eval_aggregate(self, agg: ast.Aggregate, envs: List[Env]) -> Any:
+        if isinstance(agg.argument, ast.Star):
+            if agg.function != "COUNT":
+                raise SQLExecutionError(f"{agg.function}(*) is not valid")
+            return len(envs)
+        cols = (
+            list(agg.argument)
+            if isinstance(agg.argument, tuple)
+            else [agg.argument]
+        )
+        projected: List[Tuple[Any, ...]] = []
+        for env in envs:
+            row = tuple(self._resolve(c, env) for c in cols)
+            if any(is_null(v) for v in row):
+                continue
+            projected.append(row)
+        if agg.function == "COUNT":
+            if agg.distinct:
+                return len(set(projected))
+            return len(projected)
+        if agg.distinct:
+            projected = list(set(projected))
+        if len(cols) != 1:
+            raise SQLExecutionError(f"{agg.function} takes one column")
+        scalars = [row[0] for row in projected]
+        if not scalars:
+            return NULL
+        if agg.function == "MIN":
+            return min(scalars)
+        if agg.function == "MAX":
+            return max(scalars)
+        if agg.function == "SUM":
+            return sum(scalars)
+        if agg.function == "AVG":
+            return sum(scalars) / len(scalars)
+        raise SQLExecutionError(f"unknown aggregate {agg.function}")
+
+    def _order(self, rows, columns, stmt: ast.Select, bindings) -> List[Tuple[Any, ...]]:
+        def key(row: Tuple[Any, ...]):
+            parts = []
+            for item in stmt.order_by:
+                name = str(item.expr)
+                if name in columns:
+                    idx = columns.index(name)
+                else:
+                    # unqualified ORDER BY against qualified select columns
+                    matches = [
+                        i
+                        for i, c in enumerate(columns)
+                        if c == item.expr.name or c.endswith("." + item.expr.name)
+                    ]
+                    if len(matches) != 1:
+                        raise SQLExecutionError(
+                            f"ORDER BY column {name!r} not in select list"
+                        )
+                    idx = matches[0]
+                value = row[idx]
+                parts.append((is_null(value), value if not is_null(value) else 0))
+            return tuple(parts)
+
+        ordered = sorted(rows, key=key)
+        if any(i.descending for i in stmt.order_by):
+            if not all(i.descending for i in stmt.order_by):
+                raise SQLExecutionError("mixed ASC/DESC not supported")
+            ordered.reverse()
+        return ordered
+
+
+def _like_match(pattern: str, value: str) -> bool:
+    """SQL LIKE: ``%`` matches any run, ``_`` any single character."""
+    import re
+
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    return re.fullmatch(regex, value) is not None
+
+
+def execute_sql(database: Database, sql: str) -> Optional[ResultSet]:
+    """One-shot convenience: parse and execute *sql* against *database*."""
+    return Executor(database).run(sql)

@@ -1,0 +1,41 @@
+"""Render AST statements back to SQL text.
+
+Every node already knows its single-line form (``__str__``); the formatter
+adds a pretty multi-line layout for SELECTs so generated application
+programs look like code a human maintained, which matters for the
+program-corpus fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast_nodes as ast
+
+
+def format_statement(stmt: ast.Statement, pretty: bool = False) -> str:
+    """Format any statement; *pretty* lays SELECT clauses on their own lines."""
+    if not pretty or not isinstance(stmt, (ast.Select, ast.Intersect)):
+        return str(stmt)
+    if isinstance(stmt, ast.Intersect):
+        return "\nINTERSECT\n".join(format_statement(q, pretty=True) for q in stmt.queries)
+    return _pretty_select(stmt)
+
+
+def _pretty_select(stmt: ast.Select, indent: str = "") -> str:
+    lines = []
+    head = "SELECT DISTINCT" if stmt.distinct else "SELECT"
+    lines.append(f"{indent}{head} " + ", ".join(str(i) for i in stmt.items))
+    lines.append(f"{indent}FROM " + ", ".join(str(t) for t in stmt.tables))
+    for join in stmt.joins:
+        lines.append(f"{indent}{join}")
+    if stmt.where is not None:
+        lines.append(f"{indent}WHERE {_pretty_predicate(stmt.where, indent)}")
+    if stmt.order_by:
+        lines.append(f"{indent}ORDER BY " + ", ".join(str(o) for o in stmt.order_by))
+    return "\n".join(lines)
+
+
+def _pretty_predicate(pred: ast.Predicate, indent: str) -> str:
+    if isinstance(pred, ast.And):
+        joiner = f"\n{indent}  AND "
+        return joiner.join(_pretty_predicate(p, indent) for p in pred.operands)
+    return str(pred)

@@ -1,0 +1,187 @@
+"""Hand-written SQL lexer.
+
+Produces :class:`~repro.sql.tokens.Token` streams.  Handles single-quoted
+strings with doubled-quote escapes, line comments (``--``), block comments
+(``/* */``), numbers (int and decimal), quoted identifiers (double quotes),
+and the operator/punctuation set of the dialect.  Identifiers may contain
+hyphens *when unambiguous* — the paper's schemas use attribute names such
+as ``project-name`` — a hyphen glues two identifier characters together
+(so ``a-b`` lexes as one identifier, while ``a - b`` stays a minus, which
+this dialect does not use anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.exceptions import SQLLexError
+from repro.sql.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    NUMBER,
+    OPERATORS,
+    PUNCT,
+    PUNCTUATION,
+    STRING,
+    Token,
+)
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Single-pass lexer over one SQL text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def tokens(self) -> List[Token]:
+        return list(self)
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            tok = self.next_token()
+            yield tok
+            if tok.kind == EOF:
+                return
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise SQLLexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(EOF, "", line, column)
+        ch = self._peek()
+
+        if _is_ident_start(ch):
+            return self._lex_word(line, column)
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch == "-" and self._peek(1).isdigit():
+            # negative literal; standalone '-' is not an operator in this
+            # dialect, and hyphenated identifiers are handled in _lex_word
+            self._advance()
+            tok = self._lex_number(line, column)
+            return Token(tok.kind, "-" + tok.value, line, column)
+        if ch == "'":
+            return self._lex_string(line, column)
+        if ch == '"':
+            return self._lex_quoted_identifier(line, column)
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("OPERATOR", op, line, column)
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(PUNCT, ch, line, column)
+        raise SQLLexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        chars = [self._advance()]
+        while True:
+            ch = self._peek()
+            if _is_ident_char(ch):
+                chars.append(self._advance())
+            elif ch == "-" and _is_ident_char(self._peek(1)):
+                # hyphenated identifier (paper style: project-name)
+                chars.append(self._advance())
+            else:
+                break
+        word = "".join(chars)
+        if word.upper() in KEYWORDS and "-" not in word:
+            return Token(KEYWORD, word.upper(), line, column)
+        return Token(IDENT, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        chars = [self._advance()]
+        seen_dot = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                chars.append(self._advance())
+            elif ch == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                chars.append(self._advance())
+            else:
+                break
+        return Token(NUMBER, "".join(chars), line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise SQLLexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # doubled-quote escape
+                    chars.append(self._advance())
+                else:
+                    return Token(STRING, "".join(chars), line, column)
+            else:
+                chars.append(ch)
+
+    def _lex_quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening double quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise SQLLexError("unterminated quoted identifier", line, column)
+            ch = self._advance()
+            if ch == '"':
+                return Token(IDENT, "".join(chars), line, column)
+            chars.append(ch)
+
+
+def tokenize(text: str) -> List[Token]:
+    """All tokens of *text*, ending with the EOF token."""
+    return Lexer(text).tokens()

@@ -1,0 +1,46 @@
+"""Token kinds and the token value object for the SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds are plain strings; a tiny enum-by-convention keeps the lexer
+# and parser readable without an Enum import in every match.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OPERATOR = "OPERATOR"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+        "IN", "EXISTS", "INTERSECT", "UNION", "ALL", "JOIN", "INNER",
+        "LEFT", "RIGHT", "OUTER", "ON", "AS", "ORDER", "BY", "GROUP",
+        "HAVING", "ASC", "DESC", "CREATE", "TABLE", "PRIMARY", "KEY",
+        "UNIQUE", "NULL", "INSERT", "INTO", "VALUES", "COUNT", "MIN",
+        "MAX", "SUM", "AVG", "IS", "BETWEEN", "LIKE", "DROP", "DELETE",
+        "UPDATE", "SET", "TRUE", "FALSE",
+    }
+)
+
+OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
+PUNCTUATION = "(),.;*"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"

@@ -1,0 +1,50 @@
+"""Persistence: CSV extensions and JSON schema/dependency documents.
+
+Legacy reverse-engineering work is iterative; these modules let a run's
+inputs and elicited artifacts round-trip to disk so a session can be
+resumed or audited.
+"""
+
+from repro.storage.csv_io import load_table_csv, dump_table_csv, load_database_csv, dump_database_csv
+from repro.storage.decisions import script_from_dict, script_to_dict
+from repro.storage.ddl import (
+    create_table_sql,
+    inserts_to_sql,
+    migration_script,
+    schema_to_sql,
+)
+from repro.storage.serialize import (
+    schema_to_dict,
+    schema_from_dict,
+    database_to_dict,
+    database_from_dict,
+    dependencies_to_dict,
+    dependencies_from_dict,
+    eer_to_dict,
+    eer_from_dict,
+    save_json,
+    load_json,
+)
+
+__all__ = [
+    "script_from_dict",
+    "script_to_dict",
+    "create_table_sql",
+    "inserts_to_sql",
+    "migration_script",
+    "schema_to_sql",
+    "load_table_csv",
+    "dump_table_csv",
+    "load_database_csv",
+    "dump_database_csv",
+    "schema_to_dict",
+    "schema_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+    "dependencies_to_dict",
+    "dependencies_from_dict",
+    "eer_to_dict",
+    "eer_from_dict",
+    "save_json",
+    "load_json",
+]

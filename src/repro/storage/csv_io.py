@@ -1,0 +1,94 @@
+"""CSV import/export of extensions.
+
+The CSV dialect is simple: header row of attribute names, empty string
+means NULL for nullable attributes, values are parsed back through each
+attribute's domain (ints and reals recover their types).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List
+
+from repro.exceptions import DataError
+from repro.relational.database import Database
+from repro.relational.domain import BOOLEAN, INTEGER, NULL, REAL, is_null
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+
+def dump_table_csv(table: Table, path: str) -> None:
+    """Write *table* to *path* (header + one row per tuple)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.attribute_names)
+        for row in table:
+            writer.writerow(
+                ["" if is_null(v) else v for v in row.values]
+            )
+
+
+def _parse_value(text: str, dtype) -> object:
+    if text == "":
+        return NULL
+    if dtype == INTEGER:
+        return int(text)
+    if dtype == REAL:
+        return float(text)
+    if dtype == BOOLEAN:
+        if text in ("True", "true", "1"):
+            return True
+        if text in ("False", "false", "0"):
+            return False
+        raise DataError(f"not a boolean: {text!r}")
+    return text
+
+
+def load_table_csv(schema: RelationSchema, path: str) -> Table:
+    """Read a table for *schema* from *path*; header must match."""
+    table = Table(schema)
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return table
+        if tuple(header) != schema.attribute_names:
+            raise DataError(
+                f"CSV header {header} does not match schema "
+                f"{list(schema.attribute_names)}"
+            )
+        dtypes = [schema.attribute(a).dtype for a in header]
+        for line in reader:
+            if len(line) != len(header):
+                raise DataError(f"row arity mismatch in {path}: {line}")
+            table.insert([
+                _parse_value(text, dtype) for text, dtype in zip(line, dtypes)
+            ])
+    return table
+
+
+def dump_database_csv(database: Database, directory: str) -> List[str]:
+    """One CSV per relation under *directory*; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for table in database.tables():
+        path = os.path.join(directory, f"{table.name}.csv")
+        dump_table_csv(table, path)
+        paths.append(path)
+    return paths
+
+
+def load_database_csv(database: Database, directory: str) -> None:
+    """Fill *database* (schemas already declared) from ``<name>.csv`` files.
+
+    Relations without a file stay empty; extra files are ignored.
+    """
+    for relation in database.schema:
+        path = os.path.join(directory, f"{relation.name}.csv")
+        if not os.path.exists(path):
+            continue
+        loaded = load_table_csv(relation, path)
+        database.table(relation.name).replace_rows(
+            [row.values for row in loaded]
+        )

@@ -1,0 +1,72 @@
+"""Persisting expert decisions: interactive sessions become replayable.
+
+A reverse-engineering project runs over weeks; the expert's answers are
+project knowledge and must survive the session.  A recorded script
+(:meth:`RecordingExpert.to_script`) serializes to a JSON document and
+loads back into a :class:`~repro.core.expert.ScriptedExpert` — the CLI
+exposes this as ``run --save-decisions`` / ``--replay-decisions``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.expert import (
+    ConceptualizeIntersection,
+    ForceInclusion,
+    IgnoreIntersection,
+)
+from repro.exceptions import DataError
+
+_FORMAT = "repro/decisions@1"
+
+
+def script_to_dict(script: Dict[str, object]) -> Dict[str, Any]:
+    """Serialize a ScriptedExpert answer dictionary."""
+    answers = []
+    for question, value in script.items():
+        if isinstance(value, ConceptualizeIntersection):
+            encoded: Dict[str, Any] = {
+                "type": "conceptualize", "name": value.name,
+            }
+        elif isinstance(value, ForceInclusion):
+            encoded = {"type": "force", "direction": value.direction}
+        elif isinstance(value, IgnoreIntersection):
+            encoded = {"type": "ignore"}
+        elif isinstance(value, bool):
+            encoded = {"type": "bool", "value": value}
+        elif isinstance(value, str):
+            encoded = {"type": "text", "value": value}
+        else:
+            raise DataError(
+                f"cannot serialize expert answer {value!r} "
+                f"for question {question!r}"
+            )
+        answers.append({"question": question, "answer": encoded})
+    return {"format": _FORMAT, "answers": answers}
+
+
+def script_from_dict(document: Dict[str, Any]) -> Dict[str, object]:
+    """Deserialize a decisions document back into an answer dictionary."""
+    if document.get("format") != _FORMAT:
+        raise DataError(
+            f"not a decisions document: {document.get('format')!r}"
+        )
+    script: Dict[str, object] = {}
+    for entry in document["answers"]:
+        encoded = entry["answer"]
+        kind = encoded.get("type")
+        if kind == "conceptualize":
+            value: object = ConceptualizeIntersection(encoded["name"])
+        elif kind == "force":
+            value = ForceInclusion(encoded["direction"])
+        elif kind == "ignore":
+            value = IgnoreIntersection()
+        elif kind == "bool":
+            value = bool(encoded["value"])
+        elif kind == "text":
+            value = str(encoded["value"])
+        else:
+            raise DataError(f"unknown decision type {kind!r}")
+        script[entry["question"]] = value
+    return script

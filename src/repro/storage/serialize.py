@@ -1,0 +1,233 @@
+"""JSON documents for schemas, extensions, dependency sets and EER schemas.
+
+Formats are versioned (``"format": "repro/<kind>@1"``) and intentionally
+explicit — they are audit artifacts of a reverse-engineering session,
+meant to be read by humans as much as reloaded by the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+from repro.exceptions import DataError
+from repro.relational.attribute import Attribute
+from repro.relational.database import Database
+from repro.relational.domain import NULL, is_null, type_named
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+# ----------------------------------------------------------------------
+# relational schema
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: DatabaseSchema) -> Dict[str, Any]:
+    """Serialize a relational schema (relations, types, uniques)."""
+    return {
+        "format": "repro/schema@1",
+        "relations": [
+            {
+                "name": r.name,
+                "attributes": [
+                    {
+                        "name": a.name,
+                        "type": a.dtype.name,
+                        "nullable": a.nullable,
+                    }
+                    for a in r.attributes
+                ],
+                "unique": [list(u.attributes) for u in r.uniques],
+            }
+            for r in schema
+        ],
+    }
+
+
+def schema_from_dict(document: Dict[str, Any]) -> DatabaseSchema:
+    """Rebuild a relational schema from its JSON document."""
+    if document.get("format") != "repro/schema@1":
+        raise DataError(f"not a schema document: {document.get('format')!r}")
+    schema = DatabaseSchema()
+    for rel in document["relations"]:
+        attrs = [
+            Attribute(a["name"], type_named(a["type"]), a.get("nullable", True))
+            for a in rel["attributes"]
+        ]
+        relation = RelationSchema(rel["name"], attrs)
+        for unique in rel.get("unique", []):
+            relation.declare_unique(tuple(unique))
+        schema.add(relation)
+    return schema
+
+
+# ----------------------------------------------------------------------
+# whole database (schema + extension)
+# ----------------------------------------------------------------------
+def database_to_dict(database: Database) -> Dict[str, Any]:
+    """Serialize a whole database: schema plus every extension."""
+    return {
+        "format": "repro/database@1",
+        "schema": schema_to_dict(database.schema),
+        "tables": {
+            table.name: [
+                [None if is_null(v) else v for v in row.values]
+                for row in table
+            ]
+            for table in database.tables()
+        },
+    }
+
+
+def database_from_dict(document: Dict[str, Any]) -> Database:
+    """Rebuild a populated database from its JSON document."""
+    if document.get("format") != "repro/database@1":
+        raise DataError(f"not a database document: {document.get('format')!r}")
+    schema = schema_from_dict(document["schema"])
+    database = Database(schema)
+    for name, rows in document["tables"].items():
+        database.insert_many(
+            name, ([NULL if v is None else v for v in row] for row in rows)
+        )
+    return database
+
+
+# ----------------------------------------------------------------------
+# dependencies
+# ----------------------------------------------------------------------
+def dependencies_to_dict(
+    fds: Sequence[FunctionalDependency],
+    inds: Sequence[InclusionDependency],
+) -> Dict[str, Any]:
+    """Serialize elicited dependency sets (FDs and INDs)."""
+    return {
+        "format": "repro/dependencies@1",
+        "functional": [
+            {
+                "relation": fd.relation,
+                "lhs": list(fd.lhs),
+                "rhs": list(fd.rhs),
+            }
+            for fd in fds
+        ],
+        "inclusion": [
+            {
+                "lhs_relation": ind.lhs_relation,
+                "lhs": list(ind.lhs_attrs),
+                "rhs_relation": ind.rhs_relation,
+                "rhs": list(ind.rhs_attrs),
+            }
+            for ind in inds
+        ],
+    }
+
+
+def dependencies_from_dict(document: Dict[str, Any]):
+    """Rebuild ``(fds, inds)`` from a dependencies document."""
+    if document.get("format") != "repro/dependencies@1":
+        raise DataError(
+            f"not a dependencies document: {document.get('format')!r}"
+        )
+    fds = [
+        FunctionalDependency(d["relation"], tuple(d["lhs"]), tuple(d["rhs"]))
+        for d in document["functional"]
+    ]
+    inds = [
+        InclusionDependency(
+            d["lhs_relation"], tuple(d["lhs"]), d["rhs_relation"], tuple(d["rhs"])
+        )
+        for d in document["inclusion"]
+    ]
+    return fds, inds
+
+
+# ----------------------------------------------------------------------
+# EER schema
+# ----------------------------------------------------------------------
+def eer_to_dict(schema: EERSchema) -> Dict[str, Any]:
+    """Serialize an EER schema (entities, relationships, is-a)."""
+    return {
+        "format": "repro/eer@1",
+        "entities": [
+            {
+                "name": e.name,
+                "attributes": list(e.attributes),
+                "key": list(e.key),
+                "weak": e.weak,
+                "owners": list(e.owners),
+                "discriminator": list(e.discriminator),
+            }
+            for e in schema.entities
+        ],
+        "relationships": [
+            {
+                "name": r.name,
+                "attributes": list(r.attributes),
+                "participants": [
+                    {
+                        "entity": p.entity,
+                        "cardinality": p.cardinality,
+                        "role": p.role,
+                        "via": list(p.via),
+                    }
+                    for p in r.participants
+                ],
+            }
+            for r in schema.relationships
+        ],
+        "isa": [{"sub": l.sub, "sup": l.sup} for l in schema.isa_links],
+    }
+
+
+def eer_from_dict(document: Dict[str, Any]) -> EERSchema:
+    """Rebuild an EER schema from its JSON document."""
+    if document.get("format") != "repro/eer@1":
+        raise DataError(f"not an EER document: {document.get('format')!r}")
+    schema = EERSchema()
+    for e in document["entities"]:
+        schema.add_entity(
+            EntityType(
+                e["name"],
+                tuple(e.get("attributes", ())),
+                tuple(e.get("key", ())),
+                e.get("weak", False),
+                tuple(e.get("owners", ())),
+                tuple(e.get("discriminator", ())),
+            )
+        )
+    for r in document["relationships"]:
+        schema.add_relationship(
+            RelationshipType(
+                r["name"],
+                tuple(
+                    Participation(
+                        p["entity"],
+                        p.get("cardinality", "N"),
+                        p.get("role", ""),
+                        tuple(p.get("via", ())),
+                    )
+                    for p in r["participants"]
+                ),
+                tuple(r.get("attributes", ())),
+            )
+        )
+    for link in document["isa"]:
+        schema.add_isa(link["sub"], link["sup"])
+    return schema
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def save_json(document: Dict[str, Any], path: str) -> None:
+    """Write *document* to *path* as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Read a JSON document from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

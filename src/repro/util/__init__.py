@@ -1,0 +1,22 @@
+"""Small shared utilities: naming, deterministic ordering, text helpers."""
+
+from repro.util.naming import (
+    is_valid_identifier,
+    unique_name,
+    merge_name,
+    singularize,
+)
+from repro.util.ordering import stable_sorted, attr_sort_key
+from repro.util.text import indent_block, pluralize, format_table
+
+__all__ = [
+    "is_valid_identifier",
+    "unique_name",
+    "merge_name",
+    "singularize",
+    "stable_sorted",
+    "attr_sort_key",
+    "indent_block",
+    "pluralize",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Name manipulation helpers used when the method invents new relations.
+
+The paper lets the expert user choose significant names for the relations
+created by IND-Discovery (conceptualized intersections), RHS-Discovery
+(hidden objects) and Restruct (FD splits).  When no expert supplies a name,
+the library needs deterministic, readable defaults; these helpers build
+them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Set
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+def is_valid_identifier(name: str) -> bool:
+    """Return True when *name* can be used as a relation or attribute name.
+
+    The paper's examples use hyphenated names such as ``Ass-Dept`` and
+    ``project-name``, so hyphens are allowed in non-leading positions.
+    """
+    return bool(_IDENTIFIER_RE.match(name))
+
+
+def unique_name(base: str, taken: Iterable[str]) -> str:
+    """Return *base*, suffixed with the smallest integer making it unused.
+
+    ``unique_name("Manager", {"Manager"})`` returns ``"Manager_2"``.
+    Comparison is case-insensitive because SQL identifiers usually are.
+    """
+    taken_fold: Set[str] = {t.casefold() for t in taken}
+    if base.casefold() not in taken_fold:
+        return base
+    i = 2
+    while f"{base}_{i}".casefold() in taken_fold:
+        i += 1
+    return f"{base}_{i}"
+
+
+def merge_name(left: str, right: str) -> str:
+    """Default name for a relation conceptualizing an intersection.
+
+    The paper names the intersection of ``Assignment.dep`` and
+    ``Department.dep`` as ``Ass-Dept``; we mimic that style by gluing
+    prefixes of the two relation names.
+    """
+    return f"{left[:4].rstrip('-_')}-{right[:4].rstrip('-_')}"
+
+
+_PLURAL_SUFFIXES = (("ies", "y"), ("ses", "s"), ("xes", "x"), ("s", ""))
+
+
+def singularize(name: str) -> str:
+    """Very small singularizer for generated entity-type names.
+
+    This only needs to look reasonable on generated workload names such as
+    ``employees`` -> ``employee``; it is not a linguistic tool.
+    """
+    lowered = name.lower()
+    for suffix, replacement in _PLURAL_SUFFIXES:
+        if lowered.endswith(suffix) and len(name) > len(suffix) + 1:
+            return name[: len(name) - len(suffix)] + replacement
+    return name

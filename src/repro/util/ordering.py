@@ -1,0 +1,28 @@
+"""Deterministic ordering helpers.
+
+Every algorithm in the paper is stated over *sets*; to make runs
+reproducible (the same schema in always produces the same schema out, with
+the same names) the library iterates those sets in a stable order.  These
+helpers centralize the sort keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_sorted(items: Iterable[T]) -> List[T]:
+    """Sort by ``repr`` as a last-resort total order for heterogeneous items.
+
+    Used only where elements do not carry their own sort key; all core
+    classes define ``sort_key()`` and should be sorted with that instead.
+    """
+    return sorted(items, key=repr)
+
+
+def attr_sort_key(qualified: Tuple[str, Tuple[str, ...]]) -> Tuple[str, Tuple[str, ...]]:
+    """Sort key for (relation name, attribute tuple) pairs."""
+    relation, attrs = qualified
+    return (relation, tuple(attrs))

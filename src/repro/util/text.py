@@ -1,0 +1,33 @@
+"""Plain-text rendering helpers shared by reports, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def indent_block(text: str, prefix: str = "    ") -> str:
+    """Indent every non-empty line of *text* with *prefix*."""
+    return "\n".join(prefix + line if line else line for line in text.splitlines())
+
+
+def pluralize(count: int, singular: str, plural: str = "") -> str:
+    """Return ``"1 relation"`` / ``"3 relations"`` style phrases."""
+    if count == 1:
+        return f"{count} {singular}"
+    return f"{count} {plural or singular + 's'}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a small left-aligned ASCII table (no external dependency).
+
+    Used by the benchmark harness to print the paper-vs-measured rows.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([str(v) for v in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Workloads: the paper's running example and synthetic denormalized databases.
+
+- :mod:`repro.workloads.paper_example` — the §5 database, its program
+  corpus, the §6-§7 expert choices, and the expected artifact sets
+  (used by the E-series benchmarks and the integration tests);
+- :mod:`repro.workloads.er_generator` — random ground-truth ER schemas;
+- :mod:`repro.workloads.mapping` — ER → relational (3NF) mapping;
+- :mod:`repro.workloads.denormalizer` — controlled denormalization
+  (creates hidden objects / embedded FDs with known ground truth);
+- :mod:`repro.workloads.data_generator` — extensions satisfying the
+  ground-truth dependencies;
+- :mod:`repro.workloads.corruption` — integrity-violation injection
+  (creates the non-empty-intersection cases);
+- :mod:`repro.workloads.query_generator` — equi-join workloads along
+  the schema's navigation paths, rendered as application programs;
+- :mod:`repro.workloads.oracle` — an Expert that answers from ground
+  truth;
+- :mod:`repro.workloads.scenario` — ties the above into one object.
+"""
+
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_program_corpus,
+    paper_equijoins,
+    paper_expert_script,
+    PaperExpectations,
+    PAPER_EXPECTED,
+)
+from repro.workloads.er_generator import ERGenerator, GeneratorConfig
+from repro.workloads.mapping import map_er_to_relational, RelationalMapping
+from repro.workloads.denormalizer import Denormalizer, DenormalizationPlan, GroundTruth
+from repro.workloads.data_generator import DataGenerator
+from repro.workloads.corruption import CorruptionInjector
+from repro.workloads.query_generator import QueryWorkloadGenerator
+from repro.workloads.oracle import OracleExpert
+from repro.workloads.scenario import SyntheticScenario, build_scenario
+
+__all__ = [
+    "build_paper_database",
+    "paper_program_corpus",
+    "paper_equijoins",
+    "paper_expert_script",
+    "PaperExpectations",
+    "PAPER_EXPECTED",
+    "ERGenerator",
+    "GeneratorConfig",
+    "map_er_to_relational",
+    "RelationalMapping",
+    "Denormalizer",
+    "DenormalizationPlan",
+    "GroundTruth",
+    "DataGenerator",
+    "CorruptionInjector",
+    "QueryWorkloadGenerator",
+    "OracleExpert",
+    "SyntheticScenario",
+    "build_scenario",
+]

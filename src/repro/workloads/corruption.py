@@ -1,0 +1,88 @@
+"""Integrity-violation injection.
+
+Legacy extensions are dirty; the paper's NEI branch and the expert's
+"enforce anyway" override exist precisely for that.  The injector takes
+a clean database + ground truth and breaks a controlled fraction of the
+referencing values of chosen inclusion dependencies: corrupted values
+are moved far outside the referenced domain, turning a clean inclusion
+into a genuine non-empty intersection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dependencies.ind import InclusionDependency
+from repro.relational.database import Database
+from repro.relational.domain import NULL, is_null
+
+#: corrupted identifiers start here — far outside any generated pool
+_CORRUPTION_BASE = 900_000
+
+
+@dataclass
+class CorruptionReport:
+    """What was broken, for the oracle and the evaluation layer."""
+
+    corrupted_inds: List[InclusionDependency] = field(default_factory=list)
+    rows_touched: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CorruptionReport({len(self.corrupted_inds)} INDs, "
+            f"{self.rows_touched} rows)"
+        )
+
+
+class CorruptionInjector:
+    """Breaks a fraction of the left-hand values of inclusion dependencies.
+
+    *row_rate* is the fraction of (non-NULL) referencing rows corrupted
+    per chosen dependency; *ind_rate* the fraction of dependencies
+    touched at all.
+    """
+
+    def __init__(
+        self,
+        seed: int = 31,
+        ind_rate: float = 0.5,
+        row_rate: float = 0.1,
+    ) -> None:
+        self.seed = seed
+        self.ind_rate = ind_rate
+        self.row_rate = row_rate
+
+    def corrupt(
+        self,
+        database: Database,
+        inds: Sequence[InclusionDependency],
+    ) -> CorruptionReport:
+        """Mutate *database* in place; returns what was corrupted."""
+        rng = random.Random(self.seed)
+        report = CorruptionReport()
+        counter = 0
+        for ind in sorted(set(inds), key=lambda i: i.sort_key()):
+            if rng.random() >= self.ind_rate:
+                continue
+            if not ind.is_unary():
+                continue  # generated ground truths are unary
+            attr = ind.lhs_attrs[0]
+            table = database.table(ind.lhs_relation)
+            position = table.schema.position(attr)
+            rows = [list(r.values) for r in table]
+            eligible = [
+                i for i, r in enumerate(rows) if not is_null(r[position])
+            ]
+            if not eligible:
+                continue
+            k = max(1, int(len(eligible) * self.row_rate))
+            touched = rng.sample(eligible, min(k, len(eligible)))
+            for idx in touched:
+                counter += 1
+                rows[idx][position] = _CORRUPTION_BASE + counter
+            table.replace_rows(rows)
+            report.corrupted_inds.append(ind)
+            report.rows_touched += len(touched)
+        return report

@@ -1,0 +1,242 @@
+"""Populating a denormalized schema consistently with its ground truth.
+
+Data is generated entity-by-entity on the *original* (normalized) model
+— every attribute value is a deterministic function of its entity's
+identifier, so all key FDs hold — and then materialized onto the
+denormalized schema: a merged parent's attributes are joined into its
+child's rows through the child's foreign key.
+
+Invariants the generator guarantees (and the tests assert):
+
+- every ground-truth FD of the denormalization holds;
+- every ground-truth IND holds, because the anchoring child of a merge
+  references *every* parent identifier at least once (its first ``|P|``
+  rows sweep the parent pool) — so sibling references stay included;
+- children are strictly larger than parents, so merged payload values
+  repeat and no spurious ``fk -> child attribute`` FD can hold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.relational.database import Database
+from repro.relational.domain import NULL
+from repro.workloads.denormalizer import GroundTruth
+from repro.workloads.er_generator import ERSpec
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Sizing knobs for the generator."""
+
+    seed: int = 23
+    parent_rows: int = 20
+    child_factor: int = 3          # child size = parent_rows * child_factor
+    nullable_fk_null_rate: float = 0.15
+    link_rows: int = 40
+
+
+class DataGenerator:
+    """Builds a populated :class:`Database` for a :class:`GroundTruth`."""
+
+    def __init__(self, truth: GroundTruth, config: Optional[DataConfig] = None) -> None:
+        self.truth = truth
+        self.config = config or DataConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Database:
+        spec = self.truth.er
+        sizes = self._entity_sizes(spec)
+        virtual = self._generate_virtual_rows(spec, sizes)
+        return self._materialize(virtual, sizes)
+
+    # ------------------------------------------------------------------
+    def _entity_sizes(self, spec: ERSpec) -> Dict[str, int]:
+        """Sizes grow with depth in the reference DAG.
+
+        A child must be strictly larger than every parent it references:
+        otherwise the sweep that covers a merged parent's pool would make
+        the anchoring foreign key unique, and spurious ``fk -> anything``
+        FDs would hold.  Entities are emitted parents-first, so one pass
+        suffices.
+        """
+        sizes: Dict[str, int] = {}
+        for entity in spec.entities:
+            parent_sizes = [
+                sizes[rel.parent] for rel in spec.parents_of(entity.name)
+            ]
+            if parent_sizes:
+                sizes[entity.name] = max(parent_sizes) * self.config.child_factor
+            else:
+                sizes[entity.name] = self.config.parent_rows
+        return sizes
+
+    def _generate_virtual_rows(
+        self, spec: ERSpec, sizes: Dict[str, int]
+    ) -> Dict[str, List[Dict[str, Any]]]:
+        """Rows for every *original* entity relation, parents first."""
+        anchors = {
+            m.child: m for m in self.truth.merges if m.kind == "child"
+        }
+        virtual: Dict[str, List[Dict[str, Any]]] = {}
+        for entity in spec.entities:     # generator emits parents first
+            rows: List[Dict[str, Any]] = []
+            size = sizes[entity.name]
+            fks = spec.parents_of(entity.name)
+            anchor = anchors.get(entity.name)
+            for i in range(1, size + 1):
+                row: Dict[str, Any] = {entity.key_attr: i}
+                for attr in entity.attrs:
+                    row[attr] = f"{attr}-{i}"
+                for fk in fks:
+                    parent_size = sizes[fk.parent]
+                    sweep = (
+                        anchor is not None
+                        and fk.fk_attr == anchor.fk_attr
+                        and i <= parent_size
+                    )
+                    if sweep:
+                        # the anchoring child's first |P| rows cover the
+                        # whole parent pool (keeps sibling INDs clean)
+                        row[fk.fk_attr] = i
+                    elif fk.nullable and self._rng.random() < self.config.nullable_fk_null_rate:
+                        row[fk.fk_attr] = NULL
+                    else:
+                        row[fk.fk_attr] = self._rng.randint(1, parent_size)
+                rows.append(row)
+            virtual[entity.name] = rows
+        return virtual
+
+    def _materialize(
+        self, virtual: Dict[str, List[Dict[str, Any]]], sizes: Dict[str, int]
+    ) -> Database:
+        schema = self.truth.denormalized_schema.copy()
+        db = Database(schema)
+        spec = self.truth.er
+
+        parent_lookup: Dict[str, Dict[int, Dict[str, Any]]] = {
+            m.parent: {
+                row[spec.entity(m.parent).key_attr]: row
+                for row in virtual[m.parent]
+            }
+            for m in self.truth.merges
+        }
+        merges_by_child = {
+            m.child: m for m in self.truth.merges if m.kind == "child"
+        }
+        merged_parents = {m.parent for m in self.truth.merges}
+
+        for entity in spec.entities:
+            if entity.name in merged_parents:
+                continue
+            relation = schema.relation(entity.name)
+            merge = merges_by_child.get(entity.name)
+            for row in virtual[entity.name]:
+                values = dict(row)
+                if merge is not None:
+                    fk_value = values.get(merge.fk_attr)
+                    if fk_value is NULL or fk_value is None:
+                        for attr in merge.payload:
+                            values[attr] = NULL
+                    else:
+                        parent_row = parent_lookup[merge.parent][fk_value]
+                        for attr in merge.payload:
+                            values[attr] = parent_row.get(attr, NULL)
+                db.insert(entity.name, values)
+
+        # subtype relations: ids are a subset of the supertype's pool
+        for sub in spec.subtypes:
+            sup_size = sizes[sub.supertype]
+            count = max(1, sup_size // 2)
+            ids = sorted(self._rng.sample(range(1, sup_size + 1), count))
+            for i in ids:
+                row = {sub.key_attr: i}
+                for attr in sub.attrs:
+                    row[attr] = f"{attr}-{i}"
+                db.insert(sub.name, row)
+
+        # weak entity relations: (owner ref, running discriminator)
+        for weak in spec.weak_entities:
+            owner_size = sizes[weak.owner]
+            for owner_id in range(1, owner_size + 1):
+                for seq in range(1, self._rng.randint(1, 3) + 1):
+                    row = {
+                        weak.fk_attr: owner_id,
+                        weak.discriminator_attr: seq,
+                    }
+                    for attr in weak.attrs:
+                        row[attr] = f"{attr}-{owner_id}-{seq}"
+                    db.insert(weak.name, row)
+
+        # many-to-many link relations (possibly carrying a merged parent)
+        merges_by_link = {
+            m.child: m for m in self.truth.merges if m.kind == "link"
+        }
+        for link in spec.many_to_many:
+            relation = schema.relation(link.name)
+            left_size = sizes[link.left]
+            right_size = sizes[link.right]
+            key_attrs = tuple(relation.uniques[0].attributes)
+            merge = merges_by_link.get(link.name)
+            merged_side = None
+            if merge is not None:
+                merged_side = 0 if merge.parent == link.left else 1
+                merged_pool = sizes[merge.parent]
+
+            def payload_of(parent_id):
+                if merge is None:
+                    return {}
+                parent_row = parent_lookup[merge.parent][parent_id]
+                return {a: parent_row.get(a, NULL) for a in merge.payload}
+
+            seen: set = set()
+            rows: List[Dict[str, Any]] = []
+            if merge is not None:
+                # sweep: the link covers the merged parent's whole pool,
+                # so sibling references stay included after the merge
+                for i in range(1, merged_pool + 1):
+                    other = self._rng.randint(
+                        1, right_size if merged_side == 0 else left_size
+                    )
+                    pair = (i, other) if merged_side == 0 else (other, i)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    rows.append(
+                        {key_attrs[0]: pair[0], key_attrs[1]: pair[1]}
+                    )
+            # a merged link needs enough extra rows that anchor-fk values
+            # repeat — otherwise the fk would be accidentally unique and
+            # spurious `fk -> anything` dependencies would hold
+            target = max(
+                self.config.link_rows,
+                2 * len(rows) if merge is not None else len(rows),
+            )
+            attempts = 0
+            while len(rows) < target and attempts < target * 10:
+                attempts += 1
+                pair = (
+                    self._rng.randint(1, left_size),
+                    self._rng.randint(1, right_size),
+                )
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                rows.append({key_attrs[0]: pair[0], key_attrs[1]: pair[1]})
+            for row in rows:
+                if merge is not None:
+                    parent_id = row[key_attrs[merged_side]]
+                    row.update(payload_of(parent_id))
+                for attr in relation.attribute_names:
+                    if attr not in row:
+                        row[attr] = (
+                            f"{attr}-{row[key_attrs[0]]}-{row[key_attrs[1]]}"
+                        )
+                db.insert(link.name, row)
+
+        db.validate()
+        return db

@@ -1,0 +1,348 @@
+"""Controlled denormalization with known ground truth.
+
+The paper's motivation: real schemas are "often either directly produced
+in 1NF or 2NF, or denormalized at the end of the design process" for
+access-time reasons.  The denormalizer reproduces that step on a clean
+3NF mapping: a *merge* embeds a parent relation into one of its children
+(the parent's non-key attributes and foreign keys move into the child;
+the parent relation disappears).  Each merge creates, with full ground
+truth:
+
+- a transitive dependency ``child : fk -> embedded attributes`` (the FD
+  RHS-Discovery must recover), or — when the parent carried no non-key
+  attributes — a *hidden object* (the empty-RHS case);
+- interrelation dependencies between non-key attributes: every other
+  relation that referenced the parent now navigates through the child's
+  foreign key (the ``Department[proj] ≪ Assignment[proj]`` situation).
+
+Merges are non-cascading: a relation takes part in at most one merge
+(as parent or child), which keeps the ground-truth bookkeeping exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.exceptions import ProcessError
+from repro.programs.equijoin import EquiJoin
+from repro.relational.attribute import Attribute, AttributeRef
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.workloads.er_generator import ERSpec
+from repro.workloads.mapping import RelationalMapping
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One denormalization step: *parent* embedded into *child* via *fk*.
+
+    ``kind`` distinguishes the two operators:
+
+    - ``"child"`` — the parent folded into a 1:N child; the anchoring fk
+      is a plain non-key attribute, so the payload hangs off a non-key
+      determinant (a *transitive* dependency: the child drops to 2NF);
+    - ``"link"`` — the parent folded into an M:N link relation; the
+      anchoring fk is *part of the link's composite key*, so the payload
+      depends on a proper subset of the key (a *partial* dependency: the
+      link drops to 1NF — the paper's Assignment case).
+    """
+
+    parent: str
+    child: str
+    fk_attr: str
+    embedded_attrs: Tuple[str, ...]     # parent non-key attributes moved
+    moved_fks: Tuple[str, ...]          # parent foreign keys moved
+    kind: str = "child"
+
+    @property
+    def payload(self) -> Tuple[str, ...]:
+        return self.embedded_attrs + self.moved_fks
+
+
+@dataclass
+class GroundTruth:
+    """Everything the evaluation layer needs to score a recovery run."""
+
+    er: ERSpec
+    normalized: RelationalMapping
+    denormalized_schema: DatabaseSchema
+    merges: List[Merge] = field(default_factory=list)
+    #: FDs a perfect run elicits (one per merge with a non-empty payload)
+    true_fds: List[FunctionalDependency] = field(default_factory=list)
+    #: hidden objects a perfect run elicits (merges with empty payload)
+    true_hidden: List[AttributeRef] = field(default_factory=list)
+    #: INDs a perfect run elicits from the navigation workload
+    true_inds: List[InclusionDependency] = field(default_factory=list)
+    #: the equi-joins application programs perform on the denormalized schema
+    join_edges: List[EquiJoin] = field(default_factory=list)
+    #: identifier attribute (relation, attr) -> original entity name
+    object_names: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def merged_parents(self) -> List[str]:
+        return [m.parent for m in self.merges]
+
+
+@dataclass(frozen=True)
+class DenormalizationPlan:
+    """Which merges to perform.
+
+    ``auto_merges`` picks that many child-merge candidates automatically
+    (preferring parents referenced by several relations, so the hidden
+    semantics stay discoverable from the query workload);
+    ``auto_link_merges`` additionally folds that many parents into M:N
+    link relations (the 1NF-producing operator);
+    ``explicit`` lists (parent, child-or-link) pairs to merge instead.
+    """
+
+    auto_merges: int = 2
+    auto_link_merges: int = 0
+    explicit: Tuple[Tuple[str, str], ...] = ()
+    seed: int = 11
+
+
+class Denormalizer:
+    """Applies a :class:`DenormalizationPlan` to a 3NF mapping."""
+
+    def __init__(self, spec: ERSpec, mapping: RelationalMapping) -> None:
+        self.spec = spec
+        self.mapping = mapping
+
+    # ------------------------------------------------------------------
+    def run(self, plan: Optional[DenormalizationPlan] = None) -> GroundTruth:
+        plan = plan or DenormalizationPlan()
+        schema = self.mapping.schema.copy()
+        truth = GroundTruth(self.spec, self.mapping, schema)
+
+        link_names = {l.name for l in self.spec.many_to_many}
+        for parent, target in self._choose_merges(plan):
+            if target in link_names:
+                self._apply_link_merge(parent, target, schema, truth)
+            else:
+                self._apply_merge(parent, target, schema, truth)
+
+        self._derive_edges_and_inds(schema, truth)
+        return truth
+
+    # ------------------------------------------------------------------
+    def _choose_merges(
+        self, plan: DenormalizationPlan
+    ) -> List[Tuple[str, str]]:
+        if plan.explicit:
+            return list(plan.explicit)
+        rng = random.Random(plan.seed)
+        # candidates: (parent, child) 1:N edges; score by how many *other*
+        # relations reference the parent (discoverability of the merge)
+        ref_count: Dict[str, int] = {}
+        for fk, (child, parent) in self.mapping.fk_edges.items():
+            ref_count[parent] = ref_count.get(parent, 0) + 1
+        candidates = [
+            (rel.parent, rel.child, ref_count.get(rel.parent, 0))
+            for rel in self.spec.one_to_many
+        ]
+        rng.shuffle(candidates)
+        candidates.sort(key=lambda c: -c[2])
+        chosen: List[Tuple[str, str]] = []
+        used: set = set()
+        for parent, child, score in candidates:
+            if len(chosen) >= plan.auto_merges:
+                break
+            if parent in used or child in used:
+                continue
+            if score < 2:
+                # a parent referenced only by its merge child leaves no
+                # join partner for the anchoring fk: the hidden semantics
+                # would be invisible to ANY query workload.  Auto plans
+                # skip such merges (explicit plans may still request them
+                # to study exactly that blind spot).
+                continue
+            used.add(parent)
+            used.add(child)
+            chosen.append((parent, child))
+
+        # link merges: fold a parent into an M:N link relation that
+        # references it (requires another reference for discoverability)
+        link_candidates = []
+        for link in self.spec.many_to_many:
+            for side in (link.left, link.right):
+                link_candidates.append((side, link.name, ref_count.get(side, 0)))
+        rng.shuffle(link_candidates)
+        link_candidates.sort(key=lambda c: -c[2])
+        taken_links = 0
+        for parent, link_name, score in link_candidates:
+            if taken_links >= plan.auto_link_merges:
+                break
+            if parent in used or link_name in used or score < 2:
+                continue
+            used.add(parent)
+            used.add(link_name)
+            chosen.append((parent, link_name))
+            taken_links += 1
+        return chosen
+
+    # ------------------------------------------------------------------
+    def _apply_merge(
+        self,
+        parent: str,
+        child: str,
+        schema: DatabaseSchema,
+        truth: GroundTruth,
+    ) -> None:
+        if parent not in schema or child not in schema:
+            raise ProcessError(f"cannot merge {parent!r} into {child!r}: missing")
+        if parent in truth.merged_parents() or any(
+            m.child in (parent, child) or m.parent == child for m in truth.merges
+        ):
+            raise ProcessError(
+                f"merge ({parent}, {child}) overlaps an earlier merge"
+            )
+        fk_attr = self._fk_of(child, parent)
+        parent_schema = schema.relation(parent)
+        parent_key = self.spec.entity(parent).key_attr
+        parent_spec = self.spec.entity(parent)
+        embedded = tuple(parent_spec.attrs)
+        moved_fks = tuple(
+            a.name
+            for a in parent_schema.attributes
+            if a.name != parent_key and a.name not in embedded
+        )
+
+        # widen the child: embedded attributes are nullable (the child's
+        # fk itself may be NULL)
+        child_schema = schema.relation(child)
+        new_attrs = list(child_schema.attributes)
+        for name in embedded + moved_fks:
+            dtype = parent_schema.attribute(name).dtype
+            new_attrs.append(Attribute(name, dtype, nullable=True))
+        widened = RelationSchema(child, new_attrs)
+        for u in child_schema.uniques:
+            widened.declare_unique(tuple(u.attributes))
+        schema.replace(widened)
+        schema.remove(parent)
+
+        merge = Merge(parent, child, fk_attr, embedded, moved_fks)
+        truth.merges.append(merge)
+        truth.object_names[(child, fk_attr)] = parent
+        if merge.payload:
+            truth.true_fds.append(
+                FunctionalDependency(child, (fk_attr,), merge.payload)
+            )
+        else:
+            truth.true_hidden.append(AttributeRef.single(child, fk_attr))
+
+    def _apply_link_merge(
+        self,
+        parent: str,
+        link_name: str,
+        schema: DatabaseSchema,
+        truth: GroundTruth,
+    ) -> None:
+        """Fold *parent* into the M:N link relation *link_name*.
+
+        The anchoring foreign key is part of the link's composite key,
+        so the embedded payload forms a *partial* dependency — the link
+        relation drops to 1NF, the paper's Assignment situation.
+        """
+        if parent not in schema or link_name not in schema:
+            raise ProcessError(
+                f"cannot merge {parent!r} into link {link_name!r}: missing"
+            )
+        involved = {m.parent for m in truth.merges} | {
+            m.child for m in truth.merges
+        }
+        if parent in involved or link_name in involved:
+            raise ProcessError(
+                f"merge ({parent}, {link_name}) overlaps an earlier merge"
+            )
+        link = next(
+            l for l in self.spec.many_to_many if l.name == link_name
+        )
+        if parent not in (link.left, link.right):
+            raise ProcessError(
+                f"link {link_name!r} does not reference {parent!r}"
+            )
+        parent_spec = self.spec.entity(parent)
+        fk_attr = f"{link_name}_{parent_spec.key_attr}"
+        parent_schema = schema.relation(parent)
+        embedded = tuple(parent_spec.attrs)
+        moved_fks = tuple(
+            a.name
+            for a in parent_schema.attributes
+            if a.name != parent_spec.key_attr and a.name not in embedded
+        )
+
+        link_schema = schema.relation(link_name)
+        new_attrs = list(link_schema.attributes)
+        for name in embedded + moved_fks:
+            dtype = parent_schema.attribute(name).dtype
+            new_attrs.append(Attribute(name, dtype, nullable=True))
+        widened = RelationSchema(link_name, new_attrs)
+        for u in link_schema.uniques:
+            widened.declare_unique(tuple(u.attributes))
+        schema.replace(widened)
+        schema.remove(parent)
+
+        merge = Merge(
+            parent, link_name, fk_attr, embedded, moved_fks, kind="link"
+        )
+        truth.merges.append(merge)
+        truth.object_names[(link_name, fk_attr)] = parent
+        if merge.payload:
+            truth.true_fds.append(
+                FunctionalDependency(link_name, (fk_attr,), merge.payload)
+            )
+        else:
+            truth.true_hidden.append(AttributeRef.single(link_name, fk_attr))
+
+    def _fk_of(self, child: str, parent: str) -> str:
+        for rel in self.spec.one_to_many:
+            if rel.child == child and rel.parent == parent:
+                return rel.fk_attr
+        raise ProcessError(f"no one-to-many edge {child} -> {parent}")
+
+    # ------------------------------------------------------------------
+    def _derive_edges_and_inds(
+        self, schema: DatabaseSchema, truth: GroundTruth
+    ) -> None:
+        """Navigation edges + expected INDs on the denormalized schema.
+
+        An attribute can have moved (merged parents' fks live in their
+        child now); ``locate`` finds its current home.
+        """
+        home: Dict[str, str] = {}
+        for rel in schema:
+            for a in rel.attribute_names:
+                home[a] = rel.name
+
+        anchor: Dict[str, Tuple[str, str]] = {}     # merged parent -> (child, fk)
+        for m in truth.merges:
+            anchor[m.parent] = (m.child, m.fk_attr)
+
+        for fk, (child, parent) in sorted(self.mapping.fk_edges.items()):
+            fk_home = home.get(fk)
+            if fk_home is None:
+                continue  # the fk vanished with a dropped relation (not expected)
+            if parent in schema:
+                parent_key = self.spec.entity(parent).key_attr
+                if fk_home == parent:
+                    continue
+                truth.join_edges.append(
+                    EquiJoin(fk_home, (fk,), parent, (parent_key,))
+                )
+                truth.true_inds.append(
+                    InclusionDependency(fk_home, (fk,), parent, (parent_key,))
+                )
+            elif parent in anchor:
+                anchor_rel, anchor_fk = anchor[parent]
+                if fk_home == anchor_rel and fk == anchor_fk:
+                    continue  # the anchoring fk itself is not a join edge
+                truth.join_edges.append(
+                    EquiJoin(fk_home, (fk,), anchor_rel, (anchor_fk,))
+                )
+                truth.true_inds.append(
+                    InclusionDependency(fk_home, (fk,), anchor_rel, (anchor_fk,))
+                )
+        truth.join_edges = sorted(set(truth.join_edges), key=lambda j: j.sort_key())
+        truth.true_inds = sorted(set(truth.true_inds), key=lambda i: i.sort_key())

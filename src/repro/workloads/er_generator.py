@@ -1,0 +1,292 @@
+"""Random ground-truth ER schemas for the S-series experiments.
+
+The generator produces a seeded, reproducible conceptual schema made of
+entity-types, many-to-one (functional) relationships and many-to-many
+relationships — the constructs the ER→relational mapping of
+:mod:`repro.workloads.mapping` knows how to realize.  Entity and
+attribute names are drawn from a small business vocabulary so generated
+schemas read like the legacy systems the paper targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+
+_VOCABULARY = [
+    "customer", "order", "product", "invoice", "supplier", "warehouse",
+    "shipment", "employee", "department", "project", "contract", "account",
+    "region", "category", "carrier", "plant", "machine", "operator",
+    "route", "ticket", "policy", "claim", "agent", "branch",
+]
+
+_ATTR_VOCABULARY = [
+    "name", "code", "status", "city", "grade", "type", "label",
+    "amount", "origin", "rank", "note", "group", "zone",
+]
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """One generated entity: key attribute plus plain attributes.
+
+    All attribute names are globally prefixed with the entity name so
+    later denormalization merges never collide.
+    """
+
+    name: str
+    key_attr: str
+    attrs: Tuple[str, ...]          # non-key attributes (already prefixed)
+
+    @property
+    def all_attrs(self) -> Tuple[str, ...]:
+        return (self.key_attr,) + self.attrs
+
+
+@dataclass(frozen=True)
+class OneToManySpec:
+    """A functional relationship: each *child* references one *parent*.
+
+    ``nullable`` children may lack a parent (NULL foreign key).
+    """
+
+    child: str
+    parent: str
+    fk_attr: str
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class ManyToManySpec:
+    """A many-to-many relationship, realized as its own relation."""
+
+    name: str
+    left: str
+    right: str
+    attrs: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SubtypeSpec:
+    """A specialization: *name* is-a *supertype*.
+
+    The subtype relation is keyed by its own copy of the supertype's
+    identifier (``<name>_id``) whose values are a subset of the
+    supertype's pool — the whole-key inclusion Translate's rule (a)
+    recognizes as an is-a link.
+    """
+
+    name: str
+    supertype: str
+    attrs: Tuple[str, ...] = ()
+
+    @property
+    def key_attr(self) -> str:
+        return f"{self.name}_id"
+
+
+@dataclass(frozen=True)
+class WeakEntitySpec:
+    """A weak entity-type identified by *owner* plus a discriminator.
+
+    Realized as a relation keyed by (owner reference, discriminator);
+    the partial-key reference is what Translate classifies as a weak
+    entity-type.
+    """
+
+    name: str
+    owner: str
+    attrs: Tuple[str, ...] = ()
+
+    @property
+    def fk_attr(self) -> str:
+        return f"{self.name}_{self.owner}_id"
+
+    @property
+    def discriminator_attr(self) -> str:
+        return f"{self.name}_seq"
+
+
+@dataclass
+class ERSpec:
+    """The generated conceptual schema, as plain specs."""
+
+    entities: List[EntitySpec] = field(default_factory=list)
+    one_to_many: List[OneToManySpec] = field(default_factory=list)
+    many_to_many: List[ManyToManySpec] = field(default_factory=list)
+    subtypes: List[SubtypeSpec] = field(default_factory=list)
+    weak_entities: List[WeakEntitySpec] = field(default_factory=list)
+
+    def entity(self, name: str) -> EntitySpec:
+        for e in self.entities:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    def parents_of(self, child: str) -> List[OneToManySpec]:
+        return [r for r in self.one_to_many if r.child == child]
+
+    def to_eer(self) -> EERSchema:
+        """The ground-truth EER schema these specs describe."""
+        eer = EERSchema()
+        for spec in self.entities:
+            eer.add_entity(
+                EntityType(spec.name, spec.all_attrs, (spec.key_attr,))
+            )
+        for sub in self.subtypes:
+            eer.add_entity(
+                EntityType(
+                    sub.name, (sub.key_attr,) + sub.attrs, (sub.key_attr,)
+                )
+            )
+            eer.add_isa(sub.name, sub.supertype)
+        for weak in self.weak_entities:
+            key = (weak.fk_attr, weak.discriminator_attr)
+            eer.add_entity(
+                EntityType(
+                    weak.name,
+                    key + weak.attrs,
+                    key,
+                    weak=True,
+                    owners=(weak.owner,),
+                    discriminator=(weak.discriminator_attr,),
+                )
+            )
+        for rel in self.one_to_many:
+            eer.add_relationship(
+                RelationshipType(
+                    f"{rel.child}-{rel.parent}",
+                    (
+                        Participation(rel.child, "N", via=(rel.fk_attr,)),
+                        Participation(rel.parent, "1"),
+                    ),
+                )
+            )
+        for rel in self.many_to_many:
+            eer.add_relationship(
+                RelationshipType(
+                    rel.name,
+                    (
+                        Participation(rel.left, "N"),
+                        Participation(rel.right, "N"),
+                    ),
+                    attributes=rel.attrs,
+                )
+            )
+        return eer
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random schema generator (all sizes inclusive)."""
+
+    seed: int = 7
+    n_entities: int = 6
+    min_attrs: int = 1
+    max_attrs: int = 4
+    n_one_to_many: int = 5
+    n_many_to_many: int = 1
+    n_subtypes: int = 0
+    n_weak_entities: int = 0
+    nullable_fk_fraction: float = 0.25
+
+
+class ERGenerator:
+    """Seeded generator of :class:`ERSpec` ground truths."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+
+    def generate(self) -> ERSpec:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        spec = ERSpec()
+
+        # entities with prefixed attributes
+        names = self._entity_names(rng, cfg.n_entities)
+        for name in names:
+            n_attrs = rng.randint(cfg.min_attrs, cfg.max_attrs)
+            picks = rng.sample(_ATTR_VOCABULARY, min(n_attrs, len(_ATTR_VOCABULARY)))
+            spec.entities.append(
+                EntitySpec(
+                    name=name,
+                    key_attr=f"{name}_id",
+                    attrs=tuple(f"{name}_{a}" for a in sorted(picks)),
+                )
+            )
+
+        # many-to-one edges child -> parent; parents precede children in
+        # the name list so the reference graph is acyclic
+        possible = [
+            (child, parent)
+            for i, parent in enumerate(names)
+            for child in names[i + 1 :]
+        ]
+        rng.shuffle(possible)
+        used: set = set()
+        for child, parent in possible:
+            if len(spec.one_to_many) >= cfg.n_one_to_many:
+                break
+            if (child, parent) in used:
+                continue
+            used.add((child, parent))
+            spec.one_to_many.append(
+                OneToManySpec(
+                    child=child,
+                    parent=parent,
+                    fk_attr=f"{child}_{parent}_id",
+                    nullable=rng.random() < cfg.nullable_fk_fraction,
+                )
+            )
+
+        # many-to-many relations over remaining pairs
+        remaining = [p for p in possible if p not in used]
+        for left, right in remaining[: cfg.n_many_to_many]:
+            spec.many_to_many.append(
+                ManyToManySpec(
+                    name=f"{left}_{right}_link",
+                    left=left,
+                    right=right,
+                    attrs=(f"{left}_{right}_qty",),
+                )
+            )
+
+        # subtypes and weak entities hang off random existing entities
+        for i in range(cfg.n_subtypes):
+            sup = names[rng.randrange(len(names))]
+            sub_name = f"special_{sup}{i if i else ''}".rstrip()
+            spec.subtypes.append(
+                SubtypeSpec(
+                    name=sub_name,
+                    supertype=sup,
+                    attrs=(f"{sub_name}_grade",),
+                )
+            )
+        for i in range(cfg.n_weak_entities):
+            owner = names[rng.randrange(len(names))]
+            weak_name = f"{owner}_history{i if i else ''}".rstrip()
+            spec.weak_entities.append(
+                WeakEntitySpec(
+                    name=weak_name,
+                    owner=owner,
+                    attrs=(f"{weak_name}_note",),
+                )
+            )
+        return spec
+
+    @staticmethod
+    def _entity_names(rng: random.Random, count: int) -> List[str]:
+        base = list(_VOCABULARY)
+        rng.shuffle(base)
+        names: List[str] = []
+        i = 0
+        while len(names) < count:
+            if i < len(base):
+                names.append(base[i])
+            else:
+                names.append(f"{base[i % len(base)]}{i // len(base) + 1}")
+            i += 1
+        return names

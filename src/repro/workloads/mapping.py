@@ -1,0 +1,122 @@
+"""ER → relational mapping (the forward design step the paper reverses).
+
+Classical Teorey-style mapping: each entity becomes a relation keyed by
+its identifier; each many-to-one relationship becomes a foreign-key
+attribute in the child; each many-to-many relationship becomes its own
+relation keyed by the pair of identifiers.  The mapping also returns the
+dependencies that are "directly derivable from the EER schema"
+(Markowitz-Shoshani): key constraints and referential integrity
+constraints — the ground truth later stages denormalize and corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.relational.attribute import Attribute
+from repro.relational.domain import INTEGER, TEXT
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.workloads.er_generator import ERSpec
+
+
+@dataclass
+class RelationalMapping:
+    """The 3NF relational realization of an :class:`ERSpec`."""
+
+    schema: DatabaseSchema
+    ric: List[InclusionDependency] = field(default_factory=list)
+    key_fds: List[FunctionalDependency] = field(default_factory=list)
+    #: relation name -> originating entity (or m:n relationship) name
+    origin: Dict[str, str] = field(default_factory=dict)
+    #: foreign-key attribute -> (child relation, parent relation)
+    fk_edges: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def map_er_to_relational(spec: ERSpec) -> RelationalMapping:
+    """Realize *spec* as a 3NF relational schema with its constraints."""
+    schema = DatabaseSchema()
+    mapping = RelationalMapping(schema)
+
+    for entity in spec.entities:
+        fks = spec.parents_of(entity.name)
+        attrs = [Attribute(entity.key_attr, INTEGER, nullable=False)]
+        attrs.extend(Attribute(a, TEXT) for a in entity.attrs)
+        for fk in fks:
+            attrs.append(Attribute(fk.fk_attr, INTEGER, nullable=fk.nullable))
+        relation = RelationSchema(entity.name, attrs)
+        relation.declare_unique((entity.key_attr,))
+        schema.add(relation)
+        mapping.origin[entity.name] = entity.name
+
+        mapping.key_fds.append(
+            FunctionalDependency(
+                entity.name,
+                (entity.key_attr,),
+                tuple(a.name for a in attrs if a.name != entity.key_attr) or (entity.key_attr,),
+            )
+        )
+        for fk in fks:
+            parent_key = spec.entity(fk.parent).key_attr
+            mapping.ric.append(
+                InclusionDependency(
+                    entity.name, (fk.fk_attr,), fk.parent, (parent_key,)
+                )
+            )
+            mapping.fk_edges[fk.fk_attr] = (entity.name, fk.parent)
+
+    for sub in spec.subtypes:
+        sup_key = spec.entity(sub.supertype).key_attr
+        attrs = [Attribute(sub.key_attr, INTEGER, nullable=False)]
+        attrs.extend(Attribute(a, TEXT) for a in sub.attrs)
+        relation = RelationSchema(sub.name, attrs)
+        relation.declare_unique((sub.key_attr,))
+        schema.add(relation)
+        mapping.origin[sub.name] = sub.name
+        mapping.ric.append(
+            InclusionDependency(sub.name, (sub.key_attr,), sub.supertype, (sup_key,))
+        )
+        mapping.fk_edges[sub.key_attr] = (sub.name, sub.supertype)
+
+    for weak in spec.weak_entities:
+        owner_key = spec.entity(weak.owner).key_attr
+        attrs = [
+            Attribute(weak.fk_attr, INTEGER, nullable=False),
+            Attribute(weak.discriminator_attr, INTEGER, nullable=False),
+        ]
+        attrs.extend(Attribute(a, TEXT) for a in weak.attrs)
+        relation = RelationSchema(weak.name, attrs)
+        relation.declare_unique((weak.fk_attr, weak.discriminator_attr))
+        schema.add(relation)
+        mapping.origin[weak.name] = weak.name
+        mapping.ric.append(
+            InclusionDependency(weak.name, (weak.fk_attr,), weak.owner, (owner_key,))
+        )
+        mapping.fk_edges[weak.fk_attr] = (weak.name, weak.owner)
+
+    for link in spec.many_to_many:
+        left_key = spec.entity(link.left).key_attr
+        right_key = spec.entity(link.right).key_attr
+        left_fk = f"{link.name}_{left_key}"
+        right_fk = f"{link.name}_{right_key}"
+        attrs = [
+            Attribute(left_fk, INTEGER, nullable=False),
+            Attribute(right_fk, INTEGER, nullable=False),
+        ]
+        attrs.extend(Attribute(a, TEXT) for a in link.attrs)
+        relation = RelationSchema(link.name, attrs)
+        relation.declare_unique((left_fk, right_fk))
+        schema.add(relation)
+        mapping.origin[link.name] = link.name
+        mapping.ric.append(
+            InclusionDependency(link.name, (left_fk,), link.left, (left_key,))
+        )
+        mapping.ric.append(
+            InclusionDependency(link.name, (right_fk,), link.right, (right_key,))
+        )
+        mapping.fk_edges[left_fk] = (link.name, link.left)
+        mapping.fk_edges[right_fk] = (link.name, link.right)
+
+    return mapping

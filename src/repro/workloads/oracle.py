@@ -1,0 +1,115 @@
+"""An expert user that answers from synthetic ground truth.
+
+The paper's expert "knows the application domain"; for generated
+workloads the application domain *is* the ground truth, so the oracle
+expert answers every interactive question from it:
+
+- a non-empty intersection over a true navigation edge is forced into
+  its true direction (the extension is dirty, the expert is not);
+- a failed FD test is enforced iff the dependency is part of a true
+  merge payload;
+- a discovered FD is validated iff its right-hand side is true payload;
+- an empty-RHS identifier is conceptualized iff it anchors a merged
+  attribute-less parent;
+- new relations receive the original entity names.
+
+Benchmarks use the oracle to measure the *method's* ceiling — how much
+semantics the algorithms can recover when the human answers perfectly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.expert import (
+    Expert,
+    FDContext,
+    ForceInclusion,
+    IgnoreIntersection,
+    NEIContext,
+    NEIDecision,
+)
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.programs.equijoin import EquiJoin
+from repro.relational.attribute import AttributeRef
+from repro.util.naming import unique_name
+from repro.workloads.denormalizer import GroundTruth
+
+
+class OracleExpert(Expert):
+    """Ground-truth-backed implementation of the expert protocol."""
+
+    def __init__(self, truth: GroundTruth) -> None:
+        self.truth = truth
+        # canonical equi-join -> true inclusion direction
+        self._edge_direction: Dict[EquiJoin, InclusionDependency] = {}
+        for ind in truth.true_inds:
+            edge = EquiJoin(
+                ind.lhs_relation, ind.lhs_attrs, ind.rhs_relation, ind.rhs_attrs
+            )
+            self._edge_direction[edge] = ind
+        # (relation, lhs attr) -> true payload
+        self._payload: Dict[Tuple[str, str], frozenset] = {}
+        for fd in truth.true_fds:
+            self._payload[(fd.relation, tuple(fd.lhs)[0])] = frozenset(fd.rhs)
+        self._hidden = set(truth.true_hidden)
+
+    # ------------------------------------------------------------------
+    def decide_nei(self, context: NEIContext) -> NEIDecision:
+        true_ind = self._edge_direction.get(context.join)
+        if true_ind is None:
+            return IgnoreIntersection()
+        (left_rel, left_attrs), _ = context.join.sides()
+        if (
+            true_ind.lhs_relation == left_rel
+            and tuple(true_ind.lhs_attrs) == tuple(left_attrs)
+        ):
+            return ForceInclusion("left_in_right")
+        return ForceInclusion("right_in_left")
+
+    # ------------------------------------------------------------------
+    def enforce_fd(self, context: FDContext) -> bool:
+        fd = context.fd
+        if len(fd.lhs) != 1:
+            return False
+        payload = self._payload.get((fd.relation, tuple(fd.lhs)[0]))
+        if payload is None:
+            return False
+        return set(fd.rhs) <= payload
+
+    def validate_fd(self, fd: FunctionalDependency) -> bool:
+        if len(fd.lhs) != 1:
+            return False
+        payload = self._payload.get((fd.relation, tuple(fd.lhs)[0]))
+        if payload is None:
+            return False
+        return set(fd.rhs) <= payload
+
+    def conceptualize_hidden_object(self, ref: AttributeRef) -> bool:
+        return ref in self._hidden
+
+    # ------------------------------------------------------------------
+    def _object_name(
+        self, relation: str, attribute: str, taken: Tuple[str, ...]
+    ) -> Optional[str]:
+        name = self.truth.object_names.get((relation, attribute))
+        if name is None:
+            return None
+        return unique_name(name.capitalize(), taken)
+
+    def name_hidden_object(self, ref: AttributeRef, taken: Tuple[str, ...]) -> str:
+        if ref.is_single():
+            name = self._object_name(ref.relation, ref.attribute, taken)
+            if name is not None:
+                return name
+        return super().name_hidden_object(ref, taken)
+
+    def name_fd_relation(
+        self, fd: FunctionalDependency, taken: Tuple[str, ...]
+    ) -> str:
+        if len(fd.lhs) == 1:
+            name = self._object_name(fd.relation, tuple(fd.lhs)[0], taken)
+            if name is not None:
+                return name
+        return super().name_fd_relation(fd, taken)

@@ -1,0 +1,371 @@
+"""The paper's running example (§5), end to end.
+
+This module is the ground truth for the E-series experiments: the §5
+schema and constraint declarations, a population of the extension that
+realizes every count/FD/NEI situation the paper narrates, an application
+program corpus embedding the five equi-joins of §5 in the syntactic
+forms §4 lists, the expert answers of §6-§7 as a
+:class:`~repro.core.expert.ScriptedExpert` script, and the expected
+artifact sets of every section.
+
+The paper's absolute counts (2200 persons, 1550 employees, ...) are
+scaled down ~100x; every *relationship between* counts that drives the
+algorithms (which side is included in which, where the NEI falls, which
+FDs hold) is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.expert import ConceptualizeIntersection
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind import InclusionDependency
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.equijoin import EquiJoin
+from repro.relational.attribute import AttributeRef
+from repro.relational.database import Database
+from repro.relational.domain import DATE, INTEGER, NULL, REAL, TEXT
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+# ----------------------------------------------------------------------
+# §5: the input schema
+# ----------------------------------------------------------------------
+
+_STATES = {
+    "69100": "Rhone",
+    "69621": "Rhone",
+    "75001": "Paris",
+    "13001": "Bouches-du-Rhone",
+    "59000": "Nord",
+}
+_ZIPS = list(_STATES)
+
+_PROJECT_NAMES = {
+    "P1": "Alpha", "P2": "Beta", "P3": "Gamma", "P4": "Delta",
+    "P5": "Epsilon", "P6": "Zeta", "P7": "Eta",
+}
+
+
+def build_paper_database() -> Database:
+    """The §5 database: schema, declared constraints, and an extension
+    realizing every situation the paper narrates.
+
+    Count relationships preserved (scaled):
+
+    - ``||Person[id]|| > ||HEmployee[no]||`` with full inclusion (the
+      2200/1550/1550 example becomes 22/15/15);
+    - ``Assignment[dep]`` vs ``Department[dep]`` is a genuine non-empty
+      intersection (9 vs 8 with 6 shared — the paper's 45/40/30 shape);
+    - ``Department: emp -> skill, proj`` and
+      ``Assignment: proj -> project-name`` hold; every other candidate
+      dependency the algorithms test fails;
+    - ``Person: zip-code -> state`` holds but is never referenced by an
+      equi-join — the paper's example of an FD that must *not* be
+      elicited;
+    - ``Department.emp`` has NULLs (so ``location``, not-null, is pruned
+      from its FD candidates, as narrated in §6.2.2).
+    """
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build(
+                "Person",
+                ["id", "name", "street", "number", "zip-code", "state"],
+                key=["id"],
+                types={"id": INTEGER, "number": INTEGER},
+            ),
+            RelationSchema.build(
+                "HEmployee",
+                ["no", "date", "salary"],
+                key=["no", "date"],
+                types={"no": INTEGER, "date": DATE, "salary": REAL},
+            ),
+            RelationSchema.build(
+                "Department",
+                ["dep", "emp", "skill", "location", "proj"],
+                key=["dep"],
+                not_null=["location"],
+                types={"emp": INTEGER},
+            ),
+            RelationSchema.build(
+                "Assignment",
+                ["emp", "dep", "proj", "date", "project-name"],
+                key=["emp", "dep", "proj"],
+                types={"emp": INTEGER, "date": DATE},
+            ),
+        ]
+    )
+    db = Database(schema)
+
+    # Person: 22 ids; zip-code -> state holds by construction
+    streets = ["rue Alpha", "av Einstein", "bd Centre", "rue Sud"]
+    for i in range(1, 23):
+        zip_code = _ZIPS[i % len(_ZIPS)]
+        db.insert(
+            "Person",
+            [i, f"person-{i}", streets[i % len(streets)], i * 3,
+             zip_code, _STATES[zip_code]],
+        )
+
+    # HEmployee: nos 1..15 (all Person ids); no -> salary fails (history)
+    for no in range(1, 16):
+        db.insert("HEmployee", [no, "2019-06-01", 1000.0 + 10 * no])
+        db.insert("HEmployee", [no, "2020-06-01", 1100.0 + 15 * no])
+
+    # Department: deps D1..D8; emp -> skill, proj hold; emp has NULLs;
+    # proj -> emp / skill fail (P1 shared by two departments)
+    department_rows = [
+        ("D1", 1, "management", "Lyon", "P1"),
+        ("D2", 2, "sales", "Paris", "P1"),
+        ("D3", 3, "engineering", "Lyon", "P2"),
+        ("D4", NULL, NULL, "Nice", NULL),
+        ("D5", 4, "operations", "Lille", "P3"),
+        ("D6", 5, "hr", "Metz", "P4"),
+        ("D7", NULL, NULL, "Brest", NULL),
+        ("D8", 6, "finance", "Pau", "P5"),
+    ]
+    db.insert_many("Department", department_rows)
+
+    # Assignment: deps D1..D6 plus DA7..DA9 (the NEI with Department);
+    # proj -> project-name holds; everything else the method tests fails
+    assignment_rows = [
+        (1, "D1", "P1", "2020-01-01"),
+        (1, "D2", "P2", "2020-02-01"),
+        (2, "D1", "P1", "2020-03-01"),
+        (3, "D3", "P3", "2020-01-01"),
+        (4, "D4", "P4", "2020-04-01"),
+        (5, "D5", "P5", "2020-05-01"),
+        (6, "D6", "P6", "2020-06-01"),
+        (7, "DA7", "P7", "2020-07-01"),
+        (8, "DA8", "P1", "2020-08-01"),
+        (9, "DA9", "P2", "2020-09-01"),
+        (10, "D1", "P3", "2020-10-01"),
+    ]
+    for emp, dep, proj, date in assignment_rows:
+        db.insert("Assignment", [emp, dep, proj, date, _PROJECT_NAMES[proj]])
+
+    db.validate()
+    return db
+
+
+# ----------------------------------------------------------------------
+# §4/§5: the application programs embedding Q
+# ----------------------------------------------------------------------
+
+def paper_program_corpus() -> ProgramCorpus:
+    """Forms, reports and batch files embedding the five §5 equi-joins.
+
+    Each join appears in a different syntactic form so the corpus also
+    exercises the whole §4 extraction matrix: plain WHERE join (with an
+    alias and an unqualified column), nested ``IN``, correlated
+    ``EXISTS``, ``JOIN ... ON``, and ``INTERSECT``.
+    """
+    corpus = ProgramCorpus()
+
+    corpus.add_source(
+        "reports/employee_directory.sql",
+        """
+        -- yearly directory: salaries joined to civil identity
+        SELECT name, street, number, salary
+        FROM HEmployee h, Person
+        WHERE h.no = id AND h.date = '2020-06-01'
+        ORDER BY name;
+        """,
+    )
+
+    corpus.add_source(
+        "forms/department_head.cob",
+        """
+       IDENTIFICATION DIVISION.
+       PROGRAM-ID. DEPTHEAD.
+       PROCEDURE DIVISION.
+           EXEC SQL
+             DECLARE heads CURSOR FOR
+             SELECT dep, skill INTO :dep, :skill
+             FROM Department d
+             WHERE d.emp IN (SELECT no FROM HEmployee)
+           END-EXEC.
+        """,
+    )
+
+    corpus.add_source(
+        "batch/assignment_check.pc",
+        """
+        /* nightly check: every assignee must be a salaried employee */
+        void check(void) {
+            EXEC SQL
+              SELECT COUNT(*)
+              FROM Assignment a
+              WHERE EXISTS (SELECT * FROM HEmployee h
+                            WHERE a.emp = h.no);
+        }
+        """,
+    )
+
+    corpus.add_source(
+        "reports/staffing.sql",
+        """
+        SELECT a.emp, d.location
+        FROM Assignment a JOIN Department d ON a.dep = d.dep;
+        """,
+    )
+
+    corpus.add_source(
+        "batch/shared_projects.sql",
+        """
+        -- projects both departments and assignments reference
+        SELECT proj FROM Department
+        INTERSECT
+        SELECT proj FROM Assignment;
+        """,
+    )
+    return corpus
+
+
+def paper_equijoins() -> List[EquiJoin]:
+    """The §5 set ``Q``, stated directly (the paper's assumption)."""
+    return [
+        EquiJoin("HEmployee", ("no",), "Person", ("id",)),
+        EquiJoin("Department", ("emp",), "HEmployee", ("no",)),
+        EquiJoin("Assignment", ("emp",), "HEmployee", ("no",)),
+        EquiJoin("Assignment", ("dep",), "Department", ("dep",)),
+        EquiJoin("Department", ("proj",), "Assignment", ("proj",)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# §6-§7: the expert's choices
+# ----------------------------------------------------------------------
+
+def paper_expert_script() -> Dict[str, object]:
+    """The §6-§7 expert decisions as a ScriptedExpert answer dict."""
+    return {
+        # §6.1: conceptualize the Assignment/Department intersection
+        "nei:Assignment[dep] >< Department[dep]": ConceptualizeIntersection(
+            "Ass-Dept"
+        ),
+        # §6.2.2: conceptualize Employee; give the other empty LHS up
+        "hidden:HEmployee.{no}": True,
+        "hidden:Assignment.{emp}": False,
+        "hidden:Department.{proj}": False,
+        # §7: names chosen by the expert
+        "name_hidden:HEmployee.{no}": "Employee",
+        "name_hidden:Assignment.{dep}": "Other-Dept",
+        "name_fd:Department: emp -> skill, proj": "Manager",
+        "name_fd:Assignment: proj -> project-name": "Project",
+    }
+
+
+# ----------------------------------------------------------------------
+# expected artifacts, section by section
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PaperExpectations:
+    """Every artifact set the paper states, as value objects."""
+
+    key_set: Tuple[AttributeRef, ...]
+    not_null_set: Tuple[AttributeRef, ...]
+    equijoins: Tuple[EquiJoin, ...]
+    inds: Tuple[InclusionDependency, ...]
+    s_relations: Tuple[str, ...]
+    lhs: Tuple[AttributeRef, ...]
+    hidden_after_lhs: Tuple[AttributeRef, ...]
+    fds: Tuple[FunctionalDependency, ...]
+    hidden_after_rhs: Tuple[AttributeRef, ...]
+    restructured_relations: Dict[str, Tuple[str, ...]]
+    restructured_keys: Dict[str, Tuple[str, ...]]
+    ric: Tuple[InclusionDependency, ...]
+
+
+def _ref(relation: str, *attrs: str) -> AttributeRef:
+    return AttributeRef(relation, attrs)
+
+
+PAPER_EXPECTED = PaperExpectations(
+    # §5: K
+    key_set=(
+        _ref("Assignment", "emp", "dep", "proj"),
+        _ref("Department", "dep"),
+        _ref("HEmployee", "no", "date"),
+        _ref("Person", "id"),
+    ),
+    # §5: N
+    not_null_set=(
+        _ref("Assignment", "dep"),
+        _ref("Assignment", "emp"),
+        _ref("Assignment", "proj"),
+        _ref("Department", "dep"),
+        _ref("Department", "location"),
+        _ref("HEmployee", "date"),
+        _ref("HEmployee", "no"),
+        _ref("Person", "id"),
+    ),
+    # §5: Q
+    equijoins=tuple(paper_equijoins()),
+    # §6.1: IND (and S)
+    inds=(
+        InclusionDependency.parse("HEmployee[no] << Person[id]"),
+        InclusionDependency.parse("Department[emp] << HEmployee[no]"),
+        InclusionDependency.parse("Assignment[emp] << HEmployee[no]"),
+        InclusionDependency.parse("Ass-Dept[dep] << Assignment[dep]"),
+        InclusionDependency.parse("Ass-Dept[dep] << Department[dep]"),
+        InclusionDependency.parse("Department[proj] << Assignment[proj]"),
+    ),
+    s_relations=("Ass-Dept",),
+    # §6.2.1: LHS and H
+    lhs=(
+        _ref("Assignment", "emp"),
+        _ref("Assignment", "proj"),
+        _ref("Department", "emp"),
+        _ref("Department", "proj"),
+        _ref("HEmployee", "no"),
+    ),
+    hidden_after_lhs=(_ref("Assignment", "dep"),),
+    # §6.2.2: F and final H
+    fds=(
+        FunctionalDependency("Assignment", ("proj",), ("project-name",)),
+        FunctionalDependency("Department", ("emp",), ("skill", "proj")),
+    ),
+    hidden_after_rhs=(
+        _ref("Assignment", "dep"),
+        _ref("HEmployee", "no"),
+    ),
+    # §7: the restructured schema (attribute sets) and its keys
+    restructured_relations={
+        "Person": ("id", "name", "street", "number", "zip-code", "state"),
+        "HEmployee": ("no", "date", "salary"),
+        "Department": ("dep", "emp", "location"),
+        "Assignment": ("emp", "dep", "proj", "date"),
+        "Employee": ("no",),
+        "Ass-Dept": ("dep",),
+        "Other-Dept": ("dep",),
+        "Manager": ("emp", "skill", "proj"),
+        "Project": ("proj", "project-name"),
+    },
+    restructured_keys={
+        "Person": ("id",),
+        "HEmployee": ("no", "date"),
+        "Department": ("dep",),
+        "Assignment": ("emp", "dep", "proj"),
+        "Employee": ("no",),
+        "Ass-Dept": ("dep",),
+        "Other-Dept": ("dep",),
+        "Manager": ("emp",),
+        "Project": ("proj",),
+    },
+    # §7: RIC
+    ric=(
+        InclusionDependency.parse("Employee[no] << Person[id]"),
+        InclusionDependency.parse("Manager[emp] << Employee[no]"),
+        InclusionDependency.parse("Assignment[emp] << Employee[no]"),
+        InclusionDependency.parse("Ass-Dept[dep] << Other-Dept[dep]"),
+        InclusionDependency.parse("Assignment[dep] << Other-Dept[dep]"),
+        InclusionDependency.parse("Ass-Dept[dep] << Department[dep]"),
+        InclusionDependency.parse("Manager[proj] << Project[proj]"),
+        InclusionDependency.parse("HEmployee[no] << Employee[no]"),
+        InclusionDependency.parse("Department[emp] << Manager[emp]"),
+        InclusionDependency.parse("Assignment[proj] << Project[proj]"),
+    ),
+)

@@ -1,0 +1,138 @@
+"""Rendering the navigation workload as application programs.
+
+The method's input is not a dependency list but *programs*: this module
+turns the ground truth's join edges into a corpus of legacy-looking
+sources, rotating through every syntactic join form §4 lists (plain
+WHERE join, ``JOIN ... ON``, nested ``IN``, correlated ``EXISTS``,
+``INTERSECT``) and through host languages (plain SQL, COBOL ``EXEC
+SQL``, Pro*C).  *coverage* keeps only a fraction of the edges — programs
+never exercise every path of a real system, and the S3 benchmark sweeps
+exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.equijoin import EquiJoin
+
+_COBOL_TEMPLATE = """\
+       IDENTIFICATION DIVISION.
+       PROGRAM-ID. {name}.
+       PROCEDURE DIVISION.
+           EXEC SQL
+             {sql}
+           END-EXEC.
+"""
+
+_PROC_TEMPLATE = """\
+/* generated legacy maintenance job */
+void run_{name}(void) {{
+    EXEC SQL
+      {sql};
+}}
+"""
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    seed: int = 43
+    coverage: float = 1.0           # fraction of join edges referenced
+    queries_per_program: int = 3
+
+
+class QueryWorkloadGenerator:
+    """Generates a :class:`ProgramCorpus` from equi-join edges."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config or WorkloadConfig()
+
+    # ------------------------------------------------------------------
+    def render_query(self, edge: EquiJoin, form: int) -> str:
+        """One SQL statement performing *edge*, in the chosen form."""
+        (l_rel, l_attrs), (r_rel, r_attrs) = edge.sides()
+        la, ra = l_attrs[0], r_attrs[0]
+        form = form % 5
+        if form == 0:
+            conds = " AND ".join(
+                f"x.{a} = y.{b}" for a, b in zip(l_attrs, r_attrs)
+            )
+            return (
+                f"SELECT COUNT(*) FROM {l_rel} x, {r_rel} y WHERE {conds}"
+            )
+        if form == 1:
+            conds = " AND ".join(
+                f"x.{a} = y.{b}" for a, b in zip(l_attrs, r_attrs)
+            )
+            return (
+                f"SELECT COUNT(*) FROM {l_rel} x JOIN {r_rel} y ON {conds}"
+            )
+        if form == 2 and edge.is_self_join() is False and len(l_attrs) == 1:
+            return (
+                f"SELECT {la} FROM {l_rel} WHERE {la} IN "
+                f"(SELECT {ra} FROM {r_rel})"
+            )
+        if form == 3:
+            conds = " AND ".join(
+                f"x.{a} = y.{b}" for a, b in zip(l_attrs, r_attrs)
+            )
+            return (
+                f"SELECT COUNT(*) FROM {l_rel} x WHERE EXISTS "
+                f"(SELECT * FROM {r_rel} y WHERE {conds})"
+            )
+        # form 4 (and the multi-attribute fallback for form 2)
+        l_list = ", ".join(l_attrs)
+        r_list = ", ".join(r_attrs)
+        return (
+            f"SELECT {l_list} FROM {l_rel} INTERSECT "
+            f"SELECT {r_list} FROM {r_rel}"
+        )
+
+    # ------------------------------------------------------------------
+    def generate(self, edges: Sequence[EquiJoin]) -> ProgramCorpus:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        chosen = sorted(set(edges), key=lambda e: e.sort_key())
+        if cfg.coverage < 1.0:
+            keep = max(1, int(len(chosen) * cfg.coverage)) if chosen else 0
+            chosen = sorted(
+                rng.sample(chosen, keep), key=lambda e: e.sort_key()
+            )
+
+        corpus = ProgramCorpus()
+        sql_buffer: List[str] = []
+        program_index = 0
+        for i, edge in enumerate(chosen):
+            sql = self.render_query(edge, form=i)
+            style = i % 7
+            if style == 5:
+                corpus.add_source(
+                    f"forms/form_{program_index:03d}.cob",
+                    _COBOL_TEMPLATE.format(
+                        name=f"F{program_index:03d}", sql=sql
+                    ),
+                )
+                program_index += 1
+            elif style == 6:
+                corpus.add_source(
+                    f"jobs/job_{program_index:03d}.pc",
+                    _PROC_TEMPLATE.format(name=f"{program_index:03d}", sql=sql),
+                )
+                program_index += 1
+            else:
+                sql_buffer.append(sql + ";")
+                if len(sql_buffer) >= cfg.queries_per_program:
+                    corpus.add_source(
+                        f"reports/report_{program_index:03d}.sql",
+                        "\n".join(sql_buffer),
+                    )
+                    sql_buffer = []
+                    program_index += 1
+        if sql_buffer:
+            corpus.add_source(
+                f"reports/report_{program_index:03d}.sql", "\n".join(sql_buffer)
+            )
+        return corpus

@@ -1,0 +1,126 @@
+"""The four baselines: behaviour and the contrasts the paper draws."""
+
+import pytest
+
+from repro.baselines import (
+    ExhaustiveINDBaseline,
+    KnownConstraintsBaseline,
+    NaiveFDBaseline,
+    NamingConventionBaseline,
+)
+from repro.core import DBREPipeline
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.workloads.paper_example import PAPER_EXPECTED
+
+
+class TestExhaustiveIND:
+    def test_finds_true_inclusions(self, paper_db):
+        result = ExhaustiveINDBaseline(paper_db).run()
+        assert IND("HEmployee", ("no",), "Person", ("id",)) in result.inds
+        assert IND("Department", ("emp",), "HEmployee", ("no",)) in result.inds
+
+    def test_candidate_space_far_exceeds_workload(self, paper_db, paper_q):
+        baseline = ExhaustiveINDBaseline(paper_db)
+        # the method examines |Q| = 5 candidates; the baseline over 100
+        assert baseline.candidate_count() > 20 * len(paper_q)
+
+    def test_counts_and_timing_reported(self, paper_db):
+        result = ExhaustiveINDBaseline(paper_db).run()
+        assert result.candidates_examined == 142
+        assert result.elapsed_seconds >= 0
+
+
+class TestNaiveFD:
+    def test_finds_true_and_spurious_fds(self, paper_db):
+        result = NaiveFDBaseline(paper_db, max_lhs_size=1).run()
+        # true embedded dependency found...
+        assert FD("Assignment", ("proj",), ("project-name",)) in result.fds
+        # ...but so is the §5 integrity-constraint-only dependency
+        assert FD("Person", ("zip-code",), ("state",)) in result.fds
+
+    def test_non_key_filter(self, paper_db):
+        result = NaiveFDBaseline(paper_db, max_lhs_size=1).run()
+        non_key = result.non_key_fds(paper_db)
+        assert len(non_key) < len(result.fds)
+        assert all(
+            not paper_db.schema.relation(fd.relation).is_key(tuple(fd.lhs))
+            for fd in non_key
+        )
+
+    def test_relation_subset(self, paper_db):
+        result = NaiveFDBaseline(paper_db, max_lhs_size=1).run(["Person"])
+        assert set(fd.relation for fd in result.fds) == {"Person"}
+
+    def test_candidate_counts_accumulated(self, paper_db):
+        result = NaiveFDBaseline(paper_db, max_lhs_size=2).run()
+        assert result.candidates_examined == sum(result.per_relation.values())
+        assert result.candidates_examined > 50
+
+
+class TestNamingConvention:
+    def test_blind_to_renamed_references(self, paper_db):
+        # HEmployee.no references Person.id under a different name: invisible
+        result = NamingConventionBaseline(paper_db.schema).run()
+        assert result.inds == []
+
+    def test_sees_same_named_keys(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("city", ["cid", "name"], key=["cid"]),
+                RelationSchema.build("person", ["pid", "cid"], key=["pid"]),
+            ]
+        )
+        result = NamingConventionBaseline(schema).run()
+        assert result.inds == [IND("person", ("cid",), "city", ("cid",))]
+
+    def test_composite_keys_ignored(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("h", ["no", "date"], key=["no", "date"]),
+                RelationSchema.build("x", ["k", "no"], key=["k"]),
+            ]
+        )
+        # `no` is only part of a composite key: not proposed
+        assert NamingConventionBaseline(schema).run().inds == []
+
+
+class TestKnownConstraints:
+    def test_matches_method_given_perfect_knowledge(
+        self, paper_db, paper_corpus, paper_expert
+    ):
+        """Fed the method's own elicited sets, the restructuring tail
+        produces the same RIC — isolating elicitation as the contribution."""
+        method = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus)
+
+        from repro.core import ScriptedExpert
+        from repro.workloads.paper_example import paper_expert_script
+
+        baseline = KnownConstraintsBaseline(
+            _with_s(paper_db, paper_corpus, paper_expert),
+            ScriptedExpert(paper_expert_script()),
+        ).run(
+            list(method.fds),
+            list(method.hidden),
+            list(method.inds),
+        )
+        assert set(baseline.restruct.ric) == set(PAPER_EXPECTED.ric)
+        assert set(method.ric) == set(baseline.restruct.ric)
+
+    def test_original_untouched(self, paper_db, paper_expert):
+        baseline = KnownConstraintsBaseline(paper_db, paper_expert)
+        baseline.run([], [], [])
+        assert "Employee" not in paper_db.schema
+
+
+def _with_s(paper_db, paper_corpus, paper_expert):
+    """A copy of the paper database including the S relation (Ass-Dept),
+    since the known-constraints baseline starts after IND-Discovery."""
+    from repro.core.ind_discovery import INDDiscovery
+    from repro.core import ScriptedExpert
+    from repro.workloads.paper_example import paper_expert_script, paper_equijoins
+
+    db = paper_db.copy()
+    INDDiscovery(db, ScriptedExpert(paper_expert_script())).run(paper_equijoins())
+    return db

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper example, small schemas, synthetic scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScriptedExpert
+from repro.relational import Database, DatabaseSchema, RelationSchema
+from repro.relational.domain import INTEGER, REAL, TEXT
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+    paper_program_corpus,
+)
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """The populated §5 database (fresh copy per test)."""
+    return build_paper_database()
+
+
+@pytest.fixture
+def paper_corpus():
+    return paper_program_corpus()
+
+
+@pytest.fixture
+def paper_q():
+    return paper_equijoins()
+
+
+@pytest.fixture
+def paper_expert() -> ScriptedExpert:
+    return ScriptedExpert(paper_expert_script())
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    """A two-relation database small enough to reason about by hand."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build(
+                "city", ["city_id", "city_name"], key=["city_id"],
+                types={"city_id": INTEGER},
+            ),
+            RelationSchema.build(
+                "person",
+                ["person_id", "person_name", "person_city_id"],
+                key=["person_id"],
+                types={"person_id": INTEGER, "person_city_id": INTEGER},
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert_many("city", [[1, "Lyon"], [2, "Paris"], [3, "Nice"]])
+    db.insert_many(
+        "person",
+        [
+            [10, "alice", 1],
+            [11, "bob", 1],
+            [12, "carol", 2],
+            [13, "dave", None],
+        ],
+    )
+    return db

@@ -1,0 +1,211 @@
+"""The expert protocol: defaults, policies, scripting, recording."""
+
+import pytest
+
+from repro.core.expert import (
+    AutoExpert,
+    ConceptualizeIntersection,
+    Expert,
+    FDContext,
+    ForceInclusion,
+    IgnoreIntersection,
+    InteractiveExpert,
+    NEIContext,
+    RecordingExpert,
+    ScriptedExpert,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.programs.equijoin import EquiJoin
+from repro.relational.attribute import AttributeRef
+
+
+@pytest.fixture
+def nei():
+    return NEIContext(
+        EquiJoin("Assignment", ("dep",), "Department", ("dep",)),
+        n_left=9, n_right=8, n_common=6,
+    )
+
+
+class TestContexts:
+    def test_overlap(self, nei):
+        assert nei.overlap == pytest.approx(6 / 8)
+
+    def test_overlap_zero_guard(self):
+        ctx = NEIContext(EquiJoin("A", ("x",), "B", ("y",)), 0, 0, 0)
+        assert ctx.overlap == 0.0
+
+    def test_question_keys_are_stable(self, nei):
+        assert nei.question_key() == "nei:Assignment[dep] >< Department[dep]"
+        fd_ctx = FDContext(FD("R", ("a",), ("b",)), 0.9)
+        assert fd_ctx.question_key() == "enforce:R: a -> b"
+
+    def test_force_direction_validated(self):
+        with pytest.raises(ValueError):
+            ForceInclusion("sideways")
+
+
+class TestBaseExpert:
+    def test_cautious_defaults(self, nei):
+        e = Expert()
+        assert isinstance(e.decide_nei(nei), IgnoreIntersection)
+        assert not e.enforce_fd(FDContext(FD("R", "a", "b"), 0.9))
+        assert e.validate_fd(FD("R", "a", "b"))
+        assert not e.conceptualize_hidden_object(AttributeRef("R", "a"))
+
+    def test_default_names_unique(self):
+        e = Expert()
+        name = e.name_hidden_object(AttributeRef("R", "a"), ("A-Object",))
+        assert name  # non-empty, and distinct from taken names
+        fd_name = e.name_fd_relation(FD("R", "a", "b"), ("R-a",))
+        assert fd_name != "R-a"
+
+
+class TestAutoExpert:
+    def test_high_overlap_forces_smaller_into_larger(self, nei):
+        e = AutoExpert(force_threshold=0.7)
+        decision = e.decide_nei(nei)
+        assert isinstance(decision, ForceInclusion)
+        # right side (8 distinct) is smaller -> right into left
+        assert decision.direction == "right_in_left"
+
+    def test_low_overlap_ignored(self, nei):
+        e = AutoExpert(force_threshold=0.99)
+        assert isinstance(e.decide_nei(nei), IgnoreIntersection)
+
+    def test_conceptualize_band(self, nei):
+        e = AutoExpert(
+            force_threshold=0.99, conceptualize=True, conceptualize_threshold=0.5
+        )
+        decision = e.decide_nei(nei)
+        assert isinstance(decision, ConceptualizeIntersection)
+        assert decision.name
+
+    def test_hidden_flag(self):
+        assert AutoExpert(conceptualize_hidden=True).conceptualize_hidden_object(
+            AttributeRef("R", "a")
+        )
+
+
+class TestScriptedExpert:
+    def test_scripted_answers_used(self, nei):
+        e = ScriptedExpert({nei.question_key(): ConceptualizeIntersection("X")})
+        assert e.decide_nei(nei) == ConceptualizeIntersection("X")
+        assert not e.unmatched
+
+    def test_fallback_and_unmatched_log(self, nei):
+        e = ScriptedExpert({})
+        assert isinstance(e.decide_nei(nei), IgnoreIntersection)
+        assert e.unmatched == [nei.question_key()]
+
+    def test_all_question_kinds(self):
+        fd = FD("R", ("a",), ("b",))
+        ref = AttributeRef("R", "a")
+        e = ScriptedExpert(
+            {
+                f"enforce:{fd!r}": True,
+                f"validate:{fd!r}": False,
+                f"hidden:{ref!r}": True,
+                f"name_hidden:{ref!r}": "Thing",
+                f"name_fd:{fd!r}": "Split",
+            }
+        )
+        assert e.enforce_fd(FDContext(fd, 0.5))
+        assert not e.validate_fd(fd)
+        assert e.conceptualize_hidden_object(ref)
+        assert e.name_hidden_object(ref, ()) == "Thing"
+        assert e.name_fd_relation(fd, ()) == "Split"
+
+
+class TestRecordingExpert:
+    def test_decisions_counted_namings_not(self, nei):
+        inner = AutoExpert(force_threshold=0.5)
+        rec = RecordingExpert(inner)
+        rec.decide_nei(nei)
+        rec.validate_fd(FD("R", "a", "b"))
+        rec.name_fd_relation(FD("R", "a", "b"), ())
+        assert rec.decision_count == 2
+        assert len(rec.log) == 3
+        kinds = [i.kind for i in rec.log]
+        assert kinds == ["nei", "validate", "naming"]
+
+
+class TestSessionReplay:
+    def test_to_script_round_trip(self, nei):
+        """A recorded session replays identically through ScriptedExpert."""
+        original = RecordingExpert(AutoExpert(force_threshold=0.5))
+        fd = FD("R", ("a",), ("b",))
+        ref = AttributeRef("R", "a")
+        first_answers = (
+            original.decide_nei(nei),
+            original.validate_fd(fd),
+            original.conceptualize_hidden_object(ref),
+            original.name_fd_relation(fd, ()),
+        )
+        replay = ScriptedExpert(original.to_script())
+        second_answers = (
+            replay.decide_nei(nei),
+            replay.validate_fd(fd),
+            replay.conceptualize_hidden_object(ref),
+            replay.name_fd_relation(fd, ()),
+        )
+        assert first_answers == second_answers
+        assert replay.unmatched == []
+
+    def test_full_pipeline_replay(self, ):
+        """An entire paper-example run replays from its own recording."""
+        from repro.core import DBREPipeline
+        from repro.workloads.paper_example import (
+            build_paper_database,
+            paper_expert_script,
+            paper_program_corpus,
+        )
+
+        first_pipeline = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        )
+        first = first_pipeline.run(corpus=paper_program_corpus())
+
+        replayed = DBREPipeline(
+            build_paper_database(),
+            ScriptedExpert(first_pipeline.expert.to_script()),
+        ).run(corpus=paper_program_corpus())
+
+        assert replayed.ric == first.ric
+        assert replayed.fds == first.fds
+        assert [r.name for r in replayed.restructured.schema] == [
+            r.name for r in first.restructured.schema
+        ]
+
+
+class TestInteractiveExpert:
+    def test_yes_no_loop(self):
+        answers = iter(["maybe", "y"])
+        e = InteractiveExpert(
+            input_fn=lambda _prompt: next(answers), print_fn=lambda _s: None
+        )
+        assert e.validate_fd(FD("R", "a", "b"))
+
+    def test_nei_conceptualize_flow(self, nei):
+        answers = iter(["c", "Ass-Dept"])
+        e = InteractiveExpert(
+            input_fn=lambda _prompt: next(answers), print_fn=lambda _s: None
+        )
+        assert e.decide_nei(nei) == ConceptualizeIntersection("Ass-Dept")
+
+    def test_nei_force_and_ignore(self, nei):
+        e = InteractiveExpert(
+            input_fn=lambda _p: "l", print_fn=lambda _s: None
+        )
+        assert e.decide_nei(nei) == ForceInclusion("left_in_right")
+        e2 = InteractiveExpert(input_fn=lambda _p: "i", print_fn=lambda _s: None)
+        assert isinstance(e2.decide_nei(nei), IgnoreIntersection)
+
+    def test_enforce_shows_witnesses(self, capsys):
+        lines = []
+        e = InteractiveExpert(
+            input_fn=lambda _p: "n", print_fn=lines.append
+        )
+        ctx = FDContext(FD("R", "a", "b"), 0.8, ("t1 / t2",))
+        assert not e.enforce_fd(ctx)
+        assert any("counterexample" in line for line in lines)

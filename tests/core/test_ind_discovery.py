@@ -1,0 +1,178 @@
+"""IND-Discovery (§6.1): every branch of the algorithm."""
+
+import pytest
+
+from repro.core.expert import (
+    ConceptualizeIntersection,
+    Expert,
+    ForceInclusion,
+    IgnoreIntersection,
+    ScriptedExpert,
+)
+from repro.core.ind_discovery import INDDiscovery, discover_inds
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.programs.equijoin import EquiJoin
+from repro.relational.database import Database
+from repro.relational.domain import INTEGER
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def two_column_db(left_values, right_values) -> Database:
+    """Two single-attribute relations holding the given int values."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build("L", ["a"], types={"a": INTEGER}),
+            RelationSchema.build("R", ["b"], types={"b": INTEGER}),
+        ]
+    )
+    db = Database(schema)
+    db.insert_many("L", [[v] for v in left_values])
+    db.insert_many("R", [[v] for v in right_values])
+    return db
+
+
+JOIN = EquiJoin("L", ("a",), "R", ("b",))
+
+
+class TestCaseEmpty:
+    def test_disjoint_sides_elicit_nothing(self):
+        db = two_column_db([1, 2], [3, 4])
+        result = discover_inds(db, [JOIN])
+        assert result.inds == []
+        assert result.outcomes[0].case == "empty"
+
+
+class TestCaseInclusion:
+    def test_left_in_right(self):
+        db = two_column_db([1, 2], [1, 2, 3])
+        result = discover_inds(db, [JOIN])
+        assert result.inds == [IND("L", ("a",), "R", ("b",))]
+        assert result.outcomes[0].case == "inclusion"
+
+    def test_right_in_left(self):
+        db = two_column_db([1, 2, 3], [1, 2])
+        result = discover_inds(db, [JOIN])
+        assert result.inds == [IND("R", ("b",), "L", ("a",))]
+
+    def test_equal_sides_elicit_both_directions(self):
+        # the algorithm's two non-exclusive ifs: N_k = N_l = N_kl
+        db = two_column_db([1, 2], [1, 2])
+        result = discover_inds(db, [JOIN])
+        assert IND("L", ("a",), "R", ("b",)) in result.inds
+        assert IND("R", ("b",), "L", ("a",)) in result.inds
+
+
+class TestNEICases:
+    @pytest.fixture
+    def nei_db(self):
+        return two_column_db([1, 2, 3], [2, 3, 4, 5])
+
+    def test_default_expert_ignores(self, nei_db):
+        result = discover_inds(nei_db, [JOIN])
+        assert result.inds == []
+        assert result.outcomes[0].decision == "ignore"
+
+    def test_force_left_in_right(self, nei_db):
+        expert = ScriptedExpert({f"nei:{JOIN!r}": ForceInclusion("left_in_right")})
+        result = discover_inds(nei_db, [JOIN], expert)
+        assert result.inds == [IND("L", ("a",), "R", ("b",))]
+        assert result.outcomes[0].decision == "force"
+
+    def test_force_right_in_left(self, nei_db):
+        expert = ScriptedExpert({f"nei:{JOIN!r}": ForceInclusion("right_in_left")})
+        result = discover_inds(nei_db, [JOIN], expert)
+        assert result.inds == [IND("R", ("b",), "L", ("a",))]
+
+    def test_conceptualize_creates_populated_relation(self, nei_db):
+        expert = ScriptedExpert({f"nei:{JOIN!r}": ConceptualizeIntersection("Common")})
+        result = discover_inds(nei_db, [JOIN], expert)
+        assert result.s_names == ["Common"]
+        # both link INDs elicited
+        assert IND("Common", ("a",), "L", ("a",)) in result.inds
+        assert IND("Common", ("a",), "R", ("b",)) in result.inds
+        # the new relation holds exactly the intersection, keyed
+        table = nei_db.table("Common")
+        assert sorted(r["a"] for r in table) == [2, 3]
+        assert nei_db.schema.relation("Common").is_key(["a"])
+
+    def test_conceptualize_name_collision_suffixed(self, nei_db):
+        expert = ScriptedExpert({f"nei:{JOIN!r}": ConceptualizeIntersection("L")})
+        result = discover_inds(nei_db, [JOIN], expert)
+        assert result.s_names == ["L_2"]
+
+    def test_nei_counts_passed_to_expert(self, nei_db):
+        seen = {}
+
+        class Spy(Expert):
+            def decide_nei(self, context):
+                seen["counts"] = (context.n_left, context.n_right, context.n_common)
+                return IgnoreIntersection()
+
+        discover_inds(nei_db, [JOIN], Spy())
+        assert seen["counts"] == (3, 4, 2)
+
+
+class TestReflexiveJoins:
+    def test_reflexive_join_elicits_nothing(self):
+        db = two_column_db([1, 2], [])
+        join = EquiJoin("L", ("a",), "L", ("a",))
+        result = discover_inds(db, [join])
+        assert result.inds == []
+        assert result.outcomes[0].case == "reflexive"
+
+    def test_reflexive_join_queries_nothing(self):
+        db = two_column_db([1, 2], [])
+        db.counter.reset()
+        discover_inds(db, [EquiJoin("L", ("a",), "L", ("a",))])
+        assert db.counter.total() == 0
+
+    def test_self_join_on_different_attributes_still_processed(self):
+        schema = DatabaseSchema(
+            [RelationSchema.build("R", ["x", "y"], types={"x": INTEGER, "y": INTEGER})]
+        )
+        db = Database(schema)
+        db.insert_many("R", [[1, 1], [2, 1]])
+        result = discover_inds(db, [EquiJoin("R", ("y",), "R", ("x",))])
+        # y values {1} ⊆ x values {1, 2}: a genuine self-referencing IND
+        assert result.inds == [IND("R", ("y",), "R", ("x",))]
+
+
+class TestDeterminismAndDedup:
+    def test_duplicate_joins_processed_once(self):
+        db = two_column_db([1], [1, 2])
+        result = discover_inds(db, [JOIN, JOIN])
+        assert len(result.outcomes) == 1
+
+    def test_outcomes_sorted_by_join(self, paper_db, paper_q, paper_expert):
+        result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        keys = [o.join.sort_key() for o in result.outcomes]
+        assert keys == sorted(keys)
+
+
+class TestPaperExample:
+    def test_paper_ind_set(self, paper_db, paper_q, paper_expert):
+        from repro.workloads.paper_example import PAPER_EXPECTED
+
+        result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        assert set(result.inds) == set(PAPER_EXPECTED.inds)
+        assert result.s_names == ["Ass-Dept"]
+
+    def test_paper_counts_shape(self, paper_db, paper_q, paper_expert):
+        # the 2200/1550/1550 shape, scaled: inclusion on HEmployee/Person
+        result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        outcome = next(
+            o for o in result.outcomes if o.join.involves("Person")
+        )
+        assert outcome.case == "inclusion"
+        assert outcome.n_left == 15 and outcome.n_right == 22
+
+    def test_paper_nei_shape(self, paper_db, paper_q, paper_expert):
+        result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        outcome = next(
+            o
+            for o in result.outcomes
+            if o.join == EquiJoin("Assignment", ("dep",), "Department", ("dep",))
+        )
+        assert outcome.case == "nei"
+        assert outcome.decision == "conceptualize"
+        assert (outcome.n_left, outcome.n_right, outcome.n_common) == (9, 8, 6)

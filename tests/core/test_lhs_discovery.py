@@ -1,0 +1,100 @@
+"""LHS-Discovery (§6.2.1): candidate identifiers and hidden objects."""
+
+import pytest
+
+from repro.core.lhs_discovery import LHSDiscovery, discover_lhs
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.relational.attribute import AttributeRef
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema(
+        [
+            RelationSchema.build("A", ["ka", "x"], key=["ka"]),
+            RelationSchema.build("B", ["kb", "y"], key=["kb"]),
+            RelationSchema.build("S1", ["v"], key=["v"]),
+        ]
+    )
+
+
+class TestPlainINDs:
+    def test_both_non_keys_become_lhs(self, schema):
+        result = discover_lhs(schema, [], [IND("A", ("x",), "B", ("y",))])
+        assert AttributeRef("A", "x") in result.lhs
+        assert AttributeRef("B", "y") in result.lhs
+        assert result.hidden == []
+
+    def test_key_sides_excluded(self, schema):
+        result = discover_lhs(schema, [], [IND("A", ("x",), "B", ("kb",))])
+        assert result.lhs == [AttributeRef("A", "x")]
+
+    def test_both_keys_elicit_nothing(self, schema):
+        result = discover_lhs(schema, [], [IND("A", ("ka",), "B", ("kb",))])
+        assert result.lhs == [] and result.hidden == []
+
+    def test_composite_non_key_subset_of_key(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("H", ["no", "date", "s"], key=["no", "date"]),
+                RelationSchema.build("P", ["id"], key=["id"]),
+            ]
+        )
+        # {no} is a proper subset of the key {no, date}: non-key -> LHS
+        result = discover_lhs(schema, [], [IND("H", ("no",), "P", ("id",))])
+        assert AttributeRef("H", "no") in result.lhs
+
+
+class TestSRelations:
+    def test_s_ind_with_non_key_rhs_goes_hidden(self, schema):
+        result = discover_lhs(
+            schema, ["S1"], [IND("S1", ("v",), "A", ("x",))]
+        )
+        assert result.hidden == [AttributeRef("A", "x")]
+        assert result.lhs == []
+
+    def test_s_ind_with_key_rhs_elicits_nothing(self, schema):
+        result = discover_lhs(schema, ["S1"], [IND("S1", ("v",), "A", ("ka",))])
+        assert result.hidden == [] and result.lhs == []
+
+    def test_s_relation_on_rhs_elicits_nothing(self, schema):
+        # an S relation can only appear on the left by construction, but
+        # the algorithm must stay total if one shows up on the right
+        result = discover_lhs(schema, ["S1"], [IND("A", ("x",), "S1", ("v",))])
+        assert result.lhs == [] and result.hidden == []
+
+    def test_hidden_wins_over_lhs(self, schema):
+        # A.x appears both in a plain IND (-> LHS) and behind an S
+        # relation (-> H); H wins and the sets stay disjoint
+        inds = [
+            IND("A", ("x",), "B", ("kb",)),
+            IND("S1", ("v",), "A", ("x",)),
+        ]
+        result = discover_lhs(schema, ["S1"], inds)
+        assert result.hidden == [AttributeRef("A", "x")]
+        assert AttributeRef("A", "x") not in result.lhs
+
+
+class TestDeterminism:
+    def test_outputs_sorted_and_deduped(self, schema):
+        inds = [
+            IND("B", ("y",), "A", ("ka",)),
+            IND("A", ("x",), "B", ("kb",)),
+            IND("A", ("x",), "B", ("kb",)),
+        ]
+        result = discover_lhs(schema, [], inds)
+        assert result.lhs == sorted(set(result.lhs), key=lambda r: r.sort_key())
+
+
+class TestPaperExample:
+    def test_paper_lhs_and_h(self, paper_db, paper_q, paper_expert):
+        from repro.core.ind_discovery import INDDiscovery
+        from repro.workloads.paper_example import PAPER_EXPECTED
+
+        ind_result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        result = LHSDiscovery(paper_db.schema, ind_result.s_names).run(
+            ind_result.inds
+        )
+        assert set(result.lhs) == set(PAPER_EXPECTED.lhs)
+        assert set(result.hidden) == set(PAPER_EXPECTED.hidden_after_lhs)

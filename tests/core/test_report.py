@@ -1,0 +1,97 @@
+"""The Markdown session report."""
+
+import pytest
+
+from repro.core import DBREPipeline, session_report
+from repro.core.report import SessionReport
+
+
+@pytest.fixture(scope="module")
+def run():
+    from repro.core import ScriptedExpert
+    from repro.workloads.paper_example import (
+        build_paper_database,
+        paper_expert_script,
+        paper_program_corpus,
+    )
+
+    pipeline = DBREPipeline(
+        build_paper_database(), ScriptedExpert(paper_expert_script())
+    )
+    result = pipeline.run(corpus=paper_program_corpus())
+    return pipeline, result
+
+
+class TestSessionReport:
+    def test_all_sections_present(self, run):
+        pipeline, result = run
+        text = session_report(result, pipeline.expert)
+        for heading in (
+            "# Database reverse-engineering session",
+            "## Inputs",
+            "## Equi-joins extracted",
+            "## Inclusion dependencies",
+            "## Functional dependencies",
+            "## Restructured schema",
+            "## Conceptual schema",
+            "## Expert decisions",
+            "## Costs",
+        ):
+            assert heading in text, heading
+
+    def test_artifacts_mentioned(self, run):
+        pipeline, result = run
+        text = session_report(result, pipeline.expert)
+        assert "HEmployee[no] << Person[id]" in text
+        assert "Department: emp -> skill, proj" in text
+        assert "Ass-Dept" in text
+        assert "Manager" in text
+        assert "nei:Assignment[dep] >< Department[dep]" in text
+
+    def test_counts_match_result(self, run):
+        pipeline, result = run
+        text = session_report(result, pipeline.expert)
+        assert f"extension queries: {result.extension_queries}" in text
+        assert f"expert decisions: {result.expert_decisions}" in text
+
+    def test_custom_title(self, run):
+        _pipeline, result = run
+        text = session_report(result, title="My audit")
+        assert text.startswith("# My audit")
+
+    def test_without_expert_log_section_omitted(self, run):
+        _pipeline, result = run
+        text = session_report(result)
+        assert "## Expert decisions" not in text
+
+    def test_ind_table_shows_counts(self, run):
+        pipeline, result = run
+        text = SessionReport(result, pipeline.expert).to_markdown()
+        # the narrated NEI counts appear in the IND table
+        assert "9" in text and "8" in text and "6" in text
+
+    def test_provenance_listed(self, run):
+        _pipeline, result = run
+        text = session_report(result)
+        assert "reports/employee_directory.sql" in text
+
+    def test_translation_notes_in_report(self, run):
+        _pipeline, result = run
+        text = session_report(result)
+        assert "Classification notes:" in text
+        assert "is-a link" in text
+
+    def test_report_without_translation(self):
+        from repro.core import ScriptedExpert
+        from repro.workloads.paper_example import (
+            build_paper_database,
+            paper_expert_script,
+            paper_program_corpus,
+        )
+
+        result = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        ).run(corpus=paper_program_corpus(), translate=False)
+        text = session_report(result)
+        assert "## Conceptual schema" not in text
+        assert "## Restructured schema" in text

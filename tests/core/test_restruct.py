@@ -1,0 +1,204 @@
+"""Restruct (§7): hidden-object materialization, FD splits, IND rewriting."""
+
+import pytest
+
+from repro.core.expert import ScriptedExpert
+from repro.core.restruct import Restruct, restructure
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.dependencies.inference import fd_satisfied
+from repro.relational.attribute import AttributeRef
+from repro.relational.database import Database
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    """orders(oid*, cust, cust_city); cust -> cust_city embedded."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build(
+                "orders",
+                ["oid", "cust", "cust_city"],
+                key=["oid"],
+                types={"oid": INTEGER, "cust": INTEGER},
+            ),
+            RelationSchema.build(
+                "invoices", ["iid", "icust"], key=["iid"],
+                types={"iid": INTEGER, "icust": INTEGER},
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert_many(
+        "orders",
+        [[1, 10, "Lyon"], [2, 10, "Lyon"], [3, 11, "Paris"], [4, NULL, NULL]],
+    )
+    db.insert_many("invoices", [[100, 10], [101, 11]])
+    return db
+
+
+class TestHiddenObjectPass:
+    def test_materializes_keyed_relation_with_distinct_values(self, db):
+        result = restructure(db, [], [AttributeRef("orders", "cust")], [])
+        added = result.added[0]
+        assert added.kind == "hidden"
+        new_name = added.name
+        table = db.table(new_name)
+        assert sorted(r["cust"] for r in table) == [10, 11]   # NULL dropped
+        assert db.schema.relation(new_name).is_key(["cust"])
+
+    def test_link_ind_added_and_in_ric(self, db):
+        result = restructure(db, [], [AttributeRef("orders", "cust")], [])
+        name = result.added[0].name
+        link = IND("orders", ("cust",), name, ("cust",))
+        assert link in result.inds
+        assert link in result.ric
+
+    def test_existing_occurrences_redirected(self, db):
+        inds = [IND("invoices", ("icust",), "orders", ("cust",))]
+        result = restructure(db, [], [AttributeRef("orders", "cust")], inds)
+        name = result.added[0].name
+        assert IND("invoices", ("icust",), name, ("cust",)) in result.inds
+        assert IND("invoices", ("icust",), "orders", ("cust",)) not in result.inds
+
+    def test_composite_hidden_object(self, db):
+        ref = AttributeRef("orders", ("cust", "cust_city"))
+        result = restructure(db, [], [ref], [])
+        name = result.added[0].name
+        new_rel = db.schema.relation(name)
+        assert new_rel.is_key(["cust", "cust_city"])
+        table = db.table(name)
+        # distinct non-NULL (cust, city) pairs: (10, Lyon), (11, Paris)
+        assert sorted(r.values for r in table) == [
+            (10, "Lyon"), (11, "Paris"),
+        ]
+
+    def test_expert_names_the_object(self, db):
+        expert = ScriptedExpert({"name_hidden:orders.{cust}": "Customer"})
+        result = restructure(
+            db, [], [AttributeRef("orders", "cust")], [], expert
+        )
+        assert result.added[0].name == "Customer"
+        assert "Customer" in db.schema
+
+
+class TestFDSplitPass:
+    def test_split_moves_rhs_out(self, db):
+        fd = FD("orders", ("cust",), ("cust_city",))
+        result = restructure(db, [fd], [], [])
+        assert db.schema.relation("orders").attribute_names == ("oid", "cust")
+        name = result.added[0].name
+        new_rel = db.schema.relation(name)
+        assert new_rel.attribute_names == ("cust", "cust_city")
+        assert new_rel.is_key(["cust"])
+
+    def test_split_extension_is_distinct_pairs(self, db):
+        fd = FD("orders", ("cust",), ("cust_city",))
+        result = restructure(db, [fd], [], [])
+        table = db.table(result.added[0].name)
+        assert sorted(r.values for r in table) == [(10, "Lyon"), (11, "Paris")]
+
+    def test_split_is_lossless_on_data(self, db):
+        # re-joining the fragments recovers the original non-NULL rows
+        original = {
+            (r["oid"], r["cust"], r["cust_city"])
+            for r in db.table("orders")
+            if r["cust"] is not NULL
+        }
+        fd = FD("orders", ("cust",), ("cust_city",))
+        result = restructure(db, [fd], [], [])
+        lookup = {
+            r["cust"]: r["cust_city"] for r in db.table(result.added[0].name)
+        }
+        rejoined = {
+            (r["oid"], r["cust"], lookup[r["cust"]])
+            for r in db.table("orders")
+            if r["cust"] is not NULL
+        }
+        assert rejoined == original
+
+    def test_ind_sides_within_payload_redirected(self, db):
+        inds = [IND("invoices", ("icust",), "orders", ("cust",))]
+        fd = FD("orders", ("cust",), ("cust_city",))
+        result = restructure(db, [fd], [], inds)
+        name = result.added[0].name
+        assert IND("invoices", ("icust",), name, ("cust",)) in result.inds
+
+    def test_enforced_fd_conflicts_warned(self):
+        schema = DatabaseSchema(
+            [RelationSchema.build("r", ["k", "a", "b"], key=["k"], types={"k": INTEGER})]
+        )
+        db = Database(schema)
+        db.insert_many("r", [[1, "x", "p"], [2, "x", "q"]])   # a -> b fails
+        result = restructure(db, [FD("r", ("a",), ("b",))], [], [])
+        assert result.warnings
+        table = db.table(result.added[0].name)
+        assert len(table) == 1      # first image won
+
+
+class TestRICComputation:
+    def test_ric_keeps_only_key_rhs(self, db):
+        inds = [
+            IND("invoices", ("icust",), "orders", ("cust",)),   # rhs non-key
+            IND("invoices", ("iid",), "orders", ("oid",)),       # rhs key
+        ]
+        result = restructure(db, [], [], inds)
+        assert IND("invoices", ("iid",), "orders", ("oid",)) in result.ric
+        assert IND("invoices", ("icust",), "orders", ("cust",)) not in result.ric
+
+
+class TestPaperExample:
+    @pytest.fixture
+    def paper_restruct(self, paper_db, paper_q, paper_expert):
+        from repro.core.ind_discovery import INDDiscovery
+        from repro.core.lhs_discovery import LHSDiscovery
+        from repro.core.rhs_discovery import RHSDiscovery
+
+        ind_result = INDDiscovery(paper_db, paper_expert).run(paper_q)
+        lhs_result = LHSDiscovery(paper_db.schema, ind_result.s_names).run(
+            ind_result.inds
+        )
+        rhs_result = RHSDiscovery(paper_db, paper_expert).run(
+            lhs_result.lhs, lhs_result.hidden
+        )
+        return Restruct(paper_db, paper_expert).run(
+            rhs_result.fds, rhs_result.hidden, ind_result.inds
+        )
+
+    def test_paper_schema(self, paper_restruct, paper_db):
+        from repro.workloads.paper_example import PAPER_EXPECTED
+
+        got = {
+            r.name: tuple(r.attribute_names) for r in paper_db.schema
+        }
+        assert got == PAPER_EXPECTED.restructured_relations
+
+    def test_paper_keys(self, paper_restruct, paper_db):
+        from repro.workloads.paper_example import PAPER_EXPECTED
+
+        got = {
+            r.name: tuple(r.primary_key().names) for r in paper_db.schema
+        }
+        assert got == PAPER_EXPECTED.restructured_keys
+
+    def test_paper_ric(self, paper_restruct):
+        from repro.workloads.paper_example import PAPER_EXPECTED
+
+        assert set(paper_restruct.ric) == set(PAPER_EXPECTED.ric)
+        assert len(paper_restruct.ric) == 10
+
+    def test_output_is_3nf(self, paper_restruct, paper_db):
+        """§7's goal: the restructured schema is in 3NF w.r.t. the
+        elicited dependencies (which now all follow from keys)."""
+        from repro.normalization import NormalForm, schema_normal_forms
+
+        forms = schema_normal_forms(paper_db.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+    def test_new_extensions_satisfy_their_inds(self, paper_restruct, paper_db):
+        from repro.dependencies.ind_inference import ind_satisfied
+
+        for ind in paper_restruct.ric:
+            assert ind_satisfied(paper_db, ind), f"{ind!r} violated"

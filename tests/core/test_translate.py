@@ -1,0 +1,204 @@
+"""Translate (§7): RIC classification into EER constructs."""
+
+import pytest
+
+from repro.core.translate import Translate, translate
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def schema_of(*relations) -> DatabaseSchema:
+    return DatabaseSchema(list(relations))
+
+
+class TestRuleA_IsA:
+    def test_whole_key_lhs_is_isa(self):
+        schema = schema_of(
+            RelationSchema.build("Person", ["id", "name"], key=["id"]),
+            RelationSchema.build("Employee", ["no"], key=["no"]),
+        )
+        eer = translate(schema, [IND("Employee", ("no",), "Person", ("id",))])
+        assert eer.supertypes("Employee") == ["Person"]
+
+    def test_multiple_inheritance(self):
+        schema = schema_of(
+            RelationSchema.build("A", ["k"], key=["k"]),
+            RelationSchema.build("B", ["k"], key=["k"]),
+            RelationSchema.build("AB", ["k"], key=["k"]),
+        )
+        eer = translate(
+            schema,
+            [IND("AB", ("k",), "A", ("k",)), IND("AB", ("k",), "B", ("k",))],
+        )
+        assert eer.supertypes("AB") == ["A", "B"]
+
+
+class TestRuleB_Relationships:
+    def test_partitioned_key_becomes_nary_relationship(self):
+        schema = schema_of(
+            RelationSchema.build("E1", ["a"], key=["a"]),
+            RelationSchema.build("E2", ["b"], key=["b"]),
+            RelationSchema.build("Link", ["a", "b", "extra"], key=["a", "b"]),
+        )
+        eer = translate(
+            schema,
+            [
+                IND("Link", ("a",), "E1", ("a",)),
+                IND("Link", ("b",), "E2", ("b",)),
+            ],
+        )
+        assert not eer.has_entity("Link")
+        rel = eer.relationship("Link")
+        assert set(rel.entity_names) == {"E1", "E2"}
+        assert rel.attributes == ("extra",)
+        assert rel.is_many_to_many()
+
+    def test_partial_cover_becomes_weak_entity(self):
+        schema = schema_of(
+            RelationSchema.build("Owner", ["o"], key=["o"]),
+            RelationSchema.build("Weak", ["o", "disc", "x"], key=["o", "disc"]),
+        )
+        eer = translate(schema, [IND("Weak", ("o",), "Owner", ("o",))])
+        weak = eer.entity("Weak")
+        assert weak.weak
+        assert weak.owners == ("Owner",)
+        assert weak.discriminator == ("disc",)
+
+    def test_ternary_relationship(self):
+        schema = schema_of(
+            RelationSchema.build("X", ["x"], key=["x"]),
+            RelationSchema.build("Y", ["y"], key=["y"]),
+            RelationSchema.build("Z", ["z"], key=["z"]),
+            RelationSchema.build("T", ["x", "y", "z"], key=["x", "y", "z"]),
+        )
+        eer = translate(
+            schema,
+            [
+                IND("T", ("x",), "X", ("x",)),
+                IND("T", ("y",), "Y", ("y",)),
+                IND("T", ("z",), "Z", ("z",)),
+            ],
+        )
+        assert eer.relationship("T").arity == 3
+
+
+class TestRuleC_BinaryRelationships:
+    def test_non_key_lhs_becomes_binary(self):
+        schema = schema_of(
+            RelationSchema.build("Dept", ["dep", "emp"], key=["dep"]),
+            RelationSchema.build("Mgr", ["emp"], key=["emp"]),
+        )
+        eer = translate(schema, [IND("Dept", ("emp",), "Mgr", ("emp",))])
+        rels = eer.relationships_of("Dept")
+        assert len(rels) == 1
+        rel = rels[0]
+        assert set(rel.entity_names) == {"Dept", "Mgr"}
+        # many-to-one: the referencing side is N, the referenced side 1
+        cards = {p.entity: p.cardinality for p in rel.participants}
+        assert cards == {"Dept": "N", "Mgr": "1"}
+
+    def test_binary_name_collision_resolved(self):
+        schema = schema_of(
+            RelationSchema.build("A", ["k", "x", "y"], key=["k"]),
+            RelationSchema.build("B", ["k"], key=["k"]),
+        )
+        eer = translate(
+            schema,
+            [IND("A", ("x",), "B", ("k",)), IND("A", ("y",), "B", ("k",))],
+        )
+        assert len(eer.relationships) == 2
+        names = {r.name for r in eer.relationships}
+        assert len(names) == 2
+
+
+class TestValidationAndNotes:
+    def test_mutual_inclusion_does_not_cycle(self):
+        """Cyclic INDs are out of the paper's scope; the translator keeps
+        one direction and records a warning instead of crashing."""
+        schema = schema_of(
+            RelationSchema.build("A", ["k"], key=["k"]),
+            RelationSchema.build("B", ["k"], key=["k"]),
+        )
+        translator = Translate(schema)
+        eer = translator.run(
+            [IND("A", ("k",), "B", ("k",)), IND("B", ("k",), "A", ("k",))]
+        )
+        assert len(eer.isa_links) == 1
+        assert any("cycle" in w for w in translator.notes.warnings)
+        eer.validate()
+
+    def test_longer_cycle_broken(self):
+        schema = schema_of(
+            RelationSchema.build("A", ["k"], key=["k"]),
+            RelationSchema.build("B", ["k"], key=["k"]),
+            RelationSchema.build("C", ["k"], key=["k"]),
+        )
+        translator = Translate(schema)
+        eer = translator.run(
+            [
+                IND("A", ("k",), "B", ("k",)),
+                IND("B", ("k",), "C", ("k",)),
+                IND("C", ("k",), "A", ("k",)),
+            ]
+        )
+        assert len(eer.isa_links) == 2
+        eer.validate()
+
+    def test_notes_record_classification(self):
+        schema = schema_of(
+            RelationSchema.build("Person", ["id"], key=["id"]),
+            RelationSchema.build("Employee", ["no"], key=["no"]),
+        )
+        translator = Translate(schema)
+        translator.run([IND("Employee", ("no",), "Person", ("id",))])
+        assert any("is-a" in note for note in translator.notes.entries)
+
+
+class TestFigure1:
+    @pytest.fixture
+    def figure1(self, paper_db, paper_corpus, paper_expert):
+        from repro.core import DBREPipeline
+
+        result = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus)
+        return result.eer
+
+    def test_entities(self, figure1):
+        for name in (
+            "Person", "Employee", "Manager", "Project",
+            "Department", "Other-Dept", "Ass-Dept",
+        ):
+            assert figure1.has_entity(name), name
+            assert not figure1.entity(name).weak
+
+    def test_isa_links(self, figure1):
+        assert figure1.supertypes("Employee") == ["Person"]
+        assert figure1.supertypes("Manager") == ["Employee"]
+        assert figure1.supertypes("Ass-Dept") == ["Department", "Other-Dept"]
+
+    def test_hemployee_weak_entity(self, figure1):
+        h = figure1.entity("HEmployee")
+        assert h.weak
+        assert h.owners == ("Employee",)
+        assert h.discriminator == ("date",)
+
+    def test_assignment_ternary_with_date(self, figure1):
+        rel = figure1.relationship("Assignment")
+        assert set(rel.entity_names) == {"Employee", "Other-Dept", "Project"}
+        assert rel.attributes == ("date",)
+        assert rel.is_many_to_many()
+
+    def test_binary_relationships(self, figure1):
+        dm = [
+            r for r in figure1.relationships
+            if set(r.entity_names) == {"Department", "Manager"}
+        ]
+        mp = [
+            r for r in figure1.relationships
+            if set(r.entity_names) == {"Manager", "Project"}
+        ]
+        assert len(dm) == 1 and len(mp) == 1
+
+    def test_total_shape(self, figure1):
+        assert len(figure1.entities) == 8          # 7 strong + HEmployee
+        assert len(figure1.relationships) == 3     # Assignment + 2 binary
+        assert len(figure1.isa_links) == 4

@@ -1,0 +1,118 @@
+"""Translate edge cases: multi-owner weak entities, degradations, mixes."""
+
+import pytest
+
+from repro.core.translate import Translate, translate
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def schema_of(*relations) -> DatabaseSchema:
+    return DatabaseSchema(list(relations))
+
+
+class TestMultiOwnerWeakEntities:
+    def test_two_owners_with_discriminator(self):
+        # key {a, b, seq}; a references X, b references Y, seq uncovered
+        schema = schema_of(
+            RelationSchema.build("X", ["xa"], key=["xa"]),
+            RelationSchema.build("Y", ["yb"], key=["yb"]),
+            RelationSchema.build("W", ["a", "b", "seq", "v"], key=["a", "b", "seq"]),
+        )
+        eer = translate(
+            schema,
+            [IND("W", ("a",), "X", ("xa",)), IND("W", ("b",), "Y", ("yb",))],
+        )
+        weak = eer.entity("W")
+        assert weak.weak
+        assert weak.owners == ("X", "Y")
+        assert weak.discriminator == ("seq",)
+
+    def test_full_partition_beats_weakness(self):
+        # same shape without the discriminator: a relationship, not weak
+        schema = schema_of(
+            RelationSchema.build("X", ["xa"], key=["xa"]),
+            RelationSchema.build("Y", ["yb"], key=["yb"]),
+            RelationSchema.build("W", ["a", "b", "v"], key=["a", "b"]),
+        )
+        eer = translate(
+            schema,
+            [IND("W", ("a",), "X", ("xa",)), IND("W", ("b",), "Y", ("yb",))],
+        )
+        assert not eer.has_entity("W")
+        assert eer.relationship("W").arity == 2
+
+
+class TestDegradations:
+    def test_relationship_participant_missing_degrades(self):
+        """A relation whose key is partitioned by references to another
+        *relationship* cannot form a leg; it degrades to an entity with a
+        warning rather than failing."""
+        schema = schema_of(
+            RelationSchema.build("A", ["ka"], key=["ka"]),
+            RelationSchema.build("B", ["kb"], key=["kb"]),
+            # Link is an M:N relationship over A, B
+            RelationSchema.build("Link", ["ka", "kb"], key=["ka", "kb"]),
+            # Meta references Link's two key parts: its participants
+            # would be the relationship Link itself
+            RelationSchema.build("Meta", ["ka", "kb", "note"], key=["ka", "kb"]),
+        )
+        translator = Translate(schema)
+        eer = translator.run(
+            [
+                IND("Link", ("ka",), "A", ("ka",)),
+                IND("Link", ("kb",), "B", ("kb",)),
+                IND("Meta", ("ka", "kb"), "Link", ("ka", "kb")),
+            ]
+        )
+        # Link is a relationship; Meta referenced it with its whole key,
+        # which cannot become an is-a to a relationship
+        assert eer.has_relationship("Link")
+        assert eer.has_entity("Meta")
+        assert translator.notes.warnings
+
+    def test_binary_to_missing_entity_warned(self):
+        schema = schema_of(
+            RelationSchema.build("A", ["ka"], key=["ka"]),
+            RelationSchema.build("B", ["kb"], key=["kb"]),
+            RelationSchema.build(
+                "Pair", ["ka", "kb", "x"], key=["ka", "kb"]
+            ),
+            RelationSchema.build("Ref", ["kr", "x"], key=["kr"]),
+        )
+        translator = Translate(schema)
+        eer = translator.run(
+            [
+                IND("Pair", ("ka",), "A", ("ka",)),
+                IND("Pair", ("kb",), "B", ("kb",)),
+                # Ref points (non-key lhs) at the relationship Pair
+                IND("Ref", ("x",), "Pair", ("x",)),
+            ]
+        )
+        assert eer.has_relationship("Pair")
+        assert any("skipped" in w for w in translator.notes.warnings)
+
+
+class TestMixedConstraints:
+    def test_entity_with_both_isa_and_binary(self):
+        schema = schema_of(
+            RelationSchema.build("Person", ["id"], key=["id"]),
+            RelationSchema.build("City", ["c"], key=["c"]),
+            RelationSchema.build("Employee", ["no", "home"], key=["no"]),
+        )
+        eer = translate(
+            schema,
+            [
+                IND("Employee", ("no",), "Person", ("id",)),
+                IND("Employee", ("home",), "City", ("c",)),
+            ],
+        )
+        assert eer.supertypes("Employee") == ["Person"]
+        assert len(eer.relationships_of("Employee")) == 1
+
+    def test_relation_without_declared_key_stays_entity(self):
+        schema = DatabaseSchema()
+        schema.add(RelationSchema.build("NoKey", ["a", "b"]))
+        eer = translate(schema, [])
+        assert eer.has_entity("NoKey")
+        assert eer.entity("NoKey").key == ()

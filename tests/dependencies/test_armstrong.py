@@ -1,0 +1,101 @@
+"""Armstrong relations: exact satisfaction, discovery round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.armstrong import (
+    build_armstrong_table,
+    closed_sets,
+    satisfies_exactly,
+)
+from repro.dependencies.closure import equivalent_covers, minimal_cover
+from repro.dependencies.discovery import discover_fds
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.exceptions import ProcessError
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestClosedSets:
+    def test_no_fds_everything_closed(self):
+        sets = closed_sets(["a", "b"], [])
+        assert len(sets) == 4       # {}, {a}, {b}, {a,b}
+
+    def test_closure_collapses_sets(self):
+        sets = closed_sets(["a", "b"], fds("a -> b"))
+        # {a} is not closed (its closure is {a,b})
+        assert frozenset({"a"}) not in sets
+        assert frozenset({"b"}) in sets
+        assert frozenset({"a", "b"}) in sets
+
+    def test_cap_enforced(self):
+        universe = [f"a{i}" for i in range(20)]
+        with pytest.raises(ProcessError):
+            closed_sets(universe, [])
+
+
+class TestArmstrongConstruction:
+    def test_simple_chain(self):
+        universe = ["a", "b", "c"]
+        deps = fds("a -> b", "b -> c")
+        table = build_armstrong_table(universe, deps)
+        assert satisfies_exactly(table, universe, deps)
+
+    def test_no_dependencies(self):
+        universe = ["a", "b", "c"]
+        table = build_armstrong_table(universe, [])
+        assert satisfies_exactly(table, universe, [])
+
+    def test_key_dependency(self):
+        universe = ["k", "x", "y"]
+        deps = fds("k -> x, y")
+        table = build_armstrong_table(universe, deps)
+        assert satisfies_exactly(table, universe, deps)
+
+    def test_discovery_round_trip(self):
+        """FDs mined from the Armstrong relation form an equivalent cover."""
+        universe = ["a", "b", "c", "d"]
+        deps = fds("a -> b", "b, c -> d")
+        table = build_armstrong_table(universe, deps)
+        mined = discover_fds(table, max_lhs_size=3, universe=universe)
+        assert equivalent_covers(
+            [fd.with_relation("") for fd in mined], deps
+        )
+
+
+ATTRS = ["a", "b", "c", "d"]
+attr_subsets = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2)
+
+
+@st.composite
+def small_fd_sets(draw):
+    count = draw(st.integers(0, 3))
+    return [
+        FD(
+            "",
+            tuple(sorted(draw(attr_subsets))),
+            tuple(sorted(draw(attr_subsets))),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestArmstrongProperties:
+    @given(small_fd_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_satisfaction_for_arbitrary_covers(self, deps):
+        table = build_armstrong_table(ATTRS, deps)
+        assert satisfies_exactly(table, ATTRS, deps)
+
+    @given(small_fd_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_mined_cover_is_equivalent(self, deps):
+        table = build_armstrong_table(ATTRS, deps)
+        mined = [
+            fd.with_relation("")
+            for fd in discover_fds(table, max_lhs_size=3, universe=ATTRS)
+        ]
+        assert equivalent_covers(mined, minimal_cover(deps) or deps)

@@ -1,0 +1,91 @@
+"""Closure, implication, minimal cover — the classical machinery."""
+
+from repro.dependencies.closure import (
+    attribute_closure,
+    equivalent_covers,
+    implies,
+    minimal_cover,
+    project_fds,
+    restrict_to_relation,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert attribute_closure(["a"], []) == frozenset({"a"})
+
+    def test_chains(self):
+        deps = fds("a -> b", "b -> c", "c -> d")
+        assert attribute_closure(["a"], deps) == frozenset("abcd")
+        assert attribute_closure(["b"], deps) == frozenset("bcd")
+
+    def test_composite_lhs_needs_all(self):
+        deps = fds("a, b -> c")
+        assert "c" not in attribute_closure(["a"], deps)
+        assert "c" in attribute_closure(["a", "b"], deps)
+
+
+class TestImplication:
+    def test_armstrong_transitivity(self):
+        deps = fds("a -> b", "b -> c")
+        assert implies(deps, FD.parse("a -> c"))
+
+    def test_augmentation(self):
+        deps = fds("a -> b")
+        assert implies(deps, FD.parse("a, c -> b"))
+
+    def test_non_implication(self):
+        assert not implies(fds("a -> b"), FD.parse("b -> a"))
+
+    def test_equivalent_covers(self):
+        left = fds("a -> b", "a -> c")
+        right = fds("a -> b, c")
+        assert equivalent_covers(left, right)
+        assert not equivalent_covers(left, fds("a -> b"))
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover(fds("a -> b, c"))
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert len(cover) == 2
+
+    def test_removes_redundant_fd(self):
+        cover = minimal_cover(fds("a -> b", "b -> c", "a -> c"))
+        assert FD.parse("a -> c") not in cover
+        assert equivalent_covers(cover, fds("a -> b", "b -> c"))
+
+    def test_removes_extraneous_lhs_attribute(self):
+        cover = minimal_cover(fds("a -> b", "a, b -> c"))
+        assert FD.parse("a -> c") in cover or equivalent_covers(
+            cover, fds("a -> b", "a -> c")
+        )
+
+    def test_trivial_dropped(self):
+        assert minimal_cover(fds("a, b -> a")) == []
+
+    def test_idempotent(self):
+        deps = fds("a -> b", "b -> c", "c -> a")
+        once = minimal_cover(deps)
+        assert minimal_cover(once) == once
+
+
+class TestProjection:
+    def test_project_keeps_transitive_consequences(self):
+        deps = fds("a -> b", "b -> c")
+        projected = project_fds(deps, ["a", "c"])
+        assert implies(projected, FD.parse("a -> c"))
+
+    def test_project_drops_outside_attributes(self):
+        deps = fds("a -> b")
+        assert project_fds(deps, ["a", "c"]) == []
+
+    def test_restrict_to_relation(self):
+        deps = fds("a -> b", "c -> d")
+        out = restrict_to_relation(deps, "R", ["a", "b"])
+        assert out == [FD("R", ("a",), ("b",))]

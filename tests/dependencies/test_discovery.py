@@ -1,0 +1,93 @@
+"""Exhaustive discovery substrates: unary INDs and lattice FDs."""
+
+import pytest
+
+from repro.dependencies.discovery import (
+    count_fd_candidates,
+    count_unary_candidates,
+    discover_fds,
+    discover_unary_inds,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+
+class TestUnaryINDDiscovery:
+    def test_finds_fk_inclusion(self, tiny_db):
+        found = discover_unary_inds(tiny_db)
+        assert IND("person", ("person_city_id",), "city", ("city_id",)) in found
+
+    def test_type_incompatible_pairs_skipped(self, tiny_db):
+        found = discover_unary_inds(tiny_db)
+        # TEXT names never end up included in INTEGER ids
+        assert all(
+            not (i.lhs_attrs == ("person_name",) and i.rhs_attrs == ("city_id",))
+            for i in found
+        )
+
+    def test_candidate_count(self, tiny_db):
+        # 5 attributes: ints {city_id, person_id, person_city_id} and
+        # texts {city_name, person_name}: 3*2 + 2*1 = 8 ordered pairs
+        assert count_unary_candidates(tiny_db) == 8
+
+    def test_empty_lhs_skipped_by_default(self, tiny_db):
+        tiny_db.create_relation(
+            RelationSchema.build("empty", ["e"], key=["e"], types={"e": INTEGER})
+        )
+        found = discover_unary_inds(tiny_db)
+        assert all(i.lhs_relation != "empty" for i in found)
+        found_vacuous = discover_unary_inds(tiny_db, require_nonempty=False)
+        assert any(i.lhs_relation == "empty" for i in found_vacuous)
+
+    def test_max_candidates_truncates(self, tiny_db):
+        partial = discover_unary_inds(tiny_db, max_candidates=1)
+        full = discover_unary_inds(tiny_db)
+        assert len(partial) <= len(full)
+
+
+class TestFDDiscovery:
+    @pytest.fixture
+    def table(self):
+        schema = RelationSchema.build(
+            "r", ["a", "b", "c"], types={"a": INTEGER, "b": INTEGER, "c": INTEGER}
+        )
+        t = Table(schema)
+        # a determines b; c is a*10 so a <-> c; b does not determine a
+        t.insert_many([[1, 5, 10], [2, 5, 20], [3, 6, 30], [1, 5, 10]])
+        return t
+
+    def test_finds_unary_fds(self, table):
+        found = discover_fds(table, max_lhs_size=1)
+        assert FD("r", ("a",), ("b",)) in found
+        assert FD("r", ("a",), ("c",)) in found
+        assert FD("r", ("c",), ("a",)) in found
+        assert FD("r", ("b",), ("a",)) not in found
+
+    def test_minimality_suppresses_supersets(self, table):
+        found = discover_fds(table, max_lhs_size=2)
+        # a -> b found at size 1, so {a, c} -> b must not be reported
+        assert FD("r", ("a", "c"), ("b",)) not in found
+
+    def test_null_lhs_rows_skipped(self):
+        schema = RelationSchema.build("r", ["a", "b"], types={"a": INTEGER})
+        t = Table(schema)
+        t.insert_many([[1, "x"], [NULL, "y"], [NULL, "z"]])
+        found = discover_fds(t, max_lhs_size=1)
+        assert FD("r", ("a",), ("b",)) in found
+
+    def test_candidate_count_formula(self):
+        # n=4, size<=2: C(4,1)*3 + C(4,2)*2 = 12 + 12 = 24
+        assert count_fd_candidates(4, 2) == 24
+
+    def test_composite_lhs_found(self):
+        schema = RelationSchema.build(
+            "r", ["a", "b", "c"], types={"a": INTEGER, "b": INTEGER}
+        )
+        t = Table(schema)
+        t.insert_many([[1, 1, "x"], [1, 2, "y"], [2, 1, "z"], [2, 2, "w"]])
+        found = discover_fds(t, max_lhs_size=2)
+        assert FD("r", ("a", "b"), ("c",)) in found
+        assert FD("r", ("a",), ("c",)) not in found

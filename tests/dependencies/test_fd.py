@@ -1,0 +1,70 @@
+"""Functional dependency value objects."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.exceptions import SchemaError
+from repro.relational.attribute import AttributeRef
+
+
+class TestConstruction:
+    def test_string_sides_wrapped(self):
+        fd = FunctionalDependency("R", "a", "b")
+        assert tuple(fd.lhs) == ("a",)
+        assert tuple(fd.rhs) == ("b",)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency("R", (), ("b",))
+        with pytest.raises(SchemaError):
+            FunctionalDependency("R", ("a",), ())
+
+    def test_equality_is_set_based(self):
+        assert FunctionalDependency("R", ("a", "b"), ("c",)) == FunctionalDependency(
+            "R", ("b", "a"), ("c",)
+        )
+        assert FunctionalDependency("R", "a", "b") != FunctionalDependency(
+            "S", "a", "b"
+        )
+
+
+class TestParsing:
+    def test_parse_with_relation(self):
+        fd = FunctionalDependency.parse("Department: emp -> skill, proj")
+        assert fd.relation == "Department"
+        assert tuple(fd.lhs) == ("emp",)
+        assert set(fd.rhs) == {"skill", "proj"}
+
+    def test_parse_without_relation(self):
+        fd = FunctionalDependency.parse("a, b -> c")
+        assert fd.relation == ""
+        assert set(fd.lhs) == {"a", "b"}
+
+    def test_parse_rejects_non_fd(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency.parse("a, b, c")
+
+    def test_repr_parses_back(self):
+        fd = FunctionalDependency("Assignment", ("proj",), ("project-name",))
+        assert FunctionalDependency.parse(repr(fd)) == fd
+
+
+class TestOperations:
+    def test_trivial(self):
+        assert FunctionalDependency("R", ("a", "b"), ("a",)).is_trivial()
+        assert not FunctionalDependency("R", ("a",), ("b",)).is_trivial()
+
+    def test_split_rhs(self):
+        fd = FunctionalDependency("R", ("a",), ("b", "c"))
+        parts = fd.split_rhs()
+        assert len(parts) == 2
+        assert FunctionalDependency("R", ("a",), ("b",)) in parts
+
+    def test_refs_and_attributes(self):
+        fd = FunctionalDependency("R", ("a",), ("b",))
+        assert fd.lhs_ref() == AttributeRef("R", "a")
+        assert set(fd.attributes) == {"a", "b"}
+
+    def test_with_relation(self):
+        fd = FunctionalDependency("", ("a",), ("b",)).with_relation("R")
+        assert fd.relation == "R"

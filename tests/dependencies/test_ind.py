@@ -1,0 +1,70 @@
+"""Inclusion dependency value objects."""
+
+import pytest
+
+from repro.dependencies.ind import InclusionDependency
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("R", ("a", "b"), "S", ("x",))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("R", ("a", "a"), "S", ("x", "y"))
+        with pytest.raises(SchemaError):
+            InclusionDependency("R", ("a", "b"), "S", ("x", "x"))
+
+    def test_directionality(self):
+        forward = InclusionDependency("R", ("a",), "S", ("x",))
+        backward = forward.reversed()
+        assert forward != backward
+        assert backward.lhs_relation == "S"
+
+    def test_pairing_respecting_equality(self):
+        a = InclusionDependency("R", ("a", "b"), "S", ("x", "y"))
+        b = InclusionDependency("R", ("b", "a"), "S", ("y", "x"))
+        c = InclusionDependency("R", ("a", "b"), "S", ("y", "x"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestParsing:
+    def test_parse(self):
+        ind = InclusionDependency.parse("HEmployee[no] << Person[id]")
+        assert ind.lhs_relation == "HEmployee"
+        assert ind.rhs_attrs == ("id",)
+
+    def test_parse_multi(self):
+        ind = InclusionDependency.parse("R[a, b] << S[x, y]")
+        assert ind.pairs() == (("a", "x"), ("b", "y"))
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency.parse("R[a] subset S[x]")
+        with pytest.raises(SchemaError):
+            InclusionDependency.parse("Ra] << S[x]")
+
+    def test_repr_parses_back(self):
+        ind = InclusionDependency("Ass-Dept", ("dep",), "Department", ("dep",))
+        assert InclusionDependency.parse(repr(ind)) == ind
+
+
+class TestRenames:
+    def test_rename_lhs(self):
+        ind = InclusionDependency("R", ("a",), "S", ("x",))
+        renamed = ind.rename_lhs("T", ("t",))
+        assert renamed.lhs_relation == "T"
+        assert renamed.rhs_relation == "S"
+
+    def test_rename_rhs(self):
+        ind = InclusionDependency("R", ("a",), "S", ("x",))
+        renamed = ind.rename_rhs("T", ("t",))
+        assert renamed.rhs_relation == "T"
+
+    def test_is_unary(self):
+        assert InclusionDependency("R", ("a",), "S", ("x",)).is_unary()
+        assert not InclusionDependency("R", ("a", "b"), "S", ("x", "y")).is_unary()

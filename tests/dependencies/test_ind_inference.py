@@ -1,0 +1,75 @@
+"""IND satisfaction and the Casanova-Fagin-Papadimitriou axioms."""
+
+import pytest
+
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.dependencies.ind_inference import (
+    compose,
+    ind_implies,
+    ind_satisfied,
+    inds_satisfied,
+    is_reflexive,
+    projections,
+    transitive_closure_inds,
+    violating_inds,
+)
+
+
+class TestSatisfaction:
+    def test_satisfied(self, tiny_db):
+        assert ind_satisfied(
+            tiny_db, IND("person", ("person_city_id",), "city", ("city_id",))
+        )
+
+    def test_violated(self, tiny_db):
+        assert not ind_satisfied(
+            tiny_db, IND("city", ("city_id",), "person", ("person_city_id",))
+        )
+
+    def test_batch_helpers(self, tiny_db):
+        good = IND("person", ("person_city_id",), "city", ("city_id",))
+        bad = good.reversed()
+        assert inds_satisfied(tiny_db, [good])
+        assert violating_inds(tiny_db, [good, bad]) == [bad]
+
+
+class TestAxioms:
+    def test_reflexivity(self):
+        assert is_reflexive(IND("R", ("a",), "R", ("a",)))
+        assert not is_reflexive(IND("R", ("a",), "R", ("b",)))
+
+    def test_projection(self):
+        ind = IND("R", ("a", "b"), "S", ("x", "y"))
+        unary = projections(ind)
+        assert IND("R", ("a",), "S", ("x",)) in unary
+        assert IND("R", ("b",), "S", ("y",)) in unary
+        assert projections(IND("R", ("a",), "S", ("x",))) == []
+
+    def test_compose(self):
+        first = IND("R", ("a",), "S", ("x",))
+        second = IND("S", ("x",), "T", ("p",))
+        assert compose(first, second) == IND("R", ("a",), "T", ("p",))
+
+    def test_compose_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compose(IND("R", ("a",), "S", ("x",)), IND("S", ("y",), "T", ("p",)))
+
+    def test_transitive_closure(self):
+        closed = transitive_closure_inds(
+            [IND("R", ("a",), "S", ("x",)), IND("S", ("x",), "T", ("p",))]
+        )
+        assert IND("R", ("a",), "T", ("p",)) in closed
+        assert len(closed) == 3
+
+    def test_closure_drops_reflexive(self):
+        closed = transitive_closure_inds(
+            [IND("R", ("a",), "S", ("x",)), IND("S", ("x",), "R", ("a",))]
+        )
+        assert all(not is_reflexive(i) for i in closed)
+
+    def test_implication(self):
+        givens = [IND("R", ("a", "b"), "S", ("x", "y")), IND("S", ("x",), "T", ("p",))]
+        assert ind_implies(givens, IND("R", ("a",), "S", ("x",)))     # projection
+        assert ind_implies(givens, IND("R", ("a",), "T", ("p",)))     # + transitivity
+        assert ind_implies(givens, IND("Q", ("q",), "Q", ("q",)))     # reflexivity
+        assert not ind_implies(givens, IND("T", ("p",), "R", ("a",)))

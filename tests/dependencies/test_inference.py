@@ -1,0 +1,76 @@
+"""FD satisfaction against extensions."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.inference import (
+    fd_satisfied,
+    fd_satisfied_in,
+    fds_satisfied,
+    satisfaction_ratio,
+    violating_fds,
+    violation_witnesses,
+)
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def table():
+    schema = RelationSchema.build(
+        "emp", ["eid", "dept", "city", "bonus"],
+        key=["eid"], types={"eid": INTEGER, "bonus": INTEGER},
+    )
+    t = Table(schema)
+    t.insert_many(
+        [
+            [1, "sales", "Lyon", 10],
+            [2, "sales", "Lyon", 20],
+            [3, "tech", "Paris", 10],
+            [4, NULL, "Paris", 30],
+        ]
+    )
+    return t
+
+
+class TestSatisfaction:
+    def test_fd_holds(self, table):
+        assert fd_satisfied(table, FD("emp", ("dept",), ("city",)))
+
+    def test_fd_fails(self, table):
+        assert not fd_satisfied(table, FD("emp", ("dept",), ("bonus",)))
+
+    def test_null_lhs_skipped(self, table):
+        # the NULL-dept row (city=Paris) must not clash with tech->Paris
+        assert fd_satisfied(table, FD("emp", ("dept",), ("city",)))
+
+    def test_database_level(self, tiny_db):
+        assert fd_satisfied_in(tiny_db, FD("city", ("city_id",), ("city_name",)))
+        assert fds_satisfied(
+            tiny_db, [FD("city", ("city_id",), ("city_name",))]
+        )
+
+    def test_violating_fds(self, tiny_db):
+        bad = FD("person", ("person_city_id",), ("person_name",))
+        good = FD("city", ("city_id",), ("city_name",))
+        assert violating_fds(tiny_db, [bad, good]) == [bad]
+
+
+class TestDiagnostics:
+    def test_witnesses(self, table):
+        pairs = violation_witnesses(table, FD("emp", ("dept",), ("bonus",)))
+        assert pairs
+        a, b = pairs[0]
+        assert a["dept"] == b["dept"] and a["bonus"] != b["bonus"]
+
+    def test_ratio_full_when_satisfied(self, table):
+        assert satisfaction_ratio(table, FD("emp", ("dept",), ("city",))) == 1.0
+
+    def test_ratio_counts_clean_groups(self, table):
+        # groups: sales (dirty), tech (clean) -> 1/2
+        assert satisfaction_ratio(table, FD("emp", ("dept",), ("bonus",))) == 0.5
+
+    def test_ratio_on_empty_table(self):
+        schema = RelationSchema.build("r", ["a", "b"])
+        assert satisfaction_ratio(Table(schema), FD("r", ("a",), ("b",))) == 1.0

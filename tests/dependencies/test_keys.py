@@ -1,0 +1,58 @@
+"""Candidate-key discovery."""
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestSuperkey:
+    def test_whole_universe_is_superkey(self):
+        assert is_superkey(["a", "b"], ["a", "b"], [])
+
+    def test_closure_based(self):
+        deps = fds("a -> b", "b -> c")
+        assert is_superkey(["a"], ["a", "b", "c"], deps)
+        assert not is_superkey(["b"], ["a", "b", "c"], deps)
+
+
+class TestCandidateKeys:
+    def test_single_key(self):
+        deps = fds("a -> b", "a -> c")
+        assert candidate_keys(["a", "b", "c"], deps) == [frozenset({"a"})]
+
+    def test_multiple_keys_cycle(self):
+        deps = fds("a -> b", "b -> a", "a -> c")
+        keys = candidate_keys(["a", "b", "c"], deps)
+        assert frozenset({"a"}) in keys
+        assert frozenset({"b"}) in keys
+
+    def test_composite_key(self):
+        deps = fds("a, b -> c")
+        assert candidate_keys(["a", "b", "c"], deps) == [frozenset({"a", "b"})]
+
+    def test_no_fds_whole_relation_is_key(self):
+        assert candidate_keys(["a", "b"], []) == [frozenset({"a", "b"})]
+
+    def test_keys_are_minimal(self):
+        deps = fds("a -> b", "a -> c")
+        keys = candidate_keys(["a", "b", "c"], deps)
+        assert frozenset({"a", "b"}) not in keys
+
+    def test_paper_assignment_relation(self):
+        # key FD of Assignment plus the embedded proj -> project-name
+        universe = ["emp", "dep", "proj", "date", "project-name"]
+        deps = [
+            FD("", ("emp", "dep", "proj"), ("date", "project-name")),
+            FD("", ("proj",), ("project-name",)),
+        ]
+        keys = candidate_keys(universe, deps)
+        assert keys == [frozenset({"emp", "dep", "proj"})]
+
+
+class TestPrimeAttributes:
+    def test_prime_union_of_keys(self):
+        deps = fds("a -> b", "b -> a", "a -> c")
+        assert prime_attributes(["a", "b", "c"], deps) == frozenset({"a", "b"})

@@ -1,0 +1,95 @@
+"""Structural EER comparison: signatures and diffs."""
+
+import pytest
+
+from repro.eer.compare import diff_schemas, schema_signature, schemas_equivalent
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+
+
+def base_schema(rel_name="WorksIn") -> EERSchema:
+    eer = EERSchema()
+    eer.add_entity(EntityType("A", key=("a",)))
+    eer.add_entity(EntityType("B", key=("b",)))
+    eer.add_relationship(
+        RelationshipType(
+            rel_name, (Participation("A", "N"), Participation("B", "1"))
+        )
+    )
+    return eer
+
+
+class TestEquivalence:
+    def test_identical_schemas_equivalent(self):
+        assert schemas_equivalent(base_schema(), base_schema())
+
+    def test_relationship_names_irrelevant(self):
+        assert schemas_equivalent(base_schema("R1"), base_schema("R2"))
+
+    def test_cardinality_matters(self):
+        left = base_schema()
+        right = EERSchema()
+        right.add_entity(EntityType("A", key=("a",)))
+        right.add_entity(EntityType("B", key=("b",)))
+        right.add_relationship(
+            RelationshipType(
+                "WorksIn", (Participation("A", "N"), Participation("B", "N"))
+            )
+        )
+        assert not schemas_equivalent(left, right)
+
+    def test_weak_flag_matters(self):
+        left = EERSchema()
+        left.add_entity(EntityType("A", key=("a",)))
+        right = EERSchema()
+        right.add_entity(EntityType("Owner"))
+        right.add_entity(EntityType("A", weak=True, owners=("Owner",)))
+        assert not schemas_equivalent(left, right)
+
+    def test_relationship_multiset_counted(self):
+        # two identical binary relationships vs one
+        one = base_schema()
+        two = base_schema()
+        two.add_relationship(
+            RelationshipType(
+                "Also", (Participation("A", "N"), Participation("B", "1"))
+            )
+        )
+        assert not schemas_equivalent(one, two)
+
+
+class TestDiff:
+    def test_empty_diff(self):
+        diff = diff_schemas(base_schema(), base_schema())
+        assert diff.is_empty()
+        assert "equivalent" in diff.summary()
+
+    def test_missing_entity_reported(self):
+        expected = base_schema()
+        actual = EERSchema()
+        actual.add_entity(EntityType("A", key=("a",)))
+        actual.add_entity(EntityType("B", key=("b",)))
+        actual.add_entity(EntityType("C"))
+        diff = diff_schemas(expected, actual)
+        assert diff.extra_entities == ["C"]
+        assert diff.missing_relationships
+        assert not diff.is_empty()
+
+    def test_isa_diff(self):
+        expected = EERSchema()
+        expected.add_entity(EntityType("Sub"))
+        expected.add_entity(EntityType("Sup"))
+        expected.add_isa("Sub", "Sup")
+        actual = EERSchema()
+        actual.add_entity(EntityType("Sub"))
+        actual.add_entity(EntityType("Sup"))
+        diff = diff_schemas(expected, actual)
+        assert diff.missing_isa == ["Sub is-a Sup"]
+
+    def test_summary_mentions_kinds(self):
+        expected = base_schema()
+        actual = EERSchema()
+        actual.add_entity(EntityType("A", key=("a",)))
+        diff = diff_schemas(expected, actual)
+        text = diff.summary()
+        assert "missing entities" in text
+        assert "missing relationships" in text

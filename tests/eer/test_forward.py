@@ -1,0 +1,173 @@
+"""EER → relational forward mapping and the Translate round-trip."""
+
+import pytest
+
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.eer.forward import eer_to_relational
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+from repro.exceptions import SchemaError
+
+
+def small_eer() -> EERSchema:
+    eer = EERSchema()
+    eer.add_entity(EntityType("customer", ("cid", "cname"), ("cid",)))
+    eer.add_entity(EntityType("product", ("pid", "plabel"), ("pid",)))
+    eer.add_relationship(
+        RelationshipType(
+            "buys",
+            (
+                Participation("customer", "N", via=("cid",)),
+                Participation("product", "N", via=("pid",)),
+            ),
+            attributes=("qty",),
+        )
+    )
+    return eer
+
+
+class TestEntityMapping:
+    def test_entity_relation_keyed(self):
+        schema, _ric = eer_to_relational(small_eer())
+        customer = schema.relation("customer")
+        assert customer.attribute_names == ("cid", "cname")
+        assert customer.is_key(["cid"])
+        assert not customer.attribute("cid").nullable
+
+    def test_entity_without_key_rejected(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("bad", ("x",)))
+        with pytest.raises(SchemaError):
+            eer_to_relational(eer)
+
+
+class TestRelationshipMapping:
+    def test_mn_relationship_becomes_relation(self):
+        schema, ric = eer_to_relational(small_eer())
+        buys = schema.relation("buys")
+        assert buys.attribute_names == ("cid", "pid", "qty")
+        assert buys.is_key(["cid", "pid"])
+        assert IND("buys", ("cid",), "customer", ("cid",)) in ric
+        assert IND("buys", ("pid",), "product", ("pid",)) in ric
+
+    def test_binary_n1_maps_to_fk_constraint_only(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("dept", ("dep", "mgr"), ("dep",)))
+        eer.add_entity(EntityType("manager", ("emp",), ("emp",)))
+        eer.add_relationship(
+            RelationshipType(
+                "headed-by",
+                (
+                    Participation("dept", "N", via=("mgr",)),
+                    Participation("manager", "1"),
+                ),
+            )
+        )
+        schema, ric = eer_to_relational(eer)
+        assert "headed-by" not in schema
+        assert ric == [IND("dept", ("mgr",), "manager", ("emp",))]
+
+    def test_binary_without_via_rejected(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("a", ("x",), ("x",)))
+        eer.add_entity(EntityType("b", ("y",), ("y",)))
+        eer.add_relationship(
+            RelationshipType(
+                "r", (Participation("a", "N"), Participation("b", "1"))
+            )
+        )
+        with pytest.raises(SchemaError):
+            eer_to_relational(eer)
+
+
+class TestLegResolution:
+    def test_mn_without_via_uses_owner_keys(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("a", ("aid",), ("aid",)))
+        eer.add_entity(EntityType("b", ("bid",), ("bid",)))
+        eer.add_relationship(
+            RelationshipType(
+                "ab", (Participation("a", "N"), Participation("b", "N"))
+            )
+        )
+        schema, ric = eer_to_relational(eer)
+        ab = schema.relation("ab")
+        assert ab.is_key(["aid", "bid"])
+        assert IND("ab", ("aid",), "a", ("aid",)) in ric
+
+    def test_via_arity_mismatch_rejected(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("a", ("aid",), ("aid",)))
+        eer.add_entity(EntityType("b", ("b1", "b2"), ("b1", "b2")))
+        eer.add_relationship(
+            RelationshipType(
+                "ab",
+                (
+                    Participation("a", "N", via=("aid",)),
+                    Participation("b", "N", via=("b1",)),   # key has 2 attrs
+                ),
+            )
+        )
+        with pytest.raises(SchemaError):
+            eer_to_relational(eer)
+
+
+class TestWeakAndIsA:
+    def test_weak_entity_owner_ric(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("employee", ("no",), ("no",)))
+        eer.add_entity(
+            EntityType(
+                "hist", ("no", "date", "pay"), ("no", "date"),
+                weak=True, owners=("employee",), discriminator=("date",),
+            )
+        )
+        _schema, ric = eer_to_relational(eer)
+        assert IND("hist", ("no",), "employee", ("no",)) in ric
+
+    def test_isa_ric_positional(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("person", ("id",), ("id",)))
+        eer.add_entity(EntityType("employee", ("no",), ("no",)))
+        eer.add_isa("employee", "person")
+        _schema, ric = eer_to_relational(eer)
+        assert IND("employee", ("no",), "person", ("id",)) in ric
+
+    def test_isa_arity_mismatch_rejected(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("a", ("x", "y"), ("x", "y")))
+        eer.add_entity(EntityType("b", ("z",), ("z",)))
+        eer.add_isa("a", "b")
+        with pytest.raises(SchemaError):
+            eer_to_relational(eer)
+
+
+class TestRoundTrip:
+    def test_paper_figure1_round_trips(self, paper_db, paper_corpus, paper_expert):
+        """forward(Translate(S, RIC)) recovers (S, RIC) on the paper run."""
+        from repro.core import DBREPipeline
+
+        result = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus)
+        schema, ric = eer_to_relational(result.eer)
+
+        original = result.restructured.schema
+        assert schema.relation_names == original.relation_names
+        for name in original.relation_names:
+            assert set(schema.relation(name).attribute_names) == set(
+                original.relation(name).attribute_names
+            ), name
+            assert tuple(schema.relation(name).primary_key().names) == tuple(
+                original.relation(name).primary_key().names
+            ), name
+        assert set(ric) == set(result.ric)
+
+    def test_synthetic_round_trip(self):
+        from repro.core import DBREPipeline
+        from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(ScenarioConfig(seed=7))
+        result = DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus
+        )
+        schema, ric = eer_to_relational(result.eer)
+        assert schema.relation_names == result.restructured.schema.relation_names
+        assert set(ric) == set(result.ric)

@@ -1,0 +1,136 @@
+"""EER model objects and schema-level validation."""
+
+import pytest
+
+from repro.eer.model import (
+    EERSchema,
+    EntityType,
+    IsALink,
+    Participation,
+    RelationshipType,
+)
+from repro.exceptions import SchemaError
+
+
+def simple_schema() -> EERSchema:
+    eer = EERSchema()
+    eer.add_entity(EntityType("Person", ("id", "name"), ("id",)))
+    eer.add_entity(EntityType("Dept", ("dep",), ("dep",)))
+    return eer
+
+
+class TestEntityType:
+    def test_weak_needs_owner(self):
+        with pytest.raises(SchemaError):
+            EntityType("W", weak=True)
+
+    def test_strong_cannot_have_owner(self):
+        with pytest.raises(SchemaError):
+            EntityType("S", owners=("O",))
+
+    def test_weak_entity_ok(self):
+        e = EntityType(
+            "H", ("no", "date"), ("no", "date"),
+            weak=True, owners=("Employee",), discriminator=("date",),
+        )
+        assert e.weak and e.owners == ("Employee",)
+
+
+class TestRelationshipType:
+    def test_needs_two_participants(self):
+        with pytest.raises(SchemaError):
+            RelationshipType("R", (Participation("A"),))
+
+    def test_cardinality_validated(self):
+        with pytest.raises(SchemaError):
+            Participation("A", "many")
+
+    def test_many_to_many_detection(self):
+        rel = RelationshipType(
+            "R", (Participation("A", "N"), Participation("B", "N"))
+        )
+        assert rel.is_many_to_many()
+        rel2 = RelationshipType(
+            "R", (Participation("A", "N"), Participation("B", "1"))
+        )
+        assert not rel2.is_many_to_many()
+
+
+class TestSchemaOperations:
+    def test_duplicate_names_rejected_across_kinds(self):
+        eer = simple_schema()
+        with pytest.raises(SchemaError):
+            eer.add_entity(EntityType("Person"))
+        with pytest.raises(SchemaError):
+            eer.add_relationship(
+                RelationshipType(
+                    "Person", (Participation("Person"), Participation("Dept"))
+                )
+            )
+
+    def test_relationship_needs_known_entities(self):
+        eer = simple_schema()
+        with pytest.raises(SchemaError):
+            eer.add_relationship(
+                RelationshipType(
+                    "R", (Participation("Person"), Participation("Ghost"))
+                )
+            )
+
+    def test_isa_endpoints_checked(self):
+        eer = simple_schema()
+        with pytest.raises(SchemaError):
+            eer.add_isa("Person", "Ghost")
+        with pytest.raises(SchemaError):
+            eer.add_isa("Person", "Person")
+
+    def test_isa_dedup_and_queries(self):
+        eer = simple_schema()
+        eer.add_entity(EntityType("Employee", key=("no",)))
+        eer.add_isa("Employee", "Person")
+        eer.add_isa("Employee", "Person")
+        assert eer.isa_links == [IsALink("Employee", "Person")]
+        assert eer.subtypes("Person") == ["Employee"]
+        assert eer.supertypes("Employee") == ["Person"]
+
+    def test_remove_entity_guarded(self):
+        eer = simple_schema()
+        eer.add_relationship(
+            RelationshipType(
+                "WorksIn", (Participation("Person"), Participation("Dept"))
+            )
+        )
+        with pytest.raises(SchemaError):
+            eer.remove_entity("Dept")
+
+    def test_relationships_of(self):
+        eer = simple_schema()
+        eer.add_relationship(
+            RelationshipType(
+                "WorksIn", (Participation("Person"), Participation("Dept"))
+            )
+        )
+        assert [r.name for r in eer.relationships_of("Person")] == ["WorksIn"]
+
+
+class TestValidate:
+    def test_isa_cycle_detected(self):
+        eer = simple_schema()
+        eer.add_entity(EntityType("A"))
+        eer.add_entity(EntityType("B"))
+        eer._isa.append(IsALink("A", "B"))
+        eer._isa.append(IsALink("B", "A"))
+        with pytest.raises(SchemaError):
+            eer.validate()
+
+    def test_weak_owner_must_exist(self):
+        eer = EERSchema()
+        eer.add_entity(
+            EntityType("W", weak=True, owners=("Missing",))
+        )
+        with pytest.raises(SchemaError):
+            eer.validate()
+
+    def test_clean_schema_validates(self):
+        eer = simple_schema()
+        eer.validate()

@@ -1,0 +1,133 @@
+"""Data-driven cardinality refinement."""
+
+import pytest
+
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.eer import refine_cardinalities
+from repro.eer.compare import schemas_equivalent
+from repro.relational import Database, DatabaseSchema, NULL, RelationSchema
+from repro.relational.domain import INTEGER
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    from repro.workloads.paper_example import (
+        build_paper_database,
+        paper_expert_script,
+        paper_program_corpus,
+    )
+
+    pipeline = DBREPipeline(
+        build_paper_database(), ScriptedExpert(paper_expert_script())
+    )
+    return pipeline.run(corpus=paper_program_corpus())
+
+
+class TestRefinementOnPaperExample:
+    def test_department_manager_becomes_one_to_one(self, paper_run):
+        """Each department row carries a distinct manager (or NULL): the
+        data proves Department-Manager is 1:1, not N:1."""
+        refined = refine_cardinalities(paper_run.eer, paper_run.restructured)
+        rel = next(
+            r for r in refined.relationships
+            if set(r.entity_names) == {"Department", "Manager"}
+        )
+        cards = {p.entity: p.cardinality for p in rel.participants}
+        assert cards == {"Department": "1", "Manager": "1"}
+
+    def test_assignment_stays_many(self, paper_run):
+        """Assignment's emp values repeat: the ternary legs stay N."""
+        refined = refine_cardinalities(paper_run.eer, paper_run.restructured)
+        ternary = refined.relationship("Assignment")
+        legs = {p.entity: p.cardinality for p in ternary.participants}
+        assert legs["Employee"] == "N"
+
+    def test_entities_and_isa_untouched(self, paper_run):
+        refined = refine_cardinalities(paper_run.eer, paper_run.restructured)
+        assert [e.name for e in refined.entities] == [
+            e.name for e in paper_run.eer.entities
+        ]
+        assert refined.isa_links == paper_run.eer.isa_links
+
+    def test_original_schema_not_mutated(self, paper_run):
+        before = {
+            r.name: tuple(p.cardinality for p in r.participants)
+            for r in paper_run.eer.relationships
+        }
+        refine_cardinalities(paper_run.eer, paper_run.restructured)
+        after = {
+            r.name: tuple(p.cardinality for p in r.participants)
+            for r in paper_run.eer.relationships
+        }
+        assert before == after
+
+
+class TestConservativeness:
+    def test_duplicates_block_narrowing(self):
+        from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build(
+                    "orders", ["oid", "cust"], key=["oid"],
+                    types={"oid": INTEGER, "cust": INTEGER},
+                ),
+                RelationSchema.build(
+                    "customer", ["cid"], key=["cid"], types={"cid": INTEGER},
+                ),
+            ]
+        )
+        db = Database(schema)
+        db.insert_many("orders", [[1, 10], [2, 10], [3, NULL]])
+        db.insert_many("customer", [[10]])
+        eer = EERSchema()
+        eer.add_entity(EntityType("orders", ("oid", "cust"), ("oid",)))
+        eer.add_entity(EntityType("customer", ("cid",), ("cid",)))
+        eer.add_relationship(
+            RelationshipType(
+                "places",
+                (
+                    Participation("orders", "N", via=("cust",)),
+                    Participation("customer", "1"),
+                ),
+            )
+        )
+        refined = refine_cardinalities(eer, db)
+        cards = {
+            p.entity: p.cardinality
+            for p in refined.relationship("places").participants
+        }
+        assert cards["orders"] == "N"      # cust repeats: stays many
+
+    def test_nulls_do_not_count_as_duplicates(self):
+        from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build(
+                    "a", ["k", "f"], key=["k"], types={"k": INTEGER, "f": INTEGER},
+                ),
+                RelationSchema.build("b", ["x"], key=["x"], types={"x": INTEGER}),
+            ]
+        )
+        db = Database(schema)
+        db.insert_many("a", [[1, 5], [2, NULL], [3, NULL]])
+        db.insert_many("b", [[5]])
+        eer = EERSchema()
+        eer.add_entity(EntityType("a", ("k", "f"), ("k",)))
+        eer.add_entity(EntityType("b", ("x",), ("x",)))
+        eer.add_relationship(
+            RelationshipType(
+                "r",
+                (
+                    Participation("a", "N", via=("f",)),
+                    Participation("b", "1"),
+                ),
+            )
+        )
+        refined = refine_cardinalities(eer, db)
+        cards = {
+            p.entity: p.cardinality
+            for p in refined.relationship("r").participants
+        }
+        assert cards["a"] == "1"           # the two NULLs are not duplicates

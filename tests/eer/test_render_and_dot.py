@@ -1,0 +1,85 @@
+"""DOT export and text rendering of EER schemas."""
+
+import pytest
+
+from repro.eer.dot import to_dot
+from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
+from repro.eer.render import render_text
+
+
+@pytest.fixture
+def schema():
+    eer = EERSchema()
+    eer.add_entity(EntityType("Person", ("id",), ("id",)))
+    eer.add_entity(EntityType("Employee", ("no",), ("no",)))
+    eer.add_entity(
+        EntityType(
+            "HEmployee", ("no", "date"), ("no", "date"),
+            weak=True, owners=("Employee",), discriminator=("date",),
+        )
+    )
+    eer.add_relationship(
+        RelationshipType(
+            "Assignment",
+            (Participation("Person", "N"), Participation("Employee", "N")),
+            attributes=("date",),
+        )
+    )
+    eer.add_isa("Employee", "Person")
+    return eer
+
+
+class TestDot:
+    def test_valid_structure(self, schema):
+        dot = to_dot(schema)
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+
+    def test_entities_are_boxes_weak_doubled(self, schema):
+        dot = to_dot(schema)
+        assert '"Person" [shape=box, peripheries=1' in dot
+        assert '"HEmployee" [shape=box, peripheries=2' in dot
+
+    def test_relationship_is_diamond_with_legs(self, schema):
+        dot = to_dot(schema)
+        assert "shape=diamond" in dot
+        assert '"Assignment" -- "Person"' in dot
+        assert '"Assignment" -- "Employee"' in dot
+
+    def test_isa_edge_labelled(self, schema):
+        dot = to_dot(schema)
+        assert '"Employee" -- "Person"' in dot
+        assert 'label="is-a"' in dot
+
+    def test_names_quoted(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("Ass-Dept"))
+        assert '"Ass-Dept"' in to_dot(eer)
+
+
+class TestRenderText:
+    def test_sections_present(self, schema):
+        text = render_text(schema)
+        assert "Entity-types:" in text
+        assert "Weak entity-types:" in text
+        assert "Relationship-types:" in text
+        assert "Specializations:" in text
+
+    def test_weak_entity_line(self, schema):
+        text = render_text(schema)
+        assert "[[HEmployee]] of Employee discriminator(date)" in text
+
+    def test_relationship_line_with_cardinalities(self, schema):
+        text = render_text(schema)
+        assert "Person(N)" in text and "Employee(N)" in text
+        assert "carrying [date]" in text
+
+    def test_isa_line(self, schema):
+        assert "Employee --|> Person" in render_text(schema)
+
+    def test_empty_sections_omitted(self):
+        eer = EERSchema()
+        eer.add_entity(EntityType("Solo"))
+        text = render_text(eer)
+        assert "Relationship-types:" not in text
+        assert "Weak entity-types:" not in text

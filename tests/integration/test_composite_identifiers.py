@@ -1,0 +1,196 @@
+"""End-to-end pipeline over *composite* identifiers.
+
+The paper's notation allows attribute *sets* everywhere (``R.X``); this
+scenario exercises those paths: a multi-attribute equi-join, a composite
+non-key identifier in LHS-Discovery, an FD with a composite left-hand
+side, its Restruct split into a relation with a composite key, and the
+weak-entity/relationship classification over composite keys in
+Translate.
+
+Domain: a warehouse system.  Bins are identified by (site, bin_code);
+the bin registry was folded into the ``stock`` relation long ago, so
+``stock : site, bin_code -> bin_label, bin_zone`` is a hidden
+dependency; picking orders reference bins by the same composite, and
+programs join on both attributes at once.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.normalization import NormalForm, schema_normal_forms
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.equijoin import EquiJoin
+from repro.relational import Database, DatabaseSchema, RelationSchema
+from repro.relational.attribute import AttributeRef
+from repro.relational.domain import INTEGER
+
+
+@pytest.fixture(scope="module")
+def database() -> Database:
+    schema = DatabaseSchema(
+        [
+            # stock: one row per (site, bin_code, product); bin data embedded
+            RelationSchema.build(
+                "stock",
+                ["site", "bin_code", "product", "qty", "bin_label", "bin_zone"],
+                key=["site", "bin_code", "product"],
+                types={"qty": INTEGER},
+            ),
+            RelationSchema.build(
+                "pick",
+                ["pick_no", "site", "bin_code", "picked_qty"],
+                key=["pick_no"],
+                types={"pick_no": INTEGER, "picked_qty": INTEGER},
+            ),
+        ]
+    )
+    db = Database(schema)
+    bins = {
+        ("S1", "B1"): ("upper-A", "zoneA"),
+        ("S1", "B2"): ("lower-A", "zoneA"),
+        ("S2", "B1"): ("upper-B", "zoneB"),
+        ("S2", "B3"): ("dock", "zoneB"),
+    }
+    stock_rows = [
+        ("S1", "B1", "p1", 10), ("S1", "B1", "p2", 4),
+        ("S1", "B2", "p1", 7), ("S2", "B1", "p3", 2),
+        ("S2", "B3", "p2", 9), ("S2", "B3", "p3", 1),
+    ]
+    for site, bin_code, product, qty in stock_rows:
+        label, zone = bins[(site, bin_code)]
+        db.insert("stock", [site, bin_code, product, qty, label, zone])
+    # picks reference a subset of the bins
+    db.insert_many(
+        "pick",
+        [
+            [1, "S1", "B1", 3],
+            [2, "S1", "B1", 1],
+            [3, "S2", "B3", 5],
+            [4, "S1", "B2", 2],
+        ],
+    )
+    db.validate()
+    return db
+
+
+@pytest.fixture(scope="module")
+def corpus() -> ProgramCorpus:
+    corpus = ProgramCorpus()
+    corpus.add_source(
+        "batch/pick_check.sql",
+        """
+        -- every pick must hit an existing stock bin (composite join)
+        SELECT COUNT(*) FROM pick p, stock s
+        WHERE p.site = s.site AND p.bin_code = s.bin_code;
+        """,
+    )
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def result(database, corpus):
+    # the canonical attribute order of the composite identifier follows
+    # the equi-join's canonical pairing (bin_code before site)
+    expert = ScriptedExpert(
+        {
+            "name_fd:stock: bin_code, site -> bin_label, bin_zone": "bin",
+            "hidden:pick.{bin_code, site}": False,
+        }
+    )
+    return DBREPipeline(database, expert).run(corpus=corpus)
+
+
+class TestCompositeExtraction:
+    def test_multi_attribute_join_extracted(self, result):
+        assert result.equijoins == [
+            EquiJoin("pick", ("bin_code", "site"), "stock", ("bin_code", "site"))
+        ]
+
+
+class TestCompositeElicitation:
+    def test_composite_ind(self, result):
+        assert (
+            IND("pick", ("site", "bin_code"), "stock", ("site", "bin_code"))
+            in result.inds
+        )
+
+    def test_composite_identifiers_in_lhs(self, result):
+        assert AttributeRef("pick", ("site", "bin_code")) in result.lhs_result.lhs
+        assert AttributeRef("stock", ("site", "bin_code")) in result.lhs_result.lhs
+
+    def test_composite_fd_found(self, result):
+        assert result.fds == [
+            FD("stock", ("site", "bin_code"), ("bin_label", "bin_zone"))
+        ]
+
+    def test_pick_identifier_given_up(self, result):
+        # picked_qty varies per pick: empty RHS, expert declines
+        outcome = next(
+            o
+            for o in result.rhs_result.outcomes
+            if o.ref == AttributeRef("pick", ("site", "bin_code"))
+        )
+        assert outcome.action == "ignored"
+
+
+class TestCompositeRestruct:
+    def test_bin_relation_split_off(self, result):
+        bin_rel = result.restructured.schema.relation("bin")
+        assert bin_rel.attribute_names == (
+            "site", "bin_code", "bin_label", "bin_zone",
+        )
+        assert bin_rel.is_key(["site", "bin_code"])
+
+    def test_bin_extension_deduplicated(self, result):
+        table = result.restructured.table("bin")
+        assert len(table) == 4          # the four distinct bins
+
+    def test_stock_narrowed(self, result):
+        stock = result.restructured.schema.relation("stock")
+        assert stock.attribute_names == ("site", "bin_code", "product", "qty")
+
+    def test_composite_rics(self, result):
+        assert (
+            IND("stock", ("site", "bin_code"), "bin", ("site", "bin_code"))
+            in result.ric
+        )
+        assert (
+            IND("pick", ("site", "bin_code"), "bin", ("site", "bin_code"))
+            in result.ric
+        )
+
+    def test_output_is_3nf(self, result):
+        forms = schema_normal_forms(result.restructured.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+    def test_input_stock_was_1nf(self, database, result):
+        # with the embedded FD, stock violates 2NF (partial dependency on
+        # a proper subset of the key)
+        forms = schema_normal_forms(database.schema, list(result.fds))
+        assert forms["stock"] == NormalForm.FIRST
+
+
+class TestCompositeTranslate:
+    def test_bin_is_entity(self, result):
+        assert result.eer.has_entity("bin")
+        assert result.eer.entity("bin").key == ("site", "bin_code")
+
+    def test_stock_weak_entity_of_bin(self, result):
+        # stock's key (site, bin_code, product) is partially covered by
+        # the composite reference to bin -> weak entity, discriminator
+        # product
+        stock = result.eer.entity("stock")
+        assert stock.weak
+        assert stock.owners == ("bin",)
+        assert stock.discriminator == ("product",)
+
+    def test_pick_binary_relationship_to_bin(self, result):
+        rels = [
+            r for r in result.eer.relationships
+            if set(r.entity_names) == {"pick", "bin"}
+        ]
+        assert len(rels) == 1
+        cards = {p.entity: p.cardinality for p in rels[0].participants}
+        assert cards == {"pick": "N", "bin": "1"}

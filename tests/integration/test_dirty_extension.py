@@ -1,0 +1,101 @@
+"""The pipeline over extensions that violate their own declarations.
+
+§4: "No assumption is made on the database extension" — legacy data is
+dirty and the method must run anyway.  These tests feed the pipeline an
+extension with duplicate keys, NULLs in declared-not-null columns, and
+broken references, and check it completes with sane output instead of
+refusing.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline
+from repro.core.expert import AutoExpert, Expert
+from repro.programs.corpus import ProgramCorpus
+from repro.relational import Database, DatabaseSchema, NULL, RelationSchema
+from repro.relational.domain import INTEGER
+
+
+@pytest.fixture
+def dirty_db() -> Database:
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build(
+                "customer", ["cid", "cname"], key=["cid"],
+                types={"cid": INTEGER},
+            ),
+            RelationSchema.build(
+                "orders",
+                ["oid", "cust", "cust_city"],
+                key=["oid"],
+                not_null=["cust"],
+                types={"oid": INTEGER, "cust": INTEGER},
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert_many(
+        "customer",
+        [
+            [1, "a"], [2, "b"], [3, "c"],
+            [3, "c-duplicate"],          # duplicate key!
+        ],
+    )
+    db.insert_many(
+        "orders",
+        [
+            [10, 1, "Lyon"], [11, 1, "Lyon"], [12, 2, "Paris"],
+            [13, NULL, "Nowhere"],        # NULL in a NOT NULL column!
+            [14, 99, "Ghost-town"],       # dangling reference!
+        ],
+    )
+    return db
+
+
+@pytest.fixture
+def corpus() -> ProgramCorpus:
+    corpus = ProgramCorpus()
+    corpus.add_source(
+        "r.sql", "SELECT cname FROM orders o, customer c WHERE o.cust = c.cid;"
+    )
+    return corpus
+
+
+class TestDirtyExtension:
+    def test_declared_constraints_are_indeed_violated(self, dirty_db):
+        problems = dirty_db.violations()
+        assert len(problems) >= 2
+
+    def test_pipeline_completes(self, dirty_db, corpus):
+        result = DBREPipeline(dirty_db, Expert()).run(corpus=corpus)
+        assert result.restructured is not None
+        assert result.eer is not None
+
+    def test_dangling_reference_makes_nei_not_crash(self, dirty_db, corpus):
+        result = DBREPipeline(dirty_db, Expert()).run(corpus=corpus)
+        outcome = result.ind_result.outcomes[0]
+        # cust values {1, 2, 99} vs cid {1, 2, 3}: a genuine NEI
+        assert outcome.case == "nei"
+        # the cautious expert drops it: nothing elicited
+        assert result.inds == []
+
+    def test_forgiving_expert_forces_through(self, dirty_db, corpus):
+        result = DBREPipeline(
+            dirty_db, AutoExpert(force_threshold=0.6)
+        ).run(corpus=corpus)
+        assert len(result.inds) == 1
+        # the forced IND contradicts the extension — by design
+        from repro.dependencies.ind_inference import ind_satisfied
+
+        assert not ind_satisfied(dirty_db, result.inds[0])
+
+    def test_fd_checks_skip_null_lhs_rows(self, dirty_db, corpus):
+        """cust -> cust_city holds on the non-NULL rows; the NULL-cust
+        row must not block its discovery once cust is a candidate."""
+        result = DBREPipeline(
+            dirty_db, AutoExpert(force_threshold=0.6)
+        ).run(corpus=corpus)
+        assert any(
+            fd.relation == "orders" and "cust_city" in fd.rhs
+            for fd in result.fds
+        )

@@ -1,0 +1,108 @@
+"""The interactive path, end to end.
+
+Drives the full pipeline with an :class:`InteractiveExpert` fed from a
+queued stdin, answering the paper's §6-§7 questions the way the paper's
+expert does — then checks the run matches the scripted reference and
+that the recorded session replays.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline, InteractiveExpert, ScriptedExpert
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED,
+    build_paper_database,
+    paper_expert_script,
+    paper_program_corpus,
+)
+
+
+class QueuedIO:
+    """Scripted stdin/stdout for the interactive expert."""
+
+    def __init__(self, answers):
+        self._answers = list(answers)
+        self.prompts = []
+        self.printed = []
+
+    def input(self, prompt: str) -> str:
+        self.prompts.append(prompt)
+        if not self._answers:
+            raise AssertionError(f"unexpected question: {prompt!r}")
+        return self._answers.pop(0)
+
+    def print(self, text: str) -> None:
+        self.printed.append(text)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._answers
+
+
+@pytest.fixture(scope="module")
+def interactive_run():
+    # answers in the deterministic order the pipeline asks:
+    io = QueuedIO(
+        [
+            # §6.1 NEI on Assignment[dep] >< Department[dep]
+            "c", "Ass-Dept",
+            # RHS-Discovery, sorted by identifier:
+            # Assignment.{dep} (in H): enforce dep->date? dep->project-name?
+            "n", "n",
+            # Assignment.{emp}: enforce emp->date? emp->project-name?
+            # then conceptualize as hidden object?
+            "n", "n", "n",
+            # Assignment.{proj}: enforce proj->date? validate found FD?
+            "n", "y",
+            # Department.{emp}: validate emp -> skill, proj
+            "y",
+            # Department.{proj}: enforce proj->emp? proj->skill? hidden?
+            "n", "n", "n",
+            # HEmployee.{no}: enforce no->salary? conceptualize hidden?
+            "n", "y",
+            # Restruct namings: hidden objects (Assignment.dep,
+            # HEmployee.no), then FD relations (Assignment, Department)
+            "Other-Dept", "Employee",
+            "Project", "Manager",
+        ]
+    )
+    expert = InteractiveExpert(input_fn=io.input, print_fn=io.print)
+    pipeline = DBREPipeline(build_paper_database(), expert)
+    result = pipeline.run(corpus=paper_program_corpus())
+    return io, pipeline, result
+
+
+class TestInteractiveSession:
+    def test_all_answers_consumed(self, interactive_run):
+        io, _pipeline, _result = interactive_run
+        assert io.exhausted
+
+    def test_matches_scripted_reference(self, interactive_run):
+        _io, _pipeline, result = interactive_run
+        reference = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        ).run(corpus=paper_program_corpus())
+        assert set(result.ric) == set(reference.ric)
+        assert set(result.fds) == set(reference.fds)
+        assert result.restructured.schema.relation_names == (
+            reference.restructured.schema.relation_names
+        )
+
+    def test_reproduces_paper_artifacts(self, interactive_run):
+        _io, _pipeline, result = interactive_run
+        assert set(result.ric) == set(PAPER_EXPECTED.ric)
+
+    def test_nei_prompt_showed_the_counts(self, interactive_run):
+        io, _pipeline, _result = interactive_run
+        nei_lines = [l for l in io.printed if "Non-empty intersection" in l]
+        assert len(nei_lines) == 1
+        assert "|left|=9" in nei_lines[0]
+        assert "|right|=8" in nei_lines[0]
+
+    def test_session_replays_from_recording(self, interactive_run):
+        _io, pipeline, result = interactive_run
+        replay = DBREPipeline(
+            build_paper_database(),
+            ScriptedExpert(pipeline.expert.to_script()),
+        ).run(corpus=paper_program_corpus())
+        assert replay.ric == result.ric

@@ -1,0 +1,174 @@
+"""E1-E7: every artifact of the paper's worked example, end to end.
+
+Each test mirrors one row of the experiment index in DESIGN.md; the
+benchmarks print the same comparisons, these tests assert them.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.normalization import NormalForm, schema_normal_forms
+from repro.programs.extractor import extract_equijoins
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED,
+    build_paper_database,
+    paper_expert_script,
+    paper_program_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    db = build_paper_database()
+    expert = ScriptedExpert(paper_expert_script())
+    result = DBREPipeline(db, expert).run(corpus=paper_program_corpus())
+    return result
+
+
+class TestE1InputSchema:
+    def test_k_set(self, run):
+        assert tuple(run.key_set) == PAPER_EXPECTED.key_set
+
+    def test_n_set(self, run):
+        assert tuple(run.not_null_set) == PAPER_EXPECTED.not_null_set
+
+    def test_normal_form_annotations(self, paper_db):
+        deps = [
+            FD("Department", ("emp",), ("skill", "proj")),
+            FD("Assignment", ("proj",), ("project-name",)),
+        ]
+        forms = schema_normal_forms(paper_db.schema, deps)
+        assert forms["Assignment"] == NormalForm.FIRST
+        assert forms["Department"] == NormalForm.SECOND
+        assert forms["HEmployee"].at_least(NormalForm.THIRD)
+        assert forms["Person"].at_least(NormalForm.THIRD)
+
+
+class TestE2QueryExtraction:
+    def test_q_recovered_from_programs(self, run):
+        assert set(run.equijoins) == set(PAPER_EXPECTED.equijoins)
+        assert not run.extraction.skipped
+        assert not run.extraction.warnings
+
+
+class TestE3INDDiscovery:
+    def test_ind_set(self, run):
+        assert set(run.inds) == set(PAPER_EXPECTED.inds)
+
+    def test_s_set(self, run):
+        assert tuple(run.ind_result.s_names) == PAPER_EXPECTED.s_relations
+
+
+class TestE4LHSDiscovery:
+    def test_lhs(self, run):
+        assert set(run.lhs_result.lhs) == set(PAPER_EXPECTED.lhs)
+
+    def test_h(self, run):
+        assert set(run.lhs_result.hidden) == set(PAPER_EXPECTED.hidden_after_lhs)
+
+
+class TestE5RHSDiscovery:
+    def test_f(self, run):
+        assert set(run.fds) == set(PAPER_EXPECTED.fds)
+
+    def test_final_h(self, run):
+        assert set(run.hidden) == set(PAPER_EXPECTED.hidden_after_rhs)
+
+
+class TestE6Restruct:
+    def test_schema(self, run):
+        got = {
+            r.name: tuple(r.attribute_names)
+            for r in run.restructured.schema
+        }
+        assert got == PAPER_EXPECTED.restructured_relations
+
+    def test_keys(self, run):
+        got = {
+            r.name: tuple(r.primary_key().names)
+            for r in run.restructured.schema
+        }
+        assert got == PAPER_EXPECTED.restructured_keys
+
+    def test_ric(self, run):
+        assert set(run.ric) == set(PAPER_EXPECTED.ric)
+        assert len(run.ric) == len(PAPER_EXPECTED.ric)
+
+    def test_3nf_goal(self, run):
+        forms = schema_normal_forms(run.restructured.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+
+class TestE7Figure1:
+    def test_figure1_structure(self, run):
+        eer = run.eer
+        # entities
+        strong = {e.name for e in eer.entities if not e.weak}
+        assert strong == {
+            "Person", "Employee", "Manager", "Project",
+            "Department", "Other-Dept", "Ass-Dept",
+        }
+        # weak entity
+        weak = [e for e in eer.entities if e.weak]
+        assert [e.name for e in weak] == ["HEmployee"]
+        assert weak[0].owners == ("Employee",)
+        # is-a
+        isa = {(l.sub, l.sup) for l in eer.isa_links}
+        assert isa == {
+            ("Employee", "Person"),
+            ("Manager", "Employee"),
+            ("Ass-Dept", "Other-Dept"),
+            ("Ass-Dept", "Department"),
+        }
+        # relationships
+        ternary = eer.relationship("Assignment")
+        assert set(ternary.entity_names) == {"Employee", "Other-Dept", "Project"}
+        assert ternary.attributes == ("date",)
+        binary_pairs = {
+            frozenset(r.entity_names)
+            for r in eer.relationships
+            if r.arity == 2
+        }
+        assert binary_pairs == {
+            frozenset({"Department", "Manager"}),
+            frozenset({"Manager", "Project"}),
+        }
+
+    def test_figure1_renders(self, run):
+        from repro.eer import render_text, to_dot
+
+        text = render_text(run.eer)
+        assert "Assignment" in text
+        dot = to_dot(run.eer, "Figure1")
+        assert dot.count("shape=diamond") == 3
+
+
+class TestPaperNarrationDetails:
+    def test_zip_state_fd_not_elicited(self, run):
+        """§5's key point: zip-code -> state holds in the data but is an
+        integrity constraint, not design semantics — never elicited."""
+        assert all(
+            not (fd.relation == "Person" and "zip-code" in fd.lhs)
+            for fd in run.fds
+        )
+        assert "Person" in run.restructured.schema
+        person = run.restructured.schema.relation("Person")
+        assert "zip-code" in person.attribute_names    # never split off
+
+    def test_expert_decision_budget(self, run):
+        """The method asks few questions: 1 NEI + enforce/validate/hidden
+        prompts — all bounded by the sets the equi-joins point at."""
+        assert run.expert_decisions <= 15
+
+    def test_rerun_is_deterministic(self):
+        first = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        ).run(corpus=paper_program_corpus())
+        second = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        ).run(corpus=paper_program_corpus())
+        assert first.ric == second.ric
+        assert [r.name for r in first.restructured.schema] == [
+            r.name for r in second.restructured.schema
+        ]

@@ -1,0 +1,130 @@
+"""Navigation profiles and dependency relevance ranking (§8)."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.mining import (
+    NavigationProfile,
+    rank_fds,
+    rank_inds,
+    relevance_partition,
+)
+from repro.programs.equijoin import EquiJoin
+from repro.programs.extractor import extract_equijoins
+
+
+class TestNavigationProfile:
+    @pytest.fixture
+    def profile(self):
+        joins = [
+            EquiJoin("A", ("x",), "B", ("y",)),
+            EquiJoin("A", ("x",), "C", ("z",)),
+            EquiJoin("A", ("x",), "B", ("y",)),   # same pair again
+        ]
+        profile = NavigationProfile()
+        profile.add_join(joins[0], "p1.sql")
+        profile.add_join(joins[1], "p1.sql")
+        profile.add_join(joins[2], "p2.sql")
+        return profile
+
+    def test_statement_counts(self, profile):
+        assert profile.usage("A", "x").statement_count == 3
+        assert profile.usage("B", "y").statement_count == 2
+        assert profile.usage("C", "z").statement_count == 1
+
+    def test_program_and_partner_counts(self, profile):
+        usage = profile.usage("A", "x")
+        assert usage.program_count == 2
+        assert usage.partner_count == 2          # B.y and C.z
+
+    def test_unknown_attribute_is_zero(self, profile):
+        assert profile.attribute_weight("Z", "nope") == 0.0
+
+    def test_pair_statements(self, profile):
+        assert profile.pair_statements(("A", "x"), ("B", "y")) == 2
+        assert profile.pair_statements(("B", "y"), ("A", "x")) == 2
+
+    def test_set_weight_is_min_member(self, profile):
+        # {x} alone is heavy; adding an unnavigated attr drops to zero
+        assert profile.set_weight("A", ("x",)) > 0
+        assert profile.set_weight("A", ("x", "ghost")) == 0.0
+
+    def test_navigated_attributes_sorted(self, profile):
+        names = [(u.relation, u.attribute) for u in profile.navigated_attributes()]
+        assert names[0] == ("A", "x")
+
+    def test_from_report(self, paper_db, paper_corpus):
+        report = extract_equijoins(paper_corpus, paper_db.schema)
+        profile = NavigationProfile.from_report(report)
+        assert profile.usage("HEmployee", "no").statement_count >= 3
+        assert profile.attribute_weight("Person", "zip-code") == 0.0
+
+
+class TestRanking:
+    def test_navigated_fd_outranks_integrity_constraint(self, paper_db, paper_corpus):
+        """The §5 selectivity argument, as a ranking: proj -> project-name
+        (navigated) must outrank zip-code -> state (not navigated)."""
+        report = extract_equijoins(paper_corpus, paper_db.schema)
+        profile = NavigationProfile.from_report(report)
+        fds = [
+            FD("Person", ("zip-code",), ("state",)),
+            FD("Assignment", ("proj",), ("project-name",)),
+            FD("Department", ("emp",), ("skill", "proj")),
+        ]
+        ranked = rank_fds(fds, profile)
+        order = [r.dependency for r in ranked]
+        assert order[-1] == fds[0]               # zip-code last
+        assert ranked[-1].score == 0.0
+        assert ranked[0].score > 0
+
+    def test_lattice_output_triage(self, paper_db, paper_corpus):
+        """Rank everything a lattice search finds: all the method-elicited
+        FDs land in the navigated partition, zip-code in the other."""
+        from repro.baselines import NaiveFDBaseline
+
+        report = extract_equijoins(paper_corpus, paper_db.schema)
+        profile = NavigationProfile.from_report(report)
+        found = NaiveFDBaseline(paper_db, max_lhs_size=1).run()
+        ranked = rank_fds(found.non_key_fds(paper_db), profile)
+        navigated, unnavigated = relevance_partition(ranked)
+        navigated_deps = {r.dependency for r in navigated}
+        assert any(
+            fd.relation == "Assignment" and "proj" in fd.lhs
+            for fd in navigated_deps
+        )
+        assert all(
+            "zip-code" not in fd.lhs for fd in navigated_deps
+        )
+        assert len(navigated) < len(ranked)      # the triage cuts real noise
+
+    def test_rank_inds_by_pair_evidence(self):
+        profile = NavigationProfile()
+        profile.add_join(EquiJoin("A", ("x",), "B", ("y",)), "p.sql")
+        profile.add_join(EquiJoin("A", ("x",), "B", ("y",)), "q.sql")
+        profile.add_join(EquiJoin("C", ("u",), "D", ("v",)), "p.sql")
+        inds = [
+            IND("C", ("u",), "D", ("v",)),
+            IND("A", ("x",), "B", ("y",)),
+            IND("E", ("m",), "F", ("n",)),       # never navigated
+        ]
+        ranked = rank_inds(inds, profile)
+        assert ranked[0].dependency == inds[1]
+        assert ranked[-1].dependency == inds[2]
+        assert ranked[-1].score == 0.0
+
+    def test_ranks_are_one_based_and_dense(self):
+        profile = NavigationProfile.from_joins(
+            [EquiJoin("A", ("x",), "B", ("y",))]
+        )
+        ranked = rank_fds(
+            [FD("A", ("x",), ("p",)), FD("Z", ("q",), ("r",))], profile
+        )
+        assert [r.rank for r in ranked] == [1, 2]
+
+    def test_deterministic_tiebreak(self):
+        profile = NavigationProfile()
+        fds = [FD("B", ("b",), ("x",)), FD("A", ("a",), ("x",))]
+        first = rank_fds(list(fds), profile)
+        second = rank_fds(list(reversed(fds)), profile)
+        assert [r.dependency for r in first] == [r.dependency for r in second]

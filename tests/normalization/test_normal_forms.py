@@ -1,0 +1,80 @@
+"""Normal-form diagnosis, including the §5 annotations."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.normalization.normal_forms import (
+    NormalForm,
+    diagnose_normal_form,
+    is_2nf,
+    is_3nf,
+    is_bcnf,
+    schema_normal_forms,
+)
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestClassics:
+    def test_partial_dependency_breaks_2nf(self):
+        # key {a, b}; b -> c is a partial dependency
+        deps = fds("a, b -> c, d", "b -> c")
+        assert not is_2nf(["a", "b", "c", "d"], deps)
+        assert diagnose_normal_form(["a", "b", "c", "d"], deps) == NormalForm.FIRST
+
+    def test_transitive_dependency_breaks_3nf(self):
+        deps = fds("a -> b", "b -> c")
+        assert is_2nf(["a", "b", "c"], deps)
+        assert not is_3nf(["a", "b", "c"], deps)
+        assert diagnose_normal_form(["a", "b", "c"], deps) == NormalForm.SECOND
+
+    def test_3nf_but_not_bcnf(self):
+        # classic: key {street, city}; zip -> city; zip is not a superkey
+        # but city is prime
+        deps = fds("street, city -> zip", "zip -> city")
+        universe = ["street", "city", "zip"]
+        assert is_3nf(universe, deps)
+        assert not is_bcnf(universe, deps)
+        assert diagnose_normal_form(universe, deps) == NormalForm.THIRD
+
+    def test_key_only_fds_are_bcnf(self):
+        deps = fds("a -> b, c")
+        assert diagnose_normal_form(["a", "b", "c"], deps) == NormalForm.BOYCE_CODD
+
+    def test_no_fds_is_bcnf(self):
+        assert diagnose_normal_form(["a", "b"], []) == NormalForm.BOYCE_CODD
+
+    def test_at_least_ordering(self):
+        assert NormalForm.BOYCE_CODD.at_least(NormalForm.THIRD)
+        assert not NormalForm.FIRST.at_least(NormalForm.SECOND)
+
+
+class TestPaperAnnotations:
+    """§5 annotates: HEmployee 3NF, Department 2NF, Assignment 1NF."""
+
+    def test_paper_schema_forms(self, paper_db):
+        deps = [
+            FD("Department", ("emp",), ("skill", "proj")),
+            FD("Assignment", ("proj",), ("project-name",)),
+        ]
+        forms = schema_normal_forms(paper_db.schema, deps)
+        assert forms["Assignment"] == NormalForm.FIRST      # partial dep
+        assert forms["Department"] == NormalForm.SECOND     # transitive dep
+        assert forms["HEmployee"].at_least(NormalForm.THIRD)
+        assert forms["Person"].at_least(NormalForm.THIRD)
+
+    def test_person_with_zip_fd_drops_to_2nf(self, paper_db):
+        # §5: "keeping the relation Person in 2NF does not imply update
+        # anomalies" — with zip-code -> state, Person is 2NF
+        deps = [FD("Person", ("zip-code",), ("state",))]
+        forms = schema_normal_forms(paper_db.schema, deps)
+        assert forms["Person"] == NormalForm.SECOND
+
+    def test_restructured_schema_is_3nf(self, paper_db, paper_corpus, paper_expert):
+        from repro.core import DBREPipeline
+
+        result = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus)
+        forms = schema_normal_forms(result.restructured.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())

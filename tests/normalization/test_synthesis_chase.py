@@ -1,0 +1,97 @@
+"""Bernstein synthesis + chase-based audits."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.normalization.chase import dependency_preserving, lossless_join
+from repro.normalization.decomposition import Decomposition, decompose_relation
+from repro.normalization.normal_forms import NormalForm, diagnose_normal_form
+from repro.normalization.synthesis import synthesize_3nf
+from repro.exceptions import ProcessError
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestLosslessJoin:
+    def test_classic_lossless(self):
+        deps = fds("a -> b")
+        assert lossless_join(["a", "b", "c"], [["a", "b"], ["a", "c"]], deps)
+
+    def test_classic_lossy(self):
+        # no FD connecting the fragments through their intersection
+        assert not lossless_join(["a", "b", "c"], [["a", "b"], ["b", "c"]], [])
+
+    def test_lossy_becomes_lossless_with_fd(self):
+        deps = fds("b -> c")
+        assert lossless_join(["a", "b", "c"], [["a", "b"], ["b", "c"]], deps)
+
+    def test_full_fragment_always_lossless(self):
+        assert lossless_join(["a", "b"], [["a", "b"]], [])
+
+
+class TestDependencyPreservation:
+    def test_preserved(self):
+        deps = fds("a -> b", "b -> c")
+        assert dependency_preserving([["a", "b"], ["b", "c"]], deps)
+
+    def test_not_preserved(self):
+        # classic: city-street-zip split losing street,city -> zip
+        deps = fds("street, city -> zip", "zip -> city")
+        assert not dependency_preserving([["street", "zip"], ["zip", "city"]], deps)
+
+    def test_iterated_closure_catches_indirect(self):
+        deps = fds("a -> b", "b -> c", "c -> a")
+        assert dependency_preserving([["a", "b"], ["b", "c"], ["c", "a"]], deps)
+
+
+class TestDecomposition:
+    def test_must_cover_universe(self):
+        with pytest.raises(ProcessError):
+            Decomposition(("a", "b", "c"), (("a", "b"),))
+
+    def test_restruct_split_is_lossless(self):
+        fd = FD("R", ("f",), ("p", "q"))
+        deps = [fd, FD("R", ("k",), ("f", "p", "q"))]
+        decomposition = decompose_relation(["k", "f", "p", "q"], fd)
+        assert decomposition.fragments == (("f", "p", "q"), ("k", "f"))
+        assert decomposition.is_lossless(deps)
+        assert decomposition.preserves(deps)
+
+    def test_split_requires_applicable_fd(self):
+        with pytest.raises(ProcessError):
+            decompose_relation(["a", "b"], FD("R", ("x",), ("b",)))
+
+
+class TestSynthesis:
+    def test_groups_by_lhs(self):
+        schemes = synthesize_3nf(["a", "b", "c"], fds("a -> b", "a -> c"))
+        assert (("a", "b", "c"), ("a",)) in schemes
+
+    def test_key_relation_added_when_missing(self):
+        # b -> c gives scheme (b, c); key {a, b} must be added
+        schemes = synthesize_3nf(["a", "b", "c"], fds("b -> c"))
+        assert any(set(attrs) == {"a", "b"} for attrs, _ in schemes)
+
+    def test_all_schemes_are_3nf(self):
+        deps = fds("a -> b", "b -> c", "c, d -> e")
+        for attrs, _key in synthesize_3nf(["a", "b", "c", "d", "e"], deps):
+            local = [
+                fd for fd in deps
+                if set(fd.lhs) <= set(attrs) and set(fd.rhs) <= set(attrs)
+            ]
+            assert diagnose_normal_form(attrs, local).at_least(NormalForm.THIRD)
+
+    def test_synthesis_is_lossless_and_preserving(self):
+        deps = fds("a -> b", "b -> c")
+        universe = ["a", "b", "c", "d"]
+        schemes = synthesize_3nf(universe, deps)
+        fragments = [list(attrs) for attrs, _ in schemes]
+        assert lossless_join(universe, fragments, deps)
+        assert dependency_preserving(fragments, deps)
+
+    def test_subset_schemes_dropped(self):
+        schemes = synthesize_3nf(["a", "b", "c"], fds("a -> b", "a -> b, c"))
+        attr_sets = [set(attrs) for attrs, _ in schemes]
+        assert len(attr_sets) == len({frozenset(s) for s in attr_sets})

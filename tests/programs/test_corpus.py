@@ -1,0 +1,71 @@
+"""Program corpus: languages, loading, iteration."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.programs.corpus import ApplicationProgram, ProgramCorpus
+
+
+class TestApplicationProgram:
+    def test_basic(self):
+        p = ApplicationProgram("x.sql", "sql", "SELECT 1 FROM R;\n")
+        assert p.line_count == 2
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ExtractionError):
+            ApplicationProgram("x.xyz", "fortran", "")
+
+
+class TestProgramCorpus:
+    def test_add_source_infers_language(self):
+        corpus = ProgramCorpus()
+        assert corpus.add_source("a.sql", "").language == "sql"
+        assert corpus.add_source("b.cob", "").language == "cobol"
+        assert corpus.add_source("c.cbl", "").language == "cobol"
+        assert corpus.add_source("d.pc", "").language == "c"
+        assert corpus.add_source("e.rpt", "").language == "report"
+        assert corpus.add_source("f.frm", "").language == "form"
+
+    def test_unknown_extension_needs_explicit_language(self):
+        corpus = ProgramCorpus()
+        with pytest.raises(ExtractionError):
+            corpus.add_source("weird.xyz", "")
+        corpus.add_source("weird.xyz", "", language="sql")
+        assert "weird.xyz" in corpus
+
+    def test_duplicate_name_rejected(self):
+        corpus = ProgramCorpus()
+        corpus.add_source("a.sql", "")
+        with pytest.raises(ExtractionError):
+            corpus.add_source("a.sql", "")
+
+    def test_iteration_sorted_by_name(self):
+        corpus = ProgramCorpus()
+        corpus.add_source("z.sql", "")
+        corpus.add_source("a.sql", "")
+        assert [p.name for p in corpus] == ["a.sql", "z.sql"]
+
+    def test_lookup(self):
+        corpus = ProgramCorpus()
+        corpus.add_source("a.sql", "SELECT 1 FROM R")
+        assert corpus.program("a.sql").language == "sql"
+        with pytest.raises(ExtractionError):
+            corpus.program("ghost.sql")
+
+    def test_total_lines(self):
+        corpus = ProgramCorpus()
+        corpus.add_source("a.sql", "x\ny\n")
+        corpus.add_source("b.sql", "z")
+        assert corpus.total_lines() == 4
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.sql").write_text("SELECT 1 FROM R;")
+        (tmp_path / "sub" / "b.cob").write_text("EXEC SQL SELECT 1 FROM R END-EXEC.")
+        (tmp_path / "ignore.txt").write_text("not code")
+        corpus = ProgramCorpus.from_directory(str(tmp_path))
+        assert len(corpus) == 2
+        assert "a.sql" in corpus
+        assert os.path.join("sub", "b.cob") in corpus

@@ -1,0 +1,99 @@
+"""Embedded-SQL extraction: EXEC SQL blocks, host variables, cursors."""
+
+from repro.programs.corpus import ApplicationProgram
+from repro.programs.embedded import (
+    HOST_VARIABLE_MARKER,
+    extract_sql_units,
+    normalize_embedded,
+)
+
+
+class TestNormalize:
+    def test_host_variables_become_markers(self):
+        out = normalize_embedded("SELECT a FROM R WHERE b = :host")
+        assert ":host" not in out
+        assert HOST_VARIABLE_MARKER in out
+
+    def test_into_clause_removed(self):
+        out = normalize_embedded("SELECT a INTO :x, :y FROM R")
+        assert "INTO" not in out.upper()
+
+    def test_cursor_prefix_removed(self):
+        out = normalize_embedded("DECLARE c1 CURSOR FOR SELECT a FROM R")
+        assert out.upper().startswith("SELECT")
+
+    def test_leading_comments_removed(self):
+        out = normalize_embedded("-- header\nSELECT a FROM R")
+        assert out.startswith("SELECT")
+
+    def test_trailing_semicolon_stripped(self):
+        assert normalize_embedded("SELECT a FROM R;").endswith("R")
+
+
+class TestSQLFiles:
+    def test_statements_split_on_semicolons(self):
+        program = ApplicationProgram(
+            "r.sql", "sql",
+            "SELECT a FROM R;\n-- note\nSELECT b FROM S;",
+        )
+        units = extract_sql_units(program)
+        assert len(units) == 2
+        assert units[0].index == 0
+        assert units[1].index == 1
+
+    def test_comment_before_statement_kept(self):
+        program = ApplicationProgram(
+            "r.sql", "sql", "-- report header\nSELECT a FROM R;"
+        )
+        units = extract_sql_units(program)
+        assert len(units) == 1
+
+    def test_non_queries_skipped(self):
+        program = ApplicationProgram(
+            "r.sql", "sql", "COMMIT; SELECT a FROM R; WHENEVER SQLERROR STOP;"
+        )
+        units = extract_sql_units(program)
+        assert len(units) == 1
+
+
+class TestCobol:
+    SOURCE = """
+       IDENTIFICATION DIVISION.
+       PROCEDURE DIVISION.
+           EXEC SQL
+             SELECT no INTO :no FROM HEmployee WHERE no = :target
+           END-EXEC.
+           EXEC SQL
+             OPEN some_cursor
+           END-EXEC.
+           EXEC SQL
+             DECLARE c CURSOR FOR SELECT dep FROM Department
+           END-EXEC.
+    """
+
+    def test_blocks_extracted_and_filtered(self):
+        program = ApplicationProgram("p.cob", "cobol", self.SOURCE)
+        units = extract_sql_units(program)
+        texts = [u.text.upper() for u in units]
+        assert len(units) == 2                      # OPEN block filtered out
+        assert all(t.startswith("SELECT") for t in texts)
+
+    def test_provenance_recorded(self):
+        program = ApplicationProgram("p.cob", "cobol", self.SOURCE)
+        units = extract_sql_units(program)
+        assert units[0].program == "p.cob"
+
+
+class TestProC:
+    SOURCE = """
+    void f(void) {
+        EXEC SQL SELECT a FROM R WHERE x = :v;
+        EXEC SQL COMMIT;
+    }
+    """
+
+    def test_c_blocks_end_at_semicolon(self):
+        program = ApplicationProgram("p.pc", "c", self.SOURCE)
+        units = extract_sql_units(program)
+        assert len(units) == 1
+        assert units[0].text.upper().startswith("SELECT")

@@ -1,0 +1,82 @@
+"""The equi-join value object: symmetry, canonical form, parsing."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.programs.equijoin import EquiJoin
+from repro.relational.attribute import AttributeRef
+
+
+class TestCanonicalForm:
+    def test_symmetric_equality(self):
+        a = EquiJoin("HEmployee", ("no",), "Person", ("id",))
+        b = EquiJoin("Person", ("id",), "HEmployee", ("no",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_canonical_left_is_smaller_name(self):
+        j = EquiJoin("Zeta", ("z",), "Alpha", ("a",))
+        assert j.left_relation == "Alpha"
+        assert j.right_relation == "Zeta"
+
+    def test_pairing_preserved_under_reorder(self):
+        # (a<->x, b<->y) must stay paired however stated
+        a = EquiJoin("R", ("a", "b"), "S", ("x", "y"))
+        b = EquiJoin("R", ("b", "a"), "S", ("y", "x"))
+        c = EquiJoin("R", ("a", "b"), "S", ("y", "x"))
+        assert a == b
+        assert a != c
+
+    def test_self_join_allowed(self):
+        j = EquiJoin("R", ("a",), "R", ("b",))
+        assert j.is_self_join()
+
+    def test_involves(self):
+        j = EquiJoin("R", ("a",), "S", ("b",))
+        assert j.involves("R") and j.involves("S")
+        assert not j.involves("T")
+
+
+class TestValidation:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            EquiJoin("R", ("a", "b"), "S", ("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            EquiJoin("R", (), "S", ())
+
+    def test_string_attrs_accepted(self):
+        j = EquiJoin("R", "a", "S", "b")
+        assert j.left_attrs == ("a",)
+
+
+class TestParsing:
+    def test_parse_paper_notation(self):
+        j = EquiJoin.parse("HEmployee[no] >< Person[id]")
+        assert j == EquiJoin("HEmployee", ("no",), "Person", ("id",))
+
+    def test_parse_multi_attribute(self):
+        j = EquiJoin.parse("R[a, b] >< S[x, y]")
+        assert j.left_attrs == ("a", "b")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            EquiJoin.parse("not a join")
+        with pytest.raises(SchemaError):
+            EquiJoin.parse("R[a >< S[b]")
+
+    def test_repr_parses_back(self):
+        j = EquiJoin("Assignment", ("dep",), "Department", ("dep",))
+        assert EquiJoin.parse(repr(j)) == j
+
+
+class TestRefs:
+    def test_refs(self):
+        j = EquiJoin("R", ("a",), "S", ("b",))
+        assert j.left_ref() == AttributeRef("R", "a")
+        assert j.right_ref() == AttributeRef("S", "b")
+
+    def test_sides(self):
+        j = EquiJoin("S", ("b",), "R", ("a",))
+        assert j.sides() == (("R", ("a",)), ("S", ("b",)))

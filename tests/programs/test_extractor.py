@@ -1,0 +1,209 @@
+"""Equi-join extraction: every syntactic form of §4."""
+
+import pytest
+
+from repro.programs.corpus import ProgramCorpus
+from repro.programs.equijoin import EquiJoin
+from repro.programs.extractor import EquiJoinExtractor, extract_equijoins
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema(
+        [
+            RelationSchema.build("R", ["a", "b", "c"], key=["a"]),
+            RelationSchema.build("S", ["x", "y"], key=["x"]),
+            RelationSchema.build("T", ["p", "q"], key=["p"]),
+        ]
+    )
+
+
+@pytest.fixture
+def extractor(schema):
+    return EquiJoinExtractor(schema)
+
+
+def joins_of(extractor, sql):
+    return extractor.extract_from_sql(sql)
+
+
+class TestWhereClauseJoins:
+    def test_qualified_equality(self, extractor):
+        joins = joins_of(extractor, "SELECT 1 FROM R, S WHERE R.b = S.x")
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_unqualified_resolved_through_schema(self, extractor):
+        joins = joins_of(extractor, "SELECT 1 FROM R, S WHERE b = x")
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_aliases(self, extractor):
+        joins = joins_of(extractor, "SELECT 1 FROM R r1, S s1 WHERE r1.b = s1.x")
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_multi_attribute_grouped(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT 1 FROM R, S WHERE R.a = S.x AND R.b = S.y",
+        )
+        assert joins == [EquiJoin("R", ("a", "b"), "S", ("x", "y"))]
+
+    def test_three_way_join(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT 1 FROM R, S, T WHERE R.b = S.x AND S.y = T.p",
+        )
+        assert EquiJoin("R", ("b",), "S", ("x",)) in joins
+        assert EquiJoin("S", ("y",), "T", ("p",)) in joins
+
+    def test_self_join_via_aliases(self, extractor):
+        joins = joins_of(
+            extractor, "SELECT 1 FROM R r1, R r2 WHERE r1.b = r2.c"
+        )
+        assert joins == [EquiJoin("R", ("b",), "R", ("c",))]
+
+    def test_literal_filters_are_not_joins(self, extractor):
+        assert joins_of(extractor, "SELECT 1 FROM R WHERE R.b = 'x'") == []
+
+    def test_intra_tuple_equality_not_a_join(self, extractor):
+        assert joins_of(extractor, "SELECT 1 FROM R WHERE R.b = R.c") == []
+
+    def test_join_on_clause(self, extractor):
+        joins = joins_of(extractor, "SELECT 1 FROM R JOIN S ON R.b = S.x")
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_negated_equality_not_a_join(self, extractor):
+        assert joins_of(extractor, "SELECT 1 FROM R, S WHERE NOT R.b = S.x") == []
+
+    def test_or_branches_each_extracted(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT 1 FROM R, S, T WHERE R.b = S.x OR R.c = T.p",
+        )
+        assert EquiJoin("R", ("b",), "S", ("x",)) in joins
+        assert EquiJoin("R", ("c",), "T", ("p",)) in joins
+
+
+class TestNestedQueries:
+    def test_in_subquery(self, extractor):
+        joins = joins_of(
+            extractor, "SELECT a FROM R WHERE b IN (SELECT x FROM S)"
+        )
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_not_in_is_not_a_join(self, extractor):
+        assert (
+            joins_of(extractor, "SELECT a FROM R WHERE b NOT IN (SELECT x FROM S)")
+            == []
+        )
+
+    def test_scalar_equality_subquery(self, extractor):
+        joins = joins_of(
+            extractor, "SELECT a FROM R WHERE b = (SELECT x FROM S)"
+        )
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_correlated_exists(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT a FROM R WHERE EXISTS (SELECT * FROM S WHERE S.x = R.b)",
+        )
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_joins_inside_subquery_also_found(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT a FROM R WHERE b IN "
+            "(SELECT x FROM S, T WHERE S.y = T.p)",
+        )
+        assert EquiJoin("R", ("b",), "S", ("x",)) in joins
+        assert EquiJoin("S", ("y",), "T", ("p",)) in joins
+
+    def test_deeply_nested(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT a FROM R WHERE b IN "
+            "(SELECT x FROM S WHERE y IN (SELECT p FROM T))",
+        )
+        assert EquiJoin("R", ("b",), "S", ("x",)) in joins
+        assert EquiJoin("S", ("y",), "T", ("p",)) in joins
+
+
+class TestIntersect:
+    def test_intersect_join(self, extractor):
+        joins = joins_of(
+            extractor, "SELECT b FROM R INTERSECT SELECT x FROM S"
+        )
+        assert joins == [EquiJoin("R", ("b",), "S", ("x",))]
+
+    def test_multi_column_intersect(self, extractor):
+        joins = joins_of(
+            extractor,
+            "SELECT b, c FROM R INTERSECT SELECT x, y FROM S",
+        )
+        assert joins == [EquiJoin("R", ("b", "c"), "S", ("x", "y"))]
+
+    def test_same_relation_intersect_ignored(self, extractor):
+        assert (
+            joins_of(extractor, "SELECT b FROM R INTERSECT SELECT b FROM R") == []
+        )
+
+
+class TestResolutionFailures:
+    def test_unknown_alias_warned_and_skipped(self, extractor):
+        report_joins = joins_of(
+            extractor, "SELECT 1 FROM R WHERE ghost.a = R.b"
+        )
+        assert report_joins == []
+
+    def test_ambiguous_unqualified_column(self, schema):
+        schema2 = DatabaseSchema(
+            [
+                RelationSchema.build("U", ["k", "shared"], key=["k"]),
+                RelationSchema.build("V", ["m", "shared"], key=["m"]),
+            ]
+        )
+        ex = EquiJoinExtractor(schema2)
+        report = ex.extract_from_corpus(
+            _corpus("SELECT 1 FROM U, V WHERE shared = m")
+        )
+        assert report.joins == []
+        assert any("ambiguous" in w for w in report.warnings)
+
+    def test_no_schema_means_unqualified_unresolvable(self):
+        ex = EquiJoinExtractor(schema=None)
+        report = ex.extract_from_corpus(_corpus("SELECT 1 FROM R, S WHERE b = x"))
+        assert report.joins == []
+        assert report.warnings
+
+
+def _corpus(sql: str) -> ProgramCorpus:
+    corpus = ProgramCorpus()
+    corpus.add_source("t.sql", sql + ";")
+    return corpus
+
+
+class TestCorpusLevel:
+    def test_provenance_and_dedup(self, schema):
+        corpus = ProgramCorpus()
+        corpus.add_source("a.sql", "SELECT 1 FROM R, S WHERE R.b = S.x;")
+        corpus.add_source("b.sql", "SELECT b FROM R WHERE b IN (SELECT x FROM S);")
+        report = extract_equijoins(corpus, schema)
+        assert len(report.joins) == 1
+        join = report.joins[0]
+        assert len(report.provenance[join]) == 2
+        assert report.statements_seen == 2
+
+    def test_parse_failures_recorded_not_fatal(self, schema):
+        corpus = ProgramCorpus()
+        corpus.add_source("bad.sql", "SELECT FROM WHERE;")
+        corpus.add_source("good.sql", "SELECT 1 FROM R, S WHERE R.b = S.x;")
+        report = extract_equijoins(corpus, schema)
+        assert len(report.joins) == 1
+        assert len(report.skipped) == 1
+
+    def test_paper_corpus_yields_paper_q(self, paper_db, paper_corpus, paper_q):
+        report = extract_equijoins(paper_corpus, paper_db.schema)
+        assert set(report.joins) == set(paper_q)
+        assert not report.skipped
+        assert not report.warnings

@@ -1,0 +1,115 @@
+"""Property-based tests of the relational algebra under NULLs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    count_distinct,
+    distinct_values,
+    equijoin_match_count,
+    functional_maps,
+    values_subset,
+)
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+values = st.one_of(st.integers(0, 6), st.none())
+rows2 = st.lists(st.tuples(values, values), max_size=20)
+rows1 = st.lists(st.tuples(values), max_size=20)
+
+
+def table2(rows, name="r"):
+    schema = RelationSchema.build(
+        name, ["a", "b"], types={"a": INTEGER, "b": INTEGER}
+    )
+    t = Table(schema)
+    for a, b in rows:
+        t.insert([NULL if a is None else a, NULL if b is None else b])
+    return t
+
+
+def table1(rows, name="s", attr="x"):
+    schema = RelationSchema.build(name, [attr], types={attr: INTEGER})
+    t = Table(schema)
+    for (v,) in rows:
+        t.insert([NULL if v is None else v])
+    return t
+
+
+class TestCountDistinct:
+    @given(rows2)
+    def test_count_matches_python_set(self, rows):
+        t = table2(rows)
+        expected = {(a,) for a, _b in rows if a is not None}
+        assert count_distinct(t, ("a",)) == len(expected)
+        assert distinct_values(t, ("a",)) == expected
+
+    @given(rows2)
+    def test_multi_attr_count_at_most_product(self, rows):
+        t = table2(rows)
+        pairs = count_distinct(t, ("a", "b"))
+        assert pairs <= len(rows)
+
+
+class TestJoinsAndInclusion:
+    @given(rows1, rows1)
+    def test_join_count_is_symmetric(self, left, right):
+        lt = table1(left, "l", "x")
+        rt = table1(right, "r", "y")
+        assert equijoin_match_count(lt, ("x",), rt, ("y",)) == (
+            equijoin_match_count(rt, ("y",), lt, ("x",))
+        )
+
+    @given(rows1, rows1)
+    def test_join_count_bounded_by_sides(self, left, right):
+        lt = table1(left, "l", "x")
+        rt = table1(right, "r", "y")
+        n = equijoin_match_count(lt, ("x",), rt, ("y",))
+        assert n <= count_distinct(lt, ("x",))
+        assert n <= count_distinct(rt, ("y",))
+
+    @given(rows1, rows1)
+    def test_inclusion_iff_join_saturates_left(self, left, right):
+        """The IND-Discovery criterion: N_kl = N_k iff left ⊆ right."""
+        lt = table1(left, "l", "x")
+        rt = table1(right, "r", "y")
+        n_kl = equijoin_match_count(lt, ("x",), rt, ("y",))
+        n_k = count_distinct(lt, ("x",))
+        assert (n_kl == n_k) == values_subset(lt, ("x",), rt, ("y",))
+
+    @given(rows1)
+    def test_inclusion_is_reflexive(self, rows):
+        t = table1(rows)
+        assert values_subset(t, ("x",), t, ("x",))
+
+
+class TestFunctionalMaps:
+    @given(rows2)
+    def test_key_column_determines_everything(self, rows):
+        # deduplicate on a first, so a acts as a key
+        seen = {}
+        for a, b in rows:
+            if a is not None and a not in seen:
+                seen[a] = b
+        t = table2([(a, b) for a, b in seen.items()])
+        assert functional_maps(t, ("a",), ("b",))
+
+    @given(rows2)
+    @settings(max_examples=60)
+    def test_fd_check_matches_bruteforce(self, rows):
+        t = table2(rows)
+        groups = {}
+        violated = False
+        for a, b in rows:
+            if a is None:
+                continue
+            if a in groups and groups[a] != b:
+                violated = True
+            groups.setdefault(a, b)
+        assert functional_maps(t, ("a",), ("b",)) == (not violated)
+
+    @given(rows2)
+    def test_reflexive_fd_always_holds(self, rows):
+        t = table2(rows)
+        assert functional_maps(t, ("a",), ("a",))

@@ -1,0 +1,96 @@
+"""Property-based tests of the FD inference machinery (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.closure import (
+    attribute_closure,
+    equivalent_covers,
+    implies,
+    minimal_cover,
+)
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.keys import candidate_keys, is_superkey
+
+ATTRS = ["a", "b", "c", "d", "e"]
+
+attr_subsets = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3)
+
+
+@st.composite
+def fd_sets(draw, max_fds=6):
+    count = draw(st.integers(0, max_fds))
+    out = []
+    for _ in range(count):
+        lhs = tuple(sorted(draw(attr_subsets)))
+        rhs = tuple(sorted(draw(attr_subsets)))
+        out.append(FunctionalDependency("", lhs, rhs))
+    return out
+
+
+class TestClosureProperties:
+    @given(attr_subsets, fd_sets())
+    def test_closure_is_extensive(self, attrs, fds):
+        assert set(attrs) <= attribute_closure(tuple(attrs), fds)
+
+    @given(attr_subsets, fd_sets())
+    def test_closure_is_idempotent(self, attrs, fds):
+        once = attribute_closure(tuple(attrs), fds)
+        assert attribute_closure(tuple(once), fds) == once
+
+    @given(attr_subsets, attr_subsets, fd_sets())
+    def test_closure_is_monotone(self, small, extra, fds):
+        big = small | extra
+        assert attribute_closure(tuple(small), fds) <= attribute_closure(
+            tuple(big), fds
+        )
+
+    @given(fd_sets())
+    def test_given_fds_are_implied(self, fds):
+        for fd in fds:
+            assert implies(fds, fd)
+
+
+class TestMinimalCoverProperties:
+    @given(fd_sets())
+    @settings(max_examples=60)
+    def test_cover_is_equivalent(self, fds):
+        cover = minimal_cover(fds)
+        assert equivalent_covers(cover, fds)
+
+    @given(fd_sets())
+    @settings(max_examples=60)
+    def test_cover_has_singleton_rhs_and_no_trivial(self, fds):
+        for fd in minimal_cover(fds):
+            assert len(fd.rhs) == 1
+            assert not fd.is_trivial()
+
+    @given(fd_sets())
+    @settings(max_examples=40)
+    def test_cover_is_nonredundant(self, fds):
+        cover = minimal_cover(fds)
+        for fd in cover:
+            others = [f for f in cover if f != fd]
+            assert not implies(others, fd)
+
+
+class TestKeyProperties:
+    @given(fd_sets())
+    @settings(max_examples=60)
+    def test_every_candidate_key_is_superkey(self, fds):
+        keys = candidate_keys(ATTRS, fds)
+        assert keys
+        for key in keys:
+            assert is_superkey(tuple(key), ATTRS, fds)
+
+    @given(fd_sets())
+    @settings(max_examples=60)
+    def test_candidate_keys_are_minimal_and_incomparable(self, fds):
+        keys = candidate_keys(ATTRS, fds)
+        for key in keys:
+            for attr in key:
+                assert not is_superkey(tuple(key - {attr}), ATTRS, fds)
+        for k1 in keys:
+            for k2 in keys:
+                if k1 is not k2:
+                    assert not k1 < k2

@@ -1,0 +1,140 @@
+"""Property-based tests of the method's algorithms themselves.
+
+IND-Discovery and Restruct must uphold their contracts for arbitrary
+two-column extensions and arbitrary elicited sets — not just the paper's
+example.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ind_discovery import discover_inds
+from repro.core.restruct import restructure
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.ind_inference import ind_satisfied
+from repro.normalization.chase import lossless_join
+from repro.programs.equijoin import EquiJoin
+from repro.relational.database import Database
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+int_lists = st.lists(st.integers(0, 8), max_size=15)
+
+
+def two_relation_db(left, right):
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build("L", ["a"], types={"a": INTEGER}),
+            RelationSchema.build("R", ["b"], types={"b": INTEGER}),
+        ]
+    )
+    db = Database(schema)
+    db.insert_many("L", [[v] for v in left])
+    db.insert_many("R", [[v] for v in right])
+    return db
+
+
+JOIN = EquiJoin("L", ("a",), "R", ("b",))
+
+
+class TestINDDiscoveryProperties:
+    @given(int_lists, int_lists)
+    @settings(max_examples=80)
+    def test_every_elicited_ind_is_satisfied(self, left, right):
+        """Without expert overrides, IND-Discovery only asserts what the
+        extension supports."""
+        db = two_relation_db(left, right)
+        result = discover_inds(db, [JOIN])
+        for ind in result.inds:
+            assert ind_satisfied(db, ind)
+
+    @given(int_lists, int_lists)
+    @settings(max_examples=80)
+    def test_true_inclusion_is_never_missed(self, left, right):
+        """When left ⊆ right actually holds (non-vacuously), the
+        dependency is elicited — completeness over Q."""
+        db = two_relation_db(left, right)
+        result = discover_inds(db, [JOIN])
+        left_set, right_set = set(left), set(right)
+        if left_set and left_set <= right_set:
+            assert any(
+                i.lhs_relation == "L" and i.rhs_relation == "R"
+                for i in result.inds
+            )
+
+    @given(int_lists, int_lists)
+    @settings(max_examples=80)
+    def test_outcome_classification_partitions(self, left, right):
+        db = two_relation_db(left, right)
+        result = discover_inds(db, [JOIN])
+        assert len(result.outcomes) == 1
+        outcome = result.outcomes[0]
+        common = set(left) & set(right)
+        if not common:
+            assert outcome.case == "empty"
+        elif common == set(left) or common == set(right):
+            assert outcome.case == "inclusion"
+        else:
+            assert outcome.case == "nei"
+
+
+rows3 = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 4), st.text(max_size=3)),
+    min_size=1,
+    max_size=20,
+    unique_by=lambda r: r[0],
+)
+
+
+class TestRestructProperties:
+    @given(rows3)
+    @settings(max_examples=60)
+    def test_fd_split_is_lossless_on_data(self, rows):
+        """Splitting along a *satisfied* FD loses no information: joining
+        the fragments back recovers the original extension."""
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build(
+                    "r", ["k", "f", "v"], key=["k"],
+                    types={"k": INTEGER, "f": INTEGER},
+                )
+            ]
+        )
+        db = Database(schema)
+        # force f -> v to hold: v is a function of f
+        data = [(k, f, f"v{f}") for k, f, _txt in rows]
+        db.insert_many("r", data)
+        fd = FunctionalDependency("r", ("f",), ("v",))
+        result = restructure(db, [fd], [], [])
+        name = result.added[0].name
+        lookup = {row["f"]: row["v"] for row in db.table(name)}
+        rejoined = {
+            (row["k"], row["f"], lookup[row["f"]]) for row in db.table("r")
+        }
+        assert rejoined == set(data)
+
+    @given(rows3)
+    @settings(max_examples=60)
+    def test_split_schema_is_lossless_by_chase(self, rows):
+        fd = FunctionalDependency("r", ("f",), ("v",))
+        key_fd = FunctionalDependency("r", ("k",), ("f", "v"))
+        assert lossless_join(
+            ["k", "f", "v"], [["f", "v"], ["k", "f"]], [fd, key_fd]
+        )
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=15))
+    @settings(max_examples=60)
+    def test_hidden_object_extension_is_distinct_values(self, values):
+        schema = DatabaseSchema(
+            [RelationSchema.build("r", ["k", "f"], key=["k"], types={"k": INTEGER, "f": INTEGER})]
+        )
+        db = Database(schema)
+        db.insert_many("r", [[i, v] for i, v in enumerate(values)])
+        from repro.relational.attribute import AttributeRef
+
+        result = restructure(db, [], [AttributeRef("r", "f")], [])
+        table = db.table(result.added[0].name)
+        assert sorted(row["f"] for row in table) == sorted(set(values))
+        # the link IND holds by construction
+        for ind in result.ric:
+            assert ind_satisfied(db, ind)

@@ -1,0 +1,115 @@
+"""Whole-pipeline invariants over randomized scenarios (hypothesis).
+
+Whatever the random schema, data, corruption and coverage, the pipeline
+must uphold its contracts: the restructured schema is in 3NF, every
+emitted RIC has a key right-hand side, INDs elicited without expert
+overrides hold in the extension, and the original database is never
+mutated.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DBREPipeline
+from repro.core.expert import Expert
+from repro.dependencies.ind_inference import ind_satisfied
+from repro.normalization import NormalForm, schema_normal_forms
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    seed=st.integers(0, 10_000),
+    n_entities=st.integers(4, 7),
+    n_one_to_many=st.integers(3, 6),
+    n_many_to_many=st.integers(0, 1),
+    merges=st.integers(0, 2),
+    parent_rows=st.just(10),
+    corruption_ind_rate=st.sampled_from([0.0, 0.5]),
+    corruption_row_rate=st.just(0.1),
+    coverage=st.sampled_from([0.5, 1.0]),
+)
+
+
+class TestPipelineInvariants:
+    @given(scenario_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_restructured_schema_is_3nf(self, config):
+        scenario = build_scenario(config)
+        result = DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus
+        )
+        forms = schema_normal_forms(result.restructured.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+    @given(scenario_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_every_ric_has_key_rhs(self, config):
+        scenario = build_scenario(config)
+        result = DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus
+        )
+        schema = result.restructured.schema
+        for ind in result.ric:
+            assert schema.relation(ind.rhs_relation).is_key(ind.rhs_attrs)
+
+    @given(scenario_configs.filter(lambda c: c.corruption_ind_rate == 0.0))
+    @settings(max_examples=10, deadline=None)
+    def test_cautious_elicitation_is_sound_on_clean_data(self, config):
+        """With the cautious expert (no overrides) on clean data, every
+        elicited IND is satisfied by the extension."""
+        scenario = build_scenario(config)
+        result = DBREPipeline(scenario.database, Expert()).run(
+            corpus=scenario.corpus, translate=False
+        )
+        for ind in result.inds:
+            assert ind_satisfied(scenario.database, ind), ind
+
+    @given(scenario_configs.filter(lambda c: c.corruption_ind_rate == 0.0))
+    @settings(max_examples=10, deadline=None)
+    def test_ric_satisfied_by_restructured_extension(self, config):
+        """On clean data the restructured database satisfies every RIC —
+        the migration artifact is internally consistent."""
+        scenario = build_scenario(config)
+        result = DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus, translate=False
+        )
+        for ind in result.ric:
+            assert ind_satisfied(result.restructured, ind), ind
+
+    @given(scenario_configs)
+    @settings(max_examples=10, deadline=None)
+    def test_original_database_untouched(self, config):
+        scenario = build_scenario(config)
+        before = {
+            r.name: tuple(r.attribute_names)
+            for r in scenario.database.schema
+        }
+        row_counts = {
+            t.name: len(t) for t in scenario.database.tables()
+        }
+        DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus
+        )
+        after = {
+            r.name: tuple(r.attribute_names)
+            for r in scenario.database.schema
+        }
+        assert before == after
+        assert row_counts == {
+            t.name: len(t) for t in scenario.database.tables()
+        }
+
+    @given(scenario_configs)
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, config):
+        first_scenario = build_scenario(config)
+        second_scenario = build_scenario(config)
+        first = DBREPipeline(first_scenario.database, first_scenario.expert).run(
+            corpus=first_scenario.corpus, translate=False
+        )
+        second = DBREPipeline(
+            second_scenario.database, second_scenario.expert
+        ).run(corpus=second_scenario.corpus, translate=False)
+        assert first.inds == second.inds
+        assert first.fds == second.fds
+        assert first.ric == second.ric

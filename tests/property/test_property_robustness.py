@@ -1,0 +1,93 @@
+"""Robustness fuzzing: hostile inputs must fail with library errors only.
+
+A reverse-engineering tool eats decades-old source files; whatever
+garbage comes in, the SQL front end and the extractor must either work
+or raise a :class:`~repro.exceptions.ReproError` — never an arbitrary
+Python exception.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.programs.corpus import ApplicationProgram
+from repro.programs.embedded import extract_sql_units
+from repro.programs.extractor import EquiJoinExtractor
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statements
+
+printable_text = st.text(alphabet=string.printable, max_size=200)
+
+sql_ish_words = st.lists(
+    st.sampled_from(
+        [
+            "SELECT", "FROM", "WHERE", "AND", "OR", "IN", "EXISTS",
+            "UNION", "INTERSECT", "GROUP", "BY", "HAVING", "ORDER",
+            "JOIN", "ON", "LIKE", "BETWEEN", "NOT", "NULL", "COUNT",
+            "(", ")", ",", ";", "=", "<", ">", "*", ".",
+            "R", "S", "a", "b", "x", "'text'", "42", "3.14",
+        ]
+    ),
+    max_size=30,
+).map(" ".join)
+
+
+class TestLexerRobustness:
+    @given(printable_text)
+    @settings(max_examples=150)
+    def test_lexer_never_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+        except ReproError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(printable_text)
+    @settings(max_examples=100)
+    def test_lexer_terminates_and_consumes(self, text):
+        try:
+            tokens = tokenize(text)
+        except ReproError:
+            return
+        # bounded token count: no infinite loops, no zero-width tokens
+        assert len(tokens) <= len(text) + 1
+
+
+class TestParserRobustness:
+    @given(sql_ish_words)
+    @settings(max_examples=200)
+    def test_parser_raises_library_errors_only(self, text):
+        try:
+            parse_statements(text)
+        except ReproError:
+            pass
+
+    @given(printable_text)
+    @settings(max_examples=100)
+    def test_parser_on_arbitrary_text(self, text):
+        try:
+            parse_statements(text)
+        except ReproError:
+            pass
+
+
+class TestExtractorRobustness:
+    @given(printable_text)
+    @settings(max_examples=75)
+    def test_corpus_extraction_never_crashes(self, source):
+        program = ApplicationProgram("fuzz.sql", "sql", source)
+        extractor = EquiJoinExtractor(schema=None)
+        report = extractor.extract_from_program(program)
+        # statements either parsed or were recorded as skipped
+        assert report.statements_seen >= len(report.skipped)
+
+    @given(printable_text)
+    @settings(max_examples=50)
+    def test_embedded_scan_never_crashes(self, source):
+        for language in ("sql", "cobol", "c"):
+            program = ApplicationProgram(f"f.{language}", language, source)
+            units = extract_sql_units(program)
+            for unit in units:
+                assert unit.text

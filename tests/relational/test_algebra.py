@@ -1,0 +1,145 @@
+"""The paper's query primitives: count distinct, join counts, FD checks."""
+
+import pytest
+
+from repro.exceptions import ArityError
+from repro.relational.algebra import (
+    count_distinct,
+    distinct_values,
+    equijoin_match_count,
+    fd_violation_pairs,
+    functional_maps,
+    group_by,
+    missing_values,
+    natural_intersection,
+    project,
+    select_equal,
+    values_subset,
+)
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def orders():
+    schema = RelationSchema.build(
+        "orders",
+        ["oid", "cust", "city", "amount"],
+        key=["oid"],
+        types={"oid": INTEGER, "cust": INTEGER, "amount": INTEGER},
+    )
+    t = Table(schema)
+    t.insert_many(
+        [
+            [1, 10, "Lyon", 5],
+            [2, 10, "Lyon", 7],
+            [3, 11, "Paris", 5],
+            [4, NULL, "Paris", 5],
+            [5, 12, NULL, 9],
+        ]
+    )
+    return t
+
+
+@pytest.fixture
+def customers():
+    schema = RelationSchema.build(
+        "customers", ["cid", "name"], key=["cid"], types={"cid": INTEGER}
+    )
+    t = Table(schema)
+    t.insert_many([[10, "a"], [11, "b"], [13, "c"]])
+    return t
+
+
+class TestCountDistinct:
+    def test_nulls_excluded(self, orders):
+        # ||orders[cust]|| skips the NULL row: {10, 11, 12}
+        assert count_distinct(orders, ("cust",)) == 3
+
+    def test_multi_attribute(self, orders):
+        # (cust, city) pairs with no NULL: (10,Lyon)x2, (11,Paris)
+        assert count_distinct(orders, ("cust", "city")) == 2
+
+    def test_projection_keeps_duplicates(self, orders):
+        assert len(project(orders, ("city",))) == 5
+
+    def test_distinct_values_content(self, orders):
+        assert distinct_values(orders, ("city",)) == {("Lyon",), ("Paris",)}
+
+
+class TestJoinCounts:
+    def test_match_count_is_intersection_cardinality(self, orders, customers):
+        # shared cust values: {10, 11}
+        assert equijoin_match_count(orders, ("cust",), customers, ("cid",)) == 2
+
+    def test_natural_intersection_values(self, orders, customers):
+        assert natural_intersection(orders, ("cust",), customers, ("cid",)) == {
+            (10,), (11,),
+        }
+
+    def test_arity_mismatch_raises(self, orders, customers):
+        with pytest.raises(ArityError):
+            equijoin_match_count(orders, ("cust", "city"), customers, ("cid",))
+
+    def test_missing_values_witnesses(self, orders, customers):
+        assert missing_values(orders, ("cust",), customers, ("cid",)) == {(12,)}
+
+    def test_values_subset_ignores_null_lhs(self, orders, customers):
+        # {10, 11, 12} is not within {10, 11, 13}
+        assert not values_subset(orders, ("cust",), customers, ("cid",))
+        # but {10, 11} (customers' view of used ids) fails the other way too
+        assert not values_subset(customers, ("cid",), orders, ("cust",))
+
+
+class TestSelection:
+    def test_select_equal(self, orders):
+        assert len(select_equal(orders, "cust", 10)) == 2
+
+    def test_select_null_matches_nothing(self, orders):
+        assert select_equal(orders, "cust", NULL) == []
+
+
+class TestFunctionalMaps:
+    def test_fd_holds(self, orders):
+        # cust -> city holds on non-NULL groups (10->Lyon, 11->Paris, 12->NULL)
+        assert functional_maps(orders, ("cust",), ("city",))
+
+    def test_fd_fails(self, orders):
+        assert not functional_maps(orders, ("city",), ("amount",))
+
+    def test_null_lhs_rows_skipped(self, orders):
+        # the NULL-cust row maps to Paris; it must not clash with anything
+        assert functional_maps(orders, ("cust",), ("city",))
+
+    def test_null_rhs_values_agree_with_themselves(self):
+        schema = RelationSchema.build("r", ["a", "b"], types={"a": INTEGER})
+        t = Table(schema)
+        t.insert_many([[1, NULL], [1, NULL]])
+        assert functional_maps(t, ("a",), ("b",))
+
+    def test_null_vs_value_rhs_conflict(self):
+        schema = RelationSchema.build("r", ["a", "b"], types={"a": INTEGER})
+        t = Table(schema)
+        t.insert_many([[1, NULL], [1, "x"]])
+        assert not functional_maps(t, ("a",), ("b",))
+
+    def test_violation_pairs_reports_witnesses(self, orders):
+        pairs = fd_violation_pairs(orders, ("city",), ("amount",))
+        assert pairs
+        left, right = pairs[0]
+        assert left["city"] == right["city"]
+        assert left["amount"] != right["amount"]
+
+    def test_violation_pairs_respects_limit(self):
+        schema = RelationSchema.build("r", ["a", "b"], types={"a": INTEGER, "b": INTEGER})
+        t = Table(schema)
+        t.insert_many([[1, i] for i in range(10)])
+        assert len(fd_violation_pairs(t, ("a",), ("b",), limit=3)) == 3
+
+
+class TestGroupBy:
+    def test_groups_exclude_null_keys(self, orders):
+        groups = group_by(orders, ("cust",))
+        assert set(groups) == {(10,), (11,), (12,)}
+        assert len(groups[(10,)]) == 2

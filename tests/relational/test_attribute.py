@@ -1,0 +1,91 @@
+"""Attributes, attribute sets and qualified references."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.attribute import Attribute, AttributeRef, AttributeSet
+from repro.relational.domain import INTEGER, TEXT
+
+
+class TestAttribute:
+    def test_defaults(self):
+        a = Attribute("name")
+        assert a.dtype == TEXT
+        assert a.nullable
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("1bad")
+        with pytest.raises(SchemaError):
+            Attribute("-leading")
+
+    def test_hyphenated_names_allowed(self):
+        assert Attribute("project-name").name == "project-name"
+
+    def test_with_nullable_copies(self):
+        a = Attribute("x", INTEGER, nullable=True)
+        b = a.with_nullable(False)
+        assert not b.nullable
+        assert a.nullable
+        assert b.dtype == INTEGER
+
+    def test_equality_and_hash(self):
+        assert Attribute("x", INTEGER) == Attribute("x", INTEGER)
+        assert Attribute("x", INTEGER) != Attribute("x", TEXT)
+        assert hash(Attribute("x")) == hash(Attribute("x"))
+
+
+class TestAttributeSet:
+    def test_preserves_order_dedupes(self):
+        s = AttributeSet(["b", "a", "b", "c"])
+        assert s.names == ("b", "a", "c")
+
+    def test_set_equality_ignores_order(self):
+        assert AttributeSet(["a", "b"]) == AttributeSet(["b", "a"])
+        assert hash(AttributeSet(["a", "b"])) == hash(AttributeSet(["b", "a"]))
+
+    def test_membership_and_len(self):
+        s = AttributeSet.of("x", "y")
+        assert "x" in s
+        assert "z" not in s
+        assert len(s) == 2
+
+    def test_union_difference_intersection(self):
+        s = AttributeSet.of("a", "b")
+        assert s.union(AttributeSet.of("c")).names == ("a", "b", "c")
+        assert s.difference(["a"]).names == ("b",)
+        assert s.intersection(["b", "c"]).names == ("b",)
+
+    def test_subset_and_disjoint(self):
+        s = AttributeSet.of("a", "b")
+        assert s.issubset(["a", "b", "c"])
+        assert not s.issubset(["a"])
+        assert s.isdisjoint(["c", "d"])
+        assert not s.isdisjoint(["b"])
+
+
+class TestAttributeRef:
+    def test_single_accessor(self):
+        r = AttributeRef.single("R", "a")
+        assert r.is_single()
+        assert r.attribute == "a"
+
+    def test_multi_attribute_rejects_single_accessor(self):
+        r = AttributeRef("R", ("a", "b"))
+        assert not r.is_single()
+        with pytest.raises(SchemaError):
+            _ = r.attribute
+
+    def test_string_attrs_wrapped(self):
+        assert AttributeRef("R", "a") == AttributeRef.single("R", "a")
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeRef("R", ())
+
+    def test_equality_is_set_based(self):
+        assert AttributeRef("R", ("a", "b")) == AttributeRef("R", ("b", "a"))
+        assert AttributeRef("R", "a") != AttributeRef("S", "a")
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(AttributeRef("HEmployee", "no")) == "HEmployee.{no}"

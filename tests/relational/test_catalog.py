@@ -1,0 +1,57 @@
+"""The data dictionary: entries, K/N views, statistics."""
+
+import pytest
+
+from repro.relational.attribute import AttributeRef
+from repro.relational.catalog import Catalog
+
+
+class TestEntries:
+    def test_entries_cover_every_attribute(self, paper_db):
+        catalog = paper_db.catalog
+        entries = catalog.entries()
+        total_attrs = sum(
+            len(r.attribute_names) for r in paper_db.schema
+        )
+        assert len(entries) == total_attrs
+
+    def test_entry_flags(self, paper_db):
+        catalog = paper_db.catalog
+        dep = catalog.entry("Department", "dep")
+        assert dep.in_key and not dep.nullable
+        loc = catalog.entry("Department", "location")
+        assert not loc.in_key and not loc.nullable
+        emp = catalog.entry("Department", "emp")
+        assert not emp.in_key and emp.nullable
+        assert emp.position == 1
+
+    def test_key_and_not_null_views(self, paper_db):
+        catalog = paper_db.catalog
+        assert catalog.key_set() == paper_db.schema.key_set()
+        assert catalog.not_null_set() == paper_db.schema.not_null_set()
+
+
+class TestStatistics:
+    def test_analyze_populates_stats(self, paper_db):
+        catalog = paper_db.catalog
+        catalog.analyze(paper_db)
+        stats = catalog.statistics("Person", "id")
+        assert stats.row_count == 22
+        assert stats.distinct_count == 22
+        assert stats.null_count == 0
+
+    def test_null_fraction(self, paper_db):
+        catalog = paper_db.catalog
+        catalog.analyze(paper_db)
+        emp = catalog.statistics("Department", "emp")
+        assert emp.null_count == 2
+        assert emp.null_fraction == pytest.approx(2 / 8)
+
+    def test_unknown_statistics_is_none(self, paper_db):
+        assert paper_db.catalog.statistics("Person", "id") is None  # before analyze
+
+    def test_all_statistics_sorted(self, paper_db):
+        catalog = paper_db.catalog
+        catalog.analyze(paper_db)
+        keys = [(s.relation, s.attribute) for s in catalog.all_statistics()]
+        assert keys == sorted(keys)

@@ -1,0 +1,85 @@
+"""Declared constraints and the §4 K/N derivation rules."""
+
+import pytest
+
+from repro.exceptions import ConstraintViolationError
+from repro.relational.attribute import AttributeRef
+from repro.relational.constraints import (
+    KeyConstraint,
+    NotNullConstraint,
+    UniqueConstraint,
+    key_attribute_sets,
+    not_null_attributes,
+)
+from repro.relational.domain import INTEGER, NULL
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def table():
+    schema = RelationSchema.build("R", ["a", "b"], types={"a": INTEGER})
+    return Table(schema)
+
+
+class TestUniqueConstraint:
+    def test_detects_duplicates(self, table):
+        table.insert([1, "x"])
+        table.insert([1, "y"])
+        with pytest.raises(ConstraintViolationError):
+            UniqueConstraint("R", ["a"]).check(table)
+
+    def test_null_violates_unique(self, table):
+        # §4: unique implies not null
+        table.insert([NULL, "x"])
+        with pytest.raises(ConstraintViolationError):
+            UniqueConstraint("R", ["a"]).check(table)
+
+    def test_composite_unique(self, table):
+        table.insert([1, "x"])
+        table.insert([1, "y"])
+        UniqueConstraint("R", ["a", "b"]).check(table)   # pairs differ
+
+    def test_equality(self):
+        assert UniqueConstraint("R", ["a", "b"]) == UniqueConstraint("R", ["b", "a"])
+
+
+class TestNotNullConstraint:
+    def test_detects_null(self, table):
+        table.insert([1, NULL])
+        with pytest.raises(ConstraintViolationError):
+            NotNullConstraint("R", "b").check(table)
+
+    def test_passes_on_values(self, table):
+        table.insert([1, "x"])
+        NotNullConstraint("R", "b").check(table)
+
+
+class TestDerivedSets:
+    def test_k_from_uniques(self):
+        uniques = [
+            UniqueConstraint("Person", ["id"]),
+            UniqueConstraint("HEmployee", ["no", "date"]),
+        ]
+        k = key_attribute_sets(uniques)
+        assert AttributeRef("Person", "id") in k
+        assert AttributeRef("HEmployee", ("no", "date")) in k
+        assert len(k) == 2
+
+    def test_k_dedupes(self):
+        uniques = [UniqueConstraint("R", ["a"]), UniqueConstraint("R", ["a"])]
+        assert len(key_attribute_sets(uniques)) == 1
+
+    def test_n_unions_declared_and_key_attributes(self):
+        n = not_null_attributes(
+            [NotNullConstraint("Department", "location")],
+            [UniqueConstraint("HEmployee", ["no", "date"])],
+        )
+        assert AttributeRef("Department", "location") in n
+        assert AttributeRef("HEmployee", "no") in n
+        assert AttributeRef("HEmployee", "date") in n
+        assert len(n) == 3
+
+    def test_key_constraint_ref(self):
+        kc = KeyConstraint("R", ["a", "b"])
+        assert kc.as_ref() == AttributeRef("R", ("a", "b"))

@@ -1,0 +1,93 @@
+"""The database triple: schema surgery, instrumented queries, copies."""
+
+import pytest
+
+from repro.exceptions import UnknownRelationError
+from repro.relational.database import Database
+from repro.relational.domain import INTEGER
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestSchemaManagement:
+    def test_create_and_drop(self, tiny_db):
+        tiny_db.create_relation(
+            RelationSchema.build("extra", ["x"], key=["x"])
+        )
+        assert "extra" in tiny_db.schema
+        tiny_db.drop_relation("extra")
+        assert "extra" not in tiny_db.schema
+        with pytest.raises(UnknownRelationError):
+            tiny_db.table("extra")
+
+    def test_replace_projects_extension(self, tiny_db):
+        narrowed = tiny_db.schema.relation("person").without_attributes(
+            ["person_city_id"]
+        )
+        tiny_db.replace_relation(narrowed)
+        table = tiny_db.table("person")
+        assert table.schema.attribute_names == ("person_id", "person_name")
+        assert len(table) == 4
+
+    def test_tables_iterates_sorted(self, tiny_db):
+        assert [t.name for t in tiny_db.tables()] == ["city", "person"]
+
+
+class TestInstrumentedQueries:
+    def test_count_distinct_counts_calls(self, tiny_db):
+        tiny_db.counter.reset()
+        assert tiny_db.count_distinct("person", ("person_city_id",)) == 2
+        assert tiny_db.counter.count_distinct == 1
+
+    def test_join_count(self, tiny_db):
+        assert (
+            tiny_db.join_count("person", ("person_city_id",), "city", ("city_id",))
+            == 2
+        )
+        assert tiny_db.counter.join_count == 1
+
+    def test_fd_holds(self, tiny_db):
+        assert tiny_db.fd_holds("city", ("city_id",), ("city_name",))
+        assert not tiny_db.fd_holds("person", ("person_city_id",), ("person_name",))
+        assert tiny_db.counter.fd_checks == 2
+
+    def test_inclusion_holds_ignores_null_lhs(self, tiny_db):
+        # dave has NULL city; the remaining values {1, 2} are included
+        assert tiny_db.inclusion_holds(
+            "person", ("person_city_id",), "city", ("city_id",)
+        )
+        assert not tiny_db.inclusion_holds(
+            "city", ("city_id",), "person", ("person_city_id",)
+        )
+
+    def test_counter_total_and_reset(self, tiny_db):
+        tiny_db.counter.reset()
+        tiny_db.count_distinct("city", ("city_id",))
+        tiny_db.join_count("person", ("person_city_id",), "city", ("city_id",))
+        assert tiny_db.counter.total() == 2
+        tiny_db.counter.reset()
+        assert tiny_db.counter.total() == 0
+
+
+class TestCopy:
+    def test_copy_is_independent(self, tiny_db):
+        clone = tiny_db.copy()
+        clone.insert("city", [9, "Metz"])
+        assert len(tiny_db.table("city")) == 3
+        assert len(clone.table("city")) == 4
+
+    def test_copy_preserves_rows_and_keys(self, tiny_db):
+        clone = tiny_db.copy()
+        assert [r.values for r in clone.table("person")] == [
+            r.values for r in tiny_db.table("person")
+        ]
+        assert clone.schema.relation("person").is_key(["person_id"])
+
+
+class TestValidation:
+    def test_validate_passes_on_clean(self, tiny_db):
+        tiny_db.validate()
+        assert tiny_db.violations() == []
+
+    def test_violations_reported(self, tiny_db):
+        tiny_db.insert("city", [1, "Dup"])
+        assert tiny_db.violations()

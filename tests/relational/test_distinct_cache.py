@@ -1,0 +1,73 @@
+"""The version-guarded distinct-value cache."""
+
+import pytest
+
+from repro.exceptions import ArityError
+from repro.relational import Database, DatabaseSchema, RelationSchema
+from repro.relational.domain import INTEGER, NULL
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema(
+        [
+            RelationSchema.build("r", ["a", "b"], types={"a": INTEGER, "b": INTEGER}),
+            RelationSchema.build("s", ["x"], types={"x": INTEGER}),
+        ]
+    )
+    database = Database(schema)
+    database.insert_many("r", [[1, 10], [2, 10], [2, 20]])
+    database.insert_many("s", [[1], [2], [3]])
+    return database
+
+
+class TestCacheCorrectness:
+    def test_repeated_queries_consistent(self, db):
+        assert db.count_distinct("r", ("a",)) == 2
+        assert db.count_distinct("r", ("a",)) == 2
+        assert db.counter.count_distinct == 2      # logical count unaffected
+
+    def test_insert_invalidates(self, db):
+        assert db.count_distinct("r", ("a",)) == 2
+        db.insert("r", [9, 90])
+        assert db.count_distinct("r", ("a",)) == 3
+
+    def test_replace_rows_invalidates(self, db):
+        assert db.count_distinct("s", ("x",)) == 3
+        db.table("s").replace_rows([[7]])
+        assert db.count_distinct("s", ("x",)) == 1
+
+    def test_delete_invalidates(self, db):
+        assert db.count_distinct("s", ("x",)) == 3
+        db.table("s").delete_where(lambda row: row["x"] == 1)
+        assert db.count_distinct("s", ("x",)) == 2
+
+    def test_noop_delete_keeps_version(self, db):
+        before = db.table("s").version
+        db.table("s").delete_where(lambda row: False)
+        assert db.table("s").version == before
+
+    def test_join_count_uses_fresh_values(self, db):
+        assert db.join_count("r", ("a",), "s", ("x",)) == 2
+        db.insert("s", [99])
+        db.insert("r", [99, 0])
+        assert db.join_count("r", ("a",), "s", ("x",)) == 3
+
+    def test_inclusion_after_mutation(self, db):
+        assert db.inclusion_holds("r", ("a",), "s", ("x",))
+        db.insert("r", [42, 0])
+        assert not db.inclusion_holds("r", ("a",), "s", ("x",))
+
+    def test_null_rows_excluded_through_cache(self, db):
+        db.insert("r", [NULL, 5])
+        assert db.count_distinct("r", ("a",)) == 2
+
+    def test_arity_checked_at_database_level(self, db):
+        with pytest.raises(ArityError):
+            db.join_count("r", ("a", "b"), "s", ("x",))
+        with pytest.raises(ArityError):
+            db.inclusion_holds("r", ("a", "b"), "s", ("x",))
+
+    def test_multi_attribute_keys_distinct(self, db):
+        assert db.count_distinct("r", ("a", "b")) == 3
+        assert db.count_distinct("r", ("b", "a")) == 3   # separate cache key

@@ -1,0 +1,143 @@
+"""Relation schemas, database schemas, and the K/N computation of §4."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateRelationError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.attribute import Attribute, AttributeRef
+from repro.relational.domain import INTEGER
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def make_department() -> RelationSchema:
+    return RelationSchema.build(
+        "Department",
+        ["dep", "emp", "skill", "location", "proj"],
+        key=["dep"],
+        not_null=["location"],
+    )
+
+
+class TestRelationSchema:
+    def test_build_sets_key_and_not_null(self):
+        r = make_department()
+        assert r.is_key(["dep"])
+        assert not r.attribute("dep").nullable     # unique implies not null
+        assert not r.attribute("location").nullable
+        assert r.attribute("emp").nullable
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Attribute("a"), Attribute("a")])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_unknown_unique_attribute_rejected(self):
+        r = make_department()
+        with pytest.raises(UnknownAttributeError):
+            r.declare_unique(["ghost"])
+
+    def test_is_key_is_exact_set_match(self):
+        r = RelationSchema.build("H", ["no", "date", "salary"], key=["no", "date"])
+        assert r.is_key(["date", "no"])       # order-insensitive
+        assert not r.is_key(["no"])           # proper subset is not the key
+        assert not r.is_key(["no", "date", "salary"])
+
+    def test_primary_key_is_first_declared(self):
+        r = RelationSchema.build("R", ["a", "b", "c"], key=["a"])
+        r.declare_unique(["b"])
+        assert tuple(r.primary_key().names) == ("a",)
+
+    def test_position_and_attribute_lookup(self):
+        r = make_department()
+        assert r.position("skill") == 2
+        with pytest.raises(UnknownAttributeError):
+            r.position("nope")
+        with pytest.raises(UnknownAttributeError):
+            r.attribute("nope")
+
+    def test_without_attributes_drops_and_keeps_key(self):
+        r = make_department()
+        narrowed = r.without_attributes(["skill", "proj"])
+        assert narrowed.attribute_names == ("dep", "emp", "location")
+        assert narrowed.is_key(["dep"])
+
+    def test_without_attributes_drops_broken_uniques(self):
+        r = RelationSchema.build("R", ["a", "b", "c"], key=["a", "b"])
+        narrowed = r.without_attributes(["b"])
+        assert narrowed.uniques == ()
+
+    def test_cannot_drop_everything(self):
+        r = RelationSchema.build("R", ["a"], key=["a"])
+        with pytest.raises(SchemaError):
+            r.without_attributes(["a"])
+
+    def test_ref_validates_attributes(self):
+        r = make_department()
+        assert r.ref("emp") == AttributeRef("Department", "emp")
+        with pytest.raises(UnknownAttributeError):
+            r.ref(["emp", "ghost"])
+
+    def test_renamed_keeps_structure(self):
+        r = make_department()
+        s = r.renamed("Dept2")
+        assert s.name == "Dept2"
+        assert s.attribute_names == r.attribute_names
+        assert s.is_key(["dep"])
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema([make_department()])
+        assert "Department" in schema
+        assert schema.relation("Department").name == "Department"
+        with pytest.raises(UnknownRelationError):
+            schema.relation("Nope")
+
+    def test_duplicate_rejected(self):
+        schema = DatabaseSchema([make_department()])
+        with pytest.raises(DuplicateRelationError):
+            schema.add(make_department())
+
+    def test_replace_requires_existing(self):
+        schema = DatabaseSchema()
+        with pytest.raises(UnknownRelationError):
+            schema.replace(make_department())
+
+    def test_iteration_is_sorted(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("Zeta", ["a"], key=["a"]),
+                RelationSchema.build("Alpha", ["a"], key=["a"]),
+            ]
+        )
+        assert [r.name for r in schema] == ["Alpha", "Zeta"]
+
+    def test_key_set_matches_paper_definition(self, paper_db):
+        refs = paper_db.schema.key_set()
+        assert AttributeRef("Person", "id") in refs
+        assert AttributeRef("HEmployee", ("no", "date")) in refs
+        assert AttributeRef("Assignment", ("emp", "dep", "proj")) in refs
+        assert len(refs) == 4
+
+    def test_not_null_set_includes_key_attributes(self, paper_db):
+        refs = paper_db.schema.not_null_set()
+        # declared not-null
+        assert AttributeRef("Department", "location") in refs
+        # implied by the composite unique declaration
+        assert AttributeRef("HEmployee", "no") in refs
+        assert AttributeRef("HEmployee", "date") in refs
+        # nullable attributes are absent
+        assert AttributeRef("Department", "emp") not in refs
+
+    def test_copy_is_deep_for_schemas(self):
+        schema = DatabaseSchema([make_department()])
+        clone = schema.copy()
+        clone.remove("Department")
+        assert "Department" in schema

@@ -1,0 +1,192 @@
+"""The dialect extensions: GROUP BY / HAVING, UPDATE, DELETE."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError, SQLParseError
+from repro.relational import Database, NULL
+from repro.sql import Executor, ast, format_statement
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    Executor(database).run_script(
+        """
+        CREATE TABLE sale (tid INT PRIMARY KEY, store INT, amount NUMBER);
+        INSERT INTO sale VALUES
+            (1, 10, 5.0), (2, 10, 9.0), (3, 11, 2.0),
+            (4, 12, NULL), (5, 11, 7.0);
+        """
+    )
+    return database
+
+
+@pytest.fixture
+def ex(db):
+    return Executor(db)
+
+
+class TestGroupByParsing:
+    def test_group_by_columns(self):
+        stmt = parse_sql("SELECT store, COUNT(*) FROM sale GROUP BY store")
+        assert [c.name for c in stmt.group_by] == ["store"]
+        assert stmt.having is None
+
+    def test_having_with_aggregate(self):
+        stmt = parse_sql(
+            "SELECT store FROM sale GROUP BY store HAVING COUNT(*) > 1"
+        )
+        assert isinstance(stmt.having, ast.Comparison)
+        assert isinstance(stmt.having.left, ast.Aggregate)
+
+    def test_round_trip(self):
+        sql = "SELECT store, SUM(amount) FROM sale GROUP BY store HAVING COUNT(*) >= 2 ORDER BY store"
+        stmt = parse_sql(sql)
+        assert format_statement(parse_sql(format_statement(stmt))) == (
+            format_statement(stmt)
+        )
+
+
+class TestGroupByExecution:
+    def test_grouping_with_aggregates(self, ex):
+        result = ex.run(
+            "SELECT store, COUNT(*), SUM(amount) FROM sale "
+            "GROUP BY store ORDER BY store"
+        )
+        assert result.rows == [(10, 2, 14.0), (11, 2, 9.0), (12, 1, NULL)]
+
+    def test_having_filters_groups(self, ex):
+        result = ex.run(
+            "SELECT store FROM sale GROUP BY store HAVING COUNT(*) >= 2 "
+            "ORDER BY store"
+        )
+        assert result.rows == [(10,), (11,)]
+
+    def test_having_on_aggregate_value(self, ex):
+        result = ex.run(
+            "SELECT store FROM sale GROUP BY store HAVING SUM(amount) > 10"
+        )
+        assert result.rows == [(10,)]
+
+    def test_count_column_skips_null_per_group(self, ex):
+        result = ex.run(
+            "SELECT store, COUNT(amount) FROM sale GROUP BY store ORDER BY store"
+        )
+        assert result.rows == [(10, 2), (11, 2), (12, 0)]
+
+    def test_ungrouped_item_rejected(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT amount FROM sale GROUP BY store")
+
+    def test_qualified_grouping_column(self, ex):
+        result = ex.run(
+            "SELECT s.store, MAX(s.amount) FROM sale s GROUP BY s.store "
+            "ORDER BY store"
+        )
+        assert result.rows[0] == (10, 9.0)
+
+
+class TestUpdate:
+    def test_parse(self):
+        stmt = parse_sql("UPDATE sale SET amount = 0, store = 99 WHERE tid = 1")
+        assert stmt.table == "sale"
+        assert [a.column for a in stmt.assignments] == ["amount", "store"]
+        assert stmt.where is not None
+
+    def test_update_matching_rows(self, ex, db):
+        result = ex.run("UPDATE sale SET amount = 1.5 WHERE store = 10")
+        assert result.rows == [(2,)]
+        amounts = {
+            row["tid"]: row["amount"] for row in db.table("sale")
+        }
+        assert amounts[1] == 1.5 and amounts[2] == 1.5
+        assert amounts[3] == 2.0
+
+    def test_update_null_assignment(self, ex, db):
+        ex.run("UPDATE sale SET amount = NULL WHERE tid = 1")
+        assert db.table("sale")[0]["amount"] is NULL
+
+    def test_update_without_where_touches_all(self, ex, db):
+        result = ex.run("UPDATE sale SET store = 1")
+        assert result.rows == [(5,)]
+
+    def test_unknown_null_where_skips_row(self, ex, db):
+        # amount IS NULL for tid=4: amount = 2.0 is UNKNOWN there
+        result = ex.run("UPDATE sale SET store = 0 WHERE amount = 2.0")
+        assert result.rows == [(1,)]
+
+    def test_set_requires_literals(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("UPDATE sale SET amount = other_col")
+
+
+class TestDelete:
+    def test_parse(self):
+        stmt = parse_sql("DELETE FROM sale WHERE store = 10")
+        assert stmt.table == "sale"
+
+    def test_delete_matching(self, ex, db):
+        result = ex.run("DELETE FROM sale WHERE store = 11")
+        assert result.rows == [(2,)]
+        assert len(db.table("sale")) == 3
+
+    def test_delete_with_subquery(self, ex, db):
+        Executor(db).run_script(
+            "CREATE TABLE closed (sid INT); INSERT INTO closed VALUES (10), (12);"
+        )
+        result = ex.run(
+            "DELETE FROM sale WHERE store IN (SELECT sid FROM closed)"
+        )
+        assert result.rows == [(3,)]
+
+    def test_delete_all(self, ex, db):
+        ex.run("DELETE FROM sale")
+        assert len(db.table("sale")) == 0
+
+
+class TestExtractionFromDML:
+    @pytest.fixture
+    def extractor(self):
+        from repro.programs import EquiJoinExtractor
+        from repro.relational import DatabaseSchema, RelationSchema
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("sale", ["tid", "store"], key=["tid"]),
+                RelationSchema.build("store", ["sid", "name"], key=["sid"]),
+            ]
+        )
+        return EquiJoinExtractor(schema)
+
+    def test_update_in_subquery_join(self, extractor):
+        joins = extractor.extract_from_sql(
+            "UPDATE sale SET tid = 0 WHERE store IN (SELECT sid FROM store)"
+        )
+        assert len(joins) == 1
+        assert joins[0].involves("sale") and joins[0].involves("store")
+
+    def test_delete_exists_join(self, extractor):
+        joins = extractor.extract_from_sql(
+            "DELETE FROM sale WHERE EXISTS "
+            "(SELECT * FROM store s WHERE s.sid = sale.store)"
+        )
+        assert len(joins) == 1
+
+    def test_negated_forms_are_not_joins(self, extractor):
+        assert extractor.extract_from_sql(
+            "DELETE FROM sale WHERE store NOT IN (SELECT sid FROM store)"
+        ) == []
+
+    def test_embedded_update_kept(self):
+        from repro.programs.corpus import ApplicationProgram
+        from repro.programs.embedded import extract_sql_units
+
+        program = ApplicationProgram(
+            "fix.pc", "c",
+            "void f(void){ EXEC SQL UPDATE sale SET tid = :v "
+            "WHERE store IN (SELECT sid FROM store); }",
+        )
+        units = extract_sql_units(program)
+        assert len(units) == 1
+        assert units[0].text.upper().startswith("UPDATE")

@@ -1,0 +1,221 @@
+"""SQL executor: DDL, DML, selects, joins, subqueries, aggregates."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError
+from repro.relational import Database, NULL
+from repro.sql import Executor
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    ex = Executor(database)
+    ex.run_script(
+        """
+        CREATE TABLE city (cid INT PRIMARY KEY, cname VARCHAR(20));
+        INSERT INTO city VALUES (1, 'Lyon'), (2, 'Paris'), (3, 'Nice');
+        CREATE TABLE person (pid INT PRIMARY KEY, pname VARCHAR(20),
+                             cid INT, age INT);
+        INSERT INTO person VALUES
+            (10, 'alice', 1, 30), (11, 'bob', 1, 40),
+            (12, 'carol', 2, 35), (13, 'dave', NULL, 50);
+        """
+    )
+    return database
+
+
+@pytest.fixture
+def ex(db):
+    return Executor(db)
+
+
+class TestDDL:
+    def test_create_builds_schema(self, db):
+        rel = db.schema.relation("person")
+        assert rel.attribute_names == ("pid", "pname", "cid", "age")
+        assert rel.is_key(["pid"])
+
+    def test_create_table_level_unique(self):
+        database = Database()
+        Executor(database).run(
+            "CREATE TABLE h (no INT, d DATE, UNIQUE (no, d))"
+        )
+        assert database.schema.relation("h").is_key(["no", "d"])
+
+    def test_drop_table(self, ex, db):
+        ex.run("DROP TABLE city")
+        assert "city" not in db.schema
+
+    def test_insert_null_by_keyword(self, db):
+        assert db.table("person")[3]["cid"] is NULL
+
+
+class TestProjectionsAndFilters:
+    def test_simple_projection(self, ex):
+        result = ex.run("SELECT pname FROM person WHERE age > 35")
+        assert sorted(result.column(0)) == ["bob", "dave"]
+
+    def test_star_single_table(self, ex):
+        result = ex.run("SELECT * FROM city")
+        assert result.columns == ["cid", "cname"]
+        assert len(result) == 3
+
+    def test_null_comparison_filters_row(self, ex):
+        # dave has NULL cid: cid = 1 is UNKNOWN, row dropped
+        result = ex.run("SELECT pname FROM person WHERE cid = 1")
+        assert sorted(result.column(0)) == ["alice", "bob"]
+
+    def test_is_null(self, ex):
+        result = ex.run("SELECT pname FROM person WHERE cid IS NULL")
+        assert result.column(0) == ["dave"]
+
+    def test_distinct(self, ex):
+        result = ex.run("SELECT DISTINCT cid FROM person WHERE cid IS NOT NULL")
+        assert sorted(result.column(0)) == [1, 2]
+
+    def test_order_by_desc(self, ex):
+        result = ex.run("SELECT pname FROM person ORDER BY pname DESC")
+        assert result.column(0) == ["dave", "carol", "bob", "alice"]
+
+    def test_or_predicate(self, ex):
+        result = ex.run(
+            "SELECT pname FROM person WHERE age = 30 OR age = 50"
+        )
+        assert sorted(result.column(0)) == ["alice", "dave"]
+
+
+class TestJoins:
+    def test_cross_with_where(self, ex):
+        result = ex.run(
+            "SELECT pname, cname FROM person, city WHERE person.cid = city.cid"
+        )
+        assert sorted(result.rows) == [
+            ("alice", "Lyon"), ("bob", "Lyon"), ("carol", "Paris"),
+        ]
+
+    def test_join_on(self, ex):
+        result = ex.run(
+            "SELECT pname FROM person p JOIN city c ON p.cid = c.cid "
+            "WHERE c.cname = 'Lyon'"
+        )
+        assert sorted(result.column(0)) == ["alice", "bob"]
+
+    def test_unqualified_ambiguous_column_rejected(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT cid FROM person, city")
+
+    def test_duplicate_binding_rejected(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT 1 FROM person p, city p")
+
+    def test_self_join_via_aliases(self, ex):
+        result = ex.run(
+            "SELECT a.pname, b.pname FROM person a, person b "
+            "WHERE a.cid = b.cid AND a.age < b.age"
+        )
+        assert result.rows == [("alice", "bob")]
+
+
+class TestSubqueries:
+    def test_in_subquery(self, ex):
+        result = ex.run(
+            "SELECT cname FROM city WHERE cid IN (SELECT cid FROM person)"
+        )
+        assert sorted(result.column(0)) == ["Lyon", "Paris"]
+
+    def test_not_in_with_nulls_is_empty(self, ex):
+        # person.cid contains NULL -> NOT IN yields UNKNOWN for misses
+        result = ex.run(
+            "SELECT cname FROM city WHERE cid NOT IN (SELECT cid FROM person)"
+        )
+        assert result.rows == []
+
+    def test_correlated_exists(self, ex):
+        result = ex.run(
+            "SELECT cname FROM city c WHERE EXISTS "
+            "(SELECT * FROM person p WHERE p.cid = c.cid AND p.age > 35)"
+        )
+        assert result.column(0) == ["Lyon"]
+
+    def test_scalar_subquery(self, ex):
+        result = ex.run(
+            "SELECT pname FROM person WHERE age = (SELECT MAX(age) FROM person)"
+        )
+        assert result.column(0) == ["dave"]
+
+    def test_scalar_subquery_multiple_rows_rejected(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT pname FROM person WHERE age = (SELECT age FROM person)")
+
+
+class TestAggregates:
+    def test_count_star(self, ex):
+        assert ex.run("SELECT COUNT(*) FROM person").scalar() == 4
+
+    def test_count_distinct_skips_nulls(self, ex):
+        # the paper's ||r[X]|| primitive
+        assert ex.run("SELECT COUNT(DISTINCT cid) FROM person").scalar() == 2
+
+    def test_count_column_skips_nulls(self, ex):
+        assert ex.run("SELECT COUNT(cid) FROM person").scalar() == 3
+
+    def test_min_max_sum_avg(self, ex):
+        assert ex.run("SELECT MIN(age) FROM person").scalar() == 30
+        assert ex.run("SELECT MAX(age) FROM person").scalar() == 50
+        assert ex.run("SELECT SUM(age) FROM person").scalar() == 155
+        assert ex.run("SELECT AVG(age) FROM person").scalar() == pytest.approx(38.75)
+
+    def test_aggregate_over_empty_is_null(self, ex):
+        assert ex.run("SELECT MAX(age) FROM person WHERE age > 99").scalar() is NULL
+
+    def test_multiple_aggregates(self, ex):
+        result = ex.run("SELECT COUNT(*), MAX(age) FROM person")
+        assert result.rows == [(4, 50)]
+
+
+class TestBooleans:
+    def test_boolean_column_round_trip(self):
+        database = Database()
+        executor = Executor(database)
+        executor.run_script(
+            """
+            CREATE TABLE flags (k INT PRIMARY KEY, active BOOLEAN);
+            INSERT INTO flags VALUES (1, TRUE), (2, FALSE), (3, NULL);
+            """
+        )
+        result = executor.run("SELECT k FROM flags WHERE active = TRUE")
+        assert result.column(0) == [1]
+        result = executor.run("SELECT k FROM flags WHERE active = FALSE")
+        assert result.column(0) == [2]
+        # NULL is neither
+        result = executor.run("SELECT k FROM flags WHERE active IS NULL")
+        assert result.column(0) == [3]
+
+
+class TestIntersect:
+    def test_intersect(self, ex):
+        result = ex.run(
+            "SELECT cid FROM person WHERE cid IS NOT NULL "
+            "INTERSECT SELECT cid FROM city"
+        )
+        assert sorted(result.rows) == [(1,), (2,)]
+
+    def test_intersect_arity_mismatch_rejected(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT cid, cname FROM city INTERSECT SELECT cid FROM city")
+
+
+class TestErrors:
+    def test_unknown_table(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT a FROM ghost")
+
+    def test_unknown_column(self, ex):
+        with pytest.raises(SQLExecutionError):
+            ex.run("SELECT ghost FROM person")
+
+    def test_scalar_on_multirow_result(self, ex):
+        result = ex.run("SELECT pname FROM person")
+        with pytest.raises(SQLExecutionError):
+            result.scalar()

@@ -1,0 +1,55 @@
+"""Formatter round-trips: AST -> SQL -> same AST."""
+
+import pytest
+
+from repro.sql import ast, format_statement
+from repro.sql.parser import parse_sql
+
+ROUND_TRIP_CASES = [
+    "SELECT a, b FROM R",
+    "SELECT DISTINCT r.a FROM R r, S s WHERE r.x = s.y AND r.z = 1",
+    "SELECT COUNT(DISTINCT a) FROM R",
+    "SELECT a FROM R WHERE a IN (SELECT b FROM S)",
+    "SELECT a FROM R WHERE EXISTS (SELECT * FROM S WHERE S.x = R.a)",
+    "SELECT a FROM R INTERSECT SELECT b FROM S",
+    "SELECT a FROM R r INNER JOIN S s ON r.x = s.y ORDER BY a DESC",
+    "CREATE TABLE Person (id INTEGER PRIMARY KEY, name TEXT NOT NULL)",
+    "INSERT INTO R (a, b) VALUES (1, 'x'), (2, NULL)",
+    "DROP TABLE R",
+    "SELECT a FROM R WHERE b IS NOT NULL",
+    "SELECT project-name FROM Assignment WHERE proj = 'P1'",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_CASES)
+def test_round_trip(sql):
+    first = parse_sql(sql)
+    rendered = format_statement(first)
+    second = parse_sql(rendered)
+    assert format_statement(second) == rendered
+
+
+def test_pretty_select_is_multiline():
+    stmt = parse_sql(
+        "SELECT a FROM R, S WHERE R.x = S.y AND R.z = 1 ORDER BY a"
+    )
+    pretty = format_statement(stmt, pretty=True)
+    lines = pretty.splitlines()
+    assert lines[0].startswith("SELECT")
+    assert any(line.startswith("FROM") for line in lines)
+    assert any("AND" in line for line in lines)
+    # pretty output still parses to the same statement
+    assert format_statement(parse_sql(pretty)) == format_statement(stmt)
+
+
+def test_pretty_intersect():
+    stmt = parse_sql("SELECT a FROM R INTERSECT SELECT b FROM S")
+    pretty = format_statement(stmt, pretty=True)
+    assert "INTERSECT" in pretty
+    assert format_statement(parse_sql(pretty)) == format_statement(stmt)
+
+
+def test_string_escaping_round_trip():
+    stmt = parse_sql("INSERT INTO R VALUES ('it''s')")
+    rendered = format_statement(stmt)
+    assert parse_sql(rendered).rows == (("it's",),)

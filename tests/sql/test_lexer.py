@@ -1,0 +1,101 @@
+"""SQL lexer: tokens, comments, strings, hyphenated identifiers."""
+
+import pytest
+
+from repro.exceptions import SQLLexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql) if t.kind != EOF]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql) if t.kind != EOF]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == KEYWORD for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        assert values("Person hEmployee")[0] == "Person"
+        assert values("Person hEmployee")[1] == "hEmployee"
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].kind == EOF
+        assert tokenize("select")[-1].kind == EOF
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestNumbersAndStrings:
+    def test_integer_and_decimal(self):
+        assert values("42 3.14") == ["42", "3.14"]
+        assert kinds("42 3.14") == [NUMBER, NUMBER]
+
+    def test_dot_not_glued_without_digits(self):
+        # "a.b" is ident dot ident, not a number
+        assert kinds("a.b") == [IDENT, PUNCT, IDENT]
+
+    def test_string_literal(self):
+        assert values("'hello world'") == ["hello world"]
+        assert kinds("'x'") == [STRING]
+
+    def test_doubled_quote_escape(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLLexError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "Weird Name"
+
+
+class TestHyphensAndComments:
+    def test_hyphenated_identifier(self):
+        # the paper's attribute style: project-name, zip-code
+        assert values("project-name") == ["project-name"]
+        assert kinds("project-name") == [IDENT]
+
+    def test_line_comment_skipped(self):
+        assert values("a -- comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLLexError):
+            tokenize("/* never closed")
+
+    def test_hyphenated_keyword_is_identifier(self):
+        # "select-list" must not lex as the SELECT keyword
+        tokens = tokenize("select-list")
+        assert tokens[0].kind == IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "<=", ">=", "<>", "!="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].kind == OPERATOR
+        assert tokens[1].value == op
+
+    def test_two_char_operators_not_split(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SQLLexError):
+            tokenize("a @ b")
+
+    def test_punctuation(self):
+        assert kinds("( ) , ; *") == [PUNCT] * 5

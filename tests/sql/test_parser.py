@@ -1,0 +1,227 @@
+"""SQL parser: statements, predicates, subqueries, DDL/DML."""
+
+import pytest
+
+from repro.exceptions import SQLParseError
+from repro.sql import ast
+from repro.sql.parser import parse_sql, parse_statements
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM R")
+        assert isinstance(stmt, ast.Select)
+        assert [str(i) for i in stmt.items] == ["a", "b"]
+        assert stmt.tables[0].name == "R"
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM R")
+        assert isinstance(stmt.items[0], ast.Star)
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT a FROM R").distinct
+        assert not parse_sql("SELECT a FROM R").distinct
+
+    def test_qualified_columns(self):
+        stmt = parse_sql("SELECT r.a FROM R r")
+        col = stmt.items[0]
+        assert col.qualifier == "r"
+        assert col.name == "a"
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_sql("SELECT a FROM R AS x, S y")
+        assert stmt.tables[0].alias == "x"
+        assert stmt.tables[1].alias == "y"
+        assert stmt.tables[1].binding == "y"
+
+    def test_multi_table_from(self):
+        stmt = parse_sql("SELECT a FROM R, S, T")
+        assert len(stmt.tables) == 3
+
+    def test_where_conjunction_flattened(self):
+        stmt = parse_sql("SELECT a FROM R WHERE a = 1 AND b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.And)
+        assert len(stmt.where.operands) == 3
+
+    def test_or_and_precedence(self):
+        stmt = parse_sql("SELECT a FROM R WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.operands[1], ast.And)
+
+    def test_parenthesized_predicate(self):
+        stmt = parse_sql("SELECT a FROM R WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.operands[0], ast.Or)
+
+    def test_not_predicate(self):
+        stmt = parse_sql("SELECT a FROM R WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_is_null(self):
+        stmt = parse_sql("SELECT a FROM R WHERE b IS NULL AND c IS NOT NULL")
+        first, second = stmt.where.operands
+        assert isinstance(first, ast.IsNull) and not first.negated
+        assert isinstance(second, ast.IsNull) and second.negated
+
+    def test_order_by(self):
+        stmt = parse_sql("SELECT a, b FROM R ORDER BY a DESC, b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_join_on(self):
+        stmt = parse_sql("SELECT a FROM R r JOIN S s ON r.x = s.y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+        assert isinstance(stmt.joins[0].condition, ast.Comparison)
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT a FROM R LEFT OUTER JOIN S ON R.x = S.y")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_hyphenated_column(self):
+        stmt = parse_sql("SELECT project-name FROM Assignment")
+        assert stmt.items[0].name == "project-name"
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        stmt = parse_sql("SELECT a FROM R WHERE a IN (SELECT b FROM S)")
+        assert isinstance(stmt.where, ast.InSubquery)
+        assert not stmt.where.negated
+
+    def test_not_in(self):
+        stmt = parse_sql("SELECT a FROM R WHERE a NOT IN (SELECT b FROM S)")
+        assert stmt.where.negated
+
+    def test_scalar_subquery(self):
+        stmt = parse_sql("SELECT a FROM R WHERE a = (SELECT MAX(b) FROM S)")
+        assert isinstance(stmt.where, ast.CompareSubquery)
+        assert stmt.where.op == "="
+
+    def test_exists(self):
+        stmt = parse_sql(
+            "SELECT a FROM R WHERE EXISTS (SELECT * FROM S WHERE S.x = R.a)"
+        )
+        assert isinstance(stmt.where, ast.ExistsSubquery)
+
+    def test_not_exists(self):
+        stmt = parse_sql("SELECT a FROM R WHERE NOT EXISTS (SELECT * FROM S)")
+        assert isinstance(stmt.where, ast.ExistsSubquery)
+        assert stmt.where.negated
+
+    def test_nested_nesting(self):
+        stmt = parse_sql(
+            "SELECT a FROM R WHERE a IN "
+            "(SELECT b FROM S WHERE b IN (SELECT c FROM T))"
+        )
+        inner = stmt.where.query.where
+        assert isinstance(inner, ast.InSubquery)
+
+
+class TestIntersect:
+    def test_two_way(self):
+        stmt = parse_sql("SELECT a FROM R INTERSECT SELECT b FROM S")
+        assert isinstance(stmt, ast.Intersect)
+        assert len(stmt.queries) == 2
+
+    def test_three_way(self):
+        stmt = parse_sql(
+            "SELECT a FROM R INTERSECT SELECT b FROM S INTERSECT SELECT c FROM T"
+        )
+        assert len(stmt.queries) == 3
+
+
+class TestAggregates:
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM R")
+        agg = stmt.items[0]
+        assert agg.function == "COUNT"
+        assert isinstance(agg.argument, ast.Star)
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT a) FROM R")
+        assert stmt.items[0].distinct
+
+    def test_count_distinct_multi(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT a, b) FROM R")
+        assert isinstance(stmt.items[0].argument, tuple)
+
+    @pytest.mark.parametrize("fn", ["MIN", "MAX", "SUM", "AVG"])
+    def test_other_aggregates(self, fn):
+        stmt = parse_sql(f"SELECT {fn}(a) FROM R")
+        assert stmt.items[0].function == fn
+
+
+class TestDDL:
+    def test_create_table_with_column_constraints(self):
+        stmt = parse_sql(
+            "CREATE TABLE Person (id INT PRIMARY KEY, "
+            "name VARCHAR(30) NOT NULL, code CHAR(2) UNIQUE)"
+        )
+        assert stmt.name == "Person"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].unique
+
+    def test_create_table_with_table_constraints(self):
+        stmt = parse_sql(
+            "CREATE TABLE H (no INT, date DATE, UNIQUE (no, date), "
+            "PRIMARY KEY (no))"
+        )
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == ["UNIQUE", "PRIMARY KEY"]
+        assert stmt.constraints[0].columns == ("no", "date")
+
+    def test_type_size_suffix_discarded(self):
+        stmt = parse_sql("CREATE TABLE R (x NUMERIC(10, 2))")
+        assert stmt.columns[0].type_name == "NUMERIC"
+
+    def test_empty_create_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("CREATE TABLE R ()")
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE R")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.name == "R"
+
+
+class TestDML:
+    def test_insert_positional(self):
+        stmt = parse_sql("INSERT INTO R VALUES (1, 'x', NULL)")
+        assert stmt.rows == ((1, "x", None),)
+        assert stmt.columns == ()
+
+    def test_insert_with_columns_multi_row(self):
+        stmt = parse_sql("INSERT INTO R (a, b) VALUES (1, 2), (3, 4)")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_rejects_expressions(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("INSERT INTO R VALUES (a)")  # column ref, not literal
+
+    def test_boolean_literals(self):
+        stmt = parse_sql("INSERT INTO R VALUES (TRUE, FALSE, NULL)")
+        assert stmt.rows == ((True, False, None),)
+
+    def test_boolean_in_where(self):
+        stmt = parse_sql("SELECT a FROM R WHERE flag = TRUE")
+        assert stmt.where.right.value is True
+
+
+class TestScripts:
+    def test_parse_statements_splits_on_semicolons(self):
+        stmts = parse_statements(
+            "SELECT a FROM R; SELECT b FROM S;;\nSELECT c FROM T"
+        )
+        assert len(stmts) == 3
+
+    def test_parse_sql_rejects_scripts(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a FROM R; SELECT b FROM S")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLParseError) as err:
+            parse_sql("SELECT FROM R")
+        assert "line" in str(err.value)

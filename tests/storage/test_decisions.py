@@ -1,0 +1,111 @@
+"""Decision persistence: serialize, reload, replay."""
+
+import pytest
+
+from repro.core.expert import (
+    ConceptualizeIntersection,
+    ForceInclusion,
+    IgnoreIntersection,
+    ScriptedExpert,
+)
+from repro.exceptions import DataError
+from repro.storage.decisions import script_from_dict, script_to_dict
+
+
+class TestRoundTrip:
+    def test_all_answer_kinds(self):
+        script = {
+            "nei:A[x] >< B[y]": ConceptualizeIntersection("AB"),
+            "nei:C[u] >< D[v]": ForceInclusion("left_in_right"),
+            "nei:E[m] >< F[n]": IgnoreIntersection(),
+            "validate:R: a -> b": True,
+            "hidden:R.{a}": False,
+            "name_fd:R: a -> b": "Thing",
+        }
+        restored = script_from_dict(script_to_dict(script))
+        assert restored == script
+
+    def test_unknown_answer_rejected(self):
+        with pytest.raises(DataError):
+            script_to_dict({"q": object()})
+
+    def test_format_tag_checked(self):
+        with pytest.raises(DataError):
+            script_from_dict({"format": "other"})
+        with pytest.raises(DataError):
+            script_from_dict(
+                {"format": "repro/decisions@1",
+                 "answers": [{"question": "q", "answer": {"type": "weird"}}]}
+            )
+
+    def test_paper_session_round_trips_through_json(self, tmp_path):
+        """Record the paper run, persist to JSON, replay from disk."""
+        import json
+
+        from repro.core import DBREPipeline
+        from repro.workloads.paper_example import (
+            build_paper_database,
+            paper_expert_script,
+            paper_program_corpus,
+        )
+
+        pipeline = DBREPipeline(
+            build_paper_database(), ScriptedExpert(paper_expert_script())
+        )
+        first = pipeline.run(corpus=paper_program_corpus())
+
+        path = tmp_path / "decisions.json"
+        path.write_text(
+            json.dumps(script_to_dict(pipeline.expert.to_script()))
+        )
+        reloaded = script_from_dict(json.loads(path.read_text()))
+
+        replayed = DBREPipeline(
+            build_paper_database(), ScriptedExpert(reloaded)
+        ).run(corpus=paper_program_corpus())
+        assert replayed.ric == first.ric
+        assert [r.name for r in replayed.restructured.schema] == [
+            r.name for r in first.restructured.schema
+        ]
+
+
+class TestCLIFlags:
+    def test_save_then_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema = tmp_path / "schema.sql"
+        schema.write_text(
+            """
+            CREATE TABLE city (cid INT PRIMARY KEY, cname VARCHAR(20));
+            CREATE TABLE person (pid INT PRIMARY KEY, home INT,
+                                 home_name VARCHAR(20));
+            INSERT INTO city VALUES (1, 'L'), (2, 'P'), (3, 'N');
+            INSERT INTO person VALUES (10, 1, 'L'), (11, 1, 'L'),
+                                      (12, 2, 'P'), (13, 3, 'N'),
+                                      (14, 2, 'P'), (15, 1, 'L');
+            """
+        )
+        programs = tmp_path / "progs"
+        programs.mkdir()
+        (programs / "r.sql").write_text(
+            "SELECT pid FROM person, city WHERE home = cid;"
+        )
+        decisions = tmp_path / "decisions.json"
+
+        assert main(
+            ["run", str(schema), str(programs),
+             "--save-decisions", str(decisions)]
+        ) == 0
+        first_out = capsys.readouterr().out
+        assert decisions.exists()
+
+        assert main(
+            ["run", str(schema), str(programs),
+             "--replay-decisions", str(decisions)]
+        ) == 0
+        second_out = capsys.readouterr().out
+        # identical pipeline output (modulo the trailing save notice)
+        strip = lambda text: [
+            line for line in text.splitlines() if "written to" not in line
+        ]
+        assert strip(first_out) == strip(second_out)

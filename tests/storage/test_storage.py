@@ -1,0 +1,97 @@
+"""CSV and JSON round-trips."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.eer.compare import schemas_equivalent
+from repro.exceptions import DataError
+from repro.relational.domain import NULL
+from repro.storage.csv_io import (
+    dump_database_csv,
+    dump_table_csv,
+    load_database_csv,
+    load_table_csv,
+)
+from repro.storage.serialize import (
+    database_from_dict,
+    database_to_dict,
+    dependencies_from_dict,
+    dependencies_to_dict,
+    eer_from_dict,
+    eer_to_dict,
+    load_json,
+    save_json,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestCSV:
+    def test_table_round_trip_with_nulls(self, tiny_db, tmp_path):
+        path = str(tmp_path / "person.csv")
+        dump_table_csv(tiny_db.table("person"), path)
+        loaded = load_table_csv(tiny_db.schema.relation("person"), path)
+        assert [r.values for r in loaded] == [
+            r.values for r in tiny_db.table("person")
+        ]
+        assert loaded[3]["person_city_id"] is NULL
+
+    def test_header_mismatch_rejected(self, tiny_db, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        dump_table_csv(tiny_db.table("person"), path)
+        with pytest.raises(DataError):
+            load_table_csv(tiny_db.schema.relation("city"), path)
+
+    def test_database_round_trip(self, tiny_db, tmp_path):
+        directory = str(tmp_path / "dump")
+        paths = dump_database_csv(tiny_db, directory)
+        assert len(paths) == 2
+        clone = tiny_db.copy()
+        for table in clone.tables():
+            table.replace_rows([])
+        load_database_csv(clone, directory)
+        assert len(clone.table("person")) == 4
+        assert len(clone.table("city")) == 3
+
+
+class TestJSONSchema:
+    def test_schema_round_trip(self, paper_db):
+        doc = schema_to_dict(paper_db.schema)
+        restored = schema_from_dict(doc)
+        assert {r.name for r in restored} == {r.name for r in paper_db.schema}
+        dep = restored.relation("Department")
+        assert dep.is_key(["dep"])
+        assert not dep.attribute("location").nullable
+
+    def test_database_round_trip(self, tiny_db):
+        restored = database_from_dict(database_to_dict(tiny_db))
+        assert [r.values for r in restored.table("person")] == [
+            r.values for r in tiny_db.table("person")
+        ]
+
+    def test_format_tag_checked(self):
+        with pytest.raises(DataError):
+            schema_from_dict({"format": "something-else"})
+
+    def test_dependencies_round_trip(self):
+        fds = [FD("R", ("a",), ("b", "c"))]
+        inds = [IND("R", ("a",), "S", ("x",))]
+        restored_fds, restored_inds = dependencies_from_dict(
+            dependencies_to_dict(fds, inds)
+        )
+        assert restored_fds == fds
+        assert restored_inds == inds
+
+    def test_eer_round_trip(self, paper_db, paper_corpus, paper_expert):
+        from repro.core import DBREPipeline
+
+        eer = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus).eer
+        restored = eer_from_dict(eer_to_dict(eer))
+        assert schemas_equivalent(eer, restored)
+
+    def test_save_load_file(self, tiny_db, tmp_path):
+        path = str(tmp_path / "db.json")
+        save_json(database_to_dict(tiny_db), path)
+        restored = database_from_dict(load_json(path))
+        assert len(restored.table("city")) == 3

@@ -1,0 +1,72 @@
+"""Library hygiene: public API exports resolve and are documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.relational",
+    "repro.sql",
+    "repro.programs",
+    "repro.dependencies",
+    "repro.core",
+    "repro.normalization",
+    "repro.eer",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.evaluation",
+    "repro.mining",
+    "repro.storage",
+]
+
+
+def all_modules():
+    out = []
+    for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(modinfo.name)
+    return out
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_unique(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestDocumentation:
+    def test_every_module_has_a_docstring(self):
+        for name in all_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__ and module.__doc__.strip(), name
+
+    def test_public_classes_and_functions_documented(self):
+        missing = []
+        for name in all_modules():
+            module = importlib.import_module(name)
+            for attr_name in getattr(module, "__all__", []):
+                obj = getattr(module, attr_name)
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    if callable(obj) and not (obj.__doc__ or "").strip():
+                        missing.append(f"{name}.{attr_name}")
+        assert not missing, missing
+
+
+class TestImportGraph:
+    def test_every_module_imports_cleanly(self):
+        for name in all_modules():
+            importlib.import_module(name)
+
+    def test_version_exposed(self):
+        assert repro.__version__

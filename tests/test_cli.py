@@ -1,0 +1,134 @@
+"""The command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import load_database, main
+
+SCHEMA_SQL = """
+CREATE TABLE city (cid INT PRIMARY KEY, cname VARCHAR(20));
+CREATE TABLE person (pid INT PRIMARY KEY, pname VARCHAR(20),
+                     home INT, home_name VARCHAR(20));
+INSERT INTO city VALUES (1, 'Lyon'), (2, 'Paris'), (3, 'Nice');
+INSERT INTO person VALUES
+    (10, 'a', 1, 'Lyon'), (11, 'b', 1, 'Lyon'), (12, 'c', 2, 'Paris'),
+    (13, 'd', 3, 'Nice'), (14, 'e', 1, 'Lyon'), (15, 'f', 2, 'Paris');
+"""
+
+PROGRAM_SQL = "SELECT pname FROM person, city WHERE home = cid;\n"
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    schema = tmp_path / "schema.sql"
+    schema.write_text(SCHEMA_SQL)
+    programs = tmp_path / "programs"
+    programs.mkdir()
+    (programs / "report.sql").write_text(PROGRAM_SQL)
+    return tmp_path
+
+
+class TestLoadDatabase:
+    def test_sql_script(self, workspace):
+        db = load_database(str(workspace / "schema.sql"))
+        assert len(db.table("person")) == 6
+
+    def test_json_document(self, workspace, tmp_path):
+        from repro.storage.serialize import database_to_dict, save_json
+
+        db = load_database(str(workspace / "schema.sql"))
+        path = str(tmp_path / "db.json")
+        save_json(database_to_dict(db), path)
+        restored = load_database(path)
+        assert len(restored.table("city")) == 3
+
+
+class TestCommands:
+    def test_inspect(self, workspace, capsys):
+        code = main(["inspect", str(workspace / "schema.sql"), "--statistics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "city.{cid}" in out
+        assert "Statistics" in out
+
+    def test_extract(self, workspace, capsys):
+        code = main(
+            ["extract", str(workspace / "schema.sql"), str(workspace / "programs")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "city[cid] >< person[home]" in out
+        assert "report.sql" in out
+
+    def test_run_with_outputs(self, workspace, capsys):
+        report = workspace / "session.md"
+        dot = workspace / "eer.dot"
+        deps = workspace / "deps.json"
+        code = main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--report", str(report),
+                "--dot", str(dot),
+                "--dependencies", str(deps),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Restructured schema" in out
+        assert "home -> home_name" in report.read_text()
+        assert dot.read_text().startswith("graph")
+        document = json.loads(deps.read_text())
+        assert document["format"] == "repro/dependencies@1"
+        assert document["functional"]
+
+    def test_run_emits_migration_sql(self, workspace, capsys):
+        sql_path = workspace / "migration.sql"
+        code = main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--sql", str(sql_path),
+                "--sql-data",
+            ]
+        )
+        assert code == 0
+        script = sql_path.read_text()
+        assert "CREATE TABLE" in script
+        assert "FOREIGN KEY" in script
+        assert "INSERT INTO" in script
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Ass-Dept" in out
+        assert "Manager" in out
+
+    def test_missing_file_is_an_error_not_a_traceback(self, capsys):
+        code = main(["inspect", "/nonexistent/schema.sql"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_extract_reports_skipped_statements(self, workspace, capsys):
+        (workspace / "programs" / "broken.sql").write_text(
+            "SELECT FROM WHERE;;"
+        )
+        code = main(
+            ["extract", str(workspace / "schema.sql"), str(workspace / "programs")]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped" in captured.err
+        # the good program's join is still reported
+        assert "city[cid] >< person[home]" in captured.out
+
+    def test_bad_sql_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sql"
+        bad.write_text("CREATE GARBAGE;")
+        code = main(["inspect", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

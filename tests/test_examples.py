@@ -1,0 +1,44 @@
+"""Every shipped example runs to completion (smoke + output checks)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)          # examples may write artifacts
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch, capsys):
+        out = run_example("quickstart.py", tmp_path, monkeypatch, capsys)
+        assert "IND-Discovery" in out
+        assert "Ass-Dept[dep] << Department[dep]" in out
+        assert "figure1.dot" in out
+        assert (tmp_path / "figure1.dot").exists()
+
+    def test_legacy_payroll(self, tmp_path, monkeypatch, capsys):
+        out = run_example("legacy_payroll.py", tmp_path, monkeypatch, capsys)
+        assert "grade(*grade_code" in out
+        assert "grade_label='junior'" in out
+
+    def test_synthetic_recovery(self, tmp_path, monkeypatch, capsys):
+        out = run_example("synthetic_recovery.py", tmp_path, monkeypatch, capsys)
+        assert "recovery scores vs ground truth" in out
+        assert "schema recovery" in out
+
+    def test_sql_workbench(self, tmp_path, monkeypatch, capsys):
+        out = run_example("sql_workbench.py", tmp_path, monkeypatch, capsys)
+        assert "round-trips verified" in out
+
+    def test_migration(self, tmp_path, monkeypatch, capsys):
+        out = run_example("migration.py", tmp_path, monkeypatch, capsys)
+        assert "referential constraints violated after replay: 0" in out
+        assert "RIC matches:     True" in out

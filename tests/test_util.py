@@ -1,0 +1,54 @@
+"""Utility helpers: naming, ordering, text."""
+
+import pytest
+
+from repro.util.naming import is_valid_identifier, merge_name, singularize, unique_name
+from repro.util.ordering import stable_sorted
+from repro.util.text import format_table, indent_block, pluralize
+
+
+class TestNaming:
+    def test_identifiers(self):
+        assert is_valid_identifier("Ass-Dept")
+        assert is_valid_identifier("project-name")
+        assert is_valid_identifier("_x1")
+        assert not is_valid_identifier("1x")
+        assert not is_valid_identifier("-lead")
+        assert not is_valid_identifier("")
+
+    def test_unique_name_suffixes(self):
+        assert unique_name("Manager", []) == "Manager"
+        assert unique_name("Manager", ["Manager"]) == "Manager_2"
+        assert unique_name("Manager", ["Manager", "Manager_2"]) == "Manager_3"
+
+    def test_unique_name_case_insensitive(self):
+        assert unique_name("manager", ["MANAGER"]) == "manager_2"
+
+    def test_merge_name_paper_style(self):
+        assert merge_name("Assignment", "Department") == "Assi-Depa"
+
+    def test_singularize(self):
+        assert singularize("employees") == "employee"
+        assert singularize("categories") == "category"
+        assert singularize("boxes") == "box"
+        assert singularize("staff") == "staff"
+
+
+class TestOrderingAndText:
+    def test_stable_sorted(self):
+        assert stable_sorted([3, 1, 2]) == [1, 2, 3]
+
+    def test_indent_block_skips_empty_lines(self):
+        assert indent_block("a\n\nb", "  ") == "  a\n\n  b"
+
+    def test_pluralize(self):
+        assert pluralize(1, "relation") == "1 relation"
+        assert pluralize(3, "relation") == "3 relations"
+        assert pluralize(2, "query", "queries") == "2 queries"
+
+    def test_format_table_aligns(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 20]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}

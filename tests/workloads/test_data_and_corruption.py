@@ -1,0 +1,111 @@
+"""Data generation invariants and corruption injection."""
+
+import pytest
+
+from repro.dependencies.inference import fd_satisfied_in
+from repro.dependencies.ind_inference import ind_satisfied
+from repro.workloads.corruption import CorruptionInjector
+from repro.workloads.data_generator import DataConfig, DataGenerator
+from repro.workloads.denormalizer import DenormalizationPlan, Denormalizer
+from repro.workloads.er_generator import ERGenerator, GeneratorConfig
+from repro.workloads.mapping import map_er_to_relational
+
+
+@pytest.fixture(scope="module")
+def truth():
+    spec = ERGenerator(GeneratorConfig(seed=5, n_entities=6, n_one_to_many=5)).generate()
+    mapping = map_er_to_relational(spec)
+    return Denormalizer(spec, mapping).run(DenormalizationPlan(auto_merges=2))
+
+
+@pytest.fixture
+def clean_db(truth):
+    return DataGenerator(truth, DataConfig(seed=3, parent_rows=15)).generate()
+
+
+class TestDataGeneratorInvariants:
+    def test_declared_constraints_hold(self, clean_db):
+        clean_db.validate()
+
+    def test_ground_truth_fds_hold(self, truth, clean_db):
+        for fd in truth.true_fds:
+            assert fd_satisfied_in(clean_db, fd), f"{fd!r} broken by generator"
+
+    def test_ground_truth_inds_hold(self, truth, clean_db):
+        for ind in truth.true_inds:
+            assert ind_satisfied(clean_db, ind), f"{ind!r} broken by generator"
+
+    def test_children_strictly_bigger_than_parents(self, truth, clean_db):
+        """Depth-based sizing: every child outnumbers each of its parents
+        (otherwise a covering foreign key would be spuriously unique)."""
+        spec = truth.er
+        merged = {m.parent for m in truth.merges}
+        anchor = {m.child: m for m in truth.merges}
+
+        def size_of(name):
+            if name in merged:
+                m = next(m for m in truth.merges if m.parent == name)
+                return clean_db.count_distinct(m.child, (m.fk_attr,))
+            return len(clean_db.table(name))
+
+        for rel in spec.one_to_many:
+            assert size_of(rel.child) > size_of(rel.parent), (
+                rel.child, rel.parent,
+            )
+
+    def test_no_spurious_fk_to_own_attr_fd(self, truth, clean_db):
+        """The anchoring fk must not accidentally determine the child's
+        own attributes (children repeat parents)."""
+        from repro.dependencies.fd import FunctionalDependency
+
+        for merge in truth.merges:
+            child = truth.denormalized_schema.relation(merge.child)
+            own = [
+                a for a in child.attribute_names
+                if a.startswith(merge.child + "_") and not a.endswith("_id")
+            ]
+            if not own:
+                continue
+            fd = FunctionalDependency(merge.child, (merge.fk_attr,), (own[0],))
+            assert not fd_satisfied_in(clean_db, fd)
+
+    def test_deterministic(self, truth):
+        a = DataGenerator(truth, DataConfig(seed=3)).generate()
+        b = DataGenerator(truth, DataConfig(seed=3)).generate()
+        for table_a, table_b in zip(a.tables(), b.tables()):
+            assert [r.values for r in table_a] == [r.values for r in table_b]
+
+
+class TestCorruption:
+    def test_breaks_chosen_inds(self, truth, clean_db):
+        injector = CorruptionInjector(seed=1, ind_rate=1.0, row_rate=0.2)
+        report = injector.corrupt(clean_db, truth.true_inds)
+        assert report.corrupted_inds
+        assert report.rows_touched > 0
+        for ind in report.corrupted_inds:
+            assert not ind_satisfied(clean_db, ind)
+
+    def test_intersection_stays_nonempty(self, truth, clean_db):
+        # corruption creates NEIs, not empty intersections
+        injector = CorruptionInjector(seed=1, ind_rate=1.0, row_rate=0.2)
+        report = injector.corrupt(clean_db, truth.true_inds)
+        for ind in report.corrupted_inds:
+            common = clean_db.join_count(
+                ind.lhs_relation, ind.lhs_attrs, ind.rhs_relation, ind.rhs_attrs
+            )
+            assert common > 0
+
+    def test_zero_rate_touches_nothing(self, truth, clean_db):
+        injector = CorruptionInjector(seed=1, ind_rate=0.0)
+        report = injector.corrupt(clean_db, truth.true_inds)
+        assert report.rows_touched == 0
+        for ind in truth.true_inds:
+            assert ind_satisfied(clean_db, ind)
+
+    def test_deterministic_per_seed(self, truth):
+        a = DataGenerator(truth, DataConfig(seed=3)).generate()
+        b = DataGenerator(truth, DataConfig(seed=3)).generate()
+        CorruptionInjector(seed=7, ind_rate=1.0).corrupt(a, truth.true_inds)
+        CorruptionInjector(seed=7, ind_rate=1.0).corrupt(b, truth.true_inds)
+        for table_a, table_b in zip(a.tables(), b.tables()):
+            assert [r.values for r in table_a] == [r.values for r in table_b]

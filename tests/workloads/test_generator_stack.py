@@ -1,0 +1,119 @@
+"""ER generation, mapping, denormalization: structure and ground truth."""
+
+import pytest
+
+from repro.dependencies.ind import InclusionDependency as IND
+from repro.workloads.denormalizer import DenormalizationPlan, Denormalizer
+from repro.workloads.er_generator import ERGenerator, GeneratorConfig
+from repro.workloads.mapping import map_er_to_relational
+
+
+@pytest.fixture
+def spec():
+    return ERGenerator(GeneratorConfig(seed=5, n_entities=6, n_one_to_many=5)).generate()
+
+
+class TestERGenerator:
+    def test_deterministic_per_seed(self):
+        a = ERGenerator(GeneratorConfig(seed=9)).generate()
+        b = ERGenerator(GeneratorConfig(seed=9)).generate()
+        assert [e.name for e in a.entities] == [e.name for e in b.entities]
+        assert a.one_to_many == b.one_to_many
+
+    def test_different_seeds_differ(self):
+        a = ERGenerator(GeneratorConfig(seed=1)).generate()
+        b = ERGenerator(GeneratorConfig(seed=2)).generate()
+        assert [e.name for e in a.entities] != [e.name for e in b.entities]
+
+    def test_attribute_names_globally_prefixed(self, spec):
+        for entity in spec.entities:
+            for attr in entity.all_attrs:
+                assert attr.startswith(entity.name)
+
+    def test_reference_graph_acyclic(self, spec):
+        order = {e.name: i for i, e in enumerate(spec.entities)}
+        for rel in spec.one_to_many:
+            assert order[rel.parent] < order[rel.child]
+
+    def test_requested_counts(self, spec):
+        assert len(spec.entities) == 6
+        assert len(spec.one_to_many) == 5
+
+    def test_to_eer_is_valid(self, spec):
+        eer = spec.to_eer()
+        eer.validate()
+        assert len(eer.entities) == 6
+
+
+class TestMapping:
+    def test_one_relation_per_entity_plus_links(self, spec):
+        mapping = map_er_to_relational(spec)
+        expected = len(spec.entities) + len(spec.many_to_many)
+        assert len(mapping.schema) == expected
+
+    def test_fk_attributes_and_ric(self, spec):
+        mapping = map_er_to_relational(spec)
+        for rel in spec.one_to_many:
+            parent_key = spec.entity(rel.parent).key_attr
+            assert (
+                IND(rel.child, (rel.fk_attr,), rel.parent, (parent_key,))
+                in mapping.ric
+            )
+            assert mapping.fk_edges[rel.fk_attr] == (rel.child, rel.parent)
+
+    def test_keys_declared(self, spec):
+        mapping = map_er_to_relational(spec)
+        for entity in spec.entities:
+            assert mapping.schema.relation(entity.name).is_key([entity.key_attr])
+
+    def test_link_relations_have_composite_keys(self, spec):
+        mapping = map_er_to_relational(spec)
+        for link in spec.many_to_many:
+            rel = mapping.schema.relation(link.name)
+            assert len(tuple(rel.primary_key().names)) == 2
+
+
+class TestDenormalizer:
+    def test_merge_embeds_payload_and_drops_parent(self, spec):
+        mapping = map_er_to_relational(spec)
+        truth = Denormalizer(spec, mapping).run(DenormalizationPlan(auto_merges=2))
+        assert len(truth.merges) == 2
+        for merge in truth.merges:
+            assert merge.parent not in truth.denormalized_schema
+            child = truth.denormalized_schema.relation(merge.child)
+            for attr in merge.payload:
+                assert child.has_attribute(attr)
+                assert child.attribute(attr).nullable
+
+    def test_ground_truth_fd_or_hidden_per_merge(self, spec):
+        mapping = map_er_to_relational(spec)
+        truth = Denormalizer(spec, mapping).run(DenormalizationPlan(auto_merges=2))
+        assert len(truth.true_fds) + len(truth.true_hidden) == len(truth.merges)
+        for fd in truth.true_fds:
+            merge = next(m for m in truth.merges if m.child == fd.relation)
+            assert tuple(fd.lhs) == (merge.fk_attr,)
+            assert set(fd.rhs) == set(merge.payload)
+
+    def test_explicit_merge_plan(self, spec):
+        mapping = map_er_to_relational(spec)
+        edge = spec.one_to_many[0]
+        truth = Denormalizer(spec, mapping).run(
+            DenormalizationPlan(explicit=((edge.parent, edge.child),))
+        )
+        assert truth.merges[0].parent == edge.parent
+
+    def test_join_edges_avoid_dropped_relations(self, spec):
+        mapping = map_er_to_relational(spec)
+        truth = Denormalizer(spec, mapping).run(DenormalizationPlan(auto_merges=2))
+        live = set(truth.denormalized_schema.relation_names)
+        for edge in truth.join_edges:
+            assert edge.left_relation in live
+            assert edge.right_relation in live
+        for ind in truth.true_inds:
+            assert ind.lhs_relation in live and ind.rhs_relation in live
+
+    def test_object_names_recorded(self, spec):
+        mapping = map_er_to_relational(spec)
+        truth = Denormalizer(spec, mapping).run(DenormalizationPlan(auto_merges=1))
+        merge = truth.merges[0]
+        assert truth.object_names[(merge.child, merge.fk_attr)] == merge.parent

@@ -1,0 +1,108 @@
+"""Synthetic scenarios with genuine hidden objects (empty-RHS case).
+
+A merged parent that carried *no* payload (only its key) leaves nothing
+for RHS-Discovery to find: the identifier has an empty right-hand side
+and only the expert's conceptualization (step iv) recovers the object —
+the paper's HEmployee/Employee situation, generated synthetically.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline
+from repro.evaluation.metrics import score_refs
+from repro.evaluation.schema_match import score_schema_recovery
+from repro.relational.attribute import AttributeRef
+from repro.workloads.corruption import CorruptionReport
+from repro.workloads.data_generator import DataConfig, DataGenerator
+from repro.workloads.denormalizer import DenormalizationPlan, Denormalizer
+from repro.workloads.er_generator import (
+    EntitySpec,
+    ERSpec,
+    GeneratorConfig,
+    ManyToManySpec,
+    OneToManySpec,
+)
+from repro.workloads.mapping import map_er_to_relational
+from repro.workloads.oracle import OracleExpert
+from repro.workloads.query_generator import QueryWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def hidden_object_scenario():
+    """Hand-built spec: `badge` is a bare identifier (no attributes),
+    referenced by two children; merging it into `guard` leaves a hidden
+    object behind."""
+    spec = ERSpec(
+        entities=[
+            EntitySpec("badge", "badge_id", ()),              # no payload!
+            EntitySpec("guard", "guard_id", ("guard_name",)),
+            EntitySpec("visit", "visit_id", ("visit_note",)),
+        ],
+        one_to_many=[
+            OneToManySpec("guard", "badge", "guard_badge_id"),
+            OneToManySpec("visit", "badge", "visit_badge_id"),
+        ],
+    )
+    mapping = map_er_to_relational(spec)
+    truth = Denormalizer(spec, mapping).run(
+        DenormalizationPlan(explicit=(("badge", "guard"),))
+    )
+    database = DataGenerator(truth, DataConfig(seed=5, parent_rows=12)).generate()
+    corpus = QueryWorkloadGenerator(WorkloadConfig(seed=6)).generate(
+        truth.join_edges
+    )
+    return truth, database, corpus
+
+
+class TestGroundTruth:
+    def test_merge_left_a_hidden_object(self, hidden_object_scenario):
+        truth, _db, _corpus = hidden_object_scenario
+        assert truth.true_fds == []
+        assert truth.true_hidden == [AttributeRef("guard", "guard_badge_id")]
+
+    def test_sibling_edge_points_at_anchor(self, hidden_object_scenario):
+        truth, _db, _corpus = hidden_object_scenario
+        assert any(
+            edge.involves("visit") and edge.involves("guard")
+            for edge in truth.join_edges
+        )
+
+
+class TestRecovery:
+    @pytest.fixture(scope="class")
+    def result(self, hidden_object_scenario):
+        truth, database, corpus = hidden_object_scenario
+        return DBREPipeline(database, OracleExpert(truth)).run(corpus=corpus)
+
+    def test_hidden_object_conceptualized(self, hidden_object_scenario, result):
+        truth, _db, _corpus = hidden_object_scenario
+        pr = score_refs(result.hidden, truth.true_hidden)
+        assert pr.recall == 1.0 and pr.precision == 1.0
+
+    def test_badge_relation_materialized(self, hidden_object_scenario, result):
+        # the oracle names the recovered object after the original entity
+        assert "Badge" in result.restructured.schema
+        badge = result.restructured.schema.relation("Badge")
+        assert badge.is_key(["guard_badge_id"])
+
+    def test_schema_recovery_full(self, hidden_object_scenario, result):
+        truth, _db, _corpus = hidden_object_scenario
+        recovery = score_schema_recovery(truth, result.restructured)
+        assert recovery.recovery_rate == 1.0
+
+    def test_rics_anchor_on_the_new_object(self, hidden_object_scenario, result):
+        lhs_relations = {
+            (ind.lhs_relation, ind.rhs_relation) for ind in result.ric
+        }
+        assert ("guard", "Badge") in lhs_relations
+        assert ("visit", "Badge") in lhs_relations
+
+
+class TestGeneratorSupportsBareEntities:
+    def test_min_attrs_zero(self):
+        from repro.workloads.er_generator import ERGenerator
+
+        spec = ERGenerator(
+            GeneratorConfig(seed=3, n_entities=6, min_attrs=0, max_attrs=1)
+        ).generate()
+        assert any(not e.attrs for e in spec.entities)

@@ -1,0 +1,131 @@
+"""Link merges: the 1NF-producing denormalization operator.
+
+Folding a parent into an M:N link relation puts the payload behind a
+*proper subset of the composite key* — a partial dependency, so the link
+drops to 1NF exactly like the paper's Assignment relation.
+"""
+
+import pytest
+
+from repro.core import DBREPipeline
+from repro.dependencies.inference import fd_satisfied_in
+from repro.evaluation.metrics import score_fds
+from repro.evaluation.schema_match import score_schema_recovery
+from repro.normalization import NormalForm, schema_normal_forms
+from repro.workloads.denormalizer import DenormalizationPlan, Denormalizer
+from repro.workloads.er_generator import ERGenerator, GeneratorConfig
+from repro.workloads.mapping import map_er_to_relational
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # seed chosen so a link merge is actually available (asserted below)
+    return build_scenario(
+        ScenarioConfig(
+            seed=4, n_entities=7, n_one_to_many=6, n_many_to_many=2,
+            merges=1, link_merges=1,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def link_merge(scenario):
+    merges = [m for m in scenario.truth.merges if m.kind == "link"]
+    assert merges, "fixture seed must yield a link merge"
+    return merges[0]
+
+
+class TestLinkMergeStructure:
+    def test_link_relation_drops_to_1nf(self, scenario, link_merge):
+        forms = schema_normal_forms(
+            scenario.truth.denormalized_schema, scenario.truth.true_fds
+        )
+        assert forms[link_merge.child] == NormalForm.FIRST
+
+    def test_anchor_fk_is_part_of_composite_key(self, scenario, link_merge):
+        relation = scenario.truth.denormalized_schema.relation(link_merge.child)
+        key = set(relation.primary_key().names)
+        assert link_merge.fk_attr in key
+        assert not relation.is_key([link_merge.fk_attr])
+
+    def test_parent_dropped_and_payload_embedded(self, scenario, link_merge):
+        assert link_merge.parent not in scenario.truth.denormalized_schema
+        relation = scenario.truth.denormalized_schema.relation(link_merge.child)
+        for attr in link_merge.payload:
+            assert relation.has_attribute(attr)
+
+    def test_ground_truth_fd_is_partial_dependency(self, scenario, link_merge):
+        fd = next(
+            f for f in scenario.truth.true_fds
+            if f.relation == link_merge.child
+        )
+        assert tuple(fd.lhs) == (link_merge.fk_attr,)
+        assert fd_satisfied_in(scenario.database, fd)
+
+    def test_anchor_fk_not_accidentally_unique(self, scenario, link_merge):
+        table = scenario.database.table(link_merge.child)
+        distinct = scenario.database.count_distinct(
+            link_merge.child, (link_merge.fk_attr,)
+        )
+        assert distinct < len(table)
+
+
+class TestLinkMergeRecovery:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return DBREPipeline(scenario.database, scenario.expert).run(
+            corpus=scenario.corpus
+        )
+
+    def test_partial_dependency_recovered(self, scenario, result, link_merge):
+        pr = score_fds(result.fds, scenario.truth.true_fds)
+        assert pr.recall == 1.0 and pr.precision == 1.0
+
+    def test_parent_relation_recovered(self, scenario, result, link_merge):
+        recovery = score_schema_recovery(scenario.truth, result.restructured)
+        assert link_merge.parent in recovery.recovered
+
+    def test_output_is_3nf(self, scenario, result):
+        forms = schema_normal_forms(result.restructured.schema, [])
+        assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+    def test_link_keeps_its_composite_key(self, scenario, result, link_merge):
+        relation = result.restructured.schema.relation(link_merge.child)
+        original = scenario.truth.normalized.schema.relation(link_merge.child)
+        assert set(relation.primary_key().names) == set(
+            original.primary_key().names
+        )
+
+
+class TestPlanValidation:
+    def test_explicit_link_merge(self):
+        spec = ERGenerator(
+            GeneratorConfig(seed=4, n_entities=7, n_one_to_many=6,
+                            n_many_to_many=2)
+        ).generate()
+        mapping = map_er_to_relational(spec)
+        link = spec.many_to_many[0]
+        truth = Denormalizer(spec, mapping).run(
+            DenormalizationPlan(explicit=((link.left, link.name),))
+        )
+        assert truth.merges[0].kind == "link"
+        assert truth.merges[0].parent == link.left
+
+    def test_link_must_reference_parent(self):
+        spec = ERGenerator(
+            GeneratorConfig(seed=4, n_entities=7, n_one_to_many=6,
+                            n_many_to_many=2)
+        ).generate()
+        mapping = map_er_to_relational(spec)
+        link = spec.many_to_many[0]
+        outsider = next(
+            e.name for e in spec.entities
+            if e.name not in (link.left, link.right)
+        )
+        from repro.exceptions import ProcessError
+
+        with pytest.raises(ProcessError):
+            Denormalizer(spec, mapping).run(
+                DenormalizationPlan(explicit=((outsider, link.name),))
+            )

@@ -1,0 +1,98 @@
+"""The §5 fixture itself: the data must realize the paper's narration."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.inference import fd_satisfied_in
+from repro.programs.embedded import extract_sql_units
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED,
+    build_paper_database,
+    paper_equijoins,
+    paper_program_corpus,
+)
+
+
+class TestSchema:
+    def test_k_and_n_match_paper(self, paper_db):
+        assert tuple(paper_db.schema.key_set()) == PAPER_EXPECTED.key_set
+        assert tuple(paper_db.schema.not_null_set()) == PAPER_EXPECTED.not_null_set
+
+    def test_declared_constraints_hold(self, paper_db):
+        paper_db.validate()
+
+
+class TestCountShapes:
+    def test_hemployee_person_inclusion_shape(self, paper_db):
+        # the paper's 2200 / 1550 / 1550, scaled to 22 / 15 / 15
+        assert paper_db.count_distinct("Person", ("id",)) == 22
+        assert paper_db.count_distinct("HEmployee", ("no",)) == 15
+        assert paper_db.join_count("HEmployee", ("no",), "Person", ("id",)) == 15
+
+    def test_assignment_department_nei_shape(self, paper_db):
+        # the paper's 45 / 40 / 30 NEI, scaled to 9 / 8 / 6
+        assert paper_db.count_distinct("Assignment", ("dep",)) == 9
+        assert paper_db.count_distinct("Department", ("dep",)) == 8
+        assert paper_db.join_count("Assignment", ("dep",), "Department", ("dep",)) == 6
+
+    def test_remaining_joins_are_inclusions(self, paper_db):
+        assert paper_db.inclusion_holds("Department", ("emp",), "HEmployee", ("no",))
+        assert paper_db.inclusion_holds("Assignment", ("emp",), "HEmployee", ("no",))
+        assert paper_db.inclusion_holds("Department", ("proj",), "Assignment", ("proj",))
+
+
+class TestFDLandscape:
+    @pytest.mark.parametrize(
+        "fd_text",
+        [
+            "Department: emp -> skill",
+            "Department: emp -> proj",
+            "Assignment: proj -> project-name",
+            "Person: zip-code -> state",        # holds but must not be elicited
+        ],
+    )
+    def test_holding_fds(self, paper_db, fd_text):
+        assert fd_satisfied_in(paper_db, FD.parse(fd_text))
+
+    @pytest.mark.parametrize(
+        "fd_text",
+        [
+            "HEmployee: no -> salary",
+            "Assignment: emp -> date",
+            "Assignment: emp -> project-name",
+            "Assignment: proj -> date",
+            "Assignment: dep -> date",
+            "Assignment: dep -> project-name",
+            "Department: proj -> emp",
+            "Department: proj -> skill",
+        ],
+    )
+    def test_failing_fds(self, paper_db, fd_text):
+        assert not fd_satisfied_in(paper_db, FD.parse(fd_text))
+
+    def test_department_emp_has_nulls(self, paper_db):
+        # §6.2.2's narration depends on emp being nullable *and* null
+        rows = [r for r in paper_db.table("Department") if r.has_null(("emp",))]
+        assert len(rows) == 2
+
+
+class TestCorpus:
+    def test_five_programs_three_languages(self):
+        corpus = paper_program_corpus()
+        assert len(corpus) == 5
+        languages = {p.language for p in corpus}
+        assert languages == {"sql", "cobol", "c"}
+
+    def test_each_program_contains_sql(self):
+        corpus = paper_program_corpus()
+        for program in corpus:
+            assert extract_sql_units(program), program.name
+
+    def test_declared_q_matches_expected(self):
+        assert tuple(paper_equijoins()) == PAPER_EXPECTED.equijoins
+
+    def test_database_is_fresh_per_call(self):
+        a = build_paper_database()
+        b = build_paper_database()
+        a.insert("Person", [99, "x", "y", 1, "69100", "Rhone"])
+        assert len(b.table("Person")) == 22

@@ -1,0 +1,141 @@
+"""Query workload rendering, the oracle expert, and full scenarios."""
+
+import pytest
+
+from repro.core.expert import FDContext, ForceInclusion, IgnoreIntersection, NEIContext
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.programs.equijoin import EquiJoin
+from repro.programs.extractor import extract_equijoins
+from repro.relational.attribute import AttributeRef
+from repro.workloads.oracle import OracleExpert
+from repro.workloads.query_generator import QueryWorkloadGenerator, WorkloadConfig
+from repro.workloads.scenario import ScenarioConfig, SyntheticScenario, build_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig(seed=7))
+
+
+class TestQueryWorkload:
+    def test_every_edge_recoverable_from_programs(self, scenario):
+        report = extract_equijoins(
+            scenario.corpus, scenario.truth.denormalized_schema
+        )
+        assert set(report.joins) == set(scenario.truth.join_edges)
+        assert not report.skipped
+
+    def test_coverage_reduces_edges(self, scenario):
+        generator = QueryWorkloadGenerator(WorkloadConfig(seed=1, coverage=0.5))
+        corpus = generator.generate(scenario.truth.join_edges)
+        report = extract_equijoins(corpus, scenario.truth.denormalized_schema)
+        full = len(scenario.truth.join_edges)
+        assert 0 < len(report.joins) <= max(1, full // 2) + 1
+
+    def test_all_five_forms_rendered(self):
+        generator = QueryWorkloadGenerator()
+        edge = EquiJoin("A", ("x",), "B", ("y",))
+        forms = {generator.render_query(edge, i) for i in range(5)}
+        assert len(forms) == 5
+        joined = " ".join(forms).upper()
+        assert "IN (" in joined and "EXISTS" in joined and "INTERSECT" in joined
+        assert "JOIN" in joined
+
+    def test_multi_attribute_edge_falls_back_to_intersect(self):
+        generator = QueryWorkloadGenerator()
+        edge = EquiJoin("A", ("x", "y"), "B", ("u", "v"))
+        sql = generator.render_query(edge, form=2)   # IN needs one column
+        assert "INTERSECT" in sql.upper()
+        # and the fallback still extracts to the same edge
+        from repro.programs.extractor import EquiJoinExtractor
+        from repro.relational import DatabaseSchema, RelationSchema
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema.build("A", ["x", "y"], key=["x", "y"]),
+                RelationSchema.build("B", ["u", "v"], key=["u", "v"]),
+            ]
+        )
+        joins = EquiJoinExtractor(schema).extract_from_sql(sql)
+        assert joins == [edge]
+
+    def test_mixed_languages_emitted(self):
+        generator = QueryWorkloadGenerator(WorkloadConfig(queries_per_program=1))
+        edges = [EquiJoin("A", (f"x{i}",), "B", (f"y{i}",)) for i in range(10)]
+        corpus = generator.generate(edges)
+        extensions = {name.rsplit(".", 1)[1] for name in corpus.names}
+        assert {"sql", "cob", "pc"} <= extensions
+
+
+class TestOracleExpert:
+    def test_nei_forced_in_true_direction(self, scenario):
+        oracle = scenario.expert
+        ind = scenario.truth.true_inds[0]
+        join = EquiJoin(
+            ind.lhs_relation, ind.lhs_attrs, ind.rhs_relation, ind.rhs_attrs
+        )
+        decision = oracle.decide_nei(NEIContext(join, 10, 10, 5))
+        assert isinstance(decision, ForceInclusion)
+        (left_rel, left_attrs), _ = join.sides()
+        expected = (
+            "left_in_right"
+            if (ind.lhs_relation, tuple(ind.lhs_attrs)) == (left_rel, tuple(left_attrs))
+            else "right_in_left"
+        )
+        assert decision.direction == expected
+
+    def test_unknown_join_ignored(self, scenario):
+        decision = scenario.expert.decide_nei(
+            NEIContext(EquiJoin("X", ("a",), "Y", ("b",)), 5, 5, 2)
+        )
+        assert isinstance(decision, IgnoreIntersection)
+
+    def test_validates_only_true_payload(self, scenario):
+        oracle = scenario.expert
+        true_fd = scenario.truth.true_fds[0]
+        assert oracle.validate_fd(true_fd)
+        single = FD(true_fd.relation, tuple(true_fd.lhs), (tuple(true_fd.rhs)[0],))
+        assert oracle.validate_fd(single)
+        assert not oracle.validate_fd(FD("ghost", ("a",), ("b",)))
+
+    def test_enforces_only_true_payload(self, scenario):
+        oracle = scenario.expert
+        true_fd = scenario.truth.true_fds[0]
+        ctx = FDContext(true_fd, 0.8)
+        assert oracle.enforce_fd(ctx)
+        assert not oracle.enforce_fd(FDContext(FD("ghost", ("a",), ("b",)), 0.8))
+
+    def test_hidden_objects_from_truth(self, scenario):
+        oracle = scenario.expert
+        for ref in scenario.truth.true_hidden:
+            assert oracle.conceptualize_hidden_object(ref)
+        assert not oracle.conceptualize_hidden_object(AttributeRef("nope", "x"))
+
+    def test_names_restored_from_entities(self, scenario):
+        oracle = scenario.expert
+        merge = scenario.truth.merges[0]
+        fd = next(
+            (f for f in scenario.truth.true_fds if f.relation == merge.child),
+            None,
+        )
+        if fd is not None:
+            name = oracle.name_fd_relation(fd, ())
+            assert name.lower() == merge.parent.lower()
+
+
+class TestScenario:
+    def test_summary_mentions_sizes(self, scenario):
+        text = scenario.summary()
+        assert "relations" in text and "merges" in text
+
+    def test_deterministic(self):
+        a = build_scenario(ScenarioConfig(seed=7))
+        b = build_scenario(ScenarioConfig(seed=7))
+        assert a.truth.join_edges == b.truth.join_edges
+        assert a.corpus.names == b.corpus.names
+
+    def test_corruption_option(self):
+        dirty = build_scenario(
+            ScenarioConfig(seed=7, corruption_ind_rate=1.0, corruption_row_rate=0.2)
+        )
+        assert dirty.corruption.corrupted_inds
