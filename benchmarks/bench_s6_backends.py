@@ -1,0 +1,162 @@
+"""S6 — extension backends: in-memory engine vs SQLite pushdown.
+
+The paper assumes a live DBMS answers the counting queries; the seed
+engine answers them from Python lists.  This bench runs the same
+primitive workload — the counting queries S1's IND discovery would
+issue, derived from the scenario's true join edges — on both backends
+and reports per-primitive timings, then compares a full pipeline run on
+the S5 scenario.  Both backends must return identical answers and issue
+the same number of logical extension queries; only the wall time may
+differ.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.core import DBREPipeline
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+SIZES = [4, 8, 12]
+
+
+def _scenario(n_entities, parent_rows=15):
+    return build_scenario(
+        ScenarioConfig(
+            seed=300 + n_entities,
+            n_entities=n_entities,
+            n_one_to_many=n_entities - 1,
+            n_many_to_many=1,
+            merges=2,
+            parent_rows=parent_rows,
+        )
+    )
+
+
+def _primitive_workload(db, edges):
+    """The S1 counting queries, grouped by primitive: (label, calls)."""
+    count_distinct = []
+    join_count = []
+    inclusion = []
+    for edge in edges:
+        left = (edge.left_relation, edge.left_attrs)
+        right = (edge.right_relation, edge.right_attrs)
+        count_distinct.append(left)
+        count_distinct.append(right)
+        join_count.append((*left, *right))
+        inclusion.append((*left, *right))
+        inclusion.append((*right, *left))
+    fds = [
+        (relation.name, (relation.attribute_names[0],),
+         tuple(relation.attribute_names[1:]))
+        for relation in db.schema
+        if len(relation.attribute_names) > 1
+    ]
+    return [
+        ("count_distinct", db.count_distinct, count_distinct),
+        ("join_count", db.join_count, join_count),
+        ("fd_holds", db.fd_holds, fds),
+        ("inclusion_holds", db.inclusion_holds, inclusion),
+    ]
+
+
+def _run_workload(db, edges):
+    """One cold pass; returns {primitive: (seconds, calls, answers)}."""
+    out = {}
+    for label, method, calls in _primitive_workload(db, edges):
+        start = time.perf_counter()
+        answers = [method(*args) for args in calls]
+        out[label] = (time.perf_counter() - start, len(calls), answers)
+    return out
+
+
+def test_s6_primitive_timings(benchmark):
+    rows = []
+    for n in SIZES:
+        scenario = _scenario(n)
+        edges = scenario.truth.join_edges
+        memory_db = scenario.database.copy(backend=MemoryBackend())
+        sqlite_db = scenario.database.copy(backend=SQLiteBackend())
+
+        memory = _run_workload(memory_db, edges)
+        pushdown = _run_workload(sqlite_db, edges)
+        for label in memory:
+            mem_s, calls, mem_answers = memory[label]
+            sql_s, _, sql_answers = pushdown[label]
+            assert mem_answers == sql_answers, label  # same primitive results
+            rows.append(
+                [
+                    n,
+                    label,
+                    calls,
+                    f"{mem_s * 1000:.1f} ms",
+                    f"{sql_s * 1000:.1f} ms",
+                    f"{sql_s / max(mem_s, 1e-9):.1f}x",
+                ]
+            )
+        sqlite_db.close()
+    report(
+        "S6: primitive timings, one pass, each backend's own caching in effect",
+        ["entities", "primitive", "queries", "memory", "sqlite", "sqlite/memory"],
+        rows,
+    )
+
+    # time one cold pushdown pass on the largest scenario; the setup
+    # clears the result/statement memos so every round hits the engine
+    scenario = _scenario(SIZES[-1])
+    db = scenario.database.copy(backend=SQLiteBackend())
+
+    def cold():
+        db.backend._results.clear()
+        db.backend._statements.clear()
+        _run_workload(db, scenario.truth.join_edges)
+
+    benchmark(cold)
+    db.close()
+
+
+def test_s6_pipeline_on_both_backends(benchmark):
+    """The S5 scenario end to end: identical artifacts, same query count."""
+    rows = []
+    results = {}
+    for label, factory in (("memory", MemoryBackend), ("sqlite", SQLiteBackend)):
+        scenario = _scenario(7, parent_rows=40)
+        db = scenario.database.copy(backend=factory())
+        start = time.perf_counter()
+        result = DBREPipeline(db, scenario.expert).run(corpus=scenario.corpus)
+        elapsed = time.perf_counter() - start
+        results[label] = result
+        rows.append(
+            [
+                label,
+                result.extension_queries,
+                result.expert_decisions,
+                len(result.ric),
+                f"{elapsed * 1000:.0f} ms",
+            ]
+        )
+    report(
+        "S6: full pipeline, S5 scenario, by backend",
+        ["backend", "extension queries", "expert decisions", "|RIC|", "wall time"],
+        rows,
+    )
+
+    memory, sqlite = results["memory"], results["sqlite"]
+    # where the queries run never changes what the method produces
+    assert sqlite.extension_queries == memory.extension_queries
+    assert set(sqlite.ric) == set(memory.ric)
+    assert {
+        r.name: tuple(r.attribute_names) for r in sqlite.restructured.schema
+    } == {
+        r.name: tuple(r.attribute_names) for r in memory.restructured.schema
+    }
+
+    scenario = _scenario(7, parent_rows=40)
+    db = scenario.database.copy(backend=SQLiteBackend())
+    benchmark(
+        lambda: DBREPipeline(db.copy(), scenario.expert).run(
+            corpus=scenario.corpus
+        )
+    )

@@ -31,6 +31,12 @@ paper-versus-measured record.
 """
 
 from repro.exceptions import ReproError
+from repro.backends import (
+    ExtensionBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    open_sqlite,
+)
 from repro.relational import (
     Attribute,
     AttributeRef,
@@ -65,11 +71,16 @@ from repro.core import (
 )
 from repro.eer import EERSchema, render_text, to_dot
 from repro.sql import Executor, execute_sql, parse_sql
+from repro.storage import save_sqlite
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "ExtensionBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "open_sqlite",
     "Attribute",
     "AttributeRef",
     "AttributeSet",
@@ -103,5 +114,6 @@ __all__ = [
     "Executor",
     "execute_sql",
     "parse_sql",
+    "save_sqlite",
     "__version__",
 ]

@@ -1,0 +1,39 @@
+"""Pluggable extension backends: where the database extension ``E`` lives.
+
+The reverse-engineering method only ever talks to the extension through
+four counting/checking primitives plus row scans and inserts
+(:class:`~repro.backends.base.ExtensionBackend`).  Two implementations
+ship with the reproduction:
+
+- :class:`~repro.backends.memory.MemoryBackend` — the original
+  in-process engine (typed :class:`Table` rows, algebra-module
+  primitives, distinct-value caching);
+- :class:`~repro.backends.sqlite.SQLiteBackend` — pushes every
+  primitive down to SQLite as SQL, with per-relation statement caching
+  and version-guarded result invalidation.
+
+:func:`~repro.backends.introspect.open_sqlite` opens an existing ``.db``
+file, reading the paper's ``K``/``N`` input sets straight from SQLite's
+data dictionary (``PRAGMA table_info`` / ``index_list``).
+
+See ``docs/BACKENDS.md`` for the protocol, the pushdown SQL and the
+dictionary mapping.
+"""
+
+from repro.backends.base import ExtensionBackend
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SQLiteBackend
+from repro.backends.introspect import (
+    dtype_from_declared,
+    introspect_schema,
+    open_sqlite,
+)
+
+__all__ = [
+    "ExtensionBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "dtype_from_declared",
+    "introspect_schema",
+    "open_sqlite",
+]

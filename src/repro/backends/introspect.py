@@ -1,0 +1,140 @@
+"""Data-dictionary introspection for SQLite databases.
+
+§4 of the paper stresses that the input sets ``K`` (keys) and ``N``
+(not-null attributes) "can be extracted from the data dictionary" of the
+legacy DBMS without asking anyone.  For SQLite, that dictionary is the
+``sqlite_master`` table and the ``PRAGMA table_info`` / ``index_list`` /
+``index_info`` statements; this module reads them and rebuilds the
+:class:`~repro.relational.schema.DatabaseSchema` — declared uniques,
+not-null markers and column domains included — so an existing ``.db``
+file can be reverse-engineered directly:
+
+    >>> db = open_sqlite("legacy.db")
+    >>> db.schema.key_set()       # K, straight from the dictionary
+    >>> db.schema.not_null_set()  # N
+
+Declared SQLite column types are mapped onto the engine's five domains
+through SQLite's own affinity rules (``INT*`` → INTEGER, ``CHAR/CLOB/
+TEXT`` → TEXT, ``REAL/FLOA/DOUB/NUM/DEC`` → REAL) with ``BOOL`` and
+``DATE`` recognized before the numeric fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import DataError
+from repro.relational.attribute import Attribute
+from repro.relational.database import Database
+from repro.relational.domain import BOOLEAN, DATE, DataType, INTEGER, REAL, TEXT
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.backends.sqlite import SQLiteBackend, quote_identifier
+
+
+def dtype_from_declared(declared: Optional[str]) -> DataType:
+    """Map a declared SQLite column type onto a repro domain.
+
+    Follows SQLite's type-affinity rules, with BOOL and DATE/TIME
+    recognized first so round-tripped schemas keep their domains.
+    """
+    text = (declared or "").upper()
+    if "BOOL" in text:
+        return BOOLEAN
+    if "DATE" in text or "TIME" in text:
+        return DATE
+    if "INT" in text:
+        return INTEGER
+    if any(tag in text for tag in ("CHAR", "CLOB", "TEXT")):
+        return TEXT
+    if any(tag in text for tag in ("REAL", "FLOA", "DOUB", "NUM", "DEC")):
+        return REAL
+    return TEXT
+
+
+def _unique_index_columns(
+    conn: sqlite3.Connection, table: str
+) -> List[Tuple[str, ...]]:
+    """Column tuples of every declared UNIQUE index on *table*."""
+    uniques: List[Tuple[str, ...]] = []
+    for row in conn.execute(f"PRAGMA index_list({quote_identifier(table)})"):
+        # (seq, name, unique, origin, partial); origin 'pk' is the
+        # primary key (already read from table_info), partial indexes
+        # are filters, not declarations
+        _, index_name, is_unique, origin, partial = row[:5]
+        if not is_unique or origin == "pk" or partial:
+            continue
+        columns = [
+            col
+            for _, _, col in conn.execute(
+                f"PRAGMA index_info({quote_identifier(index_name)})"
+            )
+            if col is not None  # expression index members have no column
+        ]
+        if columns:
+            uniques.append(tuple(columns))
+    return uniques
+
+
+def introspect_schema(conn: sqlite3.Connection) -> DatabaseSchema:
+    """Rebuild the declared schema — K and N included — from a connection."""
+    schema = DatabaseSchema()
+    tables = [
+        name
+        for (name,) in conn.execute(
+            "SELECT name FROM sqlite_master "
+            "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+            "ORDER BY name"
+        )
+    ]
+    for table in tables:
+        attributes: List[Attribute] = []
+        pk_columns: List[Tuple[int, str]] = []
+        for row in conn.execute(f"PRAGMA table_info({quote_identifier(table)})"):
+            _, name, declared, not_null, _, pk = row[:6]
+            attributes.append(
+                Attribute(
+                    name, dtype_from_declared(declared), nullable=not not_null
+                )
+            )
+            if pk:
+                pk_columns.append((pk, name))
+        relation = RelationSchema(table, attributes)
+        if pk_columns:
+            relation.declare_unique(
+                tuple(name for _, name in sorted(pk_columns))
+            )
+        for columns in _unique_index_columns(conn, table):
+            relation.declare_unique(columns)
+        schema.add(relation)
+    return schema
+
+
+def open_sqlite(source) -> Database:
+    """Open a SQLite database as a fully backed :class:`Database`.
+
+    *source* is a filesystem path (or an existing
+    :class:`sqlite3.Connection`); the declared schema is introspected
+    from the data dictionary and every extension query is pushed down to
+    the engine.  The paper's ``K``/``N`` inputs therefore come from the
+    DBMS itself — nothing is hand-declared:
+
+        db = open_sqlite("legacy.db")
+        result = DBREPipeline(db, expert).run(corpus=corpus)
+    """
+    if isinstance(source, sqlite3.Connection):
+        backend = SQLiteBackend(connection=source)
+    else:
+        path = str(source)
+        # sqlite3.connect would silently create a missing file — a
+        # typo'd path must be an error, not an empty legacy system
+        if path != ":memory:" and not os.path.exists(path):
+            raise DataError(f"no such database file: {path}")
+        backend = SQLiteBackend(path=path)
+    try:
+        schema = introspect_schema(backend.connection)
+    except sqlite3.DatabaseError as exc:
+        backend.close()
+        raise DataError(f"not a SQLite database: {source} ({exc})") from exc
+    return Database(schema, backend=backend)

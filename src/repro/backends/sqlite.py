@@ -1,0 +1,470 @@
+"""The SQLite extension backend: the paper's primitives as pushed-down SQL.
+
+The method was designed to interrogate a *live DBMS* — ``||r[X]||`` is
+literally ``select count distinct X from R`` (§2).  This backend restores
+that reading: extensions live in a SQLite database (a file or
+``:memory:``) and each instrumented primitive compiles to one SQL
+statement executed by the engine:
+
+- ``count_distinct`` →
+  ``SELECT COUNT(*) FROM (SELECT DISTINCT X FROM R WHERE X IS NOT NULL)``;
+- ``join_count`` → the cardinality of
+  ``SELECT A_k FROM R_k ... INTERSECT SELECT A_l FROM R_l ...``;
+- ``fd_holds`` → ``GROUP BY lhs HAVING COUNT(DISTINCT rhs') > 1`` probed
+  with ``EXISTS`` (``rhs'`` is a ``QUOTE(...)`` encoding that keeps NULL
+  as one marked value, matching the engine's FD convention);
+- ``inclusion_holds`` → emptiness of ``lhs-projection EXCEPT
+  rhs-projection``.
+
+Compiled statements are cached per relation and invalidated on any
+schema mutation; query *results* are additionally memoized under a
+per-relation version counter that every write bumps, mirroring the
+in-memory backend's distinct-value cache.  Row-level access hydrates a
+lazy, write-through :class:`Table` mirror so code that walks or mutates
+tuples (the SQL executor, Restruct's projections, violation displays)
+keeps working unchanged — the four counting primitives never touch the
+mirror and scale with the engine, not with Python.
+
+Storage note: backend-created tables declare column types but *no*
+``UNIQUE``/``NOT NULL`` constraints — the reproduction must be able to
+hold the corrupted extensions the paper reasons about.  Declared
+constraints live in the :class:`RelationSchema` (and, for ``.db`` files
+written by :func:`repro.storage.sqlite_io.save_sqlite`, in SQLite's own
+data dictionary, where :func:`repro.backends.introspect.open_sqlite`
+reads them back).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import UnknownRelationError
+from repro.relational.domain import BOOLEAN, is_null, NULL
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.table import Row, Table, order_values
+from repro.backends.base import RowValues
+
+#: repro domain name → SQLite declared column type
+_SQL_TYPES = {
+    "INTEGER": "INTEGER",
+    "REAL": "REAL",
+    "TEXT": "TEXT",
+    "DATE": "DATE",
+    "BOOLEAN": "BOOLEAN",
+}
+
+#: separator for multi-column FD images built from QUOTE() fragments;
+#: the ASCII unit separator cannot collide with QUOTE output
+_SEP = "char(31)"
+
+
+def quote_identifier(name: str) -> str:
+    """Quote *name* for SQLite (paper names carry hyphens: ``zip-code``)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class _SQLiteTable(Table):
+    """A hydrated mirror of one SQLite relation; mutations write through.
+
+    Holding the rows in an ordinary :class:`Table` keeps every existing
+    row-level consumer working; overriding the three mutators keeps the
+    SQLite store authoritative.  ``_backend`` is None while hydrating
+    (and after the relation is dropped or replaced), which turns the
+    overrides back into plain in-memory operations.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self._backend: Optional["SQLiteBackend"] = None
+        super().__init__(schema)
+
+    def insert(self, values: RowValues) -> Row:
+        row = super().insert(values)
+        if self._backend is not None:
+            self._backend._write_row(self.name, row.values)
+        return row
+
+    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        super().replace_rows(rows)
+        if self._backend is not None:
+            self._backend._rewrite(self.name, [r.values for r in self])
+
+    def delete_where(self, predicate) -> int:
+        removed = super().delete_where(predicate)
+        if removed and self._backend is not None:
+            self._backend._rewrite(self.name, [r.values for r in self])
+        return removed
+
+
+class SQLiteBackend:
+    """Extension storage and query pushdown on a SQLite connection."""
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        connection: Optional[sqlite3.Connection] = None,
+    ) -> None:
+        if connection is not None:
+            self._conn = connection
+            self._owns_connection = False
+        else:
+            self._conn = sqlite3.connect(path, isolation_level=None)
+            self._owns_connection = True
+        self._schema: DatabaseSchema = DatabaseSchema()
+        #: per-relation write counter; every mutation bumps it, and it
+        #: never resets — a dropped-and-recreated relation continues the
+        #: count, so memoized results can never alias across lifetimes
+        self._versions: Dict[str, int] = {}
+        #: compiled SQL text per (primitive, relations, attrs)
+        self._statements: Dict[tuple, str] = {}
+        #: memoized primitive results, guarded by the version counters
+        #: of every relation the statement reads
+        self._results: Dict[tuple, tuple] = {}
+        #: lazily hydrated write-through mirrors for row-level access
+        self._mirrors: Dict[str, _SQLiteTable] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, schema: DatabaseSchema) -> None:
+        """Bind to *schema*; create any table the store does not hold yet."""
+        self._schema = schema
+        existing = {
+            name
+            for (name,) in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        for relation in schema:
+            if relation.name not in existing:
+                self._conn.execute(self._create_table_sql(relation))
+            self._versions.setdefault(relation.name, 0)
+        self._commit()
+
+    def spawn(self) -> "SQLiteBackend":
+        """A fresh backend on a private in-memory SQLite database."""
+        return SQLiteBackend()
+
+    def close(self) -> None:
+        """Drop caches and close the connection if this backend owns it."""
+        self._mirrors.clear()
+        self._statements.clear()
+        self._results.clear()
+        if self._owns_connection:
+            self._conn.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying SQLite connection (read-only introspection)."""
+        return self._conn
+
+    # ------------------------------------------------------------------
+    # relation lifecycle
+    # ------------------------------------------------------------------
+    def create_relation(self, relation: RelationSchema) -> Table:
+        """CREATE TABLE and return the (empty) write-through mirror."""
+        self._invalidate(relation.name)
+        self._conn.execute(self._create_table_sql(relation))
+        self._bump(relation.name)
+        self._commit()
+        return self.table(relation.name)
+
+    def drop_relation(self, name: str) -> None:
+        """DROP TABLE and purge every cache entry about the relation."""
+        self._require(name)
+        self._invalidate(name)
+        self._conn.execute(f"DROP TABLE {quote_identifier(name)}")
+        self._bump(name)
+        self._commit()
+
+    def replace_relation(self, relation: RelationSchema) -> Table:
+        """Project the stored extension onto a modified schema, in SQL.
+
+        ``CREATE tmp AS projection; DROP old; RENAME tmp`` — duplicates
+        are kept, matching :meth:`Table.with_schema`.
+        """
+        self._require(relation.name)
+        self._invalidate(relation.name)
+        name = quote_identifier(relation.name)
+        tmp = quote_identifier("__repro_restruct__")
+        cols = ", ".join(quote_identifier(a) for a in relation.attribute_names)
+        self._conn.execute(f"DROP TABLE IF EXISTS {tmp}")
+        self._conn.execute(
+            self._create_table_sql(relation, table_name="__repro_restruct__")
+        )
+        self._conn.execute(f"INSERT INTO {tmp} SELECT {cols} FROM {name}")
+        self._conn.execute(f"DROP TABLE {name}")
+        self._conn.execute(f"ALTER TABLE {tmp} RENAME TO {name}")
+        self._bump(relation.name)
+        self._commit()
+        return self.table(relation.name)
+
+    # ------------------------------------------------------------------
+    # row access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """The write-through mirror of one relation (hydrated lazily)."""
+        mirror = self._mirrors.get(name)
+        if mirror is None:
+            relation = self._require(name)
+            mirror = _SQLiteTable(relation)
+            for raw in self._scan(relation):
+                mirror.insert(raw)
+            mirror._backend = self
+            self._mirrors[name] = mirror
+        return mirror
+
+    def insert(self, relation: str, values: RowValues) -> None:
+        """Append one tuple; typing is validated before the engine sees it."""
+        mirror = self._mirrors.get(relation)
+        if mirror is not None:
+            mirror.insert(values)
+            return
+        rel = self._require(relation)
+        row = Row(rel, order_values(rel, values))
+        self._write_row(relation, row.values)
+
+    def insert_many(self, relation: str, rows: Iterable[RowValues]) -> None:
+        """Bulk append through one ``executemany``."""
+        mirror = self._mirrors.get(relation)
+        if mirror is not None:
+            mirror.insert_many(rows)
+            return
+        rel = self._require(relation)
+        payload = [
+            self._to_sql(Row(rel, order_values(rel, r)).values) for r in rows
+        ]
+        if not payload:
+            return
+        marks = ", ".join("?" for _ in rel.attributes)
+        self._conn.executemany(
+            f"INSERT INTO {quote_identifier(relation)} VALUES ({marks})",
+            payload,
+        )
+        self._bump(relation)
+        self._commit()
+
+    def rows(self, relation: str) -> Iterator[Tuple[Any, ...]]:
+        """Scan the stored extension in insertion (rowid) order."""
+        mirror = self._mirrors.get(relation)
+        if mirror is not None:
+            for row in mirror:
+                yield row.values
+            return
+        rel = self._require(relation)
+        for values in self._scan(rel):
+            yield tuple(values)
+
+    def row_count(self, relation: str) -> int:
+        """``SELECT COUNT(*)`` (served from the mirror when hydrated)."""
+        mirror = self._mirrors.get(relation)
+        if mirror is not None:
+            return len(mirror)
+        self._require(relation)
+        sql = f"SELECT COUNT(*) FROM {quote_identifier(relation)}"
+        return int(self._conn.execute(sql).fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # the paper's query primitives, pushed down
+    # ------------------------------------------------------------------
+    def count_distinct(self, relation: str, attrs: Sequence[str]) -> int:
+        """``SELECT COUNT(*) FROM (SELECT DISTINCT X ... WHERE X NOT NULL)``."""
+        attrs = tuple(attrs)
+        key = ("count_distinct", relation, attrs)
+        return int(self._memoized(key, (relation,), self._count_distinct_sql))
+
+    def join_count(
+        self,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> int:
+        """``||r_k[A_k] ⋈ r_l[A_l]||`` via INTERSECT of the projections."""
+        key = ("join_count", left, tuple(left_attrs), right, tuple(right_attrs))
+        return int(self._memoized(key, (left, right), self._join_count_sql))
+
+    def fd_holds(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
+        """``GROUP BY lhs HAVING COUNT(DISTINCT rhs') > 1`` finds violations."""
+        key = ("fd_holds", relation, tuple(lhs), tuple(rhs))
+        return bool(self._memoized(key, (relation,), self._fd_sql))
+
+    def inclusion_holds(
+        self,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> bool:
+        """``lhs-projection EXCEPT rhs-projection`` must be empty."""
+        key = (
+            "inclusion_holds", left, tuple(left_attrs), right, tuple(right_attrs),
+        )
+        return bool(self._memoized(key, (left, right), self._inclusion_sql))
+
+    # ------------------------------------------------------------------
+    # statement compilation
+    # ------------------------------------------------------------------
+    def _projection(
+        self, relation: str, attrs: Sequence[str], distinct: bool = False
+    ) -> str:
+        """``SELECT a, b FROM r WHERE a IS NOT NULL AND b IS NOT NULL``."""
+        rel = self._require(relation)
+        for a in attrs:
+            rel.position(a)  # raises UnknownAttributeError
+        head = "SELECT DISTINCT" if distinct else "SELECT"
+        cols = ", ".join(quote_identifier(a) for a in attrs)
+        not_null = " AND ".join(
+            f"{quote_identifier(a)} IS NOT NULL" for a in attrs
+        )
+        return (
+            f"{head} {cols} FROM {quote_identifier(relation)} WHERE {not_null}"
+        )
+
+    def _count_distinct_sql(self, key: tuple) -> str:
+        _, relation, attrs = key
+        inner = self._projection(relation, attrs, distinct=True)
+        return f"SELECT COUNT(*) FROM ({inner})"
+
+    def _join_count_sql(self, key: tuple) -> str:
+        _, left, left_attrs, right, right_attrs = key
+        return (
+            "SELECT COUNT(*) FROM ("
+            + self._projection(left, left_attrs)
+            + " INTERSECT "
+            + self._projection(right, right_attrs)
+            + ")"
+        )
+
+    def _fd_sql(self, key: tuple) -> str:
+        _, relation, lhs, rhs = key
+        rel = self._require(relation)
+        for a in (*lhs, *rhs):
+            rel.position(a)
+        lhs_cols = ", ".join(quote_identifier(a) for a in lhs)
+        lhs_not_null = " AND ".join(
+            f"{quote_identifier(a)} IS NOT NULL" for a in lhs
+        )
+        # QUOTE() keeps a NULL image as the one marked value 'NULL', so
+        # wholly-missing optional attributes agree with each other —
+        # exactly the functional_maps() convention of the memory engine
+        image = f" || {_SEP} || ".join(
+            f"QUOTE({quote_identifier(a)})" for a in rhs
+        )
+        return (
+            "SELECT NOT EXISTS("
+            f"SELECT 1 FROM {quote_identifier(relation)} "
+            f"WHERE {lhs_not_null} GROUP BY {lhs_cols} "
+            f"HAVING COUNT(DISTINCT {image}) > 1)"
+        )
+
+    def _inclusion_sql(self, key: tuple) -> str:
+        _, left, left_attrs, right, right_attrs = key
+        return (
+            "SELECT NOT EXISTS(SELECT 1 FROM ("
+            + self._projection(left, left_attrs)
+            + " EXCEPT "
+            + self._projection(right, right_attrs)
+            + "))"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _memoized(self, key: tuple, relations: Tuple[str, ...], build) -> Any:
+        """Execute the statement for *key*, reusing text and result caches."""
+        token = tuple(self._versions.get(r, 0) for r in relations)
+        hit = self._results.get(key)
+        if hit is not None and hit[0] == token:
+            return hit[1]
+        sql = self._statements.get(key)
+        if sql is None:
+            sql = build(key)
+            self._statements[key] = sql
+        value = self._conn.execute(sql).fetchone()[0]
+        self._results[key] = (token, value)
+        return value
+
+    def _require(self, name: str) -> RelationSchema:
+        """The schema of *name*, or UnknownRelationError."""
+        if name not in self._schema:
+            raise UnknownRelationError(name)
+        return self._schema.relation(name)
+
+    def _create_table_sql(
+        self, relation: RelationSchema, table_name: Optional[str] = None
+    ) -> str:
+        cols = ", ".join(
+            f"{quote_identifier(a.name)} {_SQL_TYPES[a.dtype.name]}"
+            for a in relation.attributes
+        )
+        return (
+            f"CREATE TABLE {quote_identifier(table_name or relation.name)} "
+            f"({cols})"
+        )
+
+    def _scan(self, relation: RelationSchema) -> Iterator[List[Any]]:
+        """Raw rows of one relation, decoded into repro domain values."""
+        cols = ", ".join(quote_identifier(a) for a in relation.attribute_names)
+        name = quote_identifier(relation.name)
+        try:
+            cursor = self._conn.execute(
+                f"SELECT {cols} FROM {name} ORDER BY rowid"
+            )
+        except sqlite3.OperationalError:  # WITHOUT ROWID tables
+            cursor = self._conn.execute(f"SELECT {cols} FROM {name}")
+        for raw in cursor:
+            yield self._from_sql(relation, raw)
+
+    def _to_sql(self, values: Sequence[Any]) -> List[Any]:
+        return [None if is_null(v) else v for v in values]
+
+    def _from_sql(self, relation: RelationSchema, raw: Sequence[Any]) -> List[Any]:
+        out: List[Any] = []
+        for attr, value in zip(relation.attributes, raw):
+            if value is None:
+                out.append(NULL)
+            elif attr.dtype == BOOLEAN:
+                out.append(bool(value))
+            else:
+                out.append(value)
+        return out
+
+    def _write_row(self, relation: str, values: Sequence[Any]) -> None:
+        marks = ", ".join("?" for _ in values)
+        self._conn.execute(
+            f"INSERT INTO {quote_identifier(relation)} VALUES ({marks})",
+            self._to_sql(values),
+        )
+        self._bump(relation)
+        self._commit()
+
+    def _rewrite(self, relation: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Replace the whole stored extension (UPDATE/DELETE write-through)."""
+        name = quote_identifier(relation)
+        self._conn.execute(f"DELETE FROM {name}")
+        if rows:
+            marks = ", ".join("?" for _ in rows[0])
+            self._conn.executemany(
+                f"INSERT INTO {name} VALUES ({marks})",
+                [self._to_sql(r) for r in rows],
+            )
+        self._bump(relation)
+        self._commit()
+
+    def _bump(self, relation: str) -> None:
+        self._versions[relation] = self._versions.get(relation, 0) + 1
+
+    def _invalidate(self, relation: str) -> None:
+        """Detach the mirror and purge statement/result caches (DDL)."""
+        mirror = self._mirrors.pop(relation, None)
+        if mirror is not None:
+            mirror._backend = None
+        for cache in (self._statements, self._results):
+            stale = [k for k in cache if relation in k]
+            for k in stale:
+                del cache[k]
+
+    def _commit(self) -> None:
+        if not self._owns_connection:
+            self._conn.commit()

@@ -10,9 +10,13 @@ Commands:
   session report, the EER diagram and/or the elicited dependencies;
 - ``demo``     — the paper's §5-§7 example end to end.
 
-The database input is either a ``.sql`` script (CREATE TABLE + INSERT,
-executed by the built-in engine) or a ``.json`` database document
-produced by :mod:`repro.storage.serialize`.
+The database input is a ``.sql`` script (CREATE TABLE + INSERT,
+executed by the built-in engine), a ``.json`` database document
+produced by :mod:`repro.storage.serialize`, or a SQLite ``.db`` /
+``.sqlite`` / ``.sqlite3`` file — opened live, with the paper's
+``K``/``N`` sets read from SQLite's data dictionary and every extension
+query pushed down to the engine.  ``--backend {auto,memory,sqlite}``
+overrides where the extension is held for any input kind.
 """
 
 from __future__ import annotations
@@ -40,13 +44,40 @@ from repro.storage.serialize import (
 from repro.util.text import format_table
 
 
-def load_database(path: str) -> Database:
-    """Load a database from a ``.sql`` script or a ``.json`` document."""
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def _make_backend(name: str):
+    """Resolve a ``--backend`` value to a fresh backend (None = memory)."""
+    if name == "sqlite":
+        from repro.backends import SQLiteBackend
+
+        return SQLiteBackend()
+    return None
+
+
+def load_database(path: str, backend: str = "auto") -> Database:
+    """Load a database from ``.sql``, ``.json`` or SQLite ``.db`` input.
+
+    *backend* picks the extension store: ``auto`` keeps SQLite files on
+    the engine (pushdown) and scripts/documents in memory; ``memory``
+    and ``sqlite`` force either store for any input kind.
+    """
+    if path.endswith(SQLITE_SUFFIXES):
+        from repro.backends import MemoryBackend, open_sqlite
+
+        database = open_sqlite(path)
+        if backend == "memory":
+            return database.copy(backend=MemoryBackend())
+        return database
     if path.endswith(".json"):
-        return database_from_dict(load_json(path))
+        document = database_from_dict(load_json(path))
+        if backend == "sqlite":
+            return document.copy(backend=_make_backend(backend))
+        return document
     with open(path, "r", encoding="utf-8") as handle:
         script = handle.read()
-    database = Database()
+    database = Database(backend=_make_backend(backend))
     Executor(database).run_script(script)
     return database
 
@@ -69,7 +100,7 @@ def _make_expert(args: argparse.Namespace) -> Expert:
 # commands
 # ----------------------------------------------------------------------
 def cmd_inspect(args: argparse.Namespace) -> int:
-    database = load_database(args.database)
+    database = load_database(args.database, args.backend)
     print("# Relations")
     for relation in database.schema:
         print(f"  {relation!r}  ({len(database.table(relation.name))} rows)")
@@ -94,7 +125,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
-    database = load_database(args.database)
+    database = load_database(args.database, args.backend)
     corpus = ProgramCorpus.from_directory(args.programs)
     report = extract_equijoins(corpus, database.schema)
     print(f"# Q — {len(report.joins)} equi-join(s) from "
@@ -110,7 +141,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    database = load_database(args.database)
+    database = load_database(args.database, args.backend)
     corpus = ProgramCorpus.from_directory(args.programs)
     expert = _make_expert(args)
     pipeline = DBREPipeline(database, expert)
@@ -190,20 +221,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_option(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--backend", choices=("auto", "memory", "sqlite"), default="auto",
+            help="extension store: auto (SQLite files stay on the engine, "
+                 "scripts/documents in memory), memory, or sqlite",
+        )
+
     inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
-    inspect.add_argument("database", help=".sql script or .json database document")
+    inspect.add_argument("database",
+                         help=".sql script, .json database document, or "
+                              "SQLite .db file")
     inspect.add_argument("--statistics", action="store_true",
                          help="also analyze and print per-attribute statistics")
+    add_backend_option(inspect)
     inspect.set_defaults(func=cmd_inspect)
 
     extract = sub.add_parser("extract", help="extract the equi-join set Q")
     extract.add_argument("database")
     extract.add_argument("programs", help="directory of application programs")
+    add_backend_option(extract)
     extract.set_defaults(func=cmd_extract)
 
     run = sub.add_parser("run", help="run the full reverse-engineering pipeline")
     run.add_argument("database")
     run.add_argument("programs")
+    add_backend_option(run)
     run.add_argument("--interactive", action="store_true",
                      help="ask the expert questions on stdin")
     run.add_argument("--force-threshold", type=float, default=0.95,

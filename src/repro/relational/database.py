@@ -1,26 +1,28 @@
 """The database triple ``(R, E, Δ)`` of the paper.
 
-A :class:`Database` bundles the schema ``R``, the extension ``E`` (one
-:class:`~repro.relational.table.Table` per relation) and the dependency
-set ``Δ = F ∪ IND`` — empty at the start of a reverse-engineering run,
-filled in by the method.  Every extension access made through the
-database is counted, so the benchmarks can report how many queries each
-algorithm issues (the paper's efficiency argument for query-guided
-discovery).
+A :class:`Database` bundles the schema ``R``, the extension ``E`` (held
+by a pluggable :class:`~repro.backends.base.ExtensionBackend`) and the
+dependency set ``Δ = F ∪ IND`` — empty at the start of a
+reverse-engineering run, filled in by the method.  Every extension
+access made through the database is counted, so the benchmarks can
+report how many queries each algorithm issues (the paper's efficiency
+argument for query-guided discovery); where the answer comes from — the
+in-memory engine or pushed-down SQL on a live SQLite database — is the
+backend's business, never the method's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import ArityError, UnknownRelationError
-from repro.relational import algebra
+from repro.exceptions import ArityError
 from repro.relational.catalog import Catalog
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends.base import ExtensionBackend
     from repro.dependencies.fd import FunctionalDependency
     from repro.dependencies.ind import InclusionDependency
 
@@ -52,21 +54,22 @@ class QueryCounter:
 class Database:
     """The relational database ``(R, E, Δ)`` the method operates on."""
 
-    def __init__(self, schema: Optional[DatabaseSchema] = None) -> None:
+    def __init__(
+        self,
+        schema: Optional[DatabaseSchema] = None,
+        backend: Optional["ExtensionBackend"] = None,
+    ) -> None:
+        if backend is None:
+            from repro.backends.memory import MemoryBackend
+
+            backend = MemoryBackend()
         self.schema = schema or DatabaseSchema()
-        self._tables: Dict[str, Table] = {
-            r.name: Table(r) for r in self.schema
-        }
+        self.backend = backend
+        self.backend.attach(self.schema)
         self.fds: List["FunctionalDependency"] = []
         self.inds: List["InclusionDependency"] = []
         self.counter = QueryCounter()
         self.catalog = Catalog(self.schema)
-        # distinct-value cache, keyed by (relation, attrs) and guarded by
-        # the table's mutation version — the engine's answer to the many
-        # repeated ||r[X]|| probes the method issues.  The QueryCounter
-        # still counts every *logical* query; the cache only avoids
-        # repeated physical scans.
-        self._distinct_cache: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # schema / table management
@@ -74,37 +77,30 @@ class Database:
     def create_relation(self, relation: RelationSchema) -> Table:
         """Add a relation to ``R`` with an empty extension."""
         self.schema.add(relation)
-        table = Table(relation)
-        self._tables[relation.name] = table
-        return table
+        return self.backend.create_relation(relation)
 
     def drop_relation(self, name: str) -> None:
+        # backend first: it validates the name against the shared schema
+        self.backend.drop_relation(name)
         self.schema.remove(name)
-        del self._tables[name]
 
     def replace_relation(self, relation: RelationSchema) -> Table:
         """Swap a relation's schema, projecting its extension (Restruct)."""
-        old = self.table(relation.name)
         self.schema.replace(relation)
-        table = old.with_schema(relation)
-        self._tables[relation.name] = table
-        return table
+        return self.backend.replace_relation(relation)
 
     def table(self, name: str) -> Table:
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise UnknownRelationError(name) from None
+        return self.backend.table(name)
 
     def insert(self, relation: str, values: Union[Sequence[Any], Mapping[str, Any]]) -> None:
-        self.table(relation).insert(values)
+        self.backend.insert(relation, values)
 
     def insert_many(self, relation: str, rows: Iterable[Union[Sequence[Any], Mapping[str, Any]]]) -> None:
-        self.table(relation).insert_many(rows)
+        self.backend.insert_many(relation, rows)
 
     def tables(self) -> Iterator[Table]:
-        for name in sorted(self._tables):
-            yield self._tables[name]
+        for name in self.schema.relation_names:
+            yield self.backend.table(name)
 
     def validate(self) -> None:
         """Check every declared constraint of every table."""
@@ -120,21 +116,10 @@ class Database:
     # ------------------------------------------------------------------
     # the paper's query primitives (instrumented)
     # ------------------------------------------------------------------
-    def _distinct(self, relation: str, attrs: Sequence[str]) -> frozenset:
-        """Cached distinct non-NULL projections (version-guarded)."""
-        table = self.table(relation)
-        key = (relation, tuple(attrs))
-        cached = self._distinct_cache.get(key)
-        if cached is not None and cached[0] == table.version:
-            return cached[1]
-        values = frozenset(algebra.distinct_values(table, tuple(attrs)))
-        self._distinct_cache[key] = (table.version, values)
-        return values
-
     def count_distinct(self, relation: str, attrs: Sequence[str]) -> int:
         """``||r[X]||`` — select count distinct X from R."""
         self.counter.count_distinct += 1
-        return len(self._distinct(relation, attrs))
+        return self.backend.count_distinct(relation, tuple(attrs))
 
     def join_count(
         self,
@@ -150,14 +135,14 @@ class Database:
                 f"equi-join arity mismatch: {list(left_attrs)} vs "
                 f"{list(right_attrs)}"
             )
-        return len(
-            self._distinct(left, left_attrs) & self._distinct(right, right_attrs)
+        return self.backend.join_count(
+            left, tuple(left_attrs), right, tuple(right_attrs)
         )
 
     def fd_holds(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
         """Does ``lhs -> rhs`` hold in the extension of *relation*?"""
         self.counter.fd_checks += 1
-        return algebra.functional_maps(self.table(relation), lhs, rhs)
+        return self.backend.fd_holds(relation, tuple(lhs), tuple(rhs))
 
     def inclusion_holds(
         self,
@@ -173,8 +158,8 @@ class Database:
                 f"inclusion arity mismatch: {list(left_attrs)} vs "
                 f"{list(right_attrs)}"
             )
-        return self._distinct(left, left_attrs) <= self._distinct(
-            right, right_attrs
+        return self.backend.inclusion_holds(
+            left, tuple(left_attrs), right, tuple(right_attrs)
         )
 
     # ------------------------------------------------------------------
@@ -191,17 +176,30 @@ class Database:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
-    def copy(self) -> "Database":
+    def copy(self, backend: Optional["ExtensionBackend"] = None) -> "Database":
         """Deep copy of schema + extension (dependencies reset).
 
         Restruct mutates the database it is given; callers that want to
         keep the original (e.g. to diff before/after) copy it first.
+        Without an explicit *backend* the copy lives on a fresh sibling
+        of this database's backend (memory stays memory, SQLite spawns a
+        private in-memory SQLite store), so a pushdown pipeline run
+        restructures inside the engine; passing one converts between
+        backends — ``db.copy(backend=MemoryBackend())`` materializes a
+        SQLite extension in memory.
         """
-        clone = Database(self.schema.copy())
-        for table in self.tables():
-            clone.insert_many(table.name, (row.values for row in table))
+        clone = Database(self.schema.copy(), backend=backend or self.backend.spawn())
+        for name in self.schema.relation_names:
+            clone.insert_many(name, self.backend.rows(name))
         return clone
 
+    def close(self) -> None:
+        """Release backend resources (SQLite connections, caches)."""
+        self.backend.close()
+
     def __repr__(self) -> str:
-        sizes = ", ".join(f"{t.name}:{len(t)}" for t in self.tables())
+        sizes = ", ".join(
+            f"{name}:{self.backend.row_count(name)}"
+            for name in self.schema.relation_names
+        )
         return f"Database({sizes})"

@@ -9,11 +9,29 @@ validates tuples.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
 
 from repro.exceptions import ArityError, UnknownAttributeError
 from repro.relational.domain import NULL, is_null
 from repro.relational.schema import RelationSchema
+
+
+def order_values(
+    schema: RelationSchema, values: Union[Sequence[Any], Mapping[str, Any]]
+) -> List[Any]:
+    """Normalize positional-or-named *values* into schema attribute order.
+
+    Missing attributes in a mapping default to NULL; unknown names raise.
+    Shared by :meth:`Table.insert` and the extension backends, so every
+    write path accepts the same two input shapes.
+    """
+    if isinstance(values, Mapping):
+        unknown = set(values) - set(schema.attribute_names)
+        if unknown:
+            raise UnknownAttributeError(schema.name, sorted(unknown)[0])
+        return [values.get(a, NULL) for a in schema.attribute_names]
+    return list(values)
 
 
 class Row:
@@ -78,6 +96,11 @@ class Table:
     corrupted — the engine must be able to hold dirty data.
     """
 
+    #: process-wide generation source; every Table instance draws a fresh
+    #: value, so two tables that ever coexisted (even under the same
+    #: relation name, e.g. drop + recreate) are distinguishable
+    _generations = itertools.count(1)
+
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
         self._schema = schema
         self._rows: List[Row] = []
@@ -85,6 +108,11 @@ class Table:
         #: keys its distinct-value caches on it, so any write (insert,
         #: delete, replace) invalidates derived statistics automatically
         self.version = 0
+        #: instance identity for cache guards: a recreated or re-homed
+        #: table can reach the same *version* as its predecessor (three
+        #: inserts → version 3 either way), so caches must key on the
+        #: (generation, version) pair, never on the version alone
+        self.generation = next(Table._generations)
         for r in rows:
             self.insert(r)
 
@@ -101,14 +129,7 @@ class Table:
 
         Missing attributes in a mapping default to NULL.
         """
-        if isinstance(values, Mapping):
-            unknown = set(values) - set(self._schema.attribute_names)
-            if unknown:
-                raise UnknownAttributeError(self._schema.name, sorted(unknown)[0])
-            ordered = [values.get(a, NULL) for a in self._schema.attribute_names]
-        else:
-            ordered = list(values)
-        row = Row(self._schema, ordered)
+        row = Row(self._schema, order_values(self._schema, values))
         self._rows.append(row)
         self.version += 1
         return row
@@ -154,11 +175,15 @@ class Table:
 
         Used by Restruct: when ``B_i`` is removed from ``R_i(X_i)``, the
         extension is projected accordingly (duplicates kept — the logical
-        schema restructuring in the paper does not deduplicate).
+        schema restructuring in the paper does not deduplicate).  The new
+        table carries a fresh generation *and* resumes from this table's
+        version, so version-guarded caches can never mistake it for its
+        source.
         """
         table = Table(schema)
         for row in self._rows:
             table.insert([row[a] for a in schema.attribute_names])
+        table.version += self.version
         return table
 
     def __iter__(self) -> Iterator[Row]:

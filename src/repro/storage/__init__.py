@@ -1,11 +1,15 @@
-"""Persistence: CSV extensions and JSON schema/dependency documents.
+"""Persistence: CSV, JSON and SQLite round-trips for whole sessions.
 
 Legacy reverse-engineering work is iterative; these modules let a run's
 inputs and elicited artifacts round-trip to disk so a session can be
-resumed or audited.
+resumed or audited.  :func:`save_sqlite` / :func:`open_sqlite` use a
+``.db`` file as the carrier, with declared constraints stored in — and
+recovered from — SQLite's own data dictionary.
 """
 
+from repro.backends.introspect import open_sqlite
 from repro.storage.csv_io import load_table_csv, dump_table_csv, load_database_csv, dump_database_csv
+from repro.storage.sqlite_io import declared_table_sql, save_sqlite
 from repro.storage.decisions import script_from_dict, script_to_dict
 from repro.storage.ddl import (
     create_table_sql,
@@ -27,6 +31,9 @@ from repro.storage.serialize import (
 )
 
 __all__ = [
+    "declared_table_sql",
+    "open_sqlite",
+    "save_sqlite",
     "script_from_dict",
     "script_to_dict",
     "create_table_sql",

@@ -1,0 +1,75 @@
+"""SQLite files as a persistence format for whole databases.
+
+Unlike the backend's working tables (kept free of constraints so dirty
+legacy extensions remain loadable), a ``.db`` written here is a *data
+dictionary carrier*: every declared ``unique`` becomes a ``PRIMARY
+KEY``/``UNIQUE`` clause and every non-nullable attribute a ``NOT NULL``,
+so :func:`repro.backends.open_sqlite` recovers the paper's ``K`` and
+``N`` sets from SQLite's own catalog with nothing hand-declared.  The
+extension must satisfy its declarations to round-trip — SQLite enforces
+what it declares.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import List
+
+from repro.exceptions import DataError
+from repro.relational.database import Database
+from repro.relational.domain import is_null
+from repro.relational.schema import RelationSchema
+from repro.backends.sqlite import _SQL_TYPES, quote_identifier
+
+
+def declared_table_sql(relation: RelationSchema) -> str:
+    """``CREATE TABLE`` DDL carrying the relation's full dictionary entry."""
+    primary = relation.primary_key()
+    parts: List[str] = []
+    for attr in relation.attributes:
+        column = f"{quote_identifier(attr.name)} {_SQL_TYPES[attr.dtype.name]}"
+        if not attr.nullable:
+            column += " NOT NULL"
+        parts.append(column)
+    for unique in relation.uniques:
+        cols = ", ".join(quote_identifier(a) for a in unique.attributes)
+        keyword = "PRIMARY KEY" if unique.attributes == primary else "UNIQUE"
+        parts.append(f"{keyword} ({cols})")
+    return (
+        f"CREATE TABLE {quote_identifier(relation.name)} ({', '.join(parts)})"
+    )
+
+
+def save_sqlite(database: Database, path: str) -> None:
+    """Write *database* — schema, constraints and extension — to *path*.
+
+    The file is recreated from scratch; open it again with
+    :func:`repro.backends.open_sqlite` to reverse-engineer it with
+    ``K``/``N`` taken from the data dictionary.
+    """
+    if os.path.exists(path):
+        os.remove(path)
+    conn = sqlite3.connect(path)
+    try:
+        with conn:
+            for relation in database.schema:
+                conn.execute(declared_table_sql(relation))
+                marks = ", ".join("?" for _ in relation.attributes)
+                conn.executemany(
+                    f"INSERT INTO {quote_identifier(relation.name)} "
+                    f"VALUES ({marks})",
+                    (
+                        [None if is_null(v) else v for v in values]
+                        for values in database.backend.rows(relation.name)
+                    ),
+                )
+    except sqlite3.IntegrityError as exc:
+        conn.close()
+        if os.path.exists(path):  # do not leave a half-written file
+            os.remove(path)
+        raise DataError(
+            f"extension violates its declared constraints: {exc}"
+        ) from exc
+    finally:
+        conn.close()

@@ -48,9 +48,11 @@ _PROJECT_NAMES = {
 }
 
 
-def build_paper_database() -> Database:
+def build_paper_database(backend=None) -> Database:
     """The §5 database: schema, declared constraints, and an extension
-    realizing every situation the paper narrates.
+    realizing every situation the paper narrates.  *backend* selects the
+    extension store (default: the in-memory engine) — the backend
+    contract tests build this same database on every backend.
 
     Count relationships preserved (scaled):
 
@@ -96,7 +98,7 @@ def build_paper_database() -> Database:
             ),
         ]
     )
-    db = Database(schema)
+    db = Database(schema, backend=backend)
 
     # Person: 22 ids; zip-code -> state holds by construction
     streets = ["rue Alpha", "av Einstein", "bd Centre", "rue Sud"]

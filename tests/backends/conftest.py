@@ -1,0 +1,18 @@
+"""Backend fixtures: every contract test runs on every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import MemoryBackend, SQLiteBackend
+
+BACKEND_FACTORIES = {
+    "memory": MemoryBackend,
+    "sqlite": SQLiteBackend,
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES), ids=sorted(BACKEND_FACTORIES))
+def backend_factory(request):
+    """A zero-argument constructor for one registered backend kind."""
+    return BACKEND_FACTORIES[request.param]

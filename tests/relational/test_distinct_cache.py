@@ -71,3 +71,30 @@ class TestCacheCorrectness:
     def test_multi_attribute_keys_distinct(self, db):
         assert db.count_distinct("r", ("a", "b")) == 3
         assert db.count_distinct("r", ("b", "a")) == 3   # separate cache key
+
+
+class TestSchemaMutationInvalidation:
+    """Regression: create/drop/replace_relation must purge the relation's
+    cache entries — version counters alone cannot be trusted across a
+    relation's lifetimes."""
+
+    def test_drop_and_recreate_does_not_serve_stale_distincts(self, db):
+        assert db.count_distinct("s", ("x",)) == 3      # cache primed, version 3
+        db.drop_relation("s")
+        db.create_relation(RelationSchema.build("s", ["x"], types={"x": INTEGER}))
+        db.insert_many("s", [[7], [7], [7]])            # version 3 again
+        assert db.count_distinct("s", ("x",)) == 1
+
+    def test_replace_relation_invalidates(self, db):
+        assert db.count_distinct("r", ("a",)) == 2      # cache primed
+        db.replace_relation(
+            RelationSchema.build("r", ["a"], types={"a": INTEGER})
+        )
+        db.table("r").replace_rows([[5]])
+        assert db.count_distinct("r", ("a",)) == 1
+
+    def test_recreate_empty_relation_reads_empty(self, db):
+        assert db.count_distinct("s", ("x",)) == 3
+        db.drop_relation("s")
+        db.create_relation(RelationSchema.build("s", ["x"], types={"x": INTEGER}))
+        assert db.count_distinct("s", ("x",)) == 0

@@ -128,3 +128,17 @@ class TestWithSchema:
         projected = person_table.with_schema(narrow)
         assert projected.schema.attribute_names == ("id", "name")
         assert [r.values for r in projected] == [(1, "alice"), (2, "bob")]
+
+    def test_projection_carries_the_version_forward(self, person_table):
+        """Regression: with_schema used to restart the mutation counter
+        at the row count, so a projected table could re-reach a version
+        its source had already published to version-guarded caches."""
+        narrow = person_table.schema.without_attributes(["city"])
+        projected = person_table.with_schema(narrow)
+        assert projected.version >= person_table.version + len(person_table)
+
+    def test_every_table_has_a_distinct_generation(self, person_table):
+        narrow = person_table.schema.without_attributes(["city"])
+        projected = person_table.with_schema(narrow)
+        assert projected.generation != person_table.generation
+        assert Table(person_table.schema).generation > projected.generation

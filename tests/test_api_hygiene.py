@@ -9,6 +9,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.backends",
     "repro.relational",
     "repro.sql",
     "repro.programs",

@@ -30,6 +30,16 @@ def workspace(tmp_path):
     return tmp_path
 
 
+@pytest.fixture
+def sqlite_workspace(workspace):
+    """The same workspace, with the database saved as a SQLite file."""
+    from repro.storage.sqlite_io import save_sqlite
+
+    db = load_database(str(workspace / "schema.sql"))
+    save_sqlite(db, str(workspace / "legacy.db"))
+    return workspace
+
+
 class TestLoadDatabase:
     def test_sql_script(self, workspace):
         db = load_database(str(workspace / "schema.sql"))
@@ -43,6 +53,31 @@ class TestLoadDatabase:
         save_json(database_to_dict(db), path)
         restored = load_database(path)
         assert len(restored.table("city")) == 3
+
+    def test_sqlite_file_uses_pushdown_backend(self, sqlite_workspace):
+        from repro.backends import SQLiteBackend
+
+        db = load_database(str(sqlite_workspace / "legacy.db"))
+        assert isinstance(db.backend, SQLiteBackend)
+        assert len(db.table("person")) == 6
+        # K comes from the data dictionary, not from any .sql declaration
+        assert {k.relation for k in db.schema.key_set()} == {"city", "person"}
+        db.close()
+
+    def test_backend_memory_materializes_sqlite_input(self, sqlite_workspace):
+        from repro.backends import MemoryBackend
+
+        db = load_database(str(sqlite_workspace / "legacy.db"), backend="memory")
+        assert isinstance(db.backend, MemoryBackend)
+        assert db.count_distinct("person", ("home",)) == 3
+
+    def test_backend_sqlite_lifts_sql_script(self, workspace):
+        from repro.backends import SQLiteBackend
+
+        db = load_database(str(workspace / "schema.sql"), backend="sqlite")
+        assert isinstance(db.backend, SQLiteBackend)
+        assert db.count_distinct("city", ("cid",)) == 3
+        db.close()
 
 
 class TestCommands:
@@ -101,6 +136,39 @@ class TestCommands:
         assert "CREATE TABLE" in script
         assert "FOREIGN KEY" in script
         assert "INSERT INTO" in script
+
+    def test_inspect_sqlite_file(self, sqlite_workspace, capsys):
+        code = main(["inspect", str(sqlite_workspace / "legacy.db")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "city.{cid}" in out            # K recovered from the dictionary
+        assert "person.{pid}" in out
+
+    def test_run_on_sqlite_file_matches_sql_script(self, sqlite_workspace, capsys):
+        programs = str(sqlite_workspace / "programs")
+        assert main(["run", str(sqlite_workspace / "schema.sql"), programs]) == 0
+        from_script = capsys.readouterr().out
+        assert main(["run", str(sqlite_workspace / "legacy.db"), programs]) == 0
+        from_sqlite = capsys.readouterr().out
+
+        def section(out, title):
+            return out.split(title)[1]
+
+        assert section(from_sqlite, "Restructured schema") == section(
+            from_script, "Restructured schema"
+        )
+
+    def test_run_with_forced_memory_backend(self, sqlite_workspace, capsys):
+        code = main(
+            [
+                "run",
+                str(sqlite_workspace / "legacy.db"),
+                str(sqlite_workspace / "programs"),
+                "--backend", "memory",
+            ]
+        )
+        assert code == 0
+        assert "Restructured schema" in capsys.readouterr().out
 
     def test_demo(self, capsys):
         assert main(["demo"]) == 0
