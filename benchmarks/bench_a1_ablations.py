@@ -14,7 +14,6 @@
    Translate needs for mutually-included identifiers.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core import (
@@ -154,7 +153,6 @@ def test_a1_autoexpert_threshold_sweep(benchmark):
 def test_a1_equal_sides_double_elicitation(benchmark):
     """Equal value sets: the algorithm's two ifs both fire.  Verify the
     paper-faithful behaviour and measure how often it triggers."""
-    from repro.dependencies.ind import InclusionDependency
     from repro.programs.equijoin import EquiJoin
     from repro.relational.database import Database
     from repro.relational.domain import INTEGER

@@ -14,7 +14,6 @@ HEmployee 3NF, Department 2NF, Assignment 1NF).
 from benchmarks.conftest import check_rows
 from repro.dependencies.fd import FunctionalDependency
 from repro.normalization import schema_normal_forms
-from repro.relational.attribute import AttributeRef
 
 
 def _kn(db):

@@ -14,7 +14,6 @@ and the ten-element RIC set listed at the end of §7, with the schema in
 
 from benchmarks.conftest import check_rows
 from repro.core import (
-    DBREPipeline,
     INDDiscovery,
     LHSDiscovery,
     Restruct,

@@ -13,7 +13,7 @@ Paper artifact (Figure 1, read with the §7 Translate rules):
   relationship-types Department--Manager and Manager--Project.
 """
 
-from benchmarks.conftest import check_rows, report
+from benchmarks.conftest import check_rows
 from repro.core import Translate
 from repro.eer import render_text
 

@@ -14,7 +14,6 @@ dependency on clean data; the exhaustive baseline additionally reports
 coincidental inclusions no program ever navigates.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.baselines import ExhaustiveINDBaseline

@@ -13,7 +13,6 @@ baseline reports many non-key FDs of which only the two meaningful ones
 are elicited by the method.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.baselines import NaiveFDBaseline

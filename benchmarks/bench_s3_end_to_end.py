@@ -13,7 +13,6 @@ known ground truth:
   while precision stays at 1.0.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core import DBREPipeline

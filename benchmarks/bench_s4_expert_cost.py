@@ -8,7 +8,6 @@ enforcement questions.  The paper example itself needs about a dozen
 answers end to end — the bench prints the exact budget by question kind.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core import DBREPipeline, ScriptedExpert

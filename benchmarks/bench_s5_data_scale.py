@@ -10,7 +10,6 @@ schema/workload and reports both numbers.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core import DBREPipeline

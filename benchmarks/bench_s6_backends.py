@@ -12,7 +12,6 @@ differ.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.backends import MemoryBackend, SQLiteBackend

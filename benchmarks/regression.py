@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""S-series benchmark-regression harness — the CI gate.
+
+Runs the heads of the S-series benchmarks (a small IND-scalability
+scenario, an end-to-end scenario, and the same end-to-end scenario on
+the SQLite pushdown backend) under tracing, and emits one JSON document
+per run with per-primitive query counts and latencies.  Compared
+against ``benchmarks/BENCH_baseline.json``, the harness **fails (exit
+1) when any head regresses by more than ``--max-ratio`` (default 2x)**
+in either
+
+- **query count** per primitive — deterministic, so a regression means
+  an algorithmic change made the method chattier; or
+- **latency** per primitive — measured in *calibration units* (the
+  run's wall time divided by the time of a fixed pure-Python workload
+  measured in the same process), so baselines recorded on one machine
+  gate runs on another.  Primitives whose baseline cost is below the
+  noise floor are not latency-gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py --quick \
+        --output bench-metrics.json            # compare + emit metrics
+    PYTHONPATH=src python benchmarks/regression.py --write-baseline --quick
+
+The baseline file stores one entry per mode (``quick``/``full``); a run
+only gates against the matching mode.  CI runs ``--quick`` and uploads
+the metrics JSON as an artifact (see ``.github/workflows/ci.yml`` and
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.core import DBREPipeline
+from repro.obs import Tracer, metrics_summary
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+FORMAT = "repro/bench@1"
+BASELINE_FORMAT = "repro/bench-baseline@1"
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
+
+#: latency gating ignores primitives cheaper than this many calibration
+#: units in the baseline — they are dominated by timer noise
+LATENCY_FLOOR_UNITS = 0.05
+
+
+def _head_configs(quick: bool) -> List[Dict[str, Any]]:
+    """The S-series heads: (name, scenario knobs, backend factory)."""
+    scale = 0 if quick else 2
+    return [
+        {
+            "name": "s1-ind-head",
+            "config": ScenarioConfig(
+                seed=300,
+                n_entities=4 + scale,
+                n_one_to_many=3 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=15 if quick else 40,
+            ),
+            "backend": MemoryBackend,
+        },
+        {
+            "name": "s3-end-to-end-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+        },
+        {
+            "name": "s6-sqlite-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": SQLiteBackend,
+        },
+    ]
+
+
+def _calibrate(rounds: int = 3) -> float:
+    """Milliseconds for a fixed pure-Python workload (best of *rounds*).
+
+    The workload mirrors what the primitives do — building and
+    intersecting distinct sets of tuples — so head latencies divided by
+    this number are comparable across machines.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        left = {(i % 997, i % 31) for i in range(50_000)}
+        right = {(i % 991, i % 29) for i in range(50_000)}
+        _ = len(left & right) + len(left | right)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
+    """One traced pipeline run; returns the head's measured figures."""
+    scenario = build_scenario(head["config"])
+    database = scenario.database.copy(backend=head["backend"]())
+    tracer = Tracer()
+    pipeline = DBREPipeline(database, scenario.expert, tracer=tracer)
+    start = time.perf_counter()
+    result = pipeline.run(corpus=scenario.corpus)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    metrics = metrics_summary(tracer)
+    database.close()
+
+    queries = {p: s["calls"] for p, s in metrics["primitives"].items()}
+    latency = {p: s["duration_ms"] for p, s in metrics["primitives"].items()}
+    return {
+        "wall_ms": round(wall_ms, 3),
+        "queries": queries,
+        "latency_ms": latency,
+        "cache_hits": metrics["totals"]["cache_hits"],
+        "rows_touched": metrics["totals"]["rows_touched"],
+        "decisions": result.expert_decisions,
+        "phases": metrics["phases"],
+    }
+
+
+def run_all(quick: bool) -> Dict[str, Any]:
+    """Every head, plus the run's calibration constant."""
+    calibration_ms = _calibrate()
+    heads: Dict[str, Any] = {}
+    for head in _head_configs(quick):
+        print(f"  running {head['name']} ...", file=sys.stderr)
+        measured = run_head(head)
+        measured["latency_units"] = {
+            p: round(ms / calibration_ms, 4)
+            for p, ms in measured["latency_ms"].items()
+        }
+        heads[head["name"]] = measured
+    return {
+        "format": FORMAT,
+        "mode": "quick" if quick else "full",
+        "calibration_ms": round(calibration_ms, 4),
+        "heads": heads,
+    }
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_ratio: float = 2.0,
+) -> List[str]:
+    """Violation messages for *current* against *baseline* (same mode)."""
+    violations: List[str] = []
+    for name, base_head in baseline.get("heads", {}).items():
+        cur_head = current["heads"].get(name)
+        if cur_head is None:
+            violations.append(f"{name}: head missing from this run")
+            continue
+        for primitive, base_calls in base_head.get("queries", {}).items():
+            cur_calls = cur_head["queries"].get(primitive, 0)
+            if base_calls and cur_calls > max_ratio * base_calls:
+                violations.append(
+                    f"{name}: {primitive} issued {cur_calls} queries "
+                    f"(baseline {base_calls}, limit {max_ratio:.1f}x)"
+                )
+        for primitive, base_units in base_head.get("latency_units", {}).items():
+            if base_units < LATENCY_FLOOR_UNITS:
+                continue  # below the noise floor: not gated
+            cur_units = cur_head.get("latency_units", {}).get(primitive, 0.0)
+            if cur_units > max_ratio * base_units:
+                violations.append(
+                    f"{name}: {primitive} latency {cur_units:.3f} units "
+                    f"(baseline {base_units:.3f}, limit {max_ratio:.1f}x)"
+                )
+    return violations
+
+
+def load_baseline(path: str, mode: str) -> Optional[Dict[str, Any]]:
+    """The baseline entry for *mode*, or None when absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != BASELINE_FORMAT:
+        raise SystemExit(f"error: {path} is not a {BASELINE_FORMAT} document")
+    return document.get("modes", {}).get(mode)
+
+
+def write_baseline(path: str, result: Dict[str, Any]) -> None:
+    """Create or update the baseline entry for the result's mode."""
+    document = {"format": BASELINE_FORMAT, "modes": {}}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if existing.get("format") == BASELINE_FORMAT:
+            document = existing
+    document["modes"][result["mode"]] = result
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="S-series benchmark-regression harness (CI gate)"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenario heads (what CI runs)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON to gate against "
+                             "(default benchmarks/BENCH_baseline.json)")
+    parser.add_argument("--output",
+                        help="write this run's metrics JSON here")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record this run as the baseline for its mode "
+                             "instead of gating")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="per-primitive regression limit (default 2.0)")
+    args = parser.parse_args(argv)
+
+    result = run_all(quick=args.quick)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.output}", file=sys.stderr)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result)
+        print(f"baseline ({result['mode']}) written to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline, result["mode"])
+    if baseline is None:
+        print(
+            f"no {result['mode']} baseline in {args.baseline}: gate skipped "
+            f"(run with --write-baseline to record one)"
+        )
+        return 0
+
+    violations = compare(result, baseline, max_ratio=args.max_ratio)
+    for head, measured in sorted(result["heads"].items()):
+        total = sum(measured["queries"].values())
+        print(
+            f"{head}: {total} queries, {measured['wall_ms']:.0f} ms wall, "
+            f"{measured['cache_hits']} cache hits"
+        )
+    if violations:
+        print("\nREGRESSION GATE FAILED:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,7 @@ from repro.core import (
     Translate,
 )
 from repro.eer import EERSchema, render_text, to_dot
+from repro.obs import Tracer
 from repro.sql import Executor, execute_sql, parse_sql
 from repro.storage import save_sqlite
 
@@ -111,6 +112,7 @@ __all__ = [
     "EERSchema",
     "render_text",
     "to_dot",
+    "Tracer",
     "Executor",
     "execute_sql",
     "parse_sql",

@@ -21,7 +21,14 @@ the extension ``E``.  Every backend must implement
   view), ``insert``/``insert_many`` and ``rows``/``row_count`` scans;
 - relation lifecycle — ``create_relation``, ``drop_relation``,
   ``replace_relation`` — each of which must invalidate any derived
-  caches for the touched relation.
+  caches for the touched relation;
+- the observability hook — a ``kind`` label and ``probe``, which
+  reports (without side effects on the answer) whether a primitive call
+  would be served from the backend's own cache and how many stored rows
+  a cold evaluation would scan.  The
+  :class:`~repro.obs.instrument.InstrumentedBackend` wrapper calls it
+  before each primitive so exported traces carry cache hit/miss and
+  rows-touched figures; the backends themselves never see the tracer.
 
 The contract is executable: ``tests/backends/test_contract.py`` runs the
 same assertions over every registered backend.
@@ -47,6 +54,9 @@ class ExtensionBackend(Protocol):
     pipeline at another storage engine is a constructor argument, not a
     refactor.
     """
+
+    #: short label stamped on every exported trace event ("memory", ...)
+    kind: str
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, schema: "DatabaseSchema") -> None:
@@ -119,3 +129,20 @@ class ExtensionBackend(Protocol):
         right_attrs: Sequence[str],
     ) -> bool:
         """Does ``R_left[A] ≪ R_right[B]`` hold in the stored extension?"""
+
+    # -- observability hook --------------------------------------------
+    def probe(
+        self,
+        primitive: str,
+        relations: Tuple[str, ...],
+        attributes: Tuple[Tuple[str, ...], ...],
+    ) -> Tuple[bool, int]:
+        """``(cache hit?, rows touched)`` for an imminent primitive call.
+
+        *primitive* is one of the four primitive method names;
+        *relations*/*attributes* mirror the call's arguments (for
+        ``fd_holds`` one relation with the ``(lhs, rhs)`` tuples).  The
+        probe must not change what the primitive will answer.  ``rows
+        touched`` is the number of stored rows a cold evaluation scans,
+        and 0 when the answer will come from a cache.
+        """

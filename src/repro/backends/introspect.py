@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.exceptions import DataError
 from repro.relational.attribute import Attribute

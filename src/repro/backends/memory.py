@@ -25,6 +25,8 @@ from repro.backends.base import RowValues
 class MemoryBackend:
     """Extension storage backed by in-process :class:`Table` objects."""
 
+    kind = "memory"
+
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         # distinct-value cache, keyed by (relation, attrs) and guarded by
@@ -149,6 +151,36 @@ class MemoryBackend:
         return self._distinct(left, left_attrs) <= self._distinct(
             right, right_attrs
         )
+
+    # ------------------------------------------------------------------
+    # observability hook
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        primitive: str,
+        relations: Tuple[str, ...],
+        attributes: Tuple[Tuple[str, ...], ...],
+    ) -> Tuple[bool, int]:
+        """``(cache hit?, rows touched)`` for an imminent primitive call.
+
+        ``fd_holds`` is never cached (it is a single-pass partition
+        check); the other three are hits exactly when every projection
+        they need is in the distinct-value cache.  A cold side costs one
+        scan of its table.
+        """
+        if primitive == "fd_holds":
+            return False, self.row_count(relations[0])
+        rows = 0
+        for relation, attrs in zip(relations, attributes):
+            if not self._distinct_cached(relation, attrs):
+                rows += self.row_count(relation)
+        return rows == 0, rows
+
+    def _distinct_cached(self, relation: str, attrs: Sequence[str]) -> bool:
+        """Is the distinct set for (relation, attrs) cached and fresh?"""
+        table = self.table(relation)
+        cached = self._distinct_cache.get((relation, tuple(attrs)))
+        return cached is not None and cached[0] == (table.generation, table.version)
 
     # ------------------------------------------------------------------
     # internals

@@ -99,6 +99,8 @@ class _SQLiteTable(Table):
 class SQLiteBackend:
     """Extension storage and query pushdown on a SQLite connection."""
 
+    kind = "sqlite"
+
     def __init__(
         self,
         path: str = ":memory:",
@@ -122,6 +124,9 @@ class SQLiteBackend:
         self._results: Dict[tuple, tuple] = {}
         #: lazily hydrated write-through mirrors for row-level access
         self._mirrors: Dict[str, _SQLiteTable] = {}
+        #: version-guarded COUNT(*) memo, so the observability probe
+        #: does not issue one extra engine query per primitive call
+        self._rowcounts: Dict[str, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -150,6 +155,7 @@ class SQLiteBackend:
         self._mirrors.clear()
         self._statements.clear()
         self._results.clear()
+        self._rowcounts.clear()
         if self._owns_connection:
             self._conn.close()
 
@@ -301,6 +307,47 @@ class SQLiteBackend:
             "inclusion_holds", left, tuple(left_attrs), right, tuple(right_attrs),
         )
         return bool(self._memoized(key, (left, right), self._inclusion_sql))
+
+    # ------------------------------------------------------------------
+    # observability hook
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        primitive: str,
+        relations: Tuple[str, ...],
+        attributes: Tuple[Tuple[str, ...], ...],
+    ) -> Tuple[bool, int]:
+        """``(cache hit?, rows touched)`` for an imminent primitive call.
+
+        Reconstructs the primitive's memo key and checks the result
+        cache under the current version token — the same test
+        :meth:`_memoized` is about to make.  A miss reaches the engine
+        and scans every involved relation once.
+        """
+        if primitive == "count_distinct":
+            key = (primitive, relations[0], attributes[0])
+        elif primitive == "fd_holds":
+            key = (primitive, relations[0], attributes[0], attributes[1])
+        else:  # join_count / inclusion_holds
+            key = (
+                primitive, relations[0], attributes[0],
+                relations[1], attributes[1],
+            )
+        token = tuple(self._versions.get(r, 0) for r in relations)
+        hit = self._results.get(key)
+        if hit is not None and hit[0] == token:
+            return True, 0
+        return False, sum(self._cached_row_count(r) for r in relations)
+
+    def _cached_row_count(self, relation: str) -> int:
+        """``COUNT(*)`` memoized under the relation's version counter."""
+        version = self._versions.get(relation, 0)
+        hit = self._rowcounts.get(relation)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        count = self.row_count(relation)
+        self._rowcounts[relation] = (version, count)
+        return count
 
     # ------------------------------------------------------------------
     # statement compilation
@@ -460,6 +507,7 @@ class SQLiteBackend:
         mirror = self._mirrors.pop(relation, None)
         if mirror is not None:
             mirror._backend = None
+        self._rowcounts.pop(relation, None)
         for cache in (self._statements, self._results):
             stale = [k for k in cache if relation in k]
             for k in stale:

@@ -12,7 +12,7 @@ breaks: schemas like the §5 example, where ``HEmployee.no`` references
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.dependencies.ind import InclusionDependency
 from repro.relational.schema import DatabaseSchema

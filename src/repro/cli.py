@@ -8,7 +8,12 @@ Commands:
   directory and print it with provenance;
 - ``run``      — the full reverse-engineering pipeline; writes the
   session report, the EER diagram and/or the elicited dependencies;
-- ``demo``     — the paper's §5-§7 example end to end.
+- ``demo``     — the paper's §5-§7 example end to end;
+- ``trace``    — work with recorded traces (``trace summarize FILE``).
+
+``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace)
+and ``--metrics FILE`` (flat metrics summary); see
+``docs/OBSERVABILITY.md`` for the formats.
 
 The database input is a ``.sql`` script (CREATE TABLE + INSERT,
 executed by the built-in engine), a ``.json`` database document
@@ -22,6 +27,7 @@ overrides where the extension is held for any input kind.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,7 +36,13 @@ from repro.core.pipeline import DBREPipeline
 from repro.core.report import session_report
 from repro.eer.dot import to_dot
 from repro.eer.render import render_text
-from repro.exceptions import ReproError
+from repro.exceptions import ExtractionError, ReproError
+from repro.obs.export import (
+    read_trace_jsonl,
+    summarize_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 from repro.programs.corpus import ProgramCorpus
 from repro.programs.extractor import extract_equijoins
 from repro.relational.database import Database
@@ -82,6 +94,23 @@ def load_database(path: str, backend: str = "auto") -> Database:
     return database
 
 
+def load_corpus(path: str) -> ProgramCorpus:
+    """Load the program directory, failing cleanly when it is missing."""
+    if not os.path.isdir(path):
+        raise ExtractionError(f"programs directory not found: {path}")
+    return ProgramCorpus.from_directory(path)
+
+
+def _write_observability(args: argparse.Namespace, pipeline: DBREPipeline) -> None:
+    """Honor ``--trace`` / ``--metrics`` after a pipeline run."""
+    if getattr(args, "trace", None):
+        write_trace_jsonl(pipeline.tracer, args.trace)
+        print(f"trace written to {args.trace}")
+    if getattr(args, "metrics", None):
+        write_metrics_json(pipeline.tracer, args.metrics)
+        print(f"metrics written to {args.metrics}")
+
+
 def _make_expert(args: argparse.Namespace) -> Expert:
     if getattr(args, "replay_decisions", None):
         from repro.core.expert import ScriptedExpert
@@ -126,7 +155,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_extract(args: argparse.Namespace) -> int:
     database = load_database(args.database, args.backend)
-    corpus = ProgramCorpus.from_directory(args.programs)
+    corpus = load_corpus(args.programs)
     report = extract_equijoins(corpus, database.schema)
     print(f"# Q — {len(report.joins)} equi-join(s) from "
           f"{report.statements_seen} statement(s) in {len(corpus)} program(s)")
@@ -142,7 +171,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     database = load_database(args.database, args.backend)
-    corpus = ProgramCorpus.from_directory(args.programs)
+    corpus = load_corpus(args.programs)
     expert = _make_expert(args)
     pipeline = DBREPipeline(database, expert)
     result = pipeline.run(corpus=corpus)
@@ -190,6 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             script_to_dict(pipeline.expert.to_script()), args.save_decisions
         )
         print(f"expert decisions written to {args.save_decisions}")
+    _write_observability(args, pipeline)
     return 0
 
 
@@ -207,6 +237,17 @@ def cmd_demo(args: argparse.Namespace) -> int:
     result = pipeline.run(corpus=paper_program_corpus())
     print(session_report(result, pipeline.expert,
                          title="Paper example (Petit et al., ICDE 1996)"))
+    _write_observability(args, pipeline)
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    try:
+        records = read_trace_jsonl(args.trace_file)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize_trace(records))
     return 0
 
 
@@ -226,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--backend", choices=("auto", "memory", "sqlite"), default="auto",
             help="extension store: auto (SQLite files stay on the engine, "
                  "scripts/documents in memory), memory, or sqlite",
+        )
+
+    def add_observability_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace",
+            help="write the span/event trace as JSONL here "
+                 "(repro trace summarize renders it)",
+        )
+        command.add_argument(
+            "--metrics",
+            help="write the flat metrics summary as JSON here",
         )
 
     inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
@@ -269,10 +321,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replay-decisions",
                      help="answer expert questions from a previously "
                           "saved decisions document")
+    add_observability_options(run)
     run.set_defaults(func=cmd_run)
 
     demo = sub.add_parser("demo", help="run the paper's worked example")
+    add_observability_options(demo)
     demo.set_defaults(func=cmd_demo)
+
+    trace = sub.add_parser("trace", help="work with recorded traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="print the span tree and primitive rollup of a trace"
+    )
+    summarize.add_argument("trace_file", help="a --trace JSONL file")
+    summarize.set_defaults(func=cmd_trace_summarize)
     return parser
 
 

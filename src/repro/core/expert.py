@@ -26,7 +26,7 @@ answers from synthetic ground truth
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.dependencies.fd import FunctionalDependency

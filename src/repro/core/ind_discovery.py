@@ -27,7 +27,7 @@ two inclusion dependencies ``R_p[A_p] ≪ R_k[A_k]`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.expert import (
     ConceptualizeIntersection,

@@ -15,6 +15,13 @@ The pipeline mutates a *copy* of the database (Restruct adds and narrows
 relations); the original stays untouched.  Every intermediate set is kept
 on the :class:`PipelineResult` so callers (and the benchmarks) can audit
 each step against the paper.
+
+The run is traced: the pipeline opens one root ``pipeline`` span and one
+``phase`` span per algorithm on its :class:`~repro.obs.tracer.Tracer`,
+and shares that tracer with the working database copy, so every
+extension-primitive event lands inside the phase that issued it.
+``result.trace`` exposes the tracer; :mod:`repro.obs.export` turns it
+into JSONL traces and metrics summaries.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.core.restruct import Restruct, RestructResult
 from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
 from repro.core.translate import Translate
 from repro.eer.model import EERSchema
+from repro.obs.tracer import Tracer
 from repro.programs.corpus import ProgramCorpus
 from repro.programs.equijoin import EquiJoin
 from repro.programs.extractor import EquiJoinExtractor, ExtractionReport
@@ -53,6 +61,7 @@ class PipelineResult:
     translation_warnings: List[str] = field(default_factory=list)
     expert_decisions: int = 0
     extension_queries: int = 0
+    trace: Optional[Tracer] = None
 
     # convenient views -------------------------------------------------
     @property
@@ -86,9 +95,15 @@ class PipelineResult:
 class DBREPipeline:
     """Orchestrates the full method over one database + program corpus."""
 
-    def __init__(self, database: Database, expert: Optional[Expert] = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        expert: Optional[Expert] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.original = database
         self.expert = RecordingExpert(expert or Expert())
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def run(
         self,
@@ -105,50 +120,65 @@ class DBREPipeline:
             raise ValueError("provide exactly one of corpus= or equijoins=")
 
         result = PipelineResult()
-        database = self.original.copy()
-        database.counter.reset()
+        result.trace = self.tracer
+        with self.tracer.span("pipeline", kind="pipeline") as root:
+            database = self.original.copy(tracer=self.tracer)
+            database.counter.reset()
 
-        # §4: the dictionary-derived sets
-        result.key_set = database.schema.key_set()
-        result.not_null_set = database.schema.not_null_set()
+            # §4: the dictionary-derived sets
+            result.key_set = database.schema.key_set()
+            result.not_null_set = database.schema.not_null_set()
 
-        # §4: the set Q
-        if corpus is not None:
-            extractor = EquiJoinExtractor(database.schema)
-            result.extraction = extractor.extract_from_corpus(corpus)
-            result.equijoins = list(result.extraction.joins)
-        else:
-            result.equijoins = sorted(set(equijoins), key=lambda j: j.sort_key())
+            # §4: the set Q
+            if corpus is not None:
+                extractor = EquiJoinExtractor(database.schema)
+                result.extraction = extractor.extract_from_corpus(corpus)
+                result.equijoins = list(result.extraction.joins)
+            else:
+                result.equijoins = sorted(set(equijoins), key=lambda j: j.sort_key())
+            root.attributes["equijoins"] = len(result.equijoins)
 
-        # §6.1 IND-Discovery
-        ind_step = INDDiscovery(database, self.expert)
-        result.ind_result = ind_step.run(result.equijoins)
+            # §6.1 IND-Discovery
+            with self.tracer.span("IND-Discovery", kind="phase") as span:
+                ind_step = INDDiscovery(database, self.expert)
+                result.ind_result = ind_step.run(result.equijoins)
+                span.attributes["inds"] = len(result.ind_result.inds)
 
-        # §6.2.1 LHS-Discovery
-        lhs_step = LHSDiscovery(database.schema, result.ind_result.s_names)
-        result.lhs_result = lhs_step.run(result.ind_result.inds)
+            # §6.2.1 LHS-Discovery
+            with self.tracer.span("LHS-Discovery", kind="phase") as span:
+                lhs_step = LHSDiscovery(database.schema, result.ind_result.s_names)
+                result.lhs_result = lhs_step.run(result.ind_result.inds)
+                span.attributes["lhs"] = len(result.lhs_result.lhs)
 
-        # §6.2.2 RHS-Discovery
-        rhs_step = RHSDiscovery(database, self.expert)
-        result.rhs_result = rhs_step.run(
-            result.lhs_result.lhs, result.lhs_result.hidden
-        )
+            # §6.2.2 RHS-Discovery
+            with self.tracer.span("RHS-Discovery", kind="phase") as span:
+                rhs_step = RHSDiscovery(database, self.expert)
+                result.rhs_result = rhs_step.run(
+                    result.lhs_result.lhs, result.lhs_result.hidden
+                )
+                span.attributes["fds"] = len(result.rhs_result.fds)
 
-        # §7 Restruct
-        restruct_step = Restruct(database, self.expert)
-        result.restruct_result = restruct_step.run(
-            result.rhs_result.fds,
-            result.rhs_result.hidden,
-            result.ind_result.inds,
-        )
+            # §7 Restruct
+            with self.tracer.span("Restruct", kind="phase") as span:
+                restruct_step = Restruct(database, self.expert)
+                result.restruct_result = restruct_step.run(
+                    result.rhs_result.fds,
+                    result.rhs_result.hidden,
+                    result.ind_result.inds,
+                )
+                span.attributes["ric"] = len(result.restruct_result.ric)
 
-        # §7 Translate
-        if translate:
-            translator = Translate(database.schema)
-            result.eer = translator.run(result.restruct_result.ric)
-            result.translation_notes = list(translator.notes.entries)
-            result.translation_warnings = list(translator.notes.warnings)
+            # §7 Translate
+            if translate:
+                with self.tracer.span("Translate", kind="phase") as span:
+                    translator = Translate(database.schema)
+                    result.eer = translator.run(result.restruct_result.ric)
+                    result.translation_notes = list(translator.notes.entries)
+                    result.translation_warnings = list(translator.notes.warnings)
+                    span.attributes["entities"] = len(result.eer.entities)
 
-        result.expert_decisions = self.expert.decision_count
-        result.extension_queries = database.counter.total()
+            result.expert_decisions = self.expert.decision_count
+            result.extension_queries = database.counter.total()
+            root.attributes["queries"] = result.extension_queries
+            root.attributes["decisions"] = result.expert_decisions
         return result

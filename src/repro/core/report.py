@@ -10,7 +10,7 @@ decisions, the restructured schema, and the conceptual schema.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.expert import RecordingExpert
 from repro.core.pipeline import PipelineResult

@@ -17,7 +17,7 @@ For each candidate identifier ``R_i.A`` in ``LHS ∪ H``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.expert import Expert, FDContext
 from repro.dependencies.fd import FunctionalDependency

@@ -24,7 +24,7 @@ raises instead of silently producing nonsense.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.dependencies.ind import InclusionDependency
 from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType

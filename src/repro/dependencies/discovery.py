@@ -15,7 +15,7 @@ Two discovery primitives live here and back the baselines of §S1/§S2:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.ind import InclusionDependency

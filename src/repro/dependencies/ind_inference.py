@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Set
 
 from repro.dependencies.ind import InclusionDependency
-from repro.relational.algebra import values_subset
 from repro.relational.database import Database
 
 

@@ -54,7 +54,6 @@ def satisfaction_ratio(table: Table, fd: FunctionalDependency) -> float:
     step (ii)).  An empty table (or all-NULL LHS) yields 1.0.
     """
     from repro.relational.algebra import group_by
-    from repro.relational.domain import is_null
 
     groups = group_by(table, tuple(fd.lhs))
     if not groups:

@@ -11,7 +11,7 @@ tuples with their attribute payloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Tuple
 
 from repro.eer.model import EERSchema
 

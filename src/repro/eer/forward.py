@@ -16,7 +16,7 @@ method's output space.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.dependencies.ind import InclusionDependency
 from repro.eer.model import EERSchema, EntityType, RelationshipType

@@ -15,7 +15,11 @@ from repro.evaluation.metrics import (
     score_refs,
 )
 from repro.evaluation.schema_match import SchemaRecovery, score_schema_recovery
-from repro.evaluation.counters import CostReport, cost_report
+from repro.evaluation.counters import (
+    CostReport,
+    cost_report,
+    cost_report_from_trace,
+)
 
 __all__ = [
     "PrecisionRecall",
@@ -26,4 +30,5 @@ __all__ = [
     "score_schema_recovery",
     "CostReport",
     "cost_report",
+    "cost_report_from_trace",
 ]

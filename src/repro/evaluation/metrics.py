@@ -11,7 +11,7 @@ closure-aware credit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set
+from typing import Sequence, Set
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.ind import InclusionDependency

@@ -10,7 +10,7 @@ against the chase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.exceptions import ProcessError

@@ -10,12 +10,12 @@ given FDs) and a set of FDs.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.dependencies.closure import attribute_closure
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import DatabaseSchema
 
 
 class NormalForm(str, Enum):

@@ -16,7 +16,6 @@ from typing import List, Sequence, Tuple
 from repro.dependencies.closure import minimal_cover
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.keys import candidate_keys
-from repro.relational.attribute import AttributeSet
 
 
 def synthesize_3nf(

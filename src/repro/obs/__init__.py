@@ -1,0 +1,56 @@
+"""Observability: structured tracing, metrics and trace export.
+
+The subsystem makes the paper's efficiency argument measurable end to
+end:
+
+- :mod:`repro.obs.tracer` — :class:`Tracer`, nested
+  :class:`SpanRecord` intervals around the five pipeline phases, and
+  one :class:`PrimitiveEvent` per extension-primitive call;
+- :mod:`repro.obs.instrument` — :class:`InstrumentedBackend`, the thin
+  wrapper that times backend primitives and records cache hit/miss and
+  rows touched without the backends knowing about the tracer;
+- :mod:`repro.obs.export` — JSONL trace and flat metrics-JSON writers,
+  readers, and the ``repro trace summarize`` rendering.
+
+``QueryCounter`` and ``CostReport`` are views over the same event
+stream, so the counters the benchmarks report and the exported traces
+can never disagree.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.tracer import (
+    PHASE_NAMES,
+    PRIMITIVES,
+    PrimitiveEvent,
+    SpanRecord,
+    Tracer,
+)
+from repro.obs.instrument import InstrumentedBackend
+from repro.obs.export import (
+    METRICS_FORMAT,
+    TRACE_FORMAT,
+    metrics_from_records,
+    metrics_summary,
+    read_trace_jsonl,
+    summarize_trace,
+    trace_records,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "PHASE_NAMES",
+    "PRIMITIVES",
+    "PrimitiveEvent",
+    "SpanRecord",
+    "Tracer",
+    "InstrumentedBackend",
+    "METRICS_FORMAT",
+    "TRACE_FORMAT",
+    "metrics_from_records",
+    "metrics_summary",
+    "read_trace_jsonl",
+    "summarize_trace",
+    "trace_records",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

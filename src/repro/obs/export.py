@@ -1,0 +1,256 @@
+"""Trace and metrics exporters, and their file formats.
+
+Two artifacts can be written from one :class:`~repro.obs.tracer.Tracer`:
+
+- **JSONL trace** (``repro/trace@1``) — one JSON object per line.  The
+  first line is a header; every further line is a ``span`` or ``event``
+  record, ordered by start time.  Timestamps are milliseconds relative
+  to the earliest record, so traces are diffable across runs and
+  machines.
+- **metrics JSON** (``repro/metrics@1``) — one flat document with
+  per-phase durations and query counts, per-primitive call/latency/
+  cache/row rollups, per-backend totals, and run totals.
+
+The metrics document is *derived from the trace records*
+(:func:`metrics_from_records`), so a summary computed live from a
+tracer and one computed from a written-and-reread JSONL file agree by
+construction.  ``repro trace summarize FILE`` renders the same records
+as a span tree plus primitive table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.util.text import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
+
+__all__ = [
+    "TRACE_FORMAT",
+    "METRICS_FORMAT",
+    "trace_records",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "metrics_from_records",
+    "metrics_summary",
+    "write_metrics_json",
+    "summarize_trace",
+]
+
+TRACE_FORMAT = "repro/trace@1"
+METRICS_FORMAT = "repro/metrics@1"
+
+
+def _ms(seconds: float) -> float:
+    """Seconds → milliseconds, rounded to survive a JSON round-trip."""
+    return round(seconds * 1000.0, 6)
+
+
+def trace_records(tracer: "Tracer") -> List[Dict[str, Any]]:
+    """The tracer's streams as JSON-ready records (header first)."""
+    starts = [s.start for s in tracer.spans] + [e.start for e in tracer.events]
+    base = min(starts) if starts else 0.0
+    rows: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        rows.append(
+            {
+                "type": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "kind": span.kind,
+                "start_ms": _ms(span.start - base),
+                "duration_ms": _ms(span.duration),
+                "attributes": dict(span.attributes),
+            }
+        )
+    for event in tracer.events:
+        rows.append(
+            {
+                "type": "event",
+                "span": event.span_id,
+                "primitive": event.primitive,
+                "backend": event.backend,
+                "relations": list(event.relations),
+                "attributes": [list(a) for a in event.attributes],
+                "start_ms": _ms(event.start - base),
+                "duration_ms": _ms(event.duration),
+                "cache_hit": event.cache_hit,
+                "rows_touched": event.rows_touched,
+            }
+        )
+    rows.sort(key=lambda r: (r["start_ms"], 0 if r["type"] == "span" else 1))
+    header = {
+        "type": "trace",
+        "format": TRACE_FORMAT,
+        "spans": len(tracer.spans),
+        "events": len(tracer.events),
+    }
+    return [header] + rows
+
+
+def write_trace_jsonl(tracer: "Tracer", path: str) -> None:
+    """Write the trace as JSONL (header line + one record per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in trace_records(tracer):
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+
+
+def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back into its records (header included)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if not records or records[0].get("format") != TRACE_FORMAT:
+        raise ValueError(f"not a {TRACE_FORMAT} trace: {path!r}")
+    return records
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def _descendants(spans: List[Dict[str, Any]]) -> Dict[int, set]:
+    """span id → the ids of the span and every span nested under it."""
+    children: Dict[Optional[int], List[int]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span["id"])
+    out: Dict[int, set] = {}
+
+    def collect(span_id: int) -> set:
+        if span_id not in out:
+            ids = {span_id}
+            for child in children.get(span_id, []):
+                ids |= collect(child)
+            out[span_id] = ids
+        return out[span_id]
+
+    for span in spans:
+        collect(span["id"])
+    return out
+
+
+def metrics_from_records(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The flat metrics document for one trace's records."""
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    subtree = _descendants(spans)
+
+    phases: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        if span["kind"] != "phase":
+            continue
+        queries = sum(1 for e in events if e["span"] in subtree[span["id"]])
+        phases[span["name"]] = {
+            "duration_ms": span["duration_ms"],
+            "queries": queries,
+        }
+
+    primitives: Dict[str, Dict[str, Any]] = {}
+    backends: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        p = primitives.setdefault(
+            event["primitive"],
+            {
+                "calls": 0,
+                "duration_ms": 0.0,
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "rows_touched": 0,
+            },
+        )
+        p["calls"] += 1
+        p["duration_ms"] += event["duration_ms"]
+        p["cache_hits" if event["cache_hit"] else "cache_misses"] += 1
+        p["rows_touched"] += event["rows_touched"]
+        b = backends.setdefault(event["backend"], {"calls": 0, "duration_ms": 0.0})
+        b["calls"] += 1
+        b["duration_ms"] += event["duration_ms"]
+    for rollup in (*primitives.values(), *backends.values()):
+        rollup["duration_ms"] = _ms(rollup["duration_ms"] / 1000.0)
+
+    root_ms = max((s["duration_ms"] for s in spans if s["parent"] is None), default=0.0)
+    return {
+        "format": METRICS_FORMAT,
+        "phases": phases,
+        "primitives": primitives,
+        "backends": backends,
+        "totals": {
+            "queries": len(events),
+            "cache_hits": sum(1 for e in events if e["cache_hit"]),
+            "rows_touched": sum(e["rows_touched"] for e in events),
+            "query_duration_ms": _ms(sum(e["duration_ms"] for e in events) / 1000.0),
+            "duration_ms": root_ms,
+            "spans": len(spans),
+        },
+    }
+
+
+def metrics_summary(tracer: "Tracer") -> Dict[str, Any]:
+    """The metrics document computed live from *tracer*."""
+    return metrics_from_records(trace_records(tracer))
+
+
+def write_metrics_json(tracer: "Tracer", path: str) -> None:
+    """Write the flat metrics summary as one JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_summary(tracer), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# human-readable rendering (repro trace summarize)
+# ----------------------------------------------------------------------
+def summarize_trace(records: List[Dict[str, Any]]) -> str:
+    """Render a trace as a span tree plus per-primitive rollup table."""
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    subtree = _descendants(spans)
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+
+    lines = [f"# Trace — {len(spans)} span(s), {len(events)} event(s)"]
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        queries = sum(1 for e in events if e["span"] in subtree[span["id"]])
+        extra = "".join(
+            f" {k}={v}" for k, v in sorted(span.get("attributes", {}).items())
+        )
+        lines.append(
+            f"{'  ' * depth}- {span['name']} [{span['kind']}] "
+            f"{span['duration_ms']:.3f} ms, {queries} quer{'y' if queries == 1 else 'ies'}{extra}"
+        )
+        for child in children.get(span["id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+
+    metrics = metrics_from_records(records)
+    if metrics["primitives"]:
+        rows = [
+            [
+                name,
+                stats["calls"],
+                f"{stats['duration_ms']:.3f}",
+                stats["cache_hits"],
+                stats["rows_touched"],
+            ]
+            for name, stats in sorted(metrics["primitives"].items())
+        ]
+        lines.append("")
+        lines.append("# Primitives")
+        lines.append(
+            format_table(
+                ["primitive", "calls", "total ms", "cache hits", "rows touched"],
+                rows,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Structured tracing: nested spans and primitive-level events.
+
+The paper's efficiency argument (§6) is about *where* extension queries
+go; the :class:`Tracer` makes that observable.  One tracer collects two
+ordered streams for a reverse-engineering run:
+
+- **spans** — timed, named, nested intervals.  The pipeline opens one
+  root ``pipeline`` span and one ``phase`` span per algorithm
+  (IND-Discovery, LHS-Discovery, RHS-Discovery, Restruct, Translate);
+  any caller may open further spans around its own work.
+- **events** — one :class:`PrimitiveEvent` per instrumented extension
+  primitive (``count_distinct``, ``join_count``, ``fd_holds``,
+  ``inclusion_holds``), recorded by the
+  :class:`~repro.obs.instrument.InstrumentedBackend` wrapper with wall
+  time, backend kind, cache hit/miss and rows touched.  Each event
+  carries the id of the span it happened under, so per-phase query
+  accounting falls out of the stream.
+
+The event stream is the *single* source of truth for query accounting:
+:class:`~repro.relational.database.TracedQueryCounter` and
+:func:`repro.evaluation.counters.cost_report` are views over it — there
+is no second set of hand-maintained counters to drift out of sync.
+
+Timestamps come from an injectable monotonic clock (default
+:func:`time.perf_counter`), so tests can drive the tracer with a fake
+clock and assert exact durations.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["SpanRecord", "PrimitiveEvent", "Tracer", "PHASE_NAMES", "PRIMITIVES"]
+
+#: the five pipeline phases, in execution order (§6-§7 of the paper)
+PHASE_NAMES = (
+    "IND-Discovery",
+    "LHS-Discovery",
+    "RHS-Discovery",
+    "Restruct",
+    "Translate",
+)
+
+#: the four instrumented extension primitives (§2 of the paper)
+PRIMITIVES = ("count_distinct", "join_count", "fd_holds", "inclusion_holds")
+
+
+@dataclass
+class SpanRecord:
+    """One timed interval: a pipeline phase or any caller-opened scope."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str = "span"
+    start: float = 0.0
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while the span is open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, kind={self.kind!r}, "
+            f"duration={self.duration * 1000:.3f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class PrimitiveEvent:
+    """One instrumented extension-primitive call.
+
+    ``relations``/``attributes`` mirror the call's arguments: one
+    relation and one attribute tuple for ``count_distinct``, two of each
+    for ``join_count``/``inclusion_holds``, and one relation with the
+    ``(lhs, rhs)`` attribute tuples for ``fd_holds``.  ``rows_touched``
+    is the number of stored rows a cold evaluation scans — 0 when the
+    backend answered from a cache.
+    """
+
+    span_id: Optional[int]
+    primitive: str
+    backend: str
+    relations: Tuple[str, ...]
+    attributes: Tuple[Tuple[str, ...], ...]
+    start: float
+    duration: float
+    cache_hit: bool
+    rows_touched: int
+
+    def __repr__(self) -> str:
+        rels = ",".join(self.relations)
+        hit = "hit" if self.cache_hit else "miss"
+        return f"PrimitiveEvent({self.primitive} {rels} {hit})"
+
+
+class Tracer:
+    """Collects the span and event streams of one (or more) runs."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[SpanRecord] = []
+        #: completed and open spans, ordered by start time
+        self.spans: List[SpanRecord] = []
+        #: primitive events, ordered by occurrence
+        self.events: List[PrimitiveEvent] = []
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The tracer's monotonic clock (injectable for tests)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def start_span(self, name: str, kind: str = "span", **attributes: Any) -> SpanRecord:
+        """Open a span under the current one; prefer :meth:`span`."""
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            kind=kind,
+            start=self.now(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record)
+        return record
+
+    def end_span(self, record: SpanRecord) -> SpanRecord:
+        """Close *record* (and any unclosed children left on the stack)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end = self.now()
+            if top is record:
+                break
+        else:
+            record.end = self.now()
+        return record
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attributes: Any) -> Iterator[SpanRecord]:
+        """Context manager: a timed span around the enclosed work.
+
+        Yields the live :class:`SpanRecord`, so callers can attach
+        attributes computed inside the scope::
+
+            with tracer.span("IND-Discovery", kind="phase") as span:
+                result = step.run(...)
+                span.attributes["inds"] = len(result.inds)
+        """
+        record = self.start_span(name, kind, **attributes)
+        try:
+            yield record
+        finally:
+            self.end_span(record)
+
+    def current_span_id(self) -> Optional[int]:
+        """The id of the innermost open span, or None outside any span."""
+        return self._stack[-1].span_id if self._stack else None
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def record_event(
+        self,
+        primitive: str,
+        backend: str,
+        relations: Tuple[str, ...],
+        attributes: Tuple[Tuple[str, ...], ...],
+        start: float,
+        duration: float,
+        cache_hit: bool,
+        rows_touched: int,
+    ) -> PrimitiveEvent:
+        """Append one primitive event, attributed to the open span."""
+        event = PrimitiveEvent(
+            span_id=self.current_span_id(),
+            primitive=primitive,
+            backend=backend,
+            relations=tuple(relations),
+            attributes=tuple(tuple(a) for a in attributes),
+            start=start,
+            duration=duration,
+            cache_hit=cache_hit,
+            rows_touched=rows_touched,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop both streams (open spans included)."""
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self.spans)}, events={len(self.events)})"

@@ -10,7 +10,7 @@ equi-join recognition in :mod:`repro.programs.extractor`.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.exceptions import ExtractionError

@@ -11,7 +11,7 @@ never joins.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Any, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.exceptions import ArityError
 from repro.relational.domain import is_null

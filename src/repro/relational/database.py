@@ -4,19 +4,25 @@ A :class:`Database` bundles the schema ``R``, the extension ``E`` (held
 by a pluggable :class:`~repro.backends.base.ExtensionBackend`) and the
 dependency set ``Δ = F ∪ IND`` — empty at the start of a
 reverse-engineering run, filled in by the method.  Every extension
-access made through the database is counted, so the benchmarks can
-report how many queries each algorithm issues (the paper's efficiency
-argument for query-guided discovery); where the answer comes from — the
-in-memory engine or pushed-down SQL on a live SQLite database — is the
-backend's business, never the method's.
+access made through the database flows through an
+:class:`~repro.obs.instrument.InstrumentedBackend`, which records one
+:class:`~repro.obs.tracer.PrimitiveEvent` (wall time, cache hit/miss,
+rows touched) on the database's :class:`~repro.obs.tracer.Tracer`; the
+:class:`TracedQueryCounter` the benchmarks read is a *view* over that
+event stream, so the query accounting (the paper's efficiency argument
+for query-guided discovery) and the exported traces can never disagree.
+Where the answer comes from — the in-memory engine or pushed-down SQL
+on a live SQLite database — is the backend's business, never the
+method's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.exceptions import ArityError
+from repro.obs.instrument import InstrumentedBackend
+from repro.obs.tracer import Tracer
 from repro.relational.catalog import Catalog
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.table import Table
@@ -27,16 +33,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dependencies.ind import InclusionDependency
 
 
-@dataclass
 class QueryCounter:
-    """Instrumentation: how often the extension was consulted."""
+    """Instrumentation: how often the extension was consulted.
 
-    count_distinct: int = 0
-    join_count: int = 0
-    fd_checks: int = 0
-    inclusion_checks: int = 0
+    The standalone form holds plain assignable counts (handy for tests
+    and for assembling a :class:`~repro.evaluation.counters.CostReport`
+    from an aggregate); every :class:`Database` carries the
+    :class:`TracedQueryCounter` subclass, whose counts are computed from
+    the tracer's event stream instead of maintained by hand.
+    """
+
+    def __init__(
+        self,
+        count_distinct: int = 0,
+        join_count: int = 0,
+        fd_checks: int = 0,
+        inclusion_checks: int = 0,
+    ) -> None:
+        self.count_distinct = count_distinct
+        self.join_count = join_count
+        self.fd_checks = fd_checks
+        self.inclusion_checks = inclusion_checks
 
     def total(self) -> int:
+        """All extension queries, across the four primitives."""
         return (
             self.count_distinct
             + self.join_count
@@ -45,10 +65,69 @@ class QueryCounter:
         )
 
     def reset(self) -> None:
+        """Zero every count."""
         self.count_distinct = 0
         self.join_count = 0
         self.fd_checks = 0
         self.inclusion_checks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(count_distinct={self.count_distinct}, "
+            f"join_count={self.join_count}, fd_checks={self.fd_checks}, "
+            f"inclusion_checks={self.inclusion_checks})"
+        )
+
+
+class TracedQueryCounter(QueryCounter):
+    """A live :class:`QueryCounter` view over a tracer's event stream.
+
+    No second bookkeeping: each count is the number of matching
+    :class:`~repro.obs.tracer.PrimitiveEvent` records since the last
+    :meth:`reset` (which just moves a watermark — the trace itself is
+    never truncated).
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._mark = 0
+
+    def _window(self):
+        events = self._tracer.events
+        if self._mark > len(events):  # the tracer was reset underneath us
+            self._mark = 0
+        return events[self._mark:]
+
+    def _count(self, primitive: str) -> int:
+        return sum(1 for e in self._window() if e.primitive == primitive)
+
+    @property
+    def count_distinct(self) -> int:
+        """``||r[X]||`` probes since the watermark."""
+        return self._count("count_distinct")
+
+    @property
+    def join_count(self) -> int:
+        """Equi-join cardinality queries since the watermark."""
+        return self._count("join_count")
+
+    @property
+    def fd_checks(self) -> int:
+        """FD satisfaction checks since the watermark."""
+        return self._count("fd_holds")
+
+    @property
+    def inclusion_checks(self) -> int:
+        """Inclusion checks since the watermark."""
+        return self._count("inclusion_holds")
+
+    def total(self) -> int:
+        """All primitive events since the watermark."""
+        return len(self._window())
+
+    def reset(self) -> None:
+        """Move the watermark past every event recorded so far."""
+        self._mark = len(self._tracer.events)
 
 
 class Database:
@@ -58,6 +137,7 @@ class Database:
         self,
         schema: Optional[DatabaseSchema] = None,
         backend: Optional["ExtensionBackend"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if backend is None:
             from repro.backends.memory import MemoryBackend
@@ -66,9 +146,11 @@ class Database:
         self.schema = schema or DatabaseSchema()
         self.backend = backend
         self.backend.attach(self.schema)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._instrumented = InstrumentedBackend(backend, self.tracer)
         self.fds: List["FunctionalDependency"] = []
         self.inds: List["InclusionDependency"] = []
-        self.counter = QueryCounter()
+        self.counter: QueryCounter = TracedQueryCounter(self.tracer)
         self.catalog = Catalog(self.schema)
 
     # ------------------------------------------------------------------
@@ -118,8 +200,7 @@ class Database:
     # ------------------------------------------------------------------
     def count_distinct(self, relation: str, attrs: Sequence[str]) -> int:
         """``||r[X]||`` — select count distinct X from R."""
-        self.counter.count_distinct += 1
-        return self.backend.count_distinct(relation, tuple(attrs))
+        return self._instrumented.count_distinct(relation, tuple(attrs))
 
     def join_count(
         self,
@@ -129,20 +210,18 @@ class Database:
         right_attrs: Sequence[str],
     ) -> int:
         """``||r_k[A_k] ⋈ r_l[A_l]||``."""
-        self.counter.join_count += 1
         if len(left_attrs) != len(right_attrs):
             raise ArityError(
                 f"equi-join arity mismatch: {list(left_attrs)} vs "
                 f"{list(right_attrs)}"
             )
-        return self.backend.join_count(
+        return self._instrumented.join_count(
             left, tuple(left_attrs), right, tuple(right_attrs)
         )
 
     def fd_holds(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
         """Does ``lhs -> rhs`` hold in the extension of *relation*?"""
-        self.counter.fd_checks += 1
-        return self.backend.fd_holds(relation, tuple(lhs), tuple(rhs))
+        return self._instrumented.fd_holds(relation, tuple(lhs), tuple(rhs))
 
     def inclusion_holds(
         self,
@@ -152,13 +231,12 @@ class Database:
         right_attrs: Sequence[str],
     ) -> bool:
         """Does ``R_left[A] ≪ R_right[B]`` hold in the extension?"""
-        self.counter.inclusion_checks += 1
         if len(left_attrs) != len(right_attrs):
             raise ArityError(
                 f"inclusion arity mismatch: {list(left_attrs)} vs "
                 f"{list(right_attrs)}"
             )
-        return self.backend.inclusion_holds(
+        return self._instrumented.inclusion_holds(
             left, tuple(left_attrs), right, tuple(right_attrs)
         )
 
@@ -176,7 +254,11 @@ class Database:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
-    def copy(self, backend: Optional["ExtensionBackend"] = None) -> "Database":
+    def copy(
+        self,
+        backend: Optional["ExtensionBackend"] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> "Database":
         """Deep copy of schema + extension (dependencies reset).
 
         Restruct mutates the database it is given; callers that want to
@@ -186,9 +268,15 @@ class Database:
         private in-memory SQLite store), so a pushdown pipeline run
         restructures inside the engine; passing one converts between
         backends — ``db.copy(backend=MemoryBackend())`` materializes a
-        SQLite extension in memory.
+        SQLite extension in memory.  The copy records on its own fresh
+        tracer unless *tracer* hands it a shared one (the pipeline does,
+        so phase spans and primitive events land in one trace).
         """
-        clone = Database(self.schema.copy(), backend=backend or self.backend.spawn())
+        clone = Database(
+            self.schema.copy(),
+            backend=backend or self.backend.spawn(),
+            tracer=tracer,
+        )
         for name in self.schema.relation_names:
             clone.insert_many(name, self.backend.rows(name))
         return clone

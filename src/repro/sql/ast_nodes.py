@@ -6,7 +6,7 @@ them, the executor interprets them, and the formatter prints them back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 

@@ -33,7 +33,15 @@ from typing import List, Optional, Tuple
 from repro.exceptions import SQLParseError
 from repro.sql import ast_nodes as ast
 from repro.sql.lexer import tokenize
-from repro.sql.tokens import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING, Token
+from repro.sql.tokens import (
+    EOF,
+    IDENT,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    Token,
+)
 
 _AGGREGATES = ("COUNT", "MIN", "MAX", "SUM", "AVG")
 _COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")

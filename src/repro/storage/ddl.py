@@ -14,11 +14,11 @@ emitted for the target DBMS).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.dependencies.ind import InclusionDependency
 from repro.relational.database import Database
-from repro.relational.domain import BOOLEAN, DATE, INTEGER, REAL, is_null
+from repro.relational.domain import is_null
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 _TYPE_NAMES = {

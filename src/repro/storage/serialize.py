@@ -8,7 +8,7 @@ meant to be read by humans as much as reloaded by the library.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, Sequence
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.ind import InclusionDependency

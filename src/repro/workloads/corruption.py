@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.dependencies.ind import InclusionDependency
 from repro.relational.database import Database
-from repro.relational.domain import NULL, is_null
+from repro.relational.domain import is_null
 
 #: corrupted identifiers start here — far outside any generated pool
 _CORRUPTION_BASE = 900_000

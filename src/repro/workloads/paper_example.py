@@ -26,7 +26,7 @@ from repro.programs.corpus import ProgramCorpus
 from repro.programs.equijoin import EquiJoin
 from repro.relational.attribute import AttributeRef
 from repro.relational.database import Database
-from repro.relational.domain import DATE, INTEGER, NULL, REAL, TEXT
+from repro.relational.domain import DATE, INTEGER, NULL, REAL
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """The four baselines: behaviour and the contrasts the paper draws."""
 
-import pytest
 
 from repro.baselines import (
     ExhaustiveINDBaseline,

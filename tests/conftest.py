@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import ScriptedExpert
 from repro.relational import Database, DatabaseSchema, RelationSchema
-from repro.relational.domain import INTEGER, REAL, TEXT
+from repro.relational.domain import INTEGER
 from repro.workloads.paper_example import (
     build_paper_database,
     paper_equijoins,

@@ -6,7 +6,6 @@ from repro.core.expert import ScriptedExpert
 from repro.core.restruct import Restruct, restructure
 from repro.dependencies.fd import FunctionalDependency as FD
 from repro.dependencies.ind import InclusionDependency as IND
-from repro.dependencies.inference import fd_satisfied
 from repro.relational.attribute import AttributeRef
 from repro.relational.database import Database
 from repro.relational.domain import INTEGER, NULL

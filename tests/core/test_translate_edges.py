@@ -1,6 +1,5 @@
 """Translate edge cases: multi-owner weak entities, degradations, mixes."""
 
-import pytest
 
 from repro.core.translate import Translate, translate
 from repro.dependencies.ind import InclusionDependency as IND

@@ -1,8 +1,7 @@
 """Structural EER comparison: signatures and diffs."""
 
-import pytest
 
-from repro.eer.compare import diff_schemas, schema_signature, schemas_equivalent
+from repro.eer.compare import diff_schemas, schemas_equivalent
 from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import DBREPipeline, ScriptedExpert
 from repro.eer import refine_cardinalities
-from repro.eer.compare import schemas_equivalent
 from repro.relational import Database, DatabaseSchema, NULL, RelationSchema
 from repro.relational.domain import INTEGER
 

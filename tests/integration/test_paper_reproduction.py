@@ -9,7 +9,6 @@ import pytest
 from repro.core import DBREPipeline, ScriptedExpert
 from repro.dependencies.fd import FunctionalDependency as FD
 from repro.normalization import NormalForm, schema_normal_forms
-from repro.programs.extractor import extract_equijoins
 from repro.workloads.paper_example import (
     PAPER_EXPECTED,
     build_paper_database,

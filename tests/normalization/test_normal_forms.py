@@ -1,6 +1,5 @@
 """Normal-form diagnosis, including the §5 annotations."""
 
-import pytest
 
 from repro.dependencies.fd import FunctionalDependency as FD
 from repro.normalization.normal_forms import (

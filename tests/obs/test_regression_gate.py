@@ -1,0 +1,91 @@
+"""Unit tests for the CI benchmark-regression gate's compare logic."""
+
+from __future__ import annotations
+
+import pytest
+
+regression = pytest.importorskip("benchmarks.regression")
+
+
+def head(queries=None, latency_units=None):
+    return {
+        "queries": queries or {},
+        "latency_units": latency_units or {},
+    }
+
+
+def run_doc(**heads):
+    return {"format": regression.FORMAT, "mode": "quick", "heads": heads}
+
+
+class TestQueryGate:
+    def test_within_the_ratio_passes(self):
+        baseline = run_doc(s1=head(queries={"count_distinct": 10}))
+        current = run_doc(s1=head(queries={"count_distinct": 19}))
+        assert regression.compare(current, baseline) == []
+
+    def test_beyond_the_ratio_fails(self):
+        baseline = run_doc(s1=head(queries={"count_distinct": 10}))
+        current = run_doc(s1=head(queries={"count_distinct": 21}))
+        violations = regression.compare(current, baseline)
+        assert len(violations) == 1
+        assert "count_distinct" in violations[0]
+        assert "21" in violations[0]
+
+    def test_max_ratio_is_configurable(self):
+        baseline = run_doc(s1=head(queries={"fd_holds": 10}))
+        current = run_doc(s1=head(queries={"fd_holds": 12}))
+        assert regression.compare(current, baseline, max_ratio=1.1)
+
+    def test_zero_baseline_counts_are_not_gated(self):
+        baseline = run_doc(s1=head(queries={"join_count": 0}))
+        current = run_doc(s1=head(queries={"join_count": 50}))
+        assert regression.compare(current, baseline) == []
+
+
+class TestLatencyGate:
+    def test_below_the_noise_floor_is_not_gated(self):
+        floor = regression.LATENCY_FLOOR_UNITS
+        baseline = run_doc(s1=head(latency_units={"fd_holds": floor / 2}))
+        current = run_doc(s1=head(latency_units={"fd_holds": 100.0}))
+        assert regression.compare(current, baseline) == []
+
+    def test_above_the_floor_a_regression_fails(self):
+        baseline = run_doc(s1=head(latency_units={"fd_holds": 0.5}))
+        current = run_doc(s1=head(latency_units={"fd_holds": 1.5}))
+        violations = regression.compare(current, baseline)
+        assert len(violations) == 1
+        assert "latency" in violations[0]
+
+    def test_above_the_floor_within_ratio_passes(self):
+        baseline = run_doc(s1=head(latency_units={"fd_holds": 0.5}))
+        current = run_doc(s1=head(latency_units={"fd_holds": 0.9}))
+        assert regression.compare(current, baseline) == []
+
+
+class TestShape:
+    def test_missing_head_is_a_violation(self):
+        baseline = run_doc(s1=head(queries={"count_distinct": 1}))
+        current = run_doc()
+        violations = regression.compare(current, baseline)
+        assert violations == ["s1: head missing from this run"]
+
+    def test_empty_baseline_gates_nothing(self):
+        assert regression.compare(run_doc(s1=head()), run_doc()) == []
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        result = run_doc(s1=head(queries={"count_distinct": 3}))
+        regression.write_baseline(path, result)
+        loaded = regression.load_baseline(path, "quick")
+        assert loaded == result
+        assert regression.load_baseline(path, "full") is None
+
+    def test_load_baseline_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something/else@1"}')
+        with pytest.raises(SystemExit):
+            regression.load_baseline(str(path), "quick")
+
+    def test_missing_baseline_file_is_none(self, tmp_path):
+        assert regression.load_baseline(str(tmp_path / "nope.json"), "quick") is None

@@ -1,0 +1,135 @@
+"""Tracer unit tests, driven by a fake clock for exact durations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import PHASE_NAMES, PRIMITIVES, Tracer
+
+
+class FakeClock:
+    """A monotonic clock advancing 1.0 per tick."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer(clock=FakeClock())
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_fake_clock_gives_exact_durations(self, tracer):
+        with tracer.span("outer"):          # start t=1
+            with tracer.span("inner"):      # start t=2, end t=3
+                pass
+        # outer ends at t=4
+        outer, inner = tracer.spans
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+
+    def test_span_ids_are_unique_and_ordered(self, tracer):
+        for name in PHASE_NAMES:
+            with tracer.span(name, kind="phase"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_end_span_closes_abandoned_children(self, tracer):
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")  # never closed explicitly
+        tracer.end_span(outer)
+        assert inner.end is not None
+        assert outer.end is not None
+        assert tracer.current_span_id() is None
+
+    def test_open_span_has_zero_duration(self, tracer):
+        record = tracer.start_span("open")
+        assert record.duration == 0.0
+
+    def test_attributes_can_be_set_inside_the_scope(self, tracer):
+        with tracer.span("phase", kind="phase") as span:
+            span.attributes["inds"] = 7
+        assert tracer.spans[0].attributes == {"inds": 7}
+
+
+class TestEvents:
+    def test_event_attributed_to_innermost_open_span(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                event = tracer.record_event(
+                    primitive="count_distinct",
+                    backend="memory",
+                    relations=("r",),
+                    attributes=(("a",),),
+                    start=tracer.now(),
+                    duration=0.5,
+                    cache_hit=False,
+                    rows_touched=3,
+                )
+        assert event.span_id == inner.span_id
+        assert tracer.events == [event]
+
+    def test_event_outside_any_span_has_no_span_id(self, tracer):
+        event = tracer.record_event(
+            primitive="join_count",
+            backend="memory",
+            relations=("r", "s"),
+            attributes=(("a",), ("b",)),
+            start=0.0,
+            duration=0.0,
+            cache_hit=True,
+            rows_touched=0,
+        )
+        assert event.span_id is None
+
+    def test_events_are_immutable(self, tracer):
+        event = tracer.record_event(
+            primitive="fd_holds",
+            backend="memory",
+            relations=("r",),
+            attributes=(("a",), ("b",)),
+            start=0.0,
+            duration=0.0,
+            cache_hit=False,
+            rows_touched=1,
+        )
+        with pytest.raises(AttributeError):
+            event.primitive = "join_count"
+
+
+class TestReset:
+    def test_reset_drops_both_streams_and_reuses_ids(self, tracer):
+        with tracer.span("s"):
+            tracer.record_event(
+                primitive="count_distinct", backend="memory",
+                relations=("r",), attributes=(("a",),),
+                start=0.0, duration=0.0, cache_hit=False, rows_touched=0,
+            )
+        tracer.reset()
+        assert tracer.spans == [] and tracer.events == []
+        with tracer.span("again") as record:
+            pass
+        assert record.span_id == 1
+
+
+def test_module_constants_match_the_paper():
+    assert PHASE_NAMES == (
+        "IND-Discovery", "LHS-Discovery", "RHS-Discovery", "Restruct", "Translate",
+    )
+    assert PRIMITIVES == ("count_distinct", "join_count", "fd_holds", "inclusion_holds")

@@ -15,7 +15,7 @@ from repro.dependencies.ind_inference import ind_satisfied
 from repro.normalization.chase import lossless_join
 from repro.programs.equijoin import EquiJoin
 from repro.relational.database import Database
-from repro.relational.domain import INTEGER, NULL
+from repro.relational.domain import INTEGER
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 int_lists = st.lists(st.integers(0, 8), max_size=15)

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.relational.attribute import AttributeRef
-from repro.relational.catalog import Catalog
 
 
 class TestEntries:

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.exceptions import UnknownRelationError
-from repro.relational.database import Database
-from repro.relational.domain import INTEGER
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import RelationSchema
 
 
 class TestSchemaManagement:

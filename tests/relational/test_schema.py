@@ -9,7 +9,6 @@ from repro.exceptions import (
     UnknownRelationError,
 )
 from repro.relational.attribute import Attribute, AttributeRef
-from repro.relational.domain import INTEGER
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 

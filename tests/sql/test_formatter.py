@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sql import ast, format_statement
+from repro.sql import format_statement
 from repro.sql.parser import parse_sql
 
 ROUND_TRIP_CASES = [

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.evaluation",
     "repro.mining",
+    "repro.obs",
     "repro.storage",
 ]
 

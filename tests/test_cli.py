@@ -1,7 +1,6 @@
 """The command-line interface."""
 
 import json
-import os
 
 import pytest
 
@@ -199,4 +198,83 @@ class TestCommands:
         bad.write_text("CREATE GARBAGE;")
         code = main(["inspect", str(bad)])
         assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_programs_dir_is_an_error_not_a_traceback(
+        self, workspace, capsys
+    ):
+        for command in ("extract", "run"):
+            code = main(
+                [command, str(workspace / "schema.sql"), str(workspace / "missing")]
+            )
+            assert code == 1
+            err = capsys.readouterr().err
+            assert "error:" in err
+            assert "programs directory not found" in err
+
+
+class TestObservabilityOutputs:
+    def test_run_writes_trace_and_metrics(self, workspace, capsys):
+        from repro.obs import METRICS_FORMAT, PHASE_NAMES, read_trace_jsonl
+
+        trace_path = workspace / "run.trace.jsonl"
+        metrics_path = workspace / "run.metrics.json"
+        code = main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace_path}" in out
+        assert f"metrics written to {metrics_path}" in out
+
+        records = read_trace_jsonl(str(trace_path))
+        phase_names = [
+            r["name"] for r in records
+            if r.get("type") == "span" and r["kind"] == "phase"
+        ]
+        assert phase_names == list(PHASE_NAMES)
+        assert any(r.get("type") == "event" for r in records)
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["format"] == METRICS_FORMAT
+        assert set(metrics["phases"]) == set(PHASE_NAMES)
+        assert metrics["totals"]["queries"] > 0
+        # the metrics document is derived from the very same records
+        from repro.obs import metrics_from_records
+
+        assert metrics == metrics_from_records(records)
+
+    def test_demo_accepts_observability_options(self, tmp_path, capsys):
+        trace_path = tmp_path / "demo.trace.jsonl"
+        assert main(["demo", "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+
+    def test_trace_summarize_renders_the_span_tree(self, workspace, capsys):
+        trace_path = workspace / "run.trace.jsonl"
+        assert main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--trace", str(trace_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "- pipeline [pipeline]" in out
+        assert "IND-Discovery [phase]" in out
+        assert "# Primitives" in out
+
+    def test_trace_summarize_rejects_a_non_trace_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"hello": "world"}\n')
+        assert main(["trace", "summarize", str(bogus)]) == 1
         assert "error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Utility helpers: naming, ordering, text."""
 
-import pytest
 
 from repro.util.naming import is_valid_identifier, merge_name, singularize, unique_name
 from repro.util.ordering import stable_sorted

@@ -12,14 +12,12 @@ from repro.core import DBREPipeline
 from repro.evaluation.metrics import score_refs
 from repro.evaluation.schema_match import score_schema_recovery
 from repro.relational.attribute import AttributeRef
-from repro.workloads.corruption import CorruptionReport
 from repro.workloads.data_generator import DataConfig, DataGenerator
 from repro.workloads.denormalizer import DenormalizationPlan, Denormalizer
 from repro.workloads.er_generator import (
     EntitySpec,
     ERSpec,
     GeneratorConfig,
-    ManyToManySpec,
     OneToManySpec,
 )
 from repro.workloads.mapping import map_er_to_relational

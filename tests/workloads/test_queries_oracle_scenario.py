@@ -7,9 +7,8 @@ from repro.dependencies.fd import FunctionalDependency as FD
 from repro.programs.equijoin import EquiJoin
 from repro.programs.extractor import extract_equijoins
 from repro.relational.attribute import AttributeRef
-from repro.workloads.oracle import OracleExpert
 from repro.workloads.query_generator import QueryWorkloadGenerator, WorkloadConfig
-from repro.workloads.scenario import ScenarioConfig, SyntheticScenario, build_scenario
+from repro.workloads.scenario import ScenarioConfig, build_scenario
 
 
 @pytest.fixture(scope="module")
