@@ -1,0 +1,152 @@
+"""S7 — the batched engine vs the serial pipeline.
+
+The batched planner must earn its keep on the paper's own workload: at
+bit-identical output (the differential suite guarantees that; here we
+re-assert the cheap invariants), the SQLite pushdown must answer the
+run's probe stream in **at least 2x fewer physical backend calls** than
+the serial pipeline issues, and the batched run's wall clock must stay
+within tolerance of the serial run's.  The memory-backend rows report
+what dedupe and grouping contribute on their own.
+
+Unlike the other S-series benches this file does not use the
+pytest-benchmark fixture — CI runs it as a plain smoke test with
+``time.perf_counter`` min-of-N loops.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.evaluation import batching_summary
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+)
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+#: batched wall clock may exceed serial by at most this factor on the
+#: tiny paper workload (planner overhead amortizes away at scale)
+WALL_CLOCK_TOLERANCE = 1.2
+
+ROUNDS = 3
+
+
+def _paper_run(engine, backend_factory):
+    db = build_paper_database(backend=backend_factory())
+    pipeline = DBREPipeline(
+        db, ScriptedExpert(paper_expert_script()), engine=engine
+    )
+    start = time.perf_counter()
+    result = pipeline.run(equijoins=paper_equijoins())
+    wall = time.perf_counter() - start
+    db.close()
+    return result, wall
+
+
+def _best_wall(engine, backend_factory, rounds=ROUNDS):
+    return min(_paper_run(engine, backend_factory)[1] for _ in range(rounds))
+
+
+def _same_output(a, b):
+    assert [repr(i) for i in a.inds] == [repr(i) for i in b.inds]
+    assert [repr(f) for f in a.fds] == [repr(f) for f in b.fds]
+    assert [repr(r) for r in a.ric] == [repr(r) for r in b.ric]
+    assert a.extension_queries == b.extension_queries
+    assert a.expert_decisions == b.expert_decisions
+
+
+def test_s7_pushdown_call_reduction():
+    """SQLite pushdown: >= 2x fewer backend calls on the paper example."""
+    serial, _ = _paper_run("serial", SQLiteBackend)
+    batched, _ = _paper_run("batched", SQLiteBackend)
+    _same_output(serial, batched)
+
+    stats = batched.engine_stats
+    summary = batching_summary(stats)
+    report(
+        "S7 — backend calls, paper example on SQLite",
+        ["engine", "logical probes", "backend calls", "reduction"],
+        [
+            ["serial", serial.extension_queries, serial.extension_queries, "1.0x"],
+            [
+                "batched",
+                stats.logical_probes,
+                stats.backend_calls,
+                f"{summary['call_reduction']:.1f}x",
+            ],
+        ],
+    )
+    assert stats.logical_probes == serial.extension_queries
+    assert stats.batched_calls == stats.backend_calls > 0
+    # the acceptance bar: half the serial backend traffic, or better
+    assert serial.extension_queries >= 2 * stats.backend_calls
+
+
+def test_s7_memory_dedupe_and_grouping():
+    """Memory backend: dedupe/grouping figures at identical output."""
+    serial, _ = _paper_run("serial", MemoryBackend)
+    batched, _ = _paper_run("batched", MemoryBackend)
+    _same_output(serial, batched)
+
+    stats = batched.engine_stats
+    report(
+        "S7 — planner effect, paper example in memory",
+        ["figure", "value"],
+        [
+            ["logical probes", stats.logical_probes],
+            ["unique probes", stats.unique_probes],
+            ["deduped", stats.deduped_probes],
+            ["groups", stats.groups],
+            ["backend calls", stats.backend_calls],
+        ],
+    )
+    assert stats.deduped_probes > 0
+    assert stats.backend_calls == stats.unique_probes < stats.logical_probes
+
+
+def test_s7_wall_clock_not_worse():
+    """Batched wall clock stays within tolerance of serial (SQLite)."""
+    serial_wall = _best_wall("serial", SQLiteBackend)
+    batched_wall = _best_wall("batched", SQLiteBackend)
+    report(
+        "S7 — wall clock, paper example on SQLite (best of 3)",
+        ["engine", "wall ms"],
+        [
+            ["serial", f"{serial_wall * 1000:.2f}"],
+            ["batched", f"{batched_wall * 1000:.2f}"],
+        ],
+    )
+    assert batched_wall <= serial_wall * WALL_CLOCK_TOLERANCE
+
+
+def test_s7_scales_with_scenario_size():
+    """Grouping keeps the physical call count sublinear in probes."""
+    rows = []
+    for n_entities in (4, 6, 8):
+        scenario = build_scenario(ScenarioConfig(
+            seed=300 + n_entities,
+            n_entities=n_entities,
+            n_one_to_many=n_entities - 1,
+            n_many_to_many=1,
+            merges=2,
+            parent_rows=15,
+        ))
+        db = scenario.database.copy(backend=SQLiteBackend())
+        pipeline = DBREPipeline(db, scenario.expert, engine="batched")
+        result = pipeline.run(corpus=scenario.corpus)
+        stats = result.engine_stats
+        rows.append([
+            n_entities,
+            stats.logical_probes,
+            stats.backend_calls,
+            f"{batching_summary(stats)['call_reduction']:.1f}x",
+        ])
+        assert 2 * stats.backend_calls <= stats.logical_probes
+        db.close()
+    report(
+        "S7 — call reduction vs scenario size (SQLite pushdown)",
+        ["entities", "logical probes", "backend calls", "reduction"],
+        rows,
+    )

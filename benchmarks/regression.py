@@ -92,6 +92,35 @@ def _head_configs(quick: bool) -> List[Dict[str, Any]]:
             ),
             "backend": SQLiteBackend,
         },
+        # the same end-to-end heads through the batched engine: the
+        # logical query stream (and so every gated figure) must match
+        # the serial heads; "engine" extras record the physical savings
+        {
+            "name": "s3-end-to-end-head-batched",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+            "engine": "batched",
+        },
+        {
+            "name": "s6-sqlite-head-batched",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": SQLiteBackend,
+            "engine": "batched",
+        },
     ]
 
 
@@ -117,7 +146,12 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
     scenario = build_scenario(head["config"])
     database = scenario.database.copy(backend=head["backend"]())
     tracer = Tracer()
-    pipeline = DBREPipeline(database, scenario.expert, tracer=tracer)
+    pipeline = DBREPipeline(
+        database,
+        scenario.expert,
+        tracer=tracer,
+        engine=head.get("engine", "serial"),
+    )
     start = time.perf_counter()
     result = pipeline.run(corpus=scenario.corpus)
     wall_ms = (time.perf_counter() - start) * 1000.0
@@ -126,7 +160,7 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
 
     queries = {p: s["calls"] for p, s in metrics["primitives"].items()}
     latency = {p: s["duration_ms"] for p, s in metrics["primitives"].items()}
-    return {
+    measured = {
         "wall_ms": round(wall_ms, 3),
         "queries": queries,
         "latency_ms": latency,
@@ -135,6 +169,12 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         "decisions": result.expert_decisions,
         "phases": metrics["phases"],
     }
+    if result.engine_stats is not None:
+        # physical-call accounting; informational, not gated per se —
+        # but recorded in the baseline so a pushdown regression (more
+        # backend calls for the same logical stream) is visible
+        measured["engine"] = result.engine_stats.as_dict()
+    return measured
 
 
 def run_all(quick: bool) -> Dict[str, Any]:
@@ -178,6 +218,16 @@ def compare(
                 violations.append(
                     f"{name}: {primitive} issued {cur_calls} queries "
                     f"(baseline {base_calls}, limit {max_ratio:.1f}x)"
+                )
+        base_engine = base_head.get("engine")
+        if base_engine and base_engine.get("backend_calls"):
+            base_physical = base_engine["backend_calls"]
+            cur_physical = cur_head.get("engine", {}).get("backend_calls", 0)
+            if cur_physical > max_ratio * base_physical:
+                violations.append(
+                    f"{name}: batched engine made {cur_physical} backend "
+                    f"calls (baseline {base_physical}, limit "
+                    f"{max_ratio:.1f}x) — pushdown/grouping regressed"
                 )
         for primitive, base_units in base_head.get("latency_units", {}).items():
             if base_units < LATENCY_FLOOR_UNITS:

@@ -10,7 +10,10 @@ ship with the reproduction:
   primitives, distinct-value caching);
 - :class:`~repro.backends.sqlite.SQLiteBackend` — pushes every
   primitive down to SQLite as SQL, with per-relation statement caching
-  and version-guarded result invalidation.
+  and version-guarded result invalidation; also implements the optional
+  ``execute_batch`` hook (:class:`~repro.backends.base.
+  BatchCapableBackend`), answering a whole probe chunk from
+  :mod:`repro.engine` in one grouped statement.
 
 :func:`~repro.backends.introspect.open_sqlite` opens an existing ``.db``
 file, reading the paper's ``K``/``N`` input sets straight from SQLite's
@@ -20,7 +23,7 @@ See ``docs/BACKENDS.md`` for the protocol, the pushdown SQL and the
 dictionary mapping.
 """
 
-from repro.backends.base import ExtensionBackend
+from repro.backends.base import BatchCapableBackend, ExtensionBackend
 from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SQLiteBackend
 from repro.backends.introspect import (
@@ -30,6 +33,7 @@ from repro.backends.introspect import (
 )
 
 __all__ = [
+    "BatchCapableBackend",
     "ExtensionBackend",
     "MemoryBackend",
     "SQLiteBackend",

@@ -30,8 +30,23 @@ the extension ``E``.  Every backend must implement
   before each primitive so exported traces carry cache hit/miss and
   rows-touched figures; the backends themselves never see the tracer.
 
+Two further members are **optional** — the
+:class:`~repro.engine.executor.BatchExecutor` sniffs for them and falls
+back to serial primitive calls when they are absent, so third-party
+backends that only implement the required surface keep working:
+
+- ``execute_batch(probes)`` (see :class:`BatchCapableBackend`) answers
+  a sequence of :class:`~repro.engine.probes.Probe` requests in one
+  pass — :class:`~repro.backends.sqlite.SQLiteBackend` compiles a chunk
+  into a single grouped statement of scalar subqueries;
+- ``parallel_safe`` (class attribute, default falsy) declares that the
+  four primitives may be called from concurrent worker threads —
+  :class:`~repro.backends.memory.MemoryBackend` sets it because its
+  primitives are pure in-process reads.
+
 The contract is executable: ``tests/backends/test_contract.py`` runs the
-same assertions over every registered backend.
+same assertions over every registered backend, including the batch hook
+and its serial fallback.
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence, Tuple, Union, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.probes import Probe
     from repro.relational.schema import DatabaseSchema, RelationSchema
     from repro.relational.table import Table
 
@@ -145,4 +161,26 @@ class ExtensionBackend(Protocol):
         probe must not change what the primitive will answer.  ``rows
         touched`` is the number of stored rows a cold evaluation scans,
         and 0 when the answer will come from a cache.
+        """
+
+
+@runtime_checkable
+class BatchCapableBackend(ExtensionBackend, Protocol):
+    """The optional batch hook of the counting-primitive engine.
+
+    A backend that can answer many probes in one pass — a grouped SQL
+    statement, a vectorized scan — implements :meth:`execute_batch` on
+    top of the base contract.  The hook is discovered structurally
+    (``callable(getattr(backend, "execute_batch", None))``); backends
+    that omit it are driven probe-by-probe through the four primitives.
+    """
+
+    def execute_batch(self, probes: Sequence["Probe"]) -> "Sequence[Any]":
+        """Answer every probe; results align with *probes* by position.
+
+        Each result must be **identical** to what the corresponding
+        serial primitive call would return (``int`` for counting
+        probes, ``bool`` for ``fd_holds``/``inclusion_holds``), and any
+        result memoization must honor the same invalidation rules as
+        the serial path — the differential suite asserts both.
         """

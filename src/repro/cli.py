@@ -13,7 +13,11 @@ Commands:
 
 ``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace)
 and ``--metrics FILE`` (flat metrics summary); see
-``docs/OBSERVABILITY.md`` for the formats.
+``docs/OBSERVABILITY.md`` for the formats.  They also accept
+``--engine {serial,batched}``: ``batched`` routes the discovery phases
+through the :mod:`repro.engine` planner (dedupe + grouped execution;
+identical results and traces — see ``docs/ENGINE.md``), with
+``--engine-workers N`` controlling threads on parallel-safe backends.
 
 The database input is a ``.sql`` script (CREATE TABLE + INSERT,
 executed by the built-in engine), a ``.json`` database document
@@ -173,10 +177,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     database = load_database(args.database, args.backend)
     corpus = load_corpus(args.programs)
     expert = _make_expert(args)
-    pipeline = DBREPipeline(database, expert)
+    pipeline = DBREPipeline(
+        database, expert,
+        engine=args.engine, engine_workers=args.engine_workers,
+    )
     result = pipeline.run(corpus=corpus)
 
     print(f"{result!r}")
+    if result.engine_stats is not None:
+        stats = result.engine_stats
+        print(f"engine: batched — {stats.logical_probes} probes, "
+              f"{stats.unique_probes} unique, "
+              f"{stats.backend_calls} backend call(s)")
     print("\n# Restructured schema")
     for relation in result.restructured.schema:
         print(f"  {relation!r}")
@@ -233,7 +245,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
     database = build_paper_database()
     expert = ScriptedExpert(paper_expert_script())
-    pipeline = DBREPipeline(database, expert)
+    pipeline = DBREPipeline(
+        database, expert,
+        engine=args.engine, engine_workers=args.engine_workers,
+    )
     result = pipeline.run(corpus=paper_program_corpus())
     print(session_report(result, pipeline.expert,
                          title="Paper example (Petit et al., ICDE 1996)"))
@@ -267,6 +282,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--backend", choices=("auto", "memory", "sqlite"), default="auto",
             help="extension store: auto (SQLite files stay on the engine, "
                  "scripts/documents in memory), memory, or sqlite",
+        )
+
+    def add_engine_option(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--engine", choices=DBREPipeline.ENGINE_MODES, default="serial",
+            help="probe execution: serial (one backend call per probe) or "
+                 "batched (plan, dedupe and group probes; same results)",
+        )
+        command.add_argument(
+            "--engine-workers", type=int, default=0, metavar="N",
+            help="worker threads for the batched engine on parallel-safe "
+                 "backends (0 = auto)",
         )
 
     def add_observability_options(command: argparse.ArgumentParser) -> None:
@@ -321,10 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replay-decisions",
                      help="answer expert questions from a previously "
                           "saved decisions document")
+    add_engine_option(run)
     add_observability_options(run)
     run.set_defaults(func=cmd_run)
 
     demo = sub.add_parser("demo", help="run the paper's worked example")
+    add_engine_option(demo)
     add_observability_options(demo)
     demo.set_defaults(func=cmd_demo)
 

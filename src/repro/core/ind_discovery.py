@@ -22,12 +22,20 @@ A conceptualized intersection becomes a real relation in the database,
 keyed by its attributes and populated with the shared values, plus the
 two inclusion dependencies ``R_p[A_p] ≪ R_k[A_k]`` and
 ``R_p[A_p] ≪ R_l[A_l]``.
+
+When an :class:`~repro.engine.executor.BatchExecutor` is supplied, the
+three counts of **every** join are prefetched as one declarative probe
+batch before the classification loop runs.  This is safe because the
+only mutation the loop performs — conceptualizing an intersection —
+creates a *fresh* relation (its name is uniquified), so no later join
+of ``Q`` can observe it; the counts, the classification cases and the
+order of expert questions are exactly those of the serial walk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.expert import (
     ConceptualizeIntersection,
@@ -44,6 +52,9 @@ from repro.relational.attribute import Attribute
 from repro.relational.database import Database
 from repro.relational.schema import RelationSchema
 from repro.util.naming import unique_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import BatchExecutor
 
 
 @dataclass(frozen=True)
@@ -87,19 +98,56 @@ class INDDiscoveryResult:
 class INDDiscovery:
     """Runs the IND-Discovery algorithm against one database."""
 
-    def __init__(self, database: Database, expert: Optional[Expert] = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        expert: Optional[Expert] = None,
+        engine: Optional["BatchExecutor"] = None,
+    ) -> None:
         self.database = database
         self.expert = expert or Expert()
+        self.engine = engine
 
     def run(self, equijoins: Sequence[EquiJoin]) -> INDDiscoveryResult:
         """Process every element of ``Q`` in deterministic order."""
         result = INDDiscoveryResult()
-        for join in sorted(set(equijoins), key=lambda j: j.sort_key()):
-            self._process(join, result)
+        joins = sorted(set(equijoins), key=lambda j: j.sort_key())
+        counts = self._prefetch(joins)
+        for join in joins:
+            self._process(join, result, counts.get(join) if counts else None)
         return result
 
     # ------------------------------------------------------------------
-    def _process(self, join: EquiJoin, result: INDDiscoveryResult) -> None:
+    def _prefetch(
+        self, joins: Sequence[EquiJoin]
+    ) -> Optional[Dict[EquiJoin, Tuple[int, int, int]]]:
+        """Batch the ``(N_k, N_l, N_kl)`` counts of every live join."""
+        if self.engine is None:
+            return None
+        from repro.engine.probes import Probe
+
+        probes: List[Probe] = []
+        live: List[EquiJoin] = []
+        for join in joins:
+            (k_rel, k_attrs), (l_rel, l_attrs) = join.sides()
+            if (k_rel, k_attrs) == (l_rel, l_attrs):
+                continue  # reflexive: classified without extension access
+            probes.append(Probe.distinct(k_rel, k_attrs))
+            probes.append(Probe.distinct(l_rel, l_attrs))
+            probes.append(Probe.join(k_rel, k_attrs, l_rel, l_attrs))
+            live.append(join)
+        values = self.engine.run(probes)
+        return {
+            join: (values[3 * i], values[3 * i + 1], values[3 * i + 2])
+            for i, join in enumerate(live)
+        }
+
+    def _process(
+        self,
+        join: EquiJoin,
+        result: INDDiscoveryResult,
+        counts: Optional[Tuple[int, int, int]] = None,
+    ) -> None:
         (k_rel, k_attrs), (l_rel, l_attrs) = join.sides()
         if (k_rel, k_attrs) == (l_rel, l_attrs):
             # a reflexive join (same relation, same attributes) can only
@@ -110,9 +158,12 @@ class INDDiscovery:
                 JoinOutcome(join, 0, 0, 0, case="reflexive")
             )
             return
-        n_k = self.database.count_distinct(k_rel, k_attrs)
-        n_l = self.database.count_distinct(l_rel, l_attrs)
-        n_kl = self.database.join_count(k_rel, k_attrs, l_rel, l_attrs)
+        if counts is not None:
+            n_k, n_l, n_kl = counts
+        else:
+            n_k = self.database.count_distinct(k_rel, k_attrs)
+            n_l = self.database.count_distinct(l_rel, l_attrs)
+            n_kl = self.database.join_count(k_rel, k_attrs, l_rel, l_attrs)
 
         if n_kl == 0:
             # (i) possible data-integrity problem; nothing elicited
@@ -218,6 +269,7 @@ def discover_inds(
     database: Database,
     equijoins: Sequence[EquiJoin],
     expert: Optional[Expert] = None,
+    engine: Optional["BatchExecutor"] = None,
 ) -> INDDiscoveryResult:
     """One-shot convenience wrapper around :class:`INDDiscovery`."""
-    return INDDiscovery(database, expert).run(equijoins)
+    return INDDiscovery(database, expert, engine=engine).run(equijoins)

@@ -22,6 +22,15 @@ and shares that tracer with the working database copy, so every
 extension-primitive event lands inside the phase that issued it.
 ``result.trace`` exposes the tracer; :mod:`repro.obs.export` turns it
 into JSONL traces and metrics summaries.
+
+``engine="batched"`` routes IND- and RHS-Discovery through one shared
+:class:`~repro.engine.executor.BatchExecutor`: each phase submits its
+probes declaratively, the planner dedupes and groups them, and the
+backend answers them in as few passes as it supports (grouped SQL
+pushdown, worker threads, or the serial fallback).  The default
+``serial`` mode keeps the original call-at-a-time behavior; both modes
+produce identical results and identical per-probe trace events — only
+``result.engine_stats`` (and the wall clock) tell them apart.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from repro.core.restruct import Restruct, RestructResult
 from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
 from repro.core.translate import Translate
 from repro.eer.model import EERSchema
+from repro.engine.executor import BatchExecutor, EngineStats
 from repro.obs.tracer import Tracer
 from repro.programs.corpus import ProgramCorpus
 from repro.programs.equijoin import EquiJoin
@@ -62,6 +72,8 @@ class PipelineResult:
     expert_decisions: int = 0
     extension_queries: int = 0
     trace: Optional[Tracer] = None
+    engine: str = "serial"
+    engine_stats: Optional[EngineStats] = None
 
     # convenient views -------------------------------------------------
     @property
@@ -95,15 +107,26 @@ class PipelineResult:
 class DBREPipeline:
     """Orchestrates the full method over one database + program corpus."""
 
+    #: recognized values of the *engine* switch
+    ENGINE_MODES = ("serial", "batched")
+
     def __init__(
         self,
         database: Database,
         expert: Optional[Expert] = None,
         tracer: Optional[Tracer] = None,
+        engine: str = "serial",
+        engine_workers: int = 0,
     ) -> None:
+        if engine not in self.ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {engine!r}; pick one of {self.ENGINE_MODES}"
+            )
         self.original = database
         self.expert = RecordingExpert(expert or Expert())
         self.tracer = tracer if tracer is not None else Tracer()
+        self.engine_mode = engine
+        self.engine_workers = engine_workers
 
     def run(
         self,
@@ -121,9 +144,18 @@ class DBREPipeline:
 
         result = PipelineResult()
         result.trace = self.tracer
+        result.engine = self.engine_mode
         with self.tracer.span("pipeline", kind="pipeline") as root:
+            root.attributes["engine"] = self.engine_mode
             database = self.original.copy(tracer=self.tracer)
             database.counter.reset()
+
+            # one executor is shared by every batching phase, so its
+            # stats describe the whole run
+            engine: Optional[BatchExecutor] = None
+            if self.engine_mode == "batched":
+                engine = BatchExecutor(database, max_workers=self.engine_workers)
+                result.engine_stats = engine.stats
 
             # §4: the dictionary-derived sets
             result.key_set = database.schema.key_set()
@@ -140,7 +172,7 @@ class DBREPipeline:
 
             # §6.1 IND-Discovery
             with self.tracer.span("IND-Discovery", kind="phase") as span:
-                ind_step = INDDiscovery(database, self.expert)
+                ind_step = INDDiscovery(database, self.expert, engine=engine)
                 result.ind_result = ind_step.run(result.equijoins)
                 span.attributes["inds"] = len(result.ind_result.inds)
 
@@ -152,7 +184,7 @@ class DBREPipeline:
 
             # §6.2.2 RHS-Discovery
             with self.tracer.span("RHS-Discovery", kind="phase") as span:
-                rhs_step = RHSDiscovery(database, self.expert)
+                rhs_step = RHSDiscovery(database, self.expert, engine=engine)
                 result.rhs_result = rhs_step.run(
                     result.lhs_result.lhs, result.lhs_result.hidden
                 )

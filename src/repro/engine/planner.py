@@ -1,0 +1,85 @@
+"""The counting-primitive query planner.
+
+Discovery phases issue thousands of probes, many of them redundant: every
+equi-join of ``Q`` re-asks ``||r[X]||`` for sides it shares with other
+joins, and RHS-Discovery fans one relation's extension into dozens of FD
+checks.  The planner turns a flat probe list into a :class:`QueryPlan`:
+
+1. **dedupe** — structurally identical probes collapse into one backend
+   evaluation (first-occurrence order is kept, so execution and event
+   emission stay deterministic);
+2. **group** — unique probes that read the same relation footprint are
+   placed in one :class:`ProbeGroup`, the unit a backend can answer in a
+   single pass (one grouped SQL statement, one worker task).
+
+Planning is pure: no extension access, no side effects, same plan for
+the same probe list every time.  The :class:`~repro.engine.executor.
+BatchExecutor` consumes the plan and restores per-request results, so
+callers never observe the dedupe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.probes import Probe
+
+__all__ = ["ProbeGroup", "QueryPlan", "plan_probes"]
+
+
+@dataclass(frozen=True)
+class ProbeGroup:
+    """Unique probes sharing one relation footprint: one backend pass."""
+
+    footprint: Tuple[str, ...]
+    probes: Tuple[Probe, ...]
+
+    def __repr__(self) -> str:
+        return f"ProbeGroup({'+'.join(self.footprint)}, {len(self.probes)} probes)"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's output: what to evaluate, and how it maps back."""
+
+    requests: Tuple[Probe, ...]   # as submitted, duplicates kept
+    unique: Tuple[Probe, ...]     # first-occurrence order
+    groups: Tuple[ProbeGroup, ...]  # unique probes, partitioned by footprint
+
+    @property
+    def duplicates(self) -> int:
+        """Probes the dedupe pass saved from reaching the backend."""
+        return len(self.requests) - len(self.unique)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlan({len(self.requests)} requests, "
+            f"{len(self.unique)} unique, {len(self.groups)} groups)"
+        )
+
+
+def plan_probes(probes: Sequence[Probe]) -> QueryPlan:
+    """Dedupe and group *probes* into an executable :class:`QueryPlan`."""
+    requests = tuple(probes)
+
+    seen: Dict[tuple, Probe] = {}
+    unique: List[Probe] = []
+    for probe in requests:
+        if probe.key not in seen:
+            seen[probe.key] = probe
+            unique.append(probe)
+
+    grouped: Dict[Tuple[str, ...], List[Probe]] = {}
+    order: List[Tuple[str, ...]] = []
+    for probe in unique:
+        footprint = probe.footprint
+        if footprint not in grouped:
+            grouped[footprint] = []
+            order.append(footprint)
+        grouped[footprint].append(probe)
+
+    groups = tuple(
+        ProbeGroup(footprint=f, probes=tuple(grouped[f])) for f in order
+    )
+    return QueryPlan(requests=requests, unique=tuple(unique), groups=groups)

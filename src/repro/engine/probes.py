@@ -1,0 +1,140 @@
+"""Declarative counting-primitive probes.
+
+A :class:`Probe` names one of the paper's four extension questions —
+``||r[X]||``, ``||r_k[A_k] ⋈ r_l[A_l]||``, FD satisfaction, inclusion —
+without executing it.  Discovery phases build probes for every candidate
+up front and hand them to the :class:`~repro.engine.executor.BatchExecutor`,
+which answers them all at once; the probe is therefore the unit the
+planner dedupes, groups and dispatches.
+
+A probe is a pure value: frozen, hashable, and structurally comparable,
+so two candidates that ask the same question produce *equal* probes and
+the planner can collapse them into one backend evaluation.  The
+``relations``/``attributes`` layout mirrors the observability hook and
+:class:`~repro.obs.tracer.PrimitiveEvent`: one relation and one
+attribute tuple for ``count_distinct``; two of each for ``join_count``
+and ``inclusion_holds``; one relation with the ``(lhs, rhs)`` attribute
+tuples for ``fd_holds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import ArityError
+
+__all__ = ["PROBE_PRIMITIVES", "Probe"]
+
+#: the four instrumented extension primitives a probe may name
+PROBE_PRIMITIVES = ("count_distinct", "join_count", "fd_holds", "inclusion_holds")
+
+#: how many relations each primitive reads
+_RELATION_COUNTS = {
+    "count_distinct": 1,
+    "join_count": 2,
+    "fd_holds": 1,
+    "inclusion_holds": 2,
+}
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One declarative counting-primitive request."""
+
+    primitive: str
+    relations: Tuple[str, ...]
+    attributes: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", tuple(self.relations))
+        object.__setattr__(
+            self, "attributes", tuple(tuple(a) for a in self.attributes)
+        )
+        if self.primitive not in PROBE_PRIMITIVES:
+            raise ValueError(f"unknown probe primitive {self.primitive!r}")
+        expected = _RELATION_COUNTS[self.primitive]
+        if len(self.relations) != expected:
+            raise ValueError(
+                f"{self.primitive} probe names {len(self.relations)} "
+                f"relation(s), expected {expected}"
+            )
+        expected_attrs = 1 if self.primitive == "count_distinct" else 2
+        if len(self.attributes) != expected_attrs:
+            raise ValueError(
+                f"{self.primitive} probe carries {len(self.attributes)} "
+                f"attribute tuple(s), expected {expected_attrs}"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors (mirror the Database primitive signatures)
+    # ------------------------------------------------------------------
+    @classmethod
+    def distinct(cls, relation: str, attrs: Sequence[str]) -> "Probe":
+        """``||r[X]||`` — select count distinct X from R."""
+        return cls("count_distinct", (relation,), (tuple(attrs),))
+
+    @classmethod
+    def join(
+        cls,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> "Probe":
+        """``||r_k[A_k] ⋈ r_l[A_l]||`` — distinct matching combinations."""
+        if len(left_attrs) != len(right_attrs):
+            raise ArityError(
+                f"equi-join arity mismatch: {list(left_attrs)} vs "
+                f"{list(right_attrs)}"
+            )
+        return cls(
+            "join_count", (left, right), (tuple(left_attrs), tuple(right_attrs))
+        )
+
+    @classmethod
+    def fd(cls, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> "Probe":
+        """Does ``lhs -> rhs`` hold in the stored extension?"""
+        return cls("fd_holds", (relation,), (tuple(lhs), tuple(rhs)))
+
+    @classmethod
+    def inclusion(
+        cls,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+    ) -> "Probe":
+        """Does ``R_left[A] ≪ R_right[B]`` hold in the stored extension?"""
+        if len(left_attrs) != len(right_attrs):
+            raise ArityError(
+                f"inclusion arity mismatch: {list(left_attrs)} vs "
+                f"{list(right_attrs)}"
+            )
+        return cls(
+            "inclusion_holds",
+            (left, right),
+            (tuple(left_attrs), tuple(right_attrs)),
+        )
+
+    # ------------------------------------------------------------------
+    # planner views
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple:
+        """Structural identity: equal keys mean equal answers."""
+        return (self.primitive, self.relations, self.attributes)
+
+    @property
+    def footprint(self) -> Tuple[str, ...]:
+        """The set of relations the probe reads, as a sorted tuple."""
+        return tuple(sorted(set(self.relations)))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{r}[{','.join(a)}]" for r, a in zip(self.relations, self.attributes)
+        )
+        if self.primitive == "fd_holds":
+            lhs, rhs = self.attributes
+            parts = f"{self.relations[0]}: {','.join(lhs)} -> {','.join(rhs)}"
+        return f"Probe({self.primitive} {parts})"

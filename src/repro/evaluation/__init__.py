@@ -17,6 +17,7 @@ from repro.evaluation.metrics import (
 from repro.evaluation.schema_match import SchemaRecovery, score_schema_recovery
 from repro.evaluation.counters import (
     CostReport,
+    batching_summary,
     cost_report,
     cost_report_from_trace,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "SchemaRecovery",
     "score_schema_recovery",
     "CostReport",
+    "batching_summary",
     "cost_report",
     "cost_report_from_trace",
 ]

@@ -1,0 +1,85 @@
+"""Unit tests of the probe model and the pure planner."""
+
+import pytest
+
+from repro.engine import PROBE_PRIMITIVES, Probe, plan_probes
+from repro.exceptions import ArityError
+
+
+class TestProbe:
+    def test_constructors_cover_the_four_primitives(self):
+        probes = [
+            Probe.distinct("R", ("a",)),
+            Probe.join("R", ("a",), "S", ("b",)),
+            Probe.fd("R", ("a",), ("b",)),
+            Probe.inclusion("R", ("a",), "S", ("b",)),
+        ]
+        assert tuple(p.primitive for p in probes) == PROBE_PRIMITIVES
+
+    def test_normalization_makes_probes_hashable_keys(self):
+        a = Probe.distinct("R", ["x", "y"])
+        b = Probe.distinct("R", ("x", "y"))
+        assert a == b
+        assert a.key == b.key
+        assert hash(a) == hash(b)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            Probe("median", ("R",), (("a",),))
+
+    def test_relation_count_enforced(self):
+        with pytest.raises(ValueError):
+            Probe("count_distinct", ("R", "S"), (("a",),))
+        with pytest.raises(ValueError):
+            Probe("join_count", ("R",), (("a",), ("b",)))
+
+    def test_attribute_group_count_enforced(self):
+        with pytest.raises(ValueError):
+            Probe("count_distinct", ("R",), (("a",), ("b",)))
+        with pytest.raises(ValueError):
+            Probe("fd_holds", ("R",), (("a",),))
+
+    def test_join_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            Probe.join("R", ("a", "b"), "S", ("c",))
+        with pytest.raises(ArityError):
+            Probe.inclusion("R", ("a",), "S", ("c", "d"))
+
+    def test_footprint_is_sorted_relation_set(self):
+        assert Probe.join("S", ("a",), "R", ("b",)).footprint == ("R", "S")
+        assert Probe.fd("R", ("a",), ("b",)).footprint == ("R",)
+
+
+class TestPlanProbes:
+    def test_empty(self):
+        plan = plan_probes([])
+        assert plan.requests == () and plan.unique == () and plan.groups == ()
+
+    def test_dedupe_keeps_first_occurrence_order(self):
+        p1 = Probe.distinct("R", ("a",))
+        p2 = Probe.distinct("S", ("b",))
+        plan = plan_probes([p1, p2, p1, p2, p1])
+        assert plan.requests == (p1, p2, p1, p2, p1)
+        assert plan.unique == (p1, p2)
+        assert plan.duplicates == 3
+
+    def test_groups_partition_unique_by_footprint(self):
+        p1 = Probe.distinct("R", ("a",))
+        p2 = Probe.fd("R", ("a",), ("b",))
+        p3 = Probe.distinct("S", ("b",))
+        p4 = Probe.join("R", ("a",), "S", ("b",))
+        plan = plan_probes([p1, p2, p3, p4])
+        assert [g.footprint for g in plan.groups] == [
+            ("R",), ("S",), ("R", "S"),
+        ]
+        grouped = [p for g in plan.groups for p in g.probes]
+        assert sorted(p.key for p in grouped) == sorted(
+            p.key for p in plan.unique
+        )
+        assert plan.groups[0].probes == (p1, p2)
+
+    def test_planner_is_pure(self):
+        probes = [Probe.distinct("R", ("a",)), Probe.distinct("R", ("a",))]
+        before = [p.key for p in probes]
+        plan_probes(probes)
+        assert [p.key for p in probes] == before

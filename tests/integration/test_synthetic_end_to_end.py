@@ -110,6 +110,7 @@ class TestPartialCoverage:
         assert half_pr.precision == 1.0
 
 
+@pytest.mark.slow
 class TestScale:
     def test_larger_scenario_completes(self):
         scenario, result = run_scenario(

@@ -1,0 +1,27 @@
+"""Workload-test fixtures: reproducibility guard for the generator stack.
+
+Every generator in :mod:`repro.workloads` draws from its own
+``random.Random(config.seed)`` instance, so scenario content never
+depends on global state.  The autouse fixture below re-seeds the
+*global* ``random`` module anyway: if a generator (or a future edit to
+one) accidentally reaches for the module-level functions, every test
+still sees the same stream, and the differential/scoring suites stay
+deterministic instead of flaking.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+WORKLOAD_TEST_SEED = 0x5EED
+
+
+@pytest.fixture(autouse=True)
+def seeded_global_random():
+    """Pin the global RNG for the duration of each workload test."""
+    state = random.getstate()
+    random.seed(WORKLOAD_TEST_SEED)
+    yield
+    random.setstate(state)
