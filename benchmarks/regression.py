@@ -2,8 +2,10 @@
 """S-series benchmark-regression harness — the CI gate.
 
 Runs the heads of the S-series benchmarks (a small IND-scalability
-scenario, an end-to-end scenario, and the same end-to-end scenario on
-the SQLite pushdown backend) under tracing, and emits one JSON document
+scenario, an end-to-end scenario, the same end-to-end scenario on the
+SQLite pushdown backend and through the batched engine, and once more
+with the provenance ledger enabled) under tracing, and emits one JSON
+document
 per run with per-primitive query counts and latencies.  Compared
 against ``benchmarks/BENCH_baseline.json``, the harness **fails (exit
 1) when any head regresses by more than ``--max-ratio`` (default 2x)**
@@ -95,6 +97,23 @@ def _head_configs(quick: bool) -> List[Dict[str, Any]]:
         # the same end-to-end heads through the batched engine: the
         # logical query stream (and so every gated figure) must match
         # the serial heads; "engine" extras record the physical savings
+        # the s3 head with the provenance ledger enabled: queries are
+        # gated (the ledger must stay at zero extra extension queries)
+        # and its latency entry tracks the bookkeeping overhead;
+        # "provenance" extras record the lineage DAG's size
+        {
+            "name": "s8-provenance-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+            "provenance": True,
+        },
         {
             "name": "s3-end-to-end-head-batched",
             "config": ScenarioConfig(
@@ -151,6 +170,7 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         scenario.expert,
         tracer=tracer,
         engine=head.get("engine", "serial"),
+        provenance=head.get("provenance", False),
     )
     start = time.perf_counter()
     result = pipeline.run(corpus=scenario.corpus)
@@ -174,6 +194,15 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         # but recorded in the baseline so a pushdown regression (more
         # backend calls for the same logical stream) is visible
         measured["engine"] = result.engine_stats.as_dict()
+    if result.provenance is not None:
+        # lineage-DAG size; informational — the gated figures above
+        # already prove the ledger added no query and little latency
+        ledger = result.provenance
+        measured["provenance"] = {
+            "nodes": len(ledger.nodes),
+            "edges": len(ledger.edges),
+            "evidence": sum(len(n.events) for n in ledger.nodes.values()),
+        }
     return measured
 
 

@@ -9,11 +9,17 @@ Commands:
 - ``run``      — the full reverse-engineering pipeline; writes the
   session report, the EER diagram and/or the elicited dependencies;
 - ``demo``     — the paper's §5-§7 example end to end;
-- ``trace``    — work with recorded traces (``trace summarize FILE``).
+- ``trace``    — work with recorded traces (``trace summarize FILE``);
+- ``explain``  — print the derivation chain of one artifact from a
+  ``--provenance`` export (query evidence, counts, expert answers);
+- ``report``   — render a trace + provenance pair as one self-contained
+  HTML audit report.
 
-``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace)
-and ``--metrics FILE`` (flat metrics summary); see
-``docs/OBSERVABILITY.md`` for the formats.  They also accept
+``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace),
+``--metrics FILE`` (flat metrics summary), ``--provenance FILE`` (the
+decision-lineage DAG as JSONL) and ``--provenance-dot FILE`` (the same
+DAG as Graphviz DOT); see ``docs/OBSERVABILITY.md`` for the formats.
+They also accept
 ``--engine {serial,batched}``: ``batched`` routes the discovery phases
 through the :mod:`repro.engine` planner (dedupe + grouped execution;
 identical results and traces — see ``docs/ENGINE.md``), with
@@ -47,6 +53,14 @@ from repro.obs.export import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from repro.obs.provenance import (
+    explain,
+    provenance_records,
+    provenance_to_dot,
+    read_provenance_jsonl,
+    write_provenance_jsonl,
+)
+from repro.obs.report import render_html_report
 from repro.programs.corpus import ProgramCorpus
 from repro.programs.extractor import extract_equijoins
 from repro.relational.database import Database
@@ -106,13 +120,20 @@ def load_corpus(path: str) -> ProgramCorpus:
 
 
 def _write_observability(args: argparse.Namespace, pipeline: DBREPipeline) -> None:
-    """Honor ``--trace`` / ``--metrics`` after a pipeline run."""
+    """Honor ``--trace``/``--metrics``/``--provenance`` after a run."""
     if getattr(args, "trace", None):
         write_trace_jsonl(pipeline.tracer, args.trace)
         print(f"trace written to {args.trace}")
     if getattr(args, "metrics", None):
         write_metrics_json(pipeline.tracer, args.metrics)
         print(f"metrics written to {args.metrics}")
+    if getattr(args, "provenance", None) and pipeline.ledger is not None:
+        write_provenance_jsonl(pipeline.ledger, args.provenance)
+        print(f"provenance written to {args.provenance}")
+    if getattr(args, "provenance_dot", None) and pipeline.ledger is not None:
+        with open(args.provenance_dot, "w", encoding="utf-8") as handle:
+            handle.write(provenance_to_dot(provenance_records(pipeline.ledger)))
+        print(f"lineage graph written to {args.provenance_dot}")
 
 
 def _make_expert(args: argparse.Namespace) -> Expert:
@@ -266,6 +287,36 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        records = read_provenance_jsonl(args.provenance_file)
+        print(explain(records, args.artifact))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if not args.trace and not args.provenance:
+        print("error: provide --trace and/or --provenance", file=sys.stderr)
+        return 1
+    trace = provenance = None
+    try:
+        if args.trace:
+            trace = read_trace_jsonl(args.trace)
+        if args.provenance:
+            provenance = read_provenance_jsonl(args.provenance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    document = render_html_report(trace, provenance, title=args.title)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"audit report written to {args.output}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
@@ -305,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--metrics",
             help="write the flat metrics summary as JSON here",
+        )
+        command.add_argument(
+            "--provenance",
+            help="write the decision-lineage DAG as JSONL here "
+                 "(repro explain renders one artifact's chain)",
+        )
+        command.add_argument(
+            "--provenance-dot",
+            help="write the lineage graph as Graphviz DOT here",
         )
 
     inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
@@ -364,6 +424,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("trace_file", help="a --trace JSONL file")
     summarize.set_defaults(func=cmd_trace_summarize)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="print the derivation chain of one artifact from a "
+             "provenance export",
+    )
+    explain_cmd.add_argument("provenance_file", help="a --provenance JSONL file")
+    explain_cmd.add_argument(
+        "artifact",
+        help="node id, exact label, or label substring (e.g. a RIC repr "
+             "such as \"Emp[dep] << Dept[dep]\")",
+    )
+    explain_cmd.set_defaults(func=cmd_explain)
+
+    report = sub.add_parser(
+        "report", help="render one self-contained HTML audit report"
+    )
+    report.add_argument("--trace", help="a --trace JSONL file")
+    report.add_argument("--provenance", help="a --provenance JSONL file")
+    report.add_argument(
+        "--title", default="Reverse-engineering audit report",
+        help="report heading",
+    )
+    report.add_argument(
+        "--output", required=True, metavar="FILE",
+        help="write the HTML document here",
+    )
+    report.set_defaults(func=cmd_report)
     return parser
 
 

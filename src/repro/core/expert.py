@@ -27,12 +27,15 @@ answers from synthetic ground truth
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.programs.equijoin import EquiJoin
 from repro.relational.attribute import AttributeRef
 from repro.util.naming import merge_name, unique_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.provenance import ProvenanceLedger
 
 
 # ----------------------------------------------------------------------
@@ -292,11 +295,20 @@ class RecordingExpert(Expert):
     interactive one) into a :class:`ScriptedExpert` answer dictionary so
     the run can be replayed exactly.  Naming calls are logged but not
     counted as *decisions*.
+
+    With a :class:`~repro.obs.provenance.ProvenanceLedger` attached,
+    every interaction additionally becomes a ``decision`` node of the
+    lineage DAG, so the phases can link the artifacts an answer
+    justified to the exact prompt/answer pair (via
+    ``ledger.last_decision()``).
     """
 
-    def __init__(self, inner: Expert) -> None:
+    def __init__(
+        self, inner: Expert, ledger: Optional["ProvenanceLedger"] = None
+    ) -> None:
         self.inner = inner
         self.log: List[Interaction] = []
+        self.ledger = ledger
 
     @property
     def decision_count(self) -> int:
@@ -312,6 +324,8 @@ class RecordingExpert(Expert):
 
     def _record(self, kind: str, question: str, answer: object):
         self.log.append(Interaction(kind, question, repr(answer), answer))
+        if self.ledger is not None:
+            self.ledger.decision(kind, question, answer)
         return answer
 
     def decide_nei(self, context: NEIContext) -> NEIDecision:

@@ -55,6 +55,7 @@ from repro.util.naming import unique_name
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import BatchExecutor
+    from repro.obs.provenance import ProvenanceLedger
 
 
 @dataclass(frozen=True)
@@ -103,10 +104,12 @@ class INDDiscovery:
         database: Database,
         expert: Optional[Expert] = None,
         engine: Optional["BatchExecutor"] = None,
+        ledger: Optional["ProvenanceLedger"] = None,
     ) -> None:
         self.database = database
         self.expert = expert or Expert()
         self.engine = engine
+        self.ledger = ledger
 
     def run(self, equijoins: Sequence[EquiJoin]) -> INDDiscoveryResult:
         """Process every element of ``Q`` in deterministic order."""
@@ -154,9 +157,9 @@ class INDDiscovery:
             # yield the trivial R[A] ≪ R[A]; it carries no interrelation
             # information, so it is classified and dropped without
             # touching the extension
-            result.outcomes.append(
-                JoinOutcome(join, 0, 0, 0, case="reflexive")
-            )
+            outcome = JoinOutcome(join, 0, 0, 0, case="reflexive")
+            result.outcomes.append(outcome)
+            self._emit(outcome)
             return
         if counts is not None:
             n_k, n_l, n_kl = counts
@@ -167,9 +170,9 @@ class INDDiscovery:
 
         if n_kl == 0:
             # (i) possible data-integrity problem; nothing elicited
-            result.outcomes.append(
-                JoinOutcome(join, n_k, n_l, n_kl, case="empty")
-            )
+            outcome = JoinOutcome(join, n_k, n_l, n_kl, case="empty")
+            result.outcomes.append(outcome)
+            self._emit(outcome)
             return
 
         if n_kl == n_k or n_kl == n_l:
@@ -182,29 +185,32 @@ class INDDiscovery:
                 ind = InclusionDependency(l_rel, l_attrs, k_rel, k_attrs)
                 result.add_ind(ind)
                 elicited.append(ind)
-            result.outcomes.append(
-                JoinOutcome(
-                    join, n_k, n_l, n_kl, case="inclusion",
-                    elicited=tuple(elicited),
-                )
+            outcome = JoinOutcome(
+                join, n_k, n_l, n_kl, case="inclusion",
+                elicited=tuple(elicited),
             )
+            result.outcomes.append(outcome)
+            self._emit(outcome)
             return
 
         # non-empty intersection distinct from both value sets
         context = NEIContext(join, n_k, n_l, n_kl)
         decision = self.expert.decide_nei(context)
+        decision_id = (
+            self.ledger.last_decision() if self.ledger is not None else None
+        )
 
         if isinstance(decision, ConceptualizeIntersection):     # (iv)
             new_rel, inds = self._conceptualize(join, decision.name)
             result.new_relations.append(new_rel)
             for ind in inds:
                 result.add_ind(ind)
-            result.outcomes.append(
-                JoinOutcome(
-                    join, n_k, n_l, n_kl, case="nei",
-                    decision="conceptualize", elicited=tuple(inds),
-                )
+            outcome = JoinOutcome(
+                join, n_k, n_l, n_kl, case="nei",
+                decision="conceptualize", elicited=tuple(inds),
             )
+            result.outcomes.append(outcome)
+            self._emit(outcome, decision_id, new_relation=new_rel)
             return
 
         if isinstance(decision, ForceInclusion):                # (v)/(vi)
@@ -213,21 +219,75 @@ class INDDiscovery:
             else:
                 ind = InclusionDependency(l_rel, l_attrs, k_rel, k_attrs)
             result.add_ind(ind)
-            result.outcomes.append(
-                JoinOutcome(
-                    join, n_k, n_l, n_kl, case="nei",
-                    decision="force", elicited=(ind,),
-                )
+            outcome = JoinOutcome(
+                join, n_k, n_l, n_kl, case="nei",
+                decision="force", elicited=(ind,),
             )
+            result.outcomes.append(outcome)
+            self._emit(outcome, decision_id)
             return
 
         if isinstance(decision, IgnoreIntersection):            # (vii)
-            result.outcomes.append(
-                JoinOutcome(join, n_k, n_l, n_kl, case="nei", decision="ignore")
+            outcome = JoinOutcome(
+                join, n_k, n_l, n_kl, case="nei", decision="ignore"
             )
+            result.outcomes.append(outcome)
+            self._emit(outcome, decision_id)
             return
 
         raise ProcessError(f"unknown NEI decision {decision!r}")
+
+    # ------------------------------------------------------------------
+    # provenance emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        outcome: JoinOutcome,
+        decision_id: Optional[str] = None,
+        new_relation: Optional[RelationSchema] = None,
+    ) -> None:
+        """Record one join's classification in the lineage DAG.
+
+        Pure bookkeeping over counts the algorithm already computed —
+        the ledger issues no extension query of its own; the count
+        evidence is resolved against the tracer's event stream by call
+        signature (identical in serial and batched mode).
+        """
+        if self.ledger is None:
+            return
+        join = outcome.join
+        join_id = self.ledger.node("equijoin", repr(join))
+        attrs = {"case": outcome.case}
+        if outcome.case != "reflexive":
+            attrs.update(
+                n_left=outcome.n_left,
+                n_right=outcome.n_right,
+                n_common=outcome.n_common,
+            )
+        if outcome.decision:
+            attrs["decision"] = outcome.decision
+        cls_id = self.ledger.node("classification", repr(join), **attrs)
+        self.ledger.link(join_id, cls_id, "classified")
+        if outcome.case != "reflexive":
+            (k_rel, k_attrs), (l_rel, l_attrs) = join.sides()
+            self.ledger.attach_evidence(cls_id, "count_distinct", (k_rel,), (k_attrs,))
+            self.ledger.attach_evidence(cls_id, "count_distinct", (l_rel,), (l_attrs,))
+            self.ledger.attach_evidence(
+                cls_id, "join_count", (k_rel, l_rel), (k_attrs, l_attrs)
+            )
+        if decision_id is not None:
+            self.ledger.link(decision_id, cls_id, "decided")
+        for ind in outcome.elicited:
+            ind_id = self.ledger.node("ind", repr(ind))
+            self.ledger.link(cls_id, ind_id, "elicited")
+        if new_relation is not None:
+            rel_id = self.ledger.node(
+                "relation",
+                new_relation.name,
+                origin="intersection",
+                source=repr(join),
+            )
+            self.ledger.link(cls_id, rel_id, "conceptualized")
 
     # ------------------------------------------------------------------
     def _conceptualize(

@@ -17,11 +17,14 @@ leaves ``LHS`` (it is already conceptualized).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.dependencies.ind import InclusionDependency
 from repro.relational.attribute import AttributeRef
 from repro.relational.schema import DatabaseSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.provenance import ProvenanceLedger
 
 
 @dataclass
@@ -50,9 +53,15 @@ class LHSDiscoveryResult:
 class LHSDiscovery:
     """Runs LHS-Discovery over a schema ``R ⊔ S`` and an IND set."""
 
-    def __init__(self, schema: DatabaseSchema, s_names: Iterable[str]) -> None:
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        s_names: Iterable[str],
+        ledger: Optional["ProvenanceLedger"] = None,
+    ) -> None:
         self.schema = schema
         self.s_names = set(s_names)
+        self.ledger = ledger
 
     def run(self, inds: Sequence[InclusionDependency]) -> LHSDiscoveryResult:
         result = LHSDiscoveryResult()
@@ -76,13 +85,33 @@ class LHSDiscovery:
             if ind.rhs_relation not in self.s_names and not self._is_key(
                 ind.rhs_relation, ind.rhs_attrs
             ):
-                result.add_hidden(AttributeRef(ind.rhs_relation, ind.rhs_attrs))
+                ref = AttributeRef(ind.rhs_relation, ind.rhs_attrs)
+                result.add_hidden(ref)
+                self._emit(ref, ind, member="H")
             return
         # (ii)/(iii) plain dependency: every non-key side is a candidate
         if not self._is_key(ind.lhs_relation, ind.lhs_attrs):
-            result.add_lhs(AttributeRef(ind.lhs_relation, ind.lhs_attrs))
+            ref = AttributeRef(ind.lhs_relation, ind.lhs_attrs)
+            result.add_lhs(ref)
+            self._emit(ref, ind, member="LHS")
         if not self._is_key(ind.rhs_relation, ind.rhs_attrs):
-            result.add_lhs(AttributeRef(ind.rhs_relation, ind.rhs_attrs))
+            ref = AttributeRef(ind.rhs_relation, ind.rhs_attrs)
+            result.add_lhs(ref)
+            self._emit(ref, ind, member="LHS")
+
+    def _emit(
+        self, ref: AttributeRef, ind: InclusionDependency, member: str
+    ) -> None:
+        """Record one candidate identifier and the IND it was seen in."""
+        if self.ledger is None:
+            return
+        cand_id = self.ledger.node("candidate", repr(ref))
+        node = self.ledger.nodes[cand_id]
+        # H is sticky: a promoted candidate never demotes back to LHS
+        if node.attrs.get("set") != "H":
+            node.attrs["set"] = member
+        ind_id = self.ledger.node("ind", repr(ind))
+        self.ledger.link(ind_id, cand_id, "navigation")
 
 
 def discover_lhs(

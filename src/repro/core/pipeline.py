@@ -46,6 +46,7 @@ from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
 from repro.core.translate import Translate
 from repro.eer.model import EERSchema
 from repro.engine.executor import BatchExecutor, EngineStats
+from repro.obs.provenance import ProvenanceLedger
 from repro.obs.tracer import Tracer
 from repro.programs.corpus import ProgramCorpus
 from repro.programs.equijoin import EquiJoin
@@ -74,6 +75,7 @@ class PipelineResult:
     trace: Optional[Tracer] = None
     engine: str = "serial"
     engine_stats: Optional[EngineStats] = None
+    provenance: Optional[ProvenanceLedger] = None
 
     # convenient views -------------------------------------------------
     @property
@@ -117,14 +119,18 @@ class DBREPipeline:
         tracer: Optional[Tracer] = None,
         engine: str = "serial",
         engine_workers: int = 0,
+        provenance: bool = True,
     ) -> None:
         if engine not in self.ENGINE_MODES:
             raise ValueError(
                 f"unknown engine mode {engine!r}; pick one of {self.ENGINE_MODES}"
             )
         self.original = database
-        self.expert = RecordingExpert(expert or Expert())
         self.tracer = tracer if tracer is not None else Tracer()
+        # the ledger is pure bookkeeping over counts the phases already
+        # computed — it issues no extension query, so it is on by default
+        self.ledger = ProvenanceLedger(self.tracer) if provenance else None
+        self.expert = RecordingExpert(expert or Expert(), ledger=self.ledger)
         self.engine_mode = engine
         self.engine_workers = engine_workers
 
@@ -145,6 +151,7 @@ class DBREPipeline:
         result = PipelineResult()
         result.trace = self.tracer
         result.engine = self.engine_mode
+        result.provenance = self.ledger
         with self.tracer.span("pipeline", kind="pipeline") as root:
             root.attributes["engine"] = self.engine_mode
             database = self.original.copy(tracer=self.tracer)
@@ -169,22 +176,29 @@ class DBREPipeline:
             else:
                 result.equijoins = sorted(set(equijoins), key=lambda j: j.sort_key())
             root.attributes["equijoins"] = len(result.equijoins)
+            self._record_sources(result)
 
             # §6.1 IND-Discovery
             with self.tracer.span("IND-Discovery", kind="phase") as span:
-                ind_step = INDDiscovery(database, self.expert, engine=engine)
+                ind_step = INDDiscovery(
+                    database, self.expert, engine=engine, ledger=self.ledger
+                )
                 result.ind_result = ind_step.run(result.equijoins)
                 span.attributes["inds"] = len(result.ind_result.inds)
 
             # §6.2.1 LHS-Discovery
             with self.tracer.span("LHS-Discovery", kind="phase") as span:
-                lhs_step = LHSDiscovery(database.schema, result.ind_result.s_names)
+                lhs_step = LHSDiscovery(
+                    database.schema, result.ind_result.s_names, ledger=self.ledger
+                )
                 result.lhs_result = lhs_step.run(result.ind_result.inds)
                 span.attributes["lhs"] = len(result.lhs_result.lhs)
 
             # §6.2.2 RHS-Discovery
             with self.tracer.span("RHS-Discovery", kind="phase") as span:
-                rhs_step = RHSDiscovery(database, self.expert, engine=engine)
+                rhs_step = RHSDiscovery(
+                    database, self.expert, engine=engine, ledger=self.ledger
+                )
                 result.rhs_result = rhs_step.run(
                     result.lhs_result.lhs, result.lhs_result.hidden
                 )
@@ -192,7 +206,7 @@ class DBREPipeline:
 
             # §7 Restruct
             with self.tracer.span("Restruct", kind="phase") as span:
-                restruct_step = Restruct(database, self.expert)
+                restruct_step = Restruct(database, self.expert, ledger=self.ledger)
                 result.restruct_result = restruct_step.run(
                     result.rhs_result.fds,
                     result.rhs_result.hidden,
@@ -203,7 +217,7 @@ class DBREPipeline:
             # §7 Translate
             if translate:
                 with self.tracer.span("Translate", kind="phase") as span:
-                    translator = Translate(database.schema)
+                    translator = Translate(database.schema, ledger=self.ledger)
                     result.eer = translator.run(result.restruct_result.ric)
                     result.translation_notes = list(translator.notes.entries)
                     result.translation_warnings = list(translator.notes.warnings)
@@ -214,3 +228,26 @@ class DBREPipeline:
             root.attributes["queries"] = result.extension_queries
             root.attributes["decisions"] = result.expert_decisions
         return result
+
+    # ------------------------------------------------------------------
+    def _record_sources(self, result: PipelineResult) -> None:
+        """Seed the lineage DAG with ``Q`` and the queries it came from."""
+        if self.ledger is None:
+            return
+        if result.extraction is not None:
+            for join in result.equijoins:
+                join_id = self.ledger.node("equijoin", repr(join))
+                for program, index in result.extraction.provenance.get(join, ()):
+                    query_id = self.ledger.node(
+                        "query",
+                        f"{program}#{index}",
+                        label=f"{program}, statement {index}",
+                        program=program,
+                        statement=index,
+                    )
+                    self.ledger.link(query_id, join_id, "extracted")
+        else:
+            # Q was supplied directly (the paper's assumption); the joins
+            # are the lineage roots
+            for join in result.equijoins:
+                self.ledger.node("equijoin", repr(join), source="given")

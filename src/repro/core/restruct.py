@@ -24,9 +24,12 @@ paper's example is order-insensitive here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.expert import Expert
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.provenance import ProvenanceLedger
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.ind import InclusionDependency
 from repro.relational.attribute import Attribute, AttributeRef
@@ -76,9 +79,15 @@ class Restruct:
     ``database.copy()``.
     """
 
-    def __init__(self, database: Database, expert: Optional[Expert] = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        expert: Optional[Expert] = None,
+        ledger: Optional["ProvenanceLedger"] = None,
+    ) -> None:
         self.database = database
         self.expert = expert or Expert()
+        self.ledger = ledger
 
     def run(
         self,
@@ -104,6 +113,11 @@ class Restruct:
             if ind.rhs_relation in self.database.schema
             and self.database.schema.relation(ind.rhs_relation).is_key(ind.rhs_attrs)
         ]
+        if self.ledger is not None:
+            for ind in result.ric:
+                ind_id = self.ledger.node("ind", repr(ind))
+                ric_id = self.ledger.node("ric", repr(ind))
+                self.ledger.link(ind_id, ric_id, "promoted")
         return result
 
     # ------------------------------------------------------------------
@@ -137,7 +151,19 @@ class Restruct:
         working = self._redirect(
             working, ref.relation, set(attrs), name, exact=True
         )
-        working.append(InclusionDependency(ref.relation, attrs, name, attrs))
+        link = InclusionDependency(ref.relation, attrs, name, attrs)
+        working.append(link)
+        if self.ledger is not None:
+            rel_id = self.ledger.node(
+                "relation", name, origin="hidden", source=repr(ref)
+            )
+            cand_id = self.ledger.node("candidate", repr(ref))
+            self.ledger.link(cand_id, rel_id, "materialized")
+            naming = self.ledger.last_decision()
+            if naming is not None:
+                self.ledger.link(naming, rel_id, "named")
+            link_id = self.ledger.node("ind", repr(link))
+            self.ledger.link(rel_id, link_id, "links")
         return working
 
     # ------------------------------------------------------------------
@@ -181,7 +207,19 @@ class Restruct:
         working = self._redirect(
             working, fd.relation, set(lhs) | set(rhs), name, exact=False
         )
-        working.append(InclusionDependency(fd.relation, lhs, name, lhs))
+        link = InclusionDependency(fd.relation, lhs, name, lhs)
+        working.append(link)
+        if self.ledger is not None:
+            rel_id = self.ledger.node(
+                "relation", name, origin="fd-split", source=fd.relation
+            )
+            fd_id = self.ledger.node("fd", repr(fd))
+            self.ledger.link(fd_id, rel_id, "split")
+            naming = self.ledger.last_decision()
+            if naming is not None:
+                self.ledger.link(naming, rel_id, "named")
+            link_id = self.ledger.node("ind", repr(link))
+            self.ledger.link(rel_id, link_id, "links")
         return working
 
     # ------------------------------------------------------------------
@@ -231,8 +269,8 @@ class Restruct:
             chosen[key] = image
         return sorted((k + v for k, v in chosen.items()), key=repr)
 
-    @staticmethod
     def _redirect(
+        self,
         working: List[InclusionDependency],
         relation: str,
         attr_pool: Set[str],
@@ -264,6 +302,10 @@ class Restruct:
             if l_rel == r_rel and l_attrs == r_attrs:
                 continue  # became reflexive; drop
             rewritten = InclusionDependency(l_rel, l_attrs, r_rel, r_attrs)
+            if self.ledger is not None and rewritten != ind:
+                old_id = self.ledger.node("ind", repr(ind))
+                new_id = self.ledger.node("ind", repr(rewritten))
+                self.ledger.link(old_id, new_id, "redirected")
             if rewritten not in out:
                 out.append(rewritten)
         return out

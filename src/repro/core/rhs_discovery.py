@@ -36,6 +36,7 @@ from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import BatchExecutor
+    from repro.obs.provenance import ProvenanceLedger
 
 
 @dataclass(frozen=True)
@@ -93,12 +94,14 @@ class RHSDiscovery:
         prune_keys: bool = True,
         prune_not_null: bool = True,
         engine: Optional["BatchExecutor"] = None,
+        ledger: Optional["ProvenanceLedger"] = None,
     ) -> None:
         self.database = database
         self.expert = expert or Expert()
         self.prune_keys = prune_keys
         self.prune_not_null = prune_not_null
         self.engine = engine
+        self.ledger = ledger
 
     def run(
         self,
@@ -199,10 +202,16 @@ class RHSDiscovery:
     ) -> None:
         a_names = tuple(ref.attributes)
         candidates, pruned_keys, pruned_not_null = self._prune(ref)
+        cand_id = (
+            self.ledger.node("candidate", repr(ref))
+            if self.ledger is not None
+            else None
+        )
 
         # test each candidate; the expert may enforce failures
         accepted: List[str] = []
         enforced: List[str] = []
+        decision_ids: List[str] = []
         table = self.database.table(ref.relation)
         for name in candidates:
             holds = (
@@ -210,6 +219,11 @@ class RHSDiscovery:
                 if verdicts is not None
                 else self.database.fd_holds(ref.relation, a_names, (name,))
             )
+            if cand_id is not None:
+                # the fd_holds test of A -> name, matched by signature
+                self.ledger.attach_evidence(
+                    cand_id, "fd_holds", (ref.relation,), (a_names, (name,))
+                )
             if holds:                                                        # (i)
                 accepted.append(name)
             else:                                                            # (ii)
@@ -225,19 +239,53 @@ class RHSDiscovery:
                 if self.expert.enforce_fd(context):
                     accepted.append(name)
                     enforced.append(name)
+                if self.ledger is not None:
+                    decision = self.ledger.last_decision()
+                    if decision is not None:
+                        decision_ids.append(decision)
 
         if accepted:                                                         # (iii)
             fd = FunctionalDependency(ref.relation, a_names, tuple(accepted))
-            if self.expert.validate_fd(fd):
+            valid = self.expert.validate_fd(fd)
+            if self.ledger is not None:
+                decision = self.ledger.last_decision()
+                if decision is not None:
+                    decision_ids.append(decision)
+            if valid:
                 result.add_fd(fd)
                 result.remove_hidden(ref)
                 action = "fd"
+                if cand_id is not None:
+                    fd_id = self.ledger.node(
+                        "fd",
+                        repr(fd),
+                        accepted=list(accepted),
+                        enforced=list(enforced),
+                    )
+                    self.ledger.link(cand_id, fd_id, "determined")
+                    for decision in decision_ids:
+                        self.ledger.link(decision, fd_id, "decided")
             else:
                 # the expert rejected the presumption; treat as empty RHS
                 action = self._handle_empty(ref, in_hidden, result)
                 action = "rejected" if action == "ignored" else action
         else:
             action = self._handle_empty(ref, in_hidden, result)
+
+        if cand_id is not None:
+            node = self.ledger.nodes[cand_id]
+            node.attrs["action"] = action
+            if action in ("hidden", "kept-hidden"):
+                node.attrs["set"] = "H"
+            if action != "fd":
+                # the empty-RHS / rejection path: its expert answers
+                # (enforce refusals, rejected validation, hidden-object
+                # question) justify the candidate's final state
+                for decision in decision_ids:
+                    self.ledger.link(decision, cand_id, "decided")
+                decision = self.ledger.last_decision()
+                if decision is not None and action in ("hidden", "ignored"):
+                    self.ledger.link(decision, cand_id, "decided")
 
         result.outcomes.append(
             CandidateOutcome(

@@ -24,12 +24,15 @@ raises instead of silently producing nonsense.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.dependencies.ind import InclusionDependency
 from repro.eer.model import EERSchema, EntityType, Participation, RelationshipType
 from repro.relational.schema import DatabaseSchema
 from repro.util.naming import unique_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.provenance import ProvenanceLedger
 
 
 @dataclass
@@ -46,9 +49,36 @@ class TranslationNotes:
 class Translate:
     """Maps a restructured relational schema + RIC to an EER schema."""
 
-    def __init__(self, schema: DatabaseSchema) -> None:
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        ledger: Optional["ProvenanceLedger"] = None,
+    ) -> None:
         self.schema = schema
         self.notes = TranslationNotes()
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    # provenance emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        key: str,
+        relation: Optional[str] = None,
+        ric: Sequence[InclusionDependency] = (),
+        **attrs,
+    ) -> None:
+        """Record one EER construct, derived from its relation and RICs."""
+        if self.ledger is None:
+            return
+        out_id = self.ledger.node(kind, key, **attrs)
+        if relation is not None:
+            rel_id = self.ledger.node("relation", relation)
+            self.ledger.link(rel_id, out_id, "translated")
+        for ind in ric:
+            ric_id = self.ledger.node("ric", repr(ind))
+            self.ledger.link(ric_id, out_id, "translated")
 
     def run(self, ric: Sequence[InclusionDependency]) -> EERSchema:
         eer = EERSchema()
@@ -118,6 +148,14 @@ class Translate:
                     f"{rel.name}: weak entity-type of {', '.join(owners)} "
                     f"(discriminator {discriminator})"
                 )
+                self._emit(
+                    "entity",
+                    rel.name,
+                    relation=rel.name,
+                    ric=weak_relations[rel.name],
+                    weak=True,
+                    owners=list(owners),
+                )
             else:
                 eer.add_entity(
                     EntityType(
@@ -127,6 +165,7 @@ class Translate:
                     )
                 )
                 self.notes.note(f"{rel.name}: entity-type")
+                self._emit("entity", rel.name, relation=rel.name)
 
         # pass 2: n-ary relationship-types (rule b)
         for name, covering in sorted(relationship_relations.items()):
@@ -155,6 +194,7 @@ class Translate:
                 self.notes.warnings.append(
                     f"{name}: degraded to entity-type (insufficient participants)"
                 )
+                self._emit("entity", name, relation=name, degraded=True)
                 continue
             extra = tuple(
                 a for a in rel.attribute_names if key is None or a not in key.names
@@ -165,6 +205,13 @@ class Translate:
             self.notes.note(
                 f"{name}: {len(participants)}-ary relationship-type among "
                 f"{', '.join(p.entity for p in participants)}"
+            )
+            self._emit(
+                "relationship",
+                name,
+                relation=name,
+                ric=covering,
+                arity=len(participants),
             )
 
         # pass 3: is-a links (rule a) and binary relationships (rule c)
@@ -190,6 +237,12 @@ class Translate:
                     else:
                         eer.add_isa(ind.lhs_relation, ind.rhs_relation)
                         self.notes.note(f"{ind!r}: is-a link")
+                        self._emit(
+                            "isa",
+                            f"{ind.lhs_relation} isa {ind.rhs_relation}",
+                            relation=ind.lhs_relation,
+                            ric=(ind,),
+                        )
                 else:
                     self.notes.warnings.append(
                         f"{ind!r}: is-a endpoints are not both entities; skipped"
@@ -220,6 +273,13 @@ class Translate:
                 )
             )
             self.notes.note(f"{ind!r}: binary relationship-type {rel_name}")
+            self._emit(
+                "relationship",
+                rel_name,
+                relation=ind.lhs_relation,
+                ric=(ind,),
+                arity=2,
+            )
 
         eer.validate()
         return eer

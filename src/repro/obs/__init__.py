@@ -10,7 +10,15 @@ end:
   wrapper that times backend primitives and records cache hit/miss and
   rows touched without the backends knowing about the tracer;
 - :mod:`repro.obs.export` — JSONL trace and flat metrics-JSON writers,
-  readers, and the ``repro trace summarize`` rendering.
+  readers, and the ``repro trace summarize`` rendering;
+- :mod:`repro.obs.provenance` — :class:`ProvenanceLedger`, the
+  decision-lineage DAG linking every elicited artifact (IND, FD, RIC,
+  EER construct) to the extension counts, source queries and expert
+  answers that justify it, with JSONL/DOT exporters and the
+  ``repro explain`` chain renderer;
+- :mod:`repro.obs.report` — the single-file HTML audit report
+  (``repro report``) combining trace, metrics, expert dialogue and the
+  lineage graph.
 
 ``QueryCounter`` and ``CostReport`` are views over the same event
 stream, so the counters the benchmarks report and the exported traces
@@ -36,6 +44,20 @@ from repro.obs.export import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from repro.obs.provenance import (
+    NODE_KINDS,
+    PROVENANCE_FORMAT,
+    ProvEdge,
+    ProvNode,
+    ProvenanceLedger,
+    explain,
+    find_artifact,
+    provenance_records,
+    provenance_to_dot,
+    read_provenance_jsonl,
+    write_provenance_jsonl,
+)
+from repro.obs.report import render_html_report
 
 __all__ = [
     "PHASE_NAMES",
@@ -53,4 +75,16 @@ __all__ = [
     "trace_records",
     "write_metrics_json",
     "write_trace_jsonl",
+    "NODE_KINDS",
+    "PROVENANCE_FORMAT",
+    "ProvEdge",
+    "ProvNode",
+    "ProvenanceLedger",
+    "explain",
+    "find_artifact",
+    "provenance_records",
+    "provenance_to_dot",
+    "read_provenance_jsonl",
+    "write_provenance_jsonl",
+    "render_html_report",
 ]

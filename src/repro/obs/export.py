@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
+from repro.util.jsonl import load_jsonl, save_jsonl
 from repro.util.text import format_table
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,18 +56,20 @@ def trace_records(tracer: "Tracer") -> List[Dict[str, Any]]:
     base = min(starts) if starts else 0.0
     rows: List[Dict[str, Any]] = []
     for span in tracer.spans:
-        rows.append(
-            {
-                "type": "span",
-                "id": span.span_id,
-                "parent": span.parent_id,
-                "name": span.name,
-                "kind": span.kind,
-                "start_ms": _ms(span.start - base),
-                "duration_ms": _ms(span.duration),
-                "attributes": dict(span.attributes),
-            }
-        )
+        row = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "kind": span.kind,
+            "start_ms": _ms(span.start - base),
+            "duration_ms": _ms(span.duration),
+            "attributes": dict(span.attributes),
+        }
+        if span.open:
+            # a crashed or still-running scope: duration is elapsed-so-far
+            row["open"] = True
+        rows.append(row)
     for event in tracer.events:
         rows.append(
             {
@@ -94,20 +97,16 @@ def trace_records(tracer: "Tracer") -> List[Dict[str, Any]]:
 
 def write_trace_jsonl(tracer: "Tracer", path: str) -> None:
     """Write the trace as JSONL (header line + one record per line)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in trace_records(tracer):
-            handle.write(json.dumps(record, sort_keys=True, default=str))
-            handle.write("\n")
+    save_jsonl(trace_records(tracer), path)
 
 
 def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Read a JSONL trace back into its records (header included)."""
-    records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    """Read a JSONL trace back into its records (header included).
+
+    Raises :class:`ValueError` for a malformed line (with its line
+    number) or when the header is not a ``repro/trace@1`` header.
+    """
+    records = load_jsonl(path)
     if not records or records[0].get("format") != TRACE_FORMAT:
         raise ValueError(f"not a {TRACE_FORMAT} trace: {path!r}")
     return records
@@ -223,8 +222,9 @@ def summarize_trace(records: List[Dict[str, Any]]) -> str:
         extra = "".join(
             f" {k}={v}" for k, v in sorted(span.get("attributes", {}).items())
         )
+        open_mark = " (open)" if span.get("open") else ""
         lines.append(
-            f"{'  ' * depth}- {span['name']} [{span['kind']}] "
+            f"{'  ' * depth}- {span['name']} [{span['kind']}]{open_mark} "
             f"{span['duration_ms']:.3f} ms, {queries} quer{'y' if queries == 1 else 'ies'}{extra}"
         )
         for child in children.get(span["id"], []):

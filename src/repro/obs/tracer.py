@@ -29,6 +29,7 @@ clock and assert exact durations.
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -59,18 +60,37 @@ class SpanRecord:
     start: float = 0.0
     end: Optional[float] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: the owning tracer's clock, for elapsed-so-far on open spans
+    clock: Optional[Callable[[], float]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def open(self) -> bool:
+        """True while the span has not been closed."""
+        return self.end is None
 
     @property
     def duration(self) -> float:
-        """Seconds between start and end (0.0 while the span is open)."""
+        """Seconds between start and end.
+
+        An *open* span reports the elapsed time so far against the
+        tracer clock it was started on — so summarizing the trace of a
+        crashed or still-running pipeline shows real durations, not
+        zeros.  (Without a clock — a hand-built record — it reports
+        0.0.)  Exports flag such spans as open.
+        """
         if self.end is None:
-            return 0.0
+            if self.clock is None:
+                return 0.0
+            return self.clock() - self.start
         return self.end - self.start
 
     def __repr__(self) -> str:
+        state = " open" if self.open else ""
         return (
             f"SpanRecord({self.name!r}, kind={self.kind!r}, "
-            f"duration={self.duration * 1000:.3f}ms)"
+            f"duration={self.duration * 1000:.3f}ms{state})"
         )
 
 
@@ -133,6 +153,7 @@ class Tracer:
             kind=kind,
             start=self.now(),
             attributes=dict(attributes),
+            clock=self._clock,
         )
         self._next_id += 1
         self.spans.append(record)
@@ -140,14 +161,27 @@ class Tracer:
         return record
 
     def end_span(self, record: SpanRecord) -> SpanRecord:
-        """Close *record* (and any unclosed children left on the stack)."""
+        """Close *record* (and any unclosed children left on the stack).
+
+        Closing a record that is *not* on the stack — already closed, or
+        never started on this tracer — warns and closes only that
+        record: it must not tear down every open span of the run.
+        """
+        if not any(top is record for top in self._stack):
+            if record.end is None:
+                record.end = self.now()
+            warnings.warn(
+                f"end_span: span {record.name!r} (id {record.span_id}) is not "
+                f"on the span stack; open spans left untouched",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return record
         while self._stack:
             top = self._stack.pop()
             top.end = self.now()
             if top is record:
                 break
-        else:
-            record.end = self.now()
         return record
 
     @contextmanager

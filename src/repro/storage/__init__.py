@@ -28,6 +28,8 @@ from repro.storage.serialize import (
     eer_from_dict,
     save_json,
     load_json,
+    save_jsonl,
+    load_jsonl,
 )
 
 __all__ = [
@@ -54,4 +56,6 @@ __all__ = [
     "eer_from_dict",
     "save_json",
     "load_json",
+    "save_jsonl",
+    "load_jsonl",
 ]

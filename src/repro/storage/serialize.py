@@ -231,3 +231,9 @@ def load_json(path: str) -> Dict[str, Any]:
     """Read a JSON document from *path*."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# the streamed (JSONL) audit artifacts — traces, provenance — share one
+# line-delimited carrier; it lives in repro.util.jsonl because both the
+# storage layer and repro.obs (below the relational core) need it
+from repro.util.jsonl import load_jsonl, save_jsonl  # noqa: E402,F401

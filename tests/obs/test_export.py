@@ -89,6 +89,40 @@ class TestJsonlRoundTrip:
         with pytest.raises(ValueError):
             read_trace_jsonl(str(path))
 
+    def test_truncated_line_reports_file_and_line_number(self, traced, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(traced, str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:1] + [lines[1][: len(lines[1]) // 2]]))
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2: invalid JSON"):
+            read_trace_jsonl(str(path))
+
+
+class TestOpenSpans:
+    @pytest.fixture
+    def half_open(self):
+        """A tracer whose run was exported before the root span closed."""
+        tracer = Tracer(clock=TickClock())
+        tracer.start_span("pipeline", kind="pipeline")
+        with tracer.span("IND-Discovery", kind="phase"):
+            pass
+        return tracer
+
+    def test_open_spans_are_flagged_in_records(self, half_open):
+        spans = {r["name"]: r for r in trace_records(half_open) if r.get("type") == "span"}
+        assert spans["pipeline"]["open"] is True
+        assert "open" not in spans["IND-Discovery"]
+
+    def test_open_span_duration_is_elapsed_so_far(self, half_open):
+        spans = {r["name"]: r for r in trace_records(half_open) if r.get("type") == "span"}
+        assert spans["pipeline"]["duration_ms"] > 0
+
+    def test_summarize_marks_open_spans(self, half_open):
+        text = summarize_trace(trace_records(half_open))
+        assert "- pipeline [pipeline]" in text
+        assert "(open)" in text
+        assert text.count("(open)") == 1
+
 
 class TestMetrics:
     def test_live_and_reread_summaries_agree(self, traced, tmp_path):

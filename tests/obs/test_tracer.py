@@ -58,9 +58,42 @@ class TestSpans:
         assert outer.end is not None
         assert tracer.current_span_id() is None
 
-    def test_open_span_has_zero_duration(self, tracer):
-        record = tracer.start_span("open")
+    def test_open_span_reports_elapsed_so_far(self, tracer):
+        record = tracer.start_span("open")  # start t=1
+        assert record.open
+        assert record.duration == 1.0       # clock reads t=2
+        assert record.duration == 2.0       # ... and keeps advancing
+        tracer.end_span(record)             # end t=4
+        assert not record.open
+        assert record.duration == 3.0       # frozen once closed
+
+    def test_hand_built_open_record_without_clock_reports_zero(self):
+        from repro.obs import SpanRecord
+
+        record = SpanRecord(span_id=1, parent_id=None, name="detached")
+        assert record.open
         assert record.duration == 0.0
+
+    def test_end_span_of_foreign_record_leaves_stack_alone(self, tracer):
+        from repro.obs import SpanRecord
+
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        foreign = SpanRecord(span_id=99, parent_id=None, name="foreign", start=0.0)
+        with pytest.warns(RuntimeWarning, match="not .* the span stack"):
+            tracer.end_span(foreign)
+        # the open spans of the run must not have been torn down
+        assert outer.end is None and inner.end is None
+        assert tracer.current_span_id() == inner.span_id
+        assert foreign.end is not None  # only the foreign record was closed
+
+    def test_end_span_twice_warns_and_keeps_first_end(self, tracer):
+        record = tracer.start_span("once")   # start t=1
+        tracer.end_span(record)              # end t=2
+        with pytest.warns(RuntimeWarning):
+            tracer.end_span(record)
+        assert record.end == 2.0
+        assert tracer.current_span_id() is None
 
     def test_attributes_can_be_set_inside_the_scope(self, tracer):
         with tracer.span("phase", kind="phase") as span:

@@ -278,3 +278,140 @@ class TestObservabilityOutputs:
         bogus.write_text('{"hello": "world"}\n')
         assert main(["trace", "summarize", str(bogus)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_trace_summarize_rejects_an_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_trace_summarize_rejects_a_truncated_file(self, workspace, capsys):
+        trace_path = workspace / "run.trace.jsonl"
+        assert main(["demo", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        lines = trace_path.read_text().splitlines()
+        trace_path.write_text("\n".join(lines[:-1] + [lines[-1][:10]]))
+        assert main(["trace", "summarize", str(trace_path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid JSON" in err
+        assert "Traceback" not in err
+
+    def test_trace_summarize_rejects_a_wrong_schema_file(self, tmp_path, capsys):
+        other = tmp_path / "metrics-as-trace.jsonl"
+        other.write_text('{"type": "provenance", "format": "repro/provenance@1"}\n')
+        assert main(["trace", "summarize", str(other)]) == 1
+        assert "repro/trace@1" in capsys.readouterr().err
+
+
+class TestProvenanceOutputs:
+    def run_with_provenance(self, workspace):
+        prov_path = workspace / "run.prov.jsonl"
+        code = main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--provenance", str(prov_path),
+            ]
+        )
+        return code, prov_path
+
+    def test_run_writes_a_provenance_export(self, workspace, capsys):
+        from repro.obs import read_provenance_jsonl
+
+        code, prov_path = self.run_with_provenance(workspace)
+        assert code == 0
+        assert f"provenance written to {prov_path}" in capsys.readouterr().out
+        records = read_provenance_jsonl(str(prov_path))
+        kinds = {r["kind"] for r in records if r.get("type") == "node"}
+        assert {"query", "equijoin", "classification", "ind"} <= kinds
+
+    def test_run_writes_a_lineage_dot_graph(self, workspace, capsys):
+        dot_path = workspace / "lineage.dot"
+        code = main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--provenance-dot", str(dot_path),
+            ]
+        )
+        assert code == 0
+        assert dot_path.read_text().startswith("digraph provenance")
+
+    def test_explain_walks_a_ric_back_to_query_and_decision(
+        self, workspace, capsys
+    ):
+        from repro.obs import read_provenance_jsonl
+
+        code, prov_path = self.run_with_provenance(workspace)
+        assert code == 0
+        capsys.readouterr()
+        records = read_provenance_jsonl(str(prov_path))
+        rics = [
+            r for r in records
+            if r.get("type") == "node" and r["kind"] == "ric"
+        ]
+        assert rics, "the workspace run must derive at least one RIC"
+        chains = []
+        for ric in rics:
+            assert main(["explain", str(prov_path), ric["id"]]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith("referential integrity constraint:")
+            # every chain bottoms out at the query that motivated it
+            assert "source query: report.sql, statement 0" in out
+            assert "trace event #" in out
+            chains.append(out)
+        # the hidden-object constraint was blessed by the expert
+        assert any("expert decision:" in chain for chain in chains)
+
+    def test_explain_unknown_artifact_is_an_error(self, workspace, capsys):
+        code, prov_path = self.run_with_provenance(workspace)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["explain", str(prov_path), "no-such-artifact"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_rejects_a_non_provenance_file(self, workspace, capsys):
+        trace_path = workspace / "t.jsonl"
+        assert main(["demo", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["explain", str(trace_path), "anything"]) == 1
+        assert "repro/provenance@1" in capsys.readouterr().err
+
+    def test_report_combines_trace_and_provenance(self, workspace, capsys):
+        trace_path = workspace / "t.jsonl"
+        prov_path = workspace / "p.jsonl"
+        html_path = workspace / "report.html"
+        assert main(
+            [
+                "run",
+                str(workspace / "schema.sql"),
+                str(workspace / "programs"),
+                "--trace", str(trace_path),
+                "--provenance", str(prov_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "report",
+                "--trace", str(trace_path),
+                "--provenance", str(prov_path),
+                "--output", str(html_path),
+            ]
+        ) == 0
+        assert f"audit report written to {html_path}" in capsys.readouterr().out
+        document = html_path.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "Expert dialogue" in document
+        assert "Derivation chains" in document
+        assert "IND-Discovery" in document
+
+    def test_report_without_inputs_is_an_error(self, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        assert main(["report", "--output", str(out)]) == 1
+        assert "provide --trace and/or --provenance" in capsys.readouterr().err
+        assert not out.exists()
