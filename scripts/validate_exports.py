@@ -8,6 +8,11 @@ files:
 1. the trace JSONL re-reads to exactly the records the run produced,
    and the metrics JSON equals the metrics re-derived from those
    records (``repro/trace@1`` / ``repro/metrics@1``);
+1b. ``repro profile`` renders the hotspot view of that trace and its
+    flamegraph exports are well-formed: every collapsed-stack line is
+    ``stack <integer>``, and the speedscope JSON (``repro/profile@1``)
+    has balanced, properly nested open/close events over valid frames;
+    ``repro trace diff`` of the trace against itself exits cleanly;
 2. the provenance JSONL re-reads to exactly the ledger's records, its
    header counts match, and every edge endpoint resolves to a node
    (``repro/provenance@1``);
@@ -58,6 +63,8 @@ def main(argv=None) -> int:
 
     trace_path = os.path.join(args.outdir, "demo.trace.jsonl")
     metrics_path = os.path.join(args.outdir, "demo.metrics.json")
+    collapsed_path = os.path.join(args.outdir, "demo.collapsed")
+    speedscope_path = os.path.join(args.outdir, "demo.speedscope.json")
     prov_path = os.path.join(args.outdir, "demo.provenance.jsonl")
     dot_path = os.path.join(args.outdir, "demo.lineage.dot")
     report_path = os.path.join(args.outdir, "demo.report.html")
@@ -89,6 +96,45 @@ def main(argv=None) -> int:
     if metrics != metrics_from_records(trace):
         fail("metrics JSON does not re-derive from the trace records")
     summarize_trace(trace)  # must render without raising
+
+    # 1b. profile + flamegraph exports ---------------------------------
+    code = repro(
+        [
+            "profile", trace_path,
+            "--flame", collapsed_path,
+            "--speedscope", speedscope_path,
+        ]
+    )
+    if code != 0:
+        fail(f"profile command exited {code}")
+    with open(collapsed_path, encoding="utf-8") as handle:
+        stacks = handle.read().splitlines()
+    if not stacks:
+        fail("collapsed-stack export is empty")
+    for line in stacks:
+        stack, _, value = line.rpartition(" ")
+        if not stack or not value.isdigit():
+            fail(f"malformed collapsed-stack line: {line!r}")
+    if not any(";" in line for line in stacks):
+        fail("collapsed stacks have no nested frames")
+    with open(speedscope_path, encoding="utf-8") as handle:
+        speedscope = json.load(handle)
+    if speedscope.get("exporter") != "repro/profile@1":
+        fail("speedscope export is not tagged repro/profile@1")
+    frames = speedscope["shared"]["frames"]
+    open_frames = []
+    for entry in speedscope["profiles"][0]["events"]:
+        if not 0 <= entry["frame"] < len(frames):
+            fail("speedscope event references a missing frame")
+        if entry["type"] == "O":
+            open_frames.append(entry["frame"])
+        elif not open_frames or open_frames.pop() != entry["frame"]:
+            fail("speedscope events are not properly nested")
+    if open_frames:
+        fail("speedscope open/close events are unbalanced")
+    code = repro(["trace", "diff", trace_path, trace_path])
+    if code != 0:
+        fail(f"self trace diff exited {code}")
 
     # 2. provenance round-trip -----------------------------------------
     provenance = read_provenance_jsonl(prov_path)
@@ -140,6 +186,7 @@ def main(argv=None) -> int:
 
     print(
         f"validate_exports: OK — {len(spans)} spans, {len(events)} events, "
+        f"{len(stacks)} collapsed stacks, "
         f"{len(nodes)} lineage nodes, {len(edges)} edges, "
         f"{len(rics)} constraint chain(s) verified; artifacts in {args.outdir}/"
     )

@@ -9,7 +9,14 @@ Commands:
 - ``run``      — the full reverse-engineering pipeline; writes the
   session report, the EER diagram and/or the elicited dependencies;
 - ``demo``     — the paper's §5-§7 example end to end;
-- ``trace``    — work with recorded traces (``trace summarize FILE``);
+- ``trace``    — work with recorded traces: ``trace summarize FILE``
+  renders the span tree, ``trace diff A B`` compares two traces (or two
+  metrics files) and ranks regressions by self-time delta with
+  cache-hit-rate deltas as explanations;
+- ``profile``  — hotspot attribution of one recorded trace: inclusive
+  vs. exclusive time per span, per-phase primitive breakdowns, and
+  optional flamegraph exports (``--flame`` collapsed stacks for
+  flamegraph.pl, ``--speedscope`` JSON for speedscope.app);
 - ``explain``  — print the derivation chain of one artifact from a
   ``--provenance`` export (query evidence, counts, expert answers);
 - ``report``   — render a trace + provenance pair as one self-contained
@@ -48,11 +55,24 @@ from repro.eer.dot import to_dot
 from repro.eer.render import render_text
 from repro.exceptions import ExtractionError, ReproError
 from repro.obs.export import (
+    TRACE_FORMAT,
     read_trace_jsonl,
     summarize_trace,
     write_metrics_json,
     write_trace_jsonl,
 )
+from repro.obs.profile import (
+    detect_export_kind,
+    diff_views,
+    load_export,
+    profile_from_records,
+    render_diff,
+    render_profile,
+    view_from_export,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.obs.tracer import Tracer
 from repro.obs.provenance import (
     explain,
     provenance_records,
@@ -136,6 +156,14 @@ def _write_observability(args: argparse.Namespace, pipeline: DBREPipeline) -> No
         print(f"lineage graph written to {args.provenance_dot}")
 
 
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A tracemalloc-enabled tracer under ``--profile-memory``, else None
+    (the pipeline then creates its own plain tracer)."""
+    if getattr(args, "profile_memory", False):
+        return Tracer(profile_memory=True)
+    return None
+
+
 def _make_expert(args: argparse.Namespace) -> Expert:
     if getattr(args, "replay_decisions", None):
         from repro.core.expert import ScriptedExpert
@@ -200,6 +228,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     expert = _make_expert(args)
     pipeline = DBREPipeline(
         database, expert,
+        tracer=_make_tracer(args),
         engine=args.engine, engine_workers=args.engine_workers,
     )
     result = pipeline.run(corpus=corpus)
@@ -268,6 +297,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     expert = ScriptedExpert(paper_expert_script())
     pipeline = DBREPipeline(
         database, expert,
+        tracer=_make_tracer(args),
         engine=args.engine, engine_workers=args.engine_workers,
     )
     result = pipeline.run(corpus=paper_program_corpus())
@@ -279,11 +309,54 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     try:
-        records = read_trace_jsonl(args.trace_file)
+        # schema-sniffing loader: handing it the wrong export kind (a
+        # metrics JSON, a provenance JSONL) is a one-line error naming
+        # what the file actually is
+        records = load_export(args.trace_file, TRACE_FORMAT)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(summarize_trace(records))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        records = load_export(args.trace_file, TRACE_FORMAT)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_profile(profile_from_records(records)))
+    if args.flame:
+        write_collapsed(records, args.flame)
+        print(f"\ncollapsed stacks written to {args.flame}")
+    if args.speedscope:
+        write_speedscope(
+            records, args.speedscope, name=os.path.basename(args.trace_file)
+        )
+        print(f"speedscope profile written to {args.speedscope}")
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    views = []
+    for path in (args.trace_a, args.trace_b):
+        try:
+            kind, payload = detect_export_kind(path)
+            views.append(view_from_export(kind, payload))
+        except ValueError as exc:
+            message = str(exc)
+            if path not in message and repr(path) not in message:
+                message = f"{path!r}: {message}"
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+    print(
+        render_diff(
+            diff_views(views[0], views[1]),
+            a_label=os.path.basename(args.trace_a),
+            b_label=os.path.basename(args.trace_b),
+        )
+    )
     return 0
 
 
@@ -320,11 +393,27 @@ def cmd_report(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
+def _distribution_version() -> str:
+    """The installed distribution's version, else the package constant."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (e.g. PYTHONPATH=src) or py<3.8
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reverse engineering of denormalized relational databases "
                     "(Petit et al., ICDE 1996)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_distribution_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -365,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--provenance-dot",
             help="write the lineage graph as Graphviz DOT here",
+        )
+        command.add_argument(
+            "--profile-memory", action="store_true",
+            help="record tracemalloc peaks per span as span attributes "
+                 "(mem_peak_kb / mem_current_kb in the trace; slower)",
         )
 
     inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
@@ -424,6 +518,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("trace_file", help="a --trace JSONL file")
     summarize.set_defaults(func=cmd_trace_summarize)
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces (or two metrics files): regressions "
+             "ranked by self-time delta, cache-hit-rate deltas attached",
+    )
+    diff.add_argument("trace_a", help="the before trace/metrics file")
+    diff.add_argument("trace_b", help="the after trace/metrics file")
+    diff.set_defaults(func=cmd_trace_diff)
+
+    profile = sub.add_parser(
+        "profile",
+        help="hotspot attribution of a recorded trace (inclusive vs. "
+             "self time, per-phase primitive breakdown, flamegraphs)",
+    )
+    profile.add_argument("trace_file", help="a --trace JSONL file")
+    profile.add_argument(
+        "--flame", metavar="FILE",
+        help="write collapsed stacks (flamegraph.pl input) here",
+    )
+    profile.add_argument(
+        "--speedscope", metavar="FILE",
+        help="write a speedscope-compatible JSON profile here",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     explain_cmd = sub.add_parser(
         "explain",

@@ -11,6 +11,10 @@ end:
   rows touched without the backends knowing about the tracer;
 - :mod:`repro.obs.export` — JSONL trace and flat metrics-JSON writers,
   readers, and the ``repro trace summarize`` rendering;
+- :mod:`repro.obs.profile` — hotspot aggregation (inclusive vs.
+  exclusive time, per-phase primitive breakdowns), collapsed-stack and
+  speedscope flamegraph exporters (``repro/profile@1``), and the trace
+  diff engine behind ``repro profile`` / ``repro trace diff``;
 - :mod:`repro.obs.provenance` — :class:`ProvenanceLedger`, the
   decision-lineage DAG linking every elicited artifact (IND, FD, RIC,
   EER construct) to the extension counts, source queries and expert
@@ -44,6 +48,21 @@ from repro.obs.export import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    collapsed_stacks,
+    detect_export_kind,
+    diff_views,
+    load_export,
+    profile_from_records,
+    profile_summary,
+    render_diff,
+    render_profile,
+    speedscope_document,
+    view_from_export,
+    write_collapsed,
+    write_speedscope,
+)
 from repro.obs.provenance import (
     NODE_KINDS,
     PROVENANCE_FORMAT,
@@ -75,6 +94,19 @@ __all__ = [
     "trace_records",
     "write_metrics_json",
     "write_trace_jsonl",
+    "PROFILE_FORMAT",
+    "collapsed_stacks",
+    "detect_export_kind",
+    "diff_views",
+    "load_export",
+    "profile_from_records",
+    "profile_summary",
+    "render_diff",
+    "render_profile",
+    "speedscope_document",
+    "view_from_export",
+    "write_collapsed",
+    "write_speedscope",
     "NODE_KINDS",
     "PROVENANCE_FORMAT",
     "ProvEdge",

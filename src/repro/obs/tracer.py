@@ -123,9 +123,24 @@ class PrimitiveEvent:
 
 
 class Tracer:
-    """Collects the span and event streams of one (or more) runs."""
+    """Collects the span and event streams of one (or more) runs.
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    With ``profile_memory=True`` the tracer also tracks
+    :mod:`tracemalloc` around every span: each closed span gains
+    ``mem_peak_kb`` (the peak traced allocation observed while the span
+    was open, child peaks included) and ``mem_current_kb`` (traced
+    allocation at close) attributes.  tracemalloc's peak counter is
+    global, so the tracer checkpoints it at every span boundary and
+    propagates the reading to every span still open — nested peaks
+    stay correct.  Opt-in because tracemalloc slows allocation-heavy
+    code measurably; the default tracer never imports it.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        profile_memory: bool = False,
+    ) -> None:
         self._clock = clock
         self._next_id = 1
         self._stack: List[SpanRecord] = []
@@ -133,6 +148,31 @@ class Tracer:
         self.spans: List[SpanRecord] = []
         #: primitive events, ordered by occurrence
         self.events: List[PrimitiveEvent] = []
+        self._tracemalloc = None
+        self._mem_peaks: Dict[int, int] = {}
+        if profile_memory:
+            import tracemalloc
+
+            self._tracemalloc = tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+
+    @property
+    def profiles_memory(self) -> bool:
+        """True when the tracer records tracemalloc peaks per span."""
+        return self._tracemalloc is not None
+
+    def _memory_checkpoint(self) -> int:
+        """Fold the global peak into every open span; reset the peak.
+
+        Returns the current traced allocation in bytes.
+        """
+        current, peak = self._tracemalloc.get_traced_memory()
+        for record in self._stack:
+            tracked = self._mem_peaks.get(record.span_id, 0)
+            self._mem_peaks[record.span_id] = max(tracked, peak)
+        self._tracemalloc.reset_peak()
+        return current
 
     # ------------------------------------------------------------------
     # clock
@@ -146,6 +186,9 @@ class Tracer:
     # ------------------------------------------------------------------
     def start_span(self, name: str, kind: str = "span", **attributes: Any) -> SpanRecord:
         """Open a span under the current one; prefer :meth:`span`."""
+        if self._tracemalloc is not None:
+            current = self._memory_checkpoint()
+            self._mem_peaks[self._next_id] = current
         record = SpanRecord(
             span_id=self._next_id,
             parent_id=self._stack[-1].span_id if self._stack else None,
@@ -177,9 +220,14 @@ class Tracer:
                 stacklevel=2,
             )
             return record
+        current = self._memory_checkpoint() if self._tracemalloc is not None else None
         while self._stack:
             top = self._stack.pop()
             top.end = self.now()
+            if current is not None:
+                peak = self._mem_peaks.pop(top.span_id, current)
+                top.attributes["mem_peak_kb"] = round(peak / 1024.0, 1)
+                top.attributes["mem_current_kb"] = round(current / 1024.0, 1)
             if top is record:
                 break
         return record
@@ -242,6 +290,7 @@ class Tracer:
         self.spans.clear()
         self.events.clear()
         self._stack.clear()
+        self._mem_peaks.clear()
         self._next_id = 1
 
     def __repr__(self) -> str:

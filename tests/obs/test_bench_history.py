@@ -1,0 +1,189 @@
+"""Regression-gate attribution and bench-history persistence tests.
+
+The forced-regression test doctors a baseline, monkeypatches the
+harness's ``run_all`` (no real heads run), and asserts the gate exits
+1, prints the attribution table for the failing head, and appends a
+``repro/bench-history@1`` record — the issue's acceptance scenario.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+regression = pytest.importorskip("benchmarks.regression")
+
+
+def head(**overrides):
+    base = {
+        "wall_ms": 10.0,
+        "queries": {"count_distinct": 10, "fd_holds": 20},
+        "latency_ms": {"count_distinct": 1.0, "fd_holds": 2.0},
+        "latency_units": {"count_distinct": 0.5, "fd_holds": 1.0},
+        "primitives": {
+            "count_distinct": {
+                "calls": 10, "duration_ms": 1.0, "cache_hits": 8,
+                "cache_misses": 2, "rows_touched": 100, "hit_rate": 0.8,
+            },
+            "fd_holds": {
+                "calls": 20, "duration_ms": 2.0, "cache_hits": 0,
+                "cache_misses": 20, "rows_touched": 400, "hit_rate": 0.0,
+            },
+        },
+        "cache_hits": 8,
+        "rows_touched": 500,
+        "decisions": 3,
+        "phases": {
+            "IND-Discovery": {"duration_ms": 4.0, "queries": 10, "self_ms": 3.0},
+            "RHS-Discovery": {"duration_ms": 6.0, "queries": 20, "self_ms": 5.0},
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+def run_doc(**heads):
+    return {
+        "format": regression.FORMAT,
+        "mode": "quick",
+        "calibration_ms": 2.0,
+        "heads": heads,
+    }
+
+
+class TestAttributionReport:
+    def test_names_primitive_and_phase_movements(self):
+        baseline = head()
+        current = head(
+            latency_units={"count_distinct": 2.0, "fd_holds": 1.0},
+            primitives={
+                "count_distinct": {
+                    "calls": 10, "duration_ms": 4.0, "cache_hits": 0,
+                    "cache_misses": 10, "rows_touched": 900, "hit_rate": 0.0,
+                },
+                "fd_holds": baseline["primitives"]["fd_holds"],
+            },
+        )
+        text = regression.attribution_report("s1-head", current, baseline)
+        assert "attribution for s1-head" in text
+        lines = text.splitlines()
+        # ranked by latency-unit delta: count_distinct (x4) first
+        first_primitive = next(
+            line for line in lines if line.startswith(("count_distinct", "fd_holds"))
+        )
+        assert first_primitive.startswith("count_distinct")
+        assert "0.500 -> 2.000 (4.00x)" in text
+        assert "80% -> 0%" in text            # the cache-hit-rate explanation
+        assert "100 -> 900" in text           # rows scanned
+        assert "IND-Discovery" in text and "self ms" in text
+
+    def test_tolerates_heads_without_primitive_stats(self):
+        # baselines recorded before this layer existed lack "primitives"
+        bare = {"queries": {"fd_holds": 5}, "latency_units": {"fd_holds": 0.2}}
+        text = regression.attribution_report("s1", head(), bare)
+        assert "fd_holds" in text
+
+
+class TestHistory:
+    def test_append_writes_one_schema_tagged_line_per_run(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        result = run_doc(s1=head())
+        regression.append_history(path, result, "pass", [])
+        regression.append_history(path, result, "fail", ["s1: too slow"])
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8").read().splitlines()
+        ]
+        assert len(lines) == 2
+        for record in lines:
+            assert record["format"] == regression.HISTORY_FORMAT
+            assert record["mode"] == "quick"
+            assert record["recorded_at"]
+            assert record["heads"]["s1"]["queries"] == 30
+            assert record["heads"]["s1"]["latency_units"] == {
+                "count_distinct": 0.5, "fd_holds": 1.0,
+            }
+        assert lines[0]["gate"] == "pass" and lines[0]["violations"] == []
+        assert lines[1]["gate"] == "fail"
+        assert lines[1]["violations"] == ["s1: too slow"]
+
+    def test_the_returned_record_matches_the_written_line(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        record = regression.append_history(path, run_doc(s1=head()), "pass", [])
+        written = json.loads(open(path, encoding="utf-8").read())
+        assert written == json.loads(json.dumps(record))
+
+
+class TestForcedRegression:
+    """The acceptance scenario: gate fails, attributes, persists."""
+
+    def force(self, tmp_path, monkeypatch, capsys, current, baseline_head):
+        baseline_path = str(tmp_path / "baseline.json")
+        history_path = str(tmp_path / "history.jsonl")
+        regression.write_baseline(baseline_path, run_doc(**{"s3-head": baseline_head}))
+        monkeypatch.setattr(regression, "run_all", lambda quick: current)
+        code = regression.main(
+            ["--quick", "--baseline", baseline_path, "--history", history_path]
+        )
+        return code, capsys.readouterr(), history_path
+
+    def test_gate_failure_prints_attribution_and_appends_history(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        regressed = head(
+            queries={"count_distinct": 50, "fd_holds": 20},  # 5x chattier
+            primitives=dict(
+                head()["primitives"],
+                count_distinct={
+                    "calls": 50, "duration_ms": 9.0, "cache_hits": 0,
+                    "cache_misses": 50, "rows_touched": 4500, "hit_rate": 0.0,
+                },
+            ),
+        )
+        code, captured, history_path = self.force(
+            tmp_path, monkeypatch, capsys,
+            current=run_doc(**{"s3-head": regressed}),
+            baseline_head=head(),
+        )
+        assert code == 1
+        assert "REGRESSION GATE FAILED" in captured.out
+        assert "attribution for s3-head" in captured.out
+        assert "10 -> 50" in captured.out          # the query blow-up, named
+        assert "80% -> 0%" in captured.out         # the cache explanation
+        record = json.loads(open(history_path, encoding="utf-8").read())
+        assert record["format"] == "repro/bench-history@1"
+        assert record["gate"] == "fail"
+        assert any("count_distinct" in v for v in record["violations"])
+
+    def test_passing_gate_appends_a_pass_record_without_attribution(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code, captured, history_path = self.force(
+            tmp_path, monkeypatch, capsys,
+            current=run_doc(**{"s3-head": head()}),
+            baseline_head=head(),
+        )
+        assert code == 0
+        assert "regression gate passed" in captured.out
+        assert "attribution" not in captured.out
+        record = json.loads(open(history_path, encoding="utf-8").read())
+        assert record["gate"] == "pass" and record["violations"] == []
+
+    def test_no_history_flag_suppresses_the_append(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        baseline_path = str(tmp_path / "baseline.json")
+        history_path = str(tmp_path / "history.jsonl")
+        regression.write_baseline(baseline_path, run_doc(**{"s3-head": head()}))
+        monkeypatch.setattr(
+            regression, "run_all", lambda quick: run_doc(**{"s3-head": head()})
+        )
+        code = regression.main(
+            ["--quick", "--baseline", baseline_path,
+             "--history", history_path, "--no-history"]
+        )
+        assert code == 0
+        import os
+
+        assert not os.path.exists(history_path)

@@ -1,0 +1,310 @@
+"""Hotspot-profile unit tests: exclusive-time math and the exporters.
+
+Driven by a manual clock so every duration is exact: the tests pin the
+inclusive/self arithmetic for nested, overlapping, zero-duration and
+still-open spans, then the two flamegraph exports derived from it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, trace_records
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    SPEEDSCOPE_SCHEMA,
+    collapsed_stacks,
+    profile_from_records,
+    profile_summary,
+    render_profile,
+    speedscope_document,
+    write_collapsed,
+    write_speedscope,
+)
+
+
+class ManualClock:
+    """A clock the test advances explicitly (seconds)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture
+def tracer(clock) -> Tracer:
+    return Tracer(clock=clock)
+
+
+def event(tracer, primitive="count_distinct", start=0.0, duration=0.0,
+          cache_hit=False, rows=0):
+    tracer.record_event(
+        primitive=primitive,
+        backend="memory",
+        relations=("r",),
+        attributes=(("a",),),
+        start=start,
+        duration=duration,
+        cache_hit=cache_hit,
+        rows_touched=rows,
+    )
+
+
+class TestExclusiveTime:
+    def test_child_time_subtracts_from_parent_self(self, tracer, clock):
+        parent = tracer.start_span("parent")          # 0 .. 10
+        clock.t = 2.0
+        child = tracer.start_span("child")            # 2 .. 5
+        clock.t = 5.0
+        tracer.end_span(child)
+        clock.t = 10.0
+        tracer.end_span(parent)
+        profile = profile_summary(tracer)
+        assert profile["spans"]["parent"]["inclusive_ms"] == 10000.0
+        assert profile["spans"]["parent"]["self_ms"] == 7000.0
+        assert profile["spans"]["child"]["self_ms"] == 3000.0
+
+    def test_sequential_nested_spans_all_subtract(self, tracer, clock):
+        parent = tracer.start_span("parent")          # 0 .. 10
+        clock.t = 1.0
+        first = tracer.start_span("step")             # 1 .. 4
+        clock.t = 4.0
+        tracer.end_span(first)
+        second = tracer.start_span("step")            # 4 .. 9
+        clock.t = 9.0
+        tracer.end_span(second)
+        clock.t = 10.0
+        tracer.end_span(parent)
+        profile = profile_summary(tracer)
+        assert profile["spans"]["step"]["count"] == 2
+        assert profile["spans"]["step"]["inclusive_ms"] == 8000.0
+        assert profile["spans"]["parent"]["self_ms"] == 2000.0
+
+    def test_event_time_subtracts_from_its_span(self, tracer, clock):
+        span = tracer.start_span("phase", kind="phase")   # 0 .. 10
+        event(tracer, start=1.0, duration=4.0)
+        clock.t = 10.0
+        tracer.end_span(span)
+        profile = profile_summary(tracer)
+        assert profile["spans"]["phase"]["self_ms"] == 6000.0
+        assert profile["phases"]["phase"]["queries"] == 1
+
+    def test_zero_duration_span_has_zero_times(self, tracer, clock):
+        span = tracer.start_span("instant")
+        tracer.end_span(span)                          # same tick
+        profile = profile_summary(tracer)
+        assert profile["spans"]["instant"]["inclusive_ms"] == 0.0
+        assert profile["spans"]["instant"]["self_ms"] == 0.0
+
+    def test_open_parent_self_time_is_clamped_at_zero(self, tracer, clock):
+        # the parent is exported mid-run: its elapsed-so-far (5 s) is
+        # smaller than what its finished children account for (3 s span
+        # + 4 s event), so unclamped self time would be negative
+        tracer.start_span("parent")                    # open, started at 0
+        clock.t = 1.0
+        child = tracer.start_span("child")             # 1 .. 4
+        clock.t = 4.0
+        tracer.end_span(child)
+        event(tracer, start=4.0, duration=4.0)
+        clock.t = 5.0
+        profile = profile_summary(tracer)
+        assert profile["spans"]["parent"]["open"] is True
+        assert profile["spans"]["parent"]["inclusive_ms"] == 5000.0
+        assert profile["spans"]["parent"]["self_ms"] == 0.0
+
+    def test_open_leaf_span_reports_elapsed_so_far(self, tracer, clock):
+        tracer.start_span("running")
+        clock.t = 3.0
+        profile = profile_summary(tracer)
+        assert profile["spans"]["running"]["inclusive_ms"] == 3000.0
+        assert profile["spans"]["running"]["self_ms"] == 3000.0
+
+    def test_render_marks_open_spans(self, tracer, clock):
+        tracer.start_span("running")
+        clock.t = 1.0
+        text = render_profile(profile_summary(tracer))
+        assert "running (open)" in text
+        assert "# Hotspots" in text
+
+
+class TestPhaseBreakdown:
+    def build(self, tracer, clock):
+        root = tracer.start_span("pipeline", kind="pipeline")  # 0 .. 20
+        clock.t = 1.0
+        phase = tracer.start_span("IND-Discovery", kind="phase")  # 1 .. 11
+        event(tracer, "count_distinct", start=2.0, duration=1.0, rows=50)
+        event(tracer, "count_distinct", start=3.0, duration=0.0,
+              cache_hit=True)
+        clock.t = 4.0
+        inner = tracer.start_span("engine")            # 4 .. 6
+        event(tracer, "join_count", start=5.0, duration=1.0, rows=10)
+        clock.t = 6.0
+        tracer.end_span(inner)
+        clock.t = 11.0
+        tracer.end_span(phase)
+        clock.t = 20.0
+        tracer.end_span(root)
+
+    def test_phase_rollup_covers_the_subtree(self, tracer, clock):
+        self.build(tracer, clock)
+        profile = profile_summary(tracer)
+        phase = profile["phases"]["IND-Discovery"]
+        # the join_count under the nested engine span still counts
+        assert phase["queries"] == 3
+        assert phase["primitives"]["count_distinct"]["calls"] == 2
+        assert phase["primitives"]["count_distinct"]["hit_rate"] == 0.5
+        assert phase["primitives"]["count_distinct"]["rows_touched"] == 50
+        assert phase["primitives"]["join_count"]["calls"] == 1
+        assert phase["self_ms"] == (10 - 2 - 1 - 0) * 1000.0
+
+    def test_run_total_primitives_match_events(self, tracer, clock):
+        self.build(tracer, clock)
+        profile = profile_summary(tracer)
+        assert profile["totals"]["queries"] == 3
+        assert profile["primitives"]["count_distinct"]["duration_ms"] == 1000.0
+
+
+class TestCollapsedStacks:
+    def test_stacks_fold_events_as_leaf_frames(self, tracer, clock):
+        root = tracer.start_span("pipeline")           # 0 .. 10
+        clock.t = 1.0
+        phase = tracer.start_span("IND-Discovery", kind="phase")  # 1 .. 7
+        event(tracer, "count_distinct", start=2.0, duration=2.0)
+        clock.t = 7.0
+        tracer.end_span(phase)
+        clock.t = 10.0
+        tracer.end_span(root)
+        lines = dict(
+            line.rsplit(" ", 1) for line in collapsed_stacks(trace_records(tracer))
+        )
+        # values are integer microseconds of self time
+        assert lines["pipeline"] == str(4 * 1_000_000)
+        assert lines["pipeline;IND-Discovery"] == str(4 * 1_000_000)
+        assert lines["pipeline;IND-Discovery;count_distinct"] == str(2 * 1_000_000)
+
+    def test_write_collapsed_round_trips(self, tracer, clock, tmp_path):
+        with tracer.span("pipeline"):
+            event(tracer, start=0.5, duration=0.25)
+            clock.t = 1.0
+        path = tmp_path / "trace.collapsed"
+        write_collapsed(trace_records(tracer), str(path))
+        for line in path.read_text().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack
+            assert int(value) >= 0
+
+    def test_event_outside_any_span_gets_a_synthetic_root(self, tracer):
+        event(tracer, "fd_holds", start=0.0, duration=1.0)
+        lines = collapsed_stacks(trace_records(tracer))
+        assert lines == [f"(no span);fd_holds {1_000_000}"]
+
+
+class TestSpeedscope:
+    def build(self, tracer, clock):
+        root = tracer.start_span("pipeline")           # 0 .. 10
+        clock.t = 1.0
+        phase = tracer.start_span("IND-Discovery", kind="phase")  # 1 .. 8
+        event(tracer, "count_distinct", start=2.0, duration=3.0)
+        clock.t = 8.0
+        tracer.end_span(phase)
+        clock.t = 10.0
+        tracer.end_span(root)
+
+    def test_document_shape_and_tags(self, tracer, clock):
+        self.build(tracer, clock)
+        document = speedscope_document(trace_records(tracer), name="unit")
+        assert document["$schema"] == SPEEDSCOPE_SCHEMA
+        assert document["exporter"] == PROFILE_FORMAT
+        assert document["profiles"][0]["unit"] == "milliseconds"
+        names = [f["name"] for f in document["shared"]["frames"]]
+        assert names == ["pipeline", "IND-Discovery", "count_distinct"]
+
+    def test_events_are_balanced_and_properly_nested(self, tracer, clock):
+        self.build(tracer, clock)
+        document = speedscope_document(trace_records(tracer))
+        stack = []
+        last_at = 0.0
+        for entry in document["profiles"][0]["events"]:
+            assert entry["at"] >= last_at
+            last_at = entry["at"]
+            if entry["type"] == "O":
+                stack.append(entry["frame"])
+            else:
+                assert entry["type"] == "C"
+                assert stack.pop() == entry["frame"]
+        assert stack == []
+        assert document["profiles"][0]["endValue"] == 10000.0
+
+    def test_open_spans_are_closed_at_elapsed_so_far(self, tracer, clock):
+        tracer.start_span("pipeline")
+        clock.t = 1.0
+        tracer.start_span("IND-Discovery", kind="phase")
+        clock.t = 4.0
+        document = speedscope_document(trace_records(tracer))
+        opens = sum(1 for e in document["profiles"][0]["events"] if e["type"] == "O")
+        closes = sum(1 for e in document["profiles"][0]["events"] if e["type"] == "C")
+        assert opens == closes == 2
+
+    def test_write_speedscope_emits_valid_json(self, tracer, clock, tmp_path):
+        self.build(tracer, clock)
+        path = tmp_path / "trace.speedscope.json"
+        write_speedscope(trace_records(tracer), str(path))
+        document = json.loads(path.read_text())
+        assert document["exporter"] == PROFILE_FORMAT
+
+
+class TestFromFile:
+    def test_profile_from_reread_trace_matches_live(self, tracer, clock, tmp_path):
+        from repro.obs import read_trace_jsonl, write_trace_jsonl
+
+        with tracer.span("pipeline"):
+            with tracer.span("IND-Discovery", kind="phase"):
+                event(tracer, start=2.0, duration=1.0, rows=3)
+                clock.t = 5.0
+            clock.t = 9.0
+        live = profile_summary(tracer)
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl(tracer, str(path))
+        reread = profile_from_records(read_trace_jsonl(str(path)))
+        assert reread == live
+
+
+class TestMemoryProfiling:
+    def test_default_tracer_records_no_memory_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            _ = [0] * 1000
+        assert "mem_peak_kb" not in tracer.spans[0].attributes
+        assert tracer.profiles_memory is False
+
+    def test_peaks_are_recorded_per_span(self):
+        tracer = Tracer(profile_memory=True)
+        assert tracer.profiles_memory is True
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                ballast = [0] * 200_000       # ~1.6 MB of pointers
+            del ballast
+        outer, inner = tracer.spans
+        assert inner.attributes["mem_peak_kb"] > 1000.0
+        assert outer.attributes["mem_peak_kb"] >= inner.attributes["mem_peak_kb"]
+        assert inner.attributes["mem_current_kb"] >= 0.0
+
+    def test_peaks_survive_the_jsonl_round_trip(self, tmp_path):
+        from repro.obs import read_trace_jsonl, write_trace_jsonl
+
+        tracer = Tracer(profile_memory=True)
+        with tracer.span("phase", kind="phase"):
+            _ = [0] * 10_000
+        path = tmp_path / "mem.jsonl"
+        write_trace_jsonl(tracer, str(path))
+        spans = [r for r in read_trace_jsonl(str(path)) if r.get("type") == "span"]
+        assert spans[0]["attributes"]["mem_peak_kb"] >= 0.0

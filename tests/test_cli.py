@@ -305,6 +305,103 @@ class TestObservabilityOutputs:
         assert "repro/trace@1" in capsys.readouterr().err
 
 
+class TestVersion:
+    def test_version_flag_prints_the_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    @pytest.fixture
+    def demo_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "demo.trace.jsonl"
+        assert main(["demo", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_profile_prints_hotspots_and_phase_breakdown(
+        self, demo_trace, capsys
+    ):
+        assert main(["profile", str(demo_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# Hotspots" in out
+        assert "self ms" in out
+        assert "# Primitives by phase" in out
+        assert "IND-Discovery" in out
+
+    def test_profile_writes_flamegraph_exports(self, demo_trace, tmp_path, capsys):
+        flame = tmp_path / "demo.collapsed"
+        speedscope = tmp_path / "demo.speedscope.json"
+        assert main(
+            [
+                "profile", str(demo_trace),
+                "--flame", str(flame),
+                "--speedscope", str(speedscope),
+            ]
+        ) == 0
+        for line in flame.read_text().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 0
+        assert any(
+            line.startswith("pipeline;") for line in flame.read_text().splitlines()
+        )
+        document = json.loads(speedscope.read_text())
+        assert document["exporter"] == "repro/profile@1"
+        assert document["profiles"][0]["events"]
+
+    def test_profile_rejects_a_metrics_file_with_one_line(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "demo.metrics.json"
+        assert main(["demo", "--metrics", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(metrics_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "repro/metrics@1" in err
+        assert "repro/trace@1" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_summarize_rejects_a_metrics_file_with_one_line(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "demo.metrics.json"
+        assert main(["demo", "--metrics", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(metrics_path)]) == 1
+        err = capsys.readouterr().err
+        assert "repro/metrics@1" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_profile_rejects_a_missing_file(self, capsys):
+        assert main(["profile", "/nonexistent/trace.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_memory_records_peaks_in_the_trace(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import read_trace_jsonl
+
+        trace_path = tmp_path / "demo.mem.trace.jsonl"
+        assert main(
+            ["demo", "--trace", str(trace_path), "--profile-memory"]
+        ) == 0
+        capsys.readouterr()
+        spans = [
+            r for r in read_trace_jsonl(str(trace_path))
+            if r.get("type") == "span" and r["kind"] == "phase"
+        ]
+        assert spans
+        for span in spans:
+            assert span["attributes"]["mem_peak_kb"] >= 0.0
+            assert span["attributes"]["mem_current_kb"] >= 0.0
+
+
 class TestProvenanceOutputs:
     def run_with_provenance(self, workspace):
         prov_path = workspace / "run.prov.jsonl"
