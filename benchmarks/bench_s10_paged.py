@@ -1,0 +1,140 @@
+"""S10 — the paged backend: scan-bound vs pool-bound analysis.
+
+The out-of-core claim is a trade, not a free lunch: with a pool big
+enough to hold the extension, the paged backend is scan-bound (every
+page read once, then served from memory); with a pool smaller than any
+relation it is pool-bound (every scan evicts and re-reads).  This bench
+runs the S6 primitive workload under both regimes and reports the
+buffer hit-rate next to the timings, then runs the full pipeline on a
+pool a fraction of the extension's size.  In every configuration the
+answers must be identical to the in-memory backend — the pool size may
+only move the wall time and the I/O counters, never a count.
+"""
+
+import time
+
+from benchmarks.bench_s6_backends import _run_workload, _scenario
+from benchmarks.conftest import report
+from repro.backends import MemoryBackend, PagedBackend
+from repro.core import DBREPipeline
+
+#: page size for every run; small enough that the bench scenarios span
+#: many pages, so the pool-bound regime actually thrashes
+PAGE_SIZE = 512
+
+#: (label, pool frames): ample pool => scan-bound; tiny pool => every
+#: scan pays eviction and re-read
+POOLS = [("scan-bound", 1024), ("pool-bound", 8)]
+
+SIZES = [4, 8]
+
+
+def _paged_copy(database, pool_pages):
+    return database.copy(
+        backend=PagedBackend(pool_pages=pool_pages, page_size=PAGE_SIZE)
+    )
+
+
+def test_s10_primitive_timings_by_pool(benchmark):
+    rows = []
+    for n in SIZES:
+        scenario = _scenario(n)
+        edges = scenario.truth.join_edges
+        memory = _run_workload(
+            scenario.database.copy(backend=MemoryBackend()), edges
+        )
+        for label, pool_pages in POOLS:
+            db = _paged_copy(scenario.database, pool_pages)
+            paged = _run_workload(db, edges)
+            stats = db.backend.pool.stats
+            for primitive in memory:
+                mem_s, calls, mem_answers = memory[primitive]
+                page_s, _, page_answers = paged[primitive]
+                assert page_answers == mem_answers, (label, primitive)
+            total_mem = sum(s for s, _, _ in memory.values())
+            total_page = sum(s for s, _, _ in paged.values())
+            rows.append(
+                [
+                    n,
+                    label,
+                    pool_pages,
+                    sum(c for _, c, _ in memory.values()),
+                    f"{total_mem * 1000:.1f} ms",
+                    f"{total_page * 1000:.1f} ms",
+                    f"{100 * stats.hit_rate:.0f}%",
+                    stats.evictions,
+                ]
+            )
+            db.close()
+    report(
+        "S10: primitive workload on the paged backend, by pool regime",
+        [
+            "entities", "regime", "pool", "queries",
+            "memory", "paged", "hit-rate", "evictions",
+        ],
+        rows,
+    )
+
+    # time the pool-bound pass — the regime the backend exists for
+    scenario = _scenario(SIZES[-1])
+    db = _paged_copy(scenario.database, POOLS[1][1])
+
+    def pool_bound():
+        _run_workload(db, scenario.truth.join_edges)
+
+    benchmark(pool_bound)
+    db.close()
+
+
+def test_s10_pipeline_pool_bound(benchmark):
+    """End to end with the pool smaller than the extension."""
+    rows = []
+    results = {}
+    for label, factory in (
+        ("memory", MemoryBackend),
+        ("paged-8", lambda: PagedBackend(pool_pages=8, page_size=PAGE_SIZE)),
+    ):
+        scenario = _scenario(6, parent_rows=40)
+        db = scenario.database.copy(backend=factory())
+        start = time.perf_counter()
+        result = DBREPipeline(db, scenario.expert).run(corpus=scenario.corpus)
+        elapsed = time.perf_counter() - start
+        results[label] = result
+        backend = db.backend
+        stats = getattr(backend, "pool", None)
+        rows.append(
+            [
+                label,
+                result.extension_queries,
+                len(result.ric),
+                f"{elapsed * 1000:.0f} ms",
+                f"{100 * stats.stats.hit_rate:.0f}%" if stats else "—",
+                stats.stats.evictions if stats else "—",
+            ]
+        )
+        db.close()
+    report(
+        "S10: full pipeline, pool-bound paged backend vs memory",
+        ["backend", "extension queries", "|RIC|", "wall time",
+         "hit-rate", "evictions"],
+        rows,
+    )
+
+    memory, paged = results["memory"], results["paged-8"]
+    # where the pages live never changes what the method produces
+    assert paged.extension_queries == memory.extension_queries
+    assert set(paged.ric) == set(memory.ric)
+    assert {
+        r.name: tuple(r.attribute_names) for r in paged.restructured.schema
+    } == {
+        r.name: tuple(r.attribute_names) for r in memory.restructured.schema
+    }
+
+    scenario = _scenario(6, parent_rows=40)
+    db = _paged_copy(scenario.database, 8)
+    benchmark(
+        lambda: DBREPipeline(db.copy(), scenario.expert).run(
+            corpus=scenario.corpus
+        )
+    )
+    db.close()

@@ -19,7 +19,11 @@ files:
 3. ``repro explain`` renders a complete derivation chain — ending at a
    source query — for every referential integrity constraint;
 4. the DOT export and the HTML audit report are written and
-   well-formed.
+   well-formed;
+5. a second demo run on the paged backend (pool smaller than the
+   extension) re-derives its metrics the same way and exports nonzero
+   buffer-pool counters (hits, misses, evictions, pages read) under
+   ``backends.paged.counters``.
 
 Exit status is non-zero on the first violation, so CI fails loudly.
 The artifacts are left in ``--outdir`` for upload.
@@ -184,11 +188,42 @@ def main(argv=None) -> int:
         if needle not in document:
             fail(f"audit report is missing {needle!r}")
 
+    # 5. paged backend: pool counters flow into the exports ------------
+    paged_trace_path = os.path.join(args.outdir, "demo-paged.trace.jsonl")
+    paged_metrics_path = os.path.join(args.outdir, "demo-paged.metrics.json")
+    code = repro(
+        [
+            "demo",
+            "--backend", "paged",
+            "--pool-pages", "8",
+            "--page-size", "256",
+            "--trace", paged_trace_path,
+            "--metrics", paged_metrics_path,
+        ]
+    )
+    if code != 0:
+        fail(f"paged demo run exited {code}")
+    paged_trace = read_trace_jsonl(paged_trace_path)
+    with open(paged_metrics_path, encoding="utf-8") as handle:
+        paged_metrics = json.load(handle)
+    if paged_metrics != metrics_from_records(paged_trace):
+        fail("paged metrics JSON does not re-derive from the trace records")
+    counters = (
+        paged_metrics.get("backends", {}).get("paged", {}).get("counters", {})
+    )
+    for key in ("pool_hits", "pool_misses", "pool_evictions", "pages_read"):
+        if not counters.get(key):
+            fail(
+                f"paged run exported no {key}: buffer-pool telemetry "
+                f"is not reaching repro/metrics@1 (counters: {counters})"
+            )
+
     print(
         f"validate_exports: OK — {len(spans)} spans, {len(events)} events, "
         f"{len(stacks)} collapsed stacks, "
         f"{len(nodes)} lineage nodes, {len(edges)} edges, "
-        f"{len(rics)} constraint chain(s) verified; artifacts in {args.outdir}/"
+        f"{len(rics)} constraint chain(s) verified, "
+        f"paged pool counters {counters}; artifacts in {args.outdir}/"
     )
     return 0
 

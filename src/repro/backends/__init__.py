@@ -2,8 +2,8 @@
 
 The reverse-engineering method only ever talks to the extension through
 four counting/checking primitives plus row scans and inserts
-(:class:`~repro.backends.base.ExtensionBackend`).  Two implementations
-ship with the reproduction:
+(:class:`~repro.backends.base.ExtensionBackend`).  Three
+implementations ship with the reproduction:
 
 - :class:`~repro.backends.memory.MemoryBackend` — the original
   in-process engine (typed :class:`Table` rows, algebra-module
@@ -13,18 +13,34 @@ ship with the reproduction:
   and version-guarded result invalidation; also implements the optional
   ``execute_batch`` hook (:class:`~repro.backends.base.
   BatchCapableBackend`), answering a whole probe chunk from
-  :mod:`repro.engine` in one grouped statement.
+  :mod:`repro.engine` in one grouped statement;
+- :class:`~repro.backends.paged.PagedBackend` — the out-of-core
+  engine: native page files behind a bounded LRU buffer pool
+  (:mod:`repro.storage.paged`), streaming every primitive so
+  extensions larger than the pool are analyzed with bounded memory.
+
+Backends register themselves in :mod:`repro.backends.registry`
+(name → factory); the CLI's ``--backend`` choices, the contract suite,
+and the differential harness discover them there
+(:func:`backend_names` / :func:`create_backend`).
 
 :func:`~repro.backends.introspect.open_sqlite` opens an existing ``.db``
 file, reading the paper's ``K``/``N`` input sets straight from SQLite's
 data dictionary (``PRAGMA table_info`` / ``index_list``).
 
-See ``docs/BACKENDS.md`` for the protocol, the pushdown SQL and the
-dictionary mapping.
+See ``docs/BACKENDS.md`` for the protocol, the pushdown SQL, the page
+file format, and the dictionary mapping.
 """
 
 from repro.backends.base import BatchCapableBackend, ExtensionBackend
 from repro.backends.memory import MemoryBackend
+from repro.backends.paged import PagedBackend
+from repro.backends.registry import (
+    backend_factory,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from repro.backends.sqlite import SQLiteBackend
 from repro.backends.introspect import (
     dtype_from_declared,
@@ -32,12 +48,21 @@ from repro.backends.introspect import (
     open_sqlite,
 )
 
+register_backend("memory", MemoryBackend)
+register_backend("sqlite", SQLiteBackend)
+register_backend("paged", PagedBackend)
+
 __all__ = [
     "BatchCapableBackend",
     "ExtensionBackend",
     "MemoryBackend",
+    "PagedBackend",
     "SQLiteBackend",
+    "backend_factory",
+    "backend_names",
+    "create_backend",
     "dtype_from_declared",
     "introspect_schema",
     "open_sqlite",
+    "register_backend",
 ]

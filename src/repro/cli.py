@@ -37,8 +37,11 @@ executed by the built-in engine), a ``.json`` database document
 produced by :mod:`repro.storage.serialize`, or a SQLite ``.db`` /
 ``.sqlite`` / ``.sqlite3`` file — opened live, with the paper's
 ``K``/``N`` sets read from SQLite's data dictionary and every extension
-query pushed down to the engine.  ``--backend {auto,memory,sqlite}``
-overrides where the extension is held for any input kind.
+query pushed down to the engine.  ``--backend`` overrides where the
+extension is held for any input kind; the choices come from the backend
+registry (:mod:`repro.backends.registry`): ``auto``, ``memory``,
+``sqlite``, or ``paged`` (out-of-core page files behind a buffer pool
+sized by ``--pool-pages``).
 """
 
 from __future__ import annotations
@@ -97,37 +100,51 @@ from repro.util.text import format_table
 SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
 
-def _make_backend(name: str):
-    """Resolve a ``--backend`` value to a fresh backend (None = memory)."""
-    if name == "sqlite":
-        from repro.backends import SQLiteBackend
+def _make_backend(name: str, pool_pages: int = 0, page_size: int = 0):
+    """Resolve a ``--backend`` value to a fresh backend (None = memory).
 
-        return SQLiteBackend()
-    return None
+    Any registered backend name resolves through the registry;
+    *pool_pages* and *page_size* are forwarded to the paged backend
+    when nonzero.
+    """
+    if name in ("auto", "memory"):
+        return None
+    from repro.backends import create_backend
+
+    options = {}
+    if name == "paged":
+        if pool_pages:
+            options["pool_pages"] = pool_pages
+        if page_size:
+            options["page_size"] = page_size
+    return create_backend(name, **options)
 
 
-def load_database(path: str, backend: str = "auto") -> Database:
+def load_database(
+    path: str, backend: str = "auto", pool_pages: int = 0, page_size: int = 0
+) -> Database:
     """Load a database from ``.sql``, ``.json`` or SQLite ``.db`` input.
 
     *backend* picks the extension store: ``auto`` keeps SQLite files on
-    the engine (pushdown) and scripts/documents in memory; ``memory``
-    and ``sqlite`` force either store for any input kind.
+    the engine (pushdown) and scripts/documents in memory; any
+    registered backend name forces that store for any input kind.
     """
     if path.endswith(SQLITE_SUFFIXES):
         from repro.backends import MemoryBackend, open_sqlite
 
         database = open_sqlite(path)
-        if backend == "memory":
-            return database.copy(backend=MemoryBackend())
-        return database
+        if backend in ("auto", "sqlite"):
+            return database
+        target = _make_backend(backend, pool_pages, page_size) or MemoryBackend()
+        return database.copy(backend=target)
     if path.endswith(".json"):
         document = database_from_dict(load_json(path))
-        if backend == "sqlite":
-            return document.copy(backend=_make_backend(backend))
-        return document
+        if backend in ("auto", "memory"):
+            return document
+        return document.copy(backend=_make_backend(backend, pool_pages, page_size))
     with open(path, "r", encoding="utf-8") as handle:
         script = handle.read()
-    database = Database(backend=_make_backend(backend))
+    database = Database(backend=_make_backend(backend, pool_pages, page_size))
     Executor(database).run_script(script)
     return database
 
@@ -182,7 +199,7 @@ def _make_expert(args: argparse.Namespace) -> Expert:
 # commands
 # ----------------------------------------------------------------------
 def cmd_inspect(args: argparse.Namespace) -> int:
-    database = load_database(args.database, args.backend)
+    database = load_database(args.database, args.backend, args.pool_pages, args.page_size)
     print("# Relations")
     for relation in database.schema:
         print(f"  {relation!r}  ({len(database.table(relation.name))} rows)")
@@ -207,7 +224,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
-    database = load_database(args.database, args.backend)
+    database = load_database(args.database, args.backend, args.pool_pages, args.page_size)
     corpus = load_corpus(args.programs)
     report = extract_equijoins(corpus, database.schema)
     print(f"# Q — {len(report.joins)} equi-join(s) from "
@@ -223,7 +240,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    database = load_database(args.database, args.backend)
+    database = load_database(args.database, args.backend, args.pool_pages, args.page_size)
     corpus = load_corpus(args.programs)
     expert = _make_expert(args)
     pipeline = DBREPipeline(
@@ -293,7 +310,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         paper_program_corpus,
     )
 
-    database = build_paper_database()
+    database = build_paper_database(
+        backend=_make_backend(args.backend, args.pool_pages, args.page_size)
+    )
     expert = ScriptedExpert(paper_expert_script())
     pipeline = DBREPipeline(
         database, expert,
@@ -418,10 +437,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_option(command: argparse.ArgumentParser) -> None:
+        from repro.backends import backend_names
+
         command.add_argument(
-            "--backend", choices=("auto", "memory", "sqlite"), default="auto",
+            "--backend", choices=("auto",) + backend_names(), default="auto",
             help="extension store: auto (SQLite files stay on the engine, "
-                 "scripts/documents in memory), memory, or sqlite",
+                 "scripts/documents in memory) or any registered backend",
+        )
+        command.add_argument(
+            "--pool-pages", type=int, default=0, metavar="N",
+            help="paged backend only: buffer-pool capacity in pages "
+                 "(0 = backend default)",
+        )
+        command.add_argument(
+            "--page-size", type=int, default=0, metavar="BYTES",
+            help="paged backend only: page size of newly created page "
+                 "files (0 = backend default)",
         )
 
     def add_engine_option(command: argparse.ArgumentParser) -> None:
@@ -507,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_run)
 
     demo = sub.add_parser("demo", help="run the paper's worked example")
+    add_backend_option(demo)
     add_engine_option(demo)
     add_observability_options(demo)
     demo.set_defaults(func=cmd_demo)

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
 
 from repro.engine.planner import ProbeGroup, QueryPlan, plan_probes
 from repro.engine.probes import Probe
+from repro.obs.instrument import telemetry_delta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import ExtensionBackend
@@ -105,6 +106,8 @@ class _Evaluation:
     duration: float = 0.0
     cache_hit: bool = False
     rows_touched: int = 0
+    #: storage telemetry deltas (backends with a ``telemetry()`` hook)
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 class BatchExecutor:
@@ -165,6 +168,7 @@ class BatchExecutor:
                     duration=evaluation.duration if first else 0.0,
                     cache_hit=evaluation.cache_hit if first else True,
                     rows_touched=evaluation.rows_touched if first else 0,
+                    counters=evaluation.counters if first else None,
                 )
 
         self.stats.batches += 1
@@ -231,11 +235,12 @@ class BatchExecutor:
                 for group in plan.groups
             ]
             for future in futures:
-                for probe, value, start, duration in future.result():
+                for probe, value, start, duration, counters in future.result():
                     evaluation = evaluations[probe.key]
                     evaluation.value = value
                     evaluation.start = start
                     evaluation.duration = duration
+                    evaluation.counters = counters
         self.stats.backend_calls += len(plan.unique)
         self.stats.parallel_groups += len(plan.groups)
 
@@ -247,11 +252,14 @@ class BatchExecutor:
     ) -> None:
         """The universal fallback: one primitive call per unique probe."""
         for group in plan.groups:
-            for probe, value, start, duration in self._run_group(backend, group):
+            for probe, value, start, duration, counters in self._run_group(
+                backend, group
+            ):
                 evaluation = evaluations[probe.key]
                 evaluation.value = value
                 evaluation.start = start
                 evaluation.duration = duration
+                evaluation.counters = counters
         self.stats.backend_calls += len(plan.unique)
 
     # ------------------------------------------------------------------
@@ -259,14 +267,21 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     def _run_group(
         self, backend: "ExtensionBackend", group: ProbeGroup
-    ) -> List[Tuple[Probe, Any, float, float]]:
+    ) -> List[Tuple[Probe, Any, float, float, Dict[str, int]]]:
         """Evaluate one group serially, timing each probe."""
         tracer = self.database.tracer
+        hook = getattr(backend, "telemetry", None)
         out = []
         for probe in group.probes:
+            before = hook() if hook is not None else None
             start = tracer.now()
             value = _dispatch(backend, probe)
-            out.append((probe, value, start, tracer.now() - start))
+            duration = tracer.now() - start
+            after = hook() if hook is not None else None
+            out.append(
+                (probe, value, start, duration,
+                 telemetry_delta(before, after) or {})
+            )
         return out
 
     def _profiled(self, backend: "ExtensionBackend", probe: Probe) -> _Evaluation:

@@ -71,20 +71,23 @@ def trace_records(tracer: "Tracer") -> List[Dict[str, Any]]:
             row["open"] = True
         rows.append(row)
     for event in tracer.events:
-        rows.append(
-            {
-                "type": "event",
-                "span": event.span_id,
-                "primitive": event.primitive,
-                "backend": event.backend,
-                "relations": list(event.relations),
-                "attributes": [list(a) for a in event.attributes],
-                "start_ms": _ms(event.start - base),
-                "duration_ms": _ms(event.duration),
-                "cache_hit": event.cache_hit,
-                "rows_touched": event.rows_touched,
-            }
-        )
+        row = {
+            "type": "event",
+            "span": event.span_id,
+            "primitive": event.primitive,
+            "backend": event.backend,
+            "relations": list(event.relations),
+            "attributes": [list(a) for a in event.attributes],
+            "start_ms": _ms(event.start - base),
+            "duration_ms": _ms(event.duration),
+            "cache_hit": event.cache_hit,
+            "rows_touched": event.rows_touched,
+        }
+        if event.counters:
+            # storage telemetry deltas (buffer pool / page I/O); omitted
+            # when empty so traces from other backends are unchanged
+            row["counters"] = dict(event.counters)
+        rows.append(row)
     rows.sort(key=lambda r: (r["start_ms"], 0 if r["type"] == "span" else 1))
     header = {
         "type": "trace",
@@ -171,6 +174,9 @@ def metrics_from_records(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         b = backends.setdefault(event["backend"], {"calls": 0, "duration_ms": 0.0})
         b["calls"] += 1
         b["duration_ms"] += event["duration_ms"]
+        for key, value in event.get("counters", {}).items():
+            counters = b.setdefault("counters", {})
+            counters[key] = counters.get(key, 0) + value
     for rollup in (*primitives.values(), *backends.values()):
         rollup["duration_ms"] = _ms(rollup["duration_ms"] / 1000.0)
 

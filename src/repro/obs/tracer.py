@@ -104,6 +104,13 @@ class PrimitiveEvent:
     ``(lhs, rhs)`` attribute tuples for ``fd_holds``.  ``rows_touched``
     is the number of stored rows a cold evaluation scans — 0 when the
     backend answered from a cache.
+
+    ``counters`` carries per-call storage telemetry deltas when the
+    backend exposes a monotonic ``telemetry()`` hook (the paged
+    backend's buffer pool: ``pool_hits``, ``pool_misses``,
+    ``pool_evictions``, ``pool_write_backs``, ``pages_read``,
+    ``pages_written``).  Empty for backends without the hook, so
+    existing traces are unchanged.
     """
 
     span_id: Optional[int]
@@ -115,6 +122,7 @@ class PrimitiveEvent:
     duration: float
     cache_hit: bool
     rows_touched: int
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         rels = ",".join(self.relations)
@@ -266,6 +274,7 @@ class Tracer:
         duration: float,
         cache_hit: bool,
         rows_touched: int,
+        counters: Optional[Dict[str, int]] = None,
     ) -> PrimitiveEvent:
         """Append one primitive event, attributed to the open span."""
         event = PrimitiveEvent(
@@ -278,6 +287,7 @@ class Tracer:
             duration=duration,
             cache_hit=cache_hit,
             rows_touched=rows_touched,
+            counters=dict(counters) if counters else {},
         )
         self.events.append(event)
         return event

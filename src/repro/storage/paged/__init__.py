@@ -1,0 +1,50 @@
+"""The out-of-core paged storage engine.
+
+Extensions far larger than RAM cannot live in Python lists or a single
+hydrated SQLite mirror; this package stores them in fixed-size page
+files and reads them back through a bounded buffer pool, so every scan
+the method's counting primitives issue touches at most ``pool pages``
+pages of memory at a time:
+
+- :mod:`repro.storage.paged.codec` — the binary row codec: one
+  self-describing, type-tagged encoding per domain value (int / real /
+  boolean / string / NULL), round-trip exact;
+- :mod:`repro.storage.paged.page` — the fixed-size slotted page: a
+  small header (next-page link, slot count, free-space offset), records
+  growing from the front, and a slot directory growing from the back;
+- :mod:`repro.storage.paged.file_manager` — :class:`PageFile` (one
+  relation's pages in one file: header page, a linked chain of data
+  pages, and a free-list of recycled pages) and :class:`FileManager`
+  (a directory of page files, one per relation, with read/write
+  counters);
+- :mod:`repro.storage.paged.buffer` — :class:`BufferPool`: a fixed
+  number of in-memory frames with LRU eviction, pin/unpin discipline,
+  dirty-page write-back, and hit/miss/eviction statistics.
+
+:class:`repro.backends.paged.PagedBackend` drives all four as the third
+:class:`~repro.backends.base.ExtensionBackend`.  Every byte-level
+failure (missing file, short read, bad magic) raises
+:class:`~repro.exceptions.StorageError` with a one-line diagnostic
+naming the file and offset.  See ``docs/BACKENDS.md``.
+"""
+
+from repro.storage.paged.codec import decode_row, encode_row
+from repro.storage.paged.page import PAGE_HEADER_SIZE, Page
+from repro.storage.paged.buffer import BufferPool, PoolStats
+from repro.storage.paged.file_manager import (
+    DEFAULT_PAGE_SIZE,
+    FileManager,
+    PageFile,
+)
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "FileManager",
+    "PAGE_HEADER_SIZE",
+    "Page",
+    "PageFile",
+    "PoolStats",
+    "decode_row",
+    "encode_row",
+]

@@ -1,0 +1,158 @@
+"""The fixed-size slotted page.
+
+Every page of a :class:`~repro.storage.paged.file_manager.PageFile` has
+the same layout:
+
+```
+offset 0   u32  next_page   — id of the next data page in the chain (0 = end)
+offset 4   u16  slot_count  — number of records stored
+offset 6   u16  free_offset — where the next record's bytes will land
+offset 8   ...  record bytes, growing towards the end
+...
+end        slot directory, growing towards the front:
+           one (u16 offset, u16 length) pair per record, slot 0 last
+```
+
+Records are opaque byte strings (the row codec's output); the page
+neither decodes nor orders them.  Pages are append-only — the backend
+rewrites a relation's whole chain for deletes, recycling the old pages
+through the file's free-list — which keeps the on-disk invariants easy
+to state and to check: slots never move, offsets only grow.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.exceptions import StorageError
+
+__all__ = ["PAGE_HEADER_SIZE", "MIN_PAGE_SIZE", "Page", "PageFullError"]
+
+#: next_page (u32) + slot_count (u16) + free_offset (u16)
+PAGE_HEADER_SIZE = 8
+#: one (offset, length) pair per record
+_SLOT_SIZE = 4
+#: room for the header, one slot, and a non-trivial record
+MIN_PAGE_SIZE = 64
+
+_HEADER = struct.Struct(">IHH")
+_SLOT = struct.Struct(">HH")
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the page's remaining free space."""
+
+
+class Page:
+    """One fixed-size slotted page, wrapped around a mutable buffer."""
+
+    __slots__ = ("page_id", "data", "page_size")
+
+    def __init__(self, page_id: int, data: bytearray, page_size: int) -> None:
+        if len(data) != page_size:
+            raise StorageError(
+                f"page {page_id}: buffer is {len(data)} bytes, "
+                f"expected {page_size}"
+            )
+        self.page_id = page_id
+        self.data = data
+        self.page_size = page_size
+
+    @classmethod
+    def empty(cls, page_id: int, page_size: int) -> "Page":
+        """A fresh page with no records and no successor."""
+        page = cls(page_id, bytearray(page_size), page_size)
+        _HEADER.pack_into(page.data, 0, 0, 0, PAGE_HEADER_SIZE)
+        return page
+
+    # ------------------------------------------------------------------
+    # header fields
+    # ------------------------------------------------------------------
+    @property
+    def next_page(self) -> int:
+        """Id of the next data page in the relation's chain (0 = end)."""
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @next_page.setter
+    def next_page(self, page_id: int) -> None:
+        slots, free = _HEADER.unpack_from(self.data, 0)[1:]
+        _HEADER.pack_into(self.data, 0, page_id, slots, free)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of records stored in this page."""
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    @property
+    def free_offset(self) -> int:
+        """Where the next record's bytes would be written."""
+        return _HEADER.unpack_from(self.data, 0)[2]
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record *and* its slot entry."""
+        directory_start = self.page_size - self.slot_count * _SLOT_SIZE
+        return max(0, directory_start - self.free_offset - _SLOT_SIZE)
+
+    def has_room(self, length: int) -> bool:
+        """Would a *length*-byte record fit?"""
+        return length <= self.free_space
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def append(self, record: bytes) -> int:
+        """Store *record*; returns its slot index.
+
+        Raises :class:`PageFullError` when the record (plus its slot
+        directory entry) does not fit — the caller allocates a new page.
+        A record longer than any empty page can hold is a hard error:
+        no amount of chaining would ever make it fit.
+        """
+        if not self.has_room(len(record)):
+            if len(record) > self.page_size - PAGE_HEADER_SIZE - _SLOT_SIZE:
+                raise StorageError(
+                    f"record of {len(record)} bytes cannot fit a "
+                    f"{self.page_size}-byte page; raise the page size"
+                )
+            raise PageFullError(
+                f"page {self.page_id}: {len(record)}-byte record does not "
+                f"fit ({self.free_space} bytes free)"
+            )
+        next_page, slots, free = _HEADER.unpack_from(self.data, 0)
+        self.data[free:free + len(record)] = record
+        slot_offset = self.page_size - (slots + 1) * _SLOT_SIZE
+        _SLOT.pack_into(self.data, slot_offset, free, len(record))
+        _HEADER.pack_into(self.data, 0, next_page, slots + 1, free + len(record))
+        return slots
+
+    def record(self, slot: int) -> bytes:
+        """The record stored in *slot*."""
+        if not 0 <= slot < self.slot_count:
+            raise StorageError(
+                f"page {self.page_id}: no slot {slot} "
+                f"({self.slot_count} record(s))"
+            )
+        slot_offset = self.page_size - (slot + 1) * _SLOT_SIZE
+        offset, length = _SLOT.unpack_from(self.data, slot_offset)
+        if offset + length > self.page_size:
+            raise StorageError(
+                f"page {self.page_id}: slot {slot} points past the page "
+                f"(offset {offset}, length {length})"
+            )
+        return bytes(self.data[offset:offset + length])
+
+    def records(self) -> Iterator[bytes]:
+        """All records, in slot (insertion) order."""
+        for slot in range(self.slot_count):
+            yield self.record(slot)
+
+    def __len__(self) -> int:
+        return self.slot_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self.page_id}, records={self.slot_count}, "
+            f"free={self.free_space}B)"
+        )

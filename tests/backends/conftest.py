@@ -1,15 +1,36 @@
-"""Backend fixtures: every contract test runs on every backend."""
+"""Backend fixtures: every contract test runs on every backend.
+
+The factories come from the backend registry
+(:mod:`repro.backends.registry`) — registering a new backend makes the
+whole contract suite run over it with no test edits.  Per-backend
+construction options live in ``TEST_BACKEND_OPTIONS``: the paged
+backend gets a tiny pool (8 frames of 256-byte pages), so the paper
+example does not fit resident and every scan exercises eviction and
+write-back, not just the cache-warm path.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.backends import MemoryBackend, SQLiteBackend
+from repro.backends import backend_names, create_backend
 
-BACKEND_FACTORIES = {
-    "memory": MemoryBackend,
-    "sqlite": SQLiteBackend,
+TEST_BACKEND_OPTIONS = {
+    "paged": {"pool_pages": 8, "page_size": 256},
 }
+
+
+def _factory(name):
+    options = TEST_BACKEND_OPTIONS.get(name, {})
+
+    def build():
+        return create_backend(name, **options)
+
+    build.kind = name
+    return build
+
+
+BACKEND_FACTORIES = {name: _factory(name) for name in backend_names()}
 
 
 @pytest.fixture(params=sorted(BACKEND_FACTORIES), ids=sorted(BACKEND_FACTORIES))

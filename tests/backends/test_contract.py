@@ -224,6 +224,77 @@ class TestCopy:
         assert materialized.count_distinct("Person", ("id",)) == 22
 
 
+class TestProbeHook:
+    """`probe(...)` — the observability contract behind `repro profile`.
+
+    A probe predicts the cost of an imminent primitive without running
+    it: `(cache_hit, rows_touched)`.  The prediction must track the
+    distinct-value cache — cold scans cost the relation's row count,
+    warm ones are free — and mutations must invalidate it.  Probing
+    itself must never warm the cache.
+    """
+
+    def test_cold_distinct_probe_costs_one_scan(self, db):
+        hit, rows = db.backend.probe(
+            "count_distinct", ("Person",), (("id",),)
+        )
+        assert hit is False
+        assert rows == db.backend.row_count("Person")
+
+    def test_warm_distinct_probe_is_free(self, db):
+        db.count_distinct("Person", ("id",))
+        hit, rows = db.backend.probe(
+            "count_distinct", ("Person",), (("id",),)
+        )
+        assert hit is True
+        assert rows == 0
+
+    def test_probe_is_side_effect_free(self, db):
+        db.backend.probe("count_distinct", ("Person",), (("id",),))
+        hit, _ = db.backend.probe(
+            "count_distinct", ("Person",), (("id",),)
+        )
+        assert hit is False        # still cold: probing did not warm it
+
+    def test_cold_join_probe_is_a_miss_with_scan_cost(self, db):
+        both = db.backend.row_count("HEmployee") + db.backend.row_count(
+            "Person"
+        )
+        hit, rows = db.backend.probe(
+            "join_count",
+            ("HEmployee", "Person"),
+            (("no",), ("id",)),
+        )
+        assert hit is False
+        assert 0 < rows <= both
+
+    def test_warm_join_probe_is_a_hit(self, db):
+        db.join_count("HEmployee", ("no",), "Person", ("id",))
+        hit, rows = db.backend.probe(
+            "join_count",
+            ("HEmployee", "Person"),
+            (("no",), ("id",)),
+        )
+        assert hit is True
+        assert rows == 0
+
+    def test_cold_fd_probe_costs_the_lhs_scan(self, db):
+        hit, rows = db.backend.probe(
+            "fd_holds", ("HEmployee",), (("no",), ("salary",))
+        )
+        assert hit is False
+        assert rows == db.backend.row_count("HEmployee")
+
+    def test_mutation_invalidates_the_prediction(self, db):
+        db.count_distinct("Person", ("id",))
+        db.insert("Person", [99, "person-99", "rue Zéro", 1, "69100", "Rhone"])
+        hit, rows = db.backend.probe(
+            "count_distinct", ("Person",), (("id",),)
+        )
+        assert hit is False
+        assert rows == db.backend.row_count("Person")
+
+
 class TestBatchContract:
     """The optional ``execute_batch`` hook and its serial-fallback twin.
 

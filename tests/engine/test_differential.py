@@ -11,7 +11,7 @@ planner changed the method's semantics, not just its execution.
 
 import pytest
 
-from repro.backends import MemoryBackend, SQLiteBackend
+from repro.backends import MemoryBackend, SQLiteBackend, backend_names, create_backend
 from repro.core.expert import ScriptedExpert
 from repro.core.pipeline import DBREPipeline
 from repro.eer.render import render_text
@@ -23,7 +23,23 @@ from repro.workloads.paper_example import (
 )
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 
-BACKENDS = {"memory": MemoryBackend, "sqlite": SQLiteBackend}
+# registry-driven: adding a backend registers it into this harness too.
+# The paged backend runs with a pool far smaller than the extensions so
+# the differential guarantee covers the evicting, write-back path.
+_BACKEND_OPTIONS = {"paged": {"pool_pages": 8, "page_size": 512}}
+
+
+def _factory(name):
+    options = _BACKEND_OPTIONS.get(name, {})
+
+    def build():
+        return create_backend(name, **options)
+
+    build.kind = name
+    return build
+
+
+BACKENDS = {name: _factory(name) for name in backend_names()}
 
 
 def observable(pipeline, result):
@@ -62,7 +78,8 @@ def run_paper(engine, backend_factory):
 def run_synthetic(engine, backend_factory, config):
     scenario = build_scenario(config)
     db = scenario.database
-    if not isinstance(db.backend, backend_factory):
+    kind = getattr(backend_factory, "kind", None)
+    if getattr(db.backend, "kind", None) != kind:
         db = db.copy(backend=backend_factory())
     pipeline = DBREPipeline(
         db, OracleExpert(scenario.truth), engine=engine

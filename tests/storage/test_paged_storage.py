@@ -1,0 +1,298 @@
+"""Unit tests of the paged storage engine: codec, page, file, pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.relational.domain import NULL
+from repro.storage.paged import (
+    BufferPool,
+    FileManager,
+    Page,
+    PageFile,
+    decode_row,
+    encode_row,
+)
+from repro.storage.paged.codec import decode_value, encode_value
+from repro.storage.paged.file_manager import relation_filename
+from repro.storage.paged.page import PageFullError
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            (1, "alice", 2.5, True, NULL),
+            (0, -1, 2 ** 62, -(2 ** 63)),
+            (2 ** 100, -(2 ** 100)),                # beyond 64-bit
+            (0.0, -0.0, 1e308, 1e-308, float("inf")),
+            (False, True),
+            ("", "héllo wörld", "日本語", "a" * 10_000),
+            ("1996-04-01",),                        # DATE stores ISO strings
+            (NULL, NULL, NULL),
+        ],
+    )
+    def test_round_trip_exact(self, values):
+        decoded = decode_row(encode_row(values), len(values))
+        assert decoded == tuple(values)
+        # type-exact: an int must not come back as a float (REAL columns
+        # legitimately hold ints) and a bool must stay a bool
+        assert [type(v) for v in decoded] == [type(v) for v in values]
+
+    def test_bool_is_not_confused_with_int(self):
+        # bool is an int subclass; the tag must disambiguate
+        assert decode_value(encode_value(True), 0)[0] is True
+        assert decode_value(encode_value(1), 0)[0] == 1
+        assert type(decode_value(encode_value(1), 0)[0]) is int
+
+    def test_unknown_tag_is_a_one_line_error(self):
+        with pytest.raises(StorageError, match="unknown value tag"):
+            decode_row(b"Zjunk", 1)
+
+    def test_truncated_payload_is_a_one_line_error(self):
+        record = encode_row(("hello",))
+        with pytest.raises(StorageError, match="truncated"):
+            decode_row(record[:-2], 1)
+
+    def test_truncated_fixed_width_is_a_one_line_error(self):
+        record = encode_row((123,))
+        with pytest.raises(StorageError, match="truncated"):
+            decode_row(record[:4], 1)
+
+    def test_trailing_bytes_are_a_one_line_error(self):
+        record = encode_row((1, 2))
+        with pytest.raises(StorageError, match="trailing"):
+            decode_row(record, 1)
+
+    def test_unencodable_type_is_rejected(self):
+        with pytest.raises(StorageError, match="cannot encode"):
+            encode_value(object())
+
+
+# ----------------------------------------------------------------------
+# slotted page
+# ----------------------------------------------------------------------
+class TestPage:
+    def test_append_and_read_back_in_order(self):
+        page = Page.empty(1, 256)
+        records = [b"alpha", b"beta", b"gamma"]
+        slots = [page.append(r) for r in records]
+        assert slots == [0, 1, 2]
+        assert list(page.records()) == records
+        assert len(page) == 3
+
+    def test_next_page_link_round_trips(self):
+        page = Page.empty(1, 256)
+        page.append(b"data")
+        page.next_page = 42
+        assert page.next_page == 42
+        assert list(page.records()) == [b"data"]  # records untouched
+
+    def test_full_page_raises_page_full(self):
+        page = Page.empty(1, 64)
+        page.append(b"x" * 30)
+        with pytest.raises(PageFullError):
+            page.append(b"y" * 30)
+
+    def test_record_larger_than_any_page_is_a_hard_error(self):
+        page = Page.empty(1, 64)
+        with pytest.raises(StorageError, match="cannot fit"):
+            page.append(b"z" * 200)
+
+    def test_bad_slot_index_is_an_error(self):
+        page = Page.empty(1, 128)
+        page.append(b"only")
+        with pytest.raises(StorageError, match="no slot"):
+            page.record(3)
+
+
+# ----------------------------------------------------------------------
+# page files
+# ----------------------------------------------------------------------
+class TestPageFile:
+    def test_create_allocate_write_read_persist(self, tmp_path):
+        path = str(tmp_path / "r.pages")
+        file = PageFile(path, page_size=128, create=True)
+        pid = file.allocate()
+        page = Page.empty(pid, 128)
+        page.append(b"hello")
+        file.write_page(page)
+        file.first_data = file.last_data = pid
+        file.row_count = 1
+        file.close()
+
+        reopened = PageFile(path, page_size=128)
+        assert reopened.page_count == 2
+        assert reopened.row_count == 1
+        assert list(reopened.read_page(reopened.first_data).records()) == [b"hello"]
+
+    def test_free_list_is_reused_before_growing(self, tmp_path):
+        file = PageFile(str(tmp_path / "r.pages"), page_size=128, create=True)
+        a, b = file.allocate(), file.allocate()
+        count = file.page_count
+        file.free(a)
+        file.free(b)
+        assert file.free_page_ids() == [b, a]       # LIFO
+        assert file.allocate() == b
+        assert file.allocate() == a
+        assert file.page_count == count             # no growth
+        assert file.allocate() == count             # list empty -> grow
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        path = str(tmp_path / "gone.pages")
+        with pytest.raises(StorageError, match=f"no such page file: {path}"):
+            PageFile(path)
+
+    def test_truncated_header_names_file_and_offset(self, tmp_path):
+        path = str(tmp_path / "short.pages")
+        with open(path, "wb") as handle:
+            handle.write(b"RPG1\x00")
+        with pytest.raises(StorageError, match="offset 0"):
+            PageFile(path)
+
+    def test_bad_magic_names_the_file(self, tmp_path):
+        path = str(tmp_path / "notpages.pages")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 256)
+        with pytest.raises(StorageError, match="not a paged relation file"):
+            PageFile(path)
+
+    def test_truncated_body_names_expected_byte_count(self, tmp_path):
+        path = str(tmp_path / "r.pages")
+        file = PageFile(path, page_size=128, create=True)
+        file.allocate()
+        file.close()
+        with open(path, "r+b") as handle:
+            handle.truncate(130)                    # second page cut short
+        with pytest.raises(StorageError, match="truncated page file"):
+            PageFile(path, page_size=128)
+
+    def test_out_of_range_page_id_is_an_error(self, tmp_path):
+        file = PageFile(str(tmp_path / "r.pages"), page_size=128, create=True)
+        with pytest.raises(StorageError, match="no page 7"):
+            file.read_page(7)
+
+    def test_page_size_bounds_are_enforced(self, tmp_path):
+        with pytest.raises(StorageError, match="below the minimum"):
+            PageFile(str(tmp_path / "a.pages"), page_size=16, create=True)
+        with pytest.raises(StorageError, match="exceeds 65536"):
+            PageFile(str(tmp_path / "b.pages"), page_size=1 << 17, create=True)
+
+    def test_relation_filenames_are_safe_and_distinct(self):
+        assert relation_filename("Person") == "Person.pages"
+        weird = relation_filename("a/b..\\c d")
+        assert "/" not in weird and "\\" not in weird and " " not in weird
+        assert relation_filename("a/b") != relation_filename("a_b")
+
+
+# ----------------------------------------------------------------------
+# buffer pool
+# ----------------------------------------------------------------------
+def _disk_pool(tmp_path, capacity, page_size=128, relation="r"):
+    manager = FileManager(str(tmp_path), page_size=page_size)
+    file = manager.open(relation, create=True)
+    pool = BufferPool(capacity, manager.read_page, manager.write_page)
+    return manager, file, pool
+
+
+class TestBufferPool:
+    def test_hits_and_misses_are_counted(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=2)
+        pid = file.allocate()
+        file.write_page(Page.empty(pid, 128))
+        pool.fetch("r", pid); pool.unpin("r", pid)
+        pool.fetch("r", pid); pool.unpin("r", pid)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_rate == 0.5
+
+    def test_lru_evicts_least_recently_used_first(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=2)
+        pids = []
+        for _ in range(3):
+            pid = file.allocate()
+            file.write_page(Page.empty(pid, 128))
+            pids.append(pid)
+        a, b, c = pids
+        pool.fetch("r", a); pool.unpin("r", a)
+        pool.fetch("r", b); pool.unpin("r", b)
+        pool.fetch("r", a); pool.unpin("r", a)      # a is now most recent
+        pool.fetch("r", c); pool.unpin("r", c)      # evicts b, not a
+        assert pool.stats.evictions == 1
+        assert ("r", b) not in pool.resident_keys()
+        assert ("r", a) in pool.resident_keys()
+        assert len(pool) == 2
+
+    def test_dirty_frames_are_written_back_on_eviction(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=1)
+        a = file.allocate()
+        file.write_page(Page.empty(a, 128))
+        b = file.allocate()
+        file.write_page(Page.empty(b, 128))
+        page = pool.fetch("r", a)
+        page.append(b"mutated")
+        pool.unpin("r", a, dirty=True)
+        pool.fetch("r", b); pool.unpin("r", b)      # evicts dirty a
+        assert pool.stats.write_backs == 1
+        assert list(file.read_page(a).records()) == [b"mutated"]
+
+    def test_pinned_frames_are_never_evicted(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=2)
+        pids = []
+        for _ in range(3):
+            pid = file.allocate()
+            file.write_page(Page.empty(pid, 128))
+            pids.append(pid)
+        a, b, c = pids
+        pool.fetch("r", a)                          # pinned
+        pool.fetch("r", b); pool.unpin("r", b)
+        pool.fetch("r", c); pool.unpin("r", c)      # must evict b
+        assert ("r", a) in pool.resident_keys()
+        pool.unpin("r", a)
+
+    def test_all_frames_pinned_is_a_clear_error(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=1)
+        a = file.allocate()
+        file.write_page(Page.empty(a, 128))
+        b = file.allocate()
+        file.write_page(Page.empty(b, 128))
+        pool.fetch("r", a)                          # pinned, never released
+        with pytest.raises(StorageError, match="buffer pool exhausted"):
+            pool.fetch("r", b)
+
+    def test_unpin_without_fetch_is_an_error(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=1)
+        with pytest.raises(StorageError, match="without a matching fetch"):
+            pool.unpin("r", 1)
+
+    def test_flush_all_writes_dirty_frames_and_keeps_them(self, tmp_path):
+        manager, file, pool = _disk_pool(tmp_path, capacity=2)
+        a = file.allocate()
+        file.write_page(Page.empty(a, 128))
+        page = pool.fetch("r", a)
+        page.append(b"kept")
+        pool.unpin("r", a, dirty=True)
+        pool.flush_all()
+        assert list(file.read_page(a).records()) == [b"kept"]
+        assert ("r", a) in pool.resident_keys()
+
+    def test_invalidate_drops_only_that_relation(self, tmp_path):
+        manager = FileManager(str(tmp_path), page_size=128)
+        pool = BufferPool(4, manager.read_page, manager.write_page)
+        for relation in ("r", "s"):
+            file = manager.open(relation, create=True)
+            pid = file.allocate()
+            file.write_page(Page.empty(pid, 128))
+            pool.fetch(relation, pid)
+            pool.unpin(relation, pid)
+        pool.invalidate("r")
+        keys = pool.resident_keys()
+        assert all(key[0] == "s" for key in keys) and keys
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(StorageError, match="at least one frame"):
+            BufferPool(0, lambda r, p: None, lambda r, p: None)
