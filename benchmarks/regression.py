@@ -38,6 +38,11 @@ The baseline file stores one entry per mode (``quick``/``full``); a run
 only gates against the matching mode.  CI runs ``--quick`` and uploads
 the metrics JSON as an artifact (see ``.github/workflows/ci.yml`` and
 ``docs/OBSERVABILITY.md``).
+
+Exit codes: **0** gate passed (or skipped / baseline written), **1**
+at least one head regressed past the ratio, **3** the current run
+produced a head the baseline does not know — a new bench head landed
+without ``--write-baseline``, so it would ride along ungated.
 """
 
 from __future__ import annotations
@@ -66,6 +71,10 @@ DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "BENCH_history.jsonl")
 #: latency gating ignores primitives cheaper than this many calibration
 #: units in the baseline — they are dominated by timer noise
 LATENCY_FLOOR_UNITS = 0.05
+
+#: exit code when the run produces heads the baseline lacks — distinct
+#: from 1 (regression) so CI can say "re-record the baseline", not "perf"
+EXIT_UNGUARDED_HEADS = 3
 
 
 def _head_configs(quick: bool) -> List[Dict[str, Any]]:
@@ -189,6 +198,25 @@ def _head_configs(quick: bool) -> List[Dict[str, Any]]:
             "backend": SQLiteBackend,
             "engine": "batched",
         },
+        # the s3 head through the process-parallel executor: the logical
+        # query stream is gated (sharding must never change what is
+        # asked, only where it is answered) and its latency entry tracks
+        # the fork/IPC overhead; "engine" extras record chunk counts and
+        # the pool's crash/retry/fallback telemetry
+        {
+            "name": "s11-service-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+            "engine": "process",
+            "engine_workers": 2,
+        },
     ]
 
 
@@ -221,6 +249,7 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         scenario.expert,
         tracer=tracer,
         engine=head.get("engine", "serial"),
+        engine_workers=head.get("engine_workers", 0),
         provenance=head.get("provenance", False),
     )
     start = time.perf_counter()
@@ -351,6 +380,20 @@ def compare(
                     f"(baseline {base_units:.3f}, limit {max_ratio:.1f}x)"
                 )
     return violations
+
+
+def unguarded_heads(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Heads this run produced that the baseline does not gate.
+
+    ``compare`` iterates the *baseline's* heads, so a head that exists
+    only in the current run is silently unguarded — exactly what
+    happens when a new bench head lands without ``--write-baseline``.
+    """
+    return sorted(
+        set(current.get("heads", {})) - set(baseline.get("heads", {}))
+    )
 
 
 def _hit_rate(stats: Dict[str, Any]) -> float:
@@ -538,7 +581,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{head}: {total} queries, {measured['wall_ms']:.0f} ms wall, "
             f"{measured['cache_hits']} cache hits"
         )
-    record_history("fail" if violations else "pass", violations)
+    unguarded = unguarded_heads(result, baseline)
+    gate = "fail" if violations else ("unguarded" if unguarded else "pass")
+    record_history(gate, violations or unguarded)
     if violations:
         print("\nREGRESSION GATE FAILED:")
         for violation in violations:
@@ -555,6 +600,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
                 print(attribution_report(name, current_head, baseline_head))
         return 1
+    if unguarded:
+        print(
+            f"error: {len(unguarded)} head(s) missing from the "
+            f"{result['mode']} baseline — {', '.join(unguarded)} — "
+            f"re-record it with --write-baseline"
+        )
+        return EXIT_UNGUARDED_HEADS
     print("\nregression gate passed")
     return 0
 

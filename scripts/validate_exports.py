@@ -23,7 +23,12 @@ files:
 5. a second demo run on the paged backend (pool smaller than the
    extension) re-derives its metrics the same way and exports nonzero
    buffer-pool counters (hits, misses, evictions, pages read) under
-   ``backends.paged.counters``.
+   ``backends.paged.counters``;
+6. ``repro jobs run`` executes a spec file through the job manager —
+   one serial demo, a duplicate that must be served from the results
+   cache, and a process-engine run — and the ``repro/jobs@1`` ledger
+   export re-reads with matching header counts, every job ``done`` and
+   exactly the duplicate flagged ``cached``.
 
 Exit status is non-zero on the first violation, so CI fails loudly.
 The artifacts are left in ``--outdir`` for upload.
@@ -218,12 +223,54 @@ def main(argv=None) -> int:
                 f"is not reaching repro/metrics@1 (counters: {counters})"
             )
 
+    # 6. job service: repro/jobs@1 ledger round-trip -------------------
+    from repro.service.export import JOBS_FORMAT, read_jobs_jsonl
+
+    specs_path = os.path.join(args.outdir, "demo.jobs-spec.json")
+    jobs_path = os.path.join(args.outdir, "demo.jobs.jsonl")
+    specs = [
+        {"demo": True, "label": "demo-serial"},
+        # byte-identical spec: must be answered from the results cache
+        {"demo": True, "label": "demo-serial"},
+        {
+            "demo": True,
+            "label": "demo-process",
+            "config": {"engine": "process", "engine_workers": 2},
+        },
+    ]
+    with open(specs_path, "w", encoding="utf-8") as handle:
+        json.dump(specs, handle, indent=2)
+        handle.write("\n")
+    code = repro(["jobs", "run", specs_path, "--export", jobs_path])
+    if code != 0:
+        fail(f"jobs run exited {code}")
+    ledger = read_jobs_jsonl(jobs_path)
+    jobs_header, job_records = ledger[0], ledger[1:]
+    if jobs_header["format"] != JOBS_FORMAT:
+        fail(f"jobs export is not tagged {JOBS_FORMAT}")
+    if jobs_header["jobs"] != len(specs):
+        fail(
+            f"jobs header claims {jobs_header['jobs']} jobs, "
+            f"{len(specs)} were submitted"
+        )
+    not_done = [r["id"] for r in job_records if r["state"] != "done"]
+    if not_done:
+        fail(f"job(s) did not finish done: {not_done}")
+    cached = [r["id"] for r in job_records if r["cached"]]
+    if jobs_header["cached"] != 1 or len(cached) != 1:
+        fail(
+            f"expected exactly the duplicate spec to be cached, "
+            f"got {cached} (header says {jobs_header['cached']})"
+        )
+
     print(
         f"validate_exports: OK — {len(spans)} spans, {len(events)} events, "
         f"{len(stacks)} collapsed stacks, "
         f"{len(nodes)} lineage nodes, {len(edges)} edges, "
         f"{len(rics)} constraint chain(s) verified, "
-        f"paged pool counters {counters}; artifacts in {args.outdir}/"
+        f"paged pool counters {counters}, "
+        f"{jobs_header['jobs']} jobs ({jobs_header['cached']} cached); "
+        f"artifacts in {args.outdir}/"
     )
     return 0
 

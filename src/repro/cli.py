@@ -20,17 +20,25 @@ Commands:
 - ``explain``  — print the derivation chain of one artifact from a
   ``--provenance`` export (query evidence, counts, expert answers);
 - ``report``   — render a trace + provenance pair as one self-contained
-  HTML audit report.
+  HTML audit report;
+- ``serve``    — the multi-job discovery service: a local HTTP JSON API
+  (submit / status / result / cancel) over a queue of runs, with a
+  results cache keyed by content fingerprints (``docs/SERVICE.md``);
+- ``jobs``     — batch mode of the same job manager: ``jobs run
+  SPECS.json`` submits every spec in the file, waits, prints the
+  ledger, and optionally writes it as a ``repro/jobs@1`` export.
 
 ``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace),
 ``--metrics FILE`` (flat metrics summary), ``--provenance FILE`` (the
 decision-lineage DAG as JSONL) and ``--provenance-dot FILE`` (the same
 DAG as Graphviz DOT); see ``docs/OBSERVABILITY.md`` for the formats.
 They also accept
-``--engine {serial,batched}``: ``batched`` routes the discovery phases
-through the :mod:`repro.engine` planner (dedupe + grouped execution;
-identical results and traces — see ``docs/ENGINE.md``), with
-``--engine-workers N`` controlling threads on parallel-safe backends.
+``--engine {serial,batched,process}``: ``batched`` routes the discovery
+phases through the :mod:`repro.engine` planner (dedupe + grouped
+execution; identical results and traces — see ``docs/ENGINE.md``),
+``process`` additionally shards probe chunks across worker processes
+(each with a private backend instance; same results, crash-tolerant),
+with ``--engine-workers N`` controlling threads or processes.
 
 The database input is a ``.sql`` script (CREATE TABLE + INSERT,
 executed by the built-in engine), a ``.json`` database document
@@ -253,7 +261,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"{result!r}")
     if result.engine_stats is not None:
         stats = result.engine_stats
-        print(f"engine: batched — {stats.logical_probes} probes, "
+        print(f"engine: {result.engine} — {stats.logical_probes} probes, "
               f"{stats.unique_probes} unique, "
               f"{stats.backend_calls} backend call(s)")
     print("\n# Restructured schema")
@@ -323,6 +331,66 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(session_report(result, pipeline.expert,
                          title="Paper example (Petit et al., ICDE 1996)"))
     _write_observability(args, pipeline)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # lazy: the service layer imports this module for its spec loader
+    from repro.service.jobs import JobManager
+    from repro.service.server import serve
+
+    manager = JobManager(runners=args.runners)
+    try:
+        serve(manager, host=args.host, port=args.port, verbose=not args.quiet)
+    finally:
+        if args.jobs_export:
+            from repro.service.export import write_jobs_jsonl
+
+            write_jobs_jsonl(manager, args.jobs_export)
+            print(f"job ledger written to {args.jobs_export}")
+    return 0
+
+
+def cmd_jobs_run(args: argparse.Namespace) -> int:
+    from repro.service.export import write_jobs_jsonl
+    from repro.service.jobs import JobManager
+    from repro.service.specs import submit_spec
+
+    document = load_json(args.specs)
+    specs = document if isinstance(document, list) else [document]
+    with JobManager(runners=args.runners) as manager:
+        submitted = []
+        for index, spec in enumerate(specs):
+            try:
+                submitted.append(submit_spec(manager, spec))
+            except ValueError as exc:
+                print(f"error: spec #{index + 1}: {exc}", file=sys.stderr)
+                return 1
+        for job in submitted:
+            job._finished.wait(args.timeout if args.timeout > 0 else None)
+
+        rows = []
+        for job in manager.jobs():
+            took = (
+                f"{job.finished_at - job.started_at:.2f}s"
+                if job.started_at and job.finished_at
+                else "-"
+            )
+            rows.append([
+                job.id, job.label, job.state,
+                "yes" if job.cached else "no", took,
+                job.error or "",
+            ])
+        print(format_table(
+            ["job", "label", "state", "cached", "took", "error"], rows
+        ))
+        if args.export:
+            write_jobs_jsonl(manager, args.export)
+            print(f"job ledger written to {args.export}")
+        failed = [job for job in manager.jobs() if job.state != "done"]
+    if failed:
+        print(f"error: {len(failed)} job(s) did not finish done", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -458,13 +526,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_option(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--engine", choices=DBREPipeline.ENGINE_MODES, default="serial",
-            help="probe execution: serial (one backend call per probe) or "
-                 "batched (plan, dedupe and group probes; same results)",
+            help="probe execution: serial (one backend call per probe), "
+                 "batched (plan, dedupe and group probes), or process "
+                 "(shard probe chunks across worker processes); all modes "
+                 "produce identical results",
         )
         command.add_argument(
             "--engine-workers", type=int, default=0, metavar="N",
-            help="worker threads for the batched engine on parallel-safe "
-                 "backends (0 = auto)",
+            help="batched: worker threads on parallel-safe backends; "
+                 "process: worker processes (0 = auto)",
         )
 
     def add_observability_options(command: argparse.ArgumentParser) -> None:
@@ -542,6 +612,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_option(demo)
     add_observability_options(demo)
     demo.set_defaults(func=cmd_demo)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-job discovery service (local HTTP JSON API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port (default 8750; 0 = ephemeral)")
+    serve.add_argument("--runners", type=int, default=1, metavar="N",
+                       help="concurrent job-runner threads (default 1)")
+    serve.add_argument("--jobs-export", metavar="FILE",
+                       help="write the repro/jobs@1 ledger here on shutdown")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+    serve.set_defaults(func=cmd_serve)
+
+    jobs = sub.add_parser(
+        "jobs", help="batch-run job specs through the job manager"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_run = jobs_sub.add_parser(
+        "run",
+        help="submit every spec in a JSON file, wait, print the ledger",
+    )
+    jobs_run.add_argument(
+        "specs",
+        help="a JSON file holding one job spec or a list of them "
+             "(see docs/SERVICE.md)",
+    )
+    jobs_run.add_argument("--runners", type=int, default=1, metavar="N",
+                          help="concurrent job-runner threads (default 1)")
+    jobs_run.add_argument("--timeout", type=float, default=0, metavar="SECONDS",
+                          help="per-job wait budget (0 = wait forever)")
+    jobs_run.add_argument("--export", metavar="FILE",
+                          help="write the repro/jobs@1 ledger here")
+    jobs_run.set_defaults(func=cmd_jobs_run)
 
     trace = sub.add_parser("trace", help="work with recorded traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

@@ -31,12 +31,28 @@ pushdown, worker threads, or the serial fallback).  The default
 ``serial`` mode keeps the original call-at-a-time behavior; both modes
 produce identical results and identical per-probe trace events — only
 ``result.engine_stats`` (and the wall clock) tell them apart.
+
+``engine="process"`` goes one step further: the executor ships probe
+chunks to a :class:`~repro.service.pool.ProcessProbeExecutor`, a pool
+of worker processes that each rebuild the extension on a private
+backend instance from a payload snapshot taken before discovery starts
+(sound because only IND- and RHS-Discovery probe, and Restruct — the
+mutating phase — runs after both).  Results and telemetry merge back
+deterministically; a pool that fails past its bounded retries degrades
+to the serial path mid-run.  Output stays bit-identical to serial on
+every backend — the differential suite proves it.
+
+A pipeline built with a ``cancel`` hook (the job manager's mid-run
+cancellation path) checks it between phases and raises
+:class:`~repro.exceptions.RunCancelled` when it reports True.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import RunCancelled
 
 from repro.core.expert import Expert, RecordingExpert
 from repro.core.ind_discovery import INDDiscovery, INDDiscoveryResult
@@ -110,7 +126,7 @@ class DBREPipeline:
     """Orchestrates the full method over one database + program corpus."""
 
     #: recognized values of the *engine* switch
-    ENGINE_MODES = ("serial", "batched")
+    ENGINE_MODES = ("serial", "batched", "process")
 
     def __init__(
         self,
@@ -119,7 +135,9 @@ class DBREPipeline:
         tracer: Optional[Tracer] = None,
         engine: str = "serial",
         engine_workers: int = 0,
+        engine_options: Optional[Dict[str, Any]] = None,
         provenance: bool = True,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> None:
         if engine not in self.ENGINE_MODES:
             raise ValueError(
@@ -133,6 +151,10 @@ class DBREPipeline:
         self.expert = RecordingExpert(expert or Expert(), ledger=self.ledger)
         self.engine_mode = engine
         self.engine_workers = engine_workers
+        #: process-mode knobs forwarded to the pool: ``batch_timeout``,
+        #: ``max_retries``, ``mp_context``, ``backend_options``, ``fault``
+        self.engine_options = dict(engine_options or {})
+        self._cancel = cancel
 
     def run(
         self,
@@ -160,74 +182,117 @@ class DBREPipeline:
             # one executor is shared by every batching phase, so its
             # stats describe the whole run
             engine: Optional[BatchExecutor] = None
+            pool = None
             if self.engine_mode == "batched":
                 engine = BatchExecutor(database, max_workers=self.engine_workers)
                 result.engine_stats = engine.stats
+            elif self.engine_mode == "process":
+                # lazy import: the service layer depends on the engine,
+                # so the pipeline must not import it at module scope
+                from repro.service.pool import ProcessProbeExecutor, worker_payload
 
-            # §4: the dictionary-derived sets
-            result.key_set = database.schema.key_set()
-            result.not_null_set = database.schema.not_null_set()
-
-            # §4: the set Q
-            if corpus is not None:
-                extractor = EquiJoinExtractor(database.schema)
-                result.extraction = extractor.extract_from_corpus(corpus)
-                result.equijoins = list(result.extraction.joins)
-            else:
-                result.equijoins = sorted(set(equijoins), key=lambda j: j.sort_key())
-            root.attributes["equijoins"] = len(result.equijoins)
-            self._record_sources(result)
-
-            # §6.1 IND-Discovery
-            with self.tracer.span("IND-Discovery", kind="phase") as span:
-                ind_step = INDDiscovery(
-                    database, self.expert, engine=engine, ledger=self.ledger
+                # the snapshot is taken before discovery starts; it stays
+                # valid for the whole probing lifetime because only IND-
+                # and RHS-Discovery probe, and Restruct mutates after both
+                options = dict(self.engine_options)
+                payload = worker_payload(
+                    database,
+                    options=options.pop("backend_options", None),
+                    fault=options.pop("fault", None),
                 )
-                result.ind_result = ind_step.run(result.equijoins)
-                span.attributes["inds"] = len(result.ind_result.inds)
-
-            # §6.2.1 LHS-Discovery
-            with self.tracer.span("LHS-Discovery", kind="phase") as span:
-                lhs_step = LHSDiscovery(
-                    database.schema, result.ind_result.s_names, ledger=self.ledger
+                pool = ProcessProbeExecutor(
+                    payload, workers=self.engine_workers or 2, **options
                 )
-                result.lhs_result = lhs_step.run(result.ind_result.inds)
-                span.attributes["lhs"] = len(result.lhs_result.lhs)
+                engine = BatchExecutor(database, pool=pool)
+                result.engine_stats = engine.stats
+                root.attributes["workers"] = pool.workers
 
-            # §6.2.2 RHS-Discovery
-            with self.tracer.span("RHS-Discovery", kind="phase") as span:
-                rhs_step = RHSDiscovery(
-                    database, self.expert, engine=engine, ledger=self.ledger
-                )
-                result.rhs_result = rhs_step.run(
-                    result.lhs_result.lhs, result.lhs_result.hidden
-                )
-                span.attributes["fds"] = len(result.rhs_result.fds)
+            try:
+                # §4: the dictionary-derived sets
+                result.key_set = database.schema.key_set()
+                result.not_null_set = database.schema.not_null_set()
 
-            # §7 Restruct
-            with self.tracer.span("Restruct", kind="phase") as span:
-                restruct_step = Restruct(database, self.expert, ledger=self.ledger)
-                result.restruct_result = restruct_step.run(
-                    result.rhs_result.fds,
-                    result.rhs_result.hidden,
-                    result.ind_result.inds,
-                )
-                span.attributes["ric"] = len(result.restruct_result.ric)
+                # §4: the set Q
+                if corpus is not None:
+                    extractor = EquiJoinExtractor(database.schema)
+                    result.extraction = extractor.extract_from_corpus(corpus)
+                    result.equijoins = list(result.extraction.joins)
+                else:
+                    result.equijoins = sorted(
+                        set(equijoins), key=lambda j: j.sort_key()
+                    )
+                root.attributes["equijoins"] = len(result.equijoins)
+                self._record_sources(result)
 
-            # §7 Translate
-            if translate:
-                with self.tracer.span("Translate", kind="phase") as span:
-                    translator = Translate(database.schema, ledger=self.ledger)
-                    result.eer = translator.run(result.restruct_result.ric)
-                    result.translation_notes = list(translator.notes.entries)
-                    result.translation_warnings = list(translator.notes.warnings)
-                    span.attributes["entities"] = len(result.eer.entities)
+                # §6.1 IND-Discovery
+                self._check_cancel("IND-Discovery")
+                with self.tracer.span("IND-Discovery", kind="phase") as span:
+                    ind_step = INDDiscovery(
+                        database, self.expert, engine=engine, ledger=self.ledger
+                    )
+                    result.ind_result = ind_step.run(result.equijoins)
+                    span.attributes["inds"] = len(result.ind_result.inds)
+
+                # §6.2.1 LHS-Discovery
+                self._check_cancel("LHS-Discovery")
+                with self.tracer.span("LHS-Discovery", kind="phase") as span:
+                    lhs_step = LHSDiscovery(
+                        database.schema, result.ind_result.s_names,
+                        ledger=self.ledger,
+                    )
+                    result.lhs_result = lhs_step.run(result.ind_result.inds)
+                    span.attributes["lhs"] = len(result.lhs_result.lhs)
+
+                # §6.2.2 RHS-Discovery
+                self._check_cancel("RHS-Discovery")
+                with self.tracer.span("RHS-Discovery", kind="phase") as span:
+                    rhs_step = RHSDiscovery(
+                        database, self.expert, engine=engine, ledger=self.ledger
+                    )
+                    result.rhs_result = rhs_step.run(
+                        result.lhs_result.lhs, result.lhs_result.hidden
+                    )
+                    span.attributes["fds"] = len(result.rhs_result.fds)
+
+                # §7 Restruct
+                self._check_cancel("Restruct")
+                with self.tracer.span("Restruct", kind="phase") as span:
+                    restruct_step = Restruct(
+                        database, self.expert, ledger=self.ledger
+                    )
+                    result.restruct_result = restruct_step.run(
+                        result.rhs_result.fds,
+                        result.rhs_result.hidden,
+                        result.ind_result.inds,
+                    )
+                    span.attributes["ric"] = len(result.restruct_result.ric)
+
+                # §7 Translate
+                if translate:
+                    self._check_cancel("Translate")
+                    with self.tracer.span("Translate", kind="phase") as span:
+                        translator = Translate(database.schema, ledger=self.ledger)
+                        result.eer = translator.run(result.restruct_result.ric)
+                        result.translation_notes = list(translator.notes.entries)
+                        result.translation_warnings = list(
+                            translator.notes.warnings
+                        )
+                        span.attributes["entities"] = len(result.eer.entities)
+            finally:
+                if pool is not None:
+                    pool.close()
+                    root.attributes["pool"] = pool.stats.as_dict()
 
             result.expert_decisions = self.expert.decision_count
             result.extension_queries = database.counter.total()
             root.attributes["queries"] = result.extension_queries
             root.attributes["decisions"] = result.expert_decisions
         return result
+
+    def _check_cancel(self, phase: str) -> None:
+        """Honor a pending cancellation before entering *phase*."""
+        if self._cancel is not None and self._cancel():
+            raise RunCancelled(f"run cancelled before {phase}")
 
     # ------------------------------------------------------------------
     def _record_sources(self, result: PipelineResult) -> None:

@@ -16,7 +16,15 @@ cheapest strategy the backend supports, and hands back one answer per
   threads;
 - **serial** — any other backend is driven one probe at a time, so
   third-party backends that only implement the four primitives keep
-  working unchanged.
+  working unchanged;
+- **process** — an executor handed a
+  :class:`~repro.service.pool.ProcessProbeExecutor` ships probe chunks
+  to worker *processes*, each owning a private backend instance rebuilt
+  from a payload snapshot; a pool that exhausts its bounded retries
+  (crashes, hung batches) raises
+  :class:`~repro.exceptions.WorkerPoolError` and the executor falls
+  back to the serial path for that batch, so a broken pool degrades
+  throughput, never correctness.
 
 Whatever the strategy, observability is preserved **per logical probe**:
 the executor records one :class:`~repro.obs.tracer.PrimitiveEvent` for
@@ -38,13 +46,15 @@ from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
 
 from repro.engine.planner import ProbeGroup, QueryPlan, plan_probes
 from repro.engine.probes import Probe
+from repro.exceptions import WorkerPoolError
 from repro.obs.instrument import telemetry_delta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import ExtensionBackend
     from repro.relational.database import Database
+    from repro.service.pool import ProcessProbeExecutor
 
-__all__ = ["EngineStats", "BatchExecutor"]
+__all__ = ["EngineStats", "BatchExecutor", "dispatch_probe"]
 
 #: probes per grouped ``execute_batch`` statement; well under SQLite's
 #: default 2000-result-column limit while still amortizing round trips
@@ -71,6 +81,8 @@ class EngineStats:
     backend_calls: int = 0     # physical backend invocations of any kind
     batched_calls: int = 0     # grouped execute_batch statements issued
     parallel_groups: int = 0   # groups evaluated on worker threads
+    process_chunks: int = 0    # chunks answered by worker processes
+    pool_fallbacks: int = 0    # batches the pool failed and serial re-ran
 
     @property
     def deduped_probes(self) -> int:
@@ -88,6 +100,8 @@ class EngineStats:
             "backend_calls": self.backend_calls,
             "batched_calls": self.batched_calls,
             "parallel_groups": self.parallel_groups,
+            "process_chunks": self.process_chunks,
+            "pool_fallbacks": self.pool_fallbacks,
         }
 
     def __repr__(self) -> str:
@@ -126,12 +140,16 @@ class BatchExecutor:
         max_workers: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         min_parallel: int = DEFAULT_MIN_PARALLEL,
+        pool: "ProcessProbeExecutor" = None,
     ) -> None:
         self.database = database
         #: 0 = auto-size from the host; 1 = never spawn workers
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
         self.chunk_size = max(1, chunk_size)
         self.min_parallel = min_parallel
+        #: a process pool promotes the executor to the process strategy;
+        #: the caller owns the pool's lifetime (the pipeline closes it)
+        self.pool = pool
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -184,6 +202,14 @@ class BatchExecutor:
         self, backend: "ExtensionBackend", plan: QueryPlan
     ) -> Dict[tuple, _Evaluation]:
         evaluations = {p.key: self._profiled(backend, p) for p in plan.unique}
+        if self.pool is not None:
+            try:
+                self._execute_process(plan, evaluations)
+                return evaluations
+            except WorkerPoolError:
+                # the pool exhausted its retries: answer this batch on
+                # the parent's own backend instead of losing the run
+                self.stats.pool_fallbacks += 1
         if callable(getattr(backend, "execute_batch", None)):
             self._execute_pushdown(backend, plan, evaluations)
         elif (
@@ -220,6 +246,34 @@ class BatchExecutor:
                 evaluation.duration = share
             self.stats.backend_calls += 1
             self.stats.batched_calls += 1
+
+    def _execute_process(
+        self, plan: QueryPlan, evaluations: Dict[tuple, _Evaluation]
+    ) -> None:
+        """Probe chunks on worker processes via the service pool.
+
+        The workers answer against their own private backend copies and
+        report value + timing + cache/telemetry figures per probe; the
+        parent merges them keyed by probe, then emits events itself in
+        submission order, so traces stay deterministic regardless of
+        which worker answered when.
+        """
+        tracer = self.database.tracer
+        ordered = [probe for group in plan.groups for probe in group.probes]
+        chunks = list(_chunks(ordered, self.chunk_size))
+        answered = self.pool.execute(chunks)
+        for chunk, records in zip(chunks, answered):
+            start = tracer.now()
+            for probe, record in zip(chunk, records):
+                evaluation = evaluations[probe.key]
+                evaluation.value = record["value"]
+                evaluation.start = start
+                evaluation.duration = record["duration"]
+                evaluation.cache_hit = record["cache_hit"]
+                evaluation.rows_touched = record["rows_touched"]
+                evaluation.counters = record["counters"]
+            self.stats.backend_calls += 1
+            self.stats.process_chunks += 1
 
     def _execute_parallel(
         self,
@@ -275,7 +329,7 @@ class BatchExecutor:
         for probe in group.probes:
             before = hook() if hook is not None else None
             start = tracer.now()
-            value = _dispatch(backend, probe)
+            value = dispatch_probe(backend, probe)
             duration = tracer.now() - start
             after = hook() if hook is not None else None
             out.append(
@@ -295,8 +349,8 @@ class BatchExecutor:
         return _Evaluation(cache_hit=cache_hit, rows_touched=rows_touched)
 
 
-def _dispatch(backend: "ExtensionBackend", probe: Probe) -> Any:
-    """One probe, one primitive call."""
+def dispatch_probe(backend: "ExtensionBackend", probe: Probe) -> Any:
+    """One probe, one primitive call (shared with the pool's workers)."""
     if probe.primitive == "count_distinct":
         return backend.count_distinct(probe.relations[0], probe.attributes[0])
     if probe.primitive == "join_count":
@@ -312,6 +366,10 @@ def _dispatch(backend: "ExtensionBackend", probe: Probe) -> Any:
         probe.relations[0], probe.attributes[0],
         probe.relations[1], probe.attributes[1],
     )
+
+
+#: historical private name, still used by the property-based suite
+_dispatch = dispatch_probe
 
 
 def _chunks(items: List[Probe], size: int):

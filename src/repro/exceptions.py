@@ -111,3 +111,34 @@ class ProcessError(ReproError):
 
 class ExpertDeclinedError(ProcessError):
     """An interactive step needed an expert answer that was not provided."""
+
+
+class ServiceError(ReproError):
+    """Base class for the service layer (process pool, job manager)."""
+
+
+class WorkerPoolError(ServiceError):
+    """The process pool could not answer a probe batch.
+
+    Raised when a batch exhausts its bounded retries across worker
+    crashes, hung-batch timeouts, or worker-side errors.  The batch
+    executor catches it and falls back to the serial path, so a broken
+    pool degrades throughput, never correctness.
+    """
+
+
+class RunCancelled(ServiceError):
+    """A queued or running discovery job was cancelled by its owner.
+
+    The pipeline checks its ``cancel`` hook between phases and raises
+    this to unwind; the job manager records the job as ``cancelled``
+    rather than ``failed``.
+    """
+
+
+class UnknownJobError(ServiceError):
+    """A job id was referenced but is not known to the job manager."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job: {job_id!r}")
+        self.job_id = job_id

@@ -1,0 +1,71 @@
+"""The service layer: process-parallel probe execution and multi-job runs.
+
+This package is the step from "tool" to "system".  It has two floors:
+
+- :mod:`repro.service.pool` — a **process-parallel probe executor**.
+  The batched engine (:mod:`repro.engine`) already expresses all
+  counting work as declarative probes; the pool partitions planned
+  probe batches across worker *processes*, each of which opens its own
+  extension backend through the registry (its own SQLite connection,
+  memory partition, or paged file set) and answers its share with the
+  best local strategy.  The parent merges results and telemetry back
+  into its own :class:`~repro.obs.tracer.Tracer` stream
+  deterministically, and survives worker crashes, hung batches and
+  transient errors with bounded retries before falling back to the
+  serial path.  ``DBREPipeline(..., engine="process")`` (CLI:
+  ``--engine process``) routes discovery through it.
+
+- :mod:`repro.service.jobs` — a **long-running multi-job discovery
+  manager**: submit / status / result / cancel over queued
+  reverse-engineering runs, with a results cache keyed by (database
+  fingerprint, workload hash, config) that serves repeat queries
+  without re-running discovery.  :mod:`repro.service.server` exposes
+  the manager as a local HTTP JSON API (``repro serve``);
+  :mod:`repro.service.export` writes the job ledger as a
+  ``repro/jobs@1`` JSONL export; :mod:`repro.service.specs` maps JSON
+  job specs (what ``repro jobs`` files and the HTTP API carry) to
+  submissions.
+
+The differential suite (``tests/engine/test_process_differential.py``)
+proves the process strategy produces bit-identical pipeline output vs
+the serial path on every backend; ``tests/service`` covers the pool's
+failure handling and the job lifecycle.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.export import (
+    JOBS_FORMAT,
+    jobs_to_records,
+    read_jobs_jsonl,
+    write_jobs_jsonl,
+)
+from repro.service.jobs import (
+    JOB_STATES,
+    Job,
+    JobManager,
+    database_fingerprint,
+    workload_fingerprint,
+)
+from repro.service.pool import (
+    DEFAULT_BATCH_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    PoolStats,
+    ProcessProbeExecutor,
+    worker_payload,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "JOBS_FORMAT",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "PoolStats",
+    "ProcessProbeExecutor",
+    "database_fingerprint",
+    "jobs_to_records",
+    "read_jobs_jsonl",
+    "worker_payload",
+    "workload_fingerprint",
+    "write_jobs_jsonl",
+]

@@ -1,0 +1,73 @@
+"""The ``repro/jobs@1`` export: the job ledger as JSONL.
+
+Same carrier discipline as every other export in this repository
+(:mod:`repro.util.jsonl`): one self-contained JSON object per line, a
+header record first.  The header carries the format tag and per-state
+counts, so a consumer can sanity-check a file without reading it whole;
+each following record is one job's full lifecycle — state, cache
+provenance, fingerprints, timings, and (for finished runs) the result
+summary.  ``scripts/validate_exports.py`` round-trips the export in CI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Union
+
+from repro.util.jsonl import load_jsonl, save_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.jobs import Job, JobManager
+
+__all__ = ["JOBS_FORMAT", "jobs_to_records", "read_jobs_jsonl", "write_jobs_jsonl"]
+
+#: the versioned format tag of the job-ledger export
+JOBS_FORMAT = "repro/jobs@1"
+
+
+def jobs_to_records(
+    source: Union["JobManager", Sequence["Job"]],
+) -> List[Dict[str, Any]]:
+    """The ledger as JSON-ready records: header first, one per job."""
+    jobs = source.jobs() if hasattr(source, "jobs") else list(source)
+    records = [job.as_record() for job in jobs]
+    states: Dict[str, int] = {}
+    for record in records:
+        states[record["state"]] = states.get(record["state"], 0) + 1
+    cached = sum(1 for record in records if record["cached"])
+    header = {
+        "type": "header",
+        "format": JOBS_FORMAT,
+        "jobs": len(records),
+        "states": states,
+        "cached": cached,
+    }
+    return [header] + records
+
+
+def write_jobs_jsonl(
+    source: Union["JobManager", Sequence["Job"]], path: str
+) -> List[Dict[str, Any]]:
+    """Write the ledger to *path*; returns the records written."""
+    records = jobs_to_records(source)
+    save_jsonl(records, path)
+    return records
+
+
+def read_jobs_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a ledger back, validating the header tag and counts."""
+    records = load_jsonl(path)
+    if not records:
+        raise ValueError(f"{path}: empty jobs export")
+    header = records[0]
+    if header.get("format") != JOBS_FORMAT:
+        raise ValueError(
+            f"{path}: not a {JOBS_FORMAT} export "
+            f"(format={header.get('format')!r})"
+        )
+    body = records[1:]
+    if header.get("jobs") != len(body):
+        raise ValueError(
+            f"{path}: header claims {header.get('jobs')} job(s), "
+            f"file carries {len(body)}"
+        )
+    return records

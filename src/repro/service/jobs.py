@@ -1,0 +1,398 @@
+"""The multi-job discovery manager: queued reverse-engineering runs.
+
+One long-running process serves many discovery requests: callers
+:meth:`~JobManager.submit` a (database, workload, config) triple and get
+a :class:`Job` back immediately; runner threads drain the queue through
+:class:`~repro.core.pipeline.DBREPipeline`; callers poll
+:meth:`~JobManager.status` or block on :meth:`~JobManager.result`, and
+may :meth:`~JobManager.cancel` a job while it is queued (it never runs)
+or mid-run (the pipeline's ``cancel`` hook unwinds it between phases
+with :class:`~repro.exceptions.RunCancelled`).
+
+Repeat queries are served from a **results cache** keyed by
+
+    (database fingerprint, workload fingerprint, config token)
+
+— content hashes, not object identities, so resubmitting the same
+database and programs returns the finished result without re-running
+discovery, while touching a single row changes the database fingerprint
+and forces a fresh run.  The cache is consulted twice — at submission
+and again when a runner dequeues the job, so a burst of duplicate
+submissions still collapses to one run.  A cached :class:`Job` is a
+real ledger entry (state ``done``, ``cached`` flag set) pointing at the
+original result, so the ``repro/jobs@1`` export shows cache hits
+explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import RunCancelled, UnknownJobError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import PipelineResult
+    from repro.programs.corpus import ProgramCorpus
+    from repro.programs.equijoin import EquiJoin
+    from repro.relational.database import Database
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "database_fingerprint",
+    "workload_fingerprint",
+]
+
+#: every state a job can be in, in lifecycle order
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: config keys the ledger records surface (the run-shaping knobs)
+_CONFIG_KEYS = ("engine", "engine_workers", "translate")
+
+
+def database_fingerprint(database: "Database") -> str:
+    """A content hash of schema + extension (the cache key's first leg).
+
+    Hashes the ``repro/schema@1`` document and every relation's rows in
+    insertion order, so any schema edit or data change — including a
+    single value — produces a different fingerprint.
+    """
+    from repro.relational.domain import is_null
+    from repro.storage.serialize import schema_to_dict
+
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(schema_to_dict(database.schema), sort_keys=True).encode("utf-8")
+    )
+    for name in database.schema.relation_names:
+        digest.update(name.encode("utf-8"))
+        for row in database.backend.rows(name):
+            values = [None if is_null(value) else value for value in row]
+            digest.update(repr(values).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def workload_fingerprint(
+    corpus: Optional["ProgramCorpus"] = None,
+    equijoins: Optional[Sequence["EquiJoin"]] = None,
+) -> str:
+    """A content hash of the workload (programs or a precomputed ``Q``)."""
+    digest = hashlib.sha256()
+    if corpus is not None:
+        for program in corpus:  # the corpus iterates name-sorted
+            digest.update(program.name.encode("utf-8"))
+            digest.update(program.language.encode("utf-8"))
+            digest.update(program.source.encode("utf-8"))
+    if equijoins:
+        for join in sorted(set(equijoins), key=lambda j: j.sort_key()):
+            digest.update(repr(join).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _config_token(config: Dict[str, Any]) -> str:
+    """The cache key's third leg: the run-affecting config, canonicalized.
+
+    Every JSON-representable config value participates — engine choice,
+    worker counts, expert thresholds — so two runs that could answer
+    differently never share a cache slot.  Live objects a caller tucks
+    into the config (an ``expert`` instance) are not representable and
+    are left out.
+    """
+    relevant = {}
+    for key, value in config.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        relevant[key] = value
+    return json.dumps(relevant, sort_keys=True)
+
+
+@dataclass
+class Job:
+    """One submitted discovery run and its whole lifecycle."""
+
+    id: str
+    label: str
+    state: str = "queued"
+    cached: bool = False
+    error: str = ""
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: the results-cache key (database fp, workload fp, config token)
+    key: Tuple[str, str, str] = ("", "", "")
+    result: Optional["PipelineResult"] = None
+    # inputs, held until the run consumes them
+    database: Optional["Database"] = field(default=None, repr=False)
+    corpus: Optional["ProgramCorpus"] = field(default=None, repr=False)
+    equijoins: Optional[List["EquiJoin"]] = field(default=None, repr=False)
+    _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+    _finished: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Is the job in a terminal state?"""
+        return self.state in ("done", "failed", "cancelled")
+
+    def as_record(self) -> Dict[str, Any]:
+        """The job's ``repro/jobs@1`` ledger record (JSON-ready)."""
+        record: Dict[str, Any] = {
+            "type": "job",
+            "id": self.id,
+            "label": self.label,
+            "state": self.state,
+            "cached": self.cached,
+            "database_fingerprint": self.key[0],
+            "workload_fingerprint": self.key[1],
+            "config": {key: self.config.get(key) for key in _CONFIG_KEYS},
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error:
+            record["error"] = self.error
+        if self.state == "done" and self.result is not None:
+            record["summary"] = {
+                "equijoins": len(self.result.equijoins),
+                "inds": len(self.result.inds),
+                "fds": len(self.result.fds),
+                "hidden": len(self.result.hidden),
+                "ric": len(self.result.ric),
+                "queries": self.result.extension_queries,
+                "decisions": self.result.expert_decisions,
+            }
+        return record
+
+
+class JobManager:
+    """Submit / status / result / cancel over queued discovery runs.
+
+    *runners* threads drain the queue; each run gets a fresh
+    :class:`~repro.core.pipeline.DBREPipeline` built from the job's
+    config (``engine``, ``engine_workers``, ``engine_options``,
+    ``translate``), so one manager can serve serial, batched and
+    process-parallel jobs side by side.  Thread-safe; close with
+    :meth:`shutdown` (or use as a context manager).
+    """
+
+    def __init__(self, runners: int = 1) -> None:
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._cache: Dict[Tuple[str, str, str], str] = {}
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self._runners = [
+            threading.Thread(target=self._runner_loop, daemon=True, name=f"repro-runner-{i}")
+            for i in range(max(1, runners))
+        ]
+        for thread in self._runners:
+            thread.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; cancel queued jobs; join the runners."""
+        with self._wakeup:
+            if self._stopping:
+                return
+            self._stopping = True
+            while self._queue:
+                job = self._queue.popleft()
+                self._finish(job, "cancelled", error="manager shut down")
+            self._wakeup.notify_all()
+        if wait:
+            for thread in self._runners:
+                thread.join(timeout=5.0)
+
+    # -- the public API ------------------------------------------------
+    def submit(
+        self,
+        database: "Database",
+        corpus: Optional["ProgramCorpus"] = None,
+        equijoins: Optional[Sequence["EquiJoin"]] = None,
+        config: Optional[Dict[str, Any]] = None,
+        label: str = "",
+    ) -> Job:
+        """Queue one discovery run; serve repeats from the results cache.
+
+        Exactly one of *corpus* or *equijoins* must be given (the
+        pipeline's own contract).  Returns the :class:`Job` immediately;
+        a cache hit comes back already ``done`` with ``cached`` set.
+        """
+        if (corpus is None) == (equijoins is None):
+            raise ValueError("provide exactly one of corpus= or equijoins=")
+        config = dict(config or {})
+        key = (
+            database_fingerprint(database),
+            workload_fingerprint(corpus, equijoins),
+            _config_token(config),
+        )
+        with self._wakeup:
+            if self._stopping:
+                raise RuntimeError("the job manager is shut down")
+            job_id = f"job-{next(self._ids)}"
+            job = Job(
+                id=job_id,
+                label=label or job_id,
+                submitted_at=time.time(),
+                config=config,
+                key=key,
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            source_id = self._cache.get(key)
+            source = self._jobs.get(source_id) if source_id else None
+            if source is not None and source.state == "done":
+                job.cached = True
+                job.result = source.result
+                self._finish(job, "done")
+                return job
+            job.database = database
+            job.corpus = corpus
+            job.equijoins = list(equijoins) if equijoins is not None else None
+            self._queue.append(job)
+            self._wakeup.notify()
+            return job
+
+    def job(self, job_id: str) -> Job:
+        """The job named *job_id* (raises :class:`UnknownJobError`)."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> List[Job]:
+        """Every job ever submitted, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The ledger record of one job (state, timings, summary)."""
+        return self.job(job_id).as_record()
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> "PipelineResult":
+        """Block until *job_id* finishes and return its pipeline result.
+
+        Raises :class:`TimeoutError` if the job is still unfinished
+        after *timeout* seconds, :class:`RunCancelled` for a cancelled
+        job, and :class:`RuntimeError` carrying the original error
+        message for a failed one.
+        """
+        job = self.job(job_id)
+        if not job._finished.wait(timeout):
+            raise TimeoutError(f"{job_id} still {job.state} after {timeout}s")
+        if job.state == "cancelled":
+            raise RunCancelled(f"{job_id} was cancelled")
+        if job.state == "failed":
+            raise RuntimeError(f"{job_id} failed: {job.error}")
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel *job_id*; True if the cancellation took effect.
+
+        A queued job flips straight to ``cancelled`` and never runs; a
+        running job has its cancel flag raised and unwinds at the next
+        phase boundary.  Cancelling a finished job is a no-op (False).
+        """
+        with self._wakeup:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if job.finished:
+                return False
+            if job.state == "queued":
+                try:
+                    self._queue.remove(job)
+                except ValueError:  # a runner grabbed it concurrently
+                    pass
+                else:
+                    self._finish(job, "cancelled")
+                    return True
+            job._cancel.set()
+            return True
+
+    # -- the runner side -----------------------------------------------
+    def _runner_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait()
+                if self._stopping and not self._queue:
+                    return
+                job = self._queue.popleft()
+                if job._cancel.is_set():
+                    self._finish(job, "cancelled")
+                    continue
+                # second cache look: a twin submitted in the same burst
+                # may have finished while this job sat in the queue
+                source_id = self._cache.get(job.key)
+                source = self._jobs.get(source_id) if source_id else None
+                if source is not None and source.state == "done":
+                    job.cached = True
+                    job.result = source.result
+                    self._finish(job, "done")
+                    continue
+                job.state = "running"
+                job.started_at = time.time()
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        from repro.core.pipeline import DBREPipeline
+
+        config = job.config
+        try:
+            pipeline = DBREPipeline(
+                job.database,
+                expert=config.get("expert"),
+                engine=config.get("engine", "serial"),
+                engine_workers=int(config.get("engine_workers", 0) or 0),
+                engine_options=config.get("engine_options"),
+                cancel=job._cancel.is_set,
+            )
+            result = pipeline.run(
+                corpus=job.corpus,
+                equijoins=job.equijoins,
+                translate=bool(config.get("translate", True)),
+            )
+        except RunCancelled:
+            with self._wakeup:
+                self._finish(job, "cancelled")
+            return
+        except Exception as exc:
+            with self._wakeup:
+                self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._wakeup:
+            job.result = result
+            self._finish(job, "done")
+            self._cache[job.key] = job.id
+
+    def _finish(self, job: Job, state: str, error: str = "") -> None:
+        """Move a job to a terminal state (caller holds the lock)."""
+        job.state = state
+        job.error = error
+        job.finished_at = time.time()
+        # drop the inputs: a finished job must not pin a whole database
+        job.database = None
+        job.corpus = None
+        job.equijoins = None
+        job._finished.set()

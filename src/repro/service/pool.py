@@ -1,0 +1,473 @@
+"""The process-parallel probe executor: probe batches on worker processes.
+
+The batched engine plans counting work into probe groups; this module
+partitions those groups across a pool of worker **processes**.  Each
+worker rebuilds the extension from a picklable payload — backend name
+resolved through :mod:`repro.backends.registry`, the schema document,
+and every relation's rows — so it owns a private backend instance (its
+own SQLite connection, memory partition, or paged file set) and never
+shares state with the parent.  Probe values are plain ints and bools,
+so merging results cannot change what the method computes; the
+differential suite asserts bit-identical pipeline output.
+
+Scheduling is deterministic: batch *i* always goes to worker slot
+``i % workers``, each slot has its own task queue, and the parent emits
+trace events in submission order — which worker answered when is
+invisible to the trace.  Failure handling is explicit:
+
+- **crash detection** — a dead worker process (nonzero exit, killed) is
+  respawned and its outstanding batches are re-dispatched;
+- **per-batch timeout** — a batch outstanding past its deadline marks
+  the worker hung; the process is terminated, respawned, and the batch
+  re-dispatched;
+- **bounded retry** — each batch is retried at most ``max_retries``
+  times across crashes/timeouts/errors; exhaustion raises
+  :class:`~repro.exceptions.WorkerPoolError`, which the
+  :class:`~repro.engine.executor.BatchExecutor` answers by falling back
+  to the serial path.
+
+The payload may carry a ``fault`` spec (see :func:`worker_payload`) that
+makes early worker spawns crash, hang or error on matching probes —
+the chaos hook the crash-injection CI lane drives; production payloads
+simply omit it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import WorkerPoolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.probes import Probe
+    from repro.relational.database import Database
+
+__all__ = [
+    "DEFAULT_BATCH_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "PoolStats",
+    "ProcessProbeExecutor",
+    "worker_payload",
+]
+
+#: seconds one dispatched batch may stay unanswered before its worker
+#: is presumed hung and terminated
+DEFAULT_BATCH_TIMEOUT = 30.0
+
+#: re-dispatches per batch (after the first attempt) before the pool
+#: gives up and the executor falls back to serial evaluation
+DEFAULT_MAX_RETRIES = 2
+
+#: how often the parent wakes to check worker liveness and deadlines
+#: while waiting for results
+_LIVENESS_TICK = 0.05
+
+
+def worker_payload(
+    database: "Database",
+    options: Optional[Dict[str, Any]] = None,
+    fault: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A picklable snapshot of *database* a worker can rebuild from.
+
+    The payload names the backend kind (resolved in the worker through
+    the registry), carries the schema as its ``repro/schema@1`` document
+    and every relation's rows as plain values (NULL → None).  *options*
+    are forwarded to the worker-side backend factory (e.g. paged pool
+    sizing).  *fault*, when given, is the chaos hook: a dict with
+    ``mode`` (``"exit"``, ``"hang"`` or ``"error"``), optional
+    ``primitive``/``relation`` matchers, and ``spawns`` — how many of
+    the pool's first worker spawns carry the fault (default 1, so the
+    respawned worker recovers).
+    """
+    from repro.relational.domain import is_null
+    from repro.storage.serialize import schema_to_dict
+
+    backend = database.backend
+    payload: Dict[str, Any] = {
+        "backend": getattr(backend, "kind", "memory"),
+        "options": dict(options or {}),
+        "schema": schema_to_dict(database.schema),
+        "rows": {
+            name: [
+                [None if is_null(value) else value for value in row]
+                for row in backend.rows(name)
+            ]
+            for name in database.schema.relation_names
+        },
+    }
+    if fault:
+        payload["fault"] = dict(fault)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# the worker side (runs in the child process)
+# ----------------------------------------------------------------------
+def _build_backend(payload: Dict[str, Any]):
+    """Rebuild the extension from the payload on a fresh backend."""
+    from repro.backends import create_backend
+    from repro.storage.serialize import schema_from_dict
+
+    backend = create_backend(payload["backend"], **payload.get("options", {}))
+    schema = schema_from_dict(payload["schema"])
+    backend.attach(schema)
+    for name, rows in payload["rows"].items():
+        backend.insert_many(name, rows)
+    return backend
+
+
+def _fault_matches(fault: Optional[Dict[str, Any]], spawn_index: int, probes) -> bool:
+    """Does the chaos hook apply to this spawn and batch?"""
+    if not fault or spawn_index >= fault.get("spawns", 1):
+        return False
+    primitive = fault.get("primitive")
+    relation = fault.get("relation")
+    for probe in probes:
+        if primitive and probe.primitive != primitive:
+            continue
+        if relation and relation not in probe.relations:
+            continue
+        return True
+    return False
+
+
+def _evaluate_batch(backend, probes) -> List[Dict[str, Any]]:
+    """Answer one batch with the backend's best local strategy.
+
+    Returns one record per probe — value, wall time, and the same
+    cache-hit / rows-touched / telemetry figures the in-process
+    strategies report — aligned with *probes* by position.
+    """
+    from repro.engine.executor import dispatch_probe
+    from repro.obs.instrument import telemetry_delta
+
+    hook = getattr(backend, "probe", None)
+    telemetry = getattr(backend, "telemetry", None)
+    out: List[Dict[str, Any]] = []
+    if callable(getattr(backend, "execute_batch", None)):
+        profiled = [
+            hook(p.primitive, p.relations, p.attributes) if hook else (False, 0)
+            for p in probes
+        ]
+        before = telemetry() if telemetry is not None else None
+        start = time.perf_counter()
+        values = backend.execute_batch(list(probes))
+        share = (time.perf_counter() - start) / max(len(probes), 1)
+        counters = (
+            telemetry_delta(before, telemetry() if telemetry is not None else None)
+            or {}
+        )
+        for (cache_hit, rows_touched), value in zip(profiled, values):
+            out.append(
+                {
+                    "value": value,
+                    "duration": share,
+                    "cache_hit": cache_hit,
+                    "rows_touched": rows_touched,
+                    "counters": counters,
+                }
+            )
+        return out
+    for probe in probes:
+        cache_hit, rows_touched = (
+            hook(probe.primitive, probe.relations, probe.attributes)
+            if hook
+            else (False, 0)
+        )
+        before = telemetry() if telemetry is not None else None
+        start = time.perf_counter()
+        value = dispatch_probe(backend, probe)
+        duration = time.perf_counter() - start
+        after = telemetry() if telemetry is not None else None
+        out.append(
+            {
+                "value": value,
+                "duration": duration,
+                "cache_hit": cache_hit,
+                "rows_touched": rows_touched,
+                "counters": telemetry_delta(before, after) or {},
+            }
+        )
+    return out
+
+
+def _worker_main(worker_id, spawn_index, payload, tasks, results) -> None:
+    """The worker loop: rebuild the extension, answer batches until None."""
+    backend = None
+    try:
+        try:
+            backend = _build_backend(payload)
+        except Exception as exc:  # report, then stop: the parent respawns
+            results.put(("error", worker_id, (None, f"worker setup failed: {exc}")))
+            return
+        fault = payload.get("fault")
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            batch_id, probes = task
+            if _fault_matches(fault, spawn_index, probes):
+                mode = fault.get("mode", "exit")
+                if mode == "exit":
+                    os._exit(fault.get("code", 13))
+                if mode == "hang":
+                    time.sleep(fault.get("seconds", 3600.0))
+                results.put(("error", worker_id, (batch_id, "injected fault")))
+                continue
+            try:
+                answered = _evaluate_batch(backend, probes)
+            except Exception as exc:
+                results.put(
+                    ("error", worker_id, (batch_id, f"{type(exc).__name__}: {exc}"))
+                )
+                continue
+            results.put(("result", worker_id, (batch_id, answered)))
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# the parent side
+# ----------------------------------------------------------------------
+@dataclass
+class PoolStats:
+    """Cumulative failure/throughput accounting of one pool."""
+
+    batches: int = 0
+    probes: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    worker_errors: int = 0
+    spawns: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "probes": self.probes,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "worker_errors": self.worker_errors,
+            "spawns": self.spawns,
+        }
+
+
+@dataclass
+class _Pending:
+    """One dispatched batch the parent is still waiting on."""
+
+    position: int
+    probes: List["Probe"]
+    slot: int
+    deadline: float
+    attempts: int = 0
+
+
+@dataclass
+class _Worker:
+    """One worker slot: its process, private task queue, spawn index."""
+
+    process: Any
+    tasks: Any
+    spawn_index: int
+    stopping: bool = field(default=False)
+
+
+class ProcessProbeExecutor:
+    """Answers probe batches on a pool of worker processes.
+
+    Built from a :func:`worker_payload` snapshot; workers spawn lazily
+    on the first :meth:`execute` call and persist across batches, so the
+    payload ships once per worker, not once per batch.  ``close`` (or
+    use as a context manager) shuts the pool down; a closed pool raises
+    on further use.
+    """
+
+    def __init__(
+        self,
+        payload: Dict[str, Any],
+        workers: int = 2,
+        batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.payload = payload
+        self.workers = max(1, workers)
+        self.batch_timeout = batch_timeout
+        self.max_retries = max(0, max_retries)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(mp_context)
+        self._results = self._context.Queue()
+        self._slots: List[Optional[_Worker]] = [None] * self.workers
+        self._next_batch_id = 0
+        self._closed = False
+        self.stats = PoolStats()
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ProcessProbeExecutor":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker (sentinel first, terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._slots:
+            if worker is None:
+                continue
+            try:
+                worker.tasks.put(None)
+            except (ValueError, OSError):  # queue already torn down
+                pass
+        for worker in self._slots:
+            if worker is None:
+                continue
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        self._slots = [None] * self.workers
+
+    # -- execution -----------------------------------------------------
+    def execute(
+        self, batches: Sequence[Sequence["Probe"]]
+    ) -> List[List[Dict[str, Any]]]:
+        """Answer every batch; results align with *batches* by position.
+
+        Raises :class:`WorkerPoolError` when any batch exhausts its
+        retries — the caller then owns the fallback.
+        """
+        if self._closed:
+            raise WorkerPoolError("process pool is closed")
+        out: List[Optional[List[Dict[str, Any]]]] = [None] * len(batches)
+        pending: Dict[int, _Pending] = {}
+        for position, batch in enumerate(batches):
+            self._dispatch(position, list(batch), pending, attempts=0)
+        while pending:
+            try:
+                kind, _worker_id, body = self._results.get(timeout=_LIVENESS_TICK)
+            except queue.Empty:
+                self._reap(pending)
+                continue
+            if kind == "result":
+                batch_id, answered = body
+                entry = pending.pop(batch_id, None)
+                if entry is None:  # stale: a retried batch answered twice
+                    continue
+                out[entry.position] = answered
+                self.stats.batches += 1
+                self.stats.probes += len(answered)
+            elif kind == "error":
+                batch_id, message = body
+                self.stats.worker_errors += 1
+                if batch_id in pending:
+                    self._retry(batch_id, pending, reason=message)
+        return [answered for answered in out if answered is not None] if all(
+            answered is not None for answered in out
+        ) else self._incomplete(out)
+
+    def _incomplete(self, out) -> List[List[Dict[str, Any]]]:
+        missing = sum(1 for answered in out if answered is None)
+        raise WorkerPoolError(f"{missing} batch(es) lost without a result")
+
+    # -- internals -----------------------------------------------------
+    def _worker(self, slot: int) -> _Worker:
+        """The live worker for *slot*, spawning or respawning as needed."""
+        worker = self._slots[slot]
+        if worker is not None and worker.process.is_alive():
+            return worker
+        tasks = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(slot, self.stats.spawns, self.payload, tasks, self._results),
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(process=process, tasks=tasks, spawn_index=self.stats.spawns)
+        self._slots[slot] = worker
+        self.stats.spawns += 1
+        return worker
+
+    def _dispatch(
+        self,
+        position: int,
+        probes: List["Probe"],
+        pending: Dict[int, _Pending],
+        attempts: int,
+    ) -> None:
+        slot = position % self.workers
+        worker = self._worker(slot)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        pending[batch_id] = _Pending(
+            position=position,
+            probes=probes,
+            slot=slot,
+            deadline=time.monotonic() + self.batch_timeout,
+            attempts=attempts,
+        )
+        worker.tasks.put((batch_id, probes))
+
+    def _retry(
+        self, batch_id: int, pending: Dict[int, _Pending], reason: str
+    ) -> None:
+        entry = pending.pop(batch_id)
+        if entry.attempts >= self.max_retries:
+            raise WorkerPoolError(
+                f"batch of {len(entry.probes)} probe(s) failed after "
+                f"{entry.attempts + 1} attempt(s): {reason}"
+            )
+        self.stats.retries += 1
+        self._dispatch(entry.position, entry.probes, pending, entry.attempts + 1)
+
+    def _reap(self, pending: Dict[int, _Pending]) -> None:
+        """Crash and timeout detection between result arrivals."""
+        now = time.monotonic()
+        # a dead worker can never answer: respawn and re-dispatch its share
+        for slot in range(self.workers):
+            worker = self._slots[slot]
+            if worker is None or worker.process.is_alive():
+                continue
+            assigned = [
+                batch_id for batch_id, entry in pending.items() if entry.slot == slot
+            ]
+            if not assigned:
+                continue
+            self.stats.crashes += 1
+            self._slots[slot] = None
+            for batch_id in assigned:
+                self._retry(
+                    batch_id,
+                    pending,
+                    reason=f"worker exited with code {worker.process.exitcode}",
+                )
+        # a live worker past a batch deadline is hung: terminate, re-dispatch
+        overdue = [
+            batch_id for batch_id, entry in pending.items() if entry.deadline < now
+        ]
+        terminated = set()
+        for batch_id in overdue:
+            if batch_id not in pending:
+                continue
+            entry = pending[batch_id]
+            worker = self._slots[entry.slot]
+            if worker is not None and entry.slot not in terminated:
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                self._slots[entry.slot] = None
+                terminated.add(entry.slot)
+            self.stats.timeouts += 1
+            self._retry(batch_id, pending, reason="batch timed out")

@@ -1,0 +1,160 @@
+"""``repro serve``: the job manager behind a local HTTP JSON API.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`), so the service
+runs anywhere the library does.  Routes:
+
+- ``POST /jobs`` — submit a job spec (:mod:`repro.service.specs`
+  document as the request body); answers ``201`` with the job record.
+- ``GET /jobs`` — the full ledger, shaped exactly like the
+  ``repro/jobs@1`` export (header record + one record per job).
+- ``GET /jobs/<id>`` — one job's record (state, timings, summary).
+- ``GET /jobs/<id>/eer`` — a finished job's rendered EER schema
+  (``409`` while the job is still queued/running).
+- ``DELETE /jobs/<id>`` — cancel; answers whether it took effect.
+- ``GET /health`` — liveness + job counts.
+
+Errors are JSON too: ``{"error": ...}`` with a 4xx status.  The server
+binds localhost by default — it is a workstation/CI service, not an
+internet-facing one.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import UnknownJobError
+from repro.service.export import jobs_to_records
+from repro.service.jobs import JobManager
+
+__all__ = ["build_server", "serve"]
+
+
+class _JobsHandler(BaseHTTPRequestHandler):
+    """One request; the manager hangs off the server object."""
+
+    server_version = "repro-serve/1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, document: Any) -> None:
+        body = json.dumps(document, sort_keys=True, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
+        """Split ``/jobs/<id>/<view>`` into its three parts."""
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        head = parts[0] if parts else ""
+        job_id = parts[1] if len(parts) > 1 else None
+        view = parts[2] if len(parts) > 2 else None
+        return head, job_id, view
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server's contract
+        head, job_id, view = self._route()
+        if head == "health":
+            jobs = self.manager.jobs()
+            return self._reply(
+                200,
+                {
+                    "ok": True,
+                    "jobs": len(jobs),
+                    "running": sum(1 for j in jobs if j.state == "running"),
+                    "queued": sum(1 for j in jobs if j.state == "queued"),
+                },
+            )
+        if head != "jobs":
+            return self._error(404, f"no such route: {self.path}")
+        if job_id is None:
+            return self._reply(200, jobs_to_records(self.manager))
+        try:
+            job = self.manager.job(job_id)
+        except UnknownJobError as exc:
+            return self._error(404, str(exc))
+        if view is None:
+            return self._reply(200, job.as_record())
+        if view == "eer":
+            if not job.finished:
+                return self._error(409, f"{job_id} is still {job.state}")
+            if job.state != "done" or job.result is None or job.result.eer is None:
+                return self._error(409, f"{job_id} finished {job.state} without an EER schema")
+            from repro.eer.render import render_text
+
+            return self._reply(200, {"id": job_id, "eer": render_text(job.result.eer)})
+        return self._error(404, f"no such job view: {view}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        head, job_id, _view = self._route()
+        if head != "jobs" or job_id is not None:
+            return self._error(404, f"no such route: {self.path}")
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            spec = json.loads(self.rfile.read(length).decode("utf-8") or "{}")
+        except json.JSONDecodeError as exc:
+            return self._error(400, f"request body is not JSON: {exc.msg}")
+        from repro.service.specs import submit_spec
+
+        try:
+            job = submit_spec(self.manager, spec)
+        except (ValueError, OSError) as exc:
+            return self._error(400, str(exc))
+        except Exception as exc:  # a bad database/corpus must not kill the server
+            return self._error(400, f"{type(exc).__name__}: {exc}")
+        self._reply(201, job.as_record())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        head, job_id, view = self._route()
+        if head != "jobs" or job_id is None or view is not None:
+            return self._error(404, f"no such route: {self.path}")
+        try:
+            cancelled = self.manager.cancel(job_id)
+        except UnknownJobError as exc:
+            return self._error(404, str(exc))
+        self._reply(200, {"id": job_id, "cancelled": cancelled})
+
+
+def build_server(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to *manager* (port 0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), _JobsHandler)
+    server.manager = manager  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    verbose: bool = True,
+) -> None:
+    """Serve until interrupted (the ``repro serve`` loop)."""
+    server = build_server(manager, host=host, port=port, verbose=verbose)
+    address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(f"repro service listening on {address} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        manager.shutdown()

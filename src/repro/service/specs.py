@@ -1,0 +1,102 @@
+"""Job specs: the JSON documents ``repro jobs`` and the HTTP API carry.
+
+A spec describes one discovery run declaratively, so a submission can
+travel as plain JSON (a file handed to ``repro jobs run``, or a POST
+body to ``repro serve``):
+
+.. code-block:: json
+
+    {"demo": true,
+     "config": {"engine": "process", "engine_workers": 2}}
+
+    {"database": "legacy.db",
+     "programs": "programs/",
+     "backend": "auto",
+     "config": {"engine": "batched", "translate": true}}
+
+Exactly one of ``demo`` or ``database`` must be present; ``database``
+specs also need ``programs`` (the corpus directory).  ``config`` takes
+the pipeline knobs (``engine``, ``engine_workers``, ``engine_options``,
+``translate``) plus the AutoExpert thresholds (``force_threshold``,
+``conceptualize_hidden``); the demo runs under the paper's scripted
+expert, so its output matches ``repro demo`` exactly.
+
+Imports from :mod:`repro.cli` happen at call time: the CLI imports this
+package for its verbs, so module-scope imports would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+__all__ = ["submit_spec"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.jobs import Job, JobManager
+
+#: spec keys the loader understands; anything else is a spelling mistake
+#: worth failing loudly on
+_SPEC_KEYS = {
+    "demo",
+    "database",
+    "programs",
+    "backend",
+    "pool_pages",
+    "page_size",
+    "label",
+    "config",
+}
+
+
+def submit_spec(manager: "JobManager", spec: Dict[str, Any]) -> "Job":
+    """Submit one JSON job spec to *manager*; returns the queued job."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"a job spec must be a JSON object, got {type(spec).__name__}")
+    unknown = sorted(set(spec) - _SPEC_KEYS)
+    if unknown:
+        raise ValueError(f"unknown job-spec key(s): {', '.join(unknown)}")
+    if bool(spec.get("demo")) == ("database" in spec):
+        raise ValueError("a job spec needs exactly one of demo=true or database=")
+    config = dict(spec.get("config") or {})
+
+    if spec.get("demo"):
+        from repro.core.expert import ScriptedExpert
+        from repro.workloads.paper_example import (
+            build_paper_database,
+            paper_expert_script,
+            paper_program_corpus,
+        )
+
+        config.setdefault("expert", ScriptedExpert(paper_expert_script()))
+        return manager.submit(
+            build_paper_database(),
+            corpus=paper_program_corpus(),
+            config=config,
+            label=spec.get("label", "demo"),
+        )
+
+    if "programs" not in spec:
+        raise ValueError("a database job spec needs programs= (the corpus directory)")
+    from repro.cli import load_corpus, load_database
+    from repro.core.expert import AutoExpert
+
+    database = load_database(
+        spec["database"],
+        backend=spec.get("backend", "auto"),
+        pool_pages=int(spec.get("pool_pages", 0) or 0),
+        page_size=int(spec.get("page_size", 0) or 0),
+    )
+    corpus = load_corpus(spec["programs"])
+    config.setdefault(
+        "expert",
+        AutoExpert(
+            force_threshold=float(config.pop("force_threshold", 0.95)),
+            conceptualize_hidden=bool(config.pop("conceptualize_hidden", False)),
+        ),
+    )
+    return manager.submit(
+        database,
+        corpus=corpus,
+        config=config,
+        label=spec.get("label", spec["database"]),
+    )

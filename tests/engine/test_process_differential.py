@@ -1,0 +1,177 @@
+"""The process-strategy differential harness: bit-identical or broken.
+
+Extends the serial-vs-batched guarantee of ``test_differential`` to the
+process-parallel executor: the full pipeline under ``engine="process"``
+must produce *exactly* the observable output of a serial run — elicited
+dependency sets, audit records, restructured schema, rendered EER,
+expert log, and the extension-query accounting — on every registered
+backend, at every worker count, and **through every failure mode** the
+pool is built to survive (worker crashes, hung batches, worker-side
+errors, and full pool exhaustion falling back to serial).
+
+The CI ``tests-parallel`` job runs this file at 2 and 4 workers
+(``REPRO_TEST_WORKERS``) plus a crash-injection lane
+(``REPRO_TEST_CHAOS=1``).
+"""
+
+import os
+
+import pytest
+
+from tests.engine.test_differential import (
+    BACKENDS,
+    FAST_SCENARIOS,
+    SCENARIOS,
+    observable,
+    run_paper,
+)
+from repro.core.expert import ScriptedExpert
+from repro.core.pipeline import DBREPipeline
+from repro.workloads.oracle import OracleExpert
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_equijoins,
+    paper_expert_script,
+)
+from repro.workloads.scenario import build_scenario
+
+#: the CI matrix overrides the default worker count per lane
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+#: chaos lane: every run also injects a first-spawn worker crash
+CHAOS = bool(int(os.environ.get("REPRO_TEST_CHAOS", "0")))
+
+#: a first-spawn crash on the first join_count probe; the respawned
+#: worker recovers, so results must still be bit-identical
+CRASH_FAULT = {"mode": "exit", "primitive": "join_count", "spawns": 1}
+
+
+def process_options(fault=None):
+    options = {}
+    if CHAOS:
+        options["fault"] = dict(CRASH_FAULT)
+    if fault is not None:
+        options["fault"] = dict(fault)
+    return options
+
+
+def run_paper_process(backend_factory, workers=WORKERS, fault=None, **opts):
+    db = build_paper_database(backend=backend_factory())
+    pipeline = DBREPipeline(
+        db, ScriptedExpert(paper_expert_script()),
+        engine="process", engine_workers=workers,
+        engine_options=dict(process_options(fault), **opts),
+    )
+    result = pipeline.run(equijoins=paper_equijoins())
+    return observable(pipeline, result), result
+
+
+def run_synthetic_process(backend_factory, config, workers=WORKERS):
+    scenario = build_scenario(config)
+    db = scenario.database
+    kind = getattr(backend_factory, "kind", None)
+    if getattr(db.backend, "kind", None) != kind:
+        db = db.copy(backend=backend_factory())
+    pipeline = DBREPipeline(
+        db, OracleExpert(scenario.truth),
+        engine="process", engine_workers=workers,
+        engine_options=process_options(),
+    )
+    result = pipeline.run(corpus=scenario.corpus)
+    return observable(pipeline, result), result
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+class TestPaperExampleProcess:
+    """Paper example: process == serial on all three backends."""
+
+    def test_process_equals_serial(self, backend):
+        serial, _ = run_paper("serial", BACKENDS[backend])
+        process, result = run_paper_process(BACKENDS[backend])
+        assert process == serial
+        assert result.engine == "process"
+        stats = result.engine_stats
+        assert stats is not None
+        assert stats.logical_probes == serial["queries"]
+        # every unique probe was answered out of process (or the pool
+        # fell back, which only the chaos lane may legitimately hit)
+        if not CHAOS:
+            assert stats.pool_fallbacks == 0
+            assert stats.process_chunks > 0
+
+    def test_process_equals_batched(self, backend):
+        batched, _ = run_paper("batched", BACKENDS[backend])
+        process, _ = run_paper_process(BACKENDS[backend])
+        assert process == batched
+
+
+def scenario_params():
+    for name in sorted(SCENARIOS):
+        marks = [] if name in FAST_SCENARIOS else [pytest.mark.slow]
+        yield pytest.param(name, id=name, marks=marks)
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+@pytest.mark.parametrize("scenario_name", list(scenario_params()))
+class TestSyntheticScenariosProcess:
+    def test_process_equals_serial(self, scenario_name, backend):
+        from tests.engine.test_differential import run_synthetic
+
+        config = SCENARIOS[scenario_name]
+        serial, _ = run_synthetic("serial", BACKENDS[backend], config)
+        process, result = run_synthetic_process(BACKENDS[backend], config)
+        assert process == serial
+        assert result.engine_stats.logical_probes == serial["queries"]
+
+
+class TestProcessWorkerCountInvariance:
+    """Scheduling must never leak into results."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_paper_example_stable_across_worker_counts(self, workers):
+        baseline, _ = run_paper("serial", BACKENDS["memory"])
+        process, result = run_paper_process(BACKENDS["memory"], workers=workers)
+        assert process == baseline
+        assert result.trace is not None
+
+
+class TestFailureModes:
+    """Crash, hang, error and exhaustion — all bit-identical to serial."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_paper("serial", BACKENDS["memory"])[0]
+
+    def test_worker_crash_recovers(self, serial):
+        process, result = run_paper_process(
+            BACKENDS["memory"], fault=CRASH_FAULT
+        )
+        assert process == serial
+        assert result.engine_stats.pool_fallbacks == 0
+
+    def test_hung_batch_times_out_and_recovers(self, serial):
+        process, _ = run_paper_process(
+            BACKENDS["memory"],
+            fault={"mode": "hang", "seconds": 60, "spawns": 1},
+            batch_timeout=0.5,
+        )
+        assert process == serial
+
+    def test_worker_error_falls_back_to_serial(self, serial):
+        # an error fault persists on the (live) worker, so retries
+        # exhaust and the executor re-answers the batch serially
+        process, result = run_paper_process(
+            BACKENDS["memory"], fault={"mode": "error", "spawns": 1}
+        )
+        assert process == serial
+        assert result.engine_stats.pool_fallbacks > 0
+
+    def test_total_pool_failure_falls_back_to_serial(self, serial):
+        process, result = run_paper_process(
+            BACKENDS["memory"],
+            fault={"mode": "exit", "spawns": 99},
+            max_retries=1,
+        )
+        assert process == serial
+        assert result.engine_stats.pool_fallbacks > 0
+        assert result.engine_stats.process_chunks == 0

@@ -63,6 +63,57 @@ class TestLatencyGate:
         assert regression.compare(current, baseline) == []
 
 
+class TestUnguardedHeads:
+    def test_current_only_heads_are_reported_sorted(self):
+        baseline = run_doc(s1=head())
+        current = run_doc(s1=head(), s11=head(), s2=head())
+        assert regression.unguarded_heads(current, baseline) == ["s11", "s2"]
+
+    def test_matching_head_sets_are_clean(self):
+        doc = run_doc(s1=head(), s3=head())
+        assert regression.unguarded_heads(doc, doc) == []
+
+    def test_exit_code_is_distinct_from_a_regression(self):
+        assert regression.EXIT_UNGUARDED_HEADS == 3
+
+    def test_main_exits_3_on_a_new_head(self, tmp_path, monkeypatch, capsys):
+        path = str(tmp_path / "baseline.json")
+        regression.write_baseline(
+            path, run_doc(s1=head(queries={"count_distinct": 5}))
+        )
+        current = run_doc(
+            s1=head(queries={"count_distinct": 5}),
+            s11=head(queries={"count_distinct": 5}),
+        )
+        current["calibration_ms"] = 1.0
+        current["heads"]["s1"]["wall_ms"] = 1.0
+        current["heads"]["s1"]["cache_hits"] = 0
+        current["heads"]["s11"]["wall_ms"] = 1.0
+        current["heads"]["s11"]["cache_hits"] = 0
+        monkeypatch.setattr(regression, "run_all", lambda quick: current)
+        code = regression.main(["--baseline", path, "--no-history"])
+        assert code == regression.EXIT_UNGUARDED_HEADS
+        out = capsys.readouterr().out
+        assert "s11" in out
+        assert "--write-baseline" in out
+
+    def test_main_prefers_the_regression_exit(self, tmp_path, monkeypatch):
+        # a regression and a new head together: perf failure wins
+        path = str(tmp_path / "baseline.json")
+        regression.write_baseline(
+            path, run_doc(s1=head(queries={"count_distinct": 5}))
+        )
+        current = run_doc(
+            s1=head(queries={"count_distinct": 500}), s11=head()
+        )
+        current["calibration_ms"] = 1.0
+        for name in ("s1", "s11"):
+            current["heads"][name]["wall_ms"] = 1.0
+            current["heads"][name]["cache_hits"] = 0
+        monkeypatch.setattr(regression, "run_all", lambda quick: current)
+        assert regression.main(["--baseline", path, "--no-history"]) == 1
+
+
 class TestShape:
     def test_missing_head_is_a_violation(self):
         baseline = run_doc(s1=head(queries={"count_distinct": 1}))

@@ -1,0 +1,154 @@
+"""Unit tests of the process pool: payload, scheduling, failure handling."""
+
+import pytest
+
+from repro.backends import create_backend
+from repro.engine.probes import Probe
+from repro.exceptions import WorkerPoolError
+from repro.service.pool import ProcessProbeExecutor, worker_payload
+from repro.workloads.paper_example import build_paper_database
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return worker_payload(build_paper_database())
+
+
+def paper_probes():
+    """A small mixed batch over the §5 extension."""
+    return [
+        Probe.distinct("Assignment", ("emp",)),
+        Probe.distinct("Department", ("dep",)),
+        Probe.join("Assignment", ("dep",), "Department", ("dep",)),
+        Probe.inclusion("Assignment", ("dep",), "Department", ("dep",)),
+        Probe.fd("Assignment", ("proj",), ("project-name",)),
+    ]
+
+
+def expected_values(probes):
+    from repro.engine.executor import dispatch_probe
+
+    db = build_paper_database()
+    return [dispatch_probe(db.backend, p) for p in probes]
+
+
+class TestWorkerPayload:
+    def test_snapshot_is_rebuildable(self, payload):
+        assert payload["backend"] == "memory"
+        assert set(payload["rows"]) == {
+            "Assignment", "Department", "HEmployee", "Person"
+        }
+        assert all(payload["rows"].values())
+        # the whole payload must cross a process boundary
+        import pickle
+
+        pickle.dumps(payload)
+
+    def test_backend_options_flow_through(self):
+        db = build_paper_database()
+        snapshot = worker_payload(db, options={"pool_pages": 4})
+        assert snapshot["options"] == {"pool_pages": 4}
+
+    def test_fault_spec_is_carried(self):
+        snapshot = worker_payload(build_paper_database(), fault={"mode": "exit"})
+        assert snapshot["fault"] == {"mode": "exit"}
+
+
+class TestExecution:
+    def test_answers_match_direct_dispatch(self, payload):
+        probes = paper_probes()
+        with ProcessProbeExecutor(payload, workers=2) as pool:
+            [records] = pool.execute([probes])
+        assert [r["value"] for r in records] == expected_values(probes)
+        assert all(r["duration"] >= 0 for r in records)
+
+    def test_batches_align_by_position(self, payload):
+        probes = paper_probes()
+        batches = [[p] for p in probes]
+        with ProcessProbeExecutor(payload, workers=2) as pool:
+            answered = pool.execute(batches)
+        values = [records[0]["value"] for records in answered]
+        assert values == expected_values(probes)
+
+    def test_pool_survives_many_rounds(self, payload):
+        probes = paper_probes()
+        with ProcessProbeExecutor(payload, workers=2) as pool:
+            for _ in range(3):
+                [records] = pool.execute([probes])
+                assert [r["value"] for r in records] == expected_values(probes)
+            assert pool.stats.batches == 3
+            # workers persist across execute() calls
+            assert pool.stats.spawns <= 2
+
+    def test_sqlite_workers_use_local_pushdown(self):
+        db = build_paper_database(backend=create_backend("sqlite"))
+        probes = paper_probes()
+        with ProcessProbeExecutor(worker_payload(db), workers=2) as pool:
+            [records] = pool.execute([probes])
+        assert [r["value"] for r in records] == expected_values(probes)
+
+    def test_paged_workers_rebuild_their_own_files(self):
+        db = build_paper_database(
+            backend=create_backend("paged", pool_pages=8, page_size=512)
+        )
+        payload = worker_payload(db, options={"pool_pages": 8, "page_size": 512})
+        probes = paper_probes()
+        with ProcessProbeExecutor(payload, workers=2) as pool:
+            [records] = pool.execute([probes])
+        assert [r["value"] for r in records] == expected_values(probes)
+        # paged telemetry flows back through the counters channel
+        assert any(r["counters"] for r in records)
+
+    def test_closed_pool_refuses_work(self, payload):
+        pool = ProcessProbeExecutor(payload, workers=1)
+        pool.close()
+        with pytest.raises(WorkerPoolError):
+            pool.execute([paper_probes()])
+        pool.close()  # idempotent
+
+
+class TestFailureHandling:
+    def test_crashed_worker_is_respawned(self, payload):
+        crashing = dict(payload, fault={"mode": "exit", "spawns": 2})
+        probes = paper_probes()
+        with ProcessProbeExecutor(crashing, workers=2) as pool:
+            [records] = pool.execute([probes])
+            assert [r["value"] for r in records] == expected_values(probes)
+            assert pool.stats.crashes >= 1
+            assert pool.stats.retries >= 1
+            assert pool.stats.spawns > 2
+
+    def test_hung_worker_is_terminated(self, payload):
+        hanging = dict(payload, fault={"mode": "hang", "seconds": 60, "spawns": 1})
+        probes = paper_probes()
+        with ProcessProbeExecutor(hanging, workers=1, batch_timeout=0.5) as pool:
+            [records] = pool.execute([probes])
+            assert [r["value"] for r in records] == expected_values(probes)
+            assert pool.stats.timeouts >= 1
+
+    def test_worker_error_is_retried_then_raises(self, payload):
+        erroring = dict(payload, fault={"mode": "error", "spawns": 99})
+        with ProcessProbeExecutor(erroring, workers=1, max_retries=1) as pool:
+            with pytest.raises(WorkerPoolError):
+                pool.execute([paper_probes()])
+            assert pool.stats.worker_errors >= 2  # first try + retry
+
+    def test_permanent_crash_exhausts_retries(self, payload):
+        doomed = dict(payload, fault={"mode": "exit", "spawns": 99})
+        with ProcessProbeExecutor(doomed, workers=1, max_retries=1) as pool:
+            with pytest.raises(WorkerPoolError):
+                pool.execute([paper_probes()])
+            assert pool.stats.crashes >= 2
+
+    def test_targeted_fault_spares_other_primitives(self, payload):
+        targeted = dict(
+            payload, fault={"mode": "exit", "primitive": "fd_holds", "spawns": 1}
+        )
+        only_counts = [
+            Probe.distinct("Department", ("dep",)),
+            Probe.distinct("Person", ("id",)),
+        ]
+        with ProcessProbeExecutor(targeted, workers=1) as pool:
+            [records] = pool.execute([only_counts])
+            assert pool.stats.crashes == 0
+        assert [r["value"] for r in records] == expected_values(only_counts)

@@ -1,0 +1,135 @@
+"""The HTTP JSON API over the job manager (``repro serve``)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.export import JOBS_FORMAT
+from repro.service.jobs import JobManager
+from repro.service.server import build_server
+
+
+@pytest.fixture
+def api():
+    manager = JobManager(runners=1)
+    server = build_server(manager, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+
+    def call(method, path, body=None):
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(base + path, method=method, data=data)
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    yield call
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+    thread.join(timeout=5)
+
+
+def wait_done(call, job_id, tries=300):
+    import time
+
+    for _ in range(tries):
+        status, record = call("GET", f"/jobs/{job_id}")
+        assert status == 200
+        if record["state"] in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"{job_id} never finished")
+
+
+class TestRoutes:
+    def test_health(self, api):
+        status, body = api("GET", "/health")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["jobs"] == 0
+
+    def test_submit_poll_result(self, api):
+        status, record = api(
+            "POST", "/jobs", {"demo": True, "config": {"engine": "batched"}}
+        )
+        assert status == 201
+        assert record["state"] in ("queued", "running", "done")
+        final = wait_done(api, record["id"])
+        assert final["state"] == "done"
+        assert final["summary"]["ric"] > 0
+        status, eer = api("GET", f"/jobs/{record['id']}/eer")
+        assert status == 200
+        assert "Person" in eer["eer"]
+
+    def test_ledger_listing_matches_the_export_shape(self, api):
+        _, record = api("POST", "/jobs", {"demo": True})
+        wait_done(api, record["id"])
+        status, records = api("GET", "/jobs")
+        assert status == 200
+        assert records[0]["format"] == JOBS_FORMAT
+        assert records[0]["jobs"] == 1
+        assert records[1]["id"] == record["id"]
+
+    def test_cache_hit_over_http(self, api):
+        _, first = api("POST", "/jobs", {"demo": True})
+        wait_done(api, first["id"])
+        status, second = api("POST", "/jobs", {"demo": True})
+        assert status == 201
+        assert second["cached"] is True
+        assert second["state"] == "done"
+
+    def test_cancel_finished_job_reports_false(self, api):
+        _, record = api("POST", "/jobs", {"demo": True})
+        wait_done(api, record["id"])
+        status, body = api("DELETE", f"/jobs/{record['id']}")
+        assert status == 200
+        assert body["cancelled"] is False
+
+    def test_eer_of_unfinished_job_is_a_conflict(self, api):
+        # the demo is fast; use a spec that stays queued by submitting
+        # to a manager whose single runner is busy with the first job
+        _, first = api("POST", "/jobs", {"demo": True})
+        _, second = api("POST", "/jobs", {"demo": True, "label": "second"})
+        status, body = api("GET", f"/jobs/{second['id']}/eer")
+        if second["state"] in ("queued", "running"):
+            assert status == 409
+            assert "still" in body["error"]
+        wait_done(api, second["id"])
+
+
+class TestErrors:
+    def test_unknown_route_404(self, api):
+        assert api("GET", "/nope")[0] == 404
+        assert api("POST", "/jobs/job-1")[0] == 404
+        assert api("DELETE", "/jobs")[0] == 404
+
+    def test_unknown_job_404(self, api):
+        status, body = api("GET", "/jobs/job-42")
+        assert status == 404
+        assert "job-42" in body["error"]
+        assert api("DELETE", "/jobs/job-42")[0] == 404
+
+    def test_bad_spec_400(self, api):
+        status, body = api("POST", "/jobs", {"nonsense": 1})
+        assert status == 400
+        assert "nonsense" in body["error"]
+        status, body = api("POST", "/jobs", {})
+        assert status == 400
+
+    def test_empty_body_400(self, api):
+        status, _ = api("POST", "/jobs", None)  # empty body -> {} -> invalid spec
+        assert status == 400
+
+    def test_missing_database_file_400(self, api):
+        status, body = api(
+            "POST", "/jobs", {"database": "/nope/missing.json", "programs": "/nope"}
+        )
+        assert status == 400

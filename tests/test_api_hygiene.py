@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.mining",
     "repro.obs",
+    "repro.service",
     "repro.storage",
 ]
 
