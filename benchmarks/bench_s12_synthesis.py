@@ -1,0 +1,149 @@
+"""S12 — the certified synthesis engine: cost and coverage.
+
+Three claims, measured:
+
+1. **Restruct certification is free of extension queries** — the chase,
+   the preservation split and the normal-form diagnosis are pure schema
+   computation, so a certified run asks the database exactly what an
+   uncertified one would (the S12 head of ``regression.py`` gates this
+   per primitive);
+2. **synthesis scales** — Bernstein 3NF and the BCNF analysis over
+   growing FD chains, with wall-clock per universe size and the
+   certificate re-verification cost measured separately;
+3. **every certificate verifies** — on the paper example and on an
+   S3-like synthetic scenario, re-checking from scratch accepts every
+   emitted certificate.
+
+Like S7/S8, plain ``time.perf_counter`` min-of-N loops, so CI can run
+this file as a smoke test without the pytest-benchmark fixture.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.core import DBREPipeline, ScriptedExpert
+from repro.dependencies.fd import FunctionalDependency
+from repro.normalization import normalize, verify_certificate
+from repro.workloads.paper_example import (
+    build_paper_database,
+    paper_expert_script,
+    paper_program_corpus,
+)
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+ROUNDS = 3
+
+SCENARIO = ScenarioConfig(
+    seed=700,
+    n_entities=5,
+    n_one_to_many=4,
+    n_many_to_many=1,
+    merges=2,
+    parent_rows=20,
+)
+
+
+def _chain(n):
+    universe = [f"a{i}" for i in range(n)]
+    fds = [
+        FunctionalDependency("", (f"a{i}",), (f"a{i + 1}",))
+        for i in range(n - 1)
+    ]
+    return universe, fds
+
+
+def _timed(fn, rounds=ROUNDS):
+    best, value = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+    return value, best
+
+
+def test_s12_synthesis_scales_with_chain_length():
+    """3NF synthesis and BCNF analysis over a0 -> a1 -> ... chains."""
+    rows = []
+    for n in (4, 8, 12):
+        universe, fds = _chain(n)
+        result3, ms3 = _timed(lambda: normalize(universe, fds, "3nf"))
+        resultb, msb = _timed(lambda: normalize(universe, fds, "bcnf"))
+        _, verify_ms = _timed(
+            lambda: verify_certificate(result3.certificate)
+        )
+        for result in (result3, resultb):
+            assert result.certificate.lossless
+            assert verify_certificate(result.certificate) == []
+        rows.append([
+            n,
+            len(result3.relations),
+            f"{ms3:.2f}",
+            len(resultb.relations),
+            f"{msb:.2f}",
+            f"{verify_ms:.2f}",
+        ])
+    report(
+        "S12 — synthesis scaling (FD chains)",
+        ["attrs", "3NF rels", "3NF ms", "BCNF rels", "BCNF ms", "verify ms"],
+        rows,
+    )
+
+
+def test_s12_paper_restruct_is_certified():
+    """The paper run's two splits carry verifiable certificates."""
+    def run():
+        db = build_paper_database()
+        pipeline = DBREPipeline(db, ScriptedExpert(paper_expert_script()))
+        return pipeline.run(corpus=paper_program_corpus())
+
+    result, wall_ms = _timed(run, rounds=1)
+    certificates = result.certificates
+    assert sorted(c.source for c in certificates) == [
+        "Assignment", "Department",
+    ]
+    _, verify_ms = _timed(
+        lambda: [verify_certificate(c) for c in certificates]
+    )
+    rows = []
+    for certificate in certificates:
+        violations = verify_certificate(certificate)
+        assert violations == []
+        assert certificate.lossless and certificate.lost == ()
+        rows.append([
+            certificate.source,
+            len(certificate.relations),
+            "lossless" if certificate.lossless else "LOSSY",
+            len(certificate.preserved),
+            len(violations),
+        ])
+    report(
+        f"S12 — paper restruct certificates "
+        f"(pipeline {wall_ms:.0f} ms, re-verify {verify_ms:.2f} ms)",
+        ["source", "fragments", "chase", "preserved", "violations"],
+        rows,
+    )
+
+
+def test_s12_scenario_certificates_all_verify():
+    """An S3-like synthetic run: every FD split is certified and valid."""
+    scenario = build_scenario(SCENARIO)
+    pipeline = DBREPipeline(scenario.database.copy(), scenario.expert)
+    result = pipeline.run(corpus=scenario.corpus)
+    fd_splits = [a for a in result.restruct_result.added if a.kind == "fd"]
+    assert {c.source for c in result.certificates} == {
+        a.source for a in fd_splits
+    }
+    verified = sum(
+        1 for c in result.certificates if verify_certificate(c) == []
+    )
+    assert verified == len(result.certificates)
+    report(
+        "S12 — synthetic scenario certification",
+        ["certificates", "verified", "lossless", "repaired"],
+        [[
+            len(result.certificates),
+            verified,
+            sum(1 for c in result.certificates if c.lossless),
+            sum(1 for c in result.certificates if c.repaired),
+        ]],
+    )

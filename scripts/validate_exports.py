@@ -16,6 +16,9 @@ files:
 2. the provenance JSONL re-reads to exactly the ledger's records, its
    header counts match, and every edge endpoint resolves to a node
    (``repro/provenance@1``);
+2b. the decomposition certificates (``repro/normalization@1``) re-read
+    to equal objects, every one of them re-verifies from scratch, and a
+    deliberately mutated certificate is rejected by the verifier;
 3. ``repro explain`` renders a complete derivation chain — ending at a
    source query — for every referential integrity constraint;
 4. the DOT export and the HTML audit report are written and
@@ -77,6 +80,7 @@ def main(argv=None) -> int:
     prov_path = os.path.join(args.outdir, "demo.provenance.jsonl")
     dot_path = os.path.join(args.outdir, "demo.lineage.dot")
     report_path = os.path.join(args.outdir, "demo.report.html")
+    certs_path = os.path.join(args.outdir, "demo.certificates.jsonl")
 
     # 0. one demo run, every export enabled ----------------------------
     code = repro(
@@ -86,6 +90,7 @@ def main(argv=None) -> int:
             "--metrics", metrics_path,
             "--provenance", prov_path,
             "--provenance-dot", dot_path,
+            "--certificates", certs_path,
         ]
     )
     if code != 0:
@@ -157,6 +162,35 @@ def main(argv=None) -> int:
     ]
     if dangling:
         fail(f"{len(dangling)} edge(s) reference missing nodes: {dangling[:3]}")
+
+    # 2b. decomposition certificates: round-trip, verify, reject -------
+    import dataclasses
+
+    from repro.normalization import (
+        certificate_from_dict,
+        certificate_to_dict,
+        read_certificates_jsonl,
+        verify_certificate,
+    )
+
+    certificates = read_certificates_jsonl(certs_path)
+    if not certificates:
+        fail("the demo run emitted no decomposition certificates")
+    for certificate in certificates:
+        round_tripped = certificate_from_dict(certificate_to_dict(certificate))
+        if round_tripped != certificate:
+            fail(f"certificate for {certificate.source} does not round-trip")
+        violations = verify_certificate(certificate)
+        if violations:
+            fail(
+                f"certificate for {certificate.source} does not verify: "
+                f"{violations}"
+            )
+    mutated = dataclasses.replace(
+        certificates[0], lossless=not certificates[0].lossless
+    )
+    if not verify_certificate(mutated):
+        fail("the verifier accepted a mutated certificate")
 
     # 3. every RIC explains down to a source query ---------------------
     from repro.obs import explain
@@ -268,6 +302,7 @@ def main(argv=None) -> int:
         f"{len(stacks)} collapsed stacks, "
         f"{len(nodes)} lineage nodes, {len(edges)} edges, "
         f"{len(rics)} constraint chain(s) verified, "
+        f"{len(certificates)} decomposition certificate(s) verified, "
         f"paged pool counters {counters}, "
         f"{jobs_header['jobs']} jobs ({jobs_header['cached']} cached); "
         f"artifacts in {args.outdir}/"

@@ -9,6 +9,12 @@ Commands:
 - ``run``      — the full reverse-engineering pipeline; writes the
   session report, the EER diagram and/or the elicited dependencies;
 - ``demo``     — the paper's §5-§7 example end to end;
+- ``normalize`` — certified 3NF/BCNF synthesis of one schema's
+  relations from declared keys plus ``--fd``/``--fds-json``
+  dependencies; ``--target-nf {3nf,bcnf}`` picks the algorithm and
+  ``--certificate FILE`` writes the machine-checkable
+  ``repro/normalization@1`` decomposition certificates
+  (``docs/NORMALIZATION.md``);
 - ``trace``    — work with recorded traces: ``trace summarize FILE``
   renders the span tree, ``trace diff A B`` compares two traces (or two
   metrics files) and ranks regressions by self-time delta with
@@ -30,8 +36,10 @@ Commands:
 
 ``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace),
 ``--metrics FILE`` (flat metrics summary), ``--provenance FILE`` (the
-decision-lineage DAG as JSONL) and ``--provenance-dot FILE`` (the same
-DAG as Graphviz DOT); see ``docs/OBSERVABILITY.md`` for the formats.
+decision-lineage DAG as JSONL), ``--provenance-dot FILE`` (the same
+DAG as Graphviz DOT) and ``--certificates FILE`` (the Restruct
+decomposition certificates as ``repro/normalization@1`` JSONL); see
+``docs/OBSERVABILITY.md`` for the formats.
 They also accept
 ``--engine {serial,batched,process}``: ``batched`` routes the discovery
 phases through the :mod:`repro.engine` planner (dedupe + grouped
@@ -181,6 +189,18 @@ def _write_observability(args: argparse.Namespace, pipeline: DBREPipeline) -> No
         print(f"lineage graph written to {args.provenance_dot}")
 
 
+def _write_certificates(args: argparse.Namespace, result) -> None:
+    """Honor ``--certificates`` after a run (restruct decompositions)."""
+    if getattr(args, "certificates", None):
+        from repro.normalization import write_certificates_jsonl
+
+        write_certificates_jsonl(result.certificates, args.certificates)
+        print(
+            f"{len(result.certificates)} decomposition certificate(s) "
+            f"written to {args.certificates}"
+        )
+
+
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     """A tracemalloc-enabled tracer under ``--profile-memory``, else None
     (the pipeline then creates its own plain tracer)."""
@@ -307,6 +327,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"expert decisions written to {args.save_decisions}")
     _write_observability(args, pipeline)
+    _write_certificates(args, result)
     return 0
 
 
@@ -331,6 +352,96 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(session_report(result, pipeline.expert,
                          title="Paper example (Petit et al., ICDE 1996)"))
     _write_observability(args, pipeline)
+    _write_certificates(args, result)
+    return 0
+
+
+def cmd_normalize(args: argparse.Namespace) -> int:
+    from repro.dependencies.fd import FunctionalDependency
+    from repro.exceptions import ProcessError
+    from repro.normalization import normalize, write_certificates_jsonl
+    from repro.storage.serialize import dependencies_from_dict
+
+    database = load_database(
+        args.database, args.backend, args.pool_pages, args.page_size
+    )
+    fds = [FunctionalDependency.parse(text) for text in args.fd or []]
+    if args.fds_json:
+        loaded, _inds = dependencies_from_dict(load_json(args.fds_json))
+        fds.extend(loaded)
+    if not fds:
+        raise ProcessError(
+            "no functional dependencies given; pass --fd 'R: a -> b' "
+            "(repeatable) and/or --fds-json FILE"
+        )
+    for fd in fds:
+        if not fd.relation:
+            raise ProcessError(
+                f"{fd!r} has no relation qualifier; write 'R: a -> b'"
+            )
+        if fd.relation not in database.schema:
+            raise ProcessError(f"{fd!r}: unknown relation {fd.relation!r}")
+        relation = database.schema.relation(fd.relation)
+        missing = sorted(
+            (set(fd.lhs) | set(fd.rhs)) - set(relation.attribute_names)
+        )
+        if missing:
+            raise ProcessError(
+                f"{fd!r}: attributes {missing} are not in {fd.relation}"
+            )
+
+    certificates = []
+    for name in sorted({fd.relation for fd in fds}):
+        relation = database.schema.relation(name)
+        universe = list(relation.attribute_names)
+        primary = (
+            tuple(relation.uniques[0].attributes)
+            if relation.uniques
+            else tuple(universe)
+        )
+        engine_fds = [
+            FunctionalDependency("", tuple(fd.lhs), tuple(fd.rhs))
+            for fd in fds
+            if fd.relation == name
+        ]
+        for unique in relation.uniques:
+            engine_fds.append(
+                FunctionalDependency("", tuple(unique.attributes), tuple(universe))
+            )
+
+        def namer(index, key, attrs, _name=name, _primary=primary):
+            if set(key) == set(_primary):
+                return _name
+            return f"{_name}_{'_'.join(key)}"
+
+        result = normalize(
+            universe,
+            engine_fds,
+            target_nf=args.target_nf,
+            source=name,
+            namer=namer,
+        )
+        certificate = result.certificate
+        certificates.append(certificate)
+        forms = {scheme.name: scheme.normal_form for scheme in certificate.relations}
+        print(f"# {name} -> {len(result.relations)} relation(s) [{args.target_nf}]")
+        for scheme in result.relations:
+            print(f"  {scheme!r}  [{forms[scheme.name]}]"
+                  + ("  (repair relation)" if scheme.origin == "repair" else ""))
+        for reference in result.references:
+            print(f"  reference: {reference!r}")
+        verdict = "lossless" if certificate.lossless else "LOSSY"
+        if certificate.repaired:
+            verdict += " (repair relation added)"
+        print(f"  chase: {verdict}; "
+              f"{len(certificate.preserved)} dependency(ies) preserved, "
+              f"{len(certificate.lost)} lost")
+        for lost in certificate.lost:
+            print(f"  lost: {lost}")
+
+    if args.certificate:
+        write_certificates_jsonl(certificates, args.certificate)
+        print(f"{len(certificates)} certificate(s) written to {args.certificate}")
     return 0
 
 
@@ -561,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="record tracemalloc peaks per span as span attributes "
                  "(mem_peak_kb / mem_current_kb in the trace; slower)",
         )
+        command.add_argument(
+            "--certificates", metavar="FILE",
+            help="write the Restruct decomposition certificates as "
+                 "repro/normalization@1 JSONL here "
+                 "(re-checkable with verify_certificate())",
+        )
 
     inspect = sub.add_parser("inspect", help="print the dictionary view of a database")
     inspect.add_argument("database",
@@ -612,6 +729,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_option(demo)
     add_observability_options(demo)
     demo.set_defaults(func=cmd_demo)
+
+    normalize_cmd = sub.add_parser(
+        "normalize",
+        help="certified 3NF/BCNF synthesis of one schema's relations",
+    )
+    normalize_cmd.add_argument(
+        "database",
+        help=".sql script, .json database document, or SQLite .db file",
+    )
+    add_backend_option(normalize_cmd)
+    normalize_cmd.add_argument(
+        "--fd", action="append", metavar="FD",
+        help="a functional dependency, e.g. 'R: a, b -> c' (repeatable)",
+    )
+    normalize_cmd.add_argument(
+        "--fds-json", metavar="FILE",
+        help="read dependencies from a repro/dependencies@1 document "
+             "(as written by repro run --dependencies)",
+    )
+    normalize_cmd.add_argument(
+        "--target-nf", choices=("3nf", "bcnf"), default="3nf",
+        help="target normal form: 3nf (Bernstein synthesis, default) or "
+             "bcnf (analysis decomposition)",
+    )
+    normalize_cmd.add_argument(
+        "--certificate", metavar="FILE",
+        help="write the decomposition certificates as "
+             "repro/normalization@1 JSONL here",
+    )
+    normalize_cmd.set_defaults(func=cmd_normalize)
 
     serve = sub.add_parser(
         "serve",

@@ -111,6 +111,10 @@ class PipelineResult:
         return self.restruct_result.ric if self.restruct_result else []
 
     @property
+    def certificates(self):
+        return self.restruct_result.certificates if self.restruct_result else []
+
+    @property
     def restructured(self) -> Optional[Database]:
         return self.restruct_result.database if self.restruct_result else None
 
@@ -266,6 +270,9 @@ class DBREPipeline:
                         result.ind_result.inds,
                     )
                     span.attributes["ric"] = len(result.restruct_result.ric)
+                    span.attributes["certificates"] = len(
+                        result.restruct_result.certificates
+                    )
 
                 # §7 Translate
                 if translate:

@@ -182,6 +182,25 @@ class SessionReport:
                     f"- `{added.name}` ({added.kind}, from `{added.source}`, "
                     f"attributes {', '.join(added.attributes)})"
                 )
+        if restruct.certificates:
+            lines.append("")
+            lines.append(
+                "Decomposition certificates (`repro/normalization@1`, "
+                "re-checkable with `verify_certificate()`):"
+            )
+            for certificate in restruct.certificates:
+                fragments = ", ".join(
+                    f"`{scheme.name}` [{scheme.normal_form}]"
+                    for scheme in certificate.relations
+                )
+                verdict = "lossless" if certificate.lossless else "LOSSY"
+                if certificate.repaired:
+                    verdict += " after repair"
+                lines.append(
+                    f"- `{certificate.source}` -> {fragments} — {verdict}, "
+                    f"{len(certificate.preserved)} dependency(ies) preserved, "
+                    f"{len(certificate.lost)} lost"
+                )
         lines.append("")
         lines.append("Referential integrity constraints (`RIC`):")
         for ind in restruct.ric:

@@ -32,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.provenance import ProvenanceLedger
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.ind import InclusionDependency
+from repro.normalization.certificate import (
+    DecompositionCertificate,
+    DecompositionStep,
+)
+from repro.normalization.engine import certify_decomposition
 from repro.relational.attribute import Attribute, AttributeRef
 from repro.relational.database import Database
 from repro.relational.domain import is_null
@@ -57,6 +62,8 @@ class RestructResult:
     ric: List[InclusionDependency] = field(default_factory=list)
     added: List[AddedRelation] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    #: one machine-checkable certificate per FD-decomposed relation
+    certificates: List[DecompositionCertificate] = field(default_factory=list)
 
     def key_set(self) -> List[AttributeRef]:
         """The final ``K``."""
@@ -99,12 +106,25 @@ class Restruct:
         working: List[InclusionDependency] = sorted(
             set(inds), key=lambda i: i.sort_key()
         )
+        # snapshot every relation's pre-restruct universe and key, so
+        # each FD decomposition can be certified against the original
+        snapshot = {
+            relation.name: (
+                tuple(relation.attribute_names),
+                tuple(relation.uniques[0].attributes)
+                if relation.uniques
+                else tuple(relation.attribute_names),
+            )
+            for relation in self.database.schema
+        }
 
         for ref in sorted(set(hidden), key=lambda r: r.sort_key()):
             working = self._materialize_hidden(ref, working, result)
 
-        for fd in sorted(set(fds), key=lambda f: f.sort_key()):
+        ordered_fds = sorted(set(fds), key=lambda f: f.sort_key())
+        for fd in ordered_fds:
             working = self._split_fd(fd, working, result)
+        self._certify_splits(ordered_fds, snapshot, result)
 
         result.inds = sorted(set(working), key=lambda i: i.sort_key())
         result.ric = [
@@ -221,6 +241,88 @@ class Restruct:
             link_id = self.ledger.node("ind", repr(link))
             self.ledger.link(rel_id, link_id, "links")
         return working
+
+    # ------------------------------------------------------------------
+    # certification of the FD decompositions
+    # ------------------------------------------------------------------
+    def _certify_splits(
+        self,
+        ordered_fds: Sequence[FunctionalDependency],
+        snapshot: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]],
+        result: RestructResult,
+    ) -> None:
+        """One certificate per FD-decomposed relation.
+
+        The decomposition of ``R_i`` is its final residual plus every
+        relation split out of it; the input FDs are the elicited FDs on
+        ``R_i`` plus its declared-key FD.  The certificate records the
+        chase verdict, the preserved/lost dependencies and the normal
+        form each fragment attained — independently re-checkable via
+        ``verify_certificate``.
+        """
+        split_added = [a for a in result.added if a.kind == "fd"]
+        by_source: Dict[str, List[Tuple[FunctionalDependency, AddedRelation]]] = {}
+        for fd, added in zip(ordered_fds, split_added):
+            by_source.setdefault(fd.relation, []).append((fd, added))
+        for source in sorted(by_source):
+            if source not in snapshot:
+                result.warnings.append(
+                    f"cannot certify decomposition of {source}: relation "
+                    f"was not present before restructuring"
+                )
+                continue
+            universe, original_key = snapshot[source]
+            input_fds = [
+                FunctionalDependency("", tuple(fd.lhs), tuple(fd.rhs))
+                for fd, _added in by_source[source]
+            ]
+            input_fds.append(FunctionalDependency("", original_key, universe))
+            residual = self.database.schema.relation(source)
+            residual_key = (
+                tuple(residual.uniques[0].attributes)
+                if residual.uniques
+                else tuple(residual.attribute_names)
+            )
+            fragments = [
+                (source, tuple(residual.attribute_names), residual_key)
+            ]
+            steps = []
+            for fd, added in by_source[source]:
+                key = tuple(a for a in added.attributes if a in fd.lhs)
+                fragments.append((added.name, tuple(added.attributes), key))
+                steps.append(
+                    DecompositionStep(
+                        "restruct-split", f"{fd!r} -> {added.name}"
+                    )
+                )
+            certificate = certify_decomposition(
+                source,
+                universe,
+                fragments,
+                input_fds,
+                target="3nf",
+                steps=steps,
+                meta={"phase": "restruct"},
+            )
+            result.certificates.append(certificate)
+            if self.ledger is not None:
+                dec_id = self.ledger.node(
+                    "decomposition",
+                    source,
+                    label=f"{source} -> {len(fragments)} fragment(s)",
+                    lossless=certificate.lossless,
+                    preserved=len(certificate.preserved),
+                    lost=len(certificate.lost),
+                    target=certificate.target,
+                )
+                for fd, added in by_source[source]:
+                    fd_id = self.ledger.node("fd", repr(fd))
+                    self.ledger.link(fd_id, dec_id, "evidence")
+                    rel_id = self.ledger.node("relation", added.name)
+                    self.ledger.link(dec_id, rel_id, "fragment")
+                self.ledger.link(
+                    dec_id, self.ledger.node("relation", source), "fragment"
+                )
 
     # ------------------------------------------------------------------
     # helpers

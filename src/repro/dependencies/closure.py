@@ -100,12 +100,19 @@ def project_fds(
     universe = list(dict.fromkeys(attrs))
     out: List[FunctionalDependency] = []
     n = len(universe)
-    for mask in range(1, 1 << n):
+    # size-increasing order, so minimal generators are found first and
+    # every larger subset they imply is skipped — the output stays near
+    # the cover size instead of growing with 2^n
+    masks = sorted(range(1, 1 << n), key=lambda m: (bin(m).count("1"), m))
+    for mask in masks:
         lhs = [universe[i] for i in range(n) if mask & (1 << i)]
         closure = attribute_closure(lhs, fds)
         rhs = [a for a in universe if a in closure and a not in lhs]
-        if rhs:
-            out.append(FunctionalDependency("", lhs, rhs))
+        if not rhs:
+            continue
+        if set(rhs) <= attribute_closure(lhs, out):
+            continue
+        out.append(FunctionalDependency("", lhs, rhs))
     return minimal_cover(out)
 
 

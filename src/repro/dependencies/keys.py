@@ -47,16 +47,22 @@ def candidate_keys(
     if is_superkey(core, universe, fds):
         return [frozenset(core)]
     for size in range(1, len(optional) + 1):
+        every_combo_covered = True
         for combo in combinations(optional, size):
             candidate = frozenset(core) | frozenset(combo)
             if any(k <= candidate for k in keys):
                 continue
+            every_combo_covered = False
             if is_superkey(candidate, universe, fds):
                 keys.append(candidate)
                 if len(keys) >= limit:
                     return sorted(keys, key=sorted)
-        if keys and size > max(len(k) for k in keys) - len(core):
-            # every longer combo is a strict superset of a found key
+        if keys and every_combo_covered:
+            # sound cutoff: every (size+1)-combo contains a size-combo,
+            # all of which are supersets of a found key already — so no
+            # minimal key remains at any larger size.  (Breaking merely
+            # because *some* key was found is wrong: minimal keys of
+            # different sizes can coexist, e.g. {a} and {b, c, d}.)
             break
     if not keys:
         keys.append(frozenset(universe))

@@ -1,12 +1,14 @@
-"""Normalization substrate: normal-form diagnosis and classical synthesis.
+"""Normalization substrate: diagnosis, certified synthesis, the chase.
 
 The paper positions its method against the normalization literature:
 input schemas are "at least 1NF", the output must be 3NF.  This package
 diagnoses normal forms (:mod:`repro.normalization.normal_forms`),
-provides Bernstein's 3NF synthesis as the classical baseline the paper's
-restructuring replaces (:mod:`repro.normalization.synthesis`), and
-implements the chase-based lossless-join test used to audit
-decompositions (:mod:`repro.normalization.chase`).
+provides the certified synthesis engine — Bernstein 3NF synthesis and
+the BCNF analysis decomposition, every decomposition shipped with a
+machine-checkable certificate (:mod:`repro.normalization.engine`,
+:mod:`repro.normalization.certificate`) — and implements the
+chase-based lossless-join test used to audit decompositions
+(:mod:`repro.normalization.chase`).
 """
 
 from repro.normalization.normal_forms import (
@@ -17,7 +19,34 @@ from repro.normalization.normal_forms import (
     is_bcnf,
     schema_normal_forms,
 )
-from repro.normalization.synthesis import synthesize_3nf
+from repro.normalization.synthesis import (
+    ForeignKeyReference,
+    SynthesisOutcome,
+    SynthesizedRelation,
+    bernstein_synthesis,
+    canonical_cover,
+    synthesize_3nf,
+)
+from repro.normalization.bcnf import bcnf_decompose
+from repro.normalization.certificate import (
+    CERTIFICATE_FORMAT,
+    CertificateViolation,
+    DecompositionCertificate,
+    DecompositionStep,
+    RelationScheme,
+    certificate_from_dict,
+    certificate_records,
+    certificate_to_dict,
+    check_certificate,
+    read_certificates_jsonl,
+    verify_certificate,
+    write_certificates_jsonl,
+)
+from repro.normalization.engine import (
+    NormalizationResult,
+    certify_decomposition,
+    normalize,
+)
 from repro.normalization.chase import lossless_join, dependency_preserving
 from repro.normalization.decomposition import Decomposition, decompose_relation
 
@@ -29,6 +58,27 @@ __all__ = [
     "is_bcnf",
     "schema_normal_forms",
     "synthesize_3nf",
+    "canonical_cover",
+    "bernstein_synthesis",
+    "SynthesizedRelation",
+    "ForeignKeyReference",
+    "SynthesisOutcome",
+    "bcnf_decompose",
+    "CERTIFICATE_FORMAT",
+    "DecompositionCertificate",
+    "DecompositionStep",
+    "RelationScheme",
+    "CertificateViolation",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "certificate_records",
+    "write_certificates_jsonl",
+    "read_certificates_jsonl",
+    "verify_certificate",
+    "check_certificate",
+    "NormalizationResult",
+    "normalize",
+    "certify_decomposition",
     "lossless_join",
     "dependency_preserving",
     "Decomposition",

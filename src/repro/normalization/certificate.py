@@ -1,0 +1,436 @@
+"""Machine-checkable decomposition certificates (``repro/normalization@1``).
+
+A certificate is the synthesis engine's *proof obligation*: every
+decomposition it (or Restruct) produces is shipped together with a
+self-contained record of what was claimed — the input universe and FD
+set, the steps taken, the chase tableau verdict, the preserved and lost
+dependencies, and the normal form attained by every output relation.
+:func:`verify_certificate` re-checks every claim **from scratch**, using
+only the certificate document and the classical algorithms (attribute
+closure, the chase, normal-form diagnosis); it shares no state with the
+emitter, so a certificate that validates is evidence independent of the
+code path that produced it.
+
+The JSONL carrier: a header record (``{"type": "certificates",
+"format": "repro/normalization@1", "count": N}``) followed by one
+``{"type": "certificate", ...}`` record per decomposition, written by
+:func:`write_certificates_jsonl` and re-read by
+:func:`read_certificates_jsonl`.  See ``docs/NORMALIZATION.md`` for the
+field-by-field format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dependencies.closure import attribute_closure, project_fds
+from repro.dependencies.fd import FunctionalDependency
+from repro.exceptions import ProcessError
+from repro.normalization.chase import lossless_join
+from repro.normalization.normal_forms import NormalForm, diagnose_normal_form
+from repro.util.jsonl import load_jsonl, save_jsonl
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "RelationScheme",
+    "DecompositionStep",
+    "DecompositionCertificate",
+    "CertificateViolation",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "certificate_records",
+    "write_certificates_jsonl",
+    "read_certificates_jsonl",
+    "verify_certificate",
+]
+
+CERTIFICATE_FORMAT = "repro/normalization@1"
+
+#: the target normal forms a certificate can claim
+TARGET_FORMS = ("3nf", "bcnf")
+
+
+@dataclass(frozen=True)
+class RelationScheme:
+    """One output relation of a decomposition, with its claimed form."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    key: Tuple[str, ...]
+    normal_form: str              # "1NF" | "2NF" | "3NF" | "BCNF"
+    #: provenance of the scheme within the decomposition
+    origin: str = "synthesis"     # "synthesis" | "restruct" | "repair" | "bcnf"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attributes": list(self.attributes),
+            "key": list(self.key),
+            "normal_form": self.normal_form,
+            "origin": self.origin,
+        }
+
+
+@dataclass(frozen=True)
+class DecompositionStep:
+    """One recorded action of the synthesis/decomposition run."""
+
+    action: str                   # e.g. "canonical-cover", "group", "repair"
+    detail: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"action": self.action, "detail": self.detail}
+
+
+@dataclass
+class DecompositionCertificate:
+    """Everything needed to re-check one decomposition from scratch."""
+
+    #: name of the decomposed relation (or synthesis target)
+    source: str
+    #: the input attribute universe, in declaration order
+    universe: Tuple[str, ...]
+    #: the input FDs, as ``"lhs -> rhs"`` strings (relation-less)
+    fds: Tuple[str, ...]
+    #: the normal form the engine was asked for ("3nf" | "bcnf")
+    target: str
+    #: the output relations with their claimed normal forms
+    relations: Tuple[RelationScheme, ...] = ()
+    #: the recorded synthesis/decomposition steps, in order
+    steps: Tuple[DecompositionStep, ...] = ()
+    #: the chase verdict on the *final* fragment set
+    lossless: bool = False
+    #: True when the chase found the pre-repair fragments lossy and a
+    #: repair relation (a key of the universe) was added
+    repaired: bool = False
+    #: input FDs derivable from the union of projected covers
+    preserved: Tuple[str, ...] = ()
+    #: input FDs *not* derivable — the recorded information loss
+    lost: Tuple[str, ...] = ()
+    #: free-form emitter annotations (never verified)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dependency_preserving(self) -> bool:
+        return not self.lost
+
+    def fragment_sets(self) -> List[Tuple[str, ...]]:
+        return [scheme.attributes for scheme in self.relations]
+
+    def parsed_fds(self) -> List[FunctionalDependency]:
+        return [FunctionalDependency.parse(text) for text in self.fds]
+
+    def __repr__(self) -> str:
+        verdict = "lossless" if self.lossless else "LOSSY"
+        if self.repaired:
+            verdict += "+repair"
+        return (
+            f"Certificate({self.source}: {len(self.universe)} attrs -> "
+            f"{len(self.relations)} relations, {verdict}, "
+            f"{len(self.lost)} lost)"
+        )
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def certificate_to_dict(certificate: DecompositionCertificate) -> Dict[str, Any]:
+    """One certificate as a JSON-ready record."""
+    return {
+        "type": "certificate",
+        "source": certificate.source,
+        "universe": list(certificate.universe),
+        "fds": list(certificate.fds),
+        "target": certificate.target,
+        "relations": [scheme.as_dict() for scheme in certificate.relations],
+        "steps": [step.as_dict() for step in certificate.steps],
+        "lossless": certificate.lossless,
+        "repaired": certificate.repaired,
+        "preserved": list(certificate.preserved),
+        "lost": list(certificate.lost),
+        "meta": dict(certificate.meta),
+    }
+
+
+def certificate_from_dict(record: Dict[str, Any]) -> DecompositionCertificate:
+    """Rebuild a certificate from its JSON record."""
+    if record.get("type") != "certificate":
+        raise ValueError(f"not a certificate record: {record.get('type')!r}")
+    return DecompositionCertificate(
+        source=record["source"],
+        universe=tuple(record["universe"]),
+        fds=tuple(record["fds"]),
+        target=record["target"],
+        relations=tuple(
+            RelationScheme(
+                name=r["name"],
+                attributes=tuple(r["attributes"]),
+                key=tuple(r["key"]),
+                normal_form=r["normal_form"],
+                origin=r.get("origin", "synthesis"),
+            )
+            for r in record["relations"]
+        ),
+        steps=tuple(
+            DecompositionStep(s["action"], s["detail"])
+            for s in record.get("steps", ())
+        ),
+        lossless=bool(record["lossless"]),
+        repaired=bool(record.get("repaired", False)),
+        preserved=tuple(record.get("preserved", ())),
+        lost=tuple(record.get("lost", ())),
+        meta=dict(record.get("meta", {})),
+    )
+
+
+def certificate_records(
+    certificates: Sequence[DecompositionCertificate],
+) -> List[Dict[str, Any]]:
+    """Header + one record per certificate, ready for JSONL."""
+    rows: List[Dict[str, Any]] = [
+        {
+            "type": "certificates",
+            "format": CERTIFICATE_FORMAT,
+            "count": len(certificates),
+        }
+    ]
+    rows.extend(certificate_to_dict(c) for c in certificates)
+    return rows
+
+
+def write_certificates_jsonl(
+    certificates: Sequence[DecompositionCertificate], path: str
+) -> None:
+    """Write certificates as a ``repro/normalization@1`` JSONL file."""
+    save_jsonl(certificate_records(certificates), path)
+
+
+def read_certificates_jsonl(path: str) -> List[DecompositionCertificate]:
+    """Read a certificate JSONL file back, checking the header."""
+    records = load_jsonl(path)
+    if not records or records[0].get("format") != CERTIFICATE_FORMAT:
+        raise ValueError(f"not a {CERTIFICATE_FORMAT} document: {path!r}")
+    header = records[0]
+    certificates = [certificate_from_dict(r) for r in records[1:]]
+    if header.get("count") != len(certificates):
+        raise ValueError(
+            f"certificate header claims {header.get('count')} record(s), "
+            f"file holds {len(certificates)}"
+        )
+    return certificates
+
+
+# ----------------------------------------------------------------------
+# independent verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CertificateViolation:
+    """One claim of the certificate that failed re-checking."""
+
+    claim: str                    # which certificate field is wrong
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"CertificateViolation({self.claim}: {self.detail})"
+
+
+def _preservation_split(
+    fragments: Sequence[Sequence[str]],
+    fds: Sequence[FunctionalDependency],
+) -> Tuple[List[FunctionalDependency], List[FunctionalDependency]]:
+    """(preserved, lost) input FDs under the iterated-closure test."""
+    fragment_sets = [set(f) for f in fragments]
+
+    def projected_closure(attrs: Sequence[str]) -> frozenset:
+        closure = set(attrs)
+        changed = True
+        while changed:
+            changed = False
+            for fragment in fragment_sets:
+                seed = closure & fragment
+                gain = attribute_closure(seed, list(fds)) & fragment
+                if not gain <= closure:
+                    closure |= gain
+                    changed = True
+        return frozenset(closure)
+
+    preserved: List[FunctionalDependency] = []
+    lost: List[FunctionalDependency] = []
+    for fd in fds:
+        if set(fd.rhs) <= projected_closure(tuple(fd.lhs)):
+            preserved.append(fd)
+        else:
+            lost.append(fd)
+    return preserved, lost
+
+
+def _claimed_form(name: str) -> NormalForm:
+    for form in NormalForm:
+        if form.value == name:
+            return form
+    raise ValueError(f"unknown normal form {name!r}")
+
+
+def verify_certificate(
+    certificate: DecompositionCertificate,
+    strict_forms: bool = True,
+) -> List[CertificateViolation]:
+    """Re-check every claim of *certificate* from scratch.
+
+    Returns the list of violations — empty means the certificate is
+    valid.  The checks, in order:
+
+    1. **well-formedness** — the target is known, relations are
+       non-empty, every fragment lives inside the universe, the
+       fragments cover the universe, every key is inside its fragment;
+    2. **keys** — every claimed key actually determines its whole
+       fragment under the projection of the input FDs onto it;
+    3. **chase** — the classical tableau chase over the final fragment
+       set must reproduce the recorded ``lossless`` verdict;
+    4. **preservation** — the iterated-closure test must partition the
+       input FDs into exactly the recorded ``preserved``/``lost`` sets;
+    5. **normal forms** — each relation's diagnosed form (under its
+       projected FDs) must equal the claimed form (*strict_forms*),
+       and every relation must reach the certificate's ``target``
+       unless dependencies were recorded as lost to reach it.
+    """
+    violations: List[CertificateViolation] = []
+
+    def bad(claim: str, detail: str) -> None:
+        violations.append(CertificateViolation(claim, detail))
+
+    # 1. well-formedness ----------------------------------------------
+    if certificate.target not in TARGET_FORMS:
+        bad("target", f"unknown target normal form {certificate.target!r}")
+        return violations
+    if not certificate.relations:
+        bad("relations", "certificate lists no output relations")
+        return violations
+    universe = set(certificate.universe)
+    if len(certificate.universe) != len(universe):
+        bad("universe", "universe lists duplicate attributes")
+    try:
+        fds = certificate.parsed_fds()
+    except Exception as exc:                       # noqa: BLE001 - re-report
+        bad("fds", f"unparseable FD in certificate: {exc}")
+        return violations
+    for fd in fds:
+        if not (set(fd.lhs) | set(fd.rhs)) <= universe:
+            bad("fds", f"{fd!r} mentions attributes outside the universe")
+    covered: set = set()
+    for scheme in certificate.relations:
+        attrs = set(scheme.attributes)
+        covered |= attrs
+        if not attrs:
+            bad("relations", f"{scheme.name}: empty attribute set")
+        if not attrs <= universe:
+            bad(
+                "relations",
+                f"{scheme.name}: attributes {sorted(attrs - universe)} "
+                f"are outside the universe",
+            )
+        if not set(scheme.key) <= attrs:
+            bad(
+                "relations",
+                f"{scheme.name}: key {list(scheme.key)} is not inside "
+                f"the relation",
+            )
+    if covered != universe:
+        missing = sorted(universe - covered)
+        bad("relations", f"fragments do not cover the universe: {missing}")
+    if violations:
+        return violations
+
+    # 2. keys ----------------------------------------------------------
+    for scheme in certificate.relations:
+        # X+ under the projected FDs is X+ ∩ R under the full set, so
+        # the global closure answers the projected-superkey question
+        closure = attribute_closure(scheme.key, fds)
+        if not set(scheme.attributes) <= closure:
+            bad(
+                "keys",
+                f"{scheme.name}: {list(scheme.key)} does not determine "
+                f"{sorted(set(scheme.attributes) - closure)}",
+            )
+
+    # 3. the chase -----------------------------------------------------
+    chase_verdict = lossless_join(
+        list(certificate.universe), certificate.fragment_sets(), fds
+    )
+    if chase_verdict != certificate.lossless:
+        bad(
+            "lossless",
+            f"chase says {chase_verdict}, certificate claims "
+            f"{certificate.lossless}",
+        )
+    if certificate.repaired and not any(
+        scheme.origin == "repair" for scheme in certificate.relations
+    ):
+        bad("repaired", "repair claimed but no repair relation is present")
+
+    # 4. dependency preservation --------------------------------------
+    preserved, lost = _preservation_split(certificate.fragment_sets(), fds)
+    if {repr(fd) for fd in preserved} != set(certificate.preserved):
+        bad(
+            "preserved",
+            f"re-derived preserved set {sorted(repr(f) for f in preserved)} "
+            f"!= recorded {sorted(certificate.preserved)}",
+        )
+    if {repr(fd) for fd in lost} != set(certificate.lost):
+        bad(
+            "lost",
+            f"re-derived lost set {sorted(repr(f) for f in lost)} "
+            f"!= recorded {sorted(certificate.lost)}",
+        )
+
+    # 5. normal forms --------------------------------------------------
+    target_form = (
+        NormalForm.BOYCE_CODD if certificate.target == "bcnf" else NormalForm.THIRD
+    )
+    for scheme in certificate.relations:
+        local = project_fds(fds, scheme.attributes)
+        diagnosed = diagnose_normal_form(list(scheme.attributes), local)
+        try:
+            claimed = _claimed_form(scheme.normal_form)
+        except ValueError as exc:
+            bad("normal_form", f"{scheme.name}: {exc}")
+            continue
+        if strict_forms and diagnosed != claimed:
+            bad(
+                "normal_form",
+                f"{scheme.name}: diagnosed {diagnosed}, claimed {claimed}",
+            )
+        elif not strict_forms and not diagnosed.at_least(claimed):
+            bad(
+                "normal_form",
+                f"{scheme.name}: diagnosed {diagnosed}, below claimed {claimed}",
+            )
+        # a BCNF target may sacrifice dependencies; an *engine* relation
+        # below the target without recorded loss is an unproven claim.
+        # Restruct-origin schemes record the form the expert-driven
+        # split attained — honesty, not a promise — so they are exempt.
+        if (
+            scheme.origin != "restruct"
+            and not diagnosed.at_least(target_form)
+            and not certificate.lost
+        ):
+            bad(
+                "target",
+                f"{scheme.name}: only {diagnosed}, below target "
+                f"{target_form} with no recorded dependency loss",
+            )
+    return violations
+
+
+def check_certificate(certificate: DecompositionCertificate) -> None:
+    """Raise :class:`~repro.exceptions.ProcessError` on an invalid one."""
+    violations = verify_certificate(certificate)
+    if violations:
+        summary = "; ".join(
+            f"{v.claim}: {v.detail}" for v in violations[:3]
+        )
+        raise ProcessError(
+            f"certificate for {certificate.source!r} failed verification "
+            f"({len(violations)} violation(s)): {summary}"
+        )

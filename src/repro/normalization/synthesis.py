@@ -1,21 +1,407 @@
-"""Bernstein's 3NF synthesis — the classical normalization baseline.
+"""Bernstein-style 3NF synthesis, grown into a full synthesis engine.
 
 Given a universe of attributes and a set of FDs, produce a lossless,
-dependency-preserving 3NF decomposition: minimal cover, group by
-left-hand side, one relation per group, plus a key relation when no
-group contains a candidate key.  The paper argues that *blind* synthesis
-from all data-supported FDs mis-designs schemas (zip-code -> state would
-become a relation); the S-series ablations quantify that by comparing
-Restruct's output against synthesis over exhaustively-discovered FDs.
+dependency-preserving 3NF decomposition: canonical cover, partition by
+*equivalent* left-hand sides (Bernstein's groups — ``X`` and ``Y``
+merge when ``X+ ⊇ Y`` and ``Y+ ⊇ X``, the merged scheme keeping both
+candidate keys), one relation per group, subsumed schemes dropped, and
+a **repair relation** (a candidate key of the universe) appended
+exactly when the chase finds the fragment set lossy.  Two refinements
+from the autodb lineage (SNIPPETS.md) follow: *avoidable-attribute
+removal* — a non-key attribute leaves a scheme only when coverage, the
+chase verdict and dependency preservation all survive its removal —
+and *single-reference foreign-key pruning* — at most one reference is
+kept per (child, parent) relation pair.
+
+The paper argues that *blind* synthesis from all data-supported FDs
+mis-designs schemas (zip-code -> state would become a relation); the
+S-series ablations quantify that by comparing Restruct's output against
+synthesis over exhaustively-discovered FDs.  Every run records its
+steps so :mod:`repro.normalization.engine` can ship the result with a
+machine-checkable certificate (:mod:`repro.normalization.certificate`).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.dependencies.closure import minimal_cover
+from repro.dependencies.closure import attribute_closure, minimal_cover, project_fds
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.keys import candidate_keys
+from repro.normalization.certificate import DecompositionStep
+from repro.normalization.chase import dependency_preserving, lossless_join
+from repro.normalization.normal_forms import NormalForm, diagnose_normal_form
+
+__all__ = [
+    "canonical_cover",
+    "SynthesizedRelation",
+    "ForeignKeyReference",
+    "SynthesisOutcome",
+    "bernstein_synthesis",
+    "synthesize_3nf",
+]
+
+#: a naming hook: (index, key, attributes) -> relation name
+Namer = Callable[[int, Tuple[str, ...], Tuple[str, ...]], str]
+
+
+def canonical_cover(fds: Sequence[FunctionalDependency]) -> List[FunctionalDependency]:
+    """The canonical cover: the minimal cover with same-LHS FDs merged.
+
+    The minimal cover has singleton right-hand sides; the canonical form
+    re-merges ``X -> a``, ``X -> b`` into ``X -> a, b`` so each left-hand
+    side appears exactly once.  Deterministic for a given input.
+    """
+    merged: Dict[Tuple[str, ...], List[str]] = {}
+    for fd in minimal_cover(list(fds)):
+        lhs = tuple(sorted(fd.lhs))
+        bucket = merged.setdefault(lhs, [])
+        for attr in fd.rhs:
+            if attr not in bucket:
+                bucket.append(attr)
+    return [
+        FunctionalDependency("", lhs, tuple(sorted(rhs)))
+        for lhs, rhs in sorted(merged.items())
+    ]
+
+
+@dataclass(frozen=True)
+class SynthesizedRelation:
+    """One scheme of a synthesized decomposition."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    #: the primary key (the first of *keys*)
+    key: Tuple[str, ...]
+    #: every candidate key the synthesis derived for the scheme
+    keys: Tuple[Tuple[str, ...], ...] = ()
+    origin: str = "synthesis"          # "synthesis" | "repair"
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}({', '.join(self.attributes)}) "
+            f"key({', '.join(self.key)})"
+        )
+
+
+@dataclass(frozen=True)
+class ForeignKeyReference:
+    """``child[attrs] -> parent[attrs]`` between synthesized schemes."""
+
+    child: str
+    child_attrs: Tuple[str, ...]
+    parent: str
+    parent_attrs: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.child}[{', '.join(self.child_attrs)}] -> "
+            f"{self.parent}[{', '.join(self.parent_attrs)}]"
+        )
+
+
+@dataclass
+class SynthesisOutcome:
+    """Everything one synthesis run produced, steps included."""
+
+    universe: Tuple[str, ...]
+    relations: List[SynthesizedRelation] = field(default_factory=list)
+    references: List[ForeignKeyReference] = field(default_factory=list)
+    cover: List[FunctionalDependency] = field(default_factory=list)
+    steps: List[DecompositionStep] = field(default_factory=list)
+    #: True when the chase found the pre-repair fragments lossy and the
+    #: key relation was appended
+    repaired: bool = False
+    #: ``(relation name, attribute)`` pairs dropped as avoidable
+    removed: List[Tuple[str, str]] = field(default_factory=list)
+
+    def fragments(self) -> List[Tuple[str, ...]]:
+        return [r.attributes for r in self.relations]
+
+
+def _default_namer(prefix: str) -> Namer:
+    def name(index: int, key: Tuple[str, ...], attrs: Tuple[str, ...]) -> str:
+        return f"{prefix}{index + 1}"
+
+    return name
+
+
+def _unique_name(base: str, taken: Set[str]) -> str:
+    name = base
+    serial = 2
+    while name in taken:
+        name = f"{base}#{serial}"
+        serial += 1
+    taken.add(name)
+    return name
+
+
+def _groups_by_equivalent_lhs(
+    cover: Sequence[FunctionalDependency],
+) -> List[Tuple[List[Tuple[str, ...]], List[str]]]:
+    """Bernstein's partition of the cover: ``[(keys, attributes), ...]``.
+
+    Each group holds every cover FD whose LHS is *equivalent* (mutually
+    determining, under the whole cover) to the group's first LHS; all
+    the equivalent LHSs become candidate keys of the merged scheme.
+
+    Merging applies the Biskup–Dayal–Bernstein refinement: the merged
+    scheme materializes the key equivalences themselves (``K1 -> K2``,
+    ``K2 -> K1``, …), and a group FD whose RHS is then derivable
+    *without it* — from the other groups' FDs plus those equivalences —
+    is transitively dependent on the keys, so it must not widen the
+    merged scheme (it would drag a 3NF-violating attribute in; the FD
+    stays preserved because everything that implies it is materialized
+    elsewhere).
+    """
+    lhss = {tuple(sorted(fd.lhs)) for fd in cover}
+    closures = {lhs: attribute_closure(lhs, list(cover)) for lhs in lhss}
+    groups: List[List[Tuple[str, ...]]] = []
+    assigned: Dict[Tuple[str, ...], int] = {}
+    for fd in cover:
+        lhs = tuple(sorted(fd.lhs))
+        if lhs in assigned:
+            continue
+        index = None
+        for i, keys in enumerate(groups):
+            head = keys[0]
+            if set(head) <= closures[lhs] and set(lhs) <= closures[head]:
+                index = i
+                keys.append(lhs)
+                break
+        if index is None:
+            groups.append([lhs])
+            index = len(groups) - 1
+        assigned[lhs] = index
+
+    out: List[Tuple[List[Tuple[str, ...]], List[str]]] = []
+    for gi, keys in enumerate(groups):
+        member = [
+            part
+            for fd in cover
+            if assigned[tuple(sorted(fd.lhs))] == gi
+            for part in fd.split_rhs()
+            if not part.is_trivial()
+        ]
+        if len(keys) > 1:
+            ring = [
+                FunctionalDependency("", keys[i], keys[(i + 1) % len(keys)])
+                for i in range(len(keys))
+            ]
+            others = [
+                fd
+                for fd in cover
+                if assigned[tuple(sorted(fd.lhs))] != gi
+            ]
+            changed = True
+            while changed:
+                changed = False
+                for fd in list(member):
+                    rest = others + ring + [f for f in member if f is not fd]
+                    if set(fd.rhs) <= attribute_closure(fd.lhs, rest):
+                        member.remove(fd)
+                        changed = True
+                        break
+        attrs: List[str] = []
+        for source in [tuple(k) for k in keys] + [
+            tuple(fd.lhs) + tuple(fd.rhs) for fd in member
+        ]:
+            for attr in source:
+                if attr not in attrs:
+                    attrs.append(attr)
+        out.append((keys, attrs))
+    return out
+
+
+def bernstein_synthesis(
+    universe: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    relation_prefix: str = "R",
+    namer: Optional[Namer] = None,
+    remove_avoidable: bool = True,
+    single_ref: bool = True,
+    ensure_lossless: bool = True,
+) -> SynthesisOutcome:
+    """Full 3NF synthesis; returns schemes, references and the steps.
+
+    Deterministic: groups are emitted in sorted primary-key order, the
+    repair relation (when the chase demands one) last.
+    """
+    universe = list(dict.fromkeys(universe))
+    outcome = SynthesisOutcome(universe=tuple(universe))
+    name = namer if namer is not None else _default_namer(relation_prefix)
+    taken: Set[str] = set()
+
+    cover = canonical_cover(fds)
+    outcome.cover = cover
+    outcome.steps.append(
+        DecompositionStep(
+            "canonical-cover",
+            f"{len(list(fds))} input FD(s) -> {len(cover)} canonical FD(s)",
+        )
+    )
+
+    # Bernstein's groups, one scheme each -----------------------------
+    schemes: List[Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]] = []
+    for keys, attrs in _groups_by_equivalent_lhs(cover):
+        schemes.append((tuple(sorted(keys)), tuple(sorted(attrs))))
+    schemes.sort(key=lambda scheme: scheme[0][0])
+    for keys, attrs in schemes:
+        outcome.steps.append(
+            DecompositionStep(
+                "group",
+                f"({', '.join(attrs)}) keyed by "
+                + " | ".join("{" + ", ".join(k) + "}" for k in keys),
+            )
+        )
+
+    # drop schemes contained in another scheme ------------------------
+    kept: List[Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]] = []
+    for keys, attrs in schemes:
+        attr_set = set(attrs)
+        subsumed = any(
+            attr_set <= set(other) and attrs != other for _k, other in schemes
+        ) or any(attr_set == set(other) for _k, other in kept)
+        if subsumed:
+            outcome.steps.append(
+                DecompositionStep(
+                    "drop-subsumed",
+                    f"({', '.join(attrs)}) is contained in another scheme",
+                )
+            )
+            continue
+        kept.append((keys, attrs))
+
+    for index, (keys, attrs) in enumerate(kept):
+        primary = keys[0]
+        ordered = tuple(primary) + tuple(a for a in attrs if a not in primary)
+        outcome.relations.append(
+            SynthesizedRelation(
+                name=_unique_name(name(index, primary, ordered), taken),
+                attributes=ordered,
+                key=primary,
+                keys=keys,
+            )
+        )
+
+    # lossless-join repair --------------------------------------------
+    if ensure_lossless and not lossless_join(
+        universe, outcome.fragments(), cover
+    ):
+        keys_of_universe = candidate_keys(universe, list(cover))
+        global_key = tuple(
+            sorted(keys_of_universe[0]) if keys_of_universe else universe
+        )
+        outcome.steps.append(
+            DecompositionStep(
+                "repair",
+                f"chase found the fragments lossy; added key relation "
+                f"({', '.join(global_key)})",
+            )
+        )
+        outcome.relations.append(
+            SynthesizedRelation(
+                name=_unique_name(
+                    name(len(outcome.relations), global_key, global_key), taken
+                ),
+                attributes=global_key,
+                key=global_key,
+                keys=(global_key,),
+                origin="repair",
+            )
+        )
+        outcome.repaired = True
+
+    # avoidable-attribute removal -------------------------------------
+    if remove_avoidable:
+        _remove_avoidable_attributes(outcome, cover, universe)
+
+    # foreign-key references ------------------------------------------
+    outcome.references = _references(outcome.relations, single_ref)
+    if outcome.references:
+        outcome.steps.append(
+            DecompositionStep(
+                "references",
+                f"{len(outcome.references)} foreign-key reference(s)"
+                + (" after single-reference pruning" if single_ref else ""),
+            )
+        )
+    return outcome
+
+
+def _remove_avoidable_attributes(
+    outcome: SynthesisOutcome,
+    cover: Sequence[FunctionalDependency],
+    universe: Sequence[str],
+) -> None:
+    """Greedy, fully-checked avoidable-attribute removal.
+
+    A non-key attribute leaves a scheme only when every invariant
+    survives without it: the universe stays covered, every cover FD
+    stays derivable from the projected fragments, and the chase still
+    certifies the join lossless.  Checked removal is weaker than the
+    full LTK criterion (keys are never re-chosen) but is sound by
+    construction — exactly the claims a certificate can vouch for.
+    """
+    for index, relation in enumerate(list(outcome.relations)):
+        key_attrs = {a for k in relation.keys or (relation.key,) for a in k}
+        for attr in [a for a in relation.attributes if a not in key_attrs]:
+            trial = tuple(a for a in relation.attributes if a != attr)
+            fragments = [
+                trial if i == index else r.attributes
+                for i, r in enumerate(outcome.relations)
+            ]
+            if {a for f in fragments for a in f} != set(universe):
+                continue
+            if not dependency_preserving(fragments, list(cover)):
+                continue
+            if not lossless_join(list(universe), fragments, list(cover)):
+                continue
+            trimmed_form = diagnose_normal_form(
+                list(trial), project_fds(list(cover), trial)
+            )
+            if not trimmed_form.at_least(NormalForm.THIRD):
+                continue
+            relation = SynthesizedRelation(
+                name=relation.name,
+                attributes=trial,
+                key=relation.key,
+                keys=relation.keys,
+                origin=relation.origin,
+            )
+            outcome.relations[index] = relation
+            outcome.removed.append((relation.name, attr))
+            outcome.steps.append(
+                DecompositionStep(
+                    "remove-avoidable",
+                    f"dropped {attr} from {relation.name} (still lossless "
+                    f"and dependency-preserving)",
+                )
+            )
+
+
+def _references(
+    relations: Sequence[SynthesizedRelation], single_ref: bool
+) -> List[ForeignKeyReference]:
+    """Foreign keys: a child cites every parent whose key it embeds."""
+    references: List[ForeignKeyReference] = []
+    for child in relations:
+        child_attrs = set(child.attributes)
+        for parent in relations:
+            if parent.name == child.name:
+                continue
+            pair: List[ForeignKeyReference] = []
+            for key in parent.keys or (parent.key,):
+                if set(key) <= child_attrs and set(key) != child_attrs:
+                    pair.append(
+                        ForeignKeyReference(child.name, key, parent.name, key)
+                    )
+            if single_ref and len(pair) > 1:
+                # keep the earliest key in priority (sorted) order
+                pair = pair[:1]
+            references.extend(pair)
+    return references
 
 
 def synthesize_3nf(
@@ -23,45 +409,17 @@ def synthesize_3nf(
     fds: Sequence[FunctionalDependency],
     relation_prefix: str = "R",
 ) -> List[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
-    """Return ``[(attributes, key), ...]`` — one entry per synthesized relation.
+    """Classic view of the synthesis: ``[(attributes, key), ...]``.
 
-    Deterministic: groups are emitted in sorted LHS order; redundant
-    schemes (subsets of another scheme) are dropped, as in the standard
-    algorithm.
+    Kept for the S-series ablations and older callers; delegates to
+    :func:`bernstein_synthesis` with the refinements off, so the output
+    is the plain textbook algorithm.
     """
-    universe = list(dict.fromkeys(universe))
-    cover = minimal_cover(list(fds))
-
-    # group the cover by left-hand side
-    groups = {}
-    for fd in cover:
-        key = tuple(sorted(fd.lhs))
-        groups.setdefault(key, set()).update(fd.rhs)
-
-    schemes: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
-    for lhs in sorted(groups):
-        attrs = tuple(lhs) + tuple(sorted(groups[lhs] - set(lhs)))
-        schemes.append((attrs, tuple(lhs)))
-
-    # drop schemes contained in another scheme
-    kept: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
-    for attrs, key in schemes:
-        attr_set = set(attrs)
-        if any(
-            attr_set < set(other) for other, _k in schemes if other != attrs
-        ) or any(attr_set == set(other) for other, _k in kept):
-            continue
-        kept.append((attrs, key))
-
-    # ensure some scheme contains a candidate key of the universe
-    keys = candidate_keys(universe, list(cover))
-    global_key = sorted(keys[0]) if keys else sorted(universe)
-    if not any(set(global_key) <= set(attrs) for attrs, _k in kept):
-        kept.append((tuple(global_key), tuple(global_key)))
-
-    # attributes mentioned nowhere join the key relation (degenerate FDs)
-    covered = {a for attrs, _k in kept for a in attrs}
-    loose = [a for a in universe if a not in covered]
-    if loose:
-        kept.append((tuple(sorted(loose) + list(global_key)), tuple(global_key)))
-    return kept
+    outcome = bernstein_synthesis(
+        universe,
+        fds,
+        relation_prefix=relation_prefix,
+        remove_avoidable=False,
+        single_ref=False,
+    )
+    return [(r.attributes, r.key) for r in outcome.relations]

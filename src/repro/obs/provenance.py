@@ -63,6 +63,7 @@ NODE_KINDS = (
     "ind",             # an elicited inclusion dependency
     "candidate",       # an LHS/H candidate identifier R_i.A
     "fd",              # an elicited functional dependency
+    "decomposition",   # a certified Restruct/synthesis decomposition
     "relation",        # a relation created/kept by Restruct
     "ric",             # a referential integrity constraint
     "entity",          # EER entity-type
@@ -79,6 +80,7 @@ KIND_TITLES = {
     "ind": "inclusion dependency",
     "candidate": "candidate identifier",
     "fd": "functional dependency",
+    "decomposition": "certified decomposition",
     "relation": "relation",
     "ric": "referential integrity constraint",
     "entity": "EER entity-type",
@@ -309,6 +311,7 @@ _DOT_STYLE = {
     "ind": ("box", "#e0ecff"),
     "candidate": ("ellipse", "#f3eefc"),
     "fd": ("box", "#e0f4ff"),
+    "decomposition": ("component", "#eafaf3"),
     "relation": ("folder", "#f0f0f0"),
     "ric": ("box", "#dff3e4"),
     "entity": ("box3d", "#fff0d8"),

@@ -133,6 +133,44 @@ def _dialogue_section(nodes: List[Dict[str, Any]]) -> List[str]:
     return parts
 
 
+def _certificates_section(
+    provenance: List[Dict[str, Any]], nodes: List[Dict[str, Any]]
+) -> List[str]:
+    decompositions = [n for n in nodes if n["kind"] == "decomposition"]
+    if not decompositions:
+        return []
+    parts = [
+        "<h2>Decomposition certificates</h2>",
+        "<p>Every relation Restruct decomposed carries a machine-checkable "
+        "certificate (<code>repro/normalization@1</code>): the chase "
+        "verdict, the preserved/lost dependencies and the normal form of "
+        "each fragment are re-checkable with "
+        "<code>verify_certificate()</code>.</p>",
+    ]
+    rows = []
+    for node in decompositions:
+        attrs = node.get("attrs", {})
+        rows.append(
+            [
+                node["label"],
+                "lossless" if attrs.get("lossless") else "LOSSY",
+                attrs.get("preserved", ""),
+                attrs.get("lost", ""),
+                attrs.get("target", ""),
+            ]
+        )
+    parts.append(
+        _table(["decomposition", "chase verdict", "preserved", "lost", "target"], rows)
+    )
+    for node in decompositions:
+        chain = explain(provenance, node["id"])
+        parts.append(
+            f"<details><summary>certificate: {_esc(node['label'])}</summary>"
+            f"<pre>{_esc(chain)}</pre></details>"
+        )
+    return parts
+
+
 def _lineage_section(provenance: List[Dict[str, Any]]) -> List[str]:
     nodes = [r for r in provenance if r.get("type") == "node"]
     parts = ["<h2>Derivation chains</h2>"]
@@ -183,6 +221,7 @@ def render_html_report(
     if provenance is not None:
         nodes = [r for r in provenance if r.get("type") == "node"]
         parts.extend(_dialogue_section(nodes))
+        parts.extend(_certificates_section(provenance, nodes))
         parts.extend(_lineage_section(provenance))
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

@@ -56,3 +56,41 @@ class TestPrimeAttributes:
     def test_prime_union_of_keys(self):
         deps = fds("a -> b", "b -> a", "a -> c")
         assert prime_attributes(["a", "b", "c"], deps) == frozenset({"a", "b"})
+
+
+class TestMinimalKeysAcrossSizes:
+    """Regression: the old search broke one size past the largest found
+    key, so minimal keys of a larger size were silently missed."""
+
+    def test_keys_of_different_sizes_coexist(self):
+        deps = fds("a -> b", "a -> c", "a -> d", "b, c, d -> a")
+        keys = candidate_keys(["a", "b", "c", "d"], deps)
+        assert frozenset({"a"}) in keys
+        assert frozenset({"b", "c", "d"}) in keys
+        assert len(keys) == 2
+
+    def test_size_gap_between_keys(self):
+        # keys {a}, {b, c, d} and {c, d, e}: sizes 1 and 3, nothing at 2
+        deps = fds("a -> b, c, d, e", "b, c, d -> a", "d, e -> b")
+        keys = candidate_keys(["a", "b", "c", "d", "e"], deps)
+        assert keys == sorted(
+            [
+                frozenset({"a"}),
+                frozenset({"b", "c", "d"}),
+                frozenset({"c", "d", "e"}),
+            ],
+            key=sorted,
+        )
+
+    def test_prime_attributes_cover_all_keys(self):
+        deps = fds("a -> b", "a -> c", "a -> d", "b, c, d -> a")
+        assert prime_attributes(["a", "b", "c", "d"], deps) == frozenset(
+            {"a", "b", "c", "d"}
+        )
+
+    def test_cutoff_still_terminates_early(self):
+        # {a} covers everything; every size-1 combo is a superset of it,
+        # so the search must stop without enumerating larger combos
+        deps = fds("a -> b", "b -> a", "a -> c, d, e, f")
+        keys = candidate_keys(["a", "b", "c", "d", "e", "f"], deps)
+        assert keys == [frozenset({"a"}), frozenset({"b"})]

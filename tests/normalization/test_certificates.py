@@ -1,0 +1,312 @@
+"""The certified synthesis engine and its machine-checkable certificates."""
+
+import dataclasses
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.exceptions import ProcessError
+from repro.normalization.bcnf import bcnf_decompose
+from repro.normalization.certificate import (
+    certificate_from_dict,
+    certificate_to_dict,
+    read_certificates_jsonl,
+    verify_certificate,
+    write_certificates_jsonl,
+)
+from repro.normalization.engine import certify_decomposition, normalize
+from repro.normalization.normal_forms import NormalForm, diagnose_normal_form
+from repro.normalization.synthesis import (
+    SynthesisOutcome,
+    SynthesizedRelation,
+    _references,
+    _remove_avoidable_attributes,
+    bernstein_synthesis,
+    canonical_cover,
+)
+from repro.util.jsonl import load_jsonl, save_jsonl
+
+
+def fds(*texts):
+    return [FD.parse(t) for t in texts]
+
+
+class TestCanonicalCover:
+    def test_merges_same_lhs(self):
+        cover = canonical_cover(fds("a -> b", "a -> c"))
+        assert cover == [FD("", ("a",), ("b", "c"))]
+
+    def test_each_lhs_appears_once(self):
+        cover = canonical_cover(fds("a -> b", "b -> c", "a -> c", "a, b -> c"))
+        lhss = [fd.lhs for fd in cover]
+        assert len(lhss) == len(set(lhss))
+
+    def test_deterministic(self):
+        deps = fds("b -> a", "a -> c", "a -> b")
+        assert canonical_cover(deps) == canonical_cover(list(reversed(deps)))
+
+
+class TestBernsteinSynthesis:
+    def test_equivalent_lhs_merge_keeps_both_keys(self):
+        # a <-> b: one scheme, two candidate keys
+        outcome = bernstein_synthesis(["a", "b", "c"], fds("a -> b, c", "b -> a"))
+        assert len(outcome.relations) == 1
+        relation = outcome.relations[0]
+        assert set(relation.attributes) == {"a", "b", "c"}
+        assert (("a",) in relation.keys) and (("b",) in relation.keys)
+
+    def test_repair_relation_when_chase_lossy(self):
+        outcome = bernstein_synthesis(["a", "b", "c"], fds("b -> c"))
+        repair = [r for r in outcome.relations if r.origin == "repair"]
+        assert outcome.repaired
+        assert len(repair) == 1
+        assert set(repair[0].attributes) == {"a", "b"}
+
+    def test_no_repair_when_a_scheme_is_a_key(self):
+        outcome = bernstein_synthesis(["a", "b", "c"], fds("a -> b", "b -> c"))
+        assert not outcome.repaired
+        assert all(r.origin == "synthesis" for r in outcome.relations)
+
+    def test_avoidable_attribute_removed(self):
+        # Handcrafted redundant overlap: c rides along in (a, b, c)
+        # although (b, c) already holds it, and b -> c keeps every
+        # invariant alive after the removal — so the refinement fires.
+        cover = fds("a -> b", "b -> c")
+        outcome = SynthesisOutcome(universe=("a", "b", "c"))
+        outcome.relations = [
+            SynthesizedRelation("R1", ("a", "b", "c"), ("a",), keys=(("a",),)),
+            SynthesizedRelation("R2", ("b", "c"), ("b",), keys=(("b",),)),
+        ]
+        _remove_avoidable_attributes(outcome, cover, ["a", "b", "c"])
+        assert outcome.relations[0].attributes == ("a", "b")
+        assert ("R1", "c") in outcome.removed
+        assert any(s.action == "remove-avoidable" for s in outcome.steps)
+
+    def test_avoidable_removal_never_breaks_the_invariants(self):
+        # removal must refuse when dropping the attribute would lose
+        # the only materialization of a dependency
+        deps = fds("a -> b, c", "b -> a", "d -> c")
+        outcome = bernstein_synthesis(["a", "b", "c", "d"], deps)
+        assert outcome.removed == []
+        fragments = outcome.fragments()
+        assert {a for f in fragments for a in f} == {"a", "b", "c", "d"}
+
+    def test_steps_record_the_run(self):
+        outcome = bernstein_synthesis(["a", "b", "c"], fds("a -> b", "b -> c"))
+        actions = [s.action for s in outcome.steps]
+        assert actions[0] == "canonical-cover"
+        assert "group" in actions
+
+
+class TestReferences:
+    def _parent_child(self):
+        parent = SynthesizedRelation(
+            "P", ("a", "b"), ("a",), keys=(("a",), ("b",))
+        )
+        child = SynthesizedRelation(
+            "C", ("a", "b", "x"), ("x",), keys=(("x",),)
+        )
+        return [parent, child]
+
+    def test_single_reference_pruning(self):
+        refs = _references(self._parent_child(), single_ref=True)
+        pairs = [(r.child, r.parent) for r in refs]
+        assert pairs.count(("C", "P")) == 1
+
+    def test_all_references_without_pruning(self):
+        refs = _references(self._parent_child(), single_ref=False)
+        pairs = [(r.child, r.parent) for r in refs]
+        assert pairs.count(("C", "P")) == 2
+
+
+class TestBCNFDecomposition:
+    def test_zip_example_reaches_bcnf_losing_a_dependency(self):
+        deps = fds("street, city -> zip", "zip -> city")
+        fragments, steps = bcnf_decompose(["city", "street", "zip"], deps)
+        for fragment in fragments:
+            local = [
+                fd for fd in deps
+                if set(fd.lhs) | set(fd.rhs) <= set(fragment)
+            ]
+            assert diagnose_normal_form(list(fragment), local).at_least(
+                NormalForm.BOYCE_CODD
+            )
+        assert any(s.action == "bcnf-split" for s in steps)
+
+    def test_bcnf_input_is_returned_whole(self):
+        fragments, _steps = bcnf_decompose(["a", "b"], fds("a -> b"))
+        assert fragments == [("a", "b")]
+
+
+class TestNormalizeEngine:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ProcessError):
+            normalize(["a", "b"], fds("a -> b"), target_nf="2nf")
+
+    def test_3nf_result_is_certified(self):
+        result = normalize(
+            ["a", "b", "c", "d"], fds("a -> b", "b -> c"), target_nf="3nf"
+        )
+        assert result.certificate.lossless
+        assert result.certificate.lost == ()
+        assert verify_certificate(result.certificate) == []
+        assert result.meta["algorithm"] == "bernstein-3nf"
+
+    def test_bcnf_records_the_lost_dependency(self):
+        result = normalize(
+            ["city", "street", "zip"],
+            fds("street, city -> zip", "zip -> city"),
+            target_nf="bcnf",
+        )
+        certificate = result.certificate
+        assert certificate.lossless
+        assert certificate.lost == ("street, city -> zip",)
+        assert not certificate.dependency_preserving
+        assert all(s.normal_form == "BCNF" for s in certificate.relations)
+        assert verify_certificate(certificate) == []
+
+    def test_schemes_classical_view(self):
+        result = normalize(["a", "b", "c"], fds("a -> b", "b -> c"))
+        assert (("a", "b"), ("a",)) in result.schemes()
+        assert (("b", "c"), ("b",)) in result.schemes()
+
+
+class TestCertifyDecomposition:
+    def test_lossy_decomposition_detected_and_repaired(self):
+        # (a, b) + (b, c) under a -> b only: the chase finds it lossy;
+        # the repair relation (a, c) — the global candidate key — fixes
+        # it, and the pre-repair verdict is recorded.
+        certificate = certify_decomposition(
+            "Src",
+            ["a", "b", "c"],
+            [("L", ("a", "b"), ("a",)), ("R", ("b", "c"), ("b", "c"))],
+            fds("a -> b"),
+            repair=True,
+        )
+        assert certificate.repaired
+        assert certificate.lossless
+        assert certificate.meta["pre_repair_lossless"] is False
+        repair = [s for s in certificate.relations if s.origin == "repair"]
+        assert len(repair) == 1
+        assert set(repair[0].attributes) == {"a", "c"}
+        assert any(s.action == "repair" for s in certificate.steps)
+        assert verify_certificate(certificate) == []
+
+    def test_lossy_without_repair_is_recorded_honestly(self):
+        certificate = certify_decomposition(
+            "Src",
+            ["a", "b", "c"],
+            [("L", ("a", "b"), ("a",)), ("R", ("b", "c"), ("b", "c"))],
+            fds("a -> b"),
+            repair=False,
+        )
+        assert not certificate.lossless
+        assert not certificate.repaired
+
+    def test_lost_dependency_recorded(self):
+        certificate = certify_decomposition(
+            "Addr",
+            ["city", "street", "zip"],
+            [
+                ("A", ("street", "zip"), ("street", "zip")),
+                ("B", ("zip", "city"), ("zip",)),
+            ],
+            fds("street, city -> zip", "zip -> city"),
+        )
+        assert certificate.lossless
+        assert certificate.lost == ("street, city -> zip",)
+        assert "zip -> city" in certificate.preserved
+
+
+class TestCertificateRoundTrip:
+    def _certificate(self):
+        return normalize(
+            ["a", "b", "c", "d"], fds("a -> b", "b -> c")
+        ).certificate
+
+    def test_dict_round_trip(self, tmp_path):
+        certificate = self._certificate()
+        rebuilt = certificate_from_dict(certificate_to_dict(certificate))
+        assert rebuilt == certificate
+
+    def test_jsonl_round_trip(self, tmp_path):
+        certificate = self._certificate()
+        path = str(tmp_path / "certs.jsonl")
+        write_certificates_jsonl([certificate], path)
+        read = read_certificates_jsonl(path)
+        assert read == [certificate]
+        assert verify_certificate(read[0]) == []
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = str(tmp_path / "certs.jsonl")
+        write_certificates_jsonl([self._certificate()], path)
+        records = load_jsonl(path)
+        records[0]["count"] = 7
+        save_jsonl(records, path)
+        with pytest.raises(ValueError):
+            read_certificates_jsonl(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "certs.jsonl")
+        save_jsonl([{"type": "certificates", "format": "nope@9"}], path)
+        with pytest.raises(ValueError):
+            read_certificates_jsonl(path)
+
+
+class TestVerifierRejectsMutations:
+    def _certificate(self):
+        return normalize(
+            ["a", "b", "c", "d"], fds("a -> b", "b -> c")
+        ).certificate
+
+    def _claims(self, certificate):
+        return {v.claim for v in verify_certificate(certificate)}
+
+    def test_accepts_the_emitted_certificate(self):
+        assert verify_certificate(self._certificate()) == []
+
+    def test_rejects_flipped_chase_verdict(self):
+        certificate = self._certificate()
+        certificate.lossless = not certificate.lossless
+        assert "lossless" in self._claims(certificate)
+
+    def test_rejects_tampered_preservation(self):
+        certificate = self._certificate()
+        moved = certificate.preserved[0]
+        certificate.preserved = certificate.preserved[1:]
+        certificate.lost = certificate.lost + (moved,)
+        claims = self._claims(certificate)
+        assert "preserved" in claims and "lost" in claims
+
+    def test_rejects_wrong_key(self):
+        certificate = self._certificate()
+        schemes = list(certificate.relations)
+        schemes[0] = dataclasses.replace(schemes[0], key=())
+        certificate.relations = tuple(schemes)
+        assert "keys" in self._claims(certificate)
+
+    def test_rejects_wrong_normal_form_claim(self):
+        certificate = self._certificate()
+        schemes = list(certificate.relations)
+        schemes[0] = dataclasses.replace(schemes[0], normal_form="1NF")
+        certificate.relations = tuple(schemes)
+        assert "normal_form" in self._claims(certificate)
+
+    def test_rejects_uncovered_universe(self):
+        certificate = self._certificate()
+        certificate.universe = certificate.universe + ("zz",)
+        assert "relations" in self._claims(certificate)
+
+    def test_rejects_unknown_target(self):
+        certificate = self._certificate()
+        certificate.target = "4nf"
+        assert "target" in self._claims(certificate)
+
+    def test_non_strict_accepts_understated_forms(self):
+        certificate = self._certificate()
+        schemes = list(certificate.relations)
+        # claim less than the diagnosis; strict rejects, lenient accepts
+        schemes[0] = dataclasses.replace(schemes[0], normal_form="3NF")
+        certificate.relations = tuple(schemes)
+        if verify_certificate(certificate, strict_forms=True):
+            assert not verify_certificate(certificate, strict_forms=False)

@@ -77,3 +77,32 @@ class TestPaperAnnotations:
         result = DBREPipeline(paper_db, paper_expert).run(corpus=paper_corpus)
         forms = schema_normal_forms(result.restructured.schema, [])
         assert all(nf.at_least(NormalForm.THIRD) for nf in forms.values())
+
+
+class TestMultiKeyDiagnosis:
+    """Regression: prime attributes must come from *all* candidate keys.
+
+    The old key search stopped early, so on schemas whose minimal keys
+    have different sizes some prime attributes were missed and legal
+    3NF relations were misdiagnosed as 2NF.
+    """
+
+    def test_two_key_counterexample(self):
+        # classic two-key schema: keys {a, b} and {a, c}; c -> b has a
+        # prime RHS, so the relation is 3NF (not BCNF)
+        deps = fds("a, b -> c", "c -> b")
+        universe = ["a", "b", "c"]
+        assert is_3nf(universe, deps)
+        assert not is_bcnf(universe, deps)
+        assert diagnose_normal_form(universe, deps) == NormalForm.THIRD
+
+    def test_keys_of_different_sizes(self):
+        # keys {a}, {b, c, d} and {c, d, e}: every attribute is prime, so
+        # d, e -> b (non-superkey LHS, prime RHS) leaves the relation in
+        # 3NF; the old single-size key search diagnosed 2NF
+        deps = fds("a -> b, c, d, e", "b, c, d -> a", "d, e -> b")
+        universe = ["a", "b", "c", "d", "e"]
+        assert is_2nf(universe, deps)
+        assert is_3nf(universe, deps)
+        assert not is_bcnf(universe, deps)
+        assert diagnose_normal_form(universe, deps) == NormalForm.THIRD

@@ -1,0 +1,188 @@
+"""Property-based tests of the certified synthesis engine (hypothesis).
+
+The four invariants the ISSUE's verification suite promises, each
+checked on randomly drawn FD sets over a fixed universe:
+
+a. the chase finds every emitted decomposition lossless;
+b. 3NF synthesis preserves every input dependency;
+c. every output relation satisfies its claimed normal form (and the
+   certificate's target, unless loss was recorded);
+d. ``verify_certificate`` accepts every emitted certificate and rejects
+   every mutated one.
+
+The example budget is environment-driven: the fast lane runs
+``REPRO_SYNTH_EXAMPLES`` (default 60) examples per invariant, the
+slow-marked classes run ``REPRO_SYNTH_EXAMPLES_SLOW`` (default 500,
+never fewer) so CI's dedicated slow lane meets the >=500 bar.
+"""
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.closure import project_fds
+from repro.dependencies.fd import FunctionalDependency
+from repro.normalization.certificate import (
+    certificate_from_dict,
+    certificate_to_dict,
+)
+from repro.normalization.engine import normalize
+from repro.normalization.normal_forms import NormalForm, diagnose_normal_form
+from repro.normalization.chase import lossless_join
+from repro.normalization.certificate import verify_certificate
+
+ATTRS = ["a", "b", "c", "d", "e"]
+
+FAST_EXAMPLES = int(os.environ.get("REPRO_SYNTH_EXAMPLES", "60"))
+SLOW_EXAMPLES = max(500, int(os.environ.get("REPRO_SYNTH_EXAMPLES_SLOW", "500")))
+
+attr_subsets = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3)
+targets = st.sampled_from(["3nf", "bcnf"])
+
+
+@st.composite
+def fd_sets(draw, max_fds=6):
+    count = draw(st.integers(0, max_fds))
+    out = []
+    for _ in range(count):
+        lhs = tuple(sorted(draw(attr_subsets)))
+        rhs = tuple(sorted(draw(attr_subsets)))
+        out.append(FunctionalDependency("", lhs, rhs))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the invariant checks (shared by the fast and the slow lane)
+# ----------------------------------------------------------------------
+def check_chase_lossless(fds, target):
+    """(a) every decomposition the engine emits is chase-lossless."""
+    result = normalize(ATTRS, fds, target_nf=target)
+    certificate = result.certificate
+    assert certificate.lossless, f"{target} emitted a lossy decomposition"
+    # and the claim is not just recorded — the chase agrees from scratch
+    assert lossless_join(
+        list(certificate.universe),
+        certificate.fragment_sets(),
+        certificate.parsed_fds(),
+    )
+
+
+def check_3nf_preserving(fds):
+    """(b) Bernstein synthesis loses no dependency."""
+    certificate = normalize(ATTRS, fds, target_nf="3nf").certificate
+    assert certificate.lost == ()
+    assert certificate.dependency_preserving
+
+
+def check_claimed_forms(fds, target):
+    """(c) every relation satisfies its claimed form, and the target."""
+    certificate = normalize(ATTRS, fds, target_nf=target).certificate
+    target_form = (
+        NormalForm.BOYCE_CODD if target == "bcnf" else NormalForm.THIRD
+    )
+    parsed = certificate.parsed_fds()
+    for scheme in certificate.relations:
+        local = project_fds(parsed, scheme.attributes)
+        diagnosed = diagnose_normal_form(list(scheme.attributes), local)
+        assert diagnosed.value == scheme.normal_form, (
+            f"{scheme.name}: diagnosed {diagnosed}, claims {scheme.normal_form}"
+        )
+        if not certificate.lost:
+            assert diagnosed.at_least(target_form), (
+                f"{scheme.name}: {diagnosed} below target with no recorded loss"
+            )
+
+
+def _mutate(certificate, choice):
+    """One deliberately broken copy of a valid certificate."""
+    mutated = certificate_from_dict(certificate_to_dict(certificate))
+    if choice == 1 and mutated.preserved:
+        # move a preserved dependency into the loss record
+        moved = mutated.preserved[0]
+        mutated.preserved = tuple(mutated.preserved[1:])
+        mutated.lost = mutated.lost + (moved,)
+        return mutated
+    if choice == 2:
+        # claim a key that determines nothing
+        schemes = list(mutated.relations)
+        schemes[0] = dataclasses.replace(schemes[0], key=())
+        mutated.relations = tuple(schemes)
+        return mutated
+    if choice == 3:
+        # claim a wrong normal form (strict verification compares exactly)
+        schemes = list(mutated.relations)
+        wrong = "1NF" if schemes[0].normal_form != "1NF" else "BCNF"
+        schemes[0] = dataclasses.replace(schemes[0], normal_form=wrong)
+        mutated.relations = tuple(schemes)
+        return mutated
+    if choice == 4:
+        # grow the universe so the fragments no longer cover it
+        mutated.universe = mutated.universe + ("zz_phantom",)
+        return mutated
+    # default: flip the chase verdict
+    mutated.lossless = not mutated.lossless
+    return mutated
+
+
+def check_verify_roundtrip(fds, target, choice):
+    """(d) emitted certificates verify; mutated ones are rejected."""
+    certificate = normalize(ATTRS, fds, target_nf=target).certificate
+    assert verify_certificate(certificate) == []
+    mutated = _mutate(certificate, choice)
+    assert verify_certificate(mutated), (
+        f"mutation {choice} was not detected"
+    )
+
+
+# ----------------------------------------------------------------------
+# fast lane
+# ----------------------------------------------------------------------
+class TestSynthesisProperties:
+    @given(fd_sets(), targets)
+    @settings(max_examples=FAST_EXAMPLES, deadline=None)
+    def test_chase_lossless(self, fds, target):
+        check_chase_lossless(fds, target)
+
+    @given(fd_sets())
+    @settings(max_examples=FAST_EXAMPLES, deadline=None)
+    def test_3nf_preserves_dependencies(self, fds):
+        check_3nf_preserving(fds)
+
+    @given(fd_sets(), targets)
+    @settings(max_examples=FAST_EXAMPLES, deadline=None)
+    def test_relations_satisfy_claimed_forms(self, fds, target):
+        check_claimed_forms(fds, target)
+
+    @given(fd_sets(), targets, st.integers(0, 4))
+    @settings(max_examples=FAST_EXAMPLES, deadline=None)
+    def test_verify_accepts_emitted_rejects_mutated(self, fds, target, choice):
+        check_verify_roundtrip(fds, target, choice)
+
+
+# ----------------------------------------------------------------------
+# slow lane: same invariants, >=500 examples each
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestSynthesisPropertiesDeep:
+    @given(fd_sets(), targets)
+    @settings(max_examples=SLOW_EXAMPLES, deadline=None)
+    def test_chase_lossless(self, fds, target):
+        check_chase_lossless(fds, target)
+
+    @given(fd_sets())
+    @settings(max_examples=SLOW_EXAMPLES, deadline=None)
+    def test_3nf_preserves_dependencies(self, fds):
+        check_3nf_preserving(fds)
+
+    @given(fd_sets(), targets)
+    @settings(max_examples=SLOW_EXAMPLES, deadline=None)
+    def test_relations_satisfy_claimed_forms(self, fds, target):
+        check_claimed_forms(fds, target)
+
+    @given(fd_sets(), targets, st.integers(0, 4))
+    @settings(max_examples=SLOW_EXAMPLES, deadline=None)
+    def test_verify_accepts_emitted_rejects_mutated(self, fds, target, choice):
+        check_verify_roundtrip(fds, target, choice)
