@@ -172,6 +172,24 @@ def _head_configs(quick: bool) -> List[Dict[str, Any]]:
             "backend": PagedBackend,
             "backend_options": {"pool_pages": 8, "page_size": 512},
         },
+        # the s3 head with a live subscriber attached for the whole run:
+        # queries are gated (telemetry must never ask the extension
+        # anything) and its latency entry tracks the publish overhead —
+        # this is the ≤ 2x calibrated bar behind the "within noise when
+        # watched" claim; "live" extras record the stream census
+        {
+            "name": "s13-live-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+            "live": True,
+        },
         {
             "name": "s3-end-to-end-head-batched",
             "config": ScenarioConfig(
@@ -263,6 +281,7 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         backend=head["backend"](**head.get("backend_options", {}))
     )
     tracer = Tracer()
+    subscription = tracer.subscribe() if head.get("live") else None
     pipeline = DBREPipeline(
         database,
         scenario.expert,
@@ -320,6 +339,20 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
         measured["storage"] = dict(
             storage, pool_hit_rate=round(hits / fetches, 4) if fetches else 0.0
         )
+    if subscription is not None:
+        # stream census; informational — the gated query counts above
+        # prove the bus asked the extension nothing, and the head's
+        # latency entry bounds the publish overhead — but a watcher
+        # that started dropping or missing events shows up here
+        records = subscription.drain()
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+        measured["live"] = {
+            "events": len(records),
+            "dropped": subscription.dropped,
+            "counts": counts,
+        }
     if result.engine_stats is not None:
         # physical-call accounting; informational, not gated per se —
         # but recorded in the baseline so a pushdown regression (more

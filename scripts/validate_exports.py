@@ -31,7 +31,12 @@ files:
    one serial demo, a duplicate that must be served from the results
    cache, and a process-engine run — and the ``repro/jobs@1`` ledger
    export re-reads with matching header counts, every job ``done`` and
-   exactly the duplicate flagged ``cached``.
+   exactly the duplicate flagged ``cached``;
+7. a live service round-trip: a demo job submitted over HTTP is watched
+   through the real SSE endpoint, the captured stream carries every
+   phase boundary and ends with the ``end`` sentinel, it re-reads from
+   a ``repro/live@1`` JSONL capture byte-for-byte, and the ``/metrics``
+   exposition both lints clean and reflects the finished job.
 
 Exit status is non-zero on the first violation, so CI fails loudly.
 The artifacts are left in ``--outdir`` for upload.
@@ -297,6 +302,67 @@ def main(argv=None) -> int:
             f"got {cached} (header says {jobs_header['cached']})"
         )
 
+    # 7. live service: SSE capture + repro/live@1 + /metrics lint ------
+    import threading
+    import urllib.request
+
+    from repro.obs.live import read_live_jsonl, write_live_jsonl
+    from repro.service import JobManager, lint_exposition, sse_events
+    from repro.service.server import build_server
+
+    live_path = os.path.join(args.outdir, "demo.live.jsonl")
+    exposition_path = os.path.join(args.outdir, "demo.metrics.prom")
+    with JobManager(runners=1) as manager:
+        server = build_server(manager, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            base = f"http://{host}:{port}"
+            for probe in ("/healthz", "/readyz"):
+                if urllib.request.urlopen(base + probe, timeout=10).status != 200:
+                    fail(f"{probe} did not answer 200")
+            request = urllib.request.Request(
+                base + "/jobs",
+                data=json.dumps({"demo": True}).encode("utf-8"),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                job = json.loads(response.read())
+            stream = list(
+                sse_events(f"{base}/jobs/{job['id']}/events", timeout=60)
+            )
+            if not stream or stream[-1]["type"] != "end":
+                fail("the SSE stream did not finish with an end sentinel")
+            if stream[-1]["state"] != "done":
+                fail(f"the watched demo job ended {stream[-1]['state']!r}")
+            phase_opens = [
+                r["name"] for r in stream
+                if r["type"] == "span-open" and r.get("kind") == "phase"
+            ]
+            for phase in ("IND-Discovery", "LHS-Discovery", "RHS-Discovery",
+                          "Restruct", "Translate"):
+                if phase not in phase_opens:
+                    fail(f"the SSE capture is missing the {phase} boundary")
+            if not any(r["type"] == "progress" for r in stream):
+                fail("the SSE capture carries no progress event")
+            written = write_live_jsonl(stream, live_path)
+            if read_live_jsonl(live_path) != written:
+                fail("the live capture does not round-trip as repro/live@1")
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as got:
+                exposition = got.read().decode("utf-8")
+            problems = lint_exposition(exposition)
+            if problems:
+                fail(f"/metrics fails its own lint: {problems[:3]}")
+            if 'repro_jobs_total{state="done"} 1' not in exposition:
+                fail("/metrics does not report the finished demo job")
+            with open(exposition_path, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
     print(
         f"validate_exports: OK — {len(spans)} spans, {len(events)} events, "
         f"{len(stacks)} collapsed stacks, "
@@ -304,7 +370,8 @@ def main(argv=None) -> int:
         f"{len(rics)} constraint chain(s) verified, "
         f"{len(certificates)} decomposition certificate(s) verified, "
         f"paged pool counters {counters}, "
-        f"{jobs_header['jobs']} jobs ({jobs_header['cached']} cached); "
+        f"{jobs_header['jobs']} jobs ({jobs_header['cached']} cached), "
+        f"{len(stream)} live SSE records captured, /metrics lint clean; "
         f"artifacts in {args.outdir}/"
     )
     return 0

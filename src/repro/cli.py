@@ -29,10 +29,16 @@ Commands:
   HTML audit report;
 - ``serve``    — the multi-job discovery service: a local HTTP JSON API
   (submit / status / result / cancel) over a queue of runs, with a
-  results cache keyed by content fingerprints (``docs/SERVICE.md``);
+  results cache keyed by content fingerprints, live ``/events`` SSE
+  streams, a ``/metrics`` Prometheus exposition, ``/healthz`` +
+  ``/readyz`` probes, graceful SIGINT/SIGTERM shutdown and
+  ``--log-json`` structured logging (``docs/SERVICE.md``);
 - ``jobs``     — batch mode of the same job manager: ``jobs run
   SPECS.json`` submits every spec in the file, waits, prints the
-  ledger, and optionally writes it as a ``repro/jobs@1`` export.
+  ledger, and optionally writes it as a ``repro/jobs@1`` export;
+  ``jobs watch ID`` tails a running service's SSE stream as a live
+  per-phase progress view (``--json`` for raw ``repro/live@1``
+  records).
 
 ``run`` and ``demo`` accept ``--trace FILE`` (JSONL span/event trace),
 ``--metrics FILE`` (flat metrics summary), ``--provenance FILE`` (the
@@ -445,14 +451,34 @@ def cmd_normalize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Honor ``--log-json [FILE]``: JSON lines to FILE or stderr."""
+    target = getattr(args, "log_json", None)
+    if target is None:
+        return
+    from repro.obs.log import configure_json_logging
+
+    if target == "-":
+        configure_json_logging()
+    else:
+        configure_json_logging(path=target)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # lazy: the service layer imports this module for its spec loader
     from repro.service.jobs import JobManager
     from repro.service.server import serve
 
+    _configure_logging(args)
     manager = JobManager(runners=args.runners)
     try:
-        serve(manager, host=args.host, port=args.port, verbose=not args.quiet)
+        serve(
+            manager,
+            host=args.host,
+            port=args.port,
+            verbose=not args.quiet,
+            heartbeat=args.heartbeat,
+        )
     finally:
         if args.jobs_export:
             from repro.service.export import write_jobs_jsonl
@@ -503,6 +529,77 @@ def cmd_jobs_run(args: argparse.Namespace) -> int:
         print(f"error: {len(failed)} job(s) did not finish done", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_jobs_watch(args: argparse.Namespace) -> int:
+    """Tail one job's SSE stream as a live per-phase progress view."""
+    import json as _json
+    import urllib.error
+
+    from repro.service.stream import sse_events
+
+    url = args.url.rstrip("/") + f"/jobs/{args.job_id}/events"
+    tty = sys.stdout.isatty() and not args.json
+    line_open = False  # a TTY progress line awaiting \r overwrite
+
+    def emit(text: str) -> None:
+        nonlocal line_open
+        if line_open:
+            print("\r\x1b[K", end="")
+            line_open = False
+        print(text, flush=True)
+
+    def emit_progress(text: str) -> None:
+        nonlocal line_open
+        if tty:
+            print(f"\r\x1b[K  {text}", end="", flush=True)
+            line_open = True
+        # non-TTY output stays quiet between phase boundaries: a log
+        # follower wants the boundaries, not thousands of ticks
+
+    final_state = ""
+    try:
+        for record in sse_events(
+            url, last_event_id=args.since, timeout=args.timeout or None
+        ):
+            if args.json:
+                print(_json.dumps(record, sort_keys=True), flush=True)
+                if record.get("type") == "end":
+                    final_state = record.get("state") or ""
+                    break
+                continue
+            kind = record.get("type")
+            if kind == "span-open" and record.get("kind") == "phase":
+                emit(f"> {record['name']}")
+            elif kind == "span-close" and record.get("kind") == "phase":
+                emit(f"  {record['name']} done in {record['duration_ms']:.0f}ms")
+            elif kind == "progress":
+                message = record.get("message", "")
+                current, total = record.get("current"), record.get("total")
+                counter = (
+                    f" [{current}/{total}]"
+                    if current is not None and total is not None
+                    else ""
+                )
+                emit_progress(f"{message}{counter}")
+            elif kind == "pool":
+                emit(f"  pool: {record.get('event')}")
+            elif kind == "end":
+                final_state = record.get("state") or ""
+                emit(f"{args.job_id} finished: {final_state or 'unknown'}")
+                break
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            message = _json.loads(body).get("error", body)
+        except _json.JSONDecodeError:
+            message = body or str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    return 0 if final_state in ("done", "") else 1
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -774,6 +871,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the repro/jobs@1 ledger here on shutdown")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
+    serve.add_argument("--log-json", nargs="?", const="-", metavar="FILE",
+                       help="structured JSON-lines logging: to FILE, or "
+                            "stderr when no file is given")
+    serve.add_argument("--heartbeat", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="SSE heartbeat cadence on idle streams "
+                            "(default 15s)")
     serve.set_defaults(func=cmd_serve)
 
     jobs = sub.add_parser(
@@ -796,6 +900,23 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_run.add_argument("--export", metavar="FILE",
                           help="write the repro/jobs@1 ledger here")
     jobs_run.set_defaults(func=cmd_jobs_run)
+    jobs_watch = jobs_sub.add_parser(
+        "watch",
+        help="tail a job's live SSE stream as a per-phase progress view",
+    )
+    jobs_watch.add_argument("job_id", help="the job to watch (e.g. job-1)")
+    jobs_watch.add_argument("--url", default="http://127.0.0.1:8750",
+                            help="the repro serve base URL")
+    jobs_watch.add_argument("--json", action="store_true",
+                            help="print raw repro/live@1 records as JSON "
+                                 "lines instead of the progress view")
+    jobs_watch.add_argument("--since", type=int, default=None, metavar="SEQ",
+                            help="resume after sequence number SEQ "
+                                 "(sent as Last-Event-ID)")
+    jobs_watch.add_argument("--timeout", type=float, default=0,
+                            metavar="SECONDS",
+                            help="socket timeout while waiting for events")
+    jobs_watch.set_defaults(func=cmd_jobs_watch)
 
     trace = sub.add_parser("trace", help="work with recorded traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

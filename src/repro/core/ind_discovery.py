@@ -116,8 +116,11 @@ class INDDiscovery:
         result = INDDiscoveryResult()
         joins = sorted(set(equijoins), key=lambda j: j.sort_key())
         counts = self._prefetch(joins)
-        for join in joins:
+        for index, join in enumerate(joins, start=1):
             self._process(join, result, counts.get(join) if counts else None)
+            self.database.tracer.progress(
+                "equijoin classified", current=index, total=len(joins),
+            )
         return result
 
     # ------------------------------------------------------------------

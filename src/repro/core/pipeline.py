@@ -62,6 +62,7 @@ from repro.core.rhs_discovery import RHSDiscovery, RHSDiscoveryResult
 from repro.core.translate import Translate
 from repro.eer.model import EERSchema
 from repro.engine.executor import BatchExecutor, EngineStats
+from repro.obs.log import get_logger, log_context, new_run_id
 from repro.obs.provenance import ProvenanceLedger
 from repro.obs.tracer import Tracer
 from repro.programs.corpus import ProgramCorpus
@@ -69,6 +70,8 @@ from repro.programs.equijoin import EquiJoin
 from repro.programs.extractor import EquiJoinExtractor, ExtractionReport
 from repro.relational.attribute import AttributeRef
 from repro.relational.database import Database
+
+log = get_logger("pipeline")
 
 
 @dataclass
@@ -88,6 +91,7 @@ class PipelineResult:
     translation_warnings: List[str] = field(default_factory=list)
     expert_decisions: int = 0
     extension_queries: int = 0
+    run_id: Optional[str] = None
     trace: Optional[Tracer] = None
     engine: str = "serial"
     engine_stats: Optional[EngineStats] = None
@@ -178,7 +182,9 @@ class DBREPipeline:
         result.trace = self.tracer
         result.engine = self.engine_mode
         result.provenance = self.ledger
-        with self.tracer.span("pipeline", kind="pipeline") as root:
+        result.run_id = new_run_id()
+        with log_context(run=result.run_id), \
+                self.tracer.span("pipeline", kind="pipeline") as root:
             root.attributes["engine"] = self.engine_mode
             database = self.original.copy(tracer=self.tracer)
             database.counter.reset()
@@ -205,7 +211,8 @@ class DBREPipeline:
                     fault=options.pop("fault", None),
                 )
                 pool = ProcessProbeExecutor(
-                    payload, workers=self.engine_workers or 2, **options
+                    payload, workers=self.engine_workers or 2,
+                    notify=self.tracer.pool_event, **options
                 )
                 engine = BatchExecutor(database, pool=pool)
                 result.engine_stats = engine.stats
@@ -231,25 +238,52 @@ class DBREPipeline:
                 # §6.1 IND-Discovery
                 self._check_cancel("IND-Discovery")
                 with self.tracer.span("IND-Discovery", kind="phase") as span:
+                    self.tracer.progress(
+                        "probing candidate inclusion dependencies",
+                        total=len(result.equijoins),
+                    )
                     ind_step = INDDiscovery(
                         database, self.expert, engine=engine, ledger=self.ledger
                     )
                     result.ind_result = ind_step.run(result.equijoins)
                     span.attributes["inds"] = len(result.ind_result.inds)
+                    log.info(
+                        "IND-Discovery complete",
+                        extra={"data": {"phase": "IND-Discovery",
+                                        "inds": len(result.ind_result.inds)}},
+                    )
 
                 # §6.2.1 LHS-Discovery
                 self._check_cancel("LHS-Discovery")
                 with self.tracer.span("LHS-Discovery", kind="phase") as span:
+                    self.tracer.progress(
+                        "deriving left-hand sides",
+                        total=len(result.ind_result.inds),
+                    )
                     lhs_step = LHSDiscovery(
                         database.schema, result.ind_result.s_names,
                         ledger=self.ledger,
                     )
                     result.lhs_result = lhs_step.run(result.ind_result.inds)
                     span.attributes["lhs"] = len(result.lhs_result.lhs)
+                    self.tracer.progress(
+                        "left-hand sides derived",
+                        current=len(result.lhs_result.lhs),
+                        total=len(result.lhs_result.lhs),
+                    )
+                    log.info(
+                        "LHS-Discovery complete",
+                        extra={"data": {"phase": "LHS-Discovery",
+                                        "lhs": len(result.lhs_result.lhs)}},
+                    )
 
                 # §6.2.2 RHS-Discovery
                 self._check_cancel("RHS-Discovery")
                 with self.tracer.span("RHS-Discovery", kind="phase") as span:
+                    self.tracer.progress(
+                        "checking candidate functional dependencies",
+                        total=len(result.lhs_result.lhs),
+                    )
                     rhs_step = RHSDiscovery(
                         database, self.expert, engine=engine, ledger=self.ledger
                     )
@@ -257,10 +291,19 @@ class DBREPipeline:
                         result.lhs_result.lhs, result.lhs_result.hidden
                     )
                     span.attributes["fds"] = len(result.rhs_result.fds)
+                    log.info(
+                        "RHS-Discovery complete",
+                        extra={"data": {"phase": "RHS-Discovery",
+                                        "fds": len(result.rhs_result.fds)}},
+                    )
 
                 # §7 Restruct
                 self._check_cancel("Restruct")
                 with self.tracer.span("Restruct", kind="phase") as span:
+                    self.tracer.progress(
+                        "restructuring to 3NF",
+                        total=len(result.rhs_result.fds),
+                    )
                     restruct_step = Restruct(
                         database, self.expert, ledger=self.ledger
                     )
@@ -273,11 +316,20 @@ class DBREPipeline:
                     span.attributes["certificates"] = len(
                         result.restruct_result.certificates
                     )
+                    log.info(
+                        "Restruct complete",
+                        extra={"data": {"phase": "Restruct",
+                                        "ric": len(result.restruct_result.ric)}},
+                    )
 
                 # §7 Translate
                 if translate:
                     self._check_cancel("Translate")
                     with self.tracer.span("Translate", kind="phase") as span:
+                        self.tracer.progress(
+                            "translating to the EER model",
+                            total=len(result.restruct_result.ric),
+                        )
                         translator = Translate(database.schema, ledger=self.ledger)
                         result.eer = translator.run(result.restruct_result.ric)
                         result.translation_notes = list(translator.notes.entries)
@@ -285,6 +337,16 @@ class DBREPipeline:
                             translator.notes.warnings
                         )
                         span.attributes["entities"] = len(result.eer.entities)
+                        self.tracer.progress(
+                            "EER translation done",
+                            current=len(result.eer.entities),
+                            total=len(result.eer.entities),
+                        )
+                        log.info(
+                            "Translate complete",
+                            extra={"data": {"phase": "Translate",
+                                            "entities": len(result.eer.entities)}},
+                        )
             finally:
                 if pool is not None:
                     pool.close()
@@ -294,11 +356,23 @@ class DBREPipeline:
             result.extension_queries = database.counter.total()
             root.attributes["queries"] = result.extension_queries
             root.attributes["decisions"] = result.expert_decisions
+            log.info(
+                "pipeline run complete",
+                extra={"data": {
+                    "engine": self.engine_mode,
+                    "queries": result.extension_queries,
+                    "decisions": result.expert_decisions,
+                }},
+            )
         return result
 
     def _check_cancel(self, phase: str) -> None:
         """Honor a pending cancellation before entering *phase*."""
         if self._cancel is not None and self._cancel():
+            log.info(
+                "run cancelled",
+                extra={"data": {"before_phase": phase}},
+            )
             raise RunCancelled(f"run cancelled before {phase}")
 
     # ------------------------------------------------------------------

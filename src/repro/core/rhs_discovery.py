@@ -114,10 +114,13 @@ class RHSDiscovery:
             result.add_hidden(ref)
         ordered = sorted(set(lhs) | hidden_set, key=lambda r: r.sort_key())
         verdicts = self._prefetch(ordered)
-        for ref in ordered:
+        for index, ref in enumerate(ordered, start=1):
             self._process(
                 ref, ref in hidden_set, result,
                 verdicts.get(ref) if verdicts else None,
+            )
+            self.database.tracer.progress(
+                "identifier checked", current=index, total=len(ordered),
             )
         return result
 

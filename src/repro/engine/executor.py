@@ -206,10 +206,13 @@ class BatchExecutor:
             try:
                 self._execute_process(plan, evaluations)
                 return evaluations
-            except WorkerPoolError:
+            except WorkerPoolError as exc:
                 # the pool exhausted its retries: answer this batch on
                 # the parent's own backend instead of losing the run
                 self.stats.pool_fallbacks += 1
+                self.database.tracer.pool_event(
+                    "fallback", reason=str(exc), probes=len(plan.unique)
+                )
         if callable(getattr(backend, "execute_batch", None)):
             self._execute_pushdown(backend, plan, evaluations)
         elif (
@@ -232,7 +235,8 @@ class BatchExecutor:
         """One grouped statement per chunk, walking the plan group-wise."""
         tracer = self.database.tracer
         ordered = [probe for group in plan.groups for probe in group.probes]
-        for chunk in _chunks(ordered, self.chunk_size):
+        chunks = list(_chunks(ordered, self.chunk_size))
+        for index, chunk in enumerate(chunks, start=1):
             start = tracer.now()
             values = backend.execute_batch(chunk)
             duration = tracer.now() - start
@@ -246,6 +250,10 @@ class BatchExecutor:
                 evaluation.duration = share
             self.stats.backend_calls += 1
             self.stats.batched_calls += 1
+            tracer.progress(
+                "pushdown chunk answered", current=index, total=len(chunks),
+                probes=len(chunk),
+            )
 
     def _execute_process(
         self, plan: QueryPlan, evaluations: Dict[tuple, _Evaluation]
@@ -262,7 +270,7 @@ class BatchExecutor:
         ordered = [probe for group in plan.groups for probe in group.probes]
         chunks = list(_chunks(ordered, self.chunk_size))
         answered = self.pool.execute(chunks)
-        for chunk, records in zip(chunks, answered):
+        for index, (chunk, records) in enumerate(zip(chunks, answered), start=1):
             start = tracer.now()
             for probe, record in zip(chunk, records):
                 evaluation = evaluations[probe.key]
@@ -274,6 +282,10 @@ class BatchExecutor:
                 evaluation.counters = record["counters"]
             self.stats.backend_calls += 1
             self.stats.process_chunks += 1
+            tracer.progress(
+                "process chunk merged", current=index, total=len(chunks),
+                probes=len(chunk),
+            )
 
     def _execute_parallel(
         self,

@@ -22,7 +22,14 @@ end:
   ``repro explain`` chain renderer;
 - :mod:`repro.obs.report` — the single-file HTML audit report
   (``repro report``) combining trace, metrics, expert dialogue and the
-  lineage graph.
+  lineage graph;
+- :mod:`repro.obs.live` — the real-time event bus: a tracer publishes
+  span boundaries, primitive events, progress ticks and pool incidents
+  to bounded subscribers the moment they happen (``repro/live@1``),
+  at zero cost while nobody subscribes — this is what the service's
+  SSE endpoint and ``repro jobs watch`` consume;
+- :mod:`repro.obs.log` — JSON-lines structured logging with run/job
+  correlation IDs carried through ``contextvars``.
 
 ``QueryCounter`` and ``CostReport`` are views over the same event
 stream, so the counters the benchmarks report and the exported traces
@@ -37,6 +44,21 @@ from repro.obs.tracer import (
     Tracer,
 )
 from repro.obs.instrument import InstrumentedBackend
+from repro.obs.live import (
+    LIVE_EVENT_TYPES,
+    LIVE_FORMAT,
+    LiveBus,
+    LiveSubscription,
+    live_records,
+    read_live_jsonl,
+    write_live_jsonl,
+)
+from repro.obs.log import (
+    configure_json_logging,
+    get_logger,
+    log_context,
+    new_run_id,
+)
 from repro.obs.export import (
     METRICS_FORMAT,
     TRACE_FORMAT,
@@ -85,6 +107,17 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "InstrumentedBackend",
+    "LIVE_EVENT_TYPES",
+    "LIVE_FORMAT",
+    "LiveBus",
+    "LiveSubscription",
+    "live_records",
+    "read_live_jsonl",
+    "write_live_jsonl",
+    "configure_json_logging",
+    "get_logger",
+    "log_context",
+    "new_run_id",
     "METRICS_FORMAT",
     "TRACE_FORMAT",
     "metrics_from_records",

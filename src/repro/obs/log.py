@@ -1,0 +1,162 @@
+"""Structured logging: JSON lines with run/job correlation IDs.
+
+Ad-hoc ``print`` diagnostics don't survive a concurrent service — two
+jobs interleave their output and nothing ties a line back to the run
+that produced it.  This module gives the repo one structured channel:
+
+- :func:`get_logger` — a namespaced stdlib logger (``repro.<name>``);
+  ordinary ``logger.info("message", extra={"data": {...}})`` calls work
+  unchanged, the structure comes from the formatter;
+- :func:`configure_json_logging` — attach one JSON-lines handler to the
+  ``repro`` logger tree (stderr by default, or a file for
+  ``--log-json FILE``); every emitted line is one JSON object with
+  ``ts``, ``level``, ``logger``, ``message`` and whatever correlation
+  IDs are bound;
+- :func:`log_context` / :func:`bind_log_context` — bind ``run`` and
+  ``job`` correlation IDs to the *current context* (a
+  :mod:`contextvars` binding, so concurrent job threads don't clobber
+  each other); every log line emitted inside the binding carries them;
+- :func:`new_run_id` — a short random correlation ID.
+
+Nothing is emitted until :func:`configure_json_logging` runs: the
+``repro`` tree carries a :class:`logging.NullHandler` and does not
+propagate, so library use stays silent — the same zero-cost-when-unused
+contract the live bus keeps.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import json
+import logging
+import sys
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "LOG_ROOT",
+    "JsonLineFormatter",
+    "bind_log_context",
+    "configure_json_logging",
+    "current_log_context",
+    "get_logger",
+    "log_context",
+    "new_run_id",
+    "reset_log_context",
+]
+
+#: the root of the repo's logger namespace
+LOG_ROOT = "repro"
+
+_context: contextvars.ContextVar[Dict[str, str]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+# library default: silent until configured, never propagate to the
+# (application-owned) root logger
+_root = logging.getLogger(LOG_ROOT)
+_root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+
+def new_run_id() -> str:
+    """A short random correlation ID (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+def current_log_context() -> Dict[str, str]:
+    """The correlation IDs bound to the current context (a copy)."""
+    return dict(_context.get())
+
+
+def bind_log_context(**ids: Optional[str]) -> contextvars.Token:
+    """Merge *ids* into the bound context; returns a reset token.
+
+    ``None`` values are ignored so call sites can pass through optional
+    IDs unconditionally.
+    """
+    merged = dict(_context.get())
+    for key, value in ids.items():
+        if value is not None:
+            merged[key] = value
+    return _context.set(merged)
+
+
+def reset_log_context(token: contextvars.Token) -> None:
+    """Undo one :func:`bind_log_context` call."""
+    _context.reset(token)
+
+
+@contextmanager
+def log_context(**ids: Optional[str]) -> Iterator[None]:
+    """Bind correlation IDs for the duration of a ``with`` block."""
+    token = bind_log_context(**ids)
+    try:
+        yield
+    finally:
+        reset_log_context(token)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log record.
+
+    The object carries ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``message``, the bound correlation IDs (``run``, ``job``, ...), any
+    dict passed as ``extra={"data": {...}}``, and ``exc`` when the
+    record carries exception info.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        line: Dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        line.update(_context.get())
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            for key, value in data.items():
+                line.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            line["exc"] = self.formatException(record.exc_info)
+        return json.dumps(line, default=str, sort_keys=False)
+
+
+def configure_json_logging(
+    stream: Optional[io.TextIOBase] = None,
+    path: Optional[str] = None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach the JSON-lines handler to the ``repro`` logger tree.
+
+    With *path* the lines append to that file; otherwise they go to
+    *stream* (default ``sys.stderr``).  Calling again replaces the
+    previous JSON handler, so re-configuration (tests, long-lived
+    shells) doesn't duplicate output.  Returns the attached handler.
+    """
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    root = logging.getLogger(LOG_ROOT)
+    for existing in list(root.handlers):
+        if isinstance(existing.formatter, JsonLineFormatter):
+            root.removeHandler(existing)
+            existing.close()
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The repo logger ``repro.<name>`` (or ``repro`` itself for "")."""
+    if not name or name == LOG_ROOT:
+        return logging.getLogger(LOG_ROOT)
+    if name.startswith(LOG_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOG_ROOT}.{name}")

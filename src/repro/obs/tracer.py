@@ -24,6 +24,14 @@ is no second set of hand-maintained counters to drift out of sync.
 Timestamps come from an injectable monotonic clock (default
 :func:`time.perf_counter`), so tests can drive the tracer with a fake
 clock and assert exact durations.
+
+The tracer can additionally stream both streams *live*: attaching a
+:class:`~repro.obs.live.LiveBus` (:meth:`Tracer.live`, or implicitly
+via :meth:`Tracer.subscribe`) publishes one ``repro/live@1`` record per
+span open, span close and primitive event, plus :meth:`progress` ticks
+and worker-pool incidents, to every bounded subscriber queue.  Without
+a bus every hook is a single ``is None`` test, so the no-subscriber
+pipeline pays nothing (the S13 benchmark enforces it).
 """
 
 from __future__ import annotations
@@ -32,7 +40,10 @@ import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.live import LiveBus, LiveSubscription
 
 __all__ = ["SpanRecord", "PrimitiveEvent", "Tracer", "PHASE_NAMES", "PRIMITIVES"]
 
@@ -156,6 +167,9 @@ class Tracer:
         self.spans: List[SpanRecord] = []
         #: primitive events, ordered by occurrence
         self.events: List[PrimitiveEvent] = []
+        #: the live-telemetry bus; None until a subscriber attaches, so
+        #: every publishing hook below is a single attribute test
+        self._live: Optional["LiveBus"] = None
         self._tracemalloc = None
         self._mem_peaks: Dict[int, int] = {}
         if profile_memory:
@@ -209,6 +223,8 @@ class Tracer:
         self._next_id += 1
         self.spans.append(record)
         self._stack.append(record)
+        if self._live is not None:
+            self._live.span_opened(record)
         return record
 
     def end_span(self, record: SpanRecord) -> SpanRecord:
@@ -221,6 +237,8 @@ class Tracer:
         if not any(top is record for top in self._stack):
             if record.end is None:
                 record.end = self.now()
+                if self._live is not None:
+                    self._live.span_closed(record)
             warnings.warn(
                 f"end_span: span {record.name!r} (id {record.span_id}) is not "
                 f"on the span stack; open spans left untouched",
@@ -236,6 +254,8 @@ class Tracer:
                 peak = self._mem_peaks.pop(top.span_id, current)
                 top.attributes["mem_peak_kb"] = round(peak / 1024.0, 1)
                 top.attributes["mem_current_kb"] = round(current / 1024.0, 1)
+            if self._live is not None:
+                self._live.span_closed(top)
             if top is record:
                 break
         return record
@@ -290,7 +310,110 @@ class Tracer:
             counters=dict(counters) if counters else {},
         )
         self.events.append(event)
+        if self._live is not None:
+            record: Dict[str, Any] = {
+                "span": event.span_id,
+                "primitive": event.primitive,
+                "backend": event.backend,
+                "relations": list(event.relations),
+                "duration_ms": round(event.duration * 1000.0, 6),
+                "cache_hit": event.cache_hit,
+                "rows_touched": event.rows_touched,
+            }
+            if event.counters:
+                record["counters"] = dict(event.counters)
+            self._live.publish("primitive", **record)
         return event
+
+    # ------------------------------------------------------------------
+    # live telemetry
+    # ------------------------------------------------------------------
+    def live(self) -> "LiveBus":
+        """The tracer's live bus, attaching one on first use.
+
+        Attaching mid-run immediately publishes a ``span-open`` record
+        (flagged ``snapshot``) for every span currently open, so the
+        bus history starts from a consistent view of the run.
+        """
+        if self._live is None:
+            from repro.obs.live import LiveBus
+
+            bus = LiveBus(clock=self._clock)
+            for record in self._stack:
+                bus.span_opened(record, snapshot=True)
+            self._live = bus
+        return self._live
+
+    @property
+    def live_bus(self) -> Optional["LiveBus"]:
+        """The attached bus, or None when nothing ever subscribed."""
+        return self._live
+
+    def subscribe(
+        self, maxsize: int = 0, replay_from: Optional[int] = None
+    ) -> "LiveSubscription":
+        """Attach a bounded live subscriber (snapshot-then-tail).
+
+        See :meth:`repro.obs.live.LiveBus.subscribe`; *maxsize* 0 means
+        the default queue bound.
+        """
+        from repro.obs.live import DEFAULT_QUEUE_SIZE
+
+        return self.live().subscribe(
+            maxsize=maxsize or DEFAULT_QUEUE_SIZE, replay_from=replay_from
+        )
+
+    def unsubscribe(self, subscription: "LiveSubscription") -> None:
+        """Detach *subscription* from the live bus."""
+        if self._live is not None:
+            self._live.unsubscribe(subscription)
+
+    def progress(
+        self,
+        message: str,
+        current: Optional[int] = None,
+        total: Optional[int] = None,
+        **attributes: Any,
+    ) -> None:
+        """Publish one ``progress`` tick under the open span.
+
+        A no-op (one attribute test) when no subscriber ever attached —
+        instrumented loops can call it unconditionally.  The record
+        carries the innermost open span id and the innermost enclosing
+        *phase* name, so consumers can render per-phase progress without
+        reconstructing the span tree.
+        """
+        if self._live is None:
+            return
+        record: Dict[str, Any] = {
+            "span": self.current_span_id(),
+            "phase": self.current_phase(),
+            "message": message,
+        }
+        if current is not None:
+            record["current"] = current
+        if total is not None:
+            record["total"] = total
+        record.update(attributes)
+        self._live.publish("progress", **record)
+
+    def pool_event(self, event: str, **details: Any) -> None:
+        """Publish one worker-pool incident (respawn/timeout/fallback).
+
+        Same zero-cost contract as :meth:`progress`.
+        """
+        if self._live is None:
+            return
+        self._live.publish(
+            "pool", event=event, span=self.current_span_id(), **details
+        )
+
+    def current_phase(self) -> Optional[str]:
+        """The innermost open span of kind ``phase``, or None."""
+        for record in reversed(self._stack):
+            if record.kind == "phase":
+                return record.name
+        return None
 
     # ------------------------------------------------------------------
     # maintenance

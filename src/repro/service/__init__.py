@@ -45,6 +45,11 @@ from repro.service.jobs import (
     database_fingerprint,
     workload_fingerprint,
 )
+from repro.service.metrics import (
+    METRICS_CONTENT_TYPE,
+    lint_exposition,
+    render_metrics,
+)
 from repro.service.pool import (
     DEFAULT_BATCH_TIMEOUT,
     DEFAULT_MAX_RETRIES,
@@ -52,19 +57,36 @@ from repro.service.pool import (
     ProcessProbeExecutor,
     worker_payload,
 )
+from repro.service.stream import (
+    DEFAULT_HEARTBEAT,
+    SSE_CONTENT_TYPE,
+    format_comment,
+    format_event,
+    parse_sse,
+    sse_events,
+)
 
 __all__ = [
     "DEFAULT_BATCH_TIMEOUT",
+    "DEFAULT_HEARTBEAT",
     "DEFAULT_MAX_RETRIES",
     "JOBS_FORMAT",
     "JOB_STATES",
     "Job",
     "JobManager",
+    "METRICS_CONTENT_TYPE",
     "PoolStats",
     "ProcessProbeExecutor",
+    "SSE_CONTENT_TYPE",
     "database_fingerprint",
+    "format_comment",
+    "format_event",
     "jobs_to_records",
+    "lint_exposition",
+    "parse_sse",
     "read_jobs_jsonl",
+    "render_metrics",
+    "sse_events",
     "worker_payload",
     "workload_fingerprint",
     "write_jobs_jsonl",

@@ -36,12 +36,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import RunCancelled, UnknownJobError
+from repro.obs.log import get_logger, log_context
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import PipelineResult
+    from repro.obs.live import LiveBus
     from repro.programs.corpus import ProgramCorpus
     from repro.programs.equijoin import EquiJoin
     from repro.relational.database import Database
+
+log = get_logger("jobs")
 
 __all__ = [
     "JOB_STATES",
@@ -132,6 +137,10 @@ class Job:
     #: the results-cache key (database fp, workload fp, config token)
     key: Tuple[str, str, str] = ("", "", "")
     result: Optional["PipelineResult"] = None
+    #: the run's tracer (attached at submission for fresh runs, so the
+    #: live bus history is complete from the first span); None for
+    #: cache-hit jobs, which never run
+    trace: Optional[Tracer] = field(default=None, repr=False)
     # inputs, held until the run consumes them
     database: Optional["Database"] = field(default=None, repr=False)
     corpus: Optional["ProgramCorpus"] = field(default=None, repr=False)
@@ -143,6 +152,11 @@ class Job:
     def finished(self) -> bool:
         """Is the job in a terminal state?"""
         return self.state in ("done", "failed", "cancelled")
+
+    @property
+    def live(self) -> Optional["LiveBus"]:
+        """The job's live event bus, when the job has a tracer."""
+        return self.trace.live_bus if self.trace is not None else None
 
     def as_record(self) -> Dict[str, Any]:
         """The job's ``repro/jobs@1`` ledger record (JSON-ready)."""
@@ -268,6 +282,10 @@ class JobManager:
             job.database = database
             job.corpus = corpus
             job.equijoins = list(equijoins) if equijoins is not None else None
+            # attach the live bus now, not at run start: a watcher that
+            # subscribes while the job is still queued misses nothing
+            job.trace = Tracer()
+            job.trace.live()
             self._queue.append(job)
             self._wakeup.notify()
             return job
@@ -359,32 +377,39 @@ class JobManager:
         from repro.core.pipeline import DBREPipeline
 
         config = job.config
-        try:
-            pipeline = DBREPipeline(
-                job.database,
-                expert=config.get("expert"),
-                engine=config.get("engine", "serial"),
-                engine_workers=int(config.get("engine_workers", 0) or 0),
-                engine_options=config.get("engine_options"),
-                cancel=job._cancel.is_set,
+        with log_context(job=job.id):
+            log.info(
+                "job started",
+                extra={"data": {"label": job.label,
+                                "engine": config.get("engine", "serial")}},
             )
-            result = pipeline.run(
-                corpus=job.corpus,
-                equijoins=job.equijoins,
-                translate=bool(config.get("translate", True)),
-            )
-        except RunCancelled:
+            try:
+                pipeline = DBREPipeline(
+                    job.database,
+                    expert=config.get("expert"),
+                    tracer=job.trace,
+                    engine=config.get("engine", "serial"),
+                    engine_workers=int(config.get("engine_workers", 0) or 0),
+                    engine_options=config.get("engine_options"),
+                    cancel=job._cancel.is_set,
+                )
+                result = pipeline.run(
+                    corpus=job.corpus,
+                    equijoins=job.equijoins,
+                    translate=bool(config.get("translate", True)),
+                )
+            except RunCancelled:
+                with self._wakeup:
+                    self._finish(job, "cancelled")
+                return
+            except Exception as exc:
+                with self._wakeup:
+                    self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+                return
             with self._wakeup:
-                self._finish(job, "cancelled")
-            return
-        except Exception as exc:
-            with self._wakeup:
-                self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
-            return
-        with self._wakeup:
-            job.result = result
-            self._finish(job, "done")
-            self._cache[job.key] = job.id
+                job.result = result
+                self._finish(job, "done")
+                self._cache[job.key] = job.id
 
     def _finish(self, job: Job, state: str, error: str = "") -> None:
         """Move a job to a terminal state (caller holds the lock)."""
@@ -395,4 +420,15 @@ class JobManager:
         job.database = None
         job.corpus = None
         job.equijoins = None
+        bus = job.live
+        if bus is not None:
+            # the clean end-of-run sentinel every SSE watcher tails for;
+            # the bus lock never takes the manager lock, so publishing
+            # under it cannot deadlock
+            bus.publish("end", job=job.id, state=state, error=error or None)
+        log.info(
+            "job finished",
+            extra={"data": {"job": job.id, "state": state,
+                            "cached": job.cached, "error": error or None}},
+        )
         job._finished.set()

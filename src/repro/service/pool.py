@@ -298,11 +298,16 @@ class ProcessProbeExecutor:
         batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
         max_retries: int = DEFAULT_MAX_RETRIES,
         mp_context: Optional[str] = None,
+        notify: Optional[Any] = None,
     ) -> None:
         self.payload = payload
         self.workers = max(1, workers)
         self.batch_timeout = batch_timeout
         self.max_retries = max(0, max_retries)
+        #: ``notify(event, **details)`` — pool incidents (respawns,
+        #: crashes, timeouts, worker errors) for the live telemetry
+        #: stream; e.g. :meth:`repro.obs.tracer.Tracer.pool_event`
+        self._notify = notify
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -312,6 +317,11 @@ class ProcessProbeExecutor:
         self._next_batch_id = 0
         self._closed = False
         self.stats = PoolStats()
+
+    def _emit(self, event: str, **details: Any) -> None:
+        """Report one pool incident to the notify hook, if any."""
+        if self._notify is not None:
+            self._notify(event, **details)
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "ProcessProbeExecutor":
@@ -373,6 +383,7 @@ class ProcessProbeExecutor:
             elif kind == "error":
                 batch_id, message = body
                 self.stats.worker_errors += 1
+                self._emit("worker-error", message=message)
                 if batch_id in pending:
                     self._retry(batch_id, pending, reason=message)
         return [answered for answered in out if answered is not None] if all(
@@ -399,6 +410,8 @@ class ProcessProbeExecutor:
         worker = _Worker(process=process, tasks=tasks, spawn_index=self.stats.spawns)
         self._slots[slot] = worker
         self.stats.spawns += 1
+        if self.stats.spawns > self.workers:  # beyond the initial complement
+            self._emit("respawn", slot=slot, spawn=worker.spawn_index)
         return worker
 
     def _dispatch(
@@ -447,6 +460,10 @@ class ProcessProbeExecutor:
             if not assigned:
                 continue
             self.stats.crashes += 1
+            self._emit(
+                "crash", slot=slot, exitcode=worker.process.exitcode,
+                batches=len(assigned),
+            )
             self._slots[slot] = None
             for batch_id in assigned:
                 self._retry(
@@ -470,4 +487,7 @@ class ProcessProbeExecutor:
                 self._slots[entry.slot] = None
                 terminated.add(entry.slot)
             self.stats.timeouts += 1
+            self._emit(
+                "timeout", slot=entry.slot, probes=len(entry.probes),
+            )
             self._retry(batch_id, pending, reason="batch timed out")

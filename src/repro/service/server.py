@@ -10,25 +10,58 @@ runs anywhere the library does.  Routes:
 - ``GET /jobs/<id>`` — one job's record (state, timings, summary).
 - ``GET /jobs/<id>/eer`` — a finished job's rendered EER schema
   (``409`` while the job is still queued/running).
+- ``GET /jobs/<id>/events`` — the job's live ``repro/live@1`` stream as
+  Server-Sent Events: full history then tail by default,
+  ``Last-Event-ID`` resumes after a drop, idle streams carry heartbeat
+  comments, and the ``end`` sentinel closes the stream cleanly.
 - ``DELETE /jobs/<id>`` — cancel; answers whether it took effect.
-- ``GET /health`` — liveness + job counts.
+- ``GET /metrics`` — a Prometheus-style text exposition aggregated
+  from the same live streams (:mod:`repro.service.metrics`).
+- ``GET /health`` — liveness + job counts (the original combined
+  probe); ``GET /healthz`` (liveness) and ``GET /readyz`` (readiness —
+  503 once shutdown begins) split it for orchestrators.
 
 Errors are JSON too: ``{"error": ...}`` with a 4xx status.  The server
 binds localhost by default — it is a workstation/CI service, not an
 internet-facing one.
+
+``serve`` installs SIGINT/SIGTERM handlers for a graceful exit: new
+work is refused (``/readyz`` flips 503), queued jobs are cancelled,
+every connected SSE watcher is drained with an ``end`` sentinel, and
+the process leaves with status 0.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import UnknownJobError
+from repro.obs.log import get_logger
 from repro.service.export import jobs_to_records
-from repro.service.jobs import JobManager
+from repro.service.jobs import Job, JobManager
+from repro.service.metrics import METRICS_CONTENT_TYPE, render_metrics
+from repro.service.stream import (
+    DEFAULT_HEARTBEAT,
+    SSE_CONTENT_TYPE,
+    format_comment,
+    format_event,
+)
 
 __all__ = ["build_server", "serve"]
+
+log = get_logger("server")
+
+#: how long ``serve`` waits for connected SSE streams to drain at exit
+_DRAIN_TIMEOUT = 5.0
+
+#: the wait slice inside the SSE loop: short enough to notice shutdown
+#: promptly, long enough to stay idle-cheap
+_STREAM_TICK = 0.25
 
 
 class _JobsHandler(BaseHTTPRequestHandler):
@@ -78,6 +111,14 @@ class _JobsHandler(BaseHTTPRequestHandler):
                     "queued": sum(1 for j in jobs if j.state == "queued"),
                 },
             )
+        if head == "healthz":
+            return self._reply(200, {"ok": True})
+        if head == "readyz":
+            if self.server.stopping.is_set():  # type: ignore[attr-defined]
+                return self._reply(503, {"ready": False, "reason": "shutting down"})
+            return self._reply(200, {"ready": True})
+        if head == "metrics":
+            return self._metrics()
         if head != "jobs":
             return self._error(404, f"no such route: {self.path}")
         if job_id is None:
@@ -96,7 +137,85 @@ class _JobsHandler(BaseHTTPRequestHandler):
             from repro.eer.render import render_text
 
             return self._reply(200, {"id": job_id, "eer": render_text(job.result.eer)})
+        if view == "events":
+            return self._stream_events(job)
         return self._error(404, f"no such job view: {view}")
+
+    def _metrics(self) -> None:
+        text = render_metrics(
+            self.manager,
+            streams_active=self.server.active_streams,  # type: ignore[attr-defined]
+        )
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- the SSE stream ------------------------------------------------
+    def _stream_events(self, job: Job) -> None:
+        """Serve one job's live stream until its end sentinel (or drain)."""
+        raw_resume = self.headers.get("Last-Event-ID")
+        try:
+            replay_from = int(raw_resume) if raw_resume is not None else 0
+        except ValueError:
+            return self._error(400, f"Last-Event-ID must be an integer, got {raw_resume!r}")
+        self.send_response(200)
+        self.send_header("Content-Type", SSE_CONTENT_TYPE)
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        bus = job.live
+        if bus is None:
+            # a cache-hit job never ran: there is no stream, only the end
+            self._write_frame(format_event({
+                "type": "end", "seq": 0, "ts_ms": 0.0,
+                "job": job.id, "state": job.state, "cached": job.cached,
+            }))
+            return
+
+        stopping = self.server.stopping  # type: ignore[attr-defined]
+        heartbeat = self.server.heartbeat  # type: ignore[attr-defined]
+        subscription = bus.subscribe(replay_from=replay_from)
+        self.server.stream_opened()  # type: ignore[attr-defined]
+        last_write = time.monotonic()
+        try:
+            while True:
+                if stopping.is_set():
+                    # the graceful-shutdown drain: tell the watcher the
+                    # stream is over even though the job may not be
+                    self._write_frame(format_event({
+                        "type": "end", "seq": bus.last_seq, "ts_ms": 0.0,
+                        "job": job.id, "state": job.state,
+                        "reason": "server shutting down",
+                    }))
+                    return
+                record = subscription.get(timeout=min(heartbeat, _STREAM_TICK))
+                if record is None:
+                    if time.monotonic() - last_write >= heartbeat:
+                        if not self._write_frame(format_comment()):
+                            return
+                        last_write = time.monotonic()
+                    continue
+                if not self._write_frame(format_event(record)):
+                    return
+                last_write = time.monotonic()
+                if record.get("type") == "end":
+                    return
+        finally:
+            subscription.close()
+            self.server.stream_closed()  # type: ignore[attr-defined]
+
+    def _write_frame(self, frame: bytes) -> bool:
+        """One SSE frame to the client; False when the client is gone."""
+        try:
+            self.wfile.write(frame)
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
     def do_POST(self) -> None:  # noqa: N802
         head, job_id, _view = self._route()
@@ -128,16 +247,44 @@ class _JobsHandler(BaseHTTPRequestHandler):
         self._reply(200, {"id": job_id, "cancelled": cancelled})
 
 
+class _ServiceServer(ThreadingHTTPServer):
+    """The HTTP server plus the service's shared shutdown/stream state."""
+
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: set once shutdown begins; SSE loops drain, ``/readyz`` flips 503
+        self.stopping = threading.Event()
+        self.heartbeat = DEFAULT_HEARTBEAT
+        self._streams_lock = threading.Lock()
+        self.active_streams = 0
+
+    def stream_opened(self) -> None:
+        with self._streams_lock:
+            self.active_streams += 1
+
+    def stream_closed(self) -> None:
+        with self._streams_lock:
+            self.active_streams -= 1
+
+
 def build_server(
     manager: JobManager,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
-) -> ThreadingHTTPServer:
-    """A ready-to-serve HTTP server bound to *manager* (port 0 = ephemeral)."""
-    server = ThreadingHTTPServer((host, port), _JobsHandler)
+    heartbeat: float = DEFAULT_HEARTBEAT,
+) -> _ServiceServer:
+    """A ready-to-serve HTTP server bound to *manager* (port 0 = ephemeral).
+
+    *heartbeat* is the idle-stream comment cadence in seconds (the SSE
+    tests shrink it to assert cadence without waiting).
+    """
+    server = _ServiceServer((host, port), _JobsHandler)
     server.manager = manager  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.heartbeat = heartbeat
     return server
 
 
@@ -146,15 +293,53 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8750,
     verbose: bool = True,
+    heartbeat: float = DEFAULT_HEARTBEAT,
 ) -> None:
-    """Serve until interrupted (the ``repro serve`` loop)."""
-    server = build_server(manager, host=host, port=port, verbose=verbose)
+    """Serve until interrupted (the ``repro serve`` loop).
+
+    SIGINT and SIGTERM both trigger the graceful path: the readiness
+    probe flips, queued jobs are cancelled, connected SSE watchers get
+    the end sentinel, and the function returns normally (exit 0).
+    """
+    server = build_server(
+        manager, host=host, port=port, verbose=verbose, heartbeat=heartbeat
+    )
     address = f"http://{server.server_address[0]}:{server.server_address[1]}"
-    print(f"repro service listening on {address} (Ctrl-C to stop)")
+    print(f"repro service listening on {address} (Ctrl-C to stop)", flush=True)
+    log.info("service listening", extra={"data": {"address": address}})
+
+    def _begin_shutdown(signum: int, _frame: Any) -> None:
+        if server.stopping.is_set():
+            return
+        server.stopping.set()
+        log.info("shutdown signal", extra={"data": {"signal": signum}})
+        # serve_forever runs on this thread: shutdown() must be called
+        # from another one or it deadlocks waiting for the loop to stop
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            installed.append((signum, signal.signal(signum, _begin_shutdown)))
+        except ValueError:  # not the main thread (embedded use): skip
+            pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+    except KeyboardInterrupt:  # handlers not installed: fall through
+        server.stopping.set()
     finally:
-        server.server_close()
+        server.stopping.set()
+        print("shutting down", flush=True)
+        # cancel queued jobs first (their end sentinels reach watchers),
+        # then give connected streams a bounded window to drain
         manager.shutdown()
+        deadline = time.monotonic() + _DRAIN_TIMEOUT
+        while server.active_streams > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        server.server_close()
+        for signum, previous in installed:
+            try:
+                signal.signal(signum, previous)
+            except ValueError:
+                pass
+        log.info("service stopped")

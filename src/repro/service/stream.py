@@ -1,0 +1,128 @@
+"""Server-Sent Events plumbing for the live job stream.
+
+``GET /jobs/<id>/events`` speaks plain SSE (one ``text/event-stream``
+response, records framed as ``id:``/``event:``/``data:`` blocks), so
+any EventSource client — a browser, ``curl -N``, the ``repro jobs
+watch`` CLI — can tail a run.  This module holds the protocol pieces
+both sides share:
+
+- :func:`format_event` / :func:`format_comment` — one ``repro/live@1``
+  record (or a heartbeat comment) as SSE wire bytes.  The record's
+  ``seq`` becomes the SSE event id, so a reconnecting client can resume
+  exactly where it dropped off via the standard ``Last-Event-ID``
+  header;
+- :func:`parse_sse` — the inverse: an iterator of wire lines back into
+  ``(event, id, data)`` blocks;
+- :func:`sse_events` — a small stdlib client (``urllib``) that connects
+  to an events URL and yields decoded ``repro/live@1`` records until
+  the stream ends.  Heartbeat comments are skipped; the caller sees the
+  ``end`` sentinel and stops.
+
+The wire records *are* the ``repro/live@1`` dicts — capturing a stream
+with ``sse_events`` and writing it through
+:func:`repro.obs.live.write_live_jsonl` produces a valid export, which
+is exactly what ``scripts/validate_exports.py`` does in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+__all__ = [
+    "SSE_CONTENT_TYPE",
+    "DEFAULT_HEARTBEAT",
+    "format_comment",
+    "format_event",
+    "parse_sse",
+    "sse_events",
+]
+
+#: the media type an SSE response must carry
+SSE_CONTENT_TYPE = "text/event-stream"
+
+#: seconds between heartbeat comments while a stream is idle
+DEFAULT_HEARTBEAT = 15.0
+
+
+def format_event(record: Dict[str, Any]) -> bytes:
+    """One ``repro/live@1`` record as an SSE block.
+
+    The record's ``seq`` is exposed as the SSE event id (the resume
+    cursor), its ``type`` as the SSE event name, and the whole record —
+    one line of JSON — as the data payload.
+    """
+    lines = []
+    seq = record.get("seq")
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"event: {record.get('type', 'message')}")
+    lines.append("data: " + json.dumps(record, sort_keys=True, default=str))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_comment(text: str = "heartbeat") -> bytes:
+    """An SSE comment block (clients ignore it; proxies stay awake)."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+def parse_sse(
+    lines: Iterable[str],
+) -> Iterator[Tuple[str, Optional[str], str]]:
+    """Decode SSE wire *lines* into ``(event, id, data)`` blocks.
+
+    *lines* may carry their trailing newlines (``iter(response)``
+    style) or not; blank lines delimit blocks, comment lines (leading
+    ``:``) are dropped.  Multi-line ``data:`` fields are joined with
+    newlines per the SSE spec.
+    """
+    event, event_id, data = "message", None, []
+    for raw in lines:
+        line = raw.rstrip("\r\n")
+        if not line:
+            if data:
+                yield event, event_id, "\n".join(data)
+            event, data = "message", []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event = value
+        elif field == "id":
+            event_id = value
+        elif field == "data":
+            data.append(value)
+    if data:  # a final block unterminated by a blank line
+        yield event, event_id, "\n".join(data)
+
+
+def sse_events(
+    url: str,
+    last_event_id: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Connect to an SSE endpoint and yield ``repro/live@1`` records.
+
+    Sends ``Last-Event-ID`` when *last_event_id* is given (resume after
+    a drop).  Yields each decoded record dict; the generator ends when
+    the server closes the stream — after the ``end`` sentinel, or at
+    shutdown drain.  Closing the generator closes the connection.
+    """
+    request = urllib.request.Request(url, headers={"Accept": SSE_CONTENT_TYPE})
+    if last_event_id is not None:
+        request.add_header("Last-Event-ID", str(last_event_id))
+    response = urllib.request.urlopen(request, timeout=timeout)
+    try:
+        lines = (raw.decode("utf-8") for raw in response)
+        for _event, _event_id, data in parse_sse(lines):
+            try:
+                record = json.loads(data)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+    finally:
+        response.close()

@@ -1,0 +1,121 @@
+"""Structured logging: JSON lines, correlation IDs, reconfiguration."""
+
+import io
+import json
+import logging
+
+from repro.obs.log import (
+    bind_log_context,
+    configure_json_logging,
+    current_log_context,
+    get_logger,
+    log_context,
+    new_run_id,
+    reset_log_context,
+)
+
+
+def capture():
+    buffer = io.StringIO()
+    handler = configure_json_logging(stream=buffer)
+    return buffer, handler
+
+
+def teardown_function(_function):
+    # detach whatever a test configured so the repro tree goes quiet
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+
+
+class TestFormatter:
+    def test_lines_are_json_with_the_standard_fields(self):
+        buffer, _handler = capture()
+        get_logger("pipeline").info("phase complete")
+        line = json.loads(buffer.getvalue())
+        assert line["level"] == "info"
+        assert line["logger"] == "repro.pipeline"
+        assert line["message"] == "phase complete"
+        assert isinstance(line["ts"], float)
+
+    def test_extra_data_dict_is_inlined(self):
+        buffer, _handler = capture()
+        get_logger("jobs").info(
+            "job finished", extra={"data": {"state": "done", "queries": 12}}
+        )
+        line = json.loads(buffer.getvalue())
+        assert line["state"] == "done"
+        assert line["queries"] == 12
+
+    def test_exceptions_are_captured(self):
+        buffer, _handler = capture()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("server").exception("request failed")
+        line = json.loads(buffer.getvalue())
+        assert line["level"] == "error"
+        assert "ValueError: boom" in line["exc"]
+
+
+class TestCorrelation:
+    def test_context_ids_ride_every_line(self):
+        buffer, _handler = capture()
+        run = new_run_id()
+        with log_context(run=run, job="job-9"):
+            get_logger("pipeline").info("inside")
+        get_logger("pipeline").info("outside")
+        inside, outside = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        assert inside["run"] == run
+        assert inside["job"] == "job-9"
+        assert "run" not in outside
+
+    def test_bindings_nest_and_reset(self):
+        token = bind_log_context(run="r1")
+        assert current_log_context() == {"run": "r1"}
+        with log_context(job="j1"):
+            assert current_log_context() == {"run": "r1", "job": "j1"}
+        assert current_log_context() == {"run": "r1"}
+        reset_log_context(token)
+        assert current_log_context() == {}
+
+    def test_none_values_are_skipped(self):
+        with log_context(run="r2", job=None):
+            assert current_log_context() == {"run": "r2"}
+
+    def test_run_ids_are_short_and_distinct(self):
+        first, second = new_run_id(), new_run_id()
+        assert len(first) == 12
+        assert first != second
+
+
+class TestConfiguration:
+    def test_reconfigure_replaces_the_json_handler(self):
+        first, _ = capture()
+        second, _ = capture()
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert json.loads(second.getvalue())["message"] == "once"
+
+    def test_file_target_appends_json_lines(self, tmp_path):
+        path = str(tmp_path / "service.log")
+        configure_json_logging(path=path)
+        with log_context(job="job-3"):
+            get_logger("server").info("listening")
+        with open(path, encoding="utf-8") as handle:
+            line = json.loads(handle.readline())
+        assert line["job"] == "job-3"
+
+    def test_unconfigured_tree_is_silent(self, capsys):
+        get_logger("quiet").info("nothing to see")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_get_logger_normalizes_names(self):
+        assert get_logger("pipeline").name == "repro.pipeline"
+        assert get_logger("repro.pipeline").name == "repro.pipeline"
+        assert get_logger("").name == "repro"

@@ -1,0 +1,181 @@
+"""The SSE endpoint: replay, heartbeats, slow clients, concurrent watchers."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.jobs import JobManager
+from repro.service.server import build_server
+from repro.service.stream import (
+    format_comment,
+    format_event,
+    parse_sse,
+    sse_events,
+)
+from repro.workloads.paper_example import build_paper_database, paper_equijoins
+
+from tests.service.test_jobs import gated_database
+
+
+@pytest.fixture
+def service():
+    """A live server + manager; yields (manager, base URL)."""
+    manager = JobManager(runners=2)
+    server = build_server(manager, port=0, heartbeat=0.2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    yield manager, f"http://{host}:{port}", server
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+    thread.join(timeout=5)
+
+
+def submit_paper_job(manager):
+    return manager.submit(build_paper_database(), equijoins=paper_equijoins())
+
+
+class TestWireFormat:
+    def test_format_and_parse_round_trip(self):
+        record = {"type": "progress", "seq": 7, "ts_ms": 1.5, "message": "x"}
+        wire = (
+            format_comment("heartbeat")
+            + format_event(record)
+            + format_comment("heartbeat")
+        )
+        blocks = list(parse_sse(wire.decode("utf-8").splitlines(keepends=True)))
+        assert len(blocks) == 1
+        event, event_id, data = blocks[0]
+        assert event == "progress"
+        assert event_id == "7"
+        assert json.loads(data) == record
+
+    def test_parse_handles_multiline_data_and_missing_terminator(self):
+        lines = ["event: end\n", "data: {\n", "data: }\n"]
+        [(event, _id, data)] = list(parse_sse(lines))
+        assert event == "end"
+        assert data == "{\n}"
+
+
+class TestStreaming:
+    def test_full_run_streams_every_phase_boundary(self, service):
+        manager, base, _server = service
+        job = submit_paper_job(manager)
+        records = list(sse_events(f"{base}/jobs/{job.id}/events", timeout=30))
+        opens = [r["name"] for r in records
+                 if r["type"] == "span-open" and r.get("kind") == "phase"]
+        assert opens == [
+            "IND-Discovery", "LHS-Discovery", "RHS-Discovery",
+            "Restruct", "Translate",
+        ]
+        closes = {r["name"] for r in records
+                  if r["type"] == "span-close" and r.get("kind") == "phase"}
+        assert closes == set(opens)
+        # >= 1 progress tick inside each discovery phase
+        for phase in ("IND-Discovery", "LHS-Discovery", "RHS-Discovery"):
+            assert any(
+                r["type"] == "progress" and r.get("phase") == phase
+                for r in records
+            ), f"no progress event inside {phase}"
+        assert records[-1]["type"] == "end"
+        assert records[-1]["state"] == "done"
+
+    def test_last_event_id_replays_exactly_the_tail(self, service):
+        manager, base, _server = service
+        job = submit_paper_job(manager)
+        url = f"{base}/jobs/{job.id}/events"
+        full = list(sse_events(url, timeout=30))
+        cut = full[len(full) // 2]["seq"]
+        resumed = list(sse_events(url, last_event_id=cut, timeout=30))
+        assert [r["seq"] for r in resumed] == [
+            r["seq"] for r in full if r["seq"] > cut
+        ]
+
+    def test_bad_last_event_id_is_a_400(self, service):
+        manager, base, _server = service
+        job = submit_paper_job(manager)
+        manager.result(job.id, timeout=30)
+        request = urllib.request.Request(
+            f"{base}/jobs/{job.id}/events",
+            headers={"Last-Event-ID": "banana"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_cached_job_streams_a_bare_end_sentinel(self, service):
+        manager, base, _server = service
+        first = submit_paper_job(manager)
+        manager.result(first.id, timeout=30)
+        twin = submit_paper_job(manager)
+        assert twin.cached
+        records = list(sse_events(f"{base}/jobs/{twin.id}/events", timeout=10))
+        assert [r["type"] for r in records] == ["end"]
+        assert records[0]["cached"] is True
+
+    def test_concurrent_watchers_see_the_same_stream(self, service):
+        manager, base, _server = service
+        database, backend = gated_database()
+        job = manager.submit(database, equijoins=paper_equijoins())
+        url = f"{base}/jobs/{job.id}/events"
+        captured = [[] for _ in range(3)]
+
+        def watch(bucket):
+            bucket.extend(sse_events(url, timeout=30))
+
+        watchers = [
+            threading.Thread(target=watch, args=(bucket,), daemon=True)
+            for bucket in captured
+        ]
+        for thread in watchers:
+            thread.start()
+        assert backend.entered.wait(timeout=30)
+        backend.release.set()
+        for thread in watchers:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        sequences = [[r["seq"] for r in bucket] for bucket in captured]
+        assert sequences[0] == sequences[1] == sequences[2]
+        assert captured[0][-1]["type"] == "end"
+
+    def test_heartbeats_flow_while_the_job_is_gated(self, service):
+        manager, base, _server = service
+        database, backend = gated_database()
+        job = manager.submit(database, equijoins=paper_equijoins())
+        assert backend.entered.wait(timeout=30)
+        # the run is now parked inside IND-Discovery: the stream idles
+        request = urllib.request.Request(
+            f"{base}/jobs/{job.id}/events",
+            headers={"Last-Event-ID": "1000000"},  # nothing to replay
+        )
+        response = urllib.request.urlopen(request, timeout=10)
+        try:
+            comments = 0
+            for raw in response:
+                if raw.decode("utf-8").startswith(":"):
+                    comments += 1
+                    if comments >= 2:
+                        break
+        finally:
+            response.close()
+            backend.release.set()
+        assert comments >= 2
+        manager.result(job.id, timeout=30)
+
+
+class TestSlowClients:
+    def test_slow_subscriber_never_stalls_the_run(self, service):
+        manager, base, _server = service
+        job = submit_paper_job(manager)
+        result = manager.result(job.id, timeout=30)
+        assert result is not None
+        # the job's own bus enforces the bound; a crawling SSE client
+        # maps to a bounded subscription with a drop counter
+        slow = job.live.subscribe(maxsize=2, replay_from=0)
+        drained = slow.drain()
+        assert len(drained) == 2
+        assert slow.dropped == job.live.last_seq - 2
