@@ -470,7 +470,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
     _configure_logging(args)
-    manager = JobManager(runners=args.runners)
+    manager = JobManager(
+        runners=args.runners, keep_finished=args.keep_finished
+    )
     try:
         serve(
             manager,
@@ -599,7 +601,17 @@ def cmd_jobs_watch(args: argparse.Namespace) -> int:
     except (urllib.error.URLError, OSError) as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
-    return 0 if final_state in ("done", "") else 1
+    if final_state == "done":
+        return 0
+    if not final_state:
+        # the stream closed with no end sentinel at all: a server crash
+        # or dropped connection mid-run must not look like success
+        print(
+            f"error: stream ended without an end sentinel; "
+            f"{args.job_id} may still be running",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -867,6 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind port (default 8750; 0 = ephemeral)")
     serve.add_argument("--runners", type=int, default=1, metavar="N",
                        help="concurrent job-runner threads (default 1)")
+    serve.add_argument("--keep-finished", type=int, default=None,
+                       metavar="N",
+                       help="retain at most N finished jobs in the ledger, "
+                            "evicting the oldest (their metrics totals are "
+                            "kept; default: keep all)")
     serve.add_argument("--jobs-export", metavar="FILE",
                        help="write the repro/jobs@1 ledger here on shutdown")
     serve.add_argument("--quiet", action="store_true",

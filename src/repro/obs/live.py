@@ -8,12 +8,20 @@ one-event-stream design observable while the run is still going:
   :class:`~repro.obs.tracer.Tracer` can attach.  Every span open, span
   close, primitive call, progress tick and worker-pool incident becomes
   one ``repro/live@1`` dict with a monotonically increasing ``seq``;
-  the bus keeps the full record history so late consumers can replay
-  from any sequence number (the SSE endpoint's ``Last-Event-ID``).
+  the bus keeps a **bounded** record history (``history_limit``, oldest
+  first to go) so late consumers can replay from a sequence number (the
+  SSE endpoint's ``Last-Event-ID``) without the bus growing without
+  bound on a long-lived service.
+- :class:`LiveStats` — incremental aggregates (record counts, per-phase
+  latency, primitive/cache/storage/pool counters) the bus maintains on
+  every publish, so a metrics scrape reads the totals in O(1) instead
+  of rescanning the history — and the totals survive history trimming.
 - :class:`LiveSubscription` — one consumer's **bounded** queue.  A slow
   consumer never stalls the pipeline: when the queue is full the bus
   drops the record and counts it (``subscription.dropped``), and the
-  history stays complete so the consumer can re-sync by replay.
+  retained history lets the consumer re-sync by replay.  Replaying a
+  long backlog should page :meth:`LiveBus.history` directly (as the
+  SSE endpoint does) rather than funnel it through the bounded queue.
 - **Snapshot-then-tail** — a subscriber that attaches mid-run first
   receives a ``span-open`` record for every span still open (in stack
   order), so its view of the run starts consistent, then tails new
@@ -52,6 +60,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from itertools import islice
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 import threading
@@ -65,6 +74,8 @@ __all__ = [
     "LIVE_FORMAT",
     "LIVE_EVENT_TYPES",
     "DEFAULT_QUEUE_SIZE",
+    "DEFAULT_HISTORY_LIMIT",
+    "LiveStats",
     "LiveSubscription",
     "LiveBus",
     "live_records",
@@ -88,10 +99,101 @@ LIVE_EVENT_TYPES = (
 #: per-subscriber queue bound; past it the bus drops (and counts) records
 DEFAULT_QUEUE_SIZE = 1024
 
+#: per-bus history bound; past it the oldest records are trimmed (the
+#: aggregates in :class:`LiveStats` keep counting what was trimmed)
+DEFAULT_HISTORY_LIMIT = 65536
+
 
 def _ms(seconds: float) -> float:
     """Seconds → milliseconds, rounded to survive a JSON round-trip."""
     return round(seconds * 1000.0, 6)
+
+
+class LiveStats:
+    """Running aggregates over every record a bus ever published.
+
+    Updated incrementally on publish (a few dict bumps under the bus
+    lock), so consumers — the ``/metrics`` exposition above all — read
+    totals without rescanning the history, and the totals stay correct
+    after the bounded history trims old records or a finished job is
+    evicted from the ledger (:meth:`merge` folds its stats forward).
+    """
+
+    __slots__ = (
+        "events",
+        "phase_runs",
+        "phase_ms",
+        "primitive_calls",
+        "primitive_cache_hits",
+        "storage_counters",
+        "pool_events",
+    )
+
+    def __init__(self) -> None:
+        #: records published, by record type
+        self.events: Dict[str, int] = {}
+        #: closed ``phase`` spans, by phase name
+        self.phase_runs: Dict[str, int] = {}
+        #: total wall milliseconds per phase name
+        self.phase_ms: Dict[str, float] = {}
+        #: primitive calls, by primitive
+        self.primitive_calls: Dict[str, int] = {}
+        #: primitive calls answered from a cache, by primitive
+        self.primitive_cache_hits: Dict[str, int] = {}
+        #: storage telemetry deltas (buffer pool, page I/O), by counter
+        self.storage_counters: Dict[str, int] = {}
+        #: worker-pool incidents, by event
+        self.pool_events: Dict[str, int] = {}
+
+    def observe(self, record: Dict[str, Any]) -> None:
+        """Fold one published record into the totals."""
+        kind = record["type"]
+        self.events[kind] = self.events.get(kind, 0) + 1
+        if kind == "span-close" and record.get("kind") == "phase":
+            phase = record["name"]
+            self.phase_runs[phase] = self.phase_runs.get(phase, 0) + 1
+            self.phase_ms[phase] = (
+                self.phase_ms.get(phase, 0.0) + record.get("duration_ms", 0.0)
+            )
+        elif kind == "primitive":
+            primitive = record["primitive"]
+            self.primitive_calls[primitive] = (
+                self.primitive_calls.get(primitive, 0) + 1
+            )
+            if record.get("cache_hit"):
+                self.primitive_cache_hits[primitive] = (
+                    self.primitive_cache_hits.get(primitive, 0) + 1
+                )
+            for counter, delta in (record.get("counters") or {}).items():
+                self.storage_counters[counter] = (
+                    self.storage_counters.get(counter, 0) + delta
+                )
+        elif kind == "pool":
+            event = record.get("event", "unknown")
+            self.pool_events[event] = self.pool_events.get(event, 0) + 1
+
+    def merge(self, other: "LiveStats") -> None:
+        """Fold *other*'s totals into this one (ledger eviction)."""
+        for mine, theirs in (
+            (self.events, other.events),
+            (self.phase_runs, other.phase_runs),
+            (self.phase_ms, other.phase_ms),
+            (self.primitive_calls, other.primitive_calls),
+            (self.primitive_cache_hits, other.primitive_cache_hits),
+            (self.storage_counters, other.storage_counters),
+            (self.pool_events, other.pool_events),
+        ):
+            for key, value in theirs.items():
+                mine[key] = mine.get(key, 0) + value
+
+    def copy(self) -> "LiveStats":
+        """An independent snapshot of the totals."""
+        snapshot = LiveStats()
+        snapshot.merge(self)
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"LiveStats(events={sum(self.events.values())})"
 
 
 class LiveSubscription:
@@ -101,8 +203,9 @@ class LiveSubscription:
     timeout; :meth:`drain` empties the queue without blocking.  When the
     queue is full the *bus* drops the newest record and increments
     :attr:`dropped` — the producing pipeline never waits on a consumer.
-    A dropped record is not lost forever: the bus history keeps it, and
-    ``replay_from=<last seen seq>`` on a fresh subscription re-delivers.
+    A dropped record is recoverable while the bounded bus history still
+    retains it: page :meth:`LiveBus.history` from the last seen seq (as
+    the SSE endpoint does when it detects a gap).
     """
 
     def __init__(self, bus: "LiveBus", maxsize: int = DEFAULT_QUEUE_SIZE) -> None:
@@ -171,18 +274,33 @@ class LiveBus:
 
     Publication assigns each record a ``seq`` (1-based, monotonic) and a
     ``ts_ms`` relative to the bus' attach time, appends it to the
-    history, and offers it to every subscription.  All of that happens
-    under one lock, so subscribers observe a single total order — the
-    same order the history records.
+    history, folds it into the running :class:`LiveStats`, and offers it
+    to every subscription.  All of that happens under one lock, so
+    subscribers observe a single total order — the same order the
+    history records.
+
+    The history is bounded by *history_limit*: past it the oldest
+    records are trimmed (``seq`` stays contiguous among the retained
+    tail, :attr:`trimmed` counts what is gone), so a long-lived service
+    holds at most *history_limit* raw records per run while the stats
+    keep the full totals.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._subscriptions: List[LiveSubscription] = []
-        self._history: List[Dict[str, Any]] = []
+        self._history: deque = deque()
+        self._history_limit = max(1, history_limit)
+        self._trimmed = 0
+        self._stats = LiveStats()
         self._open: Dict[int, Dict[str, Any]] = {}
         self._seq = 0
+        self._dropped_detached = 0
         self._base = clock()
 
     # -- publication (the tracer side) ---------------------------------
@@ -197,6 +315,10 @@ class LiveBus:
             }
             record.update(fields)
             self._history.append(record)
+            self._stats.observe(record)
+            while len(self._history) > self._history_limit:
+                self._history.popleft()
+                self._trimmed += 1
             if type == "span-open":
                 self._open[record["span"]] = record
             elif type == "span-close":
@@ -272,6 +394,9 @@ class LiveBus:
                 self._subscriptions.remove(subscription)
             except ValueError:
                 pass
+            else:
+                # keep the detached consumer's drops in the bus total
+                self._dropped_detached += subscription.dropped
 
     # -- introspection -------------------------------------------------
     @property
@@ -286,17 +411,40 @@ class LiveBus:
         with self._lock:
             return self._seq
 
-    def history(self, since: int = 0) -> List[Dict[str, Any]]:
-        """A snapshot of every published record with ``seq > since``."""
+    @property
+    def trimmed(self) -> int:
+        """Records the bounded history has trimmed (lowest seqs first)."""
         with self._lock:
-            if since <= 0:
+            return self._trimmed
+
+    def history(self, since: int = 0) -> List[Dict[str, Any]]:
+        """Every *retained* record with ``seq > since``, oldest first.
+
+        Records already trimmed by the history bound are gone for good:
+        when ``since`` predates :attr:`trimmed`, the returned page
+        starts at the oldest retained record (its ``seq`` exceeds
+        ``since + 1`` — a detectable gap).
+        """
+        with self._lock:
+            # retained seqs are contiguous: _trimmed+1 .. _seq
+            start = max(0, since - self._trimmed)
+            if start == 0:
                 return list(self._history)
-            return [r for r in self._history if r["seq"] > since]
+            if start >= len(self._history):
+                return []
+            return list(islice(self._history, start, None))
+
+    def stats(self) -> LiveStats:
+        """A snapshot of the running aggregates (trim-proof totals)."""
+        with self._lock:
+            return self._stats.copy()
 
     def dropped(self) -> int:
-        """Records dropped across every attached subscription."""
+        """Records dropped across every subscription, ever attached."""
         with self._lock:
-            return sum(s.dropped for s in self._subscriptions)
+            return self._dropped_detached + sum(
+                s.dropped for s in self._subscriptions
+            )
 
     def __repr__(self) -> str:
         with self._lock:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import RunCancelled, UnknownJobError
+from repro.obs.live import LiveStats
 from repro.obs.log import get_logger, log_context
 from repro.obs.tracer import Tracer
 
@@ -197,9 +198,19 @@ class JobManager:
     ``translate``), so one manager can serve serial, batched and
     process-parallel jobs side by side.  Thread-safe; close with
     :meth:`shutdown` (or use as a context manager).
+
+    *keep_finished* bounds the ledger on a long-lived service: once more
+    than that many jobs sit in a terminal state, the oldest finished
+    ones are evicted — their telemetry totals are folded into
+    :meth:`evicted` (so ``/metrics`` counters stay monotonic), any
+    results-cache entry pointing at them is purged (a resubmission of
+    that key simply re-runs), and their ids stop resolving.  ``None``
+    (the default) keeps every job forever, the pre-eviction behaviour.
     """
 
-    def __init__(self, runners: int = 1) -> None:
+    def __init__(
+        self, runners: int = 1, keep_finished: Optional[int] = None
+    ) -> None:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: deque = deque()
@@ -207,6 +218,13 @@ class JobManager:
         self._order: List[str] = []
         self._cache: Dict[Tuple[str, str, str], str] = {}
         self._ids = itertools.count(1)
+        self._keep_finished = (
+            max(0, keep_finished) if keep_finished is not None else None
+        )
+        self._evicted_jobs = 0
+        self._evicted_cached = 0
+        self._evicted_dropped = 0
+        self._evicted_stats = LiveStats()
         self._stopping = False
         self._runners = [
             threading.Thread(target=self._runner_loop, daemon=True, name=f"repro-runner-{i}")
@@ -411,6 +429,47 @@ class JobManager:
                 self._finish(job, "done")
                 self._cache[job.key] = job.id
 
+    def evicted(self) -> Dict[str, Any]:
+        """What ledger eviction has retired so far.
+
+        ``jobs``/``cached``/``dropped`` are counts; ``stats`` is the
+        :class:`~repro.obs.live.LiveStats` fold of every evicted job's
+        telemetry totals — ``/metrics`` adds them back in so its
+        counters never move backwards when the ledger is bounded.
+        """
+        with self._lock:
+            return {
+                "jobs": self._evicted_jobs,
+                "cached": self._evicted_cached,
+                "dropped": self._evicted_dropped,
+                "stats": self._evicted_stats.copy(),
+            }
+
+    def _evict_finished(self) -> None:
+        """Retire the oldest finished jobs past the cap (lock held)."""
+        if self._keep_finished is None:
+            return
+        finished = [
+            job_id for job_id in self._order if self._jobs[job_id].finished
+        ]
+        excess = len(finished) - self._keep_finished
+        for job_id in finished[: max(0, excess)]:
+            job = self._jobs.pop(job_id)
+            self._order.remove(job_id)
+            for key in [k for k, v in self._cache.items() if v == job_id]:
+                del self._cache[key]
+            bus = job.live
+            if bus is not None:
+                self._evicted_stats.merge(bus.stats())
+                self._evicted_dropped += bus.dropped()
+            self._evicted_jobs += 1
+            if job.cached:
+                self._evicted_cached += 1
+            log.info(
+                "job evicted",
+                extra={"data": {"job": job_id, "state": job.state}},
+            )
+
     def _finish(self, job: Job, state: str, error: str = "") -> None:
         """Move a job to a terminal state (caller holds the lock)."""
         job.state = state
@@ -432,3 +491,4 @@ class JobManager:
                             "cached": job.cached, "error": error or None}},
         )
         job._finished.set()
+        self._evict_finished()

@@ -1,11 +1,15 @@
 """``GET /metrics``: a Prometheus-style exposition of the service.
 
 The exposition is aggregated from the **same stream** the SSE endpoint
-serves — every job's ``repro/live@1`` bus history — plus the manager's
-own ledger, so a scrape and a watcher can never disagree about what
-the service did:
+serves — every job's bus folds each published ``repro/live@1`` record
+into running :class:`~repro.obs.live.LiveStats` totals, which a scrape
+merges in O(jobs) — plus the manager's own ledger, so a scrape and a
+watcher can never disagree about what the service did (and the totals
+outlive both history trimming and ledger eviction):
 
 - ``repro_jobs_total{state=...}`` — the ledger by state;
+- ``repro_jobs_evicted_total`` — finished jobs the bounded ledger
+  (``keep_finished``) has retired;
 - ``repro_phase_runs_total`` / ``repro_phase_latency_ms_total`` — one
   increment per closed phase span, summed per phase name;
 - ``repro_primitive_calls_total`` / ``repro_primitive_cache_hits_total``
@@ -33,6 +37,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 from repro.service.jobs import JOB_STATES
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.live import LiveStats
     from repro.service.jobs import JobManager
 
 __all__ = [
@@ -96,18 +101,22 @@ class _Exposition:
 
 
 def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
-    """The whole service as one Prometheus text exposition."""
+    """The whole service as one Prometheus text exposition.
+
+    Aggregation is O(jobs), not O(events): each bus keeps running
+    :class:`~repro.obs.live.LiveStats` totals updated at publish time,
+    so a scrape merges per-job snapshots instead of rescanning every
+    record ever published — and the totals survive both the bounded
+    history trimming old records and ledger eviction retiring old jobs
+    (the manager folds an evicted job's stats forward, keeping the
+    counters monotonic).
+    """
     jobs = manager.jobs()
+    evicted = manager.evicted()
     by_state = {state: 0 for state in JOB_STATES}
-    cached = 0
-    phase_runs: Dict[str, int] = {}
-    phase_ms: Dict[str, float] = {}
-    primitive_calls: Dict[str, int] = {}
-    primitive_hits: Dict[str, int] = {}
-    storage: Dict[str, int] = {}
-    pool_events: Dict[str, int] = {}
-    live_events: Dict[str, int] = {}
-    dropped = 0
+    cached = evicted["cached"]
+    dropped = evicted["dropped"]
+    totals: "LiveStats" = evicted["stats"]
     for job in jobs:
         by_state[job.state] = by_state.get(job.state, 0) + 1
         cached += 1 if job.cached else 0
@@ -115,24 +124,14 @@ def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
         if bus is None:
             continue
         dropped += bus.dropped()
-        for record in bus.history():
-            live_events[record["type"]] = live_events.get(record["type"], 0) + 1
-            if record["type"] == "span-close" and record.get("kind") == "phase":
-                phase = record["name"]
-                phase_runs[phase] = phase_runs.get(phase, 0) + 1
-                phase_ms[phase] = phase_ms.get(phase, 0.0) + record["duration_ms"]
-            elif record["type"] == "primitive":
-                primitive = record["primitive"]
-                primitive_calls[primitive] = primitive_calls.get(primitive, 0) + 1
-                if record.get("cache_hit"):
-                    primitive_hits[primitive] = (
-                        primitive_hits.get(primitive, 0) + 1
-                    )
-                for counter, delta in (record.get("counters") or {}).items():
-                    storage[counter] = storage.get(counter, 0) + delta
-            elif record["type"] == "pool":
-                event = record.get("event", "unknown")
-                pool_events[event] = pool_events.get(event, 0) + 1
+        totals.merge(bus.stats())
+    phase_runs = totals.phase_runs
+    phase_ms = totals.phase_ms
+    primitive_calls = totals.primitive_calls
+    primitive_hits = totals.primitive_cache_hits
+    storage = totals.storage_counters
+    pool_events = totals.pool_events
+    live_events = totals.events
 
     exposition = _Exposition()
     exposition.family(
@@ -142,6 +141,11 @@ def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
     exposition.family(
         "repro_jobs_cached_total", "counter",
         "Jobs answered from the results cache.", [({}, cached)],
+    )
+    exposition.family(
+        "repro_jobs_evicted_total", "counter",
+        "Finished jobs retired from the bounded ledger.",
+        [({}, evicted["jobs"])],
     )
     exposition.family(
         "repro_phase_runs_total", "counter",

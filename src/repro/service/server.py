@@ -11,9 +11,13 @@ runs anywhere the library does.  Routes:
 - ``GET /jobs/<id>/eer`` — a finished job's rendered EER schema
   (``409`` while the job is still queued/running).
 - ``GET /jobs/<id>/events`` — the job's live ``repro/live@1`` stream as
-  Server-Sent Events: full history then tail by default,
-  ``Last-Event-ID`` resumes after a drop, idle streams carry heartbeat
-  comments, and the ``end`` sentinel closes the stream cleanly.
+  Server-Sent Events: retained history then tail by default,
+  ``Last-Event-ID`` resumes after a reconnect, idle streams carry
+  heartbeat comments, and the ``end`` sentinel closes the stream
+  cleanly.  The backlog pages straight from the bus history (never
+  through the bounded tail queue, so replays of any length complete),
+  and when a slow client's queue drops records mid-tail the handler
+  detects the ``seq`` gap and re-syncs from history before continuing.
 - ``DELETE /jobs/<id>`` — cancel; answers whether it took effect.
 - ``GET /metrics`` — a Prometheus-style text exposition aggregated
   from the same live streams (:mod:`repro.service.metrics`).
@@ -41,6 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import UnknownJobError
+from repro.obs.live import DEFAULT_QUEUE_SIZE
 from repro.obs.log import get_logger
 from repro.service.export import jobs_to_records
 from repro.service.jobs import Job, JobManager
@@ -158,7 +163,7 @@ class _JobsHandler(BaseHTTPRequestHandler):
         """Serve one job's live stream until its end sentinel (or drain)."""
         raw_resume = self.headers.get("Last-Event-ID")
         try:
-            replay_from = int(raw_resume) if raw_resume is not None else 0
+            cursor = int(raw_resume) if raw_resume is not None else 0
         except ValueError:
             return self._error(400, f"Last-Event-ID must be an integer, got {raw_resume!r}")
         self.send_response(200)
@@ -178,10 +183,23 @@ class _JobsHandler(BaseHTTPRequestHandler):
 
         stopping = self.server.stopping  # type: ignore[attr-defined]
         heartbeat = self.server.heartbeat  # type: ignore[attr-defined]
-        subscription = bus.subscribe(replay_from=replay_from)
+        subscription = None
         self.server.stream_opened()  # type: ignore[attr-defined]
-        last_write = time.monotonic()
         try:
+            # the backlog pages straight from the bus history — never
+            # through the bounded subscriber queue, so a replay longer
+            # than the queue (or a finished job's whole stream) arrives
+            # complete, end sentinel included
+            cursor, alive, ended = self._page_history(bus, cursor)
+            if not alive or ended:
+                return
+            # tail live from exactly where the paging stopped; records
+            # published in between are pre-filled by subscribe itself
+            subscription = bus.subscribe(
+                maxsize=self.server.stream_queue,  # type: ignore[attr-defined]
+                replay_from=cursor,
+            )
+            last_write = time.monotonic()
             while True:
                 if stopping.is_set():
                     # the graceful-shutdown drain: tell the watcher the
@@ -194,19 +212,59 @@ class _JobsHandler(BaseHTTPRequestHandler):
                     return
                 record = subscription.get(timeout=min(heartbeat, _STREAM_TICK))
                 if record is None:
-                    if time.monotonic() - last_write >= heartbeat:
+                    if bus.last_seq > cursor:
+                        # the queue ran dry but the bus is ahead: records
+                        # (possibly the end sentinel itself) were dropped
+                        # on the full queue — re-sync from history
+                        cursor, alive, ended = self._page_history(bus, cursor)
+                        if not alive or ended:
+                            return
+                        last_write = time.monotonic()
+                    elif time.monotonic() - last_write >= heartbeat:
                         if not self._write_frame(format_comment()):
                             return
                         last_write = time.monotonic()
                     continue
+                seq = record.get("seq", 0)
+                if seq <= cursor:
+                    # already delivered by a history refill
+                    continue
+                if seq > cursor + 1:
+                    # the queue dropped records mid-tail: refill the gap
+                    # (this record included) from history, in seq order
+                    cursor, alive, ended = self._page_history(bus, cursor)
+                    if not alive or ended:
+                        return
+                    last_write = time.monotonic()
+                    continue
                 if not self._write_frame(format_event(record)):
                     return
+                cursor = seq
                 last_write = time.monotonic()
                 if record.get("type") == "end":
                     return
         finally:
-            subscription.close()
+            if subscription is not None:
+                subscription.close()
             self.server.stream_closed()  # type: ignore[attr-defined]
+
+    def _page_history(self, bus: Any, cursor: int) -> Tuple[int, bool, bool]:
+        """Write every retained history record past *cursor* to the client.
+
+        Re-queries the bus until a page comes back empty, so records
+        published while earlier pages were being written are included.
+        Returns ``(cursor, client alive, end sentinel written)``.
+        """
+        while True:
+            page = bus.history(since=cursor)
+            if not page:
+                return cursor, True, False
+            for record in page:
+                if not self._write_frame(format_event(record)):
+                    return cursor, False, False
+                cursor = record["seq"]
+                if record.get("type") == "end":
+                    return cursor, True, True
 
     def _write_frame(self, frame: bytes) -> bool:
         """One SSE frame to the client; False when the client is gone."""
@@ -257,6 +315,7 @@ class _ServiceServer(ThreadingHTTPServer):
         #: set once shutdown begins; SSE loops drain, ``/readyz`` flips 503
         self.stopping = threading.Event()
         self.heartbeat = DEFAULT_HEARTBEAT
+        self.stream_queue = DEFAULT_QUEUE_SIZE
         self._streams_lock = threading.Lock()
         self.active_streams = 0
 
@@ -275,16 +334,20 @@ def build_server(
     port: int = 0,
     verbose: bool = False,
     heartbeat: float = DEFAULT_HEARTBEAT,
+    stream_queue: int = DEFAULT_QUEUE_SIZE,
 ) -> _ServiceServer:
     """A ready-to-serve HTTP server bound to *manager* (port 0 = ephemeral).
 
     *heartbeat* is the idle-stream comment cadence in seconds (the SSE
-    tests shrink it to assert cadence without waiting).
+    tests shrink it to assert cadence without waiting); *stream_queue*
+    is each SSE watcher's live-tail queue bound (the tests shrink it to
+    force drops and assert the history re-sync).
     """
     server = _ServiceServer((host, port), _JobsHandler)
     server.manager = manager  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.heartbeat = heartbeat
+    server.stream_queue = max(1, stream_queue)
     return server
 
 

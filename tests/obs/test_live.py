@@ -5,6 +5,7 @@ import pytest
 from repro.obs.live import (
     LIVE_FORMAT,
     LiveBus,
+    LiveStats,
     live_records,
     read_live_jsonl,
     write_live_jsonl,
@@ -153,6 +154,88 @@ class TestBoundedQueues:
         assert recovered
         assert recovered[0]["seq"] == last_seen + 1
         assert recovered[-1]["seq"] == tracer.live_bus.last_seq
+
+
+class TestBoundedHistory:
+    """The history bound: oldest records trim, totals keep counting."""
+
+    def test_history_trims_oldest_but_stats_keep_counting(self):
+        bus = LiveBus(history_limit=10)
+        for tick in range(25):
+            bus.publish("progress", message="tick", current=tick)
+        assert bus.trimmed == 15
+        retained = bus.history()
+        assert len(retained) == 10
+        assert [r["seq"] for r in retained] == list(range(16, 26))
+        # the aggregates never forget what the history shed
+        assert bus.stats().events["progress"] == 25
+
+    def test_history_since_respects_the_trim_watermark(self):
+        bus = LiveBus(history_limit=10)
+        for _ in range(25):
+            bus.publish("progress", message="tick")
+        assert [r["seq"] for r in bus.history(since=20)] == [
+            21, 22, 23, 24, 25,
+        ]
+        # a cursor predating the trim gets the retained tail — the
+        # jump from cursor+1 to the first seq is the detectable gap
+        page = bus.history(since=3)
+        assert page[0]["seq"] == 16
+        assert bus.history(since=25) == []
+        assert bus.history(since=99) == []
+
+    def test_dropped_total_survives_unsubscribe(self):
+        tracer = Tracer()
+        subscription = tracer.subscribe(maxsize=2)
+        with tracer.span("pipeline", kind="pipeline"):
+            for tick in range(10):
+                tracer.progress("tick", current=tick)
+        dropped = subscription.dropped
+        assert dropped > 0
+        subscription.close()
+        assert tracer.live_bus.dropped() == dropped
+
+
+class TestLiveStats:
+    """Incremental aggregates maintained at publish time."""
+
+    def test_stats_aggregate_phases_primitives_and_pool(self):
+        tracer = Tracer()
+        tracer.live()
+        run_traced(tracer)
+        tracer.pool_event("respawn")
+        stats = tracer.live_bus.stats()
+        assert stats.phase_runs == {"IND-Discovery": 1, "LHS-Discovery": 1}
+        assert stats.phase_ms["IND-Discovery"] >= 0.0
+        assert stats.primitive_calls == {"count_distinct": 1}
+        assert stats.primitive_cache_hits == {}
+        assert stats.pool_events == {"respawn": 1}
+        assert stats.events["span-open"] == 3
+        assert stats.events["progress"] == 1
+
+    def test_merge_folds_and_copy_is_independent(self):
+        a = LiveStats()
+        a.observe({"type": "pool", "event": "respawn"})
+        b = a.copy()
+        b.observe({"type": "pool", "event": "respawn"})
+        assert a.pool_events == {"respawn": 1}
+        assert b.pool_events == {"respawn": 2}
+        a.merge(b)
+        assert a.pool_events == {"respawn": 3}
+
+    def test_cache_hits_and_storage_counters(self):
+        stats = LiveStats()
+        stats.observe({
+            "type": "primitive", "primitive": "join_count",
+            "cache_hit": True, "counters": {"pool_hits": 3},
+        })
+        stats.observe({
+            "type": "primitive", "primitive": "join_count",
+            "cache_hit": False, "counters": {"pool_hits": 2},
+        })
+        assert stats.primitive_calls == {"join_count": 2}
+        assert stats.primitive_cache_hits == {"join_count": 1}
+        assert stats.storage_counters == {"pool_hits": 5}
 
 
 class TestFileFormat:

@@ -288,3 +288,59 @@ class TestExport:
             handle.write('{"type": "header", "format": "repro/trace@1"}\n')
         with pytest.raises(ValueError, match="not a repro/jobs@1"):
             read_jobs_jsonl(path)
+
+
+class TestLedgerEviction:
+    """keep_finished bounds the ledger; evicted totals fold forward."""
+
+    def test_oldest_finished_jobs_are_retired(self):
+        with JobManager(runners=1, keep_finished=2) as manager:
+            first = manager.submit(
+                build_paper_database(), equijoins=paper_equijoins()
+            )
+            manager.result(first.id, timeout=30)
+            twin = manager.submit(
+                build_paper_database(), equijoins=paper_equijoins()
+            )
+            assert twin.cached
+            third = manager.submit(
+                build_paper_database(), corpus=paper_program_corpus()
+            )
+            manager.result(third.id, timeout=30)
+            ids = [job.id for job in manager.jobs()]
+            assert len(ids) == 2
+            assert first.id not in ids
+            with pytest.raises(UnknownJobError):
+                manager.status(first.id)
+            evicted = manager.evicted()
+            assert evicted["jobs"] == 1
+            # the retired run's telemetry totals were folded forward
+            assert evicted["stats"].phase_runs.get("IND-Discovery") == 1
+
+    def test_evicting_a_cache_source_purges_its_cache_entry(self):
+        with JobManager(runners=1, keep_finished=1) as manager:
+            first = manager.submit(
+                build_paper_database(), equijoins=paper_equijoins()
+            )
+            manager.result(first.id, timeout=30)
+            other = manager.submit(
+                build_paper_database(), corpus=paper_program_corpus()
+            )
+            manager.result(other.id, timeout=30)  # evicts first
+            assert first.id not in [job.id for job in manager.jobs()]
+            # the cache entry pointing at the evicted job is gone: the
+            # same key re-runs instead of dangling
+            again = manager.submit(
+                build_paper_database(), equijoins=paper_equijoins()
+            )
+            result = manager.result(again.id, timeout=30)
+            assert not again.cached
+            assert result is not None
+
+    def test_unbounded_manager_never_evicts(self, manager):
+        job = manager.submit(
+            build_paper_database(), equijoins=paper_equijoins()
+        )
+        manager.result(job.id, timeout=30)
+        assert manager.evicted()["jobs"] == 0
+        assert [j.id for j in manager.jobs()] == [job.id]

@@ -79,6 +79,48 @@ class TestRendering:
         ] == 1
 
 
+class TestAggregationSurvival:
+    """Counters stay complete and monotonic past trimming and eviction."""
+
+    def test_counters_survive_history_trimming(self, manager):
+        job = run_one(manager)
+        bus = job.live
+        # shrink the retained history to almost nothing — the stats
+        # (not the history) feed the exposition, so nothing is lost
+        with bus._lock:
+            while len(bus._history) > 1:
+                bus._history.popleft()
+                bus._trimmed += 1
+        text = render_metrics(manager)
+        assert lint_exposition(text) == []
+        phases = samples(text, "repro_phase_runs_total")
+        assert phases['repro_phase_runs_total{phase="IND-Discovery"}'] == 1
+        assert phases['repro_phase_runs_total{phase="Translate"}'] == 1
+        calls = samples(text, "repro_primitive_calls_total")
+        assert calls['repro_primitive_calls_total{primitive="count_distinct"}'] > 0
+
+    def test_counters_survive_ledger_eviction(self):
+        from repro.workloads.paper_example import paper_program_corpus
+
+        with JobManager(runners=1, keep_finished=1) as bounded:
+            run_one(bounded)
+            other = bounded.submit(
+                build_paper_database(), corpus=paper_program_corpus()
+            )
+            bounded.result(other.id, timeout=30)  # evicts the first run
+            assert len(bounded.jobs()) == 1
+            text = render_metrics(bounded)
+            assert lint_exposition(text) == []
+            assert samples(text, "repro_jobs_evicted_total")[
+                "repro_jobs_evicted_total"
+            ] == 1
+            # both runs' phases still count: the evicted job's totals
+            # were folded forward, so the counter never moved backwards
+            assert samples(text, "repro_phase_runs_total")[
+                'repro_phase_runs_total{phase="IND-Discovery"}'
+            ] == 2
+
+
 class TestEndpoint:
     def test_metrics_route_serves_the_exposition(self, manager):
         server = build_server(manager, port=0)

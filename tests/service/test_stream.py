@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -165,6 +166,77 @@ class TestStreaming:
             backend.release.set()
         assert comments >= 2
         manager.result(job.id, timeout=30)
+
+
+class TestHistoryReplay:
+    """Backlogs page from bus history, never through the bounded queue."""
+
+    def test_replay_longer_than_the_queue_bound_completes(self, service):
+        from repro.obs.live import DEFAULT_QUEUE_SIZE
+
+        manager, base, _server = service
+        database, backend = gated_database()
+        job = manager.submit(database, equijoins=paper_equijoins())
+        assert backend.entered.wait(timeout=30)
+        # flood the stream far past the subscriber queue bound while the
+        # run is parked inside IND-Discovery
+        for tick in range(DEFAULT_QUEUE_SIZE + 500):
+            job.trace.progress("flood", current=tick)
+        backend.release.set()
+        manager.result(job.id, timeout=30)
+
+        # a watcher connecting after the fact must receive the whole
+        # backlog and the end sentinel — the old queue-funnelled replay
+        # delivered the first 1024 records and heartbeat forever
+        captured = []
+
+        def watch():
+            captured.extend(
+                sse_events(f"{base}/jobs/{job.id}/events", timeout=30)
+            )
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        watcher.join(timeout=30)
+        assert not watcher.is_alive(), (
+            "the watcher hung: the replay backlog dropped the end sentinel"
+        )
+        assert len(captured) > DEFAULT_QUEUE_SIZE
+        assert captured[-1]["type"] == "end"
+        sequences = [r["seq"] for r in captured]
+        assert sequences == list(
+            range(sequences[0], sequences[0] + len(sequences))
+        )
+
+    def test_mid_tail_drops_are_refilled_from_history(self, service):
+        manager, base, server = service
+        server.stream_queue = 4  # mid-tail drops are certain
+        database, backend = gated_database()
+        job = manager.submit(database, equijoins=paper_equijoins())
+        assert backend.entered.wait(timeout=30)
+        captured = []
+
+        def watch():
+            captured.extend(
+                sse_events(f"{base}/jobs/{job.id}/events", timeout=30)
+            )
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        time.sleep(0.3)  # let the stream connect and enter tail mode
+        for tick in range(800):
+            job.trace.progress("burst", current=tick)
+        backend.release.set()
+        manager.result(job.id, timeout=30)
+        watcher.join(timeout=30)
+        assert not watcher.is_alive()
+        assert captured[-1]["type"] == "end"
+        # no silent gaps, no duplicates: every seq between the first
+        # delivered record and the end sentinel arrived exactly once
+        sequences = [r["seq"] for r in captured]
+        assert sequences == list(
+            range(sequences[0], sequences[0] + len(sequences))
+        )
 
 
 class TestSlowClients:

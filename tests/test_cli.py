@@ -512,3 +512,37 @@ class TestProvenanceOutputs:
         assert main(["report", "--output", str(out)]) == 1
         assert "provide --trace and/or --provenance" in capsys.readouterr().err
         assert not out.exists()
+
+
+class TestJobsWatchExitCodes:
+    """A watch that never sees a done sentinel must not exit 0."""
+
+    def _watch(self, monkeypatch, records, extra=()):
+        import repro.service.stream as stream_mod
+
+        monkeypatch.setattr(
+            stream_mod,
+            "sse_events",
+            lambda url, last_event_id=None, timeout=None: iter(records),
+        )
+        return main(["jobs", "watch", "job-1", *extra])
+
+    def test_done_sentinel_exits_zero(self, monkeypatch):
+        records = [
+            {"type": "progress", "seq": 1, "message": "x"},
+            {"type": "end", "seq": 2, "state": "done"},
+        ]
+        assert self._watch(monkeypatch, records) == 0
+
+    def test_failed_sentinel_exits_nonzero(self, monkeypatch):
+        records = [{"type": "end", "seq": 1, "state": "failed"}]
+        assert self._watch(monkeypatch, records) == 1
+        assert self._watch(monkeypatch, records, ("--json",)) == 1
+
+    def test_truncated_stream_exits_nonzero(self, monkeypatch, capsys):
+        # a server crash mid-run closes the stream with no sentinel at
+        # all — that must be distinguishable from success in scripts
+        records = [{"type": "progress", "seq": 1, "message": "x"}]
+        assert self._watch(monkeypatch, records) == 1
+        assert "without an end sentinel" in capsys.readouterr().err
+        assert self._watch(monkeypatch, records, ("--json",)) == 1
