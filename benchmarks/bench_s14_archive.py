@@ -1,0 +1,179 @@
+"""S14 — run-archive durability and fleet-federation overhead.
+
+Three claims pay for the persistent observability tier:
+
+1. **Archival is faithful and off the query path** — writing a finished
+   run through to a ``repro/archive@1`` directory and restoring it in a
+   fresh manager reproduces the ledger record and re-seeds the results
+   cache (a repeat submission is answered ``cached`` with **zero** new
+   extension queries), and the store+restore round-trip costs file I/O
+   only — the ``s14-archive-head`` entry in the regression gate pins
+   its query counts to the plain s3 figures, so durability can never
+   make the method chattier.
+2. **Restart survives SIGKILL semantics** — the index line is the
+   commit point: a run directory without its index line (the crash
+   window) is ignored on restore, never half-loaded; this file
+   truncates the index mid-entry and asserts the archive still
+   restores what was committed.
+3. **Federation is lossless relabelling** — merging two instances'
+   expositions preserves every sample of both (per-instance labels,
+   values verbatim), lints clean, and costs parsing only.
+
+Like S7/S10/S13 this file runs as a plain smoke test with
+``time.perf_counter`` loops, not the pytest-benchmark fixture.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import report
+from repro.obs.archive import RunArchive
+from repro.service.fleet import merge_expositions, parse_exposition
+from repro.service.jobs import JobManager
+from repro.service.metrics import lint_exposition, render_metrics
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+#: the s3/s14 regression-gate scenario at quick scale
+SCENARIO = ScenarioConfig(
+    seed=700,
+    n_entities=5,
+    n_one_to_many=4,
+    n_many_to_many=1,
+    merges=2,
+    parent_rows=20,
+)
+
+
+def _scenario_job(manager):
+    scenario = build_scenario(SCENARIO)
+    job = manager.submit(
+        scenario.database,
+        corpus=scenario.corpus,
+        config={"expert": scenario.expert},
+        label="s14",
+    )
+    manager.result(job.id, timeout=120)
+    deadline = time.monotonic() + 30
+    while job.archived is None and time.monotonic() < deadline:
+        time.sleep(0.02)
+    return job
+
+
+def test_s14_archive_round_trip_reseeds_cache(tmp_path):
+    """Store → restore → cached resubmit, with zero new queries."""
+    archive = RunArchive(str(tmp_path))
+    with JobManager(runners=1, archive=archive) as manager:
+        job = _scenario_job(manager)
+        assert job.archived, "finished run never reached the archive"
+        record = job.as_record()
+        run_wall = (job.finished_at or 0) - (job.started_at or 0)
+
+    start = time.perf_counter()
+    restored_manager = JobManager(runners=1, archive=RunArchive(str(tmp_path)))
+    restore_s = time.perf_counter() - start
+    with restored_manager:
+        restored = restored_manager.restored()
+        assert restored["jobs"] == 1
+        again = restored_manager.job(job.id).as_record()
+        assert again["state"] == record["state"]
+        assert again["summary"] == record["summary"]
+        scenario = build_scenario(SCENARIO)
+        hit = restored_manager.submit(
+            scenario.database,
+            corpus=scenario.corpus,
+            config={"expert": scenario.expert},
+            label="s14-again",
+        )
+        assert hit.cached and hit.state == "done", (
+            "a restored cache did not answer the repeat submission"
+        )
+        assert hit.trace is None, "a cache hit ran the pipeline"
+    report(
+        "S14 — archive round trip (store at finish, restore at startup)",
+        ["observable", "value"],
+        [
+            ["run wall s", f"{run_wall:.2f}"],
+            ["restore s", f"{restore_s:.4f}"],
+            ["restored jobs", str(restored["jobs"])],
+            ["repeat submit", "cached, 0 queries"],
+        ],
+    )
+
+
+def test_s14_truncated_index_restores_committed_prefix(tmp_path):
+    """The index append is the commit point: a torn line loses one run,
+    never the archive."""
+    archive = RunArchive(str(tmp_path))
+    with JobManager(runners=1, archive=archive) as manager:
+        job = _scenario_job(manager)
+        assert job.archived
+    index_path = os.path.join(str(tmp_path), "index.jsonl")
+    with open(index_path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    # simulate a crash mid-append: the last entry is torn
+    with open(index_path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:-1])
+        handle.write(lines[-1][: len(lines[-1]) // 2])
+    with JobManager(runners=1, archive=RunArchive(str(tmp_path))) as again:
+        assert again.restored()["jobs"] == 0, (
+            "a torn index line restored a phantom run"
+        )
+    report(
+        "S14 — torn index line (crash window)",
+        ["observable", "value"],
+        [
+            ["index lines kept", str(len(lines) - 1)],
+            ["restored jobs", "0 (uncommitted run ignored)"],
+        ],
+    )
+
+
+def test_s14_federation_is_lossless_relabelling():
+    """Merged exposition = every instance sample, relabelled, linted."""
+    with JobManager(runners=1) as first:
+        scenario = build_scenario(SCENARIO)
+        job = first.submit(
+            scenario.database,
+            corpus=scenario.corpus,
+            config={"expert": scenario.expert},
+        )
+        first.result(job.id, timeout=120)
+        text_a = render_metrics(first, streams_active=1)
+    with JobManager(runners=1) as second:
+        text_b = render_metrics(second)
+
+    start = time.perf_counter()
+    merged = merge_expositions({"a:1": text_a, "b:2": text_b})
+    merge_ms = (time.perf_counter() - start) * 1000
+    problems = lint_exposition(merged)
+    assert problems == [], f"federated exposition fails lint: {problems}"
+
+    def census(text):
+        return sum(len(f.samples) for f in parse_exposition(text))
+
+    merged_families = parse_exposition(merged)
+    fleet_own = sum(
+        len(f.samples)
+        for f in merged_families
+        if f.name.startswith("repro_fleet_")
+    )
+    assert census(merged) - fleet_own == census(text_a) + census(text_b), (
+        "federation dropped or invented samples"
+    )
+    for family in merged_families:
+        for labels, _value in family.samples:
+            if not family.name.startswith("repro_fleet_instances"):
+                assert "instance" in labels, (
+                    f"{family.name} sample lost its instance label"
+                )
+    report(
+        "S14 — two-instance federation merge",
+        ["observable", "value"],
+        [
+            ["instance a samples", str(census(text_a))],
+            ["instance b samples", str(census(text_b))],
+            ["merged samples", str(census(merged))],
+            ["merge ms", f"{merge_ms:.2f}"],
+            ["lint problems", "0"],
+        ],
+    )

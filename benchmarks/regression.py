@@ -254,6 +254,24 @@ def _head_configs(quick: bool) -> List[Dict[str, Any]]:
             "backend": MemoryBackend,
             "normalization": True,
         },
+        # the s3 head written through to a repro/archive@1 directory
+        # and restored again: archival is file I/O strictly after the
+        # run, so the gated query counts must stay at s3's figures;
+        # "archive" extras record the store/restore round-trip cost so
+        # a durability-layer slowdown names itself
+        {
+            "name": "s14-archive-head",
+            "config": ScenarioConfig(
+                seed=700,
+                n_entities=5 + scale,
+                n_one_to_many=4 + scale,
+                n_many_to_many=1,
+                merges=2,
+                parent_rows=20 if quick else 60,
+            ),
+            "backend": MemoryBackend,
+            "archive": True,
+        },
     ]
 
 
@@ -383,6 +401,41 @@ def run_head(head: Dict[str, Any]) -> Dict[str, Any]:
             "edges": len(ledger.edges),
             "evidence": sum(len(n.events) for n in ledger.nodes.values()),
         }
+    if head.get("archive"):
+        # durability round trip; informational — the gated query counts
+        # above prove archival asked the extension nothing (it runs
+        # strictly after the pipeline) — but a store or restore that
+        # starts costing real time shows up here by name
+        import shutil
+        import tempfile
+
+        from repro.obs.archive import RunArchive
+        from repro.obs.export import metrics_from_records, trace_records
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-s14-")
+        try:
+            archive = RunArchive(tmp)
+            records = trace_records(tracer)
+            t0 = time.perf_counter()
+            archive.store(
+                {"type": "job", "id": "job-1", "label": head["name"],
+                 "state": "done", "cached": False},
+                ("bench-db", "bench-wl", "{}"),
+                trace=records,
+                metrics=metrics_from_records(records),
+            )
+            store_ms = (time.perf_counter() - t0) * 1000
+            t0 = time.perf_counter()
+            runs = archive.runs()
+            restore_ms = (time.perf_counter() - t0) * 1000
+            measured["archive"] = {
+                "runs_restored": len(runs),
+                "trace_records": len(records),
+                "store_ms": round(store_ms, 3),
+                "restore_ms": round(restore_ms, 3),
+            }
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
     return measured
 
 
@@ -652,6 +705,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     unguarded = unguarded_heads(result, baseline)
     gate = "fail" if violations else ("unguarded" if unguarded else "pass")
     record_history(gate, violations or unguarded)
+    if not args.no_history:
+        # advisory drift report: the history file now includes this
+        # run, so a flagged latest point means *this run* is anomalous
+        # against its own trajectory (robust median/MAD z-score).
+        # Advisory only — the ratio gate above is the only thing that
+        # decides the exit code.
+        from repro.obs.history import bench_drift_report, load_bench_history
+
+        drifted = bench_drift_report(
+            load_bench_history(args.history, mode=result["mode"])
+        )
+        if drifted:
+            print("\ndrift advisory (informational, not gated):")
+            for message in drifted:
+                print(f"  - {message}")
     if violations:
         print("\nREGRESSION GATE FAILED:")
         for violation in violations:

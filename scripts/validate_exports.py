@@ -36,7 +36,12 @@ files:
    through the real SSE endpoint, the captured stream carries every
    phase boundary and ends with the ``end`` sentinel, it re-reads from
    a ``repro/live@1`` JSONL capture byte-for-byte, and the ``/metrics``
-   exposition both lints clean and reflects the finished job.
+   exposition both lints clean and reflects the finished job;
+8. a durable-archive round-trip: a demo job runs under a manager
+   writing through to a ``repro/archive@1`` directory, a fresh manager
+   restores from it, the restored ``repro/jobs@1`` ledger is
+   byte-identical to the archived one, and a repeat of the same spec
+   is answered from the restored results cache (summary included).
 
 Exit status is non-zero on the first violation, so CI fails loudly.
 The artifacts are left in ``--outdir`` for upload.
@@ -363,6 +368,50 @@ def main(argv=None) -> int:
             server.server_close()
             thread.join(timeout=10)
 
+    # 8. durable archive: write -> restore -> byte-compare -------------
+    import time as time_mod
+
+    from repro.obs.archive import RunArchive
+    from repro.service.export import jobs_to_records
+    from repro.service.specs import submit_spec
+
+    archive_dir = os.path.join(args.outdir, "demo.archive")
+    with JobManager(runners=1, archive=RunArchive(archive_dir)) as manager:
+        job = submit_spec(manager, {"demo": True, "label": "demo-archive"})
+        manager.result(job.id, timeout=120)
+        deadline = time_mod.monotonic() + 30
+        while job.archived is None and time_mod.monotonic() < deadline:
+            time_mod.sleep(0.05)
+        if not job.archived:
+            fail("the finished demo job never reached the archive")
+        ledger_before = json.dumps(
+            jobs_to_records(manager), sort_keys=True, default=str
+        )
+    with JobManager(runners=1, archive=RunArchive(archive_dir)) as restored:
+        if restored.restored()["jobs"] != 1:
+            fail("the archive did not restore the demo job's ledger entry")
+        ledger_after = json.dumps(
+            jobs_to_records(restored), sort_keys=True, default=str
+        )
+        if ledger_before != ledger_after:
+            fail(
+                "the restored ledger is not byte-identical to the one "
+                "that was archived"
+            )
+        hit = submit_spec(
+            restored, {"demo": True, "label": "demo-archive-again"}
+        )
+        if not hit.cached or hit.state != "done":
+            fail(
+                "the restored results cache did not answer the repeat "
+                "demo spec as a cache hit"
+            )
+        if hit.as_record().get("summary") != job.as_record().get("summary"):
+            fail(
+                "the restored cache hit does not carry the archived "
+                "run's summary"
+            )
+
     print(
         f"validate_exports: OK — {len(spans)} spans, {len(events)} events, "
         f"{len(stacks)} collapsed stacks, "
@@ -371,7 +420,8 @@ def main(argv=None) -> int:
         f"{len(certificates)} decomposition certificate(s) verified, "
         f"paged pool counters {counters}, "
         f"{jobs_header['jobs']} jobs ({jobs_header['cached']} cached), "
-        f"{len(stream)} live SSE records captured, /metrics lint clean; "
+        f"{len(stream)} live SSE records captured, /metrics lint clean, "
+        f"archive restore byte-identical (cache re-seeded); "
         f"artifacts in {args.outdir}/"
     )
     return 0

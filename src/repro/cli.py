@@ -470,8 +470,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
     _configure_logging(args)
+    archive = None
+    if args.archive:
+        from repro.obs.archive import RunArchive
+
+        archive = RunArchive(args.archive)
     manager = JobManager(
-        runners=args.runners, keep_finished=args.keep_finished
+        runners=args.runners, keep_finished=args.keep_finished,
+        archive=archive,
     )
     try:
         serve(
@@ -480,6 +486,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             verbose=not args.quiet,
             heartbeat=args.heartbeat,
+            peers=args.peers or (),
         )
     finally:
         if args.jobs_export:
@@ -539,6 +546,16 @@ def cmd_jobs_watch(args: argparse.Namespace) -> int:
     import urllib.error
 
     from repro.service.stream import sse_events
+
+    if args.since is not None and args.since < 0:
+        # a usage error, caught before it becomes a bad Last-Event-ID
+        # on the wire; exit 2 matches argparse's own usage failures
+        print(
+            "usage: repro jobs watch --since takes a non-negative "
+            "sequence number",
+            file=sys.stderr,
+        )
+        return 2
 
     url = args.url.rstrip("/") + f"/jobs/{args.job_id}/events"
     tty = sys.stdout.isatty() and not args.json
@@ -614,12 +631,74 @@ def cmd_jobs_watch(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_fleet_scrape(args: argparse.Namespace) -> int:
+    """Merge several instances' ``/metrics`` into one linted exposition."""
+    from repro.service.fleet import scrape_fleet
+    from repro.service.metrics import lint_exposition
+
+    text = scrape_fleet(args.urls, timeout=args.timeout)
+    print(text, end="")
+    problems = lint_exposition(text)
+    for problem in problems:
+        print(f"lint: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.service.fleet import fleet_status
+
+    print(fleet_status(args.urls, timeout=args.timeout), end="")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Cross-run trend tables + drift flags (archive and bench history)."""
+    from repro.obs.history import (
+        load_bench_history,
+        render_archive_trends,
+        render_bench_trends,
+    )
+
+    shown = False
+    if args.archive:
+        from repro.obs.archive import RunArchive
+
+        try:
+            print(
+                render_archive_trends(
+                    RunArchive(args.archive), threshold=args.threshold
+                ),
+                end="",
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        shown = True
+    records = load_bench_history(args.bench, mode=args.mode)
+    if records or not shown:
+        if shown:
+            print()
+        print(render_bench_trends(records, threshold=args.threshold), end="")
+    return 0
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.live import LIVE_FORMAT, summarize_live
+
     try:
         # schema-sniffing loader: handing it the wrong export kind (a
         # metrics JSON, a provenance JSONL) is a one-line error naming
-        # what the file actually is
-        records = load_export(args.trace_file, TRACE_FORMAT)
+        # what the file actually is — except a repro/live@1 capture,
+        # which summarize understands natively (event counts per
+        # type/phase instead of the span tree)
+        kind, payload = detect_export_kind(args.trace_file)
+        if kind == LIVE_FORMAT:
+            print(summarize_live(payload))
+            return 0
+        if kind != TRACE_FORMAT:
+            records = load_export(args.trace_file, TRACE_FORMAT)
+        else:
+            records = payload
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -895,7 +974,63 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="SSE heartbeat cadence on idle streams "
                             "(default 15s)")
+    serve.add_argument("--archive", metavar="DIR",
+                       help="durable repro/archive@1 directory: finished "
+                            "runs are written through to it, and the "
+                            "ledger + results cache are restored from it "
+                            "at startup")
+    serve.add_argument("--peers", nargs="+", metavar="URL", default=None,
+                       help="peer instances whose /metrics GET "
+                            "/fleet/metrics federates (per-instance "
+                            "labels, one linted exposition)")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="operate across a fleet of repro serve instances"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_scrape = fleet_sub.add_parser(
+        "scrape",
+        help="scrape each instance's /metrics and print one merged, "
+             "linted exposition with per-instance labels",
+    )
+    fleet_scrape.add_argument("urls", nargs="+", metavar="URL",
+                              help="instance base URLs (host:port is "
+                                   "enough; /metrics is implied)")
+    fleet_scrape.add_argument("--timeout", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="per-instance scrape timeout "
+                                   "(default 5s)")
+    fleet_scrape.set_defaults(func=cmd_fleet_scrape)
+    fleet_status_cmd = fleet_sub.add_parser(
+        "status", help="one-screen fleet overview (liveness, job counts)"
+    )
+    fleet_status_cmd.add_argument("urls", nargs="+", metavar="URL",
+                                  help="instance base URLs")
+    fleet_status_cmd.add_argument("--timeout", type=float, default=5.0,
+                                  metavar="SECONDS",
+                                  help="per-instance probe timeout "
+                                       "(default 5s)")
+    fleet_status_cmd.set_defaults(func=cmd_fleet_status)
+
+    history_cmd = sub.add_parser(
+        "history",
+        help="cross-run trend tables with robust (median/MAD) drift "
+             "detection over the run archive and the bench history",
+    )
+    history_cmd.add_argument("--archive", metavar="DIR",
+                             help="a repro/archive@1 directory to analyze")
+    history_cmd.add_argument("--bench", metavar="FILE",
+                             default="benchmarks/BENCH_history.jsonl",
+                             help="a repro/bench-history@1 file (default "
+                                  "benchmarks/BENCH_history.jsonl)")
+    history_cmd.add_argument("--mode", choices=("quick", "full"),
+                             default=None,
+                             help="restrict bench trends to one mode")
+    history_cmd.add_argument("--threshold", type=float, default=3.5,
+                             metavar="Z",
+                             help="robust z-score drift cut (default 3.5)")
+    history_cmd.set_defaults(func=cmd_history)
 
     jobs = sub.add_parser(
         "jobs", help="batch-run job specs through the job manager"

@@ -81,6 +81,7 @@ __all__ = [
     "live_records",
     "write_live_jsonl",
     "read_live_jsonl",
+    "summarize_live",
 ]
 
 #: the versioned format tag of the live-event stream
@@ -171,6 +172,26 @@ class LiveStats:
         elif kind == "pool":
             event = record.get("event", "unknown")
             self.pool_events[event] = self.pool_events.get(event, 0) + 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The totals as one JSON-ready document (archive storage)."""
+        return {
+            "events": dict(self.events),
+            "phase_runs": dict(self.phase_runs),
+            "phase_ms": dict(self.phase_ms),
+            "primitive_calls": dict(self.primitive_calls),
+            "primitive_cache_hits": dict(self.primitive_cache_hits),
+            "storage_counters": dict(self.storage_counters),
+            "pool_events": dict(self.pool_events),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "LiveStats":
+        """Rebuild totals from :meth:`as_dict` output (archive restore)."""
+        stats = cls()
+        for slot in cls.__slots__:
+            getattr(stats, slot).update(document.get(slot) or {})
+        return stats
 
     def merge(self, other: "LiveStats") -> None:
         """Fold *other*'s totals into this one (ledger eviction)."""
@@ -481,6 +502,67 @@ def write_live_jsonl(source, path: str) -> List[Dict[str, Any]]:
     records = live_records(source)
     save_jsonl(records, path)
     return records
+
+
+def summarize_live(records: List[Dict[str, Any]]) -> str:
+    """Render a captured ``repro/live@1`` stream as a readable summary.
+
+    *records* may include the header record (it is skipped).  The
+    summary counts events per record type, lists each completed phase
+    with its duration and progress-tick count, and reports the terminal
+    ``end`` record when the capture carries one — the live-stream
+    analogue of ``repro trace summarize`` over a trace file.
+    """
+    from repro.util.text import format_table
+
+    body = [r for r in records if r.get("type") in LIVE_EVENT_TYPES]
+    counts: Dict[str, int] = {}
+    for record in body:
+        counts[record["type"]] = counts.get(record["type"], 0) + 1
+    span = (
+        f"{body[0].get('ts_ms', 0.0):.0f}..{body[-1].get('ts_ms', 0.0):.0f} ms"
+        if body
+        else "empty"
+    )
+    lines = [f"# Live capture — {len(body)} record(s), {span}"]
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    if rows:
+        lines.append(format_table(["type", "records"], rows))
+
+    # per-phase view: close records carry the duration, progress records
+    # carry the phase name they ticked under
+    progress: Dict[str, int] = {}
+    for record in body:
+        if record["type"] == "progress" and record.get("phase"):
+            progress[record["phase"]] = progress.get(record["phase"], 0) + 1
+    phases = [
+        record
+        for record in body
+        if record["type"] == "span-close" and record.get("kind") == "phase"
+    ]
+    if phases:
+        lines.append("")
+        lines.append("# Phases")
+        lines.append(
+            format_table(
+                ["phase", "duration ms", "progress ticks"],
+                [
+                    [
+                        record["name"],
+                        f"{record.get('duration_ms', 0.0):.3f}",
+                        progress.get(record["name"], 0),
+                    ]
+                    for record in phases
+                ],
+            )
+        )
+    ends = [record for record in body if record["type"] == "end"]
+    if ends:
+        end = ends[-1]
+        state = end.get("state") or "unknown"
+        lines.append("")
+        lines.append(f"# End — {end.get('job', '?')} finished {state}")
+    return "\n".join(lines)
 
 
 def read_live_jsonl(path: str) -> List[Dict[str, Any]]:

@@ -41,6 +41,7 @@ from repro.obs.export import (
     TRACE_FORMAT,
     trace_records,
 )
+from repro.obs.live import LIVE_FORMAT
 from repro.obs.provenance import PROVENANCE_FORMAT
 from repro.util.jsonl import load_jsonl
 from repro.util.text import format_table
@@ -411,6 +412,7 @@ _KIND_LABELS = {
     METRICS_FORMAT: "metrics",
     PROVENANCE_FORMAT: "provenance",
     PROFILE_FORMAT: "profile",
+    LIVE_FORMAT: "live-capture",
     "repro/bench@1": "bench-metrics",
     "repro/bench-baseline@1": "bench-baseline",
     "repro/bench-history@1": "bench-history",

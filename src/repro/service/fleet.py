@@ -1,0 +1,326 @@
+"""``/metrics`` federation: one exposition for a fleet of servers.
+
+A single ``repro serve`` instance describes itself; a fleet of them —
+one per schema under study, or sharded across machines — needs one
+scrape that covers all of it.  This module merges several Prometheus
+text expositions into one fleet-level exposition with **per-instance
+labels and conflict-safe counter semantics**:
+
+- every sample gains an ``instance="host:port"`` label, so series from
+  different servers never collide and each instance's counters remain
+  individually monotonic — values are never summed across instances
+  (summing two independently-restarting counters would produce a
+  non-monotonic series; label-joining is what Prometheus federation
+  itself does);
+- sample values are carried **verbatim** (as strings), so merging can
+  never change what an instance reported;
+- HELP/TYPE metadata is emitted once per family (first writer wins),
+  keeping the merged text lintable by
+  :func:`repro.service.metrics.lint_exposition`;
+- unreachable peers degrade to ``repro_fleet_peer_up{instance=...} 0``
+  instead of failing the whole scrape.
+
+Served two ways: ``repro serve --peers URL...`` exposes the merged
+exposition at ``GET /fleet/metrics`` (peers are scraped at ``/metrics``
+— never ``/fleet/metrics`` — so two servers peered at each other cannot
+recurse), and ``repro fleet scrape URL...`` does the same merge
+client-side with no server in the middle.  ``repro fleet status``
+renders the one-screen human overview instead.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.log import get_logger
+from repro.service.metrics import _SAMPLE, _escape, _split_labels
+
+__all__ = [
+    "MetricFamily",
+    "federate_with_self",
+    "fleet_status",
+    "merge_expositions",
+    "parse_exposition",
+    "scrape_fleet",
+    "scrape_metrics",
+]
+
+log = get_logger("fleet")
+
+#: how long one peer scrape may take before it counts as down
+DEFAULT_SCRAPE_TIMEOUT = 5.0
+
+
+@dataclass
+class MetricFamily:
+    """One metric family of a parsed exposition.
+
+    Sample values are kept as the exact strings the instance exposed —
+    federation relabels, it never recomputes.
+    """
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: (labels, verbatim value string) per sample, in exposition order
+    samples: List[Tuple[Dict[str, str], str]] = field(default_factory=list)
+
+
+def parse_exposition(text: str) -> List[MetricFamily]:
+    """Parse a Prometheus text exposition into its families, in order.
+
+    Tolerant by design (a fleet scrape should survive a slightly odd
+    peer): unparseable lines are skipped, HELP/TYPE seen after samples
+    still attach to their family.
+    """
+    families: Dict[str, MetricFamily] = {}
+    order: List[str] = []
+
+    def family(name: str) -> MetricFamily:
+        if name not in families:
+            families[name] = MetricFamily(name=name)
+            order.append(name)
+        return families[name]
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue
+            if parts[1] == "HELP":
+                family(parts[2]).help = parts[3] if len(parts) > 3 else ""
+            else:
+                family(parts[2]).kind = parts[3] if len(parts) > 3 else "untyped"
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            for pair in _split_labels(body):
+                key, _, value = pair.partition("=")
+                labels[key.strip()] = _unquote(value.strip())
+        family(match.group("name")).samples.append(
+            (labels, match.group("value"))
+        )
+    return [families[name] for name in order]
+
+
+def _unquote(value: str) -> str:
+    if len(value) >= 2 and value.startswith('"') and value.endswith('"'):
+        value = value[1:-1]
+    return (
+        value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    )
+
+
+def merge_expositions(
+    expositions: Mapping[str, str],
+    peer_up: Optional[Mapping[str, bool]] = None,
+) -> str:
+    """Merge instance expositions into one fleet-level exposition.
+
+    *expositions* maps instance label → exposition text; every sample
+    is re-labelled with ``instance=<label>`` (overriding any stale
+    ``instance`` label a peer carried) and values pass through
+    verbatim, so each instance's counters stay monotonic and never mix.
+    *peer_up* adds the fleet's own health family for peers that could
+    not be scraped at all.
+    """
+    merged: Dict[str, MetricFamily] = {}
+    order: List[str] = []
+    for instance, text in expositions.items():
+        for parsed in parse_exposition(text):
+            target = merged.get(parsed.name)
+            if target is None:
+                target = MetricFamily(
+                    name=parsed.name, kind=parsed.kind, help=parsed.help
+                )
+                merged[parsed.name] = target
+                order.append(parsed.name)
+            for labels, value in parsed.samples:
+                relabelled = dict(labels)
+                relabelled["instance"] = instance
+                target.samples.append((relabelled, value))
+
+    lines: List[str] = []
+    up = dict(peer_up or {})
+    for instance in expositions:
+        up.setdefault(instance, True)
+    lines.append(
+        "# HELP repro_fleet_peer_up Whether the last scrape of each "
+        "fleet instance succeeded."
+    )
+    lines.append("# TYPE repro_fleet_peer_up gauge")
+    for instance in up:
+        lines.append(
+            f'repro_fleet_peer_up{{instance="{_escape(instance)}"}} '
+            f"{1 if up[instance] else 0}"
+        )
+    lines.append(
+        "# HELP repro_fleet_instances Fleet instances merged into this "
+        "exposition."
+    )
+    lines.append("# TYPE repro_fleet_instances gauge")
+    lines.append(f"repro_fleet_instances {len(expositions)}")
+    for name in order:
+        parsed = merged[name]
+        help_text = parsed.help or name
+        kind = parsed.kind if parsed.kind else "untyped"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in parsed.samples:
+            pairs = ",".join(
+                f'{key}="{_escape(str(val))}"'
+                for key, val in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{pairs}}} {value}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# scraping
+# ----------------------------------------------------------------------
+def instance_label(url: str) -> str:
+    """The per-instance label for a peer URL: its ``host:port``."""
+    parsed = urllib.parse.urlparse(url if "//" in url else f"http://{url}")
+    return parsed.netloc or url
+
+
+def metrics_url(url: str) -> str:
+    """Normalize a peer address to its ``/metrics`` endpoint."""
+    if "//" not in url:
+        url = f"http://{url}"
+    parsed = urllib.parse.urlparse(url)
+    path = parsed.path.rstrip("/")
+    if not path:
+        path = "/metrics"
+    return urllib.parse.urlunparse(parsed._replace(path=path))
+
+
+def scrape_metrics(
+    url: str, timeout: float = DEFAULT_SCRAPE_TIMEOUT
+) -> Optional[str]:
+    """One peer's exposition text, or None when the peer is down."""
+    try:
+        with urllib.request.urlopen(metrics_url(url), timeout=timeout) as resp:
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        log.warning(
+            "peer scrape failed",
+            extra={"data": {"url": url, "error": str(exc)}},
+        )
+        return None
+
+
+def scrape_fleet(
+    urls: Sequence[str], timeout: float = DEFAULT_SCRAPE_TIMEOUT
+) -> str:
+    """Scrape every URL's ``/metrics`` and merge them (client-side)."""
+    expositions: Dict[str, str] = {}
+    peer_up: Dict[str, bool] = {}
+    for url in urls:
+        instance = instance_label(url)
+        text = scrape_metrics(url, timeout=timeout)
+        peer_up[instance] = text is not None
+        if text is not None:
+            expositions[instance] = text
+    return merge_expositions(expositions, peer_up=peer_up)
+
+
+def federate_with_self(
+    self_text: str,
+    self_instance: str,
+    peer_urls: Sequence[str],
+    timeout: float = DEFAULT_SCRAPE_TIMEOUT,
+) -> str:
+    """The server-side merge: this instance's exposition plus its peers.
+
+    The serving instance renders itself in-process (no self-scrape, no
+    recursion risk) and each peer is fetched at its plain ``/metrics``.
+    """
+    expositions: Dict[str, str] = {self_instance: self_text}
+    peer_up: Dict[str, bool] = {self_instance: True}
+    for url in peer_urls:
+        instance = instance_label(url)
+        if instance == self_instance:
+            continue
+        text = scrape_metrics(url, timeout=timeout)
+        peer_up[instance] = text is not None
+        if text is not None:
+            expositions[instance] = text
+    return merge_expositions(expositions, peer_up=peer_up)
+
+
+# ----------------------------------------------------------------------
+# the one-screen status view
+# ----------------------------------------------------------------------
+def _fetch_json(url: str, timeout: float) -> Optional[Dict[str, Any]]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def fleet_status(
+    urls: Sequence[str], timeout: float = DEFAULT_SCRAPE_TIMEOUT
+) -> str:
+    """One screen of fleet state: per instance, liveness and job counts.
+
+    Built from each instance's ``/healthz`` (version, uptime) and
+    ``/health`` (ledger counts) probes; a down instance still gets a
+    row, marked ``down``.
+    """
+    rows: List[Tuple[str, ...]] = [
+        ("INSTANCE", "UP", "VERSION", "UPTIME_S", "JOBS", "RUNNING", "QUEUED")
+    ]
+    total_jobs = running = queued = reachable = 0
+    for url in urls:
+        instance = instance_label(url)
+        if "//" not in url:
+            url = f"http://{url}"
+        base = urllib.parse.urlunparse(
+            urllib.parse.urlparse(url)._replace(path="")
+        )
+        healthz = _fetch_json(f"{base}/healthz", timeout)
+        health = _fetch_json(f"{base}/health", timeout)
+        if healthz is None and health is None:
+            rows.append((instance, "down", "-", "-", "-", "-", "-"))
+            continue
+        reachable += 1
+        healthz = healthz or {}
+        health = health or {}
+        total_jobs += int(health.get("jobs") or 0)
+        running += int(health.get("running") or 0)
+        queued += int(health.get("queued") or 0)
+        rows.append((
+            instance,
+            "up",
+            str(healthz.get("version", "-")),
+            str(healthz.get("uptime_seconds", "-")),
+            str(health.get("jobs", "-")),
+            str(health.get("running", "-")),
+            str(health.get("queued", "-")),
+        ))
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+    lines.append(
+        f"fleet: {reachable}/{len(urls)} up, {total_jobs} jobs "
+        f"({running} running, {queued} queued)"
+    )
+    return "\n".join(lines) + "\n"

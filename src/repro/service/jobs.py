@@ -42,6 +42,7 @@ from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import PipelineResult
+    from repro.obs.archive import RunArchive
     from repro.obs.live import LiveBus
     from repro.programs.corpus import ProgramCorpus
     from repro.programs.equijoin import EquiJoin
@@ -140,8 +141,17 @@ class Job:
     result: Optional["PipelineResult"] = None
     #: the run's tracer (attached at submission for fresh runs, so the
     #: live bus history is complete from the first span); None for
-    #: cache-hit jobs, which never run
+    #: cache-hit jobs, which never run, and for restored jobs, whose
+    #: stream lives in the archive
     trace: Optional[Tracer] = field(default=None, repr=False)
+    #: the archive content key, for jobs restored from (or answered out
+    #: of) a ``repro/archive@1`` directory; their artifacts are on disk
+    archived: Optional[str] = None
+    #: the result summary of a restored job (its in-process
+    #: :class:`PipelineResult` did not survive the original process)
+    summary: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: the rendered EER text of a restored job, when archived
+    eer_text: Optional[str] = field(default=None, repr=False)
     # inputs, held until the run consumes them
     database: Optional["Database"] = field(default=None, repr=False)
     corpus: Optional["ProgramCorpus"] = field(default=None, repr=False)
@@ -176,6 +186,8 @@ class Job:
         }
         if self.error:
             record["error"] = self.error
+        if self.archived:
+            record["archived"] = True
         if self.state == "done" and self.result is not None:
             record["summary"] = {
                 "equijoins": len(self.result.equijoins),
@@ -186,6 +198,10 @@ class Job:
                 "queries": self.result.extension_queries,
                 "decisions": self.result.expert_decisions,
             }
+        elif self.state == "done" and self.summary is not None:
+            # a restored (or restored-cache-hit) job: the summary was
+            # computed by the process that ran it and archived with it
+            record["summary"] = dict(self.summary)
         return record
 
 
@@ -206,10 +222,23 @@ class JobManager:
     results-cache entry pointing at them is purged (a resubmission of
     that key simply re-runs), and their ids stop resolving.  ``None``
     (the default) keeps every job forever, the pre-eviction behaviour.
+
+    *archive* makes the manager durable: every fresh run that reaches
+    ``done`` or ``failed`` is written through to the
+    :class:`~repro.obs.archive.RunArchive` (trace, metrics, live
+    capture, provenance when kept, ledger record), and at construction
+    the manager **restores** the archive's runs into its ledger — their
+    ids resolve again, their ``done`` entries re-seed the results cache
+    (a repeat submission is a cache hit answered by a process that no
+    longer exists), their live streams replay from disk, and their
+    telemetry totals fold into the ``/metrics`` counters.
     """
 
     def __init__(
-        self, runners: int = 1, keep_finished: Optional[int] = None
+        self,
+        runners: int = 1,
+        keep_finished: Optional[int] = None,
+        archive: Optional["RunArchive"] = None,
     ) -> None:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -225,7 +254,13 @@ class JobManager:
         self._evicted_cached = 0
         self._evicted_dropped = 0
         self._evicted_stats = LiveStats()
+        self._archive = archive
+        self._restored_jobs = 0
+        self._restored_stats = LiveStats()
         self._stopping = False
+        if archive is not None:
+            with self._wakeup:
+                self._restore(archive)
         self._runners = [
             threading.Thread(target=self._runner_loop, daemon=True, name=f"repro-runner-{i}")
             for i in range(max(1, runners))
@@ -295,6 +330,10 @@ class JobManager:
             if source is not None and source.state == "done":
                 job.cached = True
                 job.result = source.result
+                # a restored source has no in-process result; its
+                # archived summary and EER text stand in for it
+                job.summary = source.summary
+                job.eer_text = source.eer_text
                 self._finish(job, "done")
                 return job
             job.database = database
@@ -385,6 +424,8 @@ class JobManager:
                 if source is not None and source.state == "done":
                     job.cached = True
                     job.result = source.result
+                    job.summary = source.summary
+                    job.eer_text = source.eer_text
                     self._finish(job, "done")
                     continue
                 job.state = "running"
@@ -423,11 +464,146 @@ class JobManager:
             except Exception as exc:
                 with self._wakeup:
                     self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+                self._archive_store(job)
                 return
             with self._wakeup:
                 job.result = result
                 self._finish(job, "done")
                 self._cache[job.key] = job.id
+            # write-through happens outside the manager lock (file I/O
+            # must not stall submissions) but after the end sentinel,
+            # so the archived live capture is complete
+            self._archive_store(job)
+
+    # -- the durable archive -------------------------------------------
+    def _restore(self, archive: "RunArchive") -> None:
+        """Rebuild the ledger and results cache from *archive* (lock held).
+
+        Restored jobs resolve by their original ids, their ``done``
+        entries re-seed the results cache, and their telemetry totals
+        fold into :meth:`restored` so ``/metrics`` keeps counting work
+        a previous process did.  The id counter resumes past the
+        highest restored id, so new submissions never collide.
+        """
+        max_id = 0
+        for run in archive.runs():
+            record = run.record
+            job_id = record.get("id", "")
+            job = Job(
+                id=job_id,
+                label=record.get("label") or job_id,
+                state=record.get("state", "done"),
+                cached=bool(record.get("cached")),
+                error=record.get("error", ""),
+                submitted_at=record.get("submitted_at") or 0.0,
+                started_at=record.get("started_at"),
+                finished_at=record.get("finished_at"),
+                config={
+                    key: value
+                    for key, value in (record.get("config") or {}).items()
+                    if value is not None
+                },
+                key=run.cache_key,
+                archived=run.key,
+                summary=record.get("summary"),
+                eer_text=run.eer,
+            )
+            job._finished.set()
+            if job_id not in self._jobs:
+                self._order.append(job_id)
+            self._jobs[job_id] = job
+            if job.state == "done":
+                self._cache[job.key] = job_id
+            self._restored_stats.merge(run.stats)
+            self._restored_jobs += 1
+            suffix = job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                max_id = max(max_id, int(suffix))
+        if max_id:
+            self._ids = itertools.count(max_id + 1)
+        if self._restored_jobs:
+            log.info(
+                "ledger restored from archive",
+                extra={"data": {"jobs": self._restored_jobs,
+                                "archive": archive.root}},
+            )
+
+    def _archive_store(self, job: Job) -> None:
+        """Write one finished fresh run through to the archive.
+
+        Failures are logged, never raised: an unwritable archive
+        degrades durability, it must not fail the run that finished.
+        """
+        if self._archive is None or job.trace is None:
+            return
+        try:
+            from repro.obs.export import metrics_from_records, trace_records
+            from repro.obs.live import live_records
+
+            trace = trace_records(job.trace)
+            metrics = metrics_from_records(trace)
+            bus = job.live
+            live = live_records(bus) if bus is not None else None
+            stats = bus.stats() if bus is not None else None
+            provenance = eer = None
+            result = job.result
+            if result is not None and result.provenance is not None:
+                from repro.obs.provenance import provenance_records
+
+                provenance = provenance_records(result.provenance)
+            if result is not None and result.eer is not None:
+                from repro.eer.render import render_text
+
+                eer = render_text(result.eer)
+            key = self._archive.store(
+                job.as_record(),
+                job.key,
+                trace=trace,
+                metrics=metrics,
+                live=live,
+                provenance=provenance,
+                stats=stats,
+                eer=eer,
+            )
+            with self._lock:
+                job.archived = key
+            log.info(
+                "job archived",
+                extra={"data": {"job": job.id, "key": key}},
+            )
+        except Exception as exc:
+            log.warning(
+                "archive write failed",
+                extra={"data": {"job": job.id,
+                                "error": f"{type(exc).__name__}: {exc}"}},
+            )
+
+    def replay_records(self, job: Job) -> Optional[List[Dict[str, Any]]]:
+        """The archived live stream of a restored job, or None.
+
+        Returns the capture's body records (header dropped) for a job
+        restored from the archive; fresh jobs stream from their live
+        bus instead, and cache-hit jobs never ran at all.
+        """
+        if self._archive is None or not job.archived or job.trace is not None:
+            return None
+        records = self._archive.read_artifact(job.archived, "live")
+        if not records:
+            return None
+        return [r for r in records[1:] if isinstance(r, dict)]
+
+    def restored(self) -> Dict[str, Any]:
+        """What archive restoration carried into this process.
+
+        ``jobs`` is the restored-run count; ``stats`` is the fold of
+        their archived telemetry totals, which ``/metrics`` adds back
+        in so counters span server restarts.
+        """
+        with self._lock:
+            return {
+                "jobs": self._restored_jobs,
+                "stats": self._restored_stats.copy(),
+            }
 
     def evicted(self) -> Dict[str, Any]:
         """What ledger eviction has retired so far.

@@ -7,9 +7,14 @@ merges in O(jobs) — plus the manager's own ledger, so a scrape and a
 watcher can never disagree about what the service did (and the totals
 outlive both history trimming and ledger eviction):
 
+- ``repro_build_info{version=...}`` — the instance's build identity
+  (federated expositions tell instances apart by it);
+- ``repro_uptime_seconds`` — seconds since the server started;
 - ``repro_jobs_total{state=...}`` — the ledger by state;
 - ``repro_jobs_evicted_total`` — finished jobs the bounded ledger
   (``keep_finished``) has retired;
+- ``repro_jobs_restored_total`` — runs restored from the archive at
+  startup (their telemetry totals fold into every counter below);
 - ``repro_phase_runs_total`` / ``repro_phase_latency_ms_total`` — one
   increment per closed phase span, summed per phase name;
 - ``repro_primitive_calls_total`` / ``repro_primitive_cache_hits_total``
@@ -32,8 +37,10 @@ would — HELP/TYPE present per family, sample syntax, parseable values
 from __future__ import annotations
 
 import re
-from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro import __version__
 from repro.service.jobs import JOB_STATES
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,23 +107,32 @@ class _Exposition:
         return "\n".join(lines) + "\n"
 
 
-def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
+def render_metrics(
+    manager: "JobManager",
+    streams_active: int = 0,
+    started: Optional[float] = None,
+) -> str:
     """The whole service as one Prometheus text exposition.
 
     Aggregation is O(jobs), not O(events): each bus keeps running
     :class:`~repro.obs.live.LiveStats` totals updated at publish time,
     so a scrape merges per-job snapshots instead of rescanning every
-    record ever published — and the totals survive both the bounded
-    history trimming old records and ledger eviction retiring old jobs
-    (the manager folds an evicted job's stats forward, keeping the
-    counters monotonic).
+    record ever published — and the totals survive the bounded history
+    trimming old records, ledger eviction retiring old jobs, and even
+    server restarts (runs restored from the archive fold their archived
+    totals back in), keeping the counters monotonic throughout.
+
+    *started* is the server's start wall-time; when given, the
+    exposition carries a ``repro_uptime_seconds`` gauge.
     """
     jobs = manager.jobs()
     evicted = manager.evicted()
+    restored = manager.restored()
     by_state = {state: 0 for state in JOB_STATES}
     cached = evicted["cached"]
     dropped = evicted["dropped"]
     totals: "LiveStats" = evicted["stats"]
+    totals.merge(restored["stats"])
     for job in jobs:
         by_state[job.state] = by_state.get(job.state, 0) + 1
         cached += 1 if job.cached else 0
@@ -135,6 +151,17 @@ def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
 
     exposition = _Exposition()
     exposition.family(
+        "repro_build_info", "gauge",
+        "Build identity of this server instance (value is always 1).",
+        [({"version": __version__}, 1)],
+    )
+    if started is not None:
+        exposition.family(
+            "repro_uptime_seconds", "gauge",
+            "Seconds since this server instance started.",
+            [({}, round(max(0.0, time.time() - started), 3))],
+        )
+    exposition.family(
         "repro_jobs_total", "gauge", "Jobs in the ledger, by state.",
         [({"state": state}, count) for state, count in sorted(by_state.items())],
     )
@@ -146,6 +173,11 @@ def render_metrics(manager: "JobManager", streams_active: int = 0) -> str:
         "repro_jobs_evicted_total", "counter",
         "Finished jobs retired from the bounded ledger.",
         [({}, evicted["jobs"])],
+    )
+    exposition.family(
+        "repro_jobs_restored_total", "counter",
+        "Jobs restored into the ledger from the run archive at startup.",
+        [({}, restored["jobs"])],
     )
     exposition.family(
         "repro_phase_runs_total", "counter",

@@ -42,8 +42,9 @@ import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro import __version__
 from repro.exceptions import UnknownJobError
 from repro.obs.live import DEFAULT_QUEUE_SIZE
 from repro.obs.log import get_logger
@@ -117,13 +118,19 @@ class _JobsHandler(BaseHTTPRequestHandler):
                 },
             )
         if head == "healthz":
-            return self._reply(200, {"ok": True})
+            return self._reply(200, {"ok": True, **self._identity()})
         if head == "readyz":
             if self.server.stopping.is_set():  # type: ignore[attr-defined]
-                return self._reply(503, {"ready": False, "reason": "shutting down"})
-            return self._reply(200, {"ready": True})
+                return self._reply(
+                    503,
+                    {"ready": False, "reason": "shutting down",
+                     **self._identity()},
+                )
+            return self._reply(200, {"ready": True, **self._identity()})
         if head == "metrics":
             return self._metrics()
+        if head == "fleet" and job_id == "metrics" and view is None:
+            return self._fleet_metrics()
         if head != "jobs":
             return self._error(404, f"no such route: {self.path}")
         if job_id is None:
@@ -137,20 +144,57 @@ class _JobsHandler(BaseHTTPRequestHandler):
         if view == "eer":
             if not job.finished:
                 return self._error(409, f"{job_id} is still {job.state}")
-            if job.state != "done" or job.result is None or job.result.eer is None:
-                return self._error(409, f"{job_id} finished {job.state} without an EER schema")
-            from repro.eer.render import render_text
+            eer_text = job.eer_text  # a restored job's archived rendering
+            if job.result is not None and job.result.eer is not None:
+                from repro.eer.render import render_text
 
-            return self._reply(200, {"id": job_id, "eer": render_text(job.result.eer)})
+                eer_text = render_text(job.result.eer)
+            if job.state != "done" or eer_text is None:
+                return self._error(409, f"{job_id} finished {job.state} without an EER schema")
+            return self._reply(200, {"id": job_id, "eer": eer_text})
         if view == "events":
             return self._stream_events(job)
         return self._error(404, f"no such job view: {view}")
+
+    def _identity(self) -> Dict[str, Any]:
+        """Version + uptime: who this instance is, for probes and fleets."""
+        started = getattr(self.server, "started", None)
+        uptime = round(time.time() - started, 3) if started else 0.0
+        return {"version": __version__, "uptime_seconds": uptime}
 
     def _metrics(self) -> None:
         text = render_metrics(
             self.manager,
             streams_active=self.server.active_streams,  # type: ignore[attr-defined]
+            started=getattr(self.server, "started", None),
         )
+        self._reply_text(text)
+
+    def _fleet_metrics(self) -> None:
+        """The federated exposition: this instance merged with its peers.
+
+        Peers are scraped live at ``/metrics`` (never ``/fleet/metrics``,
+        so two servers peered at each other cannot recurse); this
+        instance's exposition is rendered in-process.  An unreachable
+        peer degrades to a ``repro_fleet_peer_up 0`` sample rather than
+        failing the scrape.
+        """
+        from repro.service.fleet import federate_with_self
+
+        self_text = render_metrics(
+            self.manager,
+            streams_active=self.server.active_streams,  # type: ignore[attr-defined]
+            started=getattr(self.server, "started", None),
+        )
+        host, port = self.server.server_address[:2]  # type: ignore[misc]
+        text = federate_with_self(
+            self_text,
+            f"{host}:{port}",
+            getattr(self.server, "peers", ()) or (),
+        )
+        self._reply_text(text)
+
+    def _reply_text(self, text: str) -> None:
         body = text.encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", METRICS_CONTENT_TYPE)
@@ -174,6 +218,28 @@ class _JobsHandler(BaseHTTPRequestHandler):
 
         bus = job.live
         if bus is None:
+            # a restored job's stream lives in the archive: replay it
+            # from disk (honouring Last-Event-ID) and make sure an end
+            # sentinel closes the stream even if the capture lacks one
+            replay = self.manager.replay_records(job)
+            if replay:
+                last_seq = 0
+                ended = False
+                for record in replay:
+                    seq = record.get("seq", 0) or 0
+                    last_seq = max(last_seq, seq)
+                    if seq <= cursor:
+                        continue
+                    if not self._write_frame(format_event(record)):
+                        return
+                    if record.get("type") == "end":
+                        ended = True
+                if not ended:
+                    self._write_frame(format_event({
+                        "type": "end", "seq": last_seq + 1, "ts_ms": 0.0,
+                        "job": job.id, "state": job.state, "archived": True,
+                    }))
+                return
             # a cache-hit job never ran: there is no stream, only the end
             self._write_frame(format_event({
                 "type": "end", "seq": 0, "ts_ms": 0.0,
@@ -316,6 +382,9 @@ class _ServiceServer(ThreadingHTTPServer):
         self.stopping = threading.Event()
         self.heartbeat = DEFAULT_HEARTBEAT
         self.stream_queue = DEFAULT_QUEUE_SIZE
+        self.started = time.time()
+        #: peer ``/metrics`` URLs, federated by ``GET /fleet/metrics``
+        self.peers: Tuple[str, ...] = ()
         self._streams_lock = threading.Lock()
         self.active_streams = 0
 
@@ -335,19 +404,22 @@ def build_server(
     verbose: bool = False,
     heartbeat: float = DEFAULT_HEARTBEAT,
     stream_queue: int = DEFAULT_QUEUE_SIZE,
+    peers: Sequence[str] = (),
 ) -> _ServiceServer:
     """A ready-to-serve HTTP server bound to *manager* (port 0 = ephemeral).
 
     *heartbeat* is the idle-stream comment cadence in seconds (the SSE
     tests shrink it to assert cadence without waiting); *stream_queue*
     is each SSE watcher's live-tail queue bound (the tests shrink it to
-    force drops and assert the history re-sync).
+    force drops and assert the history re-sync); *peers* are other
+    instances' ``/metrics`` URLs, federated by ``GET /fleet/metrics``.
     """
     server = _ServiceServer((host, port), _JobsHandler)
     server.manager = manager  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.heartbeat = heartbeat
     server.stream_queue = max(1, stream_queue)
+    server.peers = tuple(peers)
     return server
 
 
@@ -357,6 +429,7 @@ def serve(
     port: int = 8750,
     verbose: bool = True,
     heartbeat: float = DEFAULT_HEARTBEAT,
+    peers: Sequence[str] = (),
 ) -> None:
     """Serve until interrupted (the ``repro serve`` loop).
 
@@ -365,7 +438,8 @@ def serve(
     the end sentinel, and the function returns normally (exit 0).
     """
     server = build_server(
-        manager, host=host, port=port, verbose=verbose, heartbeat=heartbeat
+        manager, host=host, port=port, verbose=verbose, heartbeat=heartbeat,
+        peers=peers,
     )
     address = f"http://{server.server_address[0]}:{server.server_address[1]}"
     print(f"repro service listening on {address} (Ctrl-C to stop)", flush=True)

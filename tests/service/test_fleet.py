@@ -1,0 +1,189 @@
+"""Fleet federation: merge semantics, live /fleet/metrics, status view."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service.fleet import (
+    fleet_status,
+    instance_label,
+    merge_expositions,
+    metrics_url,
+    parse_exposition,
+    scrape_fleet,
+)
+from repro.service.jobs import JobManager
+from repro.service.metrics import lint_exposition
+from repro.service.server import build_server
+from repro.workloads.paper_example import build_paper_database, paper_equijoins
+
+EXPOSITION_A = """\
+# HELP repro_jobs_total Jobs in the ledger, by state.
+# TYPE repro_jobs_total gauge
+repro_jobs_total{state="done"} 3
+repro_jobs_total{state="queued"} 1
+# HELP repro_live_dropped_total Live records dropped.
+# TYPE repro_live_dropped_total counter
+repro_live_dropped_total 7
+"""
+
+EXPOSITION_B = """\
+# HELP repro_jobs_total Jobs in the ledger, by state.
+# TYPE repro_jobs_total gauge
+repro_jobs_total{state="done"} 5
+# HELP repro_build_info Build identity.
+# TYPE repro_build_info gauge
+repro_build_info{version="1.0.0"} 1
+"""
+
+
+class TestParse:
+    def test_families_samples_and_labels(self):
+        families = parse_exposition(EXPOSITION_A)
+        assert [f.name for f in families] == [
+            "repro_jobs_total", "repro_live_dropped_total",
+        ]
+        jobs = families[0]
+        assert jobs.kind == "gauge"
+        assert jobs.samples == [
+            ({"state": "done"}, "3"), ({"state": "queued"}, "1"),
+        ]
+
+    def test_tolerates_garbage_lines(self):
+        families = parse_exposition("not a sample !!\n" + EXPOSITION_A)
+        assert len(families) == 2
+
+
+class TestMerge:
+    def test_per_instance_labels_and_verbatim_values(self):
+        merged = merge_expositions({"a:1": EXPOSITION_A, "b:2": EXPOSITION_B})
+        assert lint_exposition(merged) == []
+        # values are never summed across instances — each series keeps
+        # its own monotonic counter under its own instance label
+        assert 'repro_jobs_total{instance="a:1",state="done"} 3' in merged
+        assert 'repro_jobs_total{instance="b:2",state="done"} 5' in merged
+        assert 'repro_live_dropped_total{instance="a:1"} 7' in merged
+        assert "repro_fleet_instances 2" in merged
+
+    def test_metadata_emitted_once_per_family(self):
+        merged = merge_expositions({"a:1": EXPOSITION_A, "b:2": EXPOSITION_B})
+        assert merged.count("# TYPE repro_jobs_total gauge") == 1
+        assert merged.count("# HELP repro_jobs_total") == 1
+
+    def test_down_peer_degrades_to_peer_up_zero(self):
+        merged = merge_expositions(
+            {"a:1": EXPOSITION_A}, peer_up={"dead:9": False}
+        )
+        assert lint_exposition(merged) == []
+        assert 'repro_fleet_peer_up{instance="a:1"} 1' in merged
+        assert 'repro_fleet_peer_up{instance="dead:9"} 0' in merged
+
+    def test_merge_is_lossless(self):
+        merged = merge_expositions({"a:1": EXPOSITION_A, "b:2": EXPOSITION_B})
+
+        def census(text):
+            return sum(len(f.samples) for f in parse_exposition(text))
+
+        fleet_own = sum(
+            len(f.samples) for f in parse_exposition(merged)
+            if f.name.startswith("repro_fleet_")
+        )
+        assert census(merged) - fleet_own == (
+            census(EXPOSITION_A) + census(EXPOSITION_B)
+        )
+
+
+class TestUrls:
+    def test_instance_label_is_the_netloc(self):
+        assert instance_label("http://127.0.0.1:8750") == "127.0.0.1:8750"
+        assert instance_label("127.0.0.1:8750") == "127.0.0.1:8750"
+
+    def test_metrics_url_is_implied(self):
+        assert metrics_url("127.0.0.1:8750") == "http://127.0.0.1:8750/metrics"
+        assert metrics_url("http://h:1/metrics") == "http://h:1/metrics"
+
+
+@pytest.fixture
+def two_servers():
+    """Two live in-process servers; the second peers at the first."""
+    managers = [JobManager(runners=1), JobManager(runners=1)]
+    first = build_server(managers[0], port=0)
+    first_base = f"http://{first.server_address[0]}:{first.server_address[1]}"
+    second = build_server(managers[1], port=0, peers=[first_base])
+    servers = [first, second]
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield managers, servers
+    finally:
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        for manager in managers:
+            manager.shutdown()
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+def base_url(server):
+    return f"http://{server.server_address[0]}:{server.server_address[1]}"
+
+
+class TestLiveFederation:
+    def test_fleet_metrics_covers_both_instances(self, two_servers):
+        managers, servers = two_servers
+        job = managers[0].submit(
+            build_paper_database(), equijoins=paper_equijoins()
+        )
+        managers[0].result(job.id, timeout=60)
+        with urllib.request.urlopen(
+            base_url(servers[1]) + "/fleet/metrics", timeout=10
+        ) as response:
+            merged = response.read().decode("utf-8")
+        assert lint_exposition(merged) == []
+        first_instance = instance_label(base_url(servers[0]))
+        second_instance = instance_label(base_url(servers[1]))
+        assert (
+            f'repro_jobs_total{{instance="{first_instance}",state="done"}} 1'
+            in merged
+        )
+        assert f'instance="{second_instance}"' in merged
+        assert "repro_fleet_instances 2" in merged
+
+    def test_client_side_scrape_matches(self, two_servers):
+        _managers, servers = two_servers
+        merged = scrape_fleet([base_url(s) for s in servers])
+        assert lint_exposition(merged) == []
+        assert "repro_fleet_instances 2" in merged
+
+    def test_scrape_with_a_dead_peer_degrades(self, two_servers):
+        _managers, servers = two_servers
+        merged = scrape_fleet(
+            [base_url(servers[0]), "http://127.0.0.1:9"], timeout=2.0
+        )
+        assert lint_exposition(merged) == []
+        assert 'repro_fleet_peer_up{instance="127.0.0.1:9"} 0' in merged
+
+    def test_fleet_status_renders_both(self, two_servers):
+        _managers, servers = two_servers
+        rendered = fleet_status([base_url(s) for s in servers])
+        assert "2/2 up" in rendered
+        for server in servers:
+            assert instance_label(base_url(server)) in rendered
+
+    def test_health_probes_carry_identity(self, two_servers):
+        import json
+
+        _managers, servers = two_servers
+        for probe in ("/healthz", "/readyz"):
+            with urllib.request.urlopen(
+                base_url(servers[0]) + probe, timeout=10
+            ) as response:
+                body = json.loads(response.read())
+            assert body["version"]
+            assert body["uptime_seconds"] >= 0
